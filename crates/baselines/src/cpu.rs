@@ -1,0 +1,303 @@
+//! Sequential host-side selection references.
+//!
+//! These are the classical algorithms the paper's §II frames SampleSelect
+//! against: Hoare's Quickselect \[1\], the deterministic median-of-medians
+//! bound \[3\], and Floyd–Rivest (the practical state of the art for
+//! sequential selection), plus full-sort selection and the `std`
+//! introselect wrapper used as the correctness oracle (the paper
+//! validates against C++ `std::nth_element`; Rust's
+//! `select_nth_unstable` plays that role here).
+//!
+//! All functions select the `k`-th smallest element (0-based) and run in
+//! place on a mutable slice.
+
+use sampleselect::element::SelectElement;
+use sampleselect::rng::SplitMix64;
+
+/// The `std` introselect: the workspace-wide correctness oracle.
+pub fn std_select<T: SelectElement>(data: &mut [T], k: usize) -> T {
+    assert!(k < data.len());
+    let (_, kth, _) = data.select_nth_unstable_by(k, |a, b| a.total_cmp(*b));
+    *kth
+}
+
+/// Full sort, then index — the O(n log n) strawman.
+pub fn sort_select<T: SelectElement>(data: &mut [T], k: usize) -> T {
+    assert!(k < data.len());
+    data.sort_unstable_by(|a, b| a.total_cmp(*b));
+    data[k]
+}
+
+/// Hoare's Quickselect \[1\]: random pivot, three-way partition, expected
+/// O(n).
+pub fn hoare_quickselect<T: SelectElement>(data: &mut [T], k: usize) -> T {
+    assert!(k < data.len());
+    let mut rng = SplitMix64::new(0x9e3779b9);
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    let mut k = k;
+    loop {
+        if hi - lo <= 16 {
+            data[lo..hi].sort_unstable_by(|a, b| a.total_cmp(*b));
+            return data[lo + k];
+        }
+        let pivot = data[lo + rng.next_below(hi - lo)];
+        let (lt, eq) = three_way_partition(&mut data[lo..hi], pivot);
+        if k < lt {
+            hi = lo + lt;
+        } else if k < lt + eq {
+            return pivot;
+        } else {
+            k -= lt + eq;
+            lo += lt + eq;
+        }
+    }
+}
+
+/// Dutch-national-flag partition: returns (#less, #equal); the slice is
+/// reordered as [less | equal | greater].
+fn three_way_partition<T: SelectElement>(data: &mut [T], pivot: T) -> (usize, usize) {
+    let mut lt = 0usize;
+    let mut i = 0usize;
+    let mut gt = data.len();
+    while i < gt {
+        let x = data[i];
+        if x.lt(pivot) {
+            data.swap(lt, i);
+            lt += 1;
+            i += 1;
+        } else if pivot.lt(x) {
+            gt -= 1;
+            data.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    (lt, gt - lt)
+}
+
+/// Deterministic O(n) selection via median of medians \[3\] (groups of 5).
+pub fn median_of_medians_select<T: SelectElement>(data: &mut [T], k: usize) -> T {
+    assert!(k < data.len());
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    let mut k = k;
+    loop {
+        if hi - lo <= 10 {
+            data[lo..hi].sort_unstable_by(|a, b| a.total_cmp(*b));
+            return data[lo + k];
+        }
+        let pivot = median_of_medians(&mut data[lo..hi].to_vec()[..]);
+        let (lt, eq) = three_way_partition(&mut data[lo..hi], pivot);
+        if k < lt {
+            hi = lo + lt;
+        } else if k < lt + eq {
+            return pivot;
+        } else {
+            k -= lt + eq;
+            lo += lt + eq;
+        }
+    }
+}
+
+/// The median-of-medians pivot: exact median of the group-of-5 medians.
+fn median_of_medians<T: SelectElement>(data: &mut [T]) -> T {
+    if data.len() <= 5 {
+        data.sort_unstable_by(|a, b| a.total_cmp(*b));
+        return data[data.len() / 2];
+    }
+    let mut medians: Vec<T> = data
+        .chunks_mut(5)
+        .map(|chunk| {
+            chunk.sort_unstable_by(|a, b| a.total_cmp(*b));
+            chunk[chunk.len() / 2]
+        })
+        .collect();
+    let mid = medians.len() / 2;
+    median_of_medians_select(&mut medians, mid)
+}
+
+/// Floyd–Rivest SELECT: samples a subrange around the expected position
+/// of the target and recurses with tight bounds — the fastest known
+/// general-purpose sequential selection in practice.
+pub fn floyd_rivest_select<T: SelectElement>(data: &mut [T], k: usize) -> T {
+    assert!(k < data.len());
+    floyd_rivest_rec(data, 0, data.len() - 1, k);
+    data[k]
+}
+
+fn floyd_rivest_rec<T: SelectElement>(data: &mut [T], mut left: usize, mut right: usize, k: usize) {
+    // Faithful transcription of Algorithm 489 (Floyd & Rivest 1975).
+    while right > left {
+        if right - left > 600 {
+            // Narrow the working range by recursing on a sample-derived
+            // subinterval expected to contain the answer.
+            let n = (right - left + 1) as f64;
+            let i = (k - left + 1) as f64;
+            let z = n.ln();
+            let s = 0.5 * (2.0 * z / 3.0).exp();
+            let sign = if i - n / 2.0 < 0.0 { -1.0 } else { 1.0 };
+            let sd = 0.5 * (z * s * (n - s) / n).sqrt() * sign;
+            let new_left = ((k as f64 - i * s / n + sd).max(left as f64)) as usize;
+            let new_right = ((k as f64 + (n - i) * s / n + sd).min(right as f64)) as usize;
+            floyd_rivest_rec(data, new_left, new_right, k);
+        }
+        let t = data[k];
+        let mut i = left;
+        let mut j = right;
+        data.swap(left, k);
+        if t.lt(data[right]) {
+            // array[right] > t
+            data.swap(right, left);
+        }
+        while i < j {
+            data.swap(i, j);
+            i += 1;
+            j -= 1;
+            while data[i].lt(t) {
+                i += 1;
+            }
+            while t.lt(data[j]) {
+                // sentinel at `left` (<= t) guarantees j never passes it
+                j -= 1;
+            }
+        }
+        let t_at_left = !data[left].lt(t) && !t.lt(data[left]);
+        if t_at_left {
+            data.swap(left, j);
+        } else {
+            j += 1;
+            data.swap(j, right);
+        }
+        // Adjust the working range towards k.
+        if j <= k {
+            left = j + 1;
+        }
+        if k <= j {
+            if j == 0 {
+                break;
+            }
+            right = j - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    type Selector = fn(&mut [f64], usize) -> f64;
+
+    const SELECTORS: [(&str, Selector); 5] = [
+        ("std", std_select::<f64>),
+        ("sort", sort_select::<f64>),
+        ("hoare", hoare_quickselect::<f64>),
+        ("mom", median_of_medians_select::<f64>),
+        ("floyd-rivest", floyd_rivest_select::<f64>),
+    ];
+
+    fn check_all(data: &[f64], k: usize) {
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected = sorted[k];
+        for (name, f) in SELECTORS {
+            let mut copy = data.to_vec();
+            let got = f(&mut copy, k);
+            assert_eq!(got, expected, "{name} failed at k={k} (n={})", data.len());
+        }
+    }
+
+    #[test]
+    fn agree_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 17, 100, 1000, 20_000] {
+            let data: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 100.0).collect();
+            for k in [0, n / 3, n / 2, n - 1] {
+                check_all(&data, k);
+            }
+        }
+    }
+
+    #[test]
+    fn agree_on_duplicates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data: Vec<f64> = (0..5_000).map(|_| rng.gen_range(0..7) as f64).collect();
+        for k in [0usize, 1, 2_500, 4_999] {
+            check_all(&data, k);
+        }
+    }
+
+    #[test]
+    fn agree_on_sorted_and_reversed() {
+        let asc: Vec<f64> = (0..3_000).map(|i| i as f64).collect();
+        let desc: Vec<f64> = (0..3_000).map(|i| (3_000 - i) as f64).collect();
+        for k in [0usize, 1_500, 2_999] {
+            check_all(&asc, k);
+            check_all(&desc, k);
+        }
+    }
+
+    #[test]
+    fn agree_on_all_equal() {
+        let data = vec![42.0f64; 2_000];
+        check_all(&data, 0);
+        check_all(&data, 1_000);
+        check_all(&data, 1_999);
+    }
+
+    #[test]
+    fn three_way_partition_invariants() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let mut data: Vec<f64> = (0..500).map(|_| rng.gen_range(0..20) as f64).collect();
+            let pivot = data[rng.gen_range(0..500)];
+            let (lt, eq) = three_way_partition(&mut data, pivot);
+            assert!(data[..lt].iter().all(|&x| x < pivot));
+            assert!(data[lt..lt + eq].iter().all(|&x| x == pivot));
+            assert!(data[lt + eq..].iter().all(|&x| x > pivot));
+            assert!(eq >= 1, "pivot from the data must appear");
+        }
+    }
+
+    #[test]
+    fn median_of_medians_pivot_is_balanced() {
+        // The MoM pivot guarantees a 30/70 split at worst.
+        let mut rng = StdRng::seed_from_u64(4);
+        let data: Vec<f64> = (0..10_000).map(|_| rng.gen()).collect();
+        let pivot = median_of_medians(&mut data.clone()[..]);
+        let smaller = data.iter().filter(|&&x| x < pivot).count();
+        assert!(smaller > 10_000 * 2 / 10, "smaller = {smaller}");
+        assert!(smaller < 10_000 * 8 / 10, "smaller = {smaller}");
+    }
+
+    #[test]
+    fn works_with_integer_elements() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<i32> = (0..5_000).map(|_| rng.gen()).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for k in [0usize, 2_500, 4_999] {
+            let mut copy = data.clone();
+            assert_eq!(hoare_quickselect(&mut copy, k), sorted[k]);
+            let mut copy = data.clone();
+            assert_eq!(floyd_rivest_select(&mut copy, k), sorted[k]);
+            let mut copy = data.clone();
+            assert_eq!(median_of_medians_select(&mut copy, k), sorted[k]);
+        }
+    }
+
+    #[test]
+    fn floyd_rivest_large_input_exercises_sampling() {
+        // > 600 elements triggers the recursive sampling path.
+        let mut rng = StdRng::seed_from_u64(6);
+        let data: Vec<f64> = (0..100_000).map(|_| rng.gen()).collect();
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for k in [0usize, 123, 50_000, 99_999] {
+            let mut copy = data.clone();
+            assert_eq!(floyd_rivest_select(&mut copy, k), sorted[k], "k = {k}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Criterion benches of the future-work extensions (§VI): multi-rank
+//! selection, the sample-sort extension, key-value selection, and the
+//! CPU backend's top-k/multiselect.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::arch::v100;
+use gpu_sim::Device;
+use hpc_par::ThreadPool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sampleselect::cpu::{cpu_multi_select, cpu_top_k, CpuSelectConfig};
+use sampleselect::kv::Pair;
+use sampleselect::multiselect::multi_select_on_device;
+use sampleselect::samplesort::sample_sort_on_device;
+use sampleselect::topk::top_k_largest_on_device;
+use sampleselect::{sample_select_on_device, SampleSelectConfig};
+
+const N: usize = 1 << 18;
+
+fn data(n: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+fn bench_multiselect(c: &mut Criterion) {
+    let pool = ThreadPool::global();
+    let input = data(N);
+    let cfg = SampleSelectConfig::default();
+    let mut group = c.benchmark_group("multiselect");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for m in [1usize, 4, 16] {
+        let ranks: Vec<usize> = (1..=m).map(|i| i * N / (m + 1)).collect();
+        group.bench_function(BenchmarkId::new("batched", m), |b| {
+            b.iter(|| {
+                let mut device = Device::new(v100(), pool);
+                multi_select_on_device(&mut device, &input, &ranks, &cfg).unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("separate", m), |b| {
+            b.iter(|| {
+                let mut device = Device::new(v100(), pool);
+                ranks
+                    .iter()
+                    .map(|&r| {
+                        sample_select_on_device(&mut device, &input, r, &cfg)
+                            .unwrap()
+                            .value
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_samplesort(c: &mut Criterion) {
+    let pool = ThreadPool::global();
+    let input = data(N);
+    let cfg = SampleSelectConfig::default();
+    let mut group = c.benchmark_group("samplesort");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("device-samplesort", |b| {
+        b.iter(|| {
+            let mut device = Device::new(v100(), pool);
+            sample_sort_on_device(&mut device, &input, &cfg).unwrap()
+        })
+    });
+    group.bench_function("std-sort-reference", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut v| {
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_kv_topk(c: &mut Criterion) {
+    let pool = ThreadPool::global();
+    let mut rng = StdRng::seed_from_u64(12);
+    let pairs: Vec<Pair<f32, u32>> = (0..N).map(|i| Pair::new(rng.gen(), i as u32)).collect();
+    let cfg = SampleSelectConfig::default();
+    let mut group = c.benchmark_group("kv-topk");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for k in [10usize, 1000] {
+        group.bench_function(BenchmarkId::from_parameter(k), |b| {
+            b.iter(|| {
+                let mut device = Device::new(v100(), pool);
+                top_k_largest_on_device(&mut device, &pairs, k, &cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpu_extensions(c: &mut Criterion) {
+    let pool = ThreadPool::global();
+    let input = data(1 << 20);
+    let cfg = CpuSelectConfig::default();
+    let mut group = c.benchmark_group("cpu-extensions");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(input.len() as u64));
+    group.bench_function("cpu-top-100", |b| {
+        b.iter(|| cpu_top_k(pool, &input, 100, &cfg).unwrap())
+    });
+    let ranks: Vec<usize> = (1..10).map(|i| i * input.len() / 10).collect();
+    group.bench_function("cpu-deciles", |b| {
+        b.iter(|| cpu_multi_select(pool, &input, &ranks, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multiselect,
+    bench_samplesort,
+    bench_kv_topk,
+    bench_cpu_extensions
+);
+criterion_main!(benches);

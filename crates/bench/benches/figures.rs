@@ -1,0 +1,118 @@
+//! Criterion groups mirroring the paper's figures at a benchmark-friendly
+//! scale (n = 2^18). These measure the *simulated pipeline end to end* —
+//! useful as regression benches for the workspace itself; the figure
+//! binaries (`fig7`, `fig8`, `fig9`, `fig10`) regenerate the actual
+//! paper data series from the simulated clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::arch::{k20xm, v100};
+use gpu_sim::Device;
+use hpc_par::ThreadPool;
+use sampleselect::{
+    approx_select_on_device, quick_select_on_device, sample_select_on_device, AtomicScope,
+    SampleSelectConfig,
+};
+use select_datagen::WorkloadSpec;
+
+const N: usize = 1 << 18;
+
+fn bench_fig7_tuning(c: &mut Criterion) {
+    let pool = ThreadPool::global();
+    let w = WorkloadSpec::uniform(N, 1).instantiate::<f32>(0);
+    let mut group = c.benchmark_group("fig7-tuning");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for buckets in [64usize, 128, 256] {
+        let cfg = SampleSelectConfig::default().with_buckets(buckets);
+        group.bench_function(BenchmarkId::new("buckets", buckets), |b| {
+            b.iter(|| {
+                let mut device = Device::new(v100(), pool);
+                sample_select_on_device(&mut device, &w.data, w.rank, &cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig8_variants(c: &mut Criterion) {
+    let pool = ThreadPool::global();
+    let w = WorkloadSpec::uniform(N, 2).instantiate::<f32>(0);
+    let mut group = c.benchmark_group("fig8-variants");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for (name, scope, quick) in [
+        ("sample-s", AtomicScope::Shared, false),
+        ("sample-g", AtomicScope::Global, false),
+        ("quick-s", AtomicScope::Shared, true),
+        ("quick-g", AtomicScope::Global, true),
+    ] {
+        let cfg = SampleSelectConfig::default().with_atomic_scope(scope);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut device = Device::new(v100(), pool);
+                if quick {
+                    quick_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                        .unwrap()
+                        .value
+                } else {
+                    sample_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                        .unwrap()
+                        .value
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig8_architectures(c: &mut Criterion) {
+    let pool = ThreadPool::global();
+    let w = WorkloadSpec::uniform(N, 3).instantiate::<f32>(0);
+    let mut group = c.benchmark_group("fig8-architectures");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for arch in [k20xm(), v100()] {
+        let cfg = SampleSelectConfig::tuned_for(&arch);
+        group.bench_function(arch.name, |b| {
+            b.iter(|| {
+                let mut device = Device::new(arch.clone(), pool);
+                sample_select_on_device(&mut device, &w.data, w.rank, &cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10_approx(c: &mut Criterion) {
+    let pool = ThreadPool::global();
+    let w = WorkloadSpec::uniform(N, 4).instantiate::<f32>(0);
+    let mut group = c.benchmark_group("fig10-approx");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for buckets in [128usize, 1024] {
+        let cfg = SampleSelectConfig::default().with_buckets(buckets);
+        group.bench_function(BenchmarkId::new("approx", buckets), |b| {
+            b.iter(|| {
+                let mut device = Device::new(v100(), pool);
+                approx_select_on_device(&mut device, &w.data, w.rank, &cfg).unwrap()
+            })
+        });
+    }
+    let cfg = SampleSelectConfig::default();
+    group.bench_function("exact-baseline", |b| {
+        b.iter(|| {
+            let mut device = Device::new(v100(), pool);
+            sample_select_on_device(&mut device, &w.data, w.rank, &cfg).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig7_tuning,
+    bench_fig8_variants,
+    bench_fig8_architectures,
+    bench_fig10_approx
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Regenerates the paper's **§V-D cross-paper comparison**: Alabi et
+//! al.'s BucketSelect evaluated on the Tesla C2070 against SampleSelect
+//! on the Tesla K20Xm, for n = 2^27 uniformly distributed single-
+//! precision values.
+//!
+//! The paper reports 40.16 ms (BucketSelect, C2070, mean over their
+//! benchmark) vs 25.6 ms (SampleSelect, K20Xm) and attributes much of
+//! the gap to the hardware difference (the K20Xm has ~40% more memory
+//! bandwidth and 3.5x the FLOPs). This binary reproduces the comparison
+//! on the simulated devices, and also runs both algorithms on *both*
+//! GPUs so the hardware and algorithm contributions separate.
+//!
+//! ```text
+//! cargo run --release --bin bucketselect_compare [--full] [--reps N]
+//! ```
+
+use gpu_sim::arch::{c2070, k20xm, GpuArchitecture};
+use gpu_sim::Device;
+use hpc_par::ThreadPool;
+use sampleselect::{sample_select_on_device, SampleSelectConfig};
+use select_baselines::bucketselect::bucket_select_on_device;
+use select_bench::{measure, HarnessArgs, Table};
+use select_datagen::WorkloadSpec;
+
+fn run(
+    algo: &str,
+    arch: &GpuArchitecture,
+    pool: &ThreadPool,
+    spec: &WorkloadSpec,
+    reps: usize,
+    t: &mut Table,
+) {
+    let stats = measure(reps, |rep| {
+        let w = spec.instantiate::<f32>(rep);
+        let cfg = SampleSelectConfig::tuned_for(arch).with_seed(777 + rep);
+        let mut device = Device::new(arch.clone(), pool);
+        let report = match algo {
+            "bucketselect" => {
+                bucket_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                    .unwrap()
+                    .report
+            }
+            _ => {
+                sample_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                    .unwrap()
+                    .report
+            }
+        };
+        report.total_time.as_ms()
+    });
+    t.row(vec![
+        algo.to_string(),
+        arch.name.to_string(),
+        format!("{:.2}", stats.mean),
+        format!("{:.1}%", stats.cv() * 100.0),
+    ]);
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let reps = args.reps_or(3);
+    // The paper's point uses n = 2^27; scale down unless --full to keep
+    // single-host runtime moderate (times are simulated either way, the
+    // scaled run reports the 2^27-equivalent by linear extrapolation).
+    let n: usize = if args.full { 1 << 27 } else { 1 << 22 };
+    let scale = (1usize << 27) as f64 / n as f64;
+    let pool = ThreadPool::global();
+    let spec = WorkloadSpec::uniform(n, 0xbc5c0);
+
+    let mut t = Table::new(vec!["algorithm", "gpu", "runtime(ms)", "cv"]);
+    run("bucketselect", &c2070(), pool, &spec, reps, &mut t);
+    run("sampleselect", &k20xm(), pool, &spec, reps, &mut t);
+    // Cross runs to separate hardware from algorithm:
+    run("bucketselect", &k20xm(), pool, &spec, reps, &mut t);
+    run("sampleselect", &c2070(), pool, &spec, reps, &mut t);
+
+    println!("SS V-D comparison: BucketSelect (Tesla C2070) vs SampleSelect (Tesla K20Xm)");
+    println!("n = {n} uniformly distributed f32, random rank, {reps} repetitions");
+    if !args.full {
+        println!(
+            "(scaled run; multiply by ~{scale:.0} for the n = 2^27 equivalent, or use --full)"
+        );
+    }
+    println!();
+    print!("{}", t.render());
+    println!();
+    println!("Paper reference points (n = 2^27): BucketSelect/C2070 = 40.16 ms,");
+    println!("SampleSelect/K20Xm = 25.6 ms. The paper notes the difference is largely");
+    println!("hardware: BucketSelect's value-range splitter choice is cheaper per");
+    println!("element but assumes friendly distributions — see `robustness` for the");
+    println!("adversarial cases where that assumption fails.");
+}

@@ -1,0 +1,163 @@
+//! Regenerates **Figure 8**: throughput of the four algorithm variants
+//! (sample-s, sample-g, quick-s, quick-g) over input size, for single
+//! and double precision, on the K20Xm and V100 — plus the right-hand
+//! panels: the element-repetition impact on the count kernel for the
+//! four communication strategies (shared/global × warp aggregation).
+//!
+//! ```text
+//! cargo run --release --bin fig8 [--full] [--csv] [--reps N]
+//! ```
+
+use gpu_sim::arch::{k20xm, v100, GpuArchitecture};
+use gpu_sim::{Device, LaunchOrigin};
+use hpc_par::ThreadPool;
+use sampleselect::count::count_kernel;
+use sampleselect::rng::SplitMix64;
+use sampleselect::splitter::sample_kernel;
+use sampleselect::{
+    quick_select_on_device, sample_select_on_device, AtomicScope, SampleSelectConfig, SelectElement,
+};
+use select_bench::{fmt_throughput, measure, HarnessArgs, Table};
+use select_datagen::{paper_distinct_counts, paper_sizes, WorkloadSpec};
+
+fn variants() -> Vec<(&'static str, AtomicScope, bool)> {
+    vec![
+        ("sample-s", AtomicScope::Shared, false),
+        ("sample-g", AtomicScope::Global, false),
+        ("quick-s", AtomicScope::Shared, true),
+        ("quick-g", AtomicScope::Global, true),
+    ]
+}
+
+fn throughput_panel<T: SelectElement>(
+    arch: &GpuArchitecture,
+    pool: &ThreadPool,
+    sizes: &[usize],
+    reps: usize,
+    table: &mut Table,
+) {
+    for &n in sizes {
+        let spec = WorkloadSpec::uniform(n, 0xf188a5e);
+        for (name, scope, is_quick) in variants() {
+            let stats = measure(reps, |rep| {
+                let w = spec.instantiate::<T>(rep);
+                // The left/middle panels isolate the atomic scope; warp
+                // aggregation is studied separately in the right panel.
+                let cfg = SampleSelectConfig::default()
+                    .with_atomic_scope(scope)
+                    .with_warp_aggregation(false)
+                    .with_seed(500 + rep);
+                let mut device = Device::new(arch.clone(), pool);
+                let report = if is_quick {
+                    quick_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                        .unwrap()
+                        .report
+                } else {
+                    sample_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                        .unwrap()
+                        .report
+                };
+                report.throughput()
+            });
+            table.row(vec![
+                arch.name.to_string(),
+                T::NAME.to_string(),
+                n.to_string(),
+                name.to_string(),
+                fmt_throughput(stats.mean),
+                format!("{:.1}%", stats.cv() * 100.0),
+            ]);
+        }
+    }
+}
+
+/// Right-hand panels: count-kernel throughput vs. number of distinct
+/// elements for the four communication strategies.
+fn repetition_panel(
+    arch: &GpuArchitecture,
+    pool: &ThreadPool,
+    n: usize,
+    reps: usize,
+    table: &mut Table,
+) {
+    let strategies = [
+        ("shared w.o. warp-aggr.", AtomicScope::Shared, false),
+        ("shared w. warp-aggr.", AtomicScope::Shared, true),
+        ("global w.o. warp-aggr.", AtomicScope::Global, false),
+        ("global w. warp-aggr.", AtomicScope::Global, true),
+    ];
+    for d in paper_distinct_counts(n) {
+        let spec = WorkloadSpec::with_distinct(n, d, 0xd15713c7);
+        for (name, scope, aggr) in strategies {
+            let stats = measure(reps, |rep| {
+                let w = spec.instantiate::<f32>(rep);
+                let cfg = SampleSelectConfig::default()
+                    .with_atomic_scope(scope)
+                    .with_warp_aggregation(aggr)
+                    .with_seed(900 + rep);
+                let mut device = Device::new(arch.clone(), pool);
+                let mut rng = SplitMix64::new(cfg.seed);
+                let tree = sample_kernel(&mut device, &w.data, &cfg, &mut rng, LaunchOrigin::Host);
+                let before = device.now();
+                count_kernel(&mut device, &w.data, &tree, &cfg, true, LaunchOrigin::Host);
+                let count_time = device.now() - before;
+                n as f64 / count_time.as_secs()
+            });
+            table.row(vec![
+                arch.name.to_string(),
+                "f32".to_string(),
+                format!("d={d}"),
+                name.to_string(),
+                fmt_throughput(stats.mean),
+                format!("{:.1}%", stats.cv() * 100.0),
+            ]);
+        }
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let reps = args.reps_or(if args.full { 10 } else { 3 });
+    let sizes = paper_sizes(args.full);
+    let rep_n = if args.full { 1 << 28 } else { 1 << 22 };
+    let pool = ThreadPool::global();
+
+    let mut t = Table::new(vec![
+        "gpu",
+        "type",
+        "n",
+        "variant",
+        "throughput(el/s)",
+        "cv",
+    ]);
+    for arch in [k20xm(), v100()] {
+        throughput_panel::<f32>(&arch, pool, &sizes, reps, &mut t);
+        throughput_panel::<f64>(&arch, pool, &sizes, reps, &mut t);
+    }
+
+    let mut r = Table::new(vec![
+        "gpu",
+        "type",
+        "distinct",
+        "strategy",
+        "count-throughput(el/s)",
+        "cv",
+    ]);
+    for arch in [k20xm(), v100()] {
+        repetition_panel(&arch, pool, rep_n, reps, &mut r);
+    }
+
+    if args.csv {
+        print!("{}", t.render_csv());
+        println!();
+        print!("{}", r.render_csv());
+    } else {
+        println!("Figure 8 (left/middle): selection throughput vs input size");
+        println!("(10 uniform datasets per point in the paper; --reps to change)\n");
+        print!("{}", t.render());
+        println!(
+            "\nFigure 8 (right): element repetition impact on the count kernel (n = {rep_n})\n"
+        );
+        print!("{}", r.render());
+    }
+}

@@ -1,0 +1,115 @@
+//! Regenerates **Figure 9**: per-kernel runtime breakdown (ns per
+//! element) of one SampleSelect recursion level and the QuickSelect
+//! kernels, using shared-memory atomics on the V100 (n = 2^24, single
+//! precision).
+//!
+//! Three bars as in the paper:
+//! * `count w.o. write` — sample + count (no oracle store) + reduce
+//!   (the approximate-selection pipeline);
+//! * `count w. write`   — sample + count (with oracles) + reduce +
+//!   filter (one exact recursion level);
+//! * `bipartition`      — QuickSelect's pivot + count + bipartition.
+//!
+//! ```text
+//! cargo run --release --bin fig9 [--csv] [--reps N]
+//! ```
+
+use gpu_sim::arch::v100;
+use gpu_sim::{Device, LaunchOrigin};
+use hpc_par::ThreadPool;
+use sampleselect::count::count_kernel;
+use sampleselect::quickselect::quick_select_on_device;
+use sampleselect::reduce::reduce_totals_kernel;
+use sampleselect::rng::SplitMix64;
+use sampleselect::splitter::sample_kernel;
+use sampleselect::{sample_select_on_device, SampleSelectConfig};
+use select_bench::{measure, HarnessArgs, Table};
+use select_datagen::WorkloadSpec;
+
+const N: usize = 1 << 24;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let reps = args.reps_or(3);
+    let pool = ThreadPool::global();
+    let arch = v100();
+    let cfg = SampleSelectConfig::tuned_for(&arch);
+    let spec = WorkloadSpec::uniform(N, 0xf199);
+
+    let mut t = Table::new(vec!["bar", "kernel", "ns-per-element"]);
+
+    // Bar 1: count without oracle writes (approximate pipeline).
+    let phases = ["sample", "count_nowrite", "reduce"];
+    for phase in phases {
+        let stats = measure(reps, |rep| {
+            let w = spec.instantiate::<f32>(rep);
+            let mut device = Device::new(arch.clone(), pool);
+            let mut rng = SplitMix64::new(cfg.seed + rep);
+            let tree = sample_kernel(&mut device, &w.data, &cfg, &mut rng, LaunchOrigin::Host);
+            let count = count_kernel(&mut device, &w.data, &tree, &cfg, false, LaunchOrigin::Host);
+            reduce_totals_kernel(&mut device, &count, LaunchOrigin::Device);
+            let phase_time: f64 = device
+                .records()
+                .iter()
+                .filter(|r| r.name == phase)
+                .map(|r| r.duration.as_ns())
+                .sum();
+            phase_time / N as f64
+        });
+        t.row(vec![
+            "count w.o. write".to_string(),
+            phase.to_string(),
+            format!("{:.4}", stats.mean),
+        ]);
+    }
+
+    // Bar 2: one full exact recursion level (count with oracle writes).
+    for phase in ["sample", "count", "reduce", "filter"] {
+        let stats = measure(reps, |rep| {
+            let w = spec.instantiate::<f32>(rep);
+            let mut device = Device::new(arch.clone(), pool);
+            let report = sample_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                .unwrap()
+                .report;
+            report.kernel_ns_per_element(phase)
+        });
+        t.row(vec![
+            "count w. write".to_string(),
+            phase.to_string(),
+            format!("{:.4}", stats.mean),
+        ]);
+    }
+
+    // Bar 3: QuickSelect's kernels.
+    for phase in ["pivot", "quick_count", "bipartition"] {
+        let stats = measure(reps, |rep| {
+            let w = spec.instantiate::<f32>(rep);
+            let mut device = Device::new(arch.clone(), pool);
+            let report = quick_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                .unwrap()
+                .report;
+            // The paper shows a single recursion level; normalize the
+            // aggregated time by the total elements QuickSelect touched
+            // (~2n across its geometric level sizes).
+            report.kernel_time(phase).as_ns() / (2 * N) as f64
+        });
+        t.row(vec![
+            "bipartition".to_string(),
+            phase.to_string(),
+            format!("{:.4}", stats.mean),
+        ]);
+    }
+
+    if args.csv {
+        print!("{}", t.render_csv());
+    } else {
+        println!("Figure 9: runtime breakdown of the elementary kernels");
+        println!("(shared-memory atomics, Tesla V100, n = 2^24, single precision)\n");
+        print!("{}", t.render());
+        println!();
+        println!("Expected shapes (paper, SS V-F): oracle recording is nearly free in the");
+        println!("count kernel; the reduce after a recording count is costlier (partial");
+        println!("sums); QuickSelect's count is much faster per element but its filter");
+        println!("(bipartition) much slower, and it launches far more kernels overall.");
+    }
+}

@@ -1,0 +1,112 @@
+//! The paper's **robustness claim** (§I, §V-D): SampleSelect "does not
+//! work on the actual values but the ranks of the elements only", so it
+//! is immune to adversarial value distributions, while value-based
+//! methods (BucketSelect's uniform value-range splitting) degrade.
+//!
+//! This binary runs SampleSelect, QuickSelect, BucketSelect, and
+//! RadixSelect over a battery of distributions on the V100 and reports
+//! simulated runtime and recursion depth.
+//!
+//! ```text
+//! cargo run --release --bin robustness [--full] [--csv] [--reps N]
+//! ```
+
+use gpu_sim::arch::v100;
+use gpu_sim::Device;
+use hpc_par::ThreadPool;
+use sampleselect::{quick_select_on_device, sample_select_on_device, SampleSelectConfig};
+use select_baselines::bucketselect::bucket_select_on_device;
+use select_baselines::radixselect::radix_select_on_device;
+use select_bench::{measure, HarnessArgs, Table};
+use select_datagen::{Distribution, RankChoice, WorkloadSpec};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let reps = args.reps_or(3);
+    let n = if args.full { 1 << 26 } else { 1 << 22 };
+    let pool = ThreadPool::global();
+    let arch = v100();
+
+    let distributions = [
+        Distribution::Uniform,
+        Distribution::Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        },
+        Distribution::Exponential { lambda: 1.0 },
+        Distribution::UniformDistinct { distinct: 16 },
+        Distribution::SortedAscending,
+        Distribution::ClusteredOutliers,
+        Distribution::GeometricCascade,
+    ];
+    let algorithms = ["sampleselect", "quickselect", "bucketselect", "radixselect"];
+
+    let mut t = Table::new(vec![
+        "distribution",
+        "algorithm",
+        "runtime(ms)",
+        "levels",
+        "cv",
+    ]);
+
+    for dist in distributions {
+        let spec = WorkloadSpec {
+            n,
+            distribution: dist,
+            rank: RankChoice::Random,
+            seed: 0x0b057,
+        };
+        for algo in algorithms {
+            let mut levels = 0u32;
+            let stats = measure(reps, |rep| {
+                let w = spec.instantiate::<f32>(rep);
+                let cfg = SampleSelectConfig::tuned_for(&arch).with_seed(41 + rep);
+                let mut device = Device::new(arch.clone(), pool);
+                let report = match algo {
+                    "sampleselect" => {
+                        sample_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                            .unwrap()
+                            .report
+                    }
+                    "quickselect" => {
+                        quick_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                            .unwrap()
+                            .report
+                    }
+                    "bucketselect" => {
+                        bucket_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                            .unwrap()
+                            .report
+                    }
+                    _ => {
+                        radix_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                            .unwrap()
+                            .report
+                    }
+                };
+                levels = levels.max(report.levels);
+                report.total_time.as_ms()
+            });
+            t.row(vec![
+                dist.label(),
+                algo.to_string(),
+                format!("{:.3}", stats.mean),
+                levels.to_string(),
+                format!("{:.1}%", stats.cv() * 100.0),
+            ]);
+        }
+    }
+
+    if args.csv {
+        print!("{}", t.render_csv());
+    } else {
+        println!("Distribution robustness (Tesla V100, n = {n}, f32, {reps} reps)\n");
+        print!("{}", t.render());
+        println!();
+        println!("Expected shapes: SampleSelect's runtime and depth are flat across");
+        println!("distributions (it only ever looks at ranks); BucketSelect matches it");
+        println!("on uniform data but needs many more (full-size!) levels on");
+        println!("clustered-outliers and geometric-cascade inputs; RadixSelect is");
+        println!("distribution-independent but always pays key-width/8 levels.");
+    }
+}

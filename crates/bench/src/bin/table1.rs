@@ -1,0 +1,99 @@
+//! Regenerates **Table I**: key characteristics of the GPUs the paper
+//! evaluates on (plus the Tesla C2070 used in the §V-D comparison).
+//!
+//! ```text
+//! cargo run --release --bin table1
+//! ```
+
+use gpu_sim::arch::{all_architectures, GpuArchitecture};
+use select_bench::Table;
+
+fn row(
+    label: &str,
+    f: impl Fn(&GpuArchitecture) -> String,
+    archs: &[GpuArchitecture],
+    t: &mut Table,
+) {
+    let mut cells = vec![label.to_string()];
+    cells.extend(archs.iter().map(&f));
+    t.row(cells);
+}
+
+fn main() {
+    let archs = all_architectures();
+    let mut headers = vec!["characteristic".to_string()];
+    headers.extend(archs.iter().map(|a| a.name.to_string()));
+    let mut t = Table::new(headers);
+
+    row(
+        "Architecture",
+        |a| format!("{:?}", a.generation),
+        &archs,
+        &mut t,
+    );
+    row(
+        "DP Performance",
+        |a| format!("{} TFLOPs", a.dp_tflops),
+        &archs,
+        &mut t,
+    );
+    row(
+        "SP Performance",
+        |a| format!("{} TFLOPs", a.sp_tflops),
+        &archs,
+        &mut t,
+    );
+    row("SMs", |a| a.num_sms.to_string(), &archs, &mut t);
+    row(
+        "Operating Freq.",
+        |a| format!("{} GHz", a.clock_ghz),
+        &archs,
+        &mut t,
+    );
+    row(
+        "Mem. Capacity",
+        |a| format!("{} GB", a.mem_capacity_gib),
+        &archs,
+        &mut t,
+    );
+    row(
+        "Mem. Bandwidth",
+        |a| format!("{} GB/s", a.peak_bw_gbs),
+        &archs,
+        &mut t,
+    );
+    row(
+        "Sustained BW",
+        |a| format!("{} GB/s", a.sustained_bw_gbs),
+        &archs,
+        &mut t,
+    );
+    row(
+        "L2 Cache Size",
+        |a| format!("{} MB", a.l2_cache_mib),
+        &archs,
+        &mut t,
+    );
+    row(
+        "L1 Cache Size",
+        |a| format!("{} KB", a.l1_kib),
+        &archs,
+        &mut t,
+    );
+    row(
+        "Native shared atomics",
+        |a| a.generation.has_native_shared_atomics().to_string(),
+        &archs,
+        &mut t,
+    );
+    row(
+        "Dynamic parallelism",
+        |a| a.generation.has_dynamic_parallelism().to_string(),
+        &archs,
+        &mut t,
+    );
+
+    println!("Table I: key characteristics of the simulated NVIDIA GPUs");
+    println!("(paper values for K20Xm / V100; C2070 added for the SS V-D comparison)\n");
+    print!("{}", t.render());
+}

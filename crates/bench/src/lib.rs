@@ -1,0 +1,218 @@
+//! # select-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! paper's evaluation (§V). Each figure has a dedicated binary
+//! (`fig7`, `fig8`, `fig9`, `fig10`, `table1`, `bucketselect_compare`,
+//! `robustness`) that prints the corresponding rows/series, plus
+//! Criterion wall-clock benches of the real CPU backend.
+//!
+//! This library holds the shared pieces: repetition statistics matching
+//! the paper's measurement protocol (10 runs, average + variation,
+//! §V-B) and plain-text/CSV table output.
+
+use std::fmt::Write as _;
+
+/// Summary statistics over repeated measurements (the paper reports
+/// "the average results along with the variation", §V-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+    pub reps: usize,
+}
+
+impl Stats {
+    /// Compute statistics from raw samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        Stats {
+            mean,
+            std_dev: var.sqrt(),
+            min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            reps: samples.len(),
+        }
+    }
+
+    /// Coefficient of variation (std/mean), the "variation" of §V-B.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Run `f` for `reps` repetitions and summarize the returned samples.
+pub fn measure<F: FnMut(u64) -> f64>(reps: usize, mut f: F) -> Stats {
+    let samples: Vec<f64> = (0..reps as u64).map(&mut f).collect();
+    Stats::from_samples(&samples)
+}
+
+/// A column-aligned plain-text table writer for harness output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", cell, width = widths[i] + 2);
+                if i == ncols - 1 {
+                    out.push('\n');
+                }
+            }
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (for plotting scripts).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a throughput in elements/second the way the paper's y-axes
+/// do (engineering notation, e.g. `3.2e9`).
+pub fn fmt_throughput(elems_per_sec: f64) -> String {
+    format!("{elems_per_sec:.3e}")
+}
+
+/// Parse harness CLI flags of the form `--full` / `--csv` /
+/// `--arch <name>` from `std::env::args` (tiny helper shared by the
+/// figure binaries; a full CLI parser dependency is not justified).
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// Run the paper-scale sweep up to 2^28 (default stops at 2^24).
+    pub full: bool,
+    /// Emit CSV instead of the aligned table.
+    pub csv: bool,
+    /// Repetitions per data point (default 10 as in the paper; figure
+    /// binaries may reduce it for the quick mode).
+    pub reps: Option<usize>,
+}
+
+impl HarnessArgs {
+    pub fn parse() -> Self {
+        let mut out = HarnessArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => out.full = true,
+                "--csv" => out.csv = true,
+                "--reps" => {
+                    out.reps = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .or_else(|| panic!("--reps needs a number"));
+                }
+                other => panic!("unknown flag {other}; known: --full --csv --reps N"),
+            }
+        }
+        out
+    }
+
+    /// Repetition count: explicit `--reps`, else `dflt`.
+    pub fn reps_or(&self, dflt: usize) -> usize {
+        self.reps.unwrap_or(dflt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let s = Stats::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.reps, 3);
+        assert!((s.std_dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_single_sample() {
+        let s = Stats::from_samples(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn measure_runs_reps() {
+        let s = measure(4, |rep| rep as f64);
+        assert_eq!(s.reps, 4);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_aligned_and_csv() {
+        let mut t = Table::new(vec!["n", "throughput"]);
+        t.row(vec!["65536", "1.0e9"]);
+        t.row(vec!["1048576", "2.5e9"]);
+        let text = t.render();
+        assert!(text.contains("n"));
+        assert!(text.lines().count() == 4);
+        let csv = t.render_csv();
+        assert_eq!(csv.lines().next().unwrap(), "n,throughput");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn throughput_formatting() {
+        assert_eq!(fmt_throughput(3.2e9), "3.200e9");
+    }
+}

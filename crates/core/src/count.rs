@@ -1,0 +1,459 @@
+//! The `count` kernel (§IV-B.b): classify every element into its bucket
+//! via the implicit search tree, increment the bucket counter, and
+//! memoize the bucket index as a one-byte *oracle*.
+//!
+//! Four variants are modelled, matching the paper's §IV-G / Fig. 8
+//! (right): {shared, global} atomic counters × {with, without} warp
+//! aggregation. The functional result (bucket counts, oracles) is
+//! identical in all four; what differs is the resource usage — and with
+//! it the simulated time.
+
+use crate::element::SelectElement;
+use crate::params::{AtomicScope, SampleSelectConfig};
+use crate::searchtree::SearchTree;
+use gpu_sim::warp::{warp_atomic_stats, WARP_SIZE};
+use gpu_sim::{Device, KernelCost, LaunchOrigin, ScatterBuffer};
+
+/// Per-element bucket indexes, stored as narrowly as possible
+/// ("we use a single byte to store each oracle", §IV-B; two bytes is
+/// this workspace's `wide_oracles` ablation for b > 256).
+#[derive(Debug, Clone)]
+pub enum OracleBuf {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+}
+
+impl OracleBuf {
+    /// Bucket index of element `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> u32 {
+        match self {
+            OracleBuf::U8(v) => v[idx] as u32,
+            OracleBuf::U16(v) => v[idx] as u32,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            OracleBuf::U8(v) => v.len(),
+            OracleBuf::U16(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes one oracle occupies.
+    pub fn entry_bytes(&self) -> usize {
+        match self {
+            OracleBuf::U8(_) => 1,
+            OracleBuf::U16(_) => 2,
+        }
+    }
+}
+
+/// Output of one count-kernel launch.
+#[derive(Debug)]
+pub struct CountResult {
+    /// Total elements per bucket (`n_i` of §II-A).
+    pub counts: Vec<u64>,
+    /// Block-local partial counts in *bucket-major* layout:
+    /// `partials[bucket * blocks + block]`. The exclusive scan of this
+    /// array is exactly what the `reduce` kernel produces and the
+    /// `filter` kernel consumes (§IV-G: "the prefix sums from one kernel
+    /// can be used in the other one").
+    pub partials: Vec<u64>,
+    /// Grid size that produced the partials.
+    pub blocks: usize,
+    /// Per-element oracles (absent in count-only / approximate mode).
+    pub oracles: Option<OracleBuf>,
+}
+
+impl CountResult {
+    /// Number of elements counted.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Run the count kernel over `data` on `device`.
+///
+/// `write_oracles = false` is the count-only mode used by approximate
+/// selection (§V-G) — it skips the oracle store entirely ("count w.o.
+/// write" in Fig. 9).
+pub fn count_kernel<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    tree: &SearchTree<T>,
+    cfg: &SampleSelectConfig,
+    write_oracles: bool,
+    origin: LaunchOrigin,
+) -> CountResult {
+    let n = data.len();
+    let b = tree.num_buckets();
+    let launch = cfg.launch_config(n, T::BYTES);
+    let blocks = launch.blocks as usize;
+    let chunk = launch.block_chunk(n);
+    let height = tree.height() as u64;
+    let oracle_bytes = cfg.oracle_bytes();
+
+    let partials = ScatterBuffer::<u64>::new(b * blocks);
+    let oracle_u8 = if write_oracles && oracle_bytes == 1 {
+        Some(ScatterBuffer::<u8>::new(n))
+    } else {
+        None
+    };
+    let oracle_u16 = if write_oracles && oracle_bytes == 2 {
+        Some(ScatterBuffer::<u16>::new(n))
+    } else {
+        None
+    };
+
+    // One parallel pass over the grid: each simulated block classifies
+    // its chunk warp by warp, with exact per-warp collision analysis.
+    let partials_ref = &partials;
+    let oracle_u8_ref = &oracle_u8;
+    let oracle_u16_ref = &oracle_u16;
+    let (mut cost, _lanes_total, distinct_total) = hpc_par::parallel_map_reduce(
+        device.pool(),
+        blocks,
+        1,
+        (KernelCost::new(), 0u64, 0u64),
+        |range, acc| {
+            let (mut cost, mut lanes_total, mut distinct_total) = acc;
+            let mut local = vec![0u64; b];
+            let mut scratch = vec![0u32; b];
+            let mut warp_buckets = [0u32; WARP_SIZE];
+            for block in range {
+                let start = block * chunk;
+                let end = ((block + 1) * chunk).min(n);
+                local.iter_mut().for_each(|c| *c = 0);
+                if start < end {
+                    let mut idx = start;
+                    while idx < end {
+                        let wlen = WARP_SIZE.min(end - idx);
+                        for lane in 0..wlen {
+                            let bucket = tree.lookup(data[idx + lane]);
+                            warp_buckets[lane] = bucket;
+                            local[bucket as usize] += 1;
+                            // SAFETY: each element index is owned by
+                            // exactly one block chunk.
+                            unsafe {
+                                if let Some(o) = oracle_u8_ref {
+                                    o.write(idx + lane, bucket as u8);
+                                } else if let Some(o) = oracle_u16_ref {
+                                    o.write(idx + lane, bucket as u16);
+                                }
+                            }
+                        }
+                        let stats = warp_atomic_stats(&warp_buckets[..wlen], &mut scratch);
+                        lanes_total += stats.lanes as u64;
+                        distinct_total += stats.distinct as u64;
+                        match cfg.atomic_scope {
+                            AtomicScope::Shared => {
+                                // One warp-wide atomic instruction; extra
+                                // same-address replays unless aggregated.
+                                cost.shared_atomic_warp_ops += 1;
+                                if !cfg.warp_aggregation {
+                                    cost.shared_atomic_replays +=
+                                        stats.max_multiplicity.saturating_sub(1) as u64;
+                                }
+                            }
+                            AtomicScope::Global => {
+                                cost.global_atomic_ops += if cfg.warp_aggregation {
+                                    stats.distinct as u64
+                                } else {
+                                    stats.lanes as u64
+                                };
+                            }
+                        }
+                        if cfg.warp_aggregation {
+                            // Fig. 6: tree_height ballots per warp.
+                            cost.warp_intrinsics += height;
+                        }
+                        idx += wlen;
+                    }
+                    let len = (end - start) as u64;
+                    cost.global_read_bytes += len * T::BYTES as u64;
+                    // Tree traversal: one shared-memory node read and a
+                    // couple of integer ops per level per element.
+                    cost.smem_bytes += len * height * T::BYTES as u64;
+                    cost.int_ops += len * (2 * height + 1);
+                    if write_oracles {
+                        cost.global_write_bytes += len * oracle_bytes as u64;
+                    }
+                }
+                // Store this block's partial counts (bucket-major slot).
+                for (bucket, &c) in local.iter().enumerate() {
+                    // SAFETY: (bucket, block) pairs are unique per block.
+                    unsafe { partials_ref.write(bucket * blocks + block, c) };
+                }
+                if start >= end {
+                    // empty tail block: zero partials already written
+                    continue;
+                }
+                match cfg.atomic_scope {
+                    AtomicScope::Shared => {
+                        // Block writes its b partial counters to global
+                        // memory for the reduce kernel.
+                        cost.global_write_bytes += b as u64 * 4;
+                    }
+                    AtomicScope::Global => {
+                        // Counters live in global memory already; no
+                        // partial store needed.
+                    }
+                }
+                cost.blocks += 1;
+            }
+            (cost, lanes_total, distinct_total)
+        },
+        |mut a, b| {
+            a.0.merge(&b.0);
+            (a.0, a.1 + b.1, a.2 + b.2)
+        },
+    );
+
+    // SAFETY: every (bucket, block) slot was written exactly once above.
+    let partials = unsafe { partials.into_vec(b * blocks) };
+    let mut counts = vec![0u64; b];
+    for bucket in 0..b {
+        counts[bucket] = partials[bucket * blocks..(bucket + 1) * blocks]
+            .iter()
+            .sum();
+    }
+
+    // Same-address serialization for the global-counter variant: the
+    // hottest address receives `max(counts)` increments device-wide;
+    // warp aggregation reduces per-address traffic by the measured
+    // dedup factor.
+    if cfg.atomic_scope == AtomicScope::Global {
+        let hot = counts.iter().copied().max().unwrap_or(0);
+        cost.global_atomic_hot_ops = if cfg.warp_aggregation && n > 0 {
+            let factor = distinct_total as f64 / n.max(1) as f64;
+            (hot as f64 * factor).ceil() as u64
+        } else {
+            hot
+        };
+    }
+
+    let name = if write_oracles {
+        "count"
+    } else {
+        "count_nowrite"
+    };
+    device.commit(name, launch, origin, cost);
+
+    let oracles = match (oracle_u8, oracle_u16) {
+        // SAFETY: all n element slots were written exactly once.
+        (Some(o), None) => Some(OracleBuf::U8(unsafe { o.into_vec(n) })),
+        (None, Some(o)) => Some(OracleBuf::U16(unsafe { o.into_vec(n) })),
+        _ => None,
+    };
+
+    CountResult {
+        counts,
+        partials,
+        blocks,
+        oracles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use gpu_sim::arch::{k20xm, v100};
+    use hpc_par::ThreadPool;
+
+    fn tree4() -> SearchTree<f32> {
+        // buckets: (-inf,10) [10,20) [20,30) [30,inf)
+        SearchTree::build(&[10.0, 20.0, 30.0])
+    }
+
+    fn cfg4() -> SampleSelectConfig {
+        SampleSelectConfig::default().with_buckets(4)
+    }
+
+    fn run(
+        data: &[f32],
+        cfg: &SampleSelectConfig,
+        write_oracles: bool,
+    ) -> (CountResult, gpu_sim::KernelCost) {
+        let pool = ThreadPool::new(4);
+        let mut device = Device::new(v100(), &pool);
+        let res = count_kernel(
+            &mut device,
+            data,
+            &tree4(),
+            cfg,
+            write_oracles,
+            LaunchOrigin::Host,
+        );
+        let cost = device.records()[0].cost;
+        (res, cost)
+    }
+
+    #[test]
+    fn counts_match_reference() {
+        let data = vec![5.0f32, 15.0, 25.0, 35.0, 10.0, 20.0, 30.0, 9.99];
+        let (res, _) = run(&data, &cfg4(), true);
+        assert_eq!(res.counts, vec![2, 2, 2, 2]);
+        assert_eq!(res.total(), 8);
+    }
+
+    #[test]
+    fn oracles_record_bucket_of_every_element() {
+        let data = vec![5.0f32, 15.0, 25.0, 35.0];
+        let (res, _) = run(&data, &cfg4(), true);
+        let oracles = res.oracles.unwrap();
+        assert_eq!(oracles.entry_bytes(), 1);
+        assert_eq!(
+            (0..4).map(|i| oracles.get(i)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn count_only_mode_skips_oracles() {
+        let data = vec![5.0f32, 15.0];
+        let (res, cost) = run(&data, &cfg4(), false);
+        assert!(res.oracles.is_none());
+        // Only the per-block partial-count store remains (b counters x
+        // 4 bytes x 1 block) — no per-element oracle bytes.
+        assert_eq!(cost.global_write_bytes, 4 * 4);
+    }
+
+    #[test]
+    fn partials_sum_to_counts_across_blocks() {
+        let mut rng = SplitMix64::new(5);
+        let data: Vec<f32> = (0..100_000).map(|_| rng.next_f64() as f32 * 40.0).collect();
+        let cfg = cfg4();
+        let (res, _) = run(&data, &cfg, true);
+        assert!(res.blocks > 1, "need a multi-block grid for this test");
+        for bucket in 0..4 {
+            let sum: u64 = res.partials[bucket * res.blocks..(bucket + 1) * res.blocks]
+                .iter()
+                .sum();
+            assert_eq!(sum, res.counts[bucket]);
+        }
+        // reference counts
+        let mut expected = vec![0u64; 4];
+        for &x in &data {
+            expected[tree4().lookup(x) as usize] += 1;
+        }
+        assert_eq!(res.counts, expected);
+    }
+
+    #[test]
+    fn shared_scope_charges_shared_atomics_only() {
+        let data: Vec<f32> = (0..10_000).map(|i| (i % 40) as f32).collect();
+        let cfg = cfg4().with_atomic_scope(AtomicScope::Shared);
+        let (_, cost) = run(&data, &cfg, true);
+        assert!(cost.shared_atomic_warp_ops > 0);
+        assert_eq!(cost.global_atomic_ops, 0);
+        assert_eq!(cost.global_atomic_hot_ops, 0);
+    }
+
+    #[test]
+    fn global_scope_charges_global_atomics_only() {
+        let data: Vec<f32> = (0..10_000).map(|i| (i % 40) as f32).collect();
+        let cfg = cfg4().with_atomic_scope(AtomicScope::Global);
+        let (res, cost) = run(&data, &cfg, true);
+        assert_eq!(cost.shared_atomic_warp_ops, 0);
+        assert_eq!(
+            cost.global_atomic_ops, 10_000,
+            "one op per element without aggregation"
+        );
+        assert_eq!(
+            cost.global_atomic_hot_ops,
+            *res.counts.iter().max().unwrap()
+        );
+    }
+
+    #[test]
+    fn duplicate_heavy_input_collides_without_aggregation() {
+        // d = 1: every element hits the same counter.
+        let data = vec![5.0f32; 32 * 100];
+        let no_agg = cfg4().with_warp_aggregation(false);
+        let agg = cfg4().with_warp_aggregation(true);
+        let (_, cost_no) = run(&data, &no_agg, true);
+        let (_, cost_agg) = run(&data, &agg, true);
+        // Without aggregation each full warp pays 31 extra same-address
+        // replays; with aggregation none.
+        assert_eq!(cost_no.shared_atomic_warp_ops, 100);
+        assert_eq!(cost_no.shared_atomic_replays, 31 * 100);
+        assert_eq!(cost_agg.shared_atomic_warp_ops, 100);
+        assert_eq!(cost_agg.shared_atomic_replays, 0);
+        // Aggregation pays ballots instead.
+        assert_eq!(cost_no.warp_intrinsics, 0);
+        assert_eq!(cost_agg.warp_intrinsics, 100 * 2); // height = log2(4) = 2
+    }
+
+    #[test]
+    fn aggregation_reduces_global_hot_ops_for_duplicates() {
+        let data = vec![5.0f32; 3200];
+        let base = cfg4().with_atomic_scope(AtomicScope::Global);
+        let (_, cost_no) = run(&data, &base.clone().with_warp_aggregation(false), true);
+        let (_, cost_agg) = run(&data, &base.with_warp_aggregation(true), true);
+        assert_eq!(cost_no.global_atomic_hot_ops, 3200);
+        assert!(cost_agg.global_atomic_hot_ops <= 3200 / 16);
+    }
+
+    #[test]
+    fn memory_traffic_accounts_reads_and_oracle_writes() {
+        let data: Vec<f32> = (0..50_000).map(|i| (i % 40) as f32).collect();
+        let (_, cost) = run(&data, &cfg4(), true);
+        assert!(cost.global_read_bytes >= 50_000 * 4);
+        // oracle store: 1 byte per element; plus per-block partial store
+        assert!(cost.global_write_bytes >= 50_000);
+    }
+
+    #[test]
+    fn kepler_vs_volta_shared_atomic_times_differ() {
+        // The same workload on the two architectures: identical
+        // functional result, very different simulated cost.
+        let pool = ThreadPool::new(4);
+        let mut rng = SplitMix64::new(9);
+        let data: Vec<f32> = (0..200_000).map(|_| rng.next_f64() as f32 * 40.0).collect();
+        let cfg = cfg4();
+        let mut dk = Device::new(k20xm(), &pool);
+        let mut dv = Device::new(v100(), &pool);
+        let rk = count_kernel(&mut dk, &data, &tree4(), &cfg, true, LaunchOrigin::Host);
+        let rv = count_kernel(&mut dv, &data, &tree4(), &cfg, true, LaunchOrigin::Host);
+        assert_eq!(
+            rk.counts, rv.counts,
+            "functional result is arch-independent"
+        );
+        let tk = dk.records()[0].duration;
+        let tv = dv.records()[0].duration;
+        assert!(tk.as_ns() > tv.as_ns(), "K20Xm must be slower overall");
+    }
+
+    #[test]
+    fn empty_tail_blocks_are_harmless() {
+        // n much smaller than one block's capacity: grid has one block.
+        let data = vec![1.0f32, 11.0, 21.0, 31.0];
+        let (res, _) = run(&data, &cfg4(), true);
+        assert_eq!(res.blocks, 1);
+        assert_eq!(res.total(), 4);
+    }
+
+    #[test]
+    fn wide_oracles_for_512_buckets() {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let splitters: Vec<f32> = (1..512).map(|i| i as f32).collect();
+        let tree = SearchTree::build(&splitters);
+        let cfg = SampleSelectConfig::default()
+            .with_buckets(512)
+            .with_wide_oracles(true);
+        let data: Vec<f32> = (0..2048).map(|i| (i % 600) as f32).collect();
+        let res = count_kernel(&mut device, &data, &tree, &cfg, true, LaunchOrigin::Host);
+        let oracles = res.oracles.unwrap();
+        assert_eq!(oracles.entry_bytes(), 2);
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(oracles.get(i), tree.lookup(x));
+        }
+    }
+}

@@ -1,0 +1,563 @@
+//! The real multithreaded CPU backend.
+//!
+//! Same algorithm as the simulated SampleSelect — sampled splitters,
+//! implicit search tree, histogram, bucket filter, recursion with
+//! equality buckets — executed for genuine wall-clock speed on host
+//! threads. Per-thread local histograms play the role of shared-memory
+//! counters, and the merge step plays the role of the `reduce` kernel.
+//! Criterion benchmarks in the `select-bench` crate measure this
+//! backend; it is also a practically useful parallel `nth_element`.
+
+use crate::element::SelectElement;
+use crate::rng::SplitMix64;
+use crate::searchtree::SearchTree;
+use crate::SelectError;
+use gpu_sim::ScatterBuffer;
+use hpc_par::ThreadPool;
+
+/// Tuning knobs of the CPU backend.
+#[derive(Debug, Clone)]
+pub struct CpuSelectConfig {
+    /// Buckets per recursion level.
+    pub num_buckets: usize,
+    /// Sample size = `oversampling * num_buckets`.
+    pub oversampling: usize,
+    /// Below this size, sort sequentially and return directly.
+    pub base_case_size: usize,
+    /// RNG seed for splitter sampling.
+    pub seed: u64,
+}
+
+impl Default for CpuSelectConfig {
+    fn default() -> Self {
+        Self {
+            num_buckets: 256,
+            oversampling: 4,
+            base_case_size: 8192,
+            seed: 0xc0ffee,
+        }
+    }
+}
+
+/// Statistics of one CPU selection run.
+#[derive(Debug, Clone, Default)]
+pub struct CpuSelectStats {
+    /// Recursion levels executed.
+    pub levels: u32,
+    /// Total elements touched across all levels (the `(1+ε)n` of §IV-A).
+    pub elements_scanned: u64,
+    /// Whether an equality bucket terminated the run early.
+    pub terminated_early: bool,
+}
+
+/// Parallel exact selection on the host: the `rank`-th smallest element.
+pub fn cpu_sample_select<T: SelectElement>(
+    pool: &ThreadPool,
+    data: &[T],
+    rank: usize,
+    cfg: &CpuSelectConfig,
+) -> Result<(T, CpuSelectStats), SelectError> {
+    if data.is_empty() {
+        return Err(SelectError::EmptyInput);
+    }
+    if rank >= data.len() {
+        return Err(SelectError::RankOutOfRange {
+            rank,
+            len: data.len(),
+        });
+    }
+    assert!(
+        cfg.num_buckets.is_power_of_two() && cfg.num_buckets >= 4,
+        "bucket count must be a power of two >= 4"
+    );
+
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut stats = CpuSelectStats::default();
+    let mut storage: Vec<T> = Vec::new();
+    let mut use_storage = false;
+    let mut k = rank;
+
+    loop {
+        let cur: &[T] = if use_storage { &storage } else { data };
+        let n = cur.len();
+        if n <= cfg.base_case_size.max(cfg.num_buckets * cfg.oversampling) {
+            let mut buf = cur.to_vec();
+            let (_, kth, _) = buf.select_nth_unstable_by(k, |a, b| a.total_cmp(*b));
+            return Ok((*kth, stats));
+        }
+        stats.levels += 1;
+        stats.elements_scanned += n as u64;
+
+        // Sample and build the splitter tree.
+        let s = cfg.num_buckets * cfg.oversampling;
+        let mut sample: Vec<T> = (0..s).map(|_| cur[rng.next_below(n)]).collect();
+        sample.sort_unstable_by(|a, b| a.total_cmp(*b));
+        let splitters: Vec<T> = (1..cfg.num_buckets)
+            .map(|i| sample[i * s / cfg.num_buckets])
+            .collect();
+        let tree = SearchTree::build(&splitters);
+        let tree_ref = &tree;
+
+        // Pass 1: parallel histogram over per-thread local bins.
+        let counts = hpc_par::parallel_histogram(pool, n, cfg.num_buckets, |range, local| {
+            for &x in &cur[range] {
+                local[tree_ref.lookup(x) as usize] += 1;
+            }
+        });
+
+        // Prefix sums -> bucket offsets; pick the bucket containing k.
+        let mut offsets = counts.clone();
+        let total = hpc_par::exclusive_scan(&mut offsets);
+        debug_assert_eq!(total, n as u64);
+        let bucket = hpc_par::scan::bucket_for_rank(&offsets, k as u64);
+
+        if tree.is_equality_bucket(bucket) {
+            stats.terminated_early = true;
+            return Ok((tree.equality_value(bucket), stats));
+        }
+
+        // Pass 2: extract the target bucket with a chunked two-phase
+        // write (count-per-chunk, scan, place) — same structure as the
+        // GPU filter kernel. Bucket membership needs only the two
+        // boundary splitters, not a full tree walk.
+        let lower = tree.bucket_lower(bucket);
+        let upper = tree.bucket_lower(bucket + 1);
+        let in_bucket = move |x: T| -> bool {
+            let above = match lower {
+                Some(lo) => !x.lt(lo),
+                None => true,
+            };
+            let below = match upper {
+                Some(hi) => x.lt(hi),
+                None => true,
+            };
+            above && below
+        };
+
+        let chunk = n.div_ceil(pool.num_threads() * 8).max(4096);
+        let num_chunks = n.div_ceil(chunk);
+        let mut chunk_counts = hpc_par::parallel_map_collect(pool, num_chunks, |c| {
+            let start = c * chunk;
+            let end = (start + chunk).min(n);
+            cur[start..end].iter().filter(|&&x| in_bucket(x)).count() as u64
+        });
+        let matched = hpc_par::exclusive_scan(&mut chunk_counts) as usize;
+        debug_assert_eq!(matched as u64, counts[bucket]);
+
+        let out = ScatterBuffer::<T>::new(matched);
+        let out_ref = &out;
+        let chunk_counts_ref = &chunk_counts;
+        hpc_par::parallel_for_chunks(pool, num_chunks, 1, |chunk_range| {
+            for c in chunk_range {
+                let start = c * chunk;
+                let end = (start + chunk).min(n);
+                let mut pos = chunk_counts_ref[c];
+                for &x in &cur[start..end] {
+                    if in_bucket(x) {
+                        // SAFETY: chunk scans assign disjoint ranges.
+                        unsafe { out_ref.write(pos as usize, x) };
+                        pos += 1;
+                    }
+                }
+            }
+        });
+        // SAFETY: all `matched` slots written exactly once.
+        let next = unsafe { out.into_vec(matched) };
+
+        k -= offsets[bucket] as usize;
+        debug_assert!(k < next.len());
+        storage = next;
+        use_storage = true;
+
+        if stats.levels > 64 {
+            return Err(SelectError::RecursionLimit);
+        }
+    }
+}
+
+/// Parallel approximate selection on the host: one histogram level,
+/// returning `(value, achieved_rank)` for the splitter nearest `rank`.
+pub fn cpu_approx_select<T: SelectElement>(
+    pool: &ThreadPool,
+    data: &[T],
+    rank: usize,
+    cfg: &CpuSelectConfig,
+) -> Result<(T, u64), SelectError> {
+    if data.is_empty() {
+        return Err(SelectError::EmptyInput);
+    }
+    if rank >= data.len() {
+        return Err(SelectError::RankOutOfRange {
+            rank,
+            len: data.len(),
+        });
+    }
+    let n = data.len();
+    let mut rng = SplitMix64::new(cfg.seed);
+    let s = cfg.num_buckets * cfg.oversampling;
+    let mut sample: Vec<T> = (0..s).map(|_| data[rng.next_below(n)]).collect();
+    sample.sort_unstable_by(|a, b| a.total_cmp(*b));
+    let splitters: Vec<T> = (1..cfg.num_buckets)
+        .map(|i| sample[i * s / cfg.num_buckets])
+        .collect();
+    let tree = SearchTree::build(&splitters);
+    let tree_ref = &tree;
+    let counts = hpc_par::parallel_histogram(pool, n, cfg.num_buckets, |range, local| {
+        for &x in &data[range] {
+            local[tree_ref.lookup(x) as usize] += 1;
+        }
+    });
+    let mut offsets = counts;
+    hpc_par::exclusive_scan(&mut offsets);
+    let target = rank as u64;
+    let (best_bucket, _) = (1..cfg.num_buckets)
+        .map(|i| (i, offsets[i].abs_diff(target)))
+        .min_by_key(|&(_, e)| e)
+        .expect("at least one splitter");
+    Ok((
+        tree.bucket_lower(best_bucket).expect("splitter exists"),
+        offsets[best_bucket],
+    ))
+}
+
+/// Parallel top-k on the host: the `k` largest elements (unordered)
+/// and the threshold value.
+pub fn cpu_top_k<T: SelectElement>(
+    pool: &ThreadPool,
+    data: &[T],
+    k: usize,
+    cfg: &CpuSelectConfig,
+) -> Result<(Vec<T>, T), SelectError> {
+    if k == 0 || k > data.len() {
+        return Err(SelectError::RankOutOfRange {
+            rank: k,
+            len: data.len(),
+        });
+    }
+    let rank = data.len() - k;
+    let (threshold, _) = cpu_sample_select(pool, data, rank, cfg)?;
+
+    // Gather everything strictly above the threshold in parallel, then
+    // pad with threshold-equal elements to exactly k (ties at the
+    // boundary are broken arbitrarily, as in the device top-k).
+    let n = data.len();
+    let chunk = n.div_ceil(pool.num_threads() * 8).max(4096);
+    let num_chunks = n.div_ceil(chunk);
+    let mut above_counts = hpc_par::parallel_map_collect(pool, num_chunks, |c| {
+        let start = c * chunk;
+        let end = (start + chunk).min(n);
+        data[start..end]
+            .iter()
+            .filter(|&&x| threshold.lt(x))
+            .count() as u64
+    });
+    let above = hpc_par::exclusive_scan(&mut above_counts) as usize;
+    debug_assert!(above <= k);
+
+    let out = ScatterBuffer::<T>::new(above);
+    let out_ref = &out;
+    let above_counts_ref = &above_counts;
+    hpc_par::parallel_for_chunks(pool, num_chunks, 1, |range| {
+        for c in range {
+            let start = c * chunk;
+            let end = (start + chunk).min(n);
+            let mut pos = above_counts_ref[c];
+            for &x in &data[start..end] {
+                if threshold.lt(x) {
+                    // SAFETY: chunk scans assign disjoint output ranges.
+                    unsafe { out_ref.write(pos as usize, x) };
+                    pos += 1;
+                }
+            }
+        }
+    });
+    // SAFETY: all `above` slots written exactly once.
+    let mut result = unsafe { out.into_vec(above) };
+    result.extend(std::iter::repeat_n(threshold, k - above));
+    Ok((result, threshold))
+}
+
+/// Parallel multi-rank selection on the host: values for several ranks
+/// sharing one histogram pass per level (the future-work extension of
+/// SS VI, host edition).
+pub fn cpu_multi_select<T: SelectElement>(
+    pool: &ThreadPool,
+    data: &[T],
+    ranks: &[usize],
+    cfg: &CpuSelectConfig,
+) -> Result<Vec<T>, SelectError> {
+    if data.is_empty() && !ranks.is_empty() {
+        return Err(SelectError::EmptyInput);
+    }
+    for &r in ranks {
+        if r >= data.len() {
+            return Err(SelectError::RankOutOfRange {
+                rank: r,
+                len: data.len(),
+            });
+        }
+    }
+    // Small rank sets: resolve recursively; each level's histogram is
+    // shared by every rank that still maps into this segment.
+    let mut results = vec![None; ranks.len()];
+    let queries: Vec<(usize, usize)> = ranks.iter().copied().enumerate().collect();
+    cpu_multi_rec(pool, data, queries, cfg, 0, &mut results)?;
+    Ok(results.into_iter().map(|v| v.expect("resolved")).collect())
+}
+
+fn cpu_multi_rec<T: SelectElement>(
+    pool: &ThreadPool,
+    data: &[T],
+    queries: Vec<(usize, usize)>,
+    cfg: &CpuSelectConfig,
+    depth: u32,
+    results: &mut [Option<T>],
+) -> Result<(), SelectError> {
+    if queries.is_empty() {
+        return Ok(());
+    }
+    if depth > 64 {
+        return Err(SelectError::RecursionLimit);
+    }
+    if data.len() <= cfg.base_case_size.max(cfg.num_buckets * cfg.oversampling) {
+        let mut buf = data.to_vec();
+        buf.sort_unstable_by(|a, b| a.total_cmp(*b));
+        for (qi, rank) in queries {
+            results[qi] = Some(buf[rank]);
+        }
+        return Ok(());
+    }
+    let mut rng = SplitMix64::new(cfg.seed ^ (depth as u64) << 32);
+    let s = cfg.num_buckets * cfg.oversampling;
+    let mut sample: Vec<T> = (0..s).map(|_| data[rng.next_below(data.len())]).collect();
+    sample.sort_unstable_by(|a, b| a.total_cmp(*b));
+    let splitters: Vec<T> = (1..cfg.num_buckets)
+        .map(|i| sample[i * s / cfg.num_buckets])
+        .collect();
+    let tree = SearchTree::build(&splitters);
+    let tree_ref = &tree;
+    let counts = hpc_par::parallel_histogram(pool, data.len(), cfg.num_buckets, |range, local| {
+        for &x in &data[range] {
+            local[tree_ref.lookup(x) as usize] += 1;
+        }
+    });
+    let mut offsets = counts;
+    hpc_par::exclusive_scan(&mut offsets);
+
+    // Group queries by bucket.
+    let mut by_bucket: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+    for (qi, rank) in queries {
+        let bucket = hpc_par::scan::bucket_for_rank(&offsets, rank as u64);
+        match by_bucket.iter_mut().find(|(b, _)| *b == bucket) {
+            Some((_, qs)) => qs.push((qi, rank)),
+            None => by_bucket.push((bucket, vec![(qi, rank)])),
+        }
+    }
+    for (bucket, qs) in by_bucket {
+        if tree.is_equality_bucket(bucket) {
+            let v = tree.equality_value(bucket);
+            for (qi, _) in qs {
+                results[qi] = Some(v);
+            }
+            continue;
+        }
+        let lower = tree.bucket_lower(bucket);
+        let upper = tree.bucket_lower(bucket + 1);
+        let sub: Vec<T> = data
+            .iter()
+            .copied()
+            .filter(|&x| {
+                let above = lower.is_none_or(|lo| !x.lt(lo));
+                let below = upper.is_none_or(|hi| x.lt(hi));
+                above && below
+            })
+            .collect();
+        let offset = offsets[bucket] as usize;
+        let qs: Vec<(usize, usize)> = qs.into_iter().map(|(qi, r)| (qi, r - offset)).collect();
+        cpu_multi_rec(pool, &sub, qs, cfg, depth + 1, results)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::reference_select;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() as f32).collect()
+    }
+
+    #[test]
+    fn matches_reference_on_random_data() {
+        let p = pool();
+        let data = uniform(300_000, 1);
+        let cfg = CpuSelectConfig::default();
+        for rank in [0usize, 1, 150_000, 299_999] {
+            let (v, _) = cpu_sample_select(&p, &data, rank, &cfg).unwrap();
+            assert_eq!(v, reference_select(&data, rank).unwrap(), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn handles_duplicates_with_early_termination() {
+        let p = pool();
+        let mut rng = SplitMix64::new(2);
+        let data: Vec<f32> = (0..200_000)
+            .map(|_| (rng.next_below(4) as f32) * 3.0)
+            .collect();
+        let cfg = CpuSelectConfig::default();
+        let (v, stats) = cpu_sample_select(&p, &data, 100_000, &cfg).unwrap();
+        assert_eq!(v, reference_select(&data, 100_000).unwrap());
+        assert!(stats.terminated_early);
+    }
+
+    #[test]
+    fn all_equal_input() {
+        let p = pool();
+        let data = vec![9.5f32; 100_000];
+        let (v, stats) = cpu_sample_select(&p, &data, 50_000, &CpuSelectConfig::default()).unwrap();
+        assert_eq!(v, 9.5);
+        assert!(stats.terminated_early);
+    }
+
+    #[test]
+    fn scans_close_to_n_elements() {
+        // The (1+eps)n property of §IV-A: total scanned work across all
+        // levels is barely more than n.
+        let p = pool();
+        let data = uniform(1 << 20, 3);
+        let (_, stats) =
+            cpu_sample_select(&p, &data, 1 << 19, &CpuSelectConfig::default()).unwrap();
+        let scanned = stats.elements_scanned as f64;
+        let n = data.len() as f64;
+        assert!(scanned < 1.1 * n, "scanned {scanned} vs n {n}");
+    }
+
+    #[test]
+    fn integer_and_double_types() {
+        let p = pool();
+        let mut rng = SplitMix64::new(4);
+        let ints: Vec<i64> = (0..100_000).map(|_| rng.next_u64() as i64).collect();
+        let (v, _) = cpu_sample_select(&p, &ints, 70_000, &CpuSelectConfig::default()).unwrap();
+        assert_eq!(v, reference_select(&ints, 70_000).unwrap());
+        let doubles: Vec<f64> = (0..100_000).map(|_| rng.next_f64() - 0.5).collect();
+        let (v, _) = cpu_sample_select(&p, &doubles, 99_999, &CpuSelectConfig::default()).unwrap();
+        assert_eq!(v, reference_select(&doubles, 99_999).unwrap());
+    }
+
+    #[test]
+    fn small_inputs_use_base_case() {
+        let p = pool();
+        let data = vec![3.0f32, 1.0, 2.0];
+        let (v, stats) = cpu_sample_select(&p, &data, 1, &CpuSelectConfig::default()).unwrap();
+        assert_eq!(v, 2.0);
+        assert_eq!(stats.levels, 0);
+    }
+
+    #[test]
+    fn errors() {
+        let p = pool();
+        let cfg = CpuSelectConfig::default();
+        assert_eq!(
+            cpu_sample_select::<f32>(&p, &[], 0, &cfg).unwrap_err(),
+            SelectError::EmptyInput
+        );
+        assert!(matches!(
+            cpu_sample_select(&p, &[1.0f32], 5, &cfg).unwrap_err(),
+            SelectError::RankOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn approx_rank_is_exact_rank_of_value() {
+        let p = pool();
+        let data = uniform(200_000, 5);
+        let (v, achieved) =
+            cpu_approx_select(&p, &data, 100_000, &CpuSelectConfig::default()).unwrap();
+        let true_rank = data.iter().filter(|&&x| x < v).count() as u64;
+        assert_eq!(achieved, true_rank);
+        assert!(achieved.abs_diff(100_000) < 20_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = pool();
+        let data = uniform(150_000, 6);
+        let cfg = CpuSelectConfig::default();
+        let (v1, s1) = cpu_sample_select(&p, &data, 42, &cfg).unwrap();
+        let (v2, s2) = cpu_sample_select(&p, &data, 42, &cfg).unwrap();
+        assert_eq!(v1, v2);
+        assert_eq!(s1.levels, s2.levels);
+    }
+
+    #[test]
+    fn cpu_top_k_matches_sorted_suffix() {
+        let p = pool();
+        let data = uniform(100_000, 10);
+        for k in [1usize, 100, 50_000] {
+            let (top, threshold) = cpu_top_k(&p, &data, k, &CpuSelectConfig::default()).unwrap();
+            assert_eq!(top.len(), k);
+            let mut sorted = data.clone();
+            crate::element::sort_elements(&mut sorted);
+            assert_eq!(threshold, sorted[data.len() - k]);
+            let mut got: Vec<u32> = top.iter().map(|x| x.to_bits()).collect();
+            let mut expected: Vec<u32> = sorted[data.len() - k..]
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            got.sort_unstable();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn cpu_top_k_with_boundary_ties() {
+        let p = pool();
+        let data = vec![1.0f32, 2.0, 2.0, 2.0, 3.0];
+        let (top, threshold) = cpu_top_k(&p, &data, 3, &CpuSelectConfig::default()).unwrap();
+        assert_eq!(threshold, 2.0);
+        assert_eq!(top.len(), 3);
+        assert!(top.contains(&3.0));
+        assert_eq!(top.iter().filter(|&&x| x == 2.0).count(), 2);
+    }
+
+    #[test]
+    fn cpu_multi_select_matches_reference() {
+        let p = pool();
+        let data = uniform(150_000, 11);
+        let ranks = [0usize, 42, 75_000, 149_999];
+        let values = cpu_multi_select(&p, &data, &ranks, &CpuSelectConfig::default()).unwrap();
+        for (i, &r) in ranks.iter().enumerate() {
+            assert_eq!(values[i], reference_select(&data, r).unwrap(), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn cpu_multi_select_duplicate_heavy() {
+        let p = pool();
+        let mut rng = SplitMix64::new(12);
+        let data: Vec<f32> = (0..80_000)
+            .map(|_| (rng.next_below(4) as f32) * 2.0)
+            .collect();
+        let ranks = [0usize, 40_000, 79_999];
+        let values = cpu_multi_select(&p, &data, &ranks, &CpuSelectConfig::default()).unwrap();
+        for (i, &r) in ranks.iter().enumerate() {
+            assert_eq!(values[i], reference_select(&data, r).unwrap());
+        }
+    }
+
+    #[test]
+    fn cpu_top_k_errors() {
+        let p = pool();
+        let data = vec![1.0f32];
+        assert!(cpu_top_k(&p, &data, 0, &CpuSelectConfig::default()).is_err());
+        assert!(cpu_top_k(&p, &data, 2, &CpuSelectConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,398 @@
+//! The element trait all selection algorithms are generic over.
+//!
+//! The paper's SampleSelect is *purely comparison-based* (§III): kernels
+//! only use the relative order of elements, never their numeric
+//! magnitude. [`SelectElement`] captures exactly what the kernels need:
+//! a strict weak order ([`SelectElement::lt`]), the successor operation
+//! used by the equality-bucket trick (§IV-C replaces a duplicated
+//! splitter `s_e` by `s_e + ε`; the tightest such ε is "next
+//! representable value"), and a monotone mapping to unsigned bits that
+//! the RadixSelect baseline and robustness tests use.
+//!
+//! # Floating-point caveats
+//!
+//! `f32`/`f64` implementations order by the IEEE total order on
+//! non-NaN values. NaNs are rejected by the input validation available
+//! through the driver configuration; feeding NaNs without validation is
+//! not UB but yields an unspecified (not crash-free-guaranteed-correct)
+//! selection result, exactly like passing NaN to `sort_by` with
+//! `partial_cmp().unwrap()` would panic — we instead order NaN as larger
+//! than every number via the sort-key mapping where a total order is
+//! required.
+
+use std::fmt::Debug;
+
+/// Element type usable by every selection algorithm in this workspace.
+pub trait SelectElement: Copy + Send + Sync + Debug + 'static {
+    /// Size in bytes as stored in device memory (drives the traffic and
+    /// bandwidth accounting; the paper evaluates 4-byte single and
+    /// 8-byte double precision).
+    const BYTES: usize;
+    /// Short type name used in benchmark output rows.
+    const NAME: &'static str;
+
+    /// Strict "less than" — the only comparison the kernels perform
+    /// (Fig. 4, line 5: `element < tree[i]`).
+    fn lt(self, other: Self) -> bool;
+
+    /// The smallest representable value strictly greater than `self`
+    /// (saturating at the maximum). This is the `+ ε` of the paper's
+    /// equality-bucket construction (§IV-C).
+    fn next_up(self) -> Self;
+
+    /// The type's minimum value (used as the conceptual `s_0 = -∞`).
+    fn min_value() -> Self;
+
+    /// The type's maximum value (used as bitonic padding and `s_b = ∞`).
+    fn max_value() -> Self;
+
+    /// Monotone mapping into `u64`: `a.lt(b)` iff
+    /// `a.to_sort_key() < b.to_sort_key()` for all ordered values.
+    /// NaN maps above every number.
+    fn to_sort_key(self) -> u64;
+
+    /// Construct from an `f64` (workload generation); lossy for integer
+    /// types (truncation) and out-of-range values (saturation).
+    fn from_f64(v: f64) -> Self;
+
+    /// Convert to `f64` for reporting (lossy for large 64-bit ints).
+    fn to_f64(self) -> f64;
+
+    /// Whether the value is unordered (floating-point NaN).
+    fn is_nan(self) -> bool {
+        false
+    }
+
+    /// Total-order comparison derived from the sort key.
+    fn total_cmp(self, other: Self) -> std::cmp::Ordering {
+        self.to_sort_key().cmp(&other.to_sort_key())
+    }
+}
+
+/// Map an `f32` to a `u64` key preserving the IEEE total order
+/// (sign-magnitude to two's-complement-style flip).
+#[inline]
+fn f32_key(v: f32) -> u64 {
+    let bits = v.to_bits();
+    let flipped = if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits ^ 0x8000_0000
+    };
+    flipped as u64
+}
+
+#[inline]
+fn f64_key(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits & 0x8000_0000_0000_0000 != 0 {
+        !bits
+    } else {
+        bits ^ 0x8000_0000_0000_0000
+    }
+}
+
+impl SelectElement for f32 {
+    const BYTES: usize = 4;
+    const NAME: &'static str = "f32";
+
+    #[inline]
+    fn lt(self, other: Self) -> bool {
+        self < other
+    }
+
+    fn next_up(self) -> Self {
+        if self == f32::MAX || self.is_nan() {
+            self
+        } else {
+            f32::next_up(self)
+        }
+    }
+
+    fn min_value() -> Self {
+        f32::MIN
+    }
+
+    fn max_value() -> Self {
+        f32::MAX
+    }
+
+    #[inline]
+    fn to_sort_key(self) -> u64 {
+        f32_key(self)
+    }
+
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    fn is_nan(self) -> bool {
+        f32::is_nan(self)
+    }
+}
+
+impl SelectElement for f64 {
+    const BYTES: usize = 8;
+    const NAME: &'static str = "f64";
+
+    #[inline]
+    fn lt(self, other: Self) -> bool {
+        self < other
+    }
+
+    fn next_up(self) -> Self {
+        if self == f64::MAX || self.is_nan() {
+            self
+        } else {
+            f64::next_up(self)
+        }
+    }
+
+    fn min_value() -> Self {
+        f64::MIN
+    }
+
+    fn max_value() -> Self {
+        f64::MAX
+    }
+
+    #[inline]
+    fn to_sort_key(self) -> u64 {
+        f64_key(self)
+    }
+
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($t:ty, $name:literal) => {
+        impl SelectElement for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            const NAME: &'static str = $name;
+
+            #[inline]
+            fn lt(self, other: Self) -> bool {
+                self < other
+            }
+
+            fn next_up(self) -> Self {
+                self.saturating_add(1)
+            }
+
+            fn min_value() -> Self {
+                <$t>::MIN
+            }
+
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+
+            #[inline]
+            fn to_sort_key(self) -> u64 {
+                self as u64
+            }
+
+            fn from_f64(v: f64) -> Self {
+                if v <= 0.0 {
+                    0
+                } else if v >= <$t>::MAX as f64 {
+                    <$t>::MAX
+                } else {
+                    v as $t
+                }
+            }
+
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    };
+}
+
+impl_unsigned!(u32, "u32");
+impl_unsigned!(u64, "u64");
+
+macro_rules! impl_signed {
+    ($t:ty, $u:ty, $name:literal) => {
+        impl SelectElement for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            const NAME: &'static str = $name;
+
+            #[inline]
+            fn lt(self, other: Self) -> bool {
+                self < other
+            }
+
+            fn next_up(self) -> Self {
+                self.saturating_add(1)
+            }
+
+            fn min_value() -> Self {
+                <$t>::MIN
+            }
+
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+
+            #[inline]
+            fn to_sort_key(self) -> u64 {
+                // Flip the sign bit so the unsigned order matches.
+                ((self as $u) ^ (1 << (<$t>::BITS - 1))) as u64
+            }
+
+            fn from_f64(v: f64) -> Self {
+                if v <= <$t>::MIN as f64 {
+                    <$t>::MIN
+                } else if v >= <$t>::MAX as f64 {
+                    <$t>::MAX
+                } else {
+                    v as $t
+                }
+            }
+
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    };
+}
+
+impl_signed!(i32, u32, "i32");
+impl_signed!(i64, u64, "i64");
+
+/// Sort a slice by the element order (reference implementation used by
+/// base cases and tests; unstable, O(n log n)).
+pub fn sort_elements<T: SelectElement>(data: &mut [T]) {
+    data.sort_unstable_by(|a, b| a.total_cmp(*b));
+}
+
+/// Reference selection: the rank-`k` element by full sort
+/// (`std` `select_nth_unstable_by` — the paper validates against C++
+/// `std::nth_element`, this is the Rust equivalent).
+pub fn reference_select<T: SelectElement>(data: &[T], k: usize) -> Option<T> {
+    if k >= data.len() {
+        return None;
+    }
+    let mut copy = data.to_vec();
+    let (_, kth, _) = copy.select_nth_unstable_by(k, |a, b| a.total_cmp(*b));
+    Some(*kth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_key_preserves_order() {
+        let values = [
+            f32::MIN,
+            -1.0e30,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-30,
+            1.0,
+            2.5,
+            1e30,
+            f32::MAX,
+        ];
+        for w in values.windows(2) {
+            assert!(
+                w[0].to_sort_key() <= w[1].to_sort_key(),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        // -0.0 and 0.0 are distinct keys but adjacent; both orders of
+        // lt() are false.
+        assert!(!(-0.0f32).lt(0.0));
+        assert!(!0.0f32.lt(-0.0));
+    }
+
+    #[test]
+    fn f64_key_preserves_order() {
+        let values = [f64::MIN, -1.0, -1e-300, 0.0, 1e-300, 1.0, f64::MAX];
+        for w in values.windows(2) {
+            assert!(w[0].to_sort_key() < w[1].to_sort_key());
+        }
+    }
+
+    #[test]
+    fn nan_sorts_above_everything() {
+        assert!(f32::NAN.to_sort_key() > f32::MAX.to_sort_key());
+        assert!(f64::NAN.to_sort_key() > f64::MAX.to_sort_key());
+        assert!(f32::NAN.is_nan());
+        assert!(!1.0f32.is_nan());
+    }
+
+    #[test]
+    fn signed_key_preserves_order() {
+        let values = [i32::MIN, -100, -1, 0, 1, 100, i32::MAX];
+        for w in values.windows(2) {
+            assert!(w[0].to_sort_key() < w[1].to_sort_key());
+        }
+        let values64 = [i64::MIN, -1, 0, 1, i64::MAX];
+        for w in values64.windows(2) {
+            assert!(w[0].to_sort_key() < w[1].to_sort_key());
+        }
+    }
+
+    #[test]
+    fn next_up_is_tight_successor() {
+        // float: nothing fits between x and next_up(x)
+        let x = 1.5f32;
+        let y = SelectElement::next_up(x);
+        assert!(x.lt(y));
+        assert_eq!(y.to_bits(), x.to_bits() + 1);
+        // integers
+        assert_eq!(SelectElement::next_up(5u32), 6);
+        assert_eq!(SelectElement::next_up(-1i32), 0);
+        // saturation at the top
+        assert_eq!(SelectElement::next_up(u32::MAX), u32::MAX);
+        assert_eq!(SelectElement::next_up(f32::MAX), f32::MAX);
+    }
+
+    #[test]
+    fn from_f64_saturates() {
+        assert_eq!(u32::from_f64(-5.0), 0);
+        assert_eq!(u32::from_f64(1e20), u32::MAX);
+        assert_eq!(i32::from_f64(-1e20), i32::MIN);
+        assert_eq!(i32::from_f64(42.9), 42);
+    }
+
+    #[test]
+    fn reference_select_matches_sorting() {
+        let data = vec![5.0f32, 1.0, 4.0, 1.0, 3.0];
+        let mut sorted = data.clone();
+        sort_elements(&mut sorted);
+        for (k, &expected) in sorted.iter().enumerate() {
+            assert_eq!(reference_select(&data, k), Some(expected));
+        }
+        assert_eq!(reference_select(&data, 5), None);
+        assert_eq!(reference_select::<f32>(&[], 0), None);
+    }
+
+    #[test]
+    fn bytes_constants_match_size_of() {
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(u32::BYTES, 4);
+        assert_eq!(i64::BYTES, 8);
+    }
+}

@@ -1,0 +1,312 @@
+//! The `filter` kernel (§IV-B.c): extract the elements of the target
+//! bucket (or, fused top-k, of a whole bucket range) into contiguous
+//! storage, using the oracles and the reduce kernel's prefix sums.
+//!
+//! Following §IV-G, this is the *second pass* of the two-pass counter
+//! scheme: each block already knows (from the scanned partials) the
+//! exact output range it owns per bucket, so a block-local counter
+//! suffices to hand out unique output indexes — no global collisions.
+//! The implementation follows \[13\] (Bakunas-Milanowski et al.) "but
+//! differs in the sense that instead of storing predicate bits as an
+//! intermediate step, it stores the bucket indexes in the oracles".
+
+use crate::count::CountResult;
+use crate::element::SelectElement;
+use crate::params::{AtomicScope, SampleSelectConfig};
+use crate::reduce::ReduceResult;
+use gpu_sim::warp::WARP_SIZE;
+use gpu_sim::{Device, KernelCost, LaunchOrigin, ScatterBuffer};
+use std::ops::Range;
+
+/// Extract all elements whose bucket lies in `bucket_range` into a
+/// contiguous `Vec`, ordered by (bucket, block, within-block position).
+///
+/// For exact selection the range is a single bucket; for the fused
+/// top-k of §IV-I it is the suffix `target..b` ("it copies not only
+/// elements from the target bucket, but also from all buckets containing
+/// larger elements").
+pub fn filter_kernel<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    count: &CountResult,
+    reduce: &ReduceResult,
+    bucket_range: Range<u32>,
+    cfg: &SampleSelectConfig,
+    origin: LaunchOrigin,
+) -> Vec<T> {
+    let n = data.len();
+    let oracles = count
+        .oracles
+        .as_ref()
+        .expect("filter kernel requires oracles from the count kernel");
+    assert_eq!(oracles.len(), n, "oracle buffer must cover the input");
+    let blocks = count.blocks;
+    let launch = cfg.launch_config(n, T::BYTES);
+    debug_assert_eq!(
+        launch.blocks as usize, blocks,
+        "filter reuses the count grid"
+    );
+    let chunk = launch.block_chunk(n);
+
+    let range_base = reduce.bucket_offsets[bucket_range.start as usize];
+    let range_end = reduce.bucket_offsets[bucket_range.end as usize];
+    let out_len = (range_end - range_base) as usize;
+    let out = ScatterBuffer::<T>::new(out_len);
+    let out_ref = &out;
+    let lo = bucket_range.start;
+    let hi = bucket_range.end;
+
+    let mut cost = hpc_par::parallel_map_reduce(
+        device.pool(),
+        blocks,
+        1,
+        KernelCost::new(),
+        |range, mut cost| {
+            let mut cursors = vec![0u64; (hi - lo) as usize];
+            for block in range {
+                let start = block * chunk;
+                let end = ((block + 1) * chunk).min(n);
+                if start >= end {
+                    continue;
+                }
+                cursors.iter_mut().for_each(|c| *c = 0);
+                let mut matched_in_block = 0u64;
+                let mut idx = start;
+                while idx < end {
+                    let wlen = WARP_SIZE.min(end - idx);
+                    let mut matched_in_warp = 0u64;
+                    for lane in 0..wlen {
+                        let bucket = oracles.get(idx + lane);
+                        if (lo..hi).contains(&bucket) {
+                            let rel = (bucket - lo) as usize;
+                            let pos = reduce.offsets[bucket as usize * blocks + block] - range_base
+                                + cursors[rel];
+                            cursors[rel] += 1;
+                            // SAFETY: the two-pass scheme assigns each
+                            // output slot to exactly one (block, bucket,
+                            // local-rank) triple.
+                            unsafe { out_ref.write(pos as usize, data[idx + lane]) };
+                            matched_in_warp += 1;
+                        }
+                    }
+                    // Index handout: one counter bump per matching lane;
+                    // all matching lanes of a warp share the counter, so
+                    // unaggregated replays equal the match count.
+                    if matched_in_warp > 0 {
+                        match cfg.atomic_scope {
+                            AtomicScope::Shared => {
+                                cost.shared_atomic_warp_ops += 1;
+                                if !cfg.warp_aggregation {
+                                    // all matching lanes bump one counter
+                                    cost.shared_atomic_replays += matched_in_warp - 1;
+                                }
+                            }
+                            AtomicScope::Global => {
+                                let units = if cfg.warp_aggregation {
+                                    1
+                                } else {
+                                    matched_in_warp
+                                };
+                                cost.global_atomic_ops += units;
+                                cost.global_atomic_hot_ops += units;
+                            }
+                        }
+                        if cfg.warp_aggregation {
+                            cost.warp_intrinsics += 1; // one ballot to rank lanes
+                        }
+                    }
+                    matched_in_block += matched_in_warp;
+                    idx += wlen;
+                }
+                let len = (end - start) as u64;
+                // Oracles are streamed coalesced; the matching elements
+                // are gathered sparsely (uncoalesced) and written
+                // contiguously (coalesced).
+                cost.global_read_bytes += len * oracles.entry_bytes() as u64;
+                cost.uncoalesced_bytes += matched_in_block * T::BYTES as u64;
+                cost.global_write_bytes += matched_in_block * T::BYTES as u64;
+                cost.int_ops += len;
+                cost.blocks += 1;
+            }
+            cost
+        },
+        |mut a, b| {
+            a.merge(&b);
+            a
+        },
+    );
+    // Each block also reads its per-bucket offsets for the range.
+    cost.global_read_bytes += (blocks as u64) * (hi - lo) as u64 * 4;
+
+    device.commit("filter", launch, origin, cost);
+
+    // SAFETY: cursor arithmetic wrote each of the out_len slots exactly
+    // once (verified by the partition tests below).
+    unsafe { out.into_vec(out_len) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::count_kernel;
+    use crate::rng::SplitMix64;
+    use crate::searchtree::SearchTree;
+    use gpu_sim::arch::v100;
+    use hpc_par::ThreadPool;
+
+    fn pipeline(
+        data: &[f32],
+        cfg: &SampleSelectConfig,
+        bucket_range: Range<u32>,
+    ) -> (Vec<f32>, CountResult, ReduceResult) {
+        let pool = ThreadPool::new(4);
+        let mut device = Device::new(v100(), &pool);
+        let tree = SearchTree::build(&[10.0f32, 20.0, 30.0]);
+        let count = count_kernel(&mut device, data, &tree, cfg, true, LaunchOrigin::Host);
+        let red = crate::reduce::reduce_kernel(&mut device, &count, LaunchOrigin::Device);
+        let out = filter_kernel(
+            &mut device,
+            data,
+            &count,
+            &red,
+            bucket_range,
+            cfg,
+            LaunchOrigin::Device,
+        );
+        (out, count, red)
+    }
+
+    fn cfg4() -> SampleSelectConfig {
+        SampleSelectConfig::default().with_buckets(4)
+    }
+
+    #[test]
+    fn extracts_exactly_the_target_bucket() {
+        let data = vec![5.0f32, 15.0, 25.0, 35.0, 12.0, 22.0, 19.0];
+        let (out, count, _) = pipeline(&data, &cfg4(), 1..2);
+        assert_eq!(out.len() as u64, count.counts[1]);
+        let mut expected: Vec<f32> = data
+            .iter()
+            .copied()
+            .filter(|&x| (10.0..20.0).contains(&x))
+            .collect();
+        let mut got = out.clone();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn multi_block_extraction_is_a_permutation() {
+        let mut rng = SplitMix64::new(8);
+        let data: Vec<f32> = (0..200_000).map(|_| rng.next_f64() as f32 * 40.0).collect();
+        let (out, count, _) = pipeline(&data, &cfg4(), 2..3);
+        assert!(count.blocks > 1);
+        let mut expected: Vec<u32> = data
+            .iter()
+            .filter(|&&x| (20.0..30.0).contains(&x))
+            .map(|x| x.to_bits())
+            .collect();
+        let mut got: Vec<u32> = out.iter().map(|x| x.to_bits()).collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(
+            got, expected,
+            "filter output must be a permutation of the bucket"
+        );
+    }
+
+    #[test]
+    fn suffix_range_supports_fused_topk() {
+        let data = vec![5.0f32, 15.0, 25.0, 35.0, 12.0, 38.0];
+        let (out, _, _) = pipeline(&data, &cfg4(), 2..4);
+        let mut got = out.clone();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got, vec![25.0, 35.0, 38.0]);
+    }
+
+    #[test]
+    fn empty_bucket_yields_empty_output() {
+        let data = vec![5.0f32, 6.0, 7.0]; // everything in bucket 0
+        let (out, _, _) = pipeline(&data, &cfg4(), 3..4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn filter_charges_oracle_stream_and_sparse_gathers() {
+        let pool = ThreadPool::new(4);
+        let mut device = Device::new(v100(), &pool);
+        let tree = SearchTree::build(&[10.0f32, 20.0, 30.0]);
+        let cfg = cfg4();
+        let data: Vec<f32> = (0..10_000).map(|i| (i % 40) as f32).collect();
+        let count = count_kernel(&mut device, &data, &tree, &cfg, true, LaunchOrigin::Host);
+        let red = crate::reduce::reduce_kernel(&mut device, &count, LaunchOrigin::Device);
+        let out = filter_kernel(
+            &mut device,
+            &data,
+            &count,
+            &red,
+            1..2,
+            &cfg,
+            LaunchOrigin::Device,
+        );
+        let rec = device
+            .records()
+            .iter()
+            .find(|r| r.name == "filter")
+            .unwrap();
+        assert!(rec.cost.global_read_bytes >= 10_000, "oracle stream");
+        assert_eq!(rec.cost.uncoalesced_bytes, out.len() as u64 * 4);
+        assert_eq!(rec.cost.global_write_bytes, out.len() as u64 * 4);
+        assert!(rec.cost.shared_atomic_warp_ops > 0);
+    }
+
+    #[test]
+    fn global_scope_filter_uses_global_atomics() {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let tree = SearchTree::build(&[10.0f32, 20.0, 30.0]);
+        let cfg = cfg4().with_atomic_scope(AtomicScope::Global);
+        let data: Vec<f32> = (0..5_000).map(|i| (i % 40) as f32).collect();
+        let count = count_kernel(&mut device, &data, &tree, &cfg, true, LaunchOrigin::Host);
+        let red = crate::reduce::reduce_kernel(&mut device, &count, LaunchOrigin::Device);
+        filter_kernel(
+            &mut device,
+            &data,
+            &count,
+            &red,
+            0..1,
+            &cfg,
+            LaunchOrigin::Device,
+        );
+        let rec = device
+            .records()
+            .iter()
+            .find(|r| r.name == "filter")
+            .unwrap();
+        assert!(rec.cost.global_atomic_ops > 0);
+        assert_eq!(rec.cost.shared_atomic_warp_ops, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires oracles")]
+    fn filter_without_oracles_panics() {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let tree = SearchTree::build(&[10.0f32, 20.0, 30.0]);
+        let cfg = cfg4();
+        let data = vec![1.0f32, 2.0];
+        // count-only mode: no oracles
+        let count = count_kernel(&mut device, &data, &tree, &cfg, false, LaunchOrigin::Host);
+        let red = crate::reduce::reduce_kernel(&mut device, &count, LaunchOrigin::Device);
+        filter_kernel(
+            &mut device,
+            &data,
+            &count,
+            &red,
+            0..1,
+            &cfg,
+            LaunchOrigin::Device,
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-run instrumentation: everything needed to reproduce the paper's
+//! measurements (throughput plots of Fig. 7/8, the per-kernel runtime
+//! breakdown of Fig. 9) from a single selection run.
+
+use gpu_sim::{KernelRecord, KernelSummary, SimTime};
+
+/// Measurement report of one selection run on the simulated device.
+#[derive(Debug, Clone)]
+pub struct SelectReport {
+    /// Algorithm label (`"sampleselect"`, `"quickselect"`, …).
+    pub algorithm: &'static str,
+    /// Input size.
+    pub n: usize,
+    /// Recursion levels executed (excluding the base case).
+    pub levels: u32,
+    /// Whether the run terminated early in an equality bucket (§IV-C).
+    pub terminated_early: bool,
+    /// Total simulated time including kernel-launch overheads.
+    pub total_time: SimTime,
+    /// Launch overhead portion of `total_time`.
+    pub launch_overhead: SimTime,
+    /// Per-kernel aggregation (name, launches, time, resource usage).
+    pub kernels: Vec<KernelSummary>,
+}
+
+impl SelectReport {
+    /// Build a report from the slice of device records this run produced.
+    pub fn from_records(
+        algorithm: &'static str,
+        n: usize,
+        records: &[KernelRecord],
+        levels: u32,
+        terminated_early: bool,
+    ) -> Self {
+        let total_time: SimTime = records.iter().map(|r| r.duration + r.launch_overhead).sum();
+        let launch_overhead: SimTime = records.iter().map(|r| r.launch_overhead).sum();
+
+        // Aggregate per name preserving first-seen order.
+        let mut kernels: Vec<KernelSummary> = Vec::new();
+        for rec in records {
+            match kernels.iter_mut().find(|s| s.name == rec.name) {
+                Some(s) => {
+                    s.launches += 1;
+                    s.total_time += rec.duration;
+                    s.total_launch_overhead += rec.launch_overhead;
+                    s.cost.merge(&rec.cost);
+                }
+                None => kernels.push(KernelSummary {
+                    name: rec.name.clone(),
+                    launches: 1,
+                    total_time: rec.duration,
+                    total_launch_overhead: rec.launch_overhead,
+                    cost: rec.cost,
+                }),
+            }
+        }
+
+        Self {
+            algorithm,
+            n,
+            levels,
+            terminated_early,
+            total_time,
+            launch_overhead,
+            kernels,
+        }
+    }
+
+    /// Total time spent in kernels named `name` (zero if none ran).
+    pub fn kernel_time(&self, name: &str) -> SimTime {
+        self.kernels
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.total_time)
+            .sum()
+    }
+
+    /// Number of launches of kernels named `name`.
+    pub fn kernel_launches(&self, name: &str) -> u64 {
+        self.kernels
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.launches)
+            .sum()
+    }
+
+    /// Total kernel launches of the run (QuickSelect's deep recursion
+    /// shows up here, §V-F).
+    pub fn total_launches(&self) -> u64 {
+        self.kernels.iter().map(|s| s.launches).sum()
+    }
+
+    /// The paper's throughput metric: dataset size / total runtime
+    /// (§V-B), in elements per second.
+    pub fn throughput(&self) -> f64 {
+        if self.total_time.as_secs() == 0.0 {
+            return 0.0;
+        }
+        self.n as f64 / self.total_time.as_secs()
+    }
+
+    /// Per-element runtime in nanoseconds for a given kernel (the unit
+    /// of Fig. 9's y-axis).
+    pub fn kernel_ns_per_element(&self, name: &str) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.kernel_time(name).as_ns() / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{CostBreakdown, KernelCost, LaunchConfig, LaunchOrigin};
+
+    fn record(name: &str, dur_ns: f64, overhead_ns: f64) -> KernelRecord {
+        KernelRecord {
+            name: name.to_string(),
+            config: LaunchConfig {
+                blocks: 1,
+                threads_per_block: 32,
+                shared_mem_bytes: 0,
+            },
+            start: SimTime::ZERO,
+            duration: SimTime::from_ns(dur_ns),
+            launch_overhead: SimTime::from_ns(overhead_ns),
+            cost: KernelCost::new(),
+            breakdown: CostBreakdown::default(),
+            origin: LaunchOrigin::Host,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_name() {
+        let records = vec![
+            record("count", 100.0, 10.0),
+            record("filter", 50.0, 10.0),
+            record("count", 20.0, 5.0),
+        ];
+        let report = SelectReport::from_records("test", 1000, &records, 2, false);
+        assert_eq!(report.kernels.len(), 2);
+        assert_eq!(report.kernel_launches("count"), 2);
+        assert!((report.kernel_time("count").as_ns() - 120.0).abs() < 1e-9);
+        assert!((report.total_time.as_ns() - 195.0).abs() < 1e-9);
+        assert!((report.launch_overhead.as_ns() - 25.0).abs() < 1e-9);
+        assert_eq!(report.total_launches(), 3);
+    }
+
+    #[test]
+    fn throughput_is_n_over_time() {
+        let records = vec![record("k", 1e9, 0.0)]; // 1 second
+        let report = SelectReport::from_records("test", 5_000, &records, 1, false);
+        assert!((report.throughput() - 5_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ns_per_element() {
+        let records = vec![record("count", 2000.0, 0.0)];
+        let report = SelectReport::from_records("test", 1000, &records, 1, false);
+        assert!((report.kernel_ns_per_element("count") - 2.0).abs() < 1e-12);
+        assert_eq!(report.kernel_ns_per_element("missing"), 0.0);
+    }
+
+    #[test]
+    fn empty_records_graceful() {
+        let report = SelectReport::from_records("test", 0, &[], 0, false);
+        assert_eq!(report.throughput(), 0.0);
+        assert_eq!(report.total_launches(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Key-value selection: carry a payload through the selection kernels.
+//!
+//! The paper's motivating top-k scenario (information retrieval) needs
+//! the *documents*, not just the score threshold. [`Pair`] bundles an
+//! ordered key with an opaque payload and implements [`SelectElement`]
+//! by delegating every ordering operation to the key, so all drivers
+//! (exact, approximate, top-k, multiselect, sort) work on pairs
+//! unchanged — the filter kernels move the payloads along with the keys.
+//!
+//! Ordering ties between equal keys are broken arbitrarily (selection is
+//! unstable), exactly as for scalar duplicates.
+
+use crate::element::SelectElement;
+
+/// A key-ordered pair with an opaque payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pair<K, V> {
+    /// The ordered key.
+    pub key: K,
+    /// The payload carried along (ignored by all comparisons).
+    pub value: V,
+}
+
+impl<K, V> Pair<K, V> {
+    pub fn new(key: K, value: V) -> Self {
+        Self { key, value }
+    }
+}
+
+/// Payload bound: plain data that can ride through the kernels.
+pub trait Payload: Copy + Send + Sync + std::fmt::Debug + Default + 'static {}
+impl<T: Copy + Send + Sync + std::fmt::Debug + Default + 'static> Payload for T {}
+
+impl<K: SelectElement, V: Payload> SelectElement for Pair<K, V> {
+    const BYTES: usize = std::mem::size_of::<Self>();
+    const NAME: &'static str = "pair";
+
+    #[inline]
+    fn lt(self, other: Self) -> bool {
+        self.key.lt(other.key)
+    }
+
+    fn next_up(self) -> Self {
+        // Bumps only affect splitter *copies* in the search tree; the
+        // payload of a bumped splitter is never returned to the caller.
+        Pair::new(self.key.next_up(), self.value)
+    }
+
+    fn min_value() -> Self {
+        Pair::new(K::min_value(), V::default())
+    }
+
+    fn max_value() -> Self {
+        Pair::new(K::max_value(), V::default())
+    }
+
+    #[inline]
+    fn to_sort_key(self) -> u64 {
+        self.key.to_sort_key()
+    }
+
+    fn from_f64(v: f64) -> Self {
+        Pair::new(K::from_f64(v), V::default())
+    }
+
+    fn to_f64(self) -> f64 {
+        self.key.to_f64()
+    }
+
+    fn is_nan(self) -> bool {
+        self.key.is_nan()
+    }
+}
+
+/// Zip keys and payloads into pairs.
+pub fn zip_pairs<K: SelectElement, V: Payload>(keys: &[K], values: &[V]) -> Vec<Pair<K, V>> {
+    assert_eq!(keys.len(), values.len());
+    keys.iter()
+        .zip(values.iter())
+        .map(|(&k, &v)| Pair::new(k, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SampleSelectConfig;
+    use crate::rng::SplitMix64;
+    use crate::topk::top_k_largest_on_device;
+    use gpu_sim::arch::v100;
+    use gpu_sim::Device;
+    use hpc_par::ThreadPool;
+
+    fn scored_docs(n: usize, seed: u64) -> Vec<Pair<f32, u32>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|doc| Pair::new(rng.next_f64() as f32, doc as u32))
+            .collect()
+    }
+
+    #[test]
+    fn pair_ordering_ignores_payload() {
+        let a = Pair::new(1.0f32, 999u32);
+        let b = Pair::new(2.0f32, 0u32);
+        assert!(a.lt(b));
+        assert!(!b.lt(a));
+        assert_eq!(a.to_sort_key(), 1.0f32.to_sort_key());
+    }
+
+    #[test]
+    fn exact_selection_returns_a_real_pair() {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let data = scored_docs(50_000, 1);
+        let cfg = SampleSelectConfig::default();
+        let rank = 25_000;
+        let r = crate::recursion::sample_select_on_device(&mut device, &data, rank, &cfg).unwrap();
+        // The returned pair is an actual input element whose key has the
+        // requested rank, and whose payload points back to the input.
+        let smaller = data.iter().filter(|p| p.key < r.value.key).count();
+        assert!(smaller <= rank);
+        let le = data.iter().filter(|p| p.key <= r.value.key).count();
+        assert!(le > rank);
+        assert_eq!(
+            data[r.value.value as usize].key, r.value.key,
+            "payload resolves to its element"
+        );
+    }
+
+    #[test]
+    fn topk_carries_the_right_documents() {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let data = scored_docs(80_000, 2);
+        let k = 50;
+        let cfg = SampleSelectConfig::default();
+        let res = top_k_largest_on_device(&mut device, &data, k, &cfg).unwrap();
+        assert_eq!(res.elements.len(), k);
+        // every returned payload must be a document whose score is
+        // >= threshold, and payloads must be distinct
+        let mut ids: Vec<u32> = res.elements.iter().map(|p| p.value).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), k, "payloads are distinct documents");
+        for p in &res.elements {
+            assert_eq!(data[p.value as usize].key, p.key);
+            assert!(p.key >= res.threshold.key);
+        }
+        // against reference: the k-th largest key
+        let mut keys: Vec<f32> = data.iter().map(|p| p.key).collect();
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(res.threshold.key, keys[data.len() - k]);
+    }
+
+    #[test]
+    fn samplesort_orders_pairs_by_key() {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let data = scored_docs(30_000, 3);
+        let cfg = SampleSelectConfig::default();
+        let res = crate::samplesort::sample_sort_on_device(&mut device, &data, &cfg).unwrap();
+        assert!(res.sorted.windows(2).all(|w| w[0].key <= w[1].key));
+        // permutation: same multiset of payloads
+        let mut ids: Vec<u32> = res.sorted.iter().map(|p| p.value).collect();
+        ids.sort_unstable();
+        assert!(ids.iter().enumerate().all(|(i, &id)| id == i as u32));
+    }
+
+    #[test]
+    fn duplicate_keys_with_distinct_payloads() {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        // 4 distinct scores over 40k docs
+        let data: Vec<Pair<f32, u32>> = (0..40_000)
+            .map(|doc| Pair::new((doc % 4) as f32, doc as u32))
+            .collect();
+        let cfg = SampleSelectConfig::default();
+        let r =
+            crate::recursion::sample_select_on_device(&mut device, &data, 20_000, &cfg).unwrap();
+        // rank 20000 of keys [0,0,..,1,..,2,..,3..]: key must be 2.0
+        assert_eq!(r.value.key, 2.0);
+        // payload is one of the docs with that key
+        assert_eq!(data[r.value.value as usize].key, 2.0);
+    }
+
+    #[test]
+    fn zip_helper() {
+        let keys = [3.0f32, 1.0];
+        let vals = [10u32, 20];
+        let pairs = zip_pairs(&keys, &vals);
+        assert_eq!(pairs[0], Pair::new(3.0, 10));
+        assert_eq!(pairs[1], Pair::new(1.0, 20));
+    }
+}

@@ -1,0 +1,148 @@
+//! # sampleselect
+//!
+//! Exact and approximate parallel selection, reproducing Ribizel & Anzt,
+//! *Approximate and Exact Selection on GPUs* (2019).
+//!
+//! The central algorithm is **SampleSelect**: recursive bucket selection
+//! with sampled splitters held in an implicit binary search tree, exact
+//! per-warp atomic accounting, equality buckets for repeated elements,
+//! and a dynamic-parallelism-style tail recursion. An **approximate**
+//! variant stops after a single `count` pass and returns the splitter
+//! whose rank is closest to the target; a fused **top-k** extraction and
+//! a heavily engineered **QuickSelect** reference round out the paper's
+//! artifact set.
+//!
+//! Two execution backends share the algorithmic code paths:
+//!
+//! * the **simulated device** ([`gpu_sim::Device`]) — warp-accurate
+//!   functional execution plus a per-architecture analytic cost model,
+//!   used to reproduce the paper's figures;
+//! * the **CPU backend** ([`cpu`]) — the same algorithm on real host
+//!   threads, used for genuine wall-clock benchmarking.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sampleselect::{sample_select, SampleSelectConfig};
+//!
+//! let data: Vec<f32> = (0..50_000).map(|i| ((i * 37) % 1000) as f32).collect();
+//! let cfg = SampleSelectConfig::default();
+//! let result = sample_select(&data, 4_999, &cfg).unwrap();
+//!
+//! let mut sorted = data.clone();
+//! sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+//! assert_eq!(result.value, sorted[4_999]);
+//! ```
+
+pub mod approx;
+pub mod bitonic;
+pub mod count;
+pub mod cpu;
+pub mod element;
+pub mod filter;
+pub mod instrument;
+pub mod kv;
+pub mod multiselect;
+pub mod params;
+pub mod quickselect;
+pub mod recursion;
+pub mod reduce;
+pub mod rng;
+pub mod samplesort;
+pub mod searchtree;
+pub mod splitter;
+pub mod streaming;
+pub mod topk;
+
+pub use approx::{approx_select, approx_select_on_device, ApproxResult};
+pub use element::SelectElement;
+pub use instrument::SelectReport;
+pub use kv::{zip_pairs, Pair};
+pub use multiselect::{multi_select, multi_select_on_device, quantiles, MultiSelectResult};
+pub use params::{AtomicScope, ConfigError, SampleSelectConfig};
+pub use quickselect::{quick_select, quick_select_on_device};
+pub use recursion::sample_select_on_device;
+pub use samplesort::{sample_sort, sample_sort_on_device, SortResult};
+pub use searchtree::SearchTree;
+pub use streaming::{streaming_select, ChunkSource, SliceChunks, StreamingResult};
+pub use topk::{bottom_k_smallest_on_device, top_k_largest, top_k_largest_on_device};
+
+use gpu_sim::arch::v100;
+use gpu_sim::Device;
+
+/// Errors returned by the selection drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectError {
+    /// The input slice is empty.
+    EmptyInput,
+    /// The requested rank is not in `0..len`.
+    RankOutOfRange { rank: usize, len: usize },
+    /// The configuration failed validation.
+    InvalidConfig(ConfigError),
+    /// Input validation found a NaN (only with
+    /// [`SampleSelectConfig::check_input`]).
+    NanInput { index: usize },
+    /// The recursion failed to converge (internal safeguard; indicates a
+    /// bug rather than a user error).
+    RecursionLimit,
+}
+
+impl std::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectError::EmptyInput => write!(f, "cannot select from an empty input"),
+            SelectError::RankOutOfRange { rank, len } => {
+                write!(f, "rank {rank} out of range for input of length {len}")
+            }
+            SelectError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            SelectError::NanInput { index } => {
+                write!(f, "input contains NaN at index {index}")
+            }
+            SelectError::RecursionLimit => write!(f, "selection recursion failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// Result of an exact selection run: the selected value and the
+/// measurement report.
+#[derive(Debug, Clone)]
+pub struct SelectResult<T> {
+    /// The `rank`-th smallest element of the input.
+    pub value: T,
+    /// Timing/instrumentation of the run on the simulated device.
+    pub report: SelectReport,
+}
+
+/// Exact SampleSelect on a default simulated device (Tesla V100 on the
+/// process-global thread pool). For architecture sweeps, build a
+/// [`gpu_sim::Device`] and call [`sample_select_on_device`].
+pub fn sample_select<T: SelectElement>(
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+) -> Result<SelectResult<T>, SelectError> {
+    let mut device = Device::on_global_pool(v100());
+    sample_select_on_device(&mut device, data, rank, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_level_select_works() {
+        let data: Vec<f32> = (0..10_000).map(|i| ((i * 31) % 500) as f32).collect();
+        let result = sample_select(&data, 777, &SampleSelectConfig::default()).unwrap();
+        assert_eq!(result.value, element::reference_select(&data, 777).unwrap());
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(format!("{}", SelectError::EmptyInput).contains("empty"));
+        let e = SelectError::RankOutOfRange { rank: 9, len: 3 };
+        assert!(format!("{e}").contains('9'));
+        assert!(format!("{}", SelectError::NanInput { index: 4 }).contains("NaN"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Multiple-rank selection — the paper's first future-work item
+//! (§VI: "extending the SampleSelect algorithm to other typical
+//! selection applications like multiple sequence selection").
+//!
+//! Selecting `m` order statistics at once (e.g. every percentile of a
+//! latency distribution) costs barely more than selecting one: the
+//! `sample`/`count`/`reduce` work of each level is shared by all target
+//! ranks, and the recursion only descends into the (at most `m`)
+//! buckets that contain a target. With `b >> m` buckets, the expected
+//! extra data touched stays `O(m · n / b)` per level.
+
+use crate::count::count_kernel;
+use crate::element::SelectElement;
+use crate::filter::filter_kernel;
+use crate::instrument::SelectReport;
+use crate::params::SampleSelectConfig;
+use crate::recursion::{base_case_select, validate_input};
+use crate::reduce::reduce_kernel;
+use crate::rng::SplitMix64;
+use crate::splitter::sample_kernel;
+use crate::SelectError;
+use gpu_sim::arch::v100;
+use gpu_sim::{Device, LaunchOrigin};
+
+/// Result of a multi-rank selection.
+#[derive(Debug, Clone)]
+pub struct MultiSelectResult<T> {
+    /// `values[i]` is the element of rank `ranks[i]` (same order as the
+    /// input ranks).
+    pub values: Vec<T>,
+    /// Measurement report for the whole batch.
+    pub report: SelectReport,
+}
+
+/// One pending sub-problem: a contiguous data segment and the target
+/// ranks (relative to the segment) it still has to resolve.
+struct Segment<T> {
+    data: Vec<T>,
+    /// (original query index, rank within `data`)
+    queries: Vec<(usize, usize)>,
+    level: u32,
+}
+
+const MAX_LEVELS: u32 = 64;
+
+/// Select the elements at several ranks at once (0-based, duplicates
+/// allowed, any order).
+pub fn multi_select_on_device<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    ranks: &[usize],
+    cfg: &SampleSelectConfig,
+) -> Result<MultiSelectResult<T>, SelectError> {
+    cfg.validate().map_err(SelectError::InvalidConfig)?;
+    if ranks.is_empty() {
+        return Ok(MultiSelectResult {
+            values: Vec::new(),
+            report: SelectReport::from_records("multiselect", data.len(), &[], 0, false),
+        });
+    }
+    for &r in ranks {
+        validate_input(data, r, cfg)?;
+    }
+
+    let n = data.len();
+    let records_before = device.records().len();
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut results: Vec<Option<T>> = vec![None; ranks.len()];
+    let mut levels = 0u32;
+    let mut terminated_early = false;
+
+    // Level-0 segment borrows nothing: we copy lazily only when
+    // filtering (the first level runs on `data` directly).
+    let mut pending: Vec<Segment<T>> = vec![Segment {
+        data: Vec::new(), // sentinel: level 0 uses `data`
+        queries: ranks.iter().copied().enumerate().collect(),
+        level: 0,
+    }];
+
+    while let Some(seg) = pending.pop() {
+        let cur: &[T] = if seg.level == 0 { data } else { &seg.data };
+        let origin = if seg.level == 0 {
+            LaunchOrigin::Host
+        } else {
+            LaunchOrigin::Device
+        };
+        if seg.level >= MAX_LEVELS {
+            return Err(SelectError::RecursionLimit);
+        }
+        levels = levels.max(seg.level + 1);
+
+        if cur.len() <= cfg.base_case_size.max(cfg.sample_size()) {
+            // One sort answers every query of the segment.
+            let mut buf = cur.to_vec();
+            let first_rank = seg.queries[0].1;
+            let _ = base_case_select(device, cur, first_rank, cfg, origin);
+            crate::bitonic::bitonic_sort(&mut buf);
+            for &(qi, rank) in &seg.queries {
+                results[qi] = Some(buf[rank]);
+            }
+            continue;
+        }
+
+        let tree = sample_kernel(device, cur, cfg, &mut rng, origin);
+        let count = count_kernel(device, cur, &tree, cfg, true, origin);
+        let red = reduce_kernel(device, &count, LaunchOrigin::Device);
+
+        // Group the segment's queries by target bucket.
+        let mut by_bucket: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+        for &(qi, rank) in &seg.queries {
+            let bucket = red.bucket_for_rank(rank as u64);
+            match by_bucket.iter_mut().find(|(b, _)| *b == bucket) {
+                Some((_, qs)) => qs.push((qi, rank)),
+                None => by_bucket.push((bucket, vec![(qi, rank)])),
+            }
+        }
+
+        for (bucket, queries) in by_bucket {
+            if tree.is_equality_bucket(bucket) {
+                let v = tree.equality_value(bucket);
+                for (qi, _) in queries {
+                    results[qi] = Some(v);
+                }
+                terminated_early = true;
+                continue;
+            }
+            let bucket_u32 = bucket as u32;
+            let sub = filter_kernel(
+                device,
+                cur,
+                &count,
+                &red,
+                bucket_u32..bucket_u32 + 1,
+                cfg,
+                LaunchOrigin::Device,
+            );
+            let offset = red.bucket_offsets[bucket] as usize;
+            let queries: Vec<(usize, usize)> = queries
+                .into_iter()
+                .map(|(qi, rank)| (qi, rank - offset))
+                .collect();
+            debug_assert!(queries.iter().all(|&(_, r)| r < sub.len()));
+            pending.push(Segment {
+                data: sub,
+                queries,
+                level: seg.level + 1,
+            });
+        }
+    }
+
+    let values = results
+        .into_iter()
+        .map(|v| v.expect("every query resolved"))
+        .collect();
+    let report = SelectReport::from_records(
+        "multiselect",
+        n,
+        &device.records()[records_before..],
+        levels,
+        terminated_early,
+    );
+    Ok(MultiSelectResult { values, report })
+}
+
+/// Multi-rank selection on a default simulated device (Tesla V100).
+pub fn multi_select<T: SelectElement>(
+    data: &[T],
+    ranks: &[usize],
+    cfg: &SampleSelectConfig,
+) -> Result<MultiSelectResult<T>, SelectError> {
+    let mut device = Device::on_global_pool(v100());
+    multi_select_on_device(&mut device, data, ranks, cfg)
+}
+
+/// Convenience: the `q`-quantiles of the input (e.g. `q = 100` for
+/// percentiles p1..p99). Returns `q - 1` values.
+pub fn quantiles<T: SelectElement>(
+    data: &[T],
+    q: usize,
+    cfg: &SampleSelectConfig,
+) -> Result<MultiSelectResult<T>, SelectError> {
+    assert!(q >= 2, "need at least 2 quantile buckets");
+    let n = data.len();
+    let ranks: Vec<usize> = (1..q)
+        .map(|i| (i * n / q).min(n.saturating_sub(1)))
+        .collect();
+    multi_select(data, &ranks, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::reference_select;
+    use hpc_par::ThreadPool;
+
+    fn uniform(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() as f32).collect()
+    }
+
+    fn check(data: &[f32], ranks: &[usize]) -> MultiSelectResult<f32> {
+        let pool = ThreadPool::new(4);
+        let mut device = Device::new(v100(), &pool);
+        let res = multi_select_on_device(&mut device, data, ranks, &SampleSelectConfig::default())
+            .unwrap();
+        for (i, &rank) in ranks.iter().enumerate() {
+            assert_eq!(
+                res.values[i],
+                reference_select(data, rank).unwrap(),
+                "rank {rank}"
+            );
+        }
+        res
+    }
+
+    #[test]
+    fn selects_multiple_ranks_correctly() {
+        let data = uniform(200_000, 1);
+        check(&data, &[0, 13, 100_000, 150_000, 199_999]);
+    }
+
+    #[test]
+    fn handles_duplicate_and_unsorted_ranks() {
+        let data = uniform(50_000, 2);
+        check(&data, &[40_000, 7, 40_000, 3, 7]);
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_select() {
+        let data = uniform(80_000, 3);
+        let res = check(&data, &[12_345]);
+        assert_eq!(res.values.len(), 1);
+    }
+
+    #[test]
+    fn empty_rank_list_is_empty_result() {
+        let data = uniform(1_000, 4);
+        let res = multi_select(&data, &[], &SampleSelectConfig::default()).unwrap();
+        assert!(res.values.is_empty());
+    }
+
+    #[test]
+    fn shares_count_pass_across_queries() {
+        // m ranks must NOT cost m count passes over the full input: the
+        // level-0 kernels run once regardless of the number of queries.
+        let data = uniform(300_000, 5);
+        let one = check(&data, &[150_000]);
+        let many = check(&data, &[1_000, 50_000, 150_000, 250_000, 299_000]);
+        let full_counts = |r: &SelectReport| {
+            r.kernels
+                .iter()
+                .filter(|k| k.name == "count")
+                .map(|k| k.cost.global_read_bytes)
+                .sum::<u64>()
+        };
+        // 5 queries read less than 2x the bytes of 1 query (level-0 pass
+        // shared; only the small per-bucket recursions multiply).
+        assert!(full_counts(&many.report) < 2 * full_counts(&one.report));
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let data = uniform(100_000, 6);
+        let res = quantiles(&data, 10, &SampleSelectConfig::default()).unwrap();
+        assert_eq!(res.values.len(), 9);
+        assert!(res.values.windows(2).all(|w| w[0] <= w[1]));
+        // middle quantile is the median
+        assert_eq!(res.values[4], reference_select(&data, 50_000).unwrap());
+    }
+
+    #[test]
+    fn duplicate_heavy_input_with_many_ranks() {
+        let mut rng = SplitMix64::new(7);
+        let data: Vec<f32> = (0..100_000)
+            .map(|_| (rng.next_below(8) as f32) * 1.25)
+            .collect();
+        check(&data, &[0, 10_000, 50_000, 90_000, 99_999]);
+    }
+
+    #[test]
+    fn propagates_rank_errors() {
+        let data = uniform(100, 8);
+        let err = multi_select(&data, &[5, 100], &SampleSelectConfig::default()).unwrap_err();
+        assert!(matches!(err, SelectError::RankOutOfRange { .. }));
+    }
+}

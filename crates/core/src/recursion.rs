@@ -1,0 +1,412 @@
+//! The exact SampleSelect driver (Fig. 1 / §IV-E): recursive bucket
+//! selection with the recursion kept "on the device".
+//!
+//! Each level runs `sample → count → reduce → select_bucket → filter`
+//! and descends into the bucket containing the target rank. Because the
+//! recursion depth is not known a priori and host↔device round trips are
+//! expensive, the paper keeps the control flow on the GPU with CUDA
+//! Dynamic Parallelism tail launches; the simulator mirrors that with a
+//! [`TailLaunchQueue`] whose follow-up launches are charged the (lower)
+//! device-launch latency.
+
+use crate::bitonic::bitonic_select;
+use crate::count::count_kernel;
+use crate::element::SelectElement;
+use crate::filter::filter_kernel;
+use crate::instrument::SelectReport;
+use crate::params::SampleSelectConfig;
+use crate::reduce::reduce_kernel;
+use crate::rng::SplitMix64;
+use crate::splitter::sample_kernel;
+use crate::{SelectError, SelectResult};
+use gpu_sim::{Device, KernelCost, LaunchConfig, LaunchOrigin, TailLaunchQueue};
+
+/// Safety net: the expected depth is `log_b(n / base) + 1`, i.e. 2-3 for
+/// every practical input; anything past this indicates a logic error.
+const MAX_LEVELS: u32 = 64;
+
+/// One pending recursion level (the descriptor a device-side
+/// `select_bucket` kernel would compute before tail-launching).
+struct LevelTask {
+    rank: usize,
+    level: u32,
+}
+
+/// Validate common select preconditions; shared with the other drivers.
+pub fn validate_input<T: SelectElement>(
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+) -> Result<(), SelectError> {
+    if data.is_empty() {
+        return Err(SelectError::EmptyInput);
+    }
+    if rank >= data.len() {
+        return Err(SelectError::RankOutOfRange {
+            rank,
+            len: data.len(),
+        });
+    }
+    if cfg.check_input {
+        if let Some(index) = data.iter().position(|x| x.is_nan()) {
+            return Err(SelectError::NanInput { index });
+        }
+    }
+    Ok(())
+}
+
+/// Charge and record the base-case sorting kernel (§IV-D): load the
+/// remaining elements into shared memory, bitonic-sort, return rank `k`.
+pub fn base_case_select<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    k: usize,
+    cfg: &SampleSelectConfig,
+    origin: LaunchOrigin,
+) -> T {
+    let mut buf = data.to_vec();
+    let (value, stats) = bitonic_select(&mut buf, k);
+    let mut cost = KernelCost::new();
+    cost.blocks = 1;
+    cost.global_read_bytes += (data.len() * T::BYTES) as u64;
+    stats.charge::<T>(&mut cost);
+    let launch = LaunchConfig {
+        blocks: 1,
+        threads_per_block: cfg.threads_per_block,
+        shared_mem_bytes: (stats.padded_len * T::BYTES) as u32,
+    };
+    device.commit("base_sort", launch, origin, cost);
+    value
+}
+
+/// Charge the tiny device-side kernel that picks the bucket containing
+/// the rank and computes the launch parameters for the next level
+/// (§IV-E: "additional kernels that select the bucket containing the
+/// kth-smallest element, and compute the kernel launch parameters").
+fn select_bucket_kernel(device: &mut Device, num_buckets: usize, origin: LaunchOrigin) {
+    let mut cost = KernelCost::new();
+    cost.blocks = 1;
+    cost.global_read_bytes += num_buckets as u64 * 4;
+    cost.int_ops += num_buckets as u64;
+    let launch = LaunchConfig {
+        blocks: 1,
+        threads_per_block: 32,
+        shared_mem_bytes: 0,
+    };
+    device.commit("select_bucket", launch, origin, cost);
+}
+
+/// Exact SampleSelect on a simulated device: the `rank`-th smallest
+/// element of `data` (0-based).
+pub fn sample_select_on_device<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+) -> Result<SelectResult<T>, SelectError> {
+    cfg.validate().map_err(SelectError::InvalidConfig)?;
+    validate_input(data, rank, cfg)?;
+
+    let n = data.len();
+    let records_before = device.records().len();
+    let mut rng = SplitMix64::new(cfg.seed);
+
+    // Device-side tail recursion: every level enqueues at most one
+    // follow-up, preserving the paper's launch-ordering argument.
+    let mut queue: TailLaunchQueue<LevelTask> = TailLaunchQueue::new();
+    queue.push(LevelTask { rank, level: 0 });
+
+    let mut storage: Vec<T> = Vec::new();
+    let mut use_storage = false;
+    let mut levels = 0u32;
+    let mut outcome: Option<(T, bool)> = None;
+
+    while let Some(task) = queue.pop() {
+        let origin = if task.level == 0 {
+            LaunchOrigin::Host
+        } else {
+            LaunchOrigin::Device
+        };
+        let cur: &[T] = if use_storage { &storage } else { data };
+        let k = task.rank;
+        debug_assert!(k < cur.len());
+
+        if cur.len() <= cfg.base_case_size.max(cfg.sample_size()) {
+            let value = base_case_select(device, cur, k, cfg, origin);
+            outcome = Some((value, false));
+            break;
+        }
+        if task.level >= MAX_LEVELS {
+            return Err(SelectError::RecursionLimit);
+        }
+        levels += 1;
+
+        let tree = sample_kernel(device, cur, cfg, &mut rng, origin);
+        let count = count_kernel(device, cur, &tree, cfg, true, origin);
+        let red = reduce_kernel(device, &count, LaunchOrigin::Device);
+        select_bucket_kernel(device, tree.num_buckets(), LaunchOrigin::Device);
+
+        let bucket = red.bucket_for_rank(k as u64);
+        debug_assert!(
+            red.bucket_size(bucket) > 0,
+            "rank must fall in a non-empty bucket"
+        );
+
+        if tree.is_equality_bucket(bucket) {
+            // §IV-C: all elements of this bucket equal its lower-bound
+            // splitter — terminate early.
+            outcome = Some((tree.equality_value(bucket), true));
+            break;
+        }
+
+        let bucket_u32 = bucket as u32;
+        let next = filter_kernel(
+            device,
+            cur,
+            &count,
+            &red,
+            bucket_u32..bucket_u32 + 1,
+            cfg,
+            LaunchOrigin::Device,
+        );
+        let next_rank = k - red.bucket_offsets[bucket] as usize;
+        debug_assert!(next_rank < next.len());
+        storage = next;
+        use_storage = true;
+        queue.push(LevelTask {
+            rank: next_rank,
+            level: task.level + 1,
+        });
+    }
+
+    let (value, terminated_early) = outcome.expect("recursion ended without producing a value");
+    let report = SelectReport::from_records(
+        "sampleselect",
+        n,
+        &device.records()[records_before..],
+        levels,
+        terminated_early,
+    );
+    Ok(SelectResult { value, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::reference_select;
+    use crate::params::AtomicScope;
+    use gpu_sim::arch::{k20xm, v100};
+    use hpc_par::ThreadPool;
+
+    fn select_f32(data: &[f32], rank: usize, cfg: &SampleSelectConfig) -> SelectResult<f32> {
+        let pool = ThreadPool::new(4);
+        let mut device = Device::new(v100(), &pool);
+        sample_select_on_device(&mut device, data, rank, cfg).unwrap()
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() as f32).collect()
+    }
+
+    #[test]
+    fn matches_reference_on_random_data() {
+        let cfg = SampleSelectConfig::default();
+        let data = uniform(100_000, 1);
+        for rank in [0usize, 1, 50_000, 99_998, 99_999] {
+            let result = select_f32(&data, rank, &cfg);
+            assert_eq!(
+                result.value,
+                reference_select(&data, rank).unwrap(),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_for_all_configs() {
+        let data = uniform(30_000, 2);
+        let rank = 12_345;
+        let expected = reference_select(&data, rank).unwrap();
+        for scope in [AtomicScope::Shared, AtomicScope::Global] {
+            for agg in [false, true] {
+                for buckets in [64usize, 256] {
+                    let cfg = SampleSelectConfig::default()
+                        .with_buckets(buckets)
+                        .with_atomic_scope(scope)
+                        .with_warp_aggregation(agg);
+                    let result = select_f32(&data, rank, &cfg);
+                    assert_eq!(
+                        result.value, expected,
+                        "scope {scope:?} agg {agg} b {buckets}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_heavy_input_via_equality_buckets() {
+        // d = 16 distinct values over 100k elements: most buckets become
+        // equality buckets and the recursion terminates early.
+        let mut rng = SplitMix64::new(3);
+        let data: Vec<f32> = (0..100_000)
+            .map(|_| (rng.next_below(16) as f32) * 2.5)
+            .collect();
+        let cfg = SampleSelectConfig::default();
+        for rank in [0usize, 31_337, 99_999] {
+            let result = select_f32(&data, rank, &cfg);
+            assert_eq!(result.value, reference_select(&data, rank).unwrap());
+        }
+    }
+
+    #[test]
+    fn all_equal_input_terminates_early() {
+        let data = vec![7.25f32; 50_000];
+        let result = select_f32(&data, 25_000, &SampleSelectConfig::default());
+        assert_eq!(result.value, 7.25);
+        assert!(result.report.terminated_early);
+        assert_eq!(result.report.levels, 1);
+    }
+
+    #[test]
+    fn small_input_goes_straight_to_base_case() {
+        let data: Vec<f32> = (0..100).map(|i| (100 - i) as f32).collect();
+        let result = select_f32(&data, 10, &SampleSelectConfig::default());
+        assert_eq!(result.value, 11.0);
+        assert_eq!(result.report.levels, 0);
+        assert_eq!(result.report.kernel_launches("base_sort"), 1);
+        assert_eq!(result.report.kernel_launches("count"), 0);
+    }
+
+    #[test]
+    fn recursion_depth_is_logarithmic() {
+        // 2^20 elements with 256 buckets: one level reduces to ~4k,
+        // which is under sample_size, so exactly one level + base case.
+        let data = uniform(1 << 20, 4);
+        let result = select_f32(&data, 500_000, &SampleSelectConfig::default());
+        assert!(
+            result.report.levels <= 2,
+            "levels = {}",
+            result.report.levels
+        );
+        assert_eq!(result.value, reference_select(&data, 500_000).unwrap());
+    }
+
+    #[test]
+    fn error_on_empty_input() {
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let err =
+            sample_select_on_device::<f32>(&mut device, &[], 0, &SampleSelectConfig::default())
+                .unwrap_err();
+        assert_eq!(err, SelectError::EmptyInput);
+    }
+
+    #[test]
+    fn error_on_rank_out_of_range() {
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let err = sample_select_on_device(
+            &mut device,
+            &[1.0f32, 2.0],
+            2,
+            &SampleSelectConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SelectError::RankOutOfRange { rank: 2, len: 2 });
+    }
+
+    #[test]
+    fn error_on_nan_with_check_enabled() {
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let cfg = SampleSelectConfig {
+            check_input: true,
+            ..SampleSelectConfig::default()
+        };
+        let data = vec![1.0f32, f32::NAN, 3.0];
+        let err = sample_select_on_device(&mut device, &data, 0, &cfg).unwrap_err();
+        assert_eq!(err, SelectError::NanInput { index: 1 });
+    }
+
+    #[test]
+    fn error_on_invalid_config() {
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let cfg = SampleSelectConfig::default().with_buckets(512); // needs wide oracles
+        let err = sample_select_on_device(&mut device, &[1.0f32; 10], 0, &cfg).unwrap_err();
+        assert!(matches!(err, SelectError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn report_contains_all_level_kernels() {
+        let data = uniform(200_000, 5);
+        let result = select_f32(&data, 100_000, &SampleSelectConfig::default());
+        for name in [
+            "sample",
+            "count",
+            "reduce",
+            "select_bucket",
+            "filter",
+            "base_sort",
+        ] {
+            assert!(
+                result.report.kernel_launches(name) > 0,
+                "missing kernel {name}"
+            );
+        }
+        assert!(result.report.total_time.as_ns() > 0.0);
+        assert!(result.report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn deeper_levels_use_device_launches() {
+        let pool = ThreadPool::new(4);
+        let mut device = Device::new(v100(), &pool);
+        let data = uniform(1 << 20, 6);
+        sample_select_on_device(&mut device, &data, 1 << 19, &SampleSelectConfig::default())
+            .unwrap();
+        let device_launches = device
+            .records()
+            .iter()
+            .filter(|r| r.origin == LaunchOrigin::Device)
+            .count();
+        assert!(
+            device_launches > 0,
+            "tail recursion must launch from device"
+        );
+        // level-0 sample and count come from the host
+        assert_eq!(device.records()[0].origin, LaunchOrigin::Host);
+    }
+
+    #[test]
+    fn works_on_integers_and_doubles() {
+        let mut rng = SplitMix64::new(7);
+        let ints: Vec<u32> = (0..50_000).map(|_| rng.next_u64() as u32).collect();
+        let pool = ThreadPool::new(4);
+        let mut device = Device::new(v100(), &pool);
+        let r = sample_select_on_device(&mut device, &ints, 25_000, &SampleSelectConfig::default())
+            .unwrap();
+        assert_eq!(r.value, reference_select(&ints, 25_000).unwrap());
+
+        let doubles: Vec<f64> = (0..50_000).map(|_| rng.next_f64()).collect();
+        let r = sample_select_on_device(&mut device, &doubles, 100, &SampleSelectConfig::default())
+            .unwrap();
+        assert_eq!(r.value, reference_select(&doubles, 100).unwrap());
+    }
+
+    #[test]
+    fn kepler_and_volta_agree_functionally() {
+        let data = uniform(150_000, 8);
+        let pool = ThreadPool::new(4);
+        let cfg_k = SampleSelectConfig::tuned_for(&k20xm());
+        let cfg_v = SampleSelectConfig::tuned_for(&v100());
+        let mut dk = Device::new(k20xm(), &pool);
+        let mut dv = Device::new(v100(), &pool);
+        let rk = sample_select_on_device(&mut dk, &data, 75_000, &cfg_k).unwrap();
+        let rv = sample_select_on_device(&mut dv, &data, 75_000, &cfg_v).unwrap();
+        assert_eq!(rk.value, rv.value);
+        assert_eq!(rk.value, reference_select(&data, 75_000).unwrap());
+    }
+}

@@ -1,0 +1,218 @@
+//! The `reduce` kernel (§IV-G, step 2): an exclusive prefix sum over the
+//! block-local partial bucket counts.
+//!
+//! The scanned values serve two purposes at once:
+//!
+//! 1. the per-bucket start offsets `r_i` (Fig. 1's `prefix_sum(counts)`)
+//!    used to pick the bucket containing the target rank, and
+//! 2. the per-(bucket, block) write offsets the `filter` kernel uses to
+//!    place elements contiguously without global collisions.
+
+use crate::count::CountResult;
+use gpu_sim::{Device, KernelCost, LaunchConfig, LaunchOrigin};
+
+/// Result of the reduce kernel.
+#[derive(Debug, Clone)]
+pub struct ReduceResult {
+    /// Exclusive scan over the bucket-major partials
+    /// (`offsets[bucket * blocks + block]` = global output position of
+    /// the first element of `bucket` found by `block`).
+    pub offsets: Vec<u64>,
+    /// Start rank of each bucket (`r_i`, length `b + 1`;
+    /// `bucket_offsets[b] == n`).
+    pub bucket_offsets: Vec<u64>,
+    /// Grid size the partials came from.
+    pub blocks: usize,
+}
+
+impl ReduceResult {
+    /// Elements in bucket `i`.
+    pub fn bucket_size(&self, bucket: usize) -> u64 {
+        self.bucket_offsets[bucket + 1] - self.bucket_offsets[bucket]
+    }
+
+    /// The bucket containing global rank `k` (Fig. 1, line 13).
+    pub fn bucket_for_rank(&self, rank: u64) -> usize {
+        hpc_par::scan::bucket_for_rank(&self.bucket_offsets[..self.bucket_offsets.len() - 1], rank)
+    }
+}
+
+/// Run the reduce kernel over a count result.
+pub fn reduce_kernel(
+    device: &mut Device,
+    count: &CountResult,
+    origin: LaunchOrigin,
+) -> ReduceResult {
+    let blocks = count.blocks;
+    let b = count.counts.len();
+    let mut offsets = count.partials.clone();
+    let total = hpc_par::parallel_exclusive_scan(device.pool(), &mut offsets);
+
+    let mut bucket_offsets = Vec::with_capacity(b + 1);
+    for bucket in 0..b {
+        bucket_offsets.push(offsets[bucket * blocks]);
+    }
+    bucket_offsets.push(total);
+
+    // Cost: the scan reads and writes the partial array once (work-
+    // efficient scan; the logarithmic sweep factor is folded into the
+    // int-op charge).
+    let len = (b * blocks) as u64;
+    let mut cost = KernelCost::new();
+    cost.global_read_bytes += len * 4;
+    cost.global_write_bytes += len * 4;
+    cost.int_ops += len * 2;
+    cost.blocks = blocks.min(64) as u64;
+
+    let launch = LaunchConfig {
+        blocks: blocks.min(64) as u32,
+        threads_per_block: 256,
+        shared_mem_bytes: 0,
+    };
+    device.commit("reduce", launch, origin, cost);
+
+    ReduceResult {
+        offsets,
+        bucket_offsets,
+        blocks,
+    }
+}
+
+/// Totals-only reduce for the count-only (approximate) pipeline: scan
+/// just the `b` bucket totals instead of the full `b x blocks` partial
+/// array. The approximate variant never filters, so per-block offsets
+/// are not needed — this is why Fig. 9's "count w.o. write" bar has a
+/// cheaper reduce segment than the recording variant ("the following
+/// reduction becomes more expensive, as additionally to the total bucket
+/// counts, also the partial sums need to be computed", SS V-F).
+pub fn reduce_totals_kernel(
+    device: &mut Device,
+    count: &CountResult,
+    origin: LaunchOrigin,
+) -> ReduceResult {
+    let b = count.counts.len();
+    let mut bucket_offsets = count.counts.clone();
+    let total = hpc_par::exclusive_scan(&mut bucket_offsets);
+    bucket_offsets.push(total);
+
+    let mut cost = KernelCost::new();
+    cost.global_read_bytes += b as u64 * 4;
+    cost.global_write_bytes += b as u64 * 4;
+    cost.int_ops += b as u64 * 2;
+    cost.blocks = 1;
+    let launch = LaunchConfig {
+        blocks: 1,
+        threads_per_block: 256,
+        shared_mem_bytes: 0,
+    };
+    device.commit("reduce", launch, origin, cost);
+
+    ReduceResult {
+        offsets: Vec::new(),
+        bucket_offsets,
+        blocks: count.blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::count_kernel;
+    use crate::params::SampleSelectConfig;
+    use crate::rng::SplitMix64;
+    use crate::searchtree::SearchTree;
+    use gpu_sim::arch::v100;
+    use hpc_par::ThreadPool;
+
+    fn make_count(data: &[f32]) -> (CountResult, ThreadPool) {
+        let pool = ThreadPool::new(4);
+        let mut device = Device::new(v100(), &pool);
+        let tree = SearchTree::build(&[10.0f32, 20.0, 30.0]);
+        let cfg = SampleSelectConfig::default().with_buckets(4);
+        let res = count_kernel(&mut device, data, &tree, &cfg, true, LaunchOrigin::Host);
+        (res, pool)
+    }
+
+    #[test]
+    fn bucket_offsets_are_exclusive_scan_of_counts() {
+        let mut rng = SplitMix64::new(3);
+        let data: Vec<f32> = (0..50_000).map(|_| rng.next_f64() as f32 * 40.0).collect();
+        let (count, pool) = make_count(&data);
+        let mut device = Device::new(v100(), &pool);
+        let red = reduce_kernel(&mut device, &count, LaunchOrigin::Device);
+        assert_eq!(red.bucket_offsets.len(), 5);
+        assert_eq!(red.bucket_offsets[0], 0);
+        let mut running = 0;
+        for i in 0..4 {
+            assert_eq!(red.bucket_offsets[i], running);
+            running += count.counts[i];
+            assert_eq!(red.bucket_size(i), count.counts[i]);
+        }
+        assert_eq!(red.bucket_offsets[4], data.len() as u64);
+    }
+
+    #[test]
+    fn offsets_monotone_and_consistent() {
+        let mut rng = SplitMix64::new(4);
+        let data: Vec<f32> = (0..80_000).map(|_| rng.next_f64() as f32 * 40.0).collect();
+        let (count, pool) = make_count(&data);
+        let mut device = Device::new(v100(), &pool);
+        let red = reduce_kernel(&mut device, &count, LaunchOrigin::Device);
+        assert!(red.offsets.windows(2).all(|w| w[0] <= w[1]));
+        // offsets[bucket*blocks + block] + partial == next offset
+        let blocks = count.blocks;
+        for bucket in 0..4 {
+            for block in 0..blocks {
+                let i = bucket * blocks + block;
+                let next = if i + 1 < red.offsets.len() {
+                    red.offsets[i + 1]
+                } else {
+                    data.len() as u64
+                };
+                assert_eq!(red.offsets[i] + count.partials[i], next);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_for_rank_picks_containing_bucket() {
+        let data = vec![5.0f32, 15.0, 15.5, 25.0, 25.5, 25.9, 35.0];
+        let (count, pool) = make_count(&data);
+        let mut device = Device::new(v100(), &pool);
+        let red = reduce_kernel(&mut device, &count, LaunchOrigin::Device);
+        // counts: [1, 2, 3, 1]; offsets [0, 1, 3, 6]
+        assert_eq!(red.bucket_for_rank(0), 0);
+        assert_eq!(red.bucket_for_rank(1), 1);
+        assert_eq!(red.bucket_for_rank(2), 1);
+        assert_eq!(red.bucket_for_rank(3), 2);
+        assert_eq!(red.bucket_for_rank(5), 2);
+        assert_eq!(red.bucket_for_rank(6), 3);
+    }
+
+    #[test]
+    fn totals_only_reduce_matches_bucket_offsets() {
+        let mut rng = SplitMix64::new(6);
+        let data: Vec<f32> = (0..50_000).map(|_| rng.next_f64() as f32 * 40.0).collect();
+        let (count, pool) = make_count(&data);
+        let mut device = Device::new(v100(), &pool);
+        let full = reduce_kernel(&mut device, &count, LaunchOrigin::Device);
+        let cheap = reduce_totals_kernel(&mut device, &count, LaunchOrigin::Device);
+        assert_eq!(full.bucket_offsets, cheap.bucket_offsets);
+        // the totals-only variant moves far less data
+        let recs = device.records();
+        assert!(recs[1].cost.global_read_bytes < recs[0].cost.global_read_bytes / 4);
+    }
+
+    #[test]
+    fn reduce_records_kernel_cost() {
+        let data = vec![1.0f32; 1000];
+        let (count, pool) = make_count(&data);
+        let mut device = Device::new(v100(), &pool);
+        reduce_kernel(&mut device, &count, LaunchOrigin::Device);
+        let rec = &device.records()[0];
+        assert_eq!(rec.name, "reduce");
+        let len = (4 * count.blocks) as u64;
+        assert_eq!(rec.cost.global_read_bytes, len * 4);
+        assert_eq!(rec.cost.global_write_bytes, len * 4);
+    }
+}

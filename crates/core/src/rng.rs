@@ -1,0 +1,102 @@
+//! A tiny deterministic RNG for splitter sampling.
+//!
+//! The core crate does not depend on `rand`: the sample kernel only
+//! needs uniform indices, and keeping the generator in-tree makes the
+//! simulated runs bit-reproducible across platforms. SplitMix64 is the
+//! standard 64-bit mixer (Steele et al.), statistically strong enough
+//! for sampling positions.
+
+/// SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..bound` (Lemire's multiply-shift; bias is
+    /// negligible for the bounds used here and irrelevant for sampling).
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut rng = SplitMix64::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.next_below(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = SplitMix64::new(99);
+        let mut hist = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            hist[rng.next_below(10)] += 1;
+        }
+        for &h in &hist {
+            // each bin expected 10_000; allow +-5%
+            assert!((9_500..=10_500).contains(&h), "bin count {h}");
+        }
+    }
+}

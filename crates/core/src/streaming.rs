@@ -1,0 +1,346 @@
+//! Out-of-core (streaming) selection: the k-th smallest element of a
+//! dataset larger than device memory.
+//!
+//! SampleSelect is naturally streamable because its first level only
+//! needs *counts*: the histogram pass is distributive over chunks, so a
+//! dataset presented as re-loadable chunks (disk shards, network parts,
+//! a larger-than-VRAM host buffer) can be selected from while
+//! materializing only the target bucket (`~n/b` elements) — after which
+//! the ordinary in-memory driver finishes the job.
+//!
+//! The flow per §II's framework: sample proportionally from every chunk
+//! → build the splitter tree → histogram every chunk (count-only, no
+//! oracles — nothing is stored per element) → pick the bucket containing
+//! the rank → re-stream, extracting only that bucket → recurse in
+//! memory.
+
+use crate::count::count_kernel;
+use crate::element::SelectElement;
+use crate::instrument::SelectReport;
+use crate::params::SampleSelectConfig;
+use crate::recursion::sample_select_on_device;
+use crate::rng::SplitMix64;
+use crate::searchtree::SearchTree;
+use crate::{SelectError, SelectResult};
+use gpu_sim::{Device, KernelCost, LaunchOrigin};
+
+/// A dataset presented as independently loadable chunks.
+///
+/// `load_chunk` models the I/O of an out-of-core pipeline: the driver
+/// calls it multiple times (sampling pass, histogram pass, filter pass)
+/// and never holds more than one chunk plus the extracted bucket in
+/// memory.
+pub trait ChunkSource<T>: Sync {
+    /// Number of chunks.
+    fn num_chunks(&self) -> usize;
+    /// Load chunk `idx` (owned: models a read from storage).
+    fn load_chunk(&self, idx: usize) -> Vec<T>;
+    /// Total number of elements across all chunks.
+    fn total_len(&self) -> usize;
+}
+
+/// The trivial in-memory chunk source: a slice viewed as fixed-size
+/// chunks (useful for tests and for data that fits host RAM but not the
+/// simulated device).
+pub struct SliceChunks<'a, T> {
+    data: &'a [T],
+    chunk_len: usize,
+}
+
+impl<'a, T> SliceChunks<'a, T> {
+    pub fn new(data: &'a [T], chunk_len: usize) -> Self {
+        assert!(chunk_len > 0);
+        Self { data, chunk_len }
+    }
+}
+
+impl<T: SelectElement> ChunkSource<T> for SliceChunks<'_, T> {
+    fn num_chunks(&self) -> usize {
+        self.data.len().div_ceil(self.chunk_len).max(1)
+    }
+
+    fn load_chunk(&self, idx: usize) -> Vec<T> {
+        let start = (idx * self.chunk_len).min(self.data.len());
+        let end = ((idx + 1) * self.chunk_len).min(self.data.len());
+        self.data[start..end].to_vec()
+    }
+
+    fn total_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Result of a streaming selection, with out-of-core statistics.
+#[derive(Debug, Clone)]
+pub struct StreamingResult<T> {
+    /// The rank-`k` element.
+    pub value: T,
+    /// Peak number of elements materialized at once (excluding the
+    /// single resident chunk): the extracted bucket.
+    pub peak_resident: usize,
+    /// Measurement report of the device work.
+    pub report: SelectReport,
+}
+
+/// Select the `rank`-th smallest element of a chunked dataset.
+pub fn streaming_select<T: SelectElement, S: ChunkSource<T>>(
+    device: &mut Device,
+    source: &S,
+    rank: usize,
+    cfg: &SampleSelectConfig,
+) -> Result<StreamingResult<T>, SelectError> {
+    cfg.validate().map_err(SelectError::InvalidConfig)?;
+    let n = source.total_len();
+    if n == 0 {
+        return Err(SelectError::EmptyInput);
+    }
+    if rank >= n {
+        return Err(SelectError::RankOutOfRange { rank, len: n });
+    }
+    let records_before = device.records().len();
+    let mut rng = SplitMix64::new(cfg.seed);
+
+    // Pass 1: proportional sampling across chunks (the streaming analogue
+    // of the sample kernel; charged as one gather per sampled element).
+    let tree = streaming_sample(device, source, cfg, &mut rng);
+
+    // Pass 2: chunkwise histogram, merged on the fly.
+    let b = tree.num_buckets();
+    let mut counts = vec![0u64; b];
+    for c in 0..source.num_chunks() {
+        let chunk = source.load_chunk(c);
+        if chunk.is_empty() {
+            continue;
+        }
+        let result = count_kernel(device, &chunk, &tree, cfg, false, LaunchOrigin::Host);
+        for (acc, v) in counts.iter_mut().zip(result.counts.iter()) {
+            *acc += v;
+        }
+    }
+    debug_assert_eq!(counts.iter().sum::<u64>(), n as u64);
+
+    let mut offsets = counts;
+    let total = hpc_par::exclusive_scan(&mut offsets);
+    debug_assert_eq!(total, n as u64);
+    let bucket = hpc_par::scan::bucket_for_rank(&offsets, rank as u64);
+    // the totals-scan is charged like the count-only reduce
+    {
+        // build a minimal CountResult-shaped charge via reduce_totals on
+        // a synthetic result: cheaper to charge directly
+        let mut cost = KernelCost::new();
+        cost.global_read_bytes += b as u64 * 4;
+        cost.global_write_bytes += b as u64 * 4;
+        cost.int_ops += b as u64 * 2;
+        cost.blocks = 1;
+        device.commit(
+            "reduce",
+            gpu_sim::LaunchConfig {
+                blocks: 1,
+                threads_per_block: 256,
+                shared_mem_bytes: 0,
+            },
+            LaunchOrigin::Device,
+            cost,
+        );
+    }
+
+    if tree.is_equality_bucket(bucket) {
+        let report = SelectReport::from_records(
+            "streaming-sampleselect",
+            n,
+            &device.records()[records_before..],
+            1,
+            true,
+        );
+        return Ok(StreamingResult {
+            value: tree.equality_value(bucket),
+            peak_resident: 0,
+            report,
+        });
+    }
+
+    // Pass 3: re-stream, keeping only the target bucket.
+    let lower = tree.bucket_lower(bucket);
+    let upper = tree.bucket_lower(bucket + 1);
+    let mut kept: Vec<T> = Vec::with_capacity(
+        (offsets.get(bucket + 1).copied().unwrap_or(n as u64) - offsets[bucket]) as usize,
+    );
+    for c in 0..source.num_chunks() {
+        let chunk = source.load_chunk(c);
+        if chunk.is_empty() {
+            continue;
+        }
+        let before = kept.len();
+        kept.extend(chunk.iter().copied().filter(|&x| {
+            let above = lower.is_none_or(|lo| !x.lt(lo));
+            let below = upper.is_none_or(|hi| x.lt(hi));
+            above && below
+        }));
+        // Charge the extraction kernel: stream read + bound compares +
+        // contiguous writes of the matches.
+        let mut cost = KernelCost::new();
+        cost.global_read_bytes += (chunk.len() * T::BYTES) as u64;
+        cost.int_ops += chunk.len() as u64 * 2;
+        cost.global_write_bytes += ((kept.len() - before) * T::BYTES) as u64;
+        let launch = cfg.launch_config(chunk.len(), T::BYTES);
+        cost.blocks = launch.blocks as u64;
+        device.commit("stream_filter", launch, LaunchOrigin::Host, cost);
+    }
+    let peak_resident = kept.len();
+    let sub_rank = rank - offsets[bucket] as usize;
+    debug_assert!(sub_rank < kept.len());
+
+    // Finish in memory.
+    let inner: SelectResult<T> = sample_select_on_device(device, &kept, sub_rank, cfg)?;
+    let report = SelectReport::from_records(
+        "streaming-sampleselect",
+        n,
+        &device.records()[records_before..],
+        inner.report.levels + 1,
+        inner.report.terminated_early,
+    );
+    Ok(StreamingResult {
+        value: inner.value,
+        peak_resident,
+        report,
+    })
+}
+
+/// Proportional per-chunk sampling + splitter-tree construction.
+fn streaming_sample<T: SelectElement, S: ChunkSource<T>>(
+    device: &mut Device,
+    source: &S,
+    cfg: &SampleSelectConfig,
+    rng: &mut SplitMix64,
+) -> SearchTree<T> {
+    let n = source.total_len();
+    let s = cfg.sample_size().max(cfg.num_buckets);
+    let mut sample: Vec<T> = Vec::with_capacity(s + cfg.num_buckets);
+    for c in 0..source.num_chunks() {
+        let chunk = source.load_chunk(c);
+        if chunk.is_empty() {
+            continue;
+        }
+        // proportional share, at least 1 to represent the chunk
+        let share = ((s as u128 * chunk.len() as u128) / n as u128).max(1) as usize;
+        for _ in 0..share {
+            sample.push(chunk[rng.next_below(chunk.len())]);
+        }
+    }
+    let mut cost = KernelCost::new();
+    cost.blocks = 1;
+    cost.uncoalesced_bytes += (sample.len() * T::BYTES) as u64;
+    let stats = crate::bitonic::bitonic_sort(&mut sample);
+    stats.charge::<T>(&mut cost);
+    cost.global_write_bytes += ((cfg.num_buckets - 1) * T::BYTES) as u64;
+    device.commit(
+        "sample",
+        gpu_sim::LaunchConfig {
+            blocks: 1,
+            threads_per_block: cfg.threads_per_block,
+            shared_mem_bytes: (sample.len() * T::BYTES) as u32,
+        },
+        LaunchOrigin::Host,
+        cost,
+    );
+    let m = sample.len();
+    let splitters: Vec<T> = (1..cfg.num_buckets)
+        .map(|i| sample[(i * m / cfg.num_buckets).min(m - 1)])
+        .collect();
+    SearchTree::build(&splitters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::reference_select;
+    use gpu_sim::arch::v100;
+    use hpc_par::ThreadPool;
+
+    fn uniform(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() as f32).collect()
+    }
+
+    fn run(data: &[f32], chunk: usize, rank: usize) -> StreamingResult<f32> {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let source = SliceChunks::new(data, chunk);
+        streaming_select(&mut device, &source, rank, &SampleSelectConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn matches_reference_across_chunk_sizes() {
+        let data = uniform(300_000, 1);
+        for chunk in [1 << 14, 1 << 16, 1 << 20 /* single chunk */] {
+            for rank in [0usize, 150_000, 299_999] {
+                let res = run(&data, chunk, rank);
+                assert_eq!(
+                    res.value,
+                    reference_select(&data, rank).unwrap(),
+                    "chunk {chunk} rank {rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_residency_is_a_small_fraction_of_n() {
+        let data = uniform(1 << 20, 2);
+        let res = run(&data, 1 << 16, 1 << 19);
+        // one bucket of 256 (+ sampling imbalance) — far below n
+        assert!(
+            res.peak_resident < data.len() / 32,
+            "resident {} of {}",
+            res.peak_resident,
+            data.len()
+        );
+    }
+
+    #[test]
+    fn duplicate_heavy_stream_terminates_early() {
+        let mut rng = SplitMix64::new(3);
+        let data: Vec<f32> = (0..200_000)
+            .map(|_| (rng.next_below(8) as f32) * 1.5)
+            .collect();
+        let res = run(&data, 1 << 15, 100_000);
+        assert_eq!(res.value, reference_select(&data, 100_000).unwrap());
+        assert!(res.report.terminated_early);
+        assert_eq!(res.peak_resident, 0, "nothing materialized on early exit");
+    }
+
+    #[test]
+    fn uneven_tail_chunk_handled() {
+        let data = uniform(100_001, 4); // not divisible by the chunk size
+        let res = run(&data, 1 << 14, 50_000);
+        assert_eq!(res.value, reference_select(&data, 50_000).unwrap());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let empty: Vec<f32> = vec![];
+        let source = SliceChunks::new(&empty, 16);
+        assert_eq!(
+            streaming_select(&mut device, &source, 0, &SampleSelectConfig::default()).unwrap_err(),
+            SelectError::EmptyInput
+        );
+        let data = vec![1.0f32; 10];
+        let source = SliceChunks::new(&data, 4);
+        assert!(matches!(
+            streaming_select(&mut device, &source, 10, &SampleSelectConfig::default()).unwrap_err(),
+            SelectError::RankOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn report_shows_per_chunk_passes() {
+        let data = uniform(1 << 18, 5);
+        let res = run(&data, 1 << 15, 1 << 17);
+        // 8 chunks: 8 count passes + >= some stream_filter passes
+        assert_eq!(res.report.kernel_launches("count_nowrite"), 8);
+        assert!(res.report.kernel_launches("stream_filter") == 8);
+        assert!(res.report.kernel_launches("sample") >= 1);
+    }
+}

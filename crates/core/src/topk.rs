@@ -1,0 +1,359 @@
+//! Fused top-k selection (§IV-I).
+//!
+//! When not only the kth-smallest element but all larger elements are of
+//! interest, the filter kernel is modified to copy "not only elements
+//! from the target bucket, but also from all buckets containing larger
+//! elements. As the splitters are ordered, the recursion still only
+//! needs to descend into the target bucket, but all elements from larger
+//! buckets are guaranteed to be part of the top-k selection."
+
+use crate::count::count_kernel;
+use crate::element::SelectElement;
+use crate::filter::filter_kernel;
+use crate::instrument::SelectReport;
+use crate::params::SampleSelectConfig;
+use crate::recursion::{base_case_select, validate_input};
+use crate::reduce::reduce_kernel;
+use crate::rng::SplitMix64;
+use crate::splitter::sample_kernel;
+use crate::{SelectError, SelectResult};
+use gpu_sim::arch::v100;
+use gpu_sim::{Device, LaunchOrigin};
+
+/// Result of a top-k extraction.
+#[derive(Debug, Clone)]
+pub struct TopKResult<T> {
+    /// The `k` largest elements, in no particular order.
+    pub elements: Vec<T>,
+    /// The threshold: the smallest element of the top-k set (the
+    /// `(n-k)`-th smallest of the input).
+    pub threshold: T,
+    /// Measurement report.
+    pub report: SelectReport,
+}
+
+/// Extract the `k` largest elements on a simulated device.
+pub fn top_k_largest_on_device<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    k: usize,
+    cfg: &SampleSelectConfig,
+) -> Result<TopKResult<T>, SelectError> {
+    cfg.validate().map_err(SelectError::InvalidConfig)?;
+    if k == 0 || k > data.len() {
+        return Err(SelectError::RankOutOfRange {
+            rank: k,
+            len: data.len(),
+        });
+    }
+    // The threshold element has rank n - k.
+    let rank = data.len() - k;
+    validate_input(data, rank, cfg)?;
+
+    let n = data.len();
+    let records_before = device.records().len();
+    let mut rng = SplitMix64::new(cfg.seed);
+
+    // `collected` accumulates elements already known to be in the top-k
+    // (from buckets strictly above the target bucket at each level).
+    let mut collected: Vec<T> = Vec::with_capacity(k);
+    let mut cur: Vec<T> = Vec::new();
+    let mut use_storage = false;
+    let mut cur_rank = rank;
+    let mut levels = 0u32;
+    let mut terminated_early = false;
+    let threshold: T;
+
+    loop {
+        let slice: &[T] = if use_storage { &cur } else { data };
+        let origin = if levels == 0 {
+            LaunchOrigin::Host
+        } else {
+            LaunchOrigin::Device
+        };
+
+        if slice.len() <= cfg.base_case_size.max(cfg.sample_size()) {
+            // Base case: sort, take the suffix from the rank position.
+            let mut buf = slice.to_vec();
+            let value = base_case_select(device, slice, cur_rank, cfg, origin);
+            crate::bitonic::bitonic_sort(&mut buf);
+            collected.extend_from_slice(&buf[cur_rank..]);
+            threshold = value;
+            break;
+        }
+        levels += 1;
+
+        let tree = sample_kernel(device, slice, cfg, &mut rng, origin);
+        let count = count_kernel(device, slice, &tree, cfg, true, origin);
+        let red = reduce_kernel(device, &count, LaunchOrigin::Device);
+        let bucket = red.bucket_for_rank(cur_rank as u64);
+        let b = tree.num_buckets() as u32;
+
+        // Fused filter: the target bucket plus every larger bucket.
+        let fused = filter_kernel(
+            device,
+            slice,
+            &count,
+            &red,
+            bucket as u32..b,
+            cfg,
+            LaunchOrigin::Device,
+        );
+        // Elements of the target bucket come first in the fused output
+        // (the extraction is bucket-major).
+        let target_size = red.bucket_size(bucket) as usize;
+        let (target_part, larger_part) = fused.split_at(target_size);
+        collected.extend_from_slice(larger_part);
+
+        if tree.is_equality_bucket(bucket) {
+            // Everything in the target bucket equals the threshold; the
+            // top-k set needs exactly those at ranks >= cur_rank.
+            let offset = red.bucket_offsets[bucket] as usize;
+            let need = target_size - (cur_rank - offset);
+            collected.extend_from_slice(&target_part[..need]);
+            threshold = tree.equality_value(bucket);
+            terminated_early = true;
+            break;
+        }
+
+        cur_rank -= red.bucket_offsets[bucket] as usize;
+        cur = target_part.to_vec();
+        use_storage = true;
+    }
+
+    debug_assert_eq!(collected.len(), k, "top-k set has wrong cardinality");
+    let report = SelectReport::from_records(
+        "topk-sampleselect",
+        n,
+        &device.records()[records_before..],
+        levels,
+        terminated_early,
+    );
+    Ok(TopKResult {
+        elements: collected,
+        threshold,
+        report,
+    })
+}
+
+/// Extract the `k` largest elements on a default simulated device.
+pub fn top_k_largest<T: SelectElement>(
+    data: &[T],
+    k: usize,
+    cfg: &SampleSelectConfig,
+) -> Result<TopKResult<T>, SelectError> {
+    let mut device = Device::on_global_pool(v100());
+    top_k_largest_on_device(&mut device, data, k, cfg)
+}
+
+/// Extract the `k` smallest elements (bottom-k), the mirror of
+/// [`top_k_largest_on_device`]: the fused filter keeps the target bucket
+/// plus every *smaller* bucket. Implemented by selecting rank `k-1` and
+/// filtering the prefix.
+pub fn bottom_k_smallest_on_device<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    k: usize,
+    cfg: &SampleSelectConfig,
+) -> Result<TopKResult<T>, SelectError> {
+    cfg.validate().map_err(SelectError::InvalidConfig)?;
+    if k == 0 || k > data.len() {
+        return Err(SelectError::RankOutOfRange {
+            rank: k,
+            len: data.len(),
+        });
+    }
+    // Negate via the sort-key order: bottom-k of data == top-k under the
+    // reversed order. Rather than add a reversed driver, select the
+    // threshold (rank k-1) and collect everything <= it, trimming ties.
+    let threshold = crate::recursion::sample_select_on_device(device, data, k - 1, cfg)?;
+    let n = data.len();
+    let records_before = device.records().len();
+    let mut elements: Vec<T> = Vec::with_capacity(k);
+    let mut ties = Vec::new();
+    for &x in data {
+        if x.lt(threshold.value) {
+            elements.push(x);
+        } else if !threshold.value.lt(x) {
+            ties.push(x);
+        }
+    }
+    let need = k - elements.len();
+    elements.extend(ties.into_iter().take(need));
+    // charge the extraction pass
+    let mut cost = gpu_sim::KernelCost::new();
+    cost.global_read_bytes += (n * T::BYTES) as u64;
+    cost.global_write_bytes += (k * T::BYTES) as u64;
+    cost.int_ops += n as u64 * 2;
+    let launch = cfg.launch_config(n, T::BYTES);
+    cost.blocks = launch.blocks as u64;
+    device.commit("bottom_filter", launch, LaunchOrigin::Device, cost);
+
+    debug_assert_eq!(elements.len(), k);
+    let mut report = SelectReport::from_records(
+        "bottomk-sampleselect",
+        n,
+        &device.records()[records_before..],
+        threshold.report.levels,
+        threshold.report.terminated_early,
+    );
+    report.total_time += threshold.report.total_time;
+    Ok(TopKResult {
+        elements,
+        threshold: threshold.value,
+        report,
+    })
+}
+
+/// Convenience: the kth-largest element (top-k threshold) as a plain
+/// [`SelectResult`], without materializing the top-k set.
+pub fn kth_largest<T: SelectElement>(
+    data: &[T],
+    k: usize,
+    cfg: &SampleSelectConfig,
+) -> Result<SelectResult<T>, SelectError> {
+    if k == 0 || k > data.len() {
+        return Err(SelectError::RankOutOfRange {
+            rank: k,
+            len: data.len(),
+        });
+    }
+    crate::sample_select(data, data.len() - k, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::sort_elements;
+    use crate::rng::SplitMix64;
+    use hpc_par::ThreadPool;
+
+    fn uniform(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() as f32).collect()
+    }
+
+    fn check_topk(data: &[f32], k: usize) {
+        let pool = ThreadPool::new(4);
+        let mut device = Device::new(v100(), &pool);
+        let res =
+            top_k_largest_on_device(&mut device, data, k, &SampleSelectConfig::default()).unwrap();
+        assert_eq!(res.elements.len(), k);
+
+        let mut sorted = data.to_vec();
+        sort_elements(&mut sorted);
+        let expected: Vec<u32> = sorted[data.len() - k..]
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let mut got: Vec<u32> = res.elements.iter().map(|x| x.to_bits()).collect();
+        got.sort_unstable();
+        let mut expected = expected;
+        expected.sort_unstable();
+        assert_eq!(got, expected, "top-{k} multiset mismatch");
+        assert_eq!(res.threshold, sorted[data.len() - k]);
+    }
+
+    #[test]
+    fn small_input_topk() {
+        let data = vec![5.0f32, 1.0, 9.0, 3.0, 7.0];
+        check_topk(&data, 2);
+        check_topk(&data, 5);
+    }
+
+    #[test]
+    fn large_input_topk() {
+        let data = uniform(200_000, 1);
+        check_topk(&data, 10);
+        check_topk(&data, 1000);
+        check_topk(&data, 100_000);
+    }
+
+    #[test]
+    fn topk_with_duplicates() {
+        let mut rng = SplitMix64::new(2);
+        let data: Vec<f32> = (0..50_000)
+            .map(|_| (rng.next_below(8) as f32) * 1.5)
+            .collect();
+        // ties at the threshold boundary must still give exactly k
+        for k in [1usize, 100, 25_000, 50_000] {
+            let pool = ThreadPool::new(4);
+            let mut device = Device::new(v100(), &pool);
+            let res =
+                top_k_largest_on_device(&mut device, &data, k, &SampleSelectConfig::default())
+                    .unwrap();
+            assert_eq!(res.elements.len(), k);
+            let mut sorted = data.clone();
+            sort_elements(&mut sorted);
+            let threshold = sorted[data.len() - k];
+            assert_eq!(res.threshold, threshold);
+            assert!(res.elements.iter().all(|&x| x >= threshold));
+            // count of strictly-greater elements must match
+            let expected_gt = sorted[data.len() - k..]
+                .iter()
+                .filter(|&&x| x > threshold)
+                .count();
+            let got_gt = res.elements.iter().filter(|&&x| x > threshold).count();
+            assert_eq!(got_gt, expected_gt);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_returns_everything() {
+        let data = uniform(5_000, 3);
+        check_topk(&data, 5_000);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let data = vec![1.0f32, 2.0];
+        let err = top_k_largest(&data, 0, &SampleSelectConfig::default()).unwrap_err();
+        assert!(matches!(err, SelectError::RankOutOfRange { .. }));
+        let err = top_k_largest(&data, 3, &SampleSelectConfig::default()).unwrap_err();
+        assert!(matches!(err, SelectError::RankOutOfRange { .. }));
+    }
+
+    #[test]
+    fn bottom_k_is_the_sorted_prefix() {
+        let data = uniform(60_000, 9);
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        for k in [1usize, 100, 30_000] {
+            let res =
+                bottom_k_smallest_on_device(&mut device, &data, k, &SampleSelectConfig::default())
+                    .unwrap();
+            assert_eq!(res.elements.len(), k);
+            let mut sorted = data.clone();
+            sort_elements(&mut sorted);
+            let mut got: Vec<u32> = res.elements.iter().map(|x| x.to_bits()).collect();
+            let mut expected: Vec<u32> = sorted[..k].iter().map(|x| x.to_bits()).collect();
+            got.sort_unstable();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "k = {k}");
+            assert_eq!(res.threshold, sorted[k - 1]);
+        }
+    }
+
+    #[test]
+    fn bottom_k_with_ties_at_threshold() {
+        let data = vec![2.0f32, 1.0, 2.0, 2.0, 3.0, 0.5];
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let res =
+            bottom_k_smallest_on_device(&mut device, &data, 4, &SampleSelectConfig::default())
+                .unwrap();
+        assert_eq!(res.elements.len(), 4);
+        assert_eq!(res.threshold, 2.0);
+        assert!(res.elements.iter().all(|&x| x <= 2.0));
+        assert_eq!(res.elements.iter().filter(|&&x| x == 2.0).count(), 2);
+    }
+
+    #[test]
+    fn kth_largest_matches_reference() {
+        let data = uniform(30_000, 4);
+        let mut sorted = data.clone();
+        sort_elements(&mut sorted);
+        let res = kth_largest(&data, 7, &SampleSelectConfig::default()).unwrap();
+        assert_eq!(res.value, sorted[data.len() - 7]);
+    }
+}

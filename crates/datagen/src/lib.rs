@@ -1,0 +1,378 @@
+//! # select-datagen
+//!
+//! Workload generators for the selection experiments.
+//!
+//! The paper's evaluation (§V-A) uses datasets "generated as uniform
+//! distribution across a pre-defined set of distinct values", with sizes
+//! `n = 2^16 .. 2^28` and `d = 1, 16, 128, 1024, n` distinct values, and
+//! picks the target rank uniformly at random per dataset. This crate
+//! reproduces those workloads and adds the adversarial distributions
+//! used to demonstrate SampleSelect's robustness against value-based
+//! methods (BucketSelect/RadixSelect).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sampleselect::SelectElement;
+
+/// The value distributions available to experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform over `d` distinct, evenly spaced values (§V-A's main
+    /// workload; `d = 1` makes every element identical).
+    UniformDistinct { distinct: usize },
+    /// Continuous uniform on `[0, 1)` — the `d = n` case.
+    Uniform,
+    /// Gaussian via Box–Muller.
+    Normal { mean: f64, std_dev: f64 },
+    /// Exponential with rate `lambda` (a skewed but smooth case).
+    Exponential { lambda: f64 },
+    /// Already sorted ascending (pathological for naive pivot rules).
+    SortedAscending,
+    /// Sorted descending.
+    SortedDescending,
+    /// Adversarial for *value-range* bucketing (BucketSelect): almost
+    /// all mass in a tiny interval near zero plus a few huge outliers
+    /// that stretch the range, so uniform value-splitting puts nearly
+    /// everything in one bucket, level after level.
+    ClusteredOutliers,
+    /// A geometric cascade of ever-denser clusters: value-range methods
+    /// need one full pass per scale (`~log` levels), while rank-based
+    /// methods are oblivious to it.
+    GeometricCascade,
+}
+
+impl Distribution {
+    /// Short label used in benchmark output rows.
+    pub fn label(&self) -> String {
+        match self {
+            Distribution::UniformDistinct { distinct } => format!("uniform-d{distinct}"),
+            Distribution::Uniform => "uniform".to_string(),
+            Distribution::Normal { .. } => "normal".to_string(),
+            Distribution::Exponential { .. } => "exponential".to_string(),
+            Distribution::SortedAscending => "sorted-asc".to_string(),
+            Distribution::SortedDescending => "sorted-desc".to_string(),
+            Distribution::ClusteredOutliers => "clustered-outliers".to_string(),
+            Distribution::GeometricCascade => "geometric-cascade".to_string(),
+        }
+    }
+}
+
+/// How the target rank is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankChoice {
+    /// Uniformly random in `0..n` (the paper's §V-A protocol,
+    /// "to simulate a variety of different workloads").
+    Random,
+    /// The median `n/2`.
+    Median,
+    /// A fixed rank.
+    Fixed(usize),
+}
+
+/// A reproducible workload specification.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of elements.
+    pub n: usize,
+    /// Value distribution.
+    pub distribution: Distribution,
+    /// Rank selection policy.
+    pub rank: RankChoice,
+    /// Base RNG seed; combine with a repetition index via
+    /// [`WorkloadSpec::instantiate`].
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Uniform workload with `d = n` (fully distinct), random rank.
+    pub fn uniform(n: usize, seed: u64) -> Self {
+        Self {
+            n,
+            distribution: Distribution::Uniform,
+            rank: RankChoice::Random,
+            seed,
+        }
+    }
+
+    /// The paper's repeated-elements workload: uniform over `d` values.
+    pub fn with_distinct(n: usize, distinct: usize, seed: u64) -> Self {
+        Self {
+            n,
+            distribution: Distribution::UniformDistinct { distinct },
+            rank: RankChoice::Random,
+            seed,
+        }
+    }
+
+    /// Generate repetition `rep` of this workload.
+    pub fn instantiate<T: SelectElement>(&self, rep: u64) -> Workload<T> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ rep.wrapping_mul(0x9E3779B97F4A7C15));
+        let data = generate::<T>(self.n, self.distribution, &mut rng);
+        let rank = match self.rank {
+            RankChoice::Random => rng.gen_range(0..self.n.max(1)),
+            RankChoice::Median => self.n / 2,
+            RankChoice::Fixed(k) => k,
+        };
+        Workload {
+            data,
+            rank,
+            label: self.distribution.label(),
+        }
+    }
+}
+
+/// A concrete generated workload.
+#[derive(Debug, Clone)]
+pub struct Workload<T> {
+    /// The input sequence.
+    pub data: Vec<T>,
+    /// The target rank.
+    pub rank: usize,
+    /// Distribution label (for reporting).
+    pub label: String,
+}
+
+/// Generate `n` values of the given distribution.
+pub fn generate<T: SelectElement>(n: usize, dist: Distribution, rng: &mut StdRng) -> Vec<T> {
+    match dist {
+        Distribution::UniformDistinct { distinct } => {
+            let d = distinct.max(1);
+            (0..n)
+                .map(|_| {
+                    let idx = rng.gen_range(0..d);
+                    // Spread the d values over [0, 1) with even spacing.
+                    T::from_f64((idx as f64 + 0.5) / d as f64)
+                })
+                .collect()
+        }
+        Distribution::Uniform => (0..n).map(|_| T::from_f64(rng.gen::<f64>())).collect(),
+        Distribution::Normal { mean, std_dev } => {
+            // Box–Muller, two values per draw.
+            let mut out = Vec::with_capacity(n);
+            while out.len() < n {
+                let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                out.push(T::from_f64(mean + std_dev * r * theta.cos()));
+                if out.len() < n {
+                    out.push(T::from_f64(mean + std_dev * r * theta.sin()));
+                }
+            }
+            out
+        }
+        Distribution::Exponential { lambda } => (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                T::from_f64(-u.ln() / lambda)
+            })
+            .collect(),
+        Distribution::SortedAscending => (0..n)
+            .map(|i| T::from_f64(i as f64 / n.max(1) as f64))
+            .collect(),
+        Distribution::SortedDescending => (0..n)
+            .map(|i| T::from_f64((n - i) as f64 / n.max(1) as f64))
+            .collect(),
+        Distribution::ClusteredOutliers => {
+            // ~99.99% of elements in [0, 1e-6); a handful of outliers up
+            // to 1e9 stretch the value range by 15 orders of magnitude.
+            (0..n)
+                .map(|_| {
+                    if rng.gen::<f64>() < 1e-4 {
+                        T::from_f64(rng.gen::<f64>() * 1e9)
+                    } else {
+                        T::from_f64(rng.gen::<f64>() * 1e-6)
+                    }
+                })
+                .collect()
+        }
+        Distribution::GeometricCascade => {
+            // Half the mass at scale 1, decreasing shares at scales
+            // 2^-6, 2^-12, ...: each value-range split isolates only the
+            // top scale.
+            (0..n)
+                .map(|_| {
+                    let level = rng.gen_range(0u32..16);
+                    let scale = (0.5f64).powi((level * 6) as i32);
+                    T::from_f64(scale * (1.0 + rng.gen::<f64>()))
+                })
+                .collect()
+        }
+    }
+}
+
+/// The paper's sweep sizes: `n = 2^16 .. 2^28` (§V-A). `full = false`
+/// stops at 2^24 to keep harness runtimes sane on a laptop-class host.
+pub fn paper_sizes(full: bool) -> Vec<usize> {
+    let max_exp = if full { 28 } else { 24 };
+    (16..=max_exp).step_by(2).map(|e| 1usize << e).collect()
+}
+
+/// The paper's distinct-value counts for the repetition study
+/// (Fig. 8 right): `d = 1, 16, 128, 1024, …, n`.
+pub fn paper_distinct_counts(n: usize) -> Vec<usize> {
+    let mut counts = vec![1usize, 16, 128, 1024];
+    let mut d = 1024 * 8;
+    while d < n {
+        counts.push(d);
+        d *= 64;
+    }
+    counts.push(n);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(dist: Distribution) -> WorkloadSpec {
+        WorkloadSpec {
+            n: 10_000,
+            distribution: dist,
+            rank: RankChoice::Random,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn uniform_distinct_has_exactly_d_values() {
+        for d in [1usize, 16, 128] {
+            let w: Workload<f32> =
+                spec(Distribution::UniformDistinct { distinct: d }).instantiate(0);
+            let mut values: Vec<u32> = w.data.iter().map(|x| x.to_bits()).collect();
+            values.sort_unstable();
+            values.dedup();
+            assert_eq!(values.len(), d, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn uniform_values_in_unit_interval() {
+        let w: Workload<f64> = spec(Distribution::Uniform).instantiate(0);
+        assert!(w.data.iter().all(|&x| (0.0..1.0).contains(&x)));
+        assert_eq!(w.data.len(), 10_000);
+    }
+
+    #[test]
+    fn rank_in_range_and_deterministic() {
+        let s = spec(Distribution::Uniform);
+        let w1: Workload<f32> = s.instantiate(3);
+        let w2: Workload<f32> = s.instantiate(3);
+        assert!(w1.rank < w1.data.len());
+        assert_eq!(w1.rank, w2.rank);
+        assert_eq!(w1.data, w2.data);
+        let w3: Workload<f32> = s.instantiate(4);
+        assert_ne!(w1.data, w3.data, "different repetitions differ");
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let s = WorkloadSpec {
+            n: 200_000,
+            distribution: Distribution::Normal {
+                mean: 10.0,
+                std_dev: 2.0,
+            },
+            rank: RankChoice::Median,
+            seed: 7,
+        };
+        let w: Workload<f64> = s.instantiate(0);
+        let mean = w.data.iter().sum::<f64>() / w.data.len() as f64;
+        let var = w.data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / w.data.len() as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_is_positive_with_correct_mean() {
+        let s = WorkloadSpec {
+            n: 100_000,
+            distribution: Distribution::Exponential { lambda: 2.0 },
+            rank: RankChoice::Median,
+            seed: 8,
+        };
+        let w: Workload<f64> = s.instantiate(0);
+        assert!(w.data.iter().all(|&x| x > 0.0));
+        let mean = w.data.iter().sum::<f64>() / w.data.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn sorted_distributions_are_sorted() {
+        let asc: Workload<f32> = spec(Distribution::SortedAscending).instantiate(0);
+        assert!(asc.data.windows(2).all(|w| w[0] <= w[1]));
+        let desc: Workload<f32> = spec(Distribution::SortedDescending).instantiate(0);
+        assert!(desc.data.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn clustered_outliers_shape() {
+        let s = WorkloadSpec {
+            n: 100_000,
+            distribution: Distribution::ClusteredOutliers,
+            rank: RankChoice::Median,
+            seed: 9,
+        };
+        let w: Workload<f64> = s.instantiate(0);
+        let clustered = w.data.iter().filter(|&&x| x < 1e-6).count();
+        let outliers = w.data.iter().filter(|&&x| x > 1e6).count();
+        assert!(clustered > 99_000, "clustered {clustered}");
+        assert!(outliers > 0 && outliers < 100, "outliers {outliers}");
+    }
+
+    #[test]
+    fn geometric_cascade_spans_scales() {
+        let s = WorkloadSpec {
+            n: 100_000,
+            distribution: Distribution::GeometricCascade,
+            rank: RankChoice::Median,
+            seed: 10,
+        };
+        let w: Workload<f64> = s.instantiate(0);
+        let max = w.data.iter().cloned().fold(f64::MIN, f64::max);
+        let min = w.data.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 1e20, "dynamic range {max}/{min}");
+    }
+
+    #[test]
+    fn paper_sizes_default_and_full() {
+        let small = paper_sizes(false);
+        assert_eq!(small.first(), Some(&(1 << 16)));
+        assert_eq!(small.last(), Some(&(1 << 24)));
+        let full = paper_sizes(true);
+        assert_eq!(full.last(), Some(&(1 << 28)));
+    }
+
+    #[test]
+    fn paper_distinct_counts_include_endpoints() {
+        let counts = paper_distinct_counts(1 << 20);
+        assert_eq!(counts[0], 1);
+        assert!(counts.contains(&16));
+        assert!(counts.contains(&1024));
+        assert_eq!(*counts.last().unwrap(), 1 << 20);
+    }
+
+    #[test]
+    fn median_and_fixed_rank_choices() {
+        let mut s = spec(Distribution::Uniform);
+        s.rank = RankChoice::Median;
+        let w: Workload<f32> = s.instantiate(0);
+        assert_eq!(w.rank, 5_000);
+        s.rank = RankChoice::Fixed(123);
+        let w: Workload<f32> = s.instantiate(0);
+        assert_eq!(w.rank, 123);
+    }
+
+    #[test]
+    fn labels_are_distinct_and_stable() {
+        assert_eq!(Distribution::Uniform.label(), "uniform");
+        assert_eq!(
+            Distribution::UniformDistinct { distinct: 16 }.label(),
+            "uniform-d16"
+        );
+        assert_eq!(
+            Distribution::ClusteredOutliers.label(),
+            "clustered-outliers"
+        );
+    }
+}

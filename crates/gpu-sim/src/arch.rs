@@ -1,0 +1,343 @@
+//! GPU architecture descriptors.
+//!
+//! Each [`GpuArchitecture`] bundles the publicly documented hardware
+//! characteristics of a GPU model (the paper's Table I) together with the
+//! cost-model parameters the simulator charges for memory traffic, atomic
+//! operations, warp intrinsics, and kernel launches.
+//!
+//! The three shipped models are the two GPUs the paper evaluates on — the
+//! Kepler-generation **Tesla K20Xm** and the Volta-generation **Tesla
+//! V100** — plus the Fermi-generation **Tesla C2070** used in the paper's
+//! §V-D comparison against BucketSelect (Alabi et al.).
+
+/// NVIDIA GPU hardware generations relevant to the paper.
+///
+/// The generation determines which low-level communication features are
+/// available: fast *native* shared-memory atomics arrived with Maxwell
+/// (the paper's §V-E cites the Maxwell shared-atomics improvement as the
+/// reason warp aggregation is unnecessary on the V100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GpuGeneration {
+    /// Fermi (compute capability 2.x) — e.g. Tesla C2070.
+    Fermi,
+    /// Kepler (3.x) — e.g. Tesla K20Xm. Shared atomics are lock-based and
+    /// slow; global atomics were significantly improved over Fermi.
+    Kepler,
+    /// Maxwell (5.x) — first generation with native shared-memory atomics.
+    Maxwell,
+    /// Pascal (6.x).
+    Pascal,
+    /// Volta (7.0) — e.g. Tesla V100. Independent thread scheduling,
+    /// very fast shared atomics.
+    Volta,
+}
+
+impl GpuGeneration {
+    /// Whether shared-memory atomics are implemented natively in hardware
+    /// (Maxwell and newer) rather than through a lock/retry sequence.
+    pub fn has_native_shared_atomics(self) -> bool {
+        self >= GpuGeneration::Maxwell
+    }
+
+    /// Whether device-side kernel launch (CUDA Dynamic Parallelism) is
+    /// supported (compute capability >= 3.5).
+    pub fn has_dynamic_parallelism(self) -> bool {
+        self >= GpuGeneration::Kepler
+    }
+}
+
+/// Hardware description + cost-model parameters for one GPU model.
+///
+/// The "documented" fields mirror the paper's Table I. The `*_ns`
+/// cost-model fields are the simulator's analytic parameters; they are
+/// derived from microbenchmark literature for each generation and are the
+/// only place architecture-specific behaviour enters the simulation — the
+/// kernels themselves are architecture-agnostic.
+#[derive(Debug, Clone)]
+pub struct GpuArchitecture {
+    /// Marketing name, e.g. `"Tesla V100"`.
+    pub name: &'static str,
+    /// Hardware generation.
+    pub generation: GpuGeneration,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Double-precision peak throughput in TFLOP/s.
+    pub dp_tflops: f64,
+    /// Single-precision peak throughput in TFLOP/s.
+    pub sp_tflops: f64,
+    /// Device memory capacity in GiB.
+    pub mem_capacity_gib: f64,
+    /// Theoretical peak memory bandwidth in GB/s.
+    pub peak_bw_gbs: f64,
+    /// Sustained memory bandwidth in GB/s (the paper measures this with
+    /// the CUDA SDK bandwidth test; the cost model uses it for traffic).
+    pub sustained_bw_gbs: f64,
+    /// L2 cache size in MiB.
+    pub l2_cache_mib: f64,
+    /// L1/shared-memory size per SM in KiB.
+    pub l1_kib: u32,
+    /// Usable shared memory per thread block in KiB.
+    pub shared_mem_per_block_kib: u32,
+    /// Threads per warp (32 on every NVIDIA generation).
+    pub warp_size: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+
+    // ---- cost-model parameters ----
+    /// Cost of one warp-wide shared-memory atomic *instruction* on one
+    /// SM, in nanoseconds (conflict-free case). Kepler compiles shared
+    /// atomics to a lock/retry sequence, making this large; Maxwell+
+    /// execute them natively in the shared-memory pipeline.
+    pub shared_atomic_warp_ns: f64,
+    /// Additional cost per same-address *replay* within a warp (the
+    /// hardware serializes lanes hitting one address), in nanoseconds.
+    pub shared_atomic_replay_ns: f64,
+    /// Device-wide throughput cost per global atomic operation (L2
+    /// bound), in nanoseconds per op, assuming distinct addresses.
+    pub global_atomic_throughput_ns: f64,
+    /// Serialization cost per global atomic op *to the same address*
+    /// (device-wide; all blocks contend in L2), in nanoseconds.
+    pub global_atomic_same_address_ns: f64,
+    /// Cost of one warp-wide ballot/shuffle intrinsic, in nanoseconds
+    /// (charged per warp, per intrinsic).
+    pub warp_intrinsic_ns: f64,
+    /// Shared-memory access throughput per SM in bytes per nanosecond.
+    pub smem_bytes_per_ns: f64,
+    /// Latency of a host-side kernel launch, in microseconds.
+    pub host_launch_us: f64,
+    /// Latency of a device-side (dynamic parallelism) launch, in
+    /// microseconds.
+    pub device_launch_us: f64,
+    /// Non-coalesced access penalty multiplier for global traffic
+    /// (effective bytes moved per byte requested for strided access).
+    pub uncoalesced_penalty: f64,
+    /// Integer/comparison operation throughput per SM in ops per
+    /// nanosecond (used to charge the search-tree traversal arithmetic).
+    pub int_ops_per_ns_per_sm: f64,
+}
+
+impl GpuArchitecture {
+    /// Total device-wide integer-op throughput in ops/ns.
+    pub fn int_ops_per_ns(&self) -> f64 {
+        self.int_ops_per_ns_per_sm * self.num_sms as f64
+    }
+
+    /// Sustained memory bandwidth in bytes per nanosecond.
+    pub fn bytes_per_ns(&self) -> f64 {
+        self.sustained_bw_gbs // GB/s == bytes/ns
+    }
+
+    /// The largest bucket count for which the search tree plus bucket
+    /// counters fit into one block's shared memory, assuming `elem_bytes`
+    /// splitter storage and 4-byte counters.
+    ///
+    /// This is the limit the paper refers to with "the maximal bucket
+    /// count for which the `sample` and `count` kernels stay within the
+    /// shared memory limits (b <= 1024 on older NVIDIA GPUs)".
+    pub fn max_buckets_in_shared(&self, elem_bytes: usize) -> usize {
+        let budget = self.shared_mem_per_block_kib as usize * 1024;
+        // tree: (2b - 1) splitter slots; counters: b u32 slots.
+        let mut b = 2usize;
+        while (2 * b * 2 - 1) * elem_bytes + b * 2 * 4 <= budget {
+            b *= 2;
+        }
+        b
+    }
+}
+
+/// NVIDIA Tesla K20Xm (Kepler GK110) — Table I, left column.
+pub fn k20xm() -> GpuArchitecture {
+    GpuArchitecture {
+        name: "Tesla K20Xm",
+        generation: GpuGeneration::Kepler,
+        num_sms: 14,
+        clock_ghz: 0.75,
+        dp_tflops: 1.2,
+        sp_tflops: 3.5,
+        mem_capacity_gib: 5.0,
+        peak_bw_gbs: 208.0,
+        sustained_bw_gbs: 146.0,
+        l2_cache_mib: 1.5,
+        l1_kib: 64,
+        shared_mem_per_block_kib: 48,
+        warp_size: 32,
+        max_threads_per_block: 1024,
+        max_threads_per_sm: 2048,
+        max_blocks_per_sm: 16,
+        // Kepler shared atomics are compiled to a lock/retry loop in
+        // shared memory: expensive per instruction AND per same-address
+        // replay — the reason the paper's K20Xm results favour the
+        // global-atomics variants.
+        shared_atomic_warp_ns: 55.0,
+        shared_atomic_replay_ns: 38.0,
+        global_atomic_throughput_ns: 0.15,
+        global_atomic_same_address_ns: 1.2,
+        warp_intrinsic_ns: 0.9,
+        smem_bytes_per_ns: 128.0,
+        host_launch_us: 8.0,
+        device_launch_us: 4.0,
+        uncoalesced_penalty: 4.0,
+        int_ops_per_ns_per_sm: 48.0,
+    }
+}
+
+/// NVIDIA Tesla V100 (Volta GV100) — Table I, right column.
+pub fn v100() -> GpuArchitecture {
+    GpuArchitecture {
+        name: "Tesla V100",
+        generation: GpuGeneration::Volta,
+        num_sms: 80,
+        clock_ghz: 1.53,
+        dp_tflops: 7.0,
+        sp_tflops: 14.0,
+        mem_capacity_gib: 16.0,
+        peak_bw_gbs: 900.0,
+        sustained_bw_gbs: 742.0,
+        l2_cache_mib: 6.0,
+        l1_kib: 128,
+        shared_mem_per_block_kib: 96,
+        warp_size: 32,
+        max_threads_per_block: 1024,
+        max_threads_per_sm: 2048,
+        max_blocks_per_sm: 32,
+        // Native shared atomics: pipelined at roughly one warp-wide
+        // instruction per ~50 SM cycles, with cheap same-address
+        // replays — fast enough that warp aggregation buys nothing
+        // (§V-E), yet enough to be SampleSelect's bottleneck (§V-D).
+        shared_atomic_warp_ns: 35.0,
+        shared_atomic_replay_ns: 0.6,
+        global_atomic_throughput_ns: 0.22,
+        global_atomic_same_address_ns: 1.2,
+        warp_intrinsic_ns: 0.35,
+        smem_bytes_per_ns: 256.0,
+        host_launch_us: 6.0,
+        device_launch_us: 3.0,
+        uncoalesced_penalty: 4.0,
+        int_ops_per_ns_per_sm: 96.0,
+    }
+}
+
+/// NVIDIA Tesla C2070 (Fermi) — the GPU Alabi et al. evaluated
+/// BucketSelect on; used for the paper's §V-D cross-paper comparison.
+pub fn c2070() -> GpuArchitecture {
+    GpuArchitecture {
+        name: "Tesla C2070",
+        generation: GpuGeneration::Fermi,
+        num_sms: 14,
+        clock_ghz: 1.15,
+        dp_tflops: 0.515,
+        sp_tflops: 1.03,
+        mem_capacity_gib: 6.0,
+        peak_bw_gbs: 144.0,
+        sustained_bw_gbs: 102.0,
+        l2_cache_mib: 0.75,
+        l1_kib: 64,
+        shared_mem_per_block_kib: 48,
+        warp_size: 32,
+        max_threads_per_block: 1024,
+        max_threads_per_sm: 1536,
+        max_blocks_per_sm: 8,
+        // Fermi: shared atomics lock-based, global atomics slow (pre-
+        // Kepler L2 atomic improvements).
+        shared_atomic_warp_ns: 130.0,
+        shared_atomic_replay_ns: 100.0,
+        global_atomic_throughput_ns: 0.4,
+        global_atomic_same_address_ns: 3.0,
+        warp_intrinsic_ns: 1.4,
+        smem_bytes_per_ns: 64.0,
+        host_launch_us: 10.0,
+        device_launch_us: 10.0, // no dynamic parallelism: host launch cost
+        uncoalesced_penalty: 6.0,
+        int_ops_per_ns_per_sm: 32.0,
+    }
+}
+
+/// All architectures shipped with the simulator, for sweeps.
+pub fn all_architectures() -> Vec<GpuArchitecture> {
+    vec![c2070(), k20xm(), v100()]
+}
+
+/// Look an architecture up by (case-insensitive) substring of its name.
+pub fn by_name(name: &str) -> Option<GpuArchitecture> {
+    let needle = name.to_ascii_lowercase();
+    all_architectures()
+        .into_iter()
+        .find(|a| a.name.to_ascii_lowercase().contains(&needle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_order_matches_release_order() {
+        assert!(GpuGeneration::Fermi < GpuGeneration::Kepler);
+        assert!(GpuGeneration::Kepler < GpuGeneration::Maxwell);
+        assert!(GpuGeneration::Maxwell < GpuGeneration::Volta);
+    }
+
+    #[test]
+    fn native_shared_atomics_from_maxwell() {
+        assert!(!GpuGeneration::Fermi.has_native_shared_atomics());
+        assert!(!GpuGeneration::Kepler.has_native_shared_atomics());
+        assert!(GpuGeneration::Maxwell.has_native_shared_atomics());
+        assert!(GpuGeneration::Volta.has_native_shared_atomics());
+    }
+
+    #[test]
+    fn dynamic_parallelism_from_kepler() {
+        assert!(!GpuGeneration::Fermi.has_dynamic_parallelism());
+        assert!(GpuGeneration::Kepler.has_dynamic_parallelism());
+    }
+
+    #[test]
+    fn table1_characteristics() {
+        let k = k20xm();
+        assert_eq!(k.generation, GpuGeneration::Kepler);
+        assert!((k.sustained_bw_gbs - 146.0).abs() < 1e-9);
+        let v = v100();
+        assert_eq!(v.num_sms, 80);
+        assert!((v.sustained_bw_gbs - 742.0).abs() < 1e-9);
+        assert!(v.sustained_bw_gbs < v.peak_bw_gbs);
+        assert!(k.sustained_bw_gbs < k.peak_bw_gbs);
+    }
+
+    #[test]
+    fn kepler_shared_atomics_slower_than_volta() {
+        // This parameter relationship drives the paper's central
+        // architecture-dependent result (Fig. 8): Kepler pays heavily
+        // both per instruction and per same-address replay.
+        assert!(k20xm().shared_atomic_warp_ns > v100().shared_atomic_warp_ns);
+        assert!(k20xm().shared_atomic_replay_ns > 50.0 * v100().shared_atomic_replay_ns);
+    }
+
+    #[test]
+    fn max_buckets_in_shared_is_reasonable() {
+        let v = v100();
+        // f32 splitters: at least 1024 buckets must fit (paper §V-G).
+        assert!(v.max_buckets_in_shared(4) >= 1024);
+        let k = k20xm();
+        assert!(k.max_buckets_in_shared(4) >= 1024);
+        assert!(k.max_buckets_in_shared(8) >= 512);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("v100").unwrap().name, "Tesla V100");
+        assert_eq!(by_name("K20").unwrap().name, "Tesla K20Xm");
+        assert_eq!(by_name("C2070").unwrap().name, "Tesla C2070");
+        assert!(by_name("A100").is_none());
+    }
+
+    #[test]
+    fn bytes_per_ns_equals_gbs() {
+        // GB/s and bytes/ns are the same unit; guard against unit slips.
+        assert!((v100().bytes_per_ns() - 742.0).abs() < 1e-12);
+    }
+}

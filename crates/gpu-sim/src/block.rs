@@ -1,0 +1,238 @@
+//! A thread-level BSP (bulk-synchronous parallel) block executor: the
+//! reference interpretation of the SIMT model.
+//!
+//! The production kernels in this workspace are *vectorized* — they
+//! process data warp-by-warp with explicit loops, which is fast on the
+//! host. This module provides the slow-but-obviously-correct
+//! counterpart: a block of simulated threads, each defined by a
+//! closure, executed in lockstep **phases** separated by barriers
+//! (`__syncthreads`). Warp-wide intrinsics and shared-memory atomics
+//! are exposed per phase, with the same exact collision accounting as
+//! the vectorized path.
+//!
+//! Its role is cross-validation: tests run small kernels through both
+//! implementations and require bit-identical results and identical
+//! collision counts (see `count.rs`'s tests in the `sampleselect`
+//! crate and the tests below).
+
+use crate::cost::KernelCost;
+use crate::warp::{ballot, warp_atomic_stats, WARP_SIZE};
+
+/// A simulated thread block executing in BSP phases.
+///
+/// Threads do not run concurrently; each *phase* is a closure invoked
+/// once per thread, and phases are separated by implicit barriers. This
+/// models any CUDA kernel of the form
+/// `phase; __syncthreads(); phase; …` — which covers every kernel in
+/// the paper.
+pub struct BlockExec {
+    num_threads: usize,
+    /// Shared memory as 32-bit words (the granularity of the paper's
+    /// counters; element payloads use their own typed arrays).
+    shared_u32: Vec<u32>,
+    /// Resource usage accrued by this block.
+    pub cost: KernelCost,
+    barriers: u64,
+}
+
+impl BlockExec {
+    /// Create a block of `num_threads` threads with `shared_words`
+    /// 32-bit words of shared memory (zero-initialized).
+    pub fn new(num_threads: usize, shared_words: usize) -> Self {
+        assert!(
+            num_threads > 0 && num_threads.is_multiple_of(WARP_SIZE),
+            "thread blocks are whole warps"
+        );
+        let mut cost = KernelCost::new();
+        cost.blocks = 1;
+        Self {
+            num_threads,
+            shared_u32: vec![0; shared_words],
+            cost,
+            barriers: 0,
+        }
+    }
+
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn num_warps(&self) -> usize {
+        self.num_threads / WARP_SIZE
+    }
+
+    /// Read shared memory (tracked).
+    pub fn smem_read(&mut self, idx: usize) -> u32 {
+        self.cost.smem_bytes += 4;
+        self.shared_u32[idx]
+    }
+
+    /// Write shared memory (tracked).
+    pub fn smem_write(&mut self, idx: usize, value: u32) {
+        self.cost.smem_bytes += 4;
+        self.shared_u32[idx] = value;
+    }
+
+    /// Untracked view for result extraction.
+    pub fn shared(&self) -> &[u32] {
+        &self.shared_u32
+    }
+
+    /// Run one phase: `f(tid, block)` for every thread, in thread order,
+    /// followed by an implicit barrier.
+    ///
+    /// Sequential execution per phase is faithful for programs whose
+    /// phases are data-race-free (each shared location written by at
+    /// most one thread per phase, or only through the atomic helpers) —
+    /// which the assertions in the atomic helpers enforce for counters.
+    pub fn phase<F>(&mut self, mut f: F)
+    where
+        F: FnMut(usize, &mut BlockExec),
+    {
+        for tid in 0..self.num_threads {
+            f(tid, self);
+        }
+        self.barrier();
+    }
+
+    /// A warp-synchronous phase: `f(warp_id, lane_values)` receives each
+    /// warp's 32 per-lane values produced by `lane(tid)` and returns the
+    /// per-lane results; used to model ballot/shuffle-style exchanges.
+    pub fn warp_phase<L, F, T: Copy + Default>(&mut self, mut lane: L, mut f: F) -> Vec<T>
+    where
+        L: FnMut(usize, &mut BlockExec) -> T,
+        F: FnMut(usize, &[T], &mut BlockExec) -> Vec<T>,
+    {
+        let mut out = vec![T::default(); self.num_threads];
+        for warp in 0..self.num_warps() {
+            let base = warp * WARP_SIZE;
+            let values: Vec<T> = (0..WARP_SIZE).map(|l| lane(base + l, self)).collect();
+            let results = f(warp, &values, self);
+            assert_eq!(results.len(), WARP_SIZE);
+            out[base..base + WARP_SIZE].copy_from_slice(&results);
+        }
+        self.barrier();
+        out
+    }
+
+    /// Warp-wide ballot across one warp's predicate values, charged as
+    /// one intrinsic.
+    pub fn warp_ballot(&mut self, preds: &[bool]) -> u32 {
+        self.cost.warp_intrinsics += 1;
+        ballot(preds)
+    }
+
+    /// Execute one warp-wide shared-memory atomic-add instruction: each
+    /// lane increments `counter_base + targets[lane]`. Returns each
+    /// lane's fetched-before value; charges the exact collision cost.
+    pub fn warp_shared_atomic_add(&mut self, counter_base: usize, targets: &[u32]) -> Vec<u32> {
+        assert!(targets.len() <= WARP_SIZE);
+        let mut scratch = vec![0u32; self.shared_u32.len()];
+        let stats = warp_atomic_stats(targets, &mut scratch);
+        self.cost.shared_atomic_warp_ops += 1;
+        self.cost.shared_atomic_replays += stats.max_multiplicity.saturating_sub(1) as u64;
+        // lanes commit in lane order (hardware order is unspecified; any
+        // serialization yields the same final counter values)
+        targets
+            .iter()
+            .map(|&t| {
+                let slot = counter_base + t as usize;
+                let old = self.shared_u32[slot];
+                self.shared_u32[slot] = old + 1;
+                old
+            })
+            .collect()
+    }
+
+    /// Block-wide barrier (`__syncthreads`), charged as an intrinsic.
+    pub fn barrier(&mut self) {
+        self.barriers += 1;
+        self.cost.warp_intrinsics += 1;
+    }
+
+    /// Barriers executed so far.
+    pub fn barriers(&self) -> u64 {
+        self.barriers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_run_every_thread_once() {
+        let mut block = BlockExec::new(64, 64);
+        block.phase(|tid, b| {
+            b.smem_write(tid, tid as u32 * 2);
+        });
+        for tid in 0..64 {
+            assert_eq!(block.shared()[tid], tid as u32 * 2);
+        }
+        assert_eq!(block.barriers(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole warps")]
+    fn partial_warp_blocks_rejected() {
+        BlockExec::new(33, 0);
+    }
+
+    #[test]
+    fn histogram_kernel_thread_style() {
+        // The count kernel's inner loop written thread-style: 128
+        // threads classify one element each into 8 counters.
+        let mut block = BlockExec::new(128, 8);
+        let data: Vec<u32> = (0..128).map(|i| (i * 13) % 8).collect();
+        for warp in 0..4 {
+            let targets: Vec<u32> = (0..WARP_SIZE).map(|l| data[warp * 32 + l]).collect();
+            block.warp_shared_atomic_add(0, &targets);
+        }
+        // counters hold the histogram
+        let mut expected = [0u32; 8];
+        for &d in &data {
+            expected[d as usize] += 1;
+        }
+        assert_eq!(block.shared()[..8], expected[..]);
+        assert_eq!(block.cost.shared_atomic_warp_ops, 4);
+        // 128 elements over 8 counters: each warp has max multiplicity 4
+        assert_eq!(block.cost.shared_atomic_replays, 4 * 3);
+    }
+
+    #[test]
+    fn atomic_add_returns_fetch_order_values() {
+        let mut block = BlockExec::new(32, 4);
+        let olds = block.warp_shared_atomic_add(0, &[1, 1, 1, 2]);
+        assert_eq!(olds, vec![0, 1, 2, 0]);
+        assert_eq!(block.shared()[1], 3);
+        assert_eq!(block.shared()[2], 1);
+    }
+
+    #[test]
+    fn warp_phase_exposes_lane_values() {
+        let mut block = BlockExec::new(64, 0);
+        let results = block.warp_phase(
+            |tid, _| tid as u32,
+            |_warp, lanes, b| {
+                // ballot of "odd lane value"
+                let preds: Vec<bool> = lanes.iter().map(|&v| v % 2 == 1).collect();
+                let mask = b.warp_ballot(&preds);
+                lanes.iter().map(|_| mask).collect()
+            },
+        );
+        // odd lanes of every warp: alternating bits
+        assert!(results.iter().all(|&m| m == 0xAAAA_AAAA));
+        assert_eq!(block.cost.warp_intrinsics, 2 + 1); // 2 ballots + 1 barrier
+    }
+
+    #[test]
+    fn cost_matches_vectorized_accounting() {
+        // All 32 lanes hit one counter: 1 warp op + 31 replays — exactly
+        // what the vectorized count kernel charges for the same warp.
+        let mut block = BlockExec::new(32, 1);
+        block.warp_shared_atomic_add(0, &[0; 32]);
+        assert_eq!(block.cost.shared_atomic_warp_ops, 1);
+        assert_eq!(block.cost.shared_atomic_replays, 31);
+        assert_eq!(block.shared()[0], 32);
+    }
+}

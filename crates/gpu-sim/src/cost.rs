@@ -1,0 +1,420 @@
+//! The analytic cost model: resource counters per kernel and their
+//! conversion into simulated time.
+//!
+//! Kernels accrue *resource usage* ([`KernelCost`]) while they execute
+//! functionally; afterwards [`KernelCost::time_on`] converts usage into a
+//! [`SimTime`] under a roofline-style overlap model: a GPU kernel's
+//! runtime is dominated by its most-loaded resource (memory system,
+//! atomic units, warp intrinsics, ALUs), because the hardware overlaps
+//! the others behind it. This is the mechanism by which the paper's
+//! observation — *"the atomic operations expose the bottleneck for the
+//! SampleSelect implementation, oppose to the QuickSelect algorithm whose
+//! performance is more limited by the memory bandwidth"* (§V-D) — emerges
+//! from the simulation rather than being hard-coded.
+
+use crate::arch::GpuArchitecture;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point or span of simulated time, stored in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime {
+    ns: f64,
+}
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime { ns: 0.0 };
+
+    pub fn from_ns(ns: f64) -> Self {
+        debug_assert!(ns.is_finite() && ns >= 0.0, "invalid SimTime: {ns}");
+        Self { ns }
+    }
+
+    pub fn from_us(us: f64) -> Self {
+        Self::from_ns(us * 1e3)
+    }
+
+    pub fn from_ms(ms: f64) -> Self {
+        Self::from_ns(ms * 1e6)
+    }
+
+    pub fn as_ns(self) -> f64 {
+        self.ns
+    }
+
+    pub fn as_us(self) -> f64 {
+        self.ns / 1e3
+    }
+
+    pub fn as_ms(self) -> f64 {
+        self.ns / 1e6
+    }
+
+    pub fn as_secs(self) -> f64 {
+        self.ns / 1e9
+    }
+
+    pub fn max(self, other: Self) -> Self {
+        Self {
+            ns: self.ns.max(other.ns),
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Self) -> Self {
+        Self::from_ns(self.ns + rhs.ns)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: Self) {
+        self.ns += rhs.ns;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_ns(self.ns - rhs.ns)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: f64) -> Self {
+        Self::from_ns(self.ns * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: f64) -> Self {
+        Self::from_ns(self.ns / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ns >= 1e6 {
+            write!(f, "{:.3} ms", self.as_ms())
+        } else if self.ns >= 1e3 {
+            write!(f, "{:.3} us", self.as_us())
+        } else {
+            write!(f, "{:.1} ns", self.ns)
+        }
+    }
+}
+
+/// Resource usage accumulated by one kernel execution (or one block's
+/// share of it; costs are additive across blocks).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelCost {
+    /// Coalesced global-memory bytes read.
+    pub global_read_bytes: u64,
+    /// Coalesced global-memory bytes written.
+    pub global_write_bytes: u64,
+    /// Non-coalesced global bytes (charged with the architecture's
+    /// uncoalesced penalty multiplier).
+    pub uncoalesced_bytes: u64,
+    /// Warp-wide shared-memory atomic *instructions* issued (one per
+    /// warp per atomic op in the code; conflict-free baseline cost).
+    pub shared_atomic_warp_ops: u64,
+    /// Extra same-address *replays* beyond the first lane, summed over
+    /// warps (`max multiplicity - 1` per warp without aggregation; zero
+    /// with warp aggregation).
+    pub shared_atomic_replays: u64,
+    /// Total global atomic operations issued (distinct-address
+    /// throughput component, L2-bound device-wide).
+    pub global_atomic_ops: u64,
+    /// Number of global atomic ops hitting the *hottest single address*
+    /// (device-wide same-address serialization component). Additive
+    /// across blocks: all blocks contend on the same global counter
+    /// array, so per-address op counts accumulate.
+    pub global_atomic_hot_ops: u64,
+    /// Warp-wide intrinsics executed (ballot / shuffle / reductions).
+    pub warp_intrinsics: u64,
+    /// Shared-memory bytes moved (bank-conflict-adjusted).
+    pub smem_bytes: u64,
+    /// Integer/comparison operations (search-tree traversal arithmetic,
+    /// sorting-network compares).
+    pub int_ops: u64,
+    /// Number of thread blocks that contributed to this cost (used for
+    /// the SM-parallelism scaling of shared-memory resources).
+    pub blocks: u64,
+}
+
+impl KernelCost {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge another cost record into this one (additive in every field;
+    /// `global_atomic_hot_ops` is also additive because per-address op
+    /// counts accumulate across blocks that share the global counter
+    /// array).
+    pub fn merge(&mut self, other: &KernelCost) {
+        self.global_read_bytes += other.global_read_bytes;
+        self.global_write_bytes += other.global_write_bytes;
+        self.uncoalesced_bytes += other.uncoalesced_bytes;
+        self.shared_atomic_warp_ops += other.shared_atomic_warp_ops;
+        self.shared_atomic_replays += other.shared_atomic_replays;
+        self.global_atomic_ops += other.global_atomic_ops;
+        self.global_atomic_hot_ops += other.global_atomic_hot_ops;
+        self.warp_intrinsics += other.warp_intrinsics;
+        self.smem_bytes += other.smem_bytes;
+        self.int_ops += other.int_ops;
+        self.blocks += other.blocks;
+    }
+
+    /// Total global traffic in effective bytes (uncoalesced traffic is
+    /// inflated by the architecture penalty at conversion time).
+    pub fn total_global_bytes(&self) -> u64 {
+        self.global_read_bytes + self.global_write_bytes + self.uncoalesced_bytes
+    }
+
+    /// Convert resource usage into simulated execution time on `arch`,
+    /// given how many SMs the launch could keep busy (fractional: a
+    /// single under-occupied block counts as less than one SM because it
+    /// cannot hide latencies).
+    ///
+    /// Per-SM resources (shared atomics, shared memory, ALUs, warp
+    /// intrinsics) scale with the number of busy SMs; device-wide
+    /// resources (DRAM bandwidth, L2 atomics) scale with the *fraction*
+    /// of the device that is busy, because a half-empty GPU cannot issue
+    /// enough outstanding transactions to saturate DRAM.
+    pub fn time_on(&self, arch: &GpuArchitecture, busy_sms: f64) -> CostBreakdown {
+        let busy_sms = busy_sms.clamp(0.05, arch.num_sms as f64);
+        let sm_fraction = busy_sms / arch.num_sms as f64;
+
+        let effective_bytes = self.global_read_bytes as f64
+            + self.global_write_bytes as f64
+            + self.uncoalesced_bytes as f64 * arch.uncoalesced_penalty;
+        let mem = effective_bytes / (arch.bytes_per_ns() * sm_fraction);
+
+        let shared_atomic = (self.shared_atomic_warp_ops as f64 * arch.shared_atomic_warp_ns
+            + self.shared_atomic_replays as f64 * arch.shared_atomic_replay_ns)
+            / busy_sms;
+
+        // Global atomics: a throughput term (L2 op rate, device-wide but
+        // requiring occupancy to saturate) and a same-address
+        // serialization term (not helped by parallelism at all).
+        let ga_throughput =
+            self.global_atomic_ops as f64 * arch.global_atomic_throughput_ns / sm_fraction;
+        let ga_serial = self.global_atomic_hot_ops as f64 * arch.global_atomic_same_address_ns;
+        let global_atomic = ga_throughput.max(ga_serial);
+
+        let intrinsics = self.warp_intrinsics as f64 * arch.warp_intrinsic_ns / busy_sms;
+        let smem = self.smem_bytes as f64 / (arch.smem_bytes_per_ns * busy_sms);
+        let compute = self.int_ops as f64 / (arch.int_ops_per_ns_per_sm * busy_sms);
+
+        CostBreakdown {
+            memory: SimTime::from_ns(mem),
+            shared_atomic: SimTime::from_ns(shared_atomic),
+            global_atomic: SimTime::from_ns(global_atomic),
+            warp_intrinsics: SimTime::from_ns(intrinsics),
+            smem: SimTime::from_ns(smem),
+            compute: SimTime::from_ns(compute),
+        }
+    }
+}
+
+/// Per-resource time components of one kernel, before the overlap `max`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostBreakdown {
+    pub memory: SimTime,
+    pub shared_atomic: SimTime,
+    pub global_atomic: SimTime,
+    pub warp_intrinsics: SimTime,
+    pub smem: SimTime,
+    pub compute: SimTime,
+}
+
+impl CostBreakdown {
+    /// The kernel's runtime under the overlap model: the slowest resource
+    /// dominates; the remaining resources hide behind it.
+    pub fn total(&self) -> SimTime {
+        self.memory
+            .max(self.shared_atomic)
+            .max(self.global_atomic)
+            .max(self.warp_intrinsics)
+            .max(self.smem)
+            .max(self.compute)
+    }
+
+    /// Name of the dominating resource (for reports and diagnostics).
+    pub fn bottleneck(&self) -> &'static str {
+        let total = self.total();
+        if total == self.memory {
+            "memory"
+        } else if total == self.shared_atomic {
+            "shared-atomic"
+        } else if total == self.global_atomic {
+            "global-atomic"
+        } else if total == self.warp_intrinsics {
+            "warp-intrinsics"
+        } else if total == self.smem {
+            "shared-memory"
+        } else {
+            "compute"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{k20xm, v100};
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime::from_us(2.0);
+        let b = SimTime::from_ns(500.0);
+        assert!(((a + b).as_ns() - 2500.0).abs() < 1e-9);
+        assert!(((a - b).as_ns() - 1500.0).abs() < 1e-9);
+        assert!(((a * 2.0).as_us() - 4.0).abs() < 1e-12);
+        assert!(((a / 2.0).as_us() - 1.0).abs() < 1e-12);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn simtime_display_scales_units() {
+        assert_eq!(format!("{}", SimTime::from_ns(12.0)), "12.0 ns");
+        assert_eq!(format!("{}", SimTime::from_us(3.5)), "3.500 us");
+        assert_eq!(format!("{}", SimTime::from_ms(1.25)), "1.250 ms");
+    }
+
+    #[test]
+    fn simtime_sum() {
+        let total: SimTime = (0..4).map(|_| SimTime::from_ns(10.0)).sum();
+        assert!((total.as_ns() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = KernelCost {
+            global_read_bytes: 100,
+            shared_atomic_warp_ops: 5,
+            shared_atomic_replays: 2,
+            blocks: 1,
+            ..Default::default()
+        };
+        let b = KernelCost {
+            global_read_bytes: 50,
+            global_atomic_hot_ops: 7,
+            blocks: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.global_read_bytes, 150);
+        assert_eq!(a.shared_atomic_warp_ops, 5);
+        assert_eq!(a.shared_atomic_replays, 2);
+        assert_eq!(a.global_atomic_hot_ops, 7);
+        assert_eq!(a.blocks, 3);
+    }
+
+    #[test]
+    fn memory_bound_kernel_time_matches_bandwidth() {
+        let arch = v100();
+        let cost = KernelCost {
+            global_read_bytes: 742_000_000, // 742 MB at 742 GB/s = 1 ms
+            blocks: 10_000,
+            ..Default::default()
+        };
+        let t = cost.time_on(&arch, arch.num_sms as f64).total();
+        assert!((t.as_ms() - 1.0).abs() < 1e-6, "got {t}");
+    }
+
+    #[test]
+    fn overlap_model_takes_max_not_sum() {
+        let arch = v100();
+        let cost = KernelCost {
+            global_read_bytes: 742_000, // 1 us of memory
+            int_ops: 1,                 // negligible compute
+            ..Default::default()
+        };
+        let bd = cost.time_on(&arch, arch.num_sms as f64);
+        assert_eq!(bd.total(), bd.memory);
+        assert_eq!(bd.bottleneck(), "memory");
+    }
+
+    #[test]
+    fn shared_atomics_dominate_on_kepler_not_volta() {
+        // Same workload: memory-light, atomic-heavy.
+        let cost = KernelCost {
+            global_read_bytes: 1_000,
+            shared_atomic_warp_ops: 1_000_000,
+            ..Default::default()
+        };
+        let k = k20xm();
+        let v = v100();
+        let t_k = cost.time_on(&k, k.num_sms as f64);
+        let t_v = cost.time_on(&v, v.num_sms as f64);
+        assert_eq!(t_k.bottleneck(), "shared-atomic");
+        // Volta processes the same shared-atomic load much faster:
+        // more SMs and a lower per-instruction cost.
+        assert!(t_k.shared_atomic.as_ns() > 5.0 * t_v.shared_atomic.as_ns());
+    }
+
+    #[test]
+    fn same_address_global_atomics_ignore_parallelism() {
+        let arch = v100();
+        let cost = KernelCost {
+            global_atomic_hot_ops: 1000, // all to one address
+            ..Default::default()
+        };
+        let few = cost.time_on(&arch, 1.0).global_atomic;
+        let many = cost.time_on(&arch, arch.num_sms as f64).global_atomic;
+        // The serialization term dominates in both cases and does not
+        // shrink with more SMs.
+        assert!((few.as_ns() - many.as_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_occupancy_slows_memory() {
+        let arch = v100();
+        let cost = KernelCost {
+            global_read_bytes: 1_000_000,
+            ..Default::default()
+        };
+        let full = cost.time_on(&arch, arch.num_sms as f64).memory;
+        let quarter = cost.time_on(&arch, arch.num_sms as f64 / 4.0).memory;
+        assert!(quarter.as_ns() > 3.9 * full.as_ns());
+    }
+
+    #[test]
+    fn uncoalesced_traffic_is_penalized() {
+        let arch = v100();
+        let coalesced = KernelCost {
+            global_read_bytes: 1_000_000,
+            ..Default::default()
+        };
+        let scattered = KernelCost {
+            uncoalesced_bytes: 1_000_000,
+            ..Default::default()
+        };
+        let t_c = coalesced.time_on(&arch, arch.num_sms as f64).memory;
+        let t_s = scattered.time_on(&arch, arch.num_sms as f64).memory;
+        assert!((t_s.as_ns() / t_c.as_ns() - arch.uncoalesced_penalty).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_sms_clamped_to_device() {
+        let arch = v100();
+        let cost = KernelCost {
+            global_read_bytes: 1_000_000,
+            ..Default::default()
+        };
+        let a = cost.time_on(&arch, 10_000.0).memory;
+        let b = cost.time_on(&arch, arch.num_sms as f64).memory;
+        assert_eq!(a.as_ns(), b.as_ns());
+    }
+}

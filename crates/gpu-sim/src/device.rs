@@ -1,0 +1,335 @@
+//! The simulated device: executes kernels functionally (block-parallel on
+//! host threads) and keeps a timeline of per-kernel simulated timings.
+
+use crate::arch::GpuArchitecture;
+use crate::cost::{CostBreakdown, KernelCost, SimTime};
+use crate::event::Event;
+use crate::launch::{occupancy, LaunchConfig};
+use hpc_par::ThreadPool;
+
+/// Whether a kernel was launched by the host or from the device
+/// (CUDA Dynamic Parallelism); the two have different launch latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchOrigin {
+    Host,
+    Device,
+}
+
+/// One executed kernel on the device timeline.
+#[derive(Debug, Clone)]
+pub struct KernelRecord {
+    /// Kernel name, e.g. `"count"` or `"filter"` — used to aggregate the
+    /// Fig. 9 breakdown.
+    pub name: String,
+    /// Launch configuration used.
+    pub config: LaunchConfig,
+    /// Simulated start time (after the launch overhead).
+    pub start: SimTime,
+    /// Simulated execution duration (excluding launch overhead).
+    pub duration: SimTime,
+    /// Launch latency charged before the kernel ran.
+    pub launch_overhead: SimTime,
+    /// Aggregated resource usage.
+    pub cost: KernelCost,
+    /// Per-resource time components (their max is `duration`).
+    pub breakdown: CostBreakdown,
+    /// How the kernel was launched.
+    pub origin: LaunchOrigin,
+}
+
+/// Aggregated statistics for all launches of one kernel name.
+#[derive(Debug, Clone)]
+pub struct KernelSummary {
+    pub name: String,
+    pub launches: u64,
+    pub total_time: SimTime,
+    pub total_launch_overhead: SimTime,
+    pub cost: KernelCost,
+}
+
+/// A simulated GPU: owns the architecture model, runs kernels
+/// block-parallel on the host pool, and advances a simulated clock.
+pub struct Device<'p> {
+    arch: GpuArchitecture,
+    pool: &'p ThreadPool,
+    now: SimTime,
+    records: Vec<KernelRecord>,
+}
+
+impl<'p> Device<'p> {
+    /// Create a device of the given architecture executing on `pool`.
+    pub fn new(arch: GpuArchitecture, pool: &'p ThreadPool) -> Self {
+        Self {
+            arch,
+            pool,
+            now: SimTime::ZERO,
+            records: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor on the process-global pool.
+    pub fn on_global_pool(arch: GpuArchitecture) -> Device<'static> {
+        Device::new(arch, ThreadPool::global())
+    }
+
+    pub fn arch(&self) -> &GpuArchitecture {
+        &self.arch
+    }
+
+    pub fn pool(&self) -> &'p ThreadPool {
+        self.pool
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Record a timestamp (the analogue of `cudaEventRecord`).
+    pub fn record_event(&self) -> Event {
+        Event::at(self.now)
+    }
+
+    /// Launch a kernel: run `kernel(block_id, &mut cost)` for every block
+    /// of the grid (parallelized over the host pool), convert the merged
+    /// resource usage into simulated time, and advance the clock.
+    ///
+    /// Returns the duration including launch overhead.
+    pub fn launch<F>(
+        &mut self,
+        name: impl Into<String>,
+        config: LaunchConfig,
+        origin: LaunchOrigin,
+        kernel: F,
+    ) -> SimTime
+    where
+        F: Fn(u32, &mut KernelCost) + Sync,
+    {
+        let blocks = config.blocks as usize;
+        let cost = hpc_par::parallel_map_reduce(
+            self.pool,
+            blocks,
+            1,
+            KernelCost::new(),
+            |range, mut acc| {
+                for b in range {
+                    kernel(b as u32, &mut acc);
+                }
+                acc
+            },
+            |mut a, b| {
+                a.merge(&b);
+                a
+            },
+        );
+        self.commit(name, config, origin, cost)
+    }
+
+    /// Record a kernel whose resource usage was computed by the caller
+    /// (used when a kernel's functional work and cost accounting are
+    /// produced by one fused pass).
+    pub fn commit(
+        &mut self,
+        name: impl Into<String>,
+        config: LaunchConfig,
+        origin: LaunchOrigin,
+        cost: KernelCost,
+    ) -> SimTime {
+        let occ = occupancy(&self.arch, &config);
+        let breakdown = cost.time_on(&self.arch, occ.effective_sms);
+        let duration = breakdown.total();
+        let launch_overhead = match origin {
+            LaunchOrigin::Host => SimTime::from_us(self.arch.host_launch_us),
+            LaunchOrigin::Device => SimTime::from_us(self.arch.device_launch_us),
+        };
+        self.now += launch_overhead;
+        let start = self.now;
+        self.now += duration;
+        self.records.push(KernelRecord {
+            name: name.into(),
+            config,
+            start,
+            duration,
+            launch_overhead,
+            cost,
+            breakdown,
+            origin,
+        });
+        duration + launch_overhead
+    }
+
+    /// Simulated time elapsed since `event` (the analogue of
+    /// `cudaEventElapsedTime`).
+    pub fn elapsed_since(&self, event: Event) -> SimTime {
+        self.now - event.time()
+    }
+
+    /// The full kernel timeline since the last reset.
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// Clear the timeline and reset the clock (between measurements).
+    pub fn reset(&mut self) {
+        self.now = SimTime::ZERO;
+        self.records.clear();
+    }
+
+    /// Aggregate the timeline per kernel name, preserving first-seen
+    /// order (for Fig. 9-style breakdowns).
+    pub fn kernel_summary(&self) -> Vec<KernelSummary> {
+        let mut order: Vec<String> = Vec::new();
+        let mut out: Vec<KernelSummary> = Vec::new();
+        for rec in &self.records {
+            let idx = match order.iter().position(|n| n == &rec.name) {
+                Some(i) => i,
+                None => {
+                    order.push(rec.name.clone());
+                    out.push(KernelSummary {
+                        name: rec.name.clone(),
+                        launches: 0,
+                        total_time: SimTime::ZERO,
+                        total_launch_overhead: SimTime::ZERO,
+                        cost: KernelCost::new(),
+                    });
+                    out.len() - 1
+                }
+            };
+            let s = &mut out[idx];
+            s.launches += 1;
+            s.total_time += rec.duration;
+            s.total_launch_overhead += rec.launch_overhead;
+            s.cost.merge(&rec.cost);
+        }
+        out
+    }
+
+    /// Total simulated time of every kernel plus launch overheads.
+    pub fn total_time(&self) -> SimTime {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::v100;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn device(pool: &ThreadPool) -> Device<'_> {
+        Device::new(v100(), pool)
+    }
+
+    #[test]
+    fn launch_runs_every_block_once() {
+        let pool = ThreadPool::new(4);
+        let mut dev = device(&pool);
+        let cfg = LaunchConfig {
+            blocks: 100,
+            threads_per_block: 128,
+            shared_mem_bytes: 0,
+        };
+        let hits: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        dev.launch("touch", cfg, LaunchOrigin::Host, |b, cost| {
+            hits[b as usize].fetch_add(1, Ordering::Relaxed);
+            cost.global_read_bytes += 4;
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(dev.records().len(), 1);
+        assert_eq!(dev.records()[0].cost.global_read_bytes, 400);
+    }
+
+    #[test]
+    fn clock_advances_by_duration_plus_overhead() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        let cfg = LaunchConfig {
+            blocks: 1000,
+            threads_per_block: 256,
+            shared_mem_bytes: 0,
+        };
+        let before = dev.now();
+        let total = dev.launch("k", cfg, LaunchOrigin::Host, |_, cost| {
+            cost.global_read_bytes += 1_000_000;
+        });
+        assert!((dev.now() - before).as_ns() > 0.0);
+        assert!(((dev.now() - before).as_ns() - total.as_ns()).abs() < 1e-9);
+        let rec = &dev.records()[0];
+        assert!((rec.launch_overhead.as_us() - dev.arch().host_launch_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_launch_is_cheaper_than_host_launch() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: 32,
+            shared_mem_bytes: 0,
+        };
+        dev.launch("h", cfg, LaunchOrigin::Host, |_, _| {});
+        dev.launch("d", cfg, LaunchOrigin::Device, |_, _| {});
+        let recs = dev.records();
+        assert!(recs[0].launch_overhead > recs[1].launch_overhead);
+    }
+
+    #[test]
+    fn events_measure_elapsed_time() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        let cfg = LaunchConfig {
+            blocks: 100,
+            threads_per_block: 256,
+            shared_mem_bytes: 0,
+        };
+        let ev = dev.record_event();
+        dev.launch("a", cfg, LaunchOrigin::Host, |_, c| {
+            c.global_read_bytes += 500_000;
+        });
+        let elapsed = dev.elapsed_since(ev);
+        assert!(elapsed.as_ns() > 0.0);
+        assert!((elapsed.as_ns() - dev.now().as_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_groups_by_name_in_first_seen_order() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        let cfg = LaunchConfig {
+            blocks: 10,
+            threads_per_block: 64,
+            shared_mem_bytes: 0,
+        };
+        dev.launch("count", cfg, LaunchOrigin::Host, |_, c| {
+            c.global_read_bytes += 10
+        });
+        dev.launch("filter", cfg, LaunchOrigin::Host, |_, c| {
+            c.global_read_bytes += 20
+        });
+        dev.launch("count", cfg, LaunchOrigin::Device, |_, c| {
+            c.global_read_bytes += 30
+        });
+        let summary = dev.kernel_summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].name, "count");
+        assert_eq!(summary[0].launches, 2);
+        assert_eq!(summary[0].cost.global_read_bytes, 400);
+        assert_eq!(summary[1].name, "filter");
+        assert_eq!(summary[1].launches, 1);
+    }
+
+    #[test]
+    fn reset_clears_timeline() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: 32,
+            shared_mem_bytes: 0,
+        };
+        dev.launch("k", cfg, LaunchOrigin::Host, |_, _| {});
+        dev.reset();
+        assert!(dev.records().is_empty());
+        assert_eq!(dev.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulated-time events, mirroring the CUDA Runtime API's
+//! `cudaEventRecord` / `cudaEventElapsedTime` measurement pattern the
+//! paper uses for all reported timings (§V-B).
+
+use crate::cost::SimTime;
+
+/// A recorded point on the device's simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    at: SimTime,
+}
+
+impl Event {
+    /// Create an event at the given simulated time (normally via
+    /// [`crate::device::Device::record_event`]).
+    pub fn at(time: SimTime) -> Self {
+        Self { at: time }
+    }
+
+    /// The timestamp of this event.
+    pub fn time(self) -> SimTime {
+        self.at
+    }
+
+    /// Elapsed simulated time between two events
+    /// (`cudaEventElapsedTime(self, later)`).
+    pub fn elapsed_until(self, later: Event) -> SimTime {
+        later.at - self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_between_events() {
+        let a = Event::at(SimTime::from_us(1.0));
+        let b = Event::at(SimTime::from_us(3.5));
+        assert!((a.elapsed_until(b).as_us() - 2.5).abs() < 1e-12);
+    }
+}

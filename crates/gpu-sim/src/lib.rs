@@ -1,0 +1,56 @@
+//! # gpu-sim
+//!
+//! A warp-accurate functional SIMT execution model with a per-architecture
+//! analytic cost model — the substrate on which this workspace runs the
+//! GPU selection kernels of Ribizel & Anzt, *Approximate and Exact
+//! Selection on GPUs* (2019), in the absence of real CUDA hardware.
+//!
+//! ## Structure
+//!
+//! * [`arch`] — hardware descriptors (Table I of the paper: Tesla K20Xm,
+//!   Tesla V100, plus the Tesla C2070 used in the §V-D comparison) and
+//!   the cost-model parameters attached to each.
+//! * [`warp`] — warp-level intrinsics (`ballot`, `match_any`, shuffles)
+//!   with exact per-warp atomic-collision analysis.
+//! * [`block`] — a thread-level BSP block executor (the slow reference
+//!   interpretation of the SIMT model, used to cross-validate the
+//!   vectorized kernels).
+//! * [`cost`] — resource counters ([`cost::KernelCost`]) and the
+//!   roofline-style overlap model converting them to [`cost::SimTime`].
+//! * [`launch`] — launch configurations, occupancy, and the
+//!   dynamic-parallelism tail-launch queue.
+//! * [`memory`] — scatter buffers for the two-pass counter scheme and
+//!   traffic-tracked shared-memory arrays.
+//! * [`device`] — the simulated GPU: block-parallel functional execution
+//!   on a host thread pool, a simulated clock, and a kernel timeline.
+//! * [`event`] — `cudaEventRecord`-style measurement points.
+//!
+//! ## Fidelity
+//!
+//! The *functional* layer is exact: kernels compute bit-identical results
+//! to a sequential reference, warp ballots follow CUDA semantics, and
+//! atomic collision counts are computed per warp, not sampled. The
+//! *timing* layer is analytic: each kernel's resource usage is converted
+//! to time with per-architecture parameters, so architecture-dependent
+//! effects (Kepler's slow lock-based shared atomics vs. Volta's native
+//! ones, same-address global-atomic serialization, launch latencies)
+//! shape the results mechanistically.
+
+pub mod arch;
+pub mod block;
+pub mod cost;
+pub mod device;
+pub mod event;
+pub mod launch;
+pub mod memory;
+pub mod trace;
+pub mod warp;
+
+pub use arch::{GpuArchitecture, GpuGeneration};
+pub use block::BlockExec;
+pub use cost::{CostBreakdown, KernelCost, SimTime};
+pub use device::{Device, KernelRecord, KernelSummary, LaunchOrigin};
+pub use event::Event;
+pub use launch::{occupancy, LaunchConfig, Occupancy, TailLaunchQueue};
+pub use memory::{ScatterBuffer, SharedArray};
+pub use trace::{chrome_trace, trace_events};

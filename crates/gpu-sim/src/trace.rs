@@ -1,0 +1,459 @@
+//! Timeline export in the Chrome trace-event format.
+//!
+//! `Device::records()` holds the full kernel timeline of a run;
+//! [`chrome_trace`] serializes it into the JSON array format understood
+//! by `chrome://tracing`, Perfetto (<https://ui.perfetto.dev>), and
+//! Speedscope — so a simulated selection run can be inspected with the
+//! same tooling people use for real GPU profiles.
+//!
+//! Each kernel becomes a complete event (`"ph": "X"`) on a per-origin
+//! track; launch overheads appear as separate events on an "overhead"
+//! track, making the dynamic-parallelism latency savings (§IV-E)
+//! directly visible.
+
+use crate::device::{Device, LaunchOrigin};
+use serde::Serialize;
+
+/// One Chrome trace event (the subset of fields the viewers need).
+#[derive(Debug, Serialize)]
+pub struct TraceEvent {
+    /// Event name (kernel name, or `"launch"` for overheads).
+    pub name: String,
+    /// Category: `"kernel"` or `"launch-overhead"`.
+    pub cat: String,
+    /// Phase: `"X"` = complete event with duration.
+    pub ph: String,
+    /// Start timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds.
+    pub dur: f64,
+    /// Process id (constant; one simulated device).
+    pub pid: u32,
+    /// Thread id: 0 = host-launched kernels, 1 = device-launched.
+    pub tid: u32,
+    /// Extra details shown in the viewer's detail pane.
+    pub args: TraceArgs,
+}
+
+/// Detail payload for one kernel event.
+#[derive(Debug, Serialize)]
+pub struct TraceArgs {
+    pub blocks: u32,
+    pub threads_per_block: u32,
+    pub bottleneck: String,
+    pub global_bytes: u64,
+    pub shared_atomic_warp_ops: u64,
+    pub global_atomic_ops: u64,
+}
+
+/// Build the trace events for everything on the device timeline.
+pub fn trace_events(device: &Device) -> Vec<TraceEvent> {
+    let mut events = Vec::with_capacity(device.records().len() * 2);
+    for rec in device.records() {
+        let tid = match rec.origin {
+            LaunchOrigin::Host => 0,
+            LaunchOrigin::Device => 1,
+        };
+        // launch overhead precedes the kernel
+        events.push(TraceEvent {
+            name: format!("launch {}", rec.name),
+            cat: "launch-overhead".to_string(),
+            ph: "X".to_string(),
+            ts: (rec.start - rec.launch_overhead).as_us(),
+            dur: rec.launch_overhead.as_us(),
+            pid: 1,
+            tid,
+            args: TraceArgs {
+                blocks: rec.config.blocks,
+                threads_per_block: rec.config.threads_per_block,
+                bottleneck: "launch".to_string(),
+                global_bytes: 0,
+                shared_atomic_warp_ops: 0,
+                global_atomic_ops: 0,
+            },
+        });
+        events.push(TraceEvent {
+            name: rec.name.clone(),
+            cat: "kernel".to_string(),
+            ph: "X".to_string(),
+            ts: rec.start.as_us(),
+            dur: rec.duration.as_us(),
+            pid: 1,
+            tid,
+            args: TraceArgs {
+                blocks: rec.config.blocks,
+                threads_per_block: rec.config.threads_per_block,
+                bottleneck: rec.breakdown.bottleneck().to_string(),
+                global_bytes: rec.cost.total_global_bytes(),
+                shared_atomic_warp_ops: rec.cost.shared_atomic_warp_ops,
+                global_atomic_ops: rec.cost.global_atomic_ops,
+            },
+        });
+    }
+    events
+}
+
+/// Serialize the device timeline as a Chrome trace JSON string.
+pub fn chrome_trace(device: &Device) -> String {
+    serde_json::to_string_nothing_pretty(&trace_events(device))
+}
+
+// A hand-rolled stand-in for `serde_json` (which is not among the
+// approved dependencies): serialize via serde into the tiny JSON subset
+// the trace format needs. Kept private to this module.
+mod serde_json {
+    use serde::ser::{self, Serialize};
+
+    /// Serialize any `Serialize` value composed of structs, sequences,
+    /// strings, and numbers into compact JSON.
+    pub fn to_string_nothing_pretty<T: Serialize>(value: &T) -> String {
+        let mut out = String::new();
+        value
+            .serialize(&mut Writer { out: &mut out })
+            .expect("trace serialization cannot fail");
+        out
+    }
+
+    pub struct Writer<'a> {
+        out: &'a mut String,
+    }
+
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+    impl std::error::Error for Error {}
+    impl ser::Error for Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    fn escape(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    macro_rules! forward_num {
+        ($($fn:ident: $t:ty),*) => {$(
+            fn $fn(self, v: $t) -> Result<(), Error> {
+                self.out.push_str(&v.to_string());
+                Ok(())
+            }
+        )*};
+    }
+
+    impl<'a, 'b> ser::Serializer for &'b mut Writer<'a> {
+        type Ok = ();
+        type Error = Error;
+        type SerializeSeq = Seq<'a, 'b>;
+        type SerializeTuple = Seq<'a, 'b>;
+        type SerializeTupleStruct = Seq<'a, 'b>;
+        type SerializeTupleVariant = Seq<'a, 'b>;
+        type SerializeMap = Seq<'a, 'b>;
+        type SerializeStruct = Seq<'a, 'b>;
+        type SerializeStructVariant = Seq<'a, 'b>;
+
+        forward_num!(serialize_i8: i8, serialize_i16: i16, serialize_i32: i32,
+            serialize_i64: i64, serialize_u8: u8, serialize_u16: u16,
+            serialize_u32: u32, serialize_u64: u64);
+
+        fn serialize_f32(self, v: f32) -> Result<(), Error> {
+            self.serialize_f64(v as f64)
+        }
+        fn serialize_f64(self, v: f64) -> Result<(), Error> {
+            if v.is_finite() {
+                self.out.push_str(&format!("{v}"));
+            } else {
+                self.out.push_str("null");
+            }
+            Ok(())
+        }
+        fn serialize_bool(self, v: bool) -> Result<(), Error> {
+            self.out.push_str(if v { "true" } else { "false" });
+            Ok(())
+        }
+        fn serialize_char(self, v: char) -> Result<(), Error> {
+            escape(&v.to_string(), self.out);
+            Ok(())
+        }
+        fn serialize_str(self, v: &str) -> Result<(), Error> {
+            escape(v, self.out);
+            Ok(())
+        }
+        fn serialize_bytes(self, _v: &[u8]) -> Result<(), Error> {
+            Err(ser::Error::custom("bytes unsupported"))
+        }
+        fn serialize_none(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Error> {
+            v.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
+            self.serialize_unit()
+        }
+        fn serialize_unit_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            variant: &'static str,
+        ) -> Result<(), Error> {
+            self.serialize_str(variant)
+        }
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            v.serialize(self)
+        }
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            v.serialize(self)
+        }
+        fn serialize_seq(self, _: Option<usize>) -> Result<Seq<'a, 'b>, Error> {
+            self.out.push('[');
+            Ok(Seq {
+                w: self,
+                first: true,
+                close: ']',
+            })
+        }
+        fn serialize_tuple(self, len: usize) -> Result<Seq<'a, 'b>, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_tuple_struct(self, _: &'static str, len: usize) -> Result<Seq<'a, 'b>, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_tuple_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            len: usize,
+        ) -> Result<Seq<'a, 'b>, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_map(self, _: Option<usize>) -> Result<Seq<'a, 'b>, Error> {
+            self.out.push('{');
+            Ok(Seq {
+                w: self,
+                first: true,
+                close: '}',
+            })
+        }
+        fn serialize_struct(self, _: &'static str, _: usize) -> Result<Seq<'a, 'b>, Error> {
+            self.out.push('{');
+            Ok(Seq {
+                w: self,
+                first: true,
+                close: '}',
+            })
+        }
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            _: u32,
+            _: &'static str,
+            len: usize,
+        ) -> Result<Seq<'a, 'b>, Error> {
+            self.serialize_struct(name, len)
+        }
+    }
+
+    pub struct Seq<'a, 'b> {
+        w: &'b mut Writer<'a>,
+        first: bool,
+        close: char,
+    }
+
+    impl Seq<'_, '_> {
+        fn comma(&mut self) {
+            if self.first {
+                self.first = false;
+            } else {
+                self.w.out.push(',');
+            }
+        }
+    }
+
+    impl ser::SerializeSeq for Seq<'_, '_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            self.comma();
+            v.serialize(&mut *self.w)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.w.out.push(self.close);
+            Ok(())
+        }
+    }
+
+    macro_rules! seq_like {
+        ($trait:ident, $fn:ident) => {
+            impl ser::$trait for Seq<'_, '_> {
+                type Ok = ();
+                type Error = Error;
+                fn $fn<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+                    self.comma();
+                    v.serialize(&mut *self.w)
+                }
+                fn end(self) -> Result<(), Error> {
+                    self.w.out.push(self.close);
+                    Ok(())
+                }
+            }
+        };
+    }
+    seq_like!(SerializeTuple, serialize_element);
+    seq_like!(SerializeTupleStruct, serialize_field);
+    seq_like!(SerializeTupleVariant, serialize_field);
+
+    impl ser::SerializeStruct for Seq<'_, '_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            self.comma();
+            escape(key, self.w.out);
+            self.w.out.push(':');
+            v.serialize(&mut *self.w)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.w.out.push(self.close);
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeStructVariant for Seq<'_, '_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            ser::SerializeStruct::serialize_field(self, key, v)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.w.out.push(self.close);
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeMap for Seq<'_, '_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
+            self.comma();
+            key.serialize(&mut *self.w)
+        }
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            self.w.out.push(':');
+            v.serialize(&mut *self.w)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.w.out.push(self.close);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::v100;
+    use crate::launch::LaunchConfig;
+    use hpc_par::ThreadPool;
+
+    fn run_device(pool: &ThreadPool) -> Device<'_> {
+        let mut device = Device::new(v100(), pool);
+        let cfg = LaunchConfig {
+            blocks: 100,
+            threads_per_block: 256,
+            shared_mem_bytes: 0,
+        };
+        device.launch("count", cfg, LaunchOrigin::Host, |_, c| {
+            c.global_read_bytes += 1000;
+        });
+        device.launch("filter", cfg, LaunchOrigin::Device, |_, c| {
+            c.global_write_bytes += 500;
+        });
+        device
+    }
+
+    #[test]
+    fn events_cover_every_kernel_and_overhead() {
+        let pool = ThreadPool::new(1);
+        let device = run_device(&pool);
+        let events = trace_events(&device);
+        assert_eq!(events.len(), 4); // 2 kernels + 2 launch overheads
+        assert_eq!(events[1].name, "count");
+        assert_eq!(events[1].tid, 0, "host track");
+        assert_eq!(events[3].name, "filter");
+        assert_eq!(events[3].tid, 1, "device track");
+        // events are chronologically ordered and non-overlapping
+        assert!(events[0].ts + events[0].dur <= events[1].ts + 1e-9);
+        assert!(events[1].ts + events[1].dur <= events[2].ts + 1e-9);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_shape() {
+        let pool = ThreadPool::new(1);
+        let device = run_device(&pool);
+        let json = chrome_trace(&device);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"count\""));
+        assert!(json.contains("\"bottleneck\""));
+        // balanced braces/brackets (cheap structural check)
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        // no trailing commas
+        assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: 32,
+            shared_mem_bytes: 0,
+        };
+        device.launch("weird \"name\"\n", cfg, LaunchOrigin::Host, |_, _| {});
+        let json = chrome_trace(&device);
+        assert!(json.contains("weird \\\"name\\\"\\n"));
+    }
+}

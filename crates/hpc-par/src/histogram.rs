@@ -1,0 +1,117 @@
+//! Parallel histogram: the CPU analogue of the paper's shared-memory
+//! bucket counters.
+//!
+//! Each pool task accumulates into a private local histogram (no atomics,
+//! no collisions — the moral equivalent of per-thread-block shared-memory
+//! counters) and the locals are summed into the global result at the end
+//! (the moral equivalent of the `reduce` kernel).
+
+use crate::pool::ThreadPool;
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Compute a histogram with `bins` buckets over `0..n` items in parallel.
+///
+/// `classify(range, local)` must increment `local[b]` once for each item
+/// in `range` that falls into bin `b`. The per-task locals are merged and
+/// returned. The sum over the result equals the number of classified
+/// items.
+pub fn parallel_histogram<F>(pool: &ThreadPool, n: usize, bins: usize, classify: F) -> Vec<u64>
+where
+    F: Fn(Range<usize>, &mut [u64]) + Sync,
+{
+    let threads = pool.num_threads();
+    if n == 0 || bins == 0 {
+        return vec![0; bins];
+    }
+    const MIN_CHUNK: usize = 1 << 13;
+    if n < MIN_CHUNK || threads == 1 {
+        let mut local = vec![0u64; bins];
+        classify(0..n, &mut local);
+        return local;
+    }
+    let chunk = n.div_ceil(threads * 4).max(MIN_CHUNK / 4);
+    let num_chunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let global = Mutex::new(vec![0u64; bins]);
+    {
+        let next = &next;
+        let classify = &classify;
+        let global = &global;
+        pool.scope(|s| {
+            for _ in 0..threads {
+                s.spawn(move || {
+                    let mut local = vec![0u64; bins];
+                    let mut did_work = false;
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
+                            break;
+                        }
+                        did_work = true;
+                        let start = c * chunk;
+                        let end = (start + chunk).min(n);
+                        classify(start..end, &mut local);
+                    }
+                    if did_work {
+                        let mut g = global.lock();
+                        for (g, l) in g.iter_mut().zip(local.iter()) {
+                            *g += *l;
+                        }
+                    }
+                });
+            }
+        });
+    }
+    global.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_every_item() {
+        let pool = ThreadPool::new(4);
+        let n = 100_000;
+        let bins = 17;
+        let data: Vec<usize> = (0..n).map(|i| (i * 31) % bins).collect();
+        let data_ref = &data;
+        let hist = parallel_histogram(&pool, n, bins, |range, local| {
+            for i in range {
+                local[data_ref[i]] += 1;
+            }
+        });
+        assert_eq!(hist.iter().sum::<u64>(), n as u64);
+        // Compare with sequential reference.
+        let mut expected = vec![0u64; bins];
+        for &b in &data {
+            expected[b] += 1;
+        }
+        assert_eq!(hist, expected);
+    }
+
+    #[test]
+    fn histogram_empty_input() {
+        let pool = ThreadPool::new(4);
+        let hist = parallel_histogram(&pool, 0, 8, |_, _| panic!("not called"));
+        assert_eq!(hist, vec![0; 8]);
+    }
+
+    #[test]
+    fn histogram_zero_bins() {
+        let pool = ThreadPool::new(2);
+        let hist = parallel_histogram(&pool, 10, 0, |_range, _local| {});
+        assert!(hist.is_empty());
+    }
+
+    #[test]
+    fn histogram_single_bin() {
+        let pool = ThreadPool::new(4);
+        let hist = parallel_histogram(&pool, 50_000, 1, |range, local| {
+            local[0] += range.len() as u64;
+        });
+        assert_eq!(hist, vec![50_000]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # hpc-par
+//!
+//! A small, self-contained data-parallel substrate used by the
+//! `gpu-selection` workspace: a persistent thread pool with a scoped
+//! fork-join API, plus the handful of bulk primitives the selection
+//! algorithms need (parallel for, map-reduce, exclusive scan, histograms).
+//!
+//! The design follows the fork-join model popularized by Rayon, scaled
+//! down to exactly what this workspace requires so that the whole
+//! workspace builds from first principles:
+//!
+//! * [`ThreadPool`] — persistent worker threads fed from a shared
+//!   injector queue; a process-wide pool is available via
+//!   [`ThreadPool::global`].
+//! * [`ThreadPool::scope`] — run borrowed closures on the pool and wait
+//!   for all of them; panics in tasks propagate to the caller.
+//! * [`parallel_for`] / [`parallel_for_chunks`] — dynamic chunk
+//!   scheduling over an index range.
+//! * [`parallel_map_reduce`] — tree-free chunked reduction.
+//! * [`scan::exclusive_scan`] / [`scan::parallel_exclusive_scan`] —
+//!   prefix sums (the `reduce` step of the paper's two-pass counter
+//!   scheme).
+//! * [`histogram::parallel_histogram`] — per-worker local bins merged at
+//!   the end (the CPU analogue of the paper's shared-memory bucket
+//!   counters).
+//!
+//! Everything is implemented with `std` + `crossbeam` channels +
+//! `parking_lot` locks; there is no work stealing — the workloads here
+//! are regular, so dynamic chunk distribution from a shared atomic
+//! counter achieves good balance with far less machinery.
+
+pub mod histogram;
+pub mod iter;
+pub mod pool;
+pub mod scan;
+pub mod sync;
+
+pub use histogram::parallel_histogram;
+pub use iter::{parallel_for, parallel_for_chunks, parallel_map_collect, parallel_map_reduce};
+pub use pool::{PoolScope, ThreadPool};
+pub use scan::{exclusive_scan, inclusive_scan, parallel_exclusive_scan};
+pub use sync::WaitGroup;
+
+/// Default minimum work per chunk before the primitives bother going
+/// parallel. Below this, thread coordination costs more than it saves.
+pub const DEFAULT_MIN_CHUNK: usize = 4096;

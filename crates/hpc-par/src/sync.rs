@@ -1,0 +1,115 @@
+//! Lightweight synchronization helpers for the thread pool.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A counting latch: tasks are `add`ed before being submitted, call
+/// [`WaitGroup::done`] when they finish, and the owner blocks in
+/// [`WaitGroup::wait`] until the count returns to zero.
+///
+/// Unlike a `Barrier`, the number of participants does not need to be
+/// known up front and the waiter is not itself a participant.
+#[derive(Clone)]
+pub struct WaitGroup {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl WaitGroup {
+    /// Create a wait group with an initial count of zero.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                count: Mutex::new(0),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Register `n` additional outstanding tasks.
+    pub fn add(&self, n: usize) {
+        let mut count = self.inner.count.lock();
+        *count += n;
+    }
+
+    /// Mark one task as finished, waking waiters if the count hits zero.
+    pub fn done(&self) {
+        let mut count = self.inner.count.lock();
+        debug_assert!(*count > 0, "WaitGroup::done called more often than add");
+        *count -= 1;
+        if *count == 0 {
+            self.inner.cv.notify_all();
+        }
+    }
+
+    /// Block until the outstanding-task count reaches zero.
+    pub fn wait(&self) {
+        let mut count = self.inner.count.lock();
+        while *count != 0 {
+            self.inner.cv.wait(&mut count);
+        }
+    }
+
+    /// Current outstanding count (racy; for diagnostics/tests only).
+    pub fn pending(&self) -> usize {
+        *self.inner.count.lock()
+    }
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn zero_count_wait_returns_immediately() {
+        let wg = WaitGroup::new();
+        wg.wait();
+    }
+
+    #[test]
+    fn waits_for_all_participants() {
+        let wg = WaitGroup::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let n = 8;
+        wg.add(n);
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let wg = wg.clone();
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    wg.done();
+                })
+            })
+            .collect();
+        wg.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), n);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn add_after_done_cycle_is_reusable() {
+        let wg = WaitGroup::new();
+        for _ in 0..3 {
+            wg.add(1);
+            let wg2 = wg.clone();
+            thread::spawn(move || wg2.done());
+            wg.wait();
+            assert_eq!(wg.pending(), 0);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: exact and approximate selection in a few lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_selection::prelude::*;
+
+fn main() {
+    // Some data: 1M pseudo-random values.
+    let n = 1 << 20;
+    let data: Vec<f32> = (0..n)
+        .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as f32 / 1000.0)
+        .collect();
+    let k = n / 2; // the median
+
+    // Exact selection with the default configuration (Tesla V100
+    // simulation, 256 buckets, shared-memory atomics).
+    let cfg = SampleSelectConfig::default();
+    let exact = sample_select(&data, k, &cfg).expect("selection failed");
+    println!("exact median                = {}", exact.value);
+    println!(
+        "  levels = {}, kernels launched = {}, simulated time = {} ({:.2e} elements/s)",
+        exact.report.levels,
+        exact.report.total_launches(),
+        exact.report.total_time,
+        exact.report.throughput(),
+    );
+
+    // Approximate selection: one counting pass, no data movement.
+    // Returns a nearby splitter together with its *exact* rank.
+    let approx = approx_select(&data, k, &cfg).expect("approx selection failed");
+    println!("approximate median          = {}", approx.value);
+    println!(
+        "  rank {} requested, rank {} delivered ({} off, {:.4}% relative), {:.1}x faster",
+        k,
+        approx.achieved_rank,
+        approx.rank_error,
+        approx.relative_error * 100.0,
+        exact.report.total_time.as_ns() / approx.report.total_time.as_ns(),
+    );
+
+    // The reference QuickSelect for comparison.
+    let quick = quick_select(&data, k, &cfg).expect("quickselect failed");
+    println!("quickselect median          = {}", quick.value);
+    println!(
+        "  levels = {} (vs {} for SampleSelect), simulated time = {}",
+        quick.report.levels, exact.report.levels, quick.report.total_time,
+    );
+
+    // Top-k: the 10 largest values, unordered, plus the threshold.
+    let top = top_k_largest(&data, 10, &cfg).expect("top-k failed");
+    let mut top10 = top.elements.clone();
+    top10.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    println!("top-10 threshold            = {}", top.threshold);
+    println!("top-10 values               = {top10:?}");
+
+    // Everything agrees with a plain sort:
+    let mut sorted = data.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(exact.value, sorted[k]);
+    assert_eq!(quick.value, sorted[k]);
+    assert_eq!(top.threshold, sorted[n - 10]);
+    println!("\nall results verified against std sort");
+}

@@ -1,0 +1,82 @@
+//! The paper's future-work extensions, implemented: multi-rank
+//! selection ("multiple sequence selection") and a complete sorting
+//! algorithm built from the SampleSelect kernels (§VI).
+//!
+//! ```text
+//! cargo run --release --example sorting_and_quantiles
+//! ```
+
+use gpu_selection::gpu_sim::arch::v100;
+use gpu_selection::gpu_sim::Device;
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::prelude::*;
+use gpu_selection::sampleselect::multiselect::multi_select_on_device;
+use gpu_selection::sampleselect::recursion::sample_select_on_device;
+use gpu_selection::sampleselect::samplesort::sample_sort_on_device;
+
+fn main() {
+    let n = 1 << 21;
+    let data: Vec<f32> = (0..n)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x5DEECE66D).wrapping_add(11);
+            ((x >> 16) & 0xFFFF) as f32 / 655.36 // 0..100 "scores"
+        })
+        .collect();
+    let pool = ThreadPool::new(4);
+    let mut device = Device::new(v100(), &pool);
+    let cfg = SampleSelectConfig::tuned_for(device.arch());
+
+    // --- Multi-rank selection: all deciles in one shot. -------------
+    let ranks: Vec<usize> = (1..10).map(|i| i * n / 10).collect();
+    let deciles =
+        multi_select_on_device(&mut device, &data, &ranks, &cfg).expect("multiselect failed");
+    println!(
+        "all 9 deciles in one batched run ({} kernel launches, {}):",
+        deciles.report.total_launches(),
+        deciles.report.total_time
+    );
+    for (i, v) in deciles.values.iter().enumerate() {
+        print!("  p{}0={v:.2}", i + 1);
+    }
+    println!();
+
+    // Cost comparison: nine separate selections.
+    device.reset();
+    let mut separate_launches = 0;
+    let mut separate_time = gpu_selection::gpu_sim::SimTime::ZERO;
+    for &r in &ranks {
+        let res = sample_select_on_device(&mut device, &data, r, &cfg).unwrap();
+        separate_launches += res.report.total_launches();
+        separate_time += res.report.total_time;
+    }
+    println!(
+        "vs nine separate selections: {separate_launches} launches, {separate_time} \
+         ({:.1}x slower than the batch)",
+        separate_time.as_ns() / deciles.report.total_time.as_ns()
+    );
+
+    // --- Full sort via recursive sample partitioning. ----------------
+    device.reset();
+    let sorted = sample_sort_on_device(&mut device, &data, &cfg).expect("samplesort failed");
+    println!(
+        "\nsamplesort of {n} elements: {} levels, {} launches, {}",
+        sorted.report.levels,
+        sorted.report.total_launches(),
+        sorted.report.total_time
+    );
+    assert!(sorted.sorted.windows(2).all(|w| w[0] <= w[1]));
+
+    // Verify everything against std.
+    let mut expected = data.clone();
+    expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(sorted.sorted.len(), expected.len());
+    assert!(sorted
+        .sorted
+        .iter()
+        .zip(expected.iter())
+        .all(|(a, b)| a == b));
+    for (i, &r) in ranks.iter().enumerate() {
+        assert_eq!(deciles.values[i], expected[r]);
+    }
+    println!("sort and deciles verified against std sort");
+}

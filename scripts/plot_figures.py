@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the harness CSV output.
+
+Usage:
+    cargo run --release -p select-bench --bin fig8  -- --csv > fig8.csv
+    cargo run --release -p select-bench --bin fig10 -- --csv > fig10.csv
+    python3 scripts/plot_figures.py fig8 fig8.csv  fig8.png
+    python3 scripts/plot_figures.py fig10 fig10.csv fig10.png
+
+Requires matplotlib only for rendering; `--parse-only` validates the CSV
+without it (used by the repository's self-checks).
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+
+def read_rows(path):
+    with open(path, newline="") as f:
+        # the fig8 CSV contains two tables separated by a blank line;
+        # read only the first contiguous table
+        rows = []
+        reader = csv.reader(f)
+        header = next(reader)
+        for row in reader:
+            if not row or len(row) != len(header):
+                break
+            rows.append(dict(zip(header, row)))
+    return header, rows
+
+
+def series_fig8(rows):
+    """Group fig8 throughput rows into (gpu, type, variant) -> [(n, tp)]."""
+    series = defaultdict(list)
+    for r in rows:
+        key = (r["gpu"], r["type"], r["variant"])
+        series[key].append((int(r["n"]), float(r["throughput(el/s)"])))
+    for pts in series.values():
+        pts.sort()
+    return series
+
+
+def series_fig10(rows):
+    """fig10 rows -> [(variant, buckets, throughput, err)]."""
+    out = []
+    for r in rows:
+        out.append(
+            (
+                r["variant"],
+                int(r["buckets"]),
+                float(r["throughput(el/s)"]),
+                float(r["rel-error-mean(%)"]),
+            )
+        )
+    return out
+
+
+def plot_fig8(series, out_path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    gpus = sorted({k[0] for k in series})
+    types = sorted({k[1] for k in series})
+    fig, axes = plt.subplots(
+        len(gpus), len(types), figsize=(6 * len(types), 4 * len(gpus)), squeeze=False
+    )
+    for gi, gpu in enumerate(gpus):
+        for ti, typ in enumerate(types):
+            ax = axes[gi][ti]
+            for (g, t, variant), pts in sorted(series.items()):
+                if g != gpu or t != typ:
+                    continue
+                xs = [p[0] for p in pts]
+                ys = [p[1] for p in pts]
+                ax.plot(xs, ys, marker="o", label=variant)
+            ax.set_xscale("log", base=2)
+            ax.set_title(f"{gpu} ({typ})")
+            ax.set_xlabel("number of elements")
+            ax.set_ylabel("throughput (elements/s)")
+            ax.legend()
+            ax.grid(True, alpha=0.3)
+    fig.suptitle("Figure 8: selection throughput")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    print(f"wrote {out_path}")
+
+
+def plot_fig10(points, out_path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for variant, buckets, tp, err in points:
+        marker = "o" if variant == "exact" else "^"
+        color = "tab:blue" if variant == "exact" else "tab:green"
+        ax.scatter(err, tp, marker=marker, color=color, s=60)
+        ax.annotate(str(buckets), (err, tp), textcoords="offset points", xytext=(6, 4))
+    ax.set_xlabel("relative approximation error (%)")
+    ax.set_ylabel("throughput (elements/s)")
+    ax.set_title("Figure 10: error-throughput trade-off")
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    print(f"wrote {out_path}")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--parse-only"]
+    parse_only = "--parse-only" in sys.argv
+    if len(args) < 2:
+        print(__doc__)
+        sys.exit(2)
+    which, csv_path = args[0], args[1]
+    out_path = args[2] if len(args) > 2 else f"{which}.png"
+    _, rows = read_rows(csv_path)
+    if which == "fig8":
+        series = series_fig8(rows)
+        print(f"parsed {len(rows)} rows, {len(series)} series")
+        if not parse_only:
+            plot_fig8(series, out_path)
+    elif which == "fig10":
+        points = series_fig10(rows)
+        print(f"parsed {len(points)} points")
+        if not parse_only:
+            plot_fig10(points, out_path)
+    else:
+        print(f"unknown figure {which}; known: fig8 fig10")
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main()

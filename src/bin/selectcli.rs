@@ -1,0 +1,265 @@
+//! `selectcli` — run any selection algorithm of the workspace on a
+//! generated workload from the command line.
+//!
+//! ```text
+//! cargo run --release --bin selectcli -- \
+//!     [--algo sample|quick|bucket|radix|approx|topk|cpu] \
+//!     [--n 4194304] [--rank N | --k N] [--dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp] \
+//!     [--arch v100|k20xm|c2070] [--buckets 256] [--seed 42] [--breakdown]
+//! ```
+
+use gpu_selection::baselines::{bucket_select_on_device, radix_select_on_device};
+use gpu_selection::datagen::{Distribution, RankChoice, WorkloadSpec};
+use gpu_selection::gpu_sim::arch::{by_name, v100};
+use gpu_selection::gpu_sim::Device;
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::sampleselect::cpu::{cpu_sample_select, CpuSelectConfig};
+use gpu_selection::sampleselect::element::reference_select;
+use gpu_selection::sampleselect::multiselect::quantiles;
+use gpu_selection::sampleselect::samplesort::sample_sort_on_device;
+use gpu_selection::sampleselect::streaming::{streaming_select, SliceChunks};
+use gpu_selection::sampleselect::topk::top_k_largest_on_device;
+use gpu_selection::sampleselect::{
+    approx_select_on_device, quick_select_on_device, sample_select_on_device, SampleSelectConfig,
+    SelectReport,
+};
+use std::process::exit;
+
+#[derive(Debug)]
+struct Args {
+    algo: String,
+    n: usize,
+    rank: Option<usize>,
+    k: Option<usize>,
+    dist: String,
+    arch: String,
+    buckets: usize,
+    seed: u64,
+    breakdown: bool,
+    trace: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            algo: "sample".into(),
+            n: 1 << 22,
+            rank: None,
+            k: None,
+            dist: "uniform".into(),
+            arch: "v100".into(),
+            buckets: 256,
+            seed: 42,
+            breakdown: false,
+            trace: None,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut out = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--algo" => out.algo = val("--algo"),
+            "--n" => out.n = val("--n").parse().expect("--n"),
+            "--rank" => out.rank = Some(val("--rank").parse().expect("--rank")),
+            "--k" => out.k = Some(val("--k").parse().expect("--k")),
+            "--dist" => out.dist = val("--dist"),
+            "--arch" => out.arch = val("--arch"),
+            "--buckets" => out.buckets = val("--buckets").parse().expect("--buckets"),
+            "--seed" => out.seed = val("--seed").parse().expect("--seed"),
+            "--breakdown" => out.breakdown = true,
+            "--trace" => out.trace = Some(val("--trace")),
+            "--help" | "-h" => {
+                eprintln!("{}", HELP);
+                exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{HELP}");
+                exit(2);
+            }
+        }
+    }
+    out
+}
+
+const HELP: &str =
+    "selectcli --algo sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|cpu \
+--n N --rank R|--k K --dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp \
+--arch v100|k20xm|c2070 --buckets B --seed S [--breakdown] [--trace out.json]";
+
+fn distribution(name: &str) -> Distribution {
+    match name {
+        "uniform" => Distribution::Uniform,
+        "d16" => Distribution::UniformDistinct { distinct: 16 },
+        "d1024" => Distribution::UniformDistinct { distinct: 1024 },
+        "clustered" => Distribution::ClusteredOutliers,
+        "cascade" => Distribution::GeometricCascade,
+        "sorted" => Distribution::SortedAscending,
+        "normal" => Distribution::Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        },
+        "exp" => Distribution::Exponential { lambda: 1.0 },
+        other => {
+            eprintln!("unknown distribution {other}");
+            exit(2);
+        }
+    }
+}
+
+fn print_report(report: &SelectReport, breakdown: bool) {
+    println!(
+        "levels: {}, launches: {}, early-termination: {}",
+        report.levels,
+        report.total_launches(),
+        report.terminated_early
+    );
+    println!(
+        "simulated time: {} ({:.3e} elements/s; launch overhead {})",
+        report.total_time,
+        report.throughput(),
+        report.launch_overhead
+    );
+    if breakdown {
+        println!("\nkernel          launches  total-time      ns/element");
+        for k in &report.kernels {
+            println!(
+                "{:<15} {:>8}  {:>14}  {:.5}",
+                k.name,
+                k.launches,
+                format!("{}", k.total_time),
+                k.total_time.as_ns() / report.n as f64
+            );
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let arch = by_name(&args.arch).unwrap_or_else(v100);
+    let pool = ThreadPool::global();
+    let spec = WorkloadSpec {
+        n: args.n,
+        distribution: distribution(&args.dist),
+        rank: match args.rank {
+            Some(r) => RankChoice::Fixed(r),
+            None => RankChoice::Median,
+        },
+        seed: args.seed,
+    };
+    let w = spec.instantiate::<f32>(0);
+    let rank = w.rank;
+
+    let mut cfg = SampleSelectConfig::tuned_for(&arch)
+        .with_buckets(args.buckets)
+        .with_seed(args.seed);
+    cfg.wide_oracles = args.buckets > 256;
+
+    println!(
+        "algo={} n={} dist={} arch={} buckets={} rank={rank}\n",
+        args.algo, args.n, args.dist, arch.name, args.buckets
+    );
+
+    let mut device = Device::new(arch.clone(), pool);
+    match args.algo.as_str() {
+        "sample" => {
+            let r = sample_select_on_device(&mut device, &w.data, rank, &cfg).unwrap();
+            println!("value = {}", r.value);
+            print_report(&r.report, args.breakdown);
+            assert_eq!(r.value, reference_select(&w.data, rank).unwrap());
+            println!("\nverified against std reference");
+        }
+        "quick" => {
+            let r = quick_select_on_device(&mut device, &w.data, rank, &cfg).unwrap();
+            println!("value = {}", r.value);
+            print_report(&r.report, args.breakdown);
+        }
+        "bucket" => {
+            let r = bucket_select_on_device(&mut device, &w.data, rank, &cfg).unwrap();
+            println!("value = {}", r.value);
+            print_report(&r.report, args.breakdown);
+        }
+        "radix" => {
+            let r = radix_select_on_device(&mut device, &w.data, rank, &cfg).unwrap();
+            println!("value = {}", r.value);
+            print_report(&r.report, args.breakdown);
+        }
+        "approx" => {
+            let r = approx_select_on_device(&mut device, &w.data, rank, &cfg).unwrap();
+            println!(
+                "value = {} (rank {} delivered, {} requested, {:.4}% relative error)",
+                r.value,
+                r.achieved_rank,
+                rank,
+                r.relative_error * 100.0
+            );
+            print_report(&r.report, args.breakdown);
+        }
+        "topk" => {
+            let k = args.k.unwrap_or(100);
+            let r = top_k_largest_on_device(&mut device, &w.data, k, &cfg).unwrap();
+            println!("top-{k} threshold = {}", r.threshold);
+            print_report(&r.report, args.breakdown);
+        }
+        "quantiles" => {
+            let q = args.k.unwrap_or(10);
+            let r = quantiles(&w.data, q, &cfg).unwrap();
+            print!("{q}-quantiles:");
+            for v in &r.values {
+                print!(" {v:.4}");
+            }
+            println!();
+            print_report(&r.report, args.breakdown);
+        }
+        "sort" => {
+            let r = sample_sort_on_device(&mut device, &w.data, &cfg).unwrap();
+            assert!(r.sorted.windows(2).all(|p| p[0] <= p[1]));
+            println!(
+                "sorted {} elements (min {}, max {})",
+                r.sorted.len(),
+                r.sorted[0],
+                r.sorted[r.sorted.len() - 1]
+            );
+            print_report(&r.report, args.breakdown);
+        }
+        "stream" => {
+            let source = SliceChunks::new(&w.data, 1 << 18);
+            let r = streaming_select(&mut device, &source, rank, &cfg).unwrap();
+            println!(
+                "value = {} (peak resident {} elements = {:.2}% of n)",
+                r.value,
+                r.peak_resident,
+                r.peak_resident as f64 / args.n as f64 * 100.0
+            );
+            print_report(&r.report, args.breakdown);
+        }
+        "cpu" => {
+            let t0 = std::time::Instant::now();
+            let (value, stats) =
+                cpu_sample_select(pool, &w.data, rank, &CpuSelectConfig::default()).unwrap();
+            let dt = t0.elapsed();
+            println!(
+                "value = {value} (wall-clock {dt:?}, {} levels, scanned {} elements)",
+                stats.levels, stats.elements_scanned
+            );
+        }
+        other => {
+            eprintln!("unknown algorithm {other}\n{HELP}");
+            exit(2);
+        }
+    }
+
+    if let Some(path) = &args.trace {
+        let json = gpu_selection::gpu_sim::chrome_trace(&device);
+        std::fs::write(path, json).expect("failed to write trace");
+        println!("\nchrome trace written to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+}

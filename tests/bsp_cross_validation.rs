@@ -1,0 +1,104 @@
+//! Cross-validation of the two SIMT interpretations: the thread-level
+//! BSP executor (`gpu_sim::BlockExec`, the slow reference) against the
+//! vectorized kernels (`sampleselect::count`, the fast path). Both must
+//! produce bit-identical functional results *and* identical atomic
+//! collision accounting.
+
+use gpu_selection::gpu_sim::arch::v100;
+use gpu_selection::gpu_sim::warp::WARP_SIZE;
+use gpu_selection::gpu_sim::{BlockExec, Device, LaunchOrigin};
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::sampleselect::count::count_kernel;
+use gpu_selection::sampleselect::searchtree::SearchTree;
+use gpu_selection::sampleselect::{AtomicScope, SampleSelectConfig};
+
+/// The Fig. 4 count kernel written thread-style on the BSP executor:
+/// every thread classifies one element via the search tree, then each
+/// warp issues one shared-memory atomic instruction.
+fn count_thread_style(data: &[f32], tree: &SearchTree<f32>) -> (Vec<u32>, BlockExec) {
+    let threads = data.len().next_multiple_of(WARP_SIZE);
+    let b = tree.num_buckets();
+    let mut block = BlockExec::new(threads, b);
+    for warp_start in (0..data.len()).step_by(WARP_SIZE) {
+        let wlen = WARP_SIZE.min(data.len() - warp_start);
+        let targets: Vec<u32> = (0..wlen)
+            .map(|lane| tree.lookup(data[warp_start + lane]))
+            .collect();
+        block.warp_shared_atomic_add(0, &targets);
+    }
+    let counts = block.shared()[..b].to_vec();
+    (counts, block)
+}
+
+#[test]
+fn bsp_and_vectorized_count_agree_functionally() {
+    let tree = SearchTree::build(&[10.0f32, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0]);
+    let data: Vec<f32> = (0..992).map(|i| ((i * 37) % 80) as f32).collect();
+
+    let (bsp_counts, _) = count_thread_style(&data, &tree);
+
+    let pool = ThreadPool::new(1);
+    let mut device = Device::new(v100(), &pool);
+    // one block, no aggregation, shared scope — the setting the BSP
+    // kernel models
+    let cfg = SampleSelectConfig::default()
+        .with_buckets(8)
+        .with_atomic_scope(AtomicScope::Shared)
+        .with_warp_aggregation(false);
+    let result = count_kernel(&mut device, &data, &tree, &cfg, true, LaunchOrigin::Host);
+
+    let vec_counts: Vec<u32> = result.counts.iter().map(|&c| c as u32).collect();
+    assert_eq!(bsp_counts, vec_counts);
+}
+
+#[test]
+fn bsp_and_vectorized_collision_accounting_agree() {
+    // Duplicate-heavy data maximizes collisions; both paths must charge
+    // the exact same warp-op and replay counts.
+    let tree = SearchTree::build(&[1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    let data: Vec<f32> = (0..640).map(|i| ((i / 71) % 3) as f32 * 2.5).collect();
+
+    let (_, block) = count_thread_style(&data, &tree);
+
+    let pool = ThreadPool::new(1);
+    let mut device = Device::new(v100(), &pool);
+    let cfg = SampleSelectConfig::default()
+        .with_buckets(8)
+        .with_atomic_scope(AtomicScope::Shared)
+        .with_warp_aggregation(false);
+    count_kernel(&mut device, &data, &tree, &cfg, true, LaunchOrigin::Host);
+    let vec_cost = device.records()[0].cost;
+
+    assert_eq!(
+        block.cost.shared_atomic_warp_ops,
+        vec_cost.shared_atomic_warp_ops
+    );
+    assert_eq!(
+        block.cost.shared_atomic_replays,
+        vec_cost.shared_atomic_replays
+    );
+}
+
+#[test]
+fn bsp_ballot_matches_fig6_aggregation_mask() {
+    // The Fig. 6 warp-aggregation loop run through the BSP ballot
+    // primitive equals the match_any reference.
+    use gpu_selection::gpu_sim::warp::{active_mask, match_any};
+    let values: Vec<u32> = (0..32).map(|i| (i * 7) % 8).collect();
+    let mut block = BlockExec::new(32, 0);
+
+    let mut masks = vec![active_mask(32); 32];
+    for bit in 0..3 {
+        let preds: Vec<bool> = values.iter().map(|v| v & (1 << bit) != 0).collect();
+        let step = block.warp_ballot(&preds);
+        for (lane, mask) in masks.iter_mut().enumerate() {
+            if preds[lane] {
+                *mask &= step;
+            } else {
+                *mask &= !step;
+            }
+        }
+    }
+    assert_eq!(masks, match_any(&values));
+    assert_eq!(block.cost.warp_intrinsics, 3, "tree_height ballots charged");
+}

@@ -1,0 +1,219 @@
+//! Failure-injection tests: every driver must reject malformed input
+//! with the right error, never panic, and never return garbage.
+
+use gpu_selection::baselines::{bucket_select, radix_select};
+use gpu_selection::gpu_sim::arch::v100;
+use gpu_selection::gpu_sim::Device;
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::sampleselect::cpu::{cpu_sample_select, CpuSelectConfig};
+use gpu_selection::sampleselect::topk::kth_largest;
+use gpu_selection::sampleselect::{
+    approx_select, quick_select, sample_select, top_k_largest, ConfigError, SampleSelectConfig,
+    SelectError,
+};
+
+fn cfg() -> SampleSelectConfig {
+    SampleSelectConfig::default()
+}
+
+#[test]
+fn empty_input_rejected_by_every_driver() {
+    let empty: Vec<f32> = vec![];
+    assert_eq!(
+        sample_select(&empty, 0, &cfg()).unwrap_err(),
+        SelectError::EmptyInput
+    );
+    assert_eq!(
+        quick_select(&empty, 0, &cfg()).unwrap_err(),
+        SelectError::EmptyInput
+    );
+    assert_eq!(
+        approx_select(&empty, 0, &cfg()).unwrap_err(),
+        SelectError::EmptyInput
+    );
+    assert_eq!(
+        bucket_select(&empty, 0, &cfg()).unwrap_err(),
+        SelectError::EmptyInput
+    );
+    assert_eq!(
+        radix_select(&empty, 0, &cfg()).unwrap_err(),
+        SelectError::EmptyInput
+    );
+    let pool = ThreadPool::new(1);
+    assert_eq!(
+        cpu_sample_select(&pool, &empty, 0, &CpuSelectConfig::default()).unwrap_err(),
+        SelectError::EmptyInput
+    );
+}
+
+#[test]
+fn out_of_range_rank_rejected_by_every_driver() {
+    let data = vec![1.0f32, 2.0, 3.0];
+    for rank in [3usize, 100] {
+        assert!(matches!(
+            sample_select(&data, rank, &cfg()).unwrap_err(),
+            SelectError::RankOutOfRange { .. }
+        ));
+        assert!(matches!(
+            quick_select(&data, rank, &cfg()).unwrap_err(),
+            SelectError::RankOutOfRange { .. }
+        ));
+        assert!(matches!(
+            approx_select(&data, rank, &cfg()).unwrap_err(),
+            SelectError::RankOutOfRange { .. }
+        ));
+        assert!(matches!(
+            bucket_select(&data, rank, &cfg()).unwrap_err(),
+            SelectError::RankOutOfRange { .. }
+        ));
+        assert!(matches!(
+            radix_select(&data, rank, &cfg()).unwrap_err(),
+            SelectError::RankOutOfRange { .. }
+        ));
+    }
+}
+
+#[test]
+fn nan_rejected_when_validation_enabled() {
+    let mut config = cfg();
+    config.check_input = true;
+    let data = vec![1.0f32, 2.0, f32::NAN, 4.0];
+    assert_eq!(
+        sample_select(&data, 0, &config).unwrap_err(),
+        SelectError::NanInput { index: 2 }
+    );
+    assert_eq!(
+        quick_select(&data, 0, &config).unwrap_err(),
+        SelectError::NanInput { index: 2 }
+    );
+    // validation off: no panic (result quality is unspecified for NaN
+    // inputs, but execution must stay safe)
+    let mut permissive = cfg();
+    permissive.check_input = false;
+    let _ = sample_select(&data, 0, &permissive);
+}
+
+#[test]
+fn invalid_configs_rejected_with_specific_errors() {
+    let data = vec![1.0f32; 100];
+    let bad_buckets = cfg().with_buckets(48);
+    assert_eq!(
+        sample_select(&data, 0, &bad_buckets).unwrap_err(),
+        SelectError::InvalidConfig(ConfigError::InvalidBucketCount(48))
+    );
+    let too_many = cfg().with_buckets(512);
+    assert_eq!(
+        sample_select(&data, 0, &too_many).unwrap_err(),
+        SelectError::InvalidConfig(ConfigError::TooManyBucketsForOracles(512))
+    );
+    let bad_threads = cfg().with_threads(100);
+    assert_eq!(
+        sample_select(&data, 0, &bad_threads).unwrap_err(),
+        SelectError::InvalidConfig(ConfigError::InvalidThreadsPerBlock(100))
+    );
+    let bad_unroll = cfg().with_items_per_thread(0);
+    assert!(matches!(
+        sample_select(&data, 0, &bad_unroll).unwrap_err(),
+        SelectError::InvalidConfig(ConfigError::InvalidItemsPerThread(0))
+    ));
+    let bad_oversampling = cfg().with_oversampling(0);
+    assert!(matches!(
+        sample_select(&data, 0, &bad_oversampling).unwrap_err(),
+        SelectError::InvalidConfig(ConfigError::InvalidOversampling(0))
+    ));
+}
+
+#[test]
+fn topk_boundary_ks() {
+    let data = vec![3.0f32, 1.0, 2.0];
+    assert!(matches!(
+        top_k_largest(&data, 0, &cfg()).unwrap_err(),
+        SelectError::RankOutOfRange { .. }
+    ));
+    assert!(matches!(
+        top_k_largest(&data, 4, &cfg()).unwrap_err(),
+        SelectError::RankOutOfRange { .. }
+    ));
+    assert!(matches!(
+        kth_largest(&data, 0, &cfg()).unwrap_err(),
+        SelectError::RankOutOfRange { .. }
+    ));
+    let top1 = top_k_largest(&data, 1, &cfg()).unwrap();
+    assert_eq!(top1.elements, vec![3.0]);
+}
+
+#[test]
+fn single_element_input_works_everywhere() {
+    let data = vec![42.0f32];
+    assert_eq!(sample_select(&data, 0, &cfg()).unwrap().value, 42.0);
+    assert_eq!(quick_select(&data, 0, &cfg()).unwrap().value, 42.0);
+    assert_eq!(bucket_select(&data, 0, &cfg()).unwrap().value, 42.0);
+    assert_eq!(radix_select(&data, 0, &cfg()).unwrap().value, 42.0);
+    assert_eq!(top_k_largest(&data, 1, &cfg()).unwrap().threshold, 42.0);
+}
+
+#[test]
+fn extreme_values_do_not_break_selection() {
+    let data = vec![
+        f32::MAX,
+        f32::MIN,
+        0.0,
+        -0.0,
+        f32::MIN_POSITIVE,
+        -f32::MIN_POSITIVE,
+        1.0,
+        -1.0,
+        f32::MAX,
+        f32::MIN,
+    ];
+    let mut sorted = data.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for (rank, &expected) in sorted.iter().enumerate() {
+        let got = sample_select(&data, rank, &cfg()).unwrap().value;
+        // Numeric equality: -0.0 and +0.0 are tied under the comparison
+        // order, so either bit pattern is a correct answer at their rank.
+        assert_eq!(got, expected, "rank {rank}");
+    }
+}
+
+#[test]
+fn all_max_values_terminate() {
+    // The equality-bucket saturation path (next_up(MAX) == MAX).
+    let data = vec![u32::MAX; 50_000];
+    let r = sample_select(&data, 25_000, &cfg()).unwrap();
+    assert_eq!(r.value, u32::MAX);
+    let r = quick_select(&data, 25_000, &cfg()).unwrap();
+    assert_eq!(r.value, u32::MAX);
+}
+
+#[test]
+fn subnormal_floats_select_correctly() {
+    let tiny = f32::MIN_POSITIVE / 8.0; // subnormal
+    let data: Vec<f32> = (0..10_000).map(|i| tiny * ((i % 37) as f32)).collect();
+    let mut sorted = data.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let got = sample_select(&data, 5_000, &cfg()).unwrap().value;
+    assert_eq!(got.to_bits(), sorted[5_000].to_bits());
+}
+
+#[test]
+fn device_reuse_across_runs_is_clean() {
+    // Reusing one device for many selections must not leak state
+    // between runs (reports slice only their own records).
+    let pool = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool);
+    let data: Vec<f32> = (0..20_000).map(|i| ((i * 31) % 997) as f32).collect();
+    let mut launches_prev = 0;
+    for rank in [10usize, 5_000, 19_999] {
+        let r =
+            gpu_selection::sampleselect::sample_select_on_device(&mut device, &data, rank, &cfg())
+                .unwrap();
+        let launches = r.report.total_launches();
+        if launches_prev > 0 {
+            // same input, similar work: the per-run report must not
+            // accumulate previous runs
+            assert!(launches < 2 * launches_prev + 8);
+        }
+        launches_prev = launches;
+    }
+}

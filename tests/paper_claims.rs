@@ -1,0 +1,385 @@
+//! Regression tests for the paper's headline experimental claims: if a
+//! cost-model change breaks one of the reproduced *shapes*, these tests
+//! fail. Each test cites the paper passage it guards.
+
+use gpu_selection::baselines::bucket_select_on_device;
+use gpu_selection::datagen::{Distribution, RankChoice, WorkloadSpec};
+use gpu_selection::gpu_sim::arch::{k20xm, v100, GpuArchitecture};
+use gpu_selection::gpu_sim::{Device, LaunchOrigin};
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::sampleselect::count::count_kernel;
+use gpu_selection::sampleselect::rng::SplitMix64;
+use gpu_selection::sampleselect::splitter::sample_kernel;
+use gpu_selection::sampleselect::{
+    approx_select_on_device, quick_select_on_device, sample_select_on_device, AtomicScope,
+    SampleSelectConfig,
+};
+
+// "For larger input datasets" (SS V-D) — the claims are asymptotic; at
+// small n launch overheads blur the picture, exactly as in the paper's
+// left plot regions.
+const N: usize = 1 << 22;
+
+fn throughput(
+    arch: &GpuArchitecture,
+    pool: &ThreadPool,
+    data: &[f32],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    quick: bool,
+) -> f64 {
+    let mut device = Device::new(arch.clone(), pool);
+    let report = if quick {
+        quick_select_on_device(&mut device, data, rank, cfg)
+            .unwrap()
+            .report
+    } else {
+        sample_select_on_device(&mut device, data, rank, cfg)
+            .unwrap()
+            .report
+    };
+    report.throughput()
+}
+
+fn uniform() -> (Vec<f32>, usize) {
+    let w = WorkloadSpec::uniform(N, 0xc1a115).instantiate::<f32>(0);
+    (w.data, w.rank)
+}
+
+#[test]
+fn v100_shared_beats_global_by_large_factor_for_sampleselect() {
+    // §V-D: "the shared-memory variant of SampleSelect is more than 10x
+    // faster than the global-memory variant" (V100).
+    let pool = ThreadPool::new(4);
+    let (data, rank) = uniform();
+    let arch = v100();
+    let s = throughput(
+        &arch,
+        &pool,
+        &data,
+        rank,
+        &SampleSelectConfig::default().with_atomic_scope(AtomicScope::Shared),
+        false,
+    );
+    let g = throughput(
+        &arch,
+        &pool,
+        &data,
+        rank,
+        &SampleSelectConfig::default().with_atomic_scope(AtomicScope::Global),
+        false,
+    );
+    assert!(s > 6.0 * g, "V100 sample-s {s:.3e} vs sample-g {g:.3e}");
+}
+
+#[test]
+fn v100_quickselect_scope_gap_is_much_smaller() {
+    // §V-D: "the performance gap between the QuickSelect
+    // implementations is much smaller" (V100).
+    let pool = ThreadPool::new(4);
+    let (data, rank) = uniform();
+    let arch = v100();
+    let qs = throughput(
+        &arch,
+        &pool,
+        &data,
+        rank,
+        &SampleSelectConfig::default().with_atomic_scope(AtomicScope::Shared),
+        true,
+    );
+    let qg = throughput(
+        &arch,
+        &pool,
+        &data,
+        rank,
+        &SampleSelectConfig::default().with_atomic_scope(AtomicScope::Global),
+        true,
+    );
+    let ss = throughput(
+        &arch,
+        &pool,
+        &data,
+        rank,
+        &SampleSelectConfig::default().with_atomic_scope(AtomicScope::Shared),
+        false,
+    );
+    let sg = throughput(
+        &arch,
+        &pool,
+        &data,
+        rank,
+        &SampleSelectConfig::default().with_atomic_scope(AtomicScope::Global),
+        false,
+    );
+    let quick_gap = qs / qg;
+    let sample_gap = ss / sg;
+    assert!(
+        quick_gap < sample_gap / 2.0,
+        "quick gap {quick_gap:.1}x should be much smaller than sample gap {sample_gap:.1}x"
+    );
+}
+
+#[test]
+fn k20_global_beats_shared() {
+    // §V-D: "On the older K20Xm GPU, the implementations based on
+    // global-memory-communication are generally faster than their
+    // shared-memory counterparts ... quite significant in particular for
+    // the QuickSelect algorithm."
+    let pool = ThreadPool::new(4);
+    let (data, rank) = uniform();
+    let arch = k20xm();
+    // The -s/-g comparison isolates the atomic scope; warp aggregation
+    // is the separate study of Fig. 8's right panel.
+    let base = SampleSelectConfig::default().with_warp_aggregation(false);
+    let ss = throughput(
+        &arch,
+        &pool,
+        &data,
+        rank,
+        &base.clone().with_atomic_scope(AtomicScope::Shared),
+        false,
+    );
+    let sg = throughput(
+        &arch,
+        &pool,
+        &data,
+        rank,
+        &base.clone().with_atomic_scope(AtomicScope::Global),
+        false,
+    );
+    let qs = throughput(
+        &arch,
+        &pool,
+        &data,
+        rank,
+        &base.clone().with_atomic_scope(AtomicScope::Shared),
+        true,
+    );
+    let qg = throughput(
+        &arch,
+        &pool,
+        &data,
+        rank,
+        &base.with_atomic_scope(AtomicScope::Global),
+        true,
+    );
+    assert!(sg > ss, "K20 sample-g {sg:.3e} must beat sample-s {ss:.3e}");
+    assert!(qg > qs, "K20 quick-g {qg:.3e} must beat quick-s {qs:.3e}");
+    // ... and the quick gap is the significant one.
+    assert!(qg / qs > sg / ss);
+}
+
+#[test]
+fn v100_sampleselect_beats_quickselect_by_over_2x() {
+    // §V-D: "[SampleSelect] is more than twice faster on the V100."
+    let pool = ThreadPool::new(4);
+    let (data, rank) = uniform();
+    let arch = v100();
+    let cfg = SampleSelectConfig::tuned_for(&arch);
+    let s = throughput(&arch, &pool, &data, rank, &cfg, false);
+    let q = throughput(&arch, &pool, &data, rank, &cfg, true);
+    assert!(s > 2.0 * q, "sample {s:.3e} vs quick {q:.3e}");
+}
+
+#[test]
+fn k20_sampleselect_beats_quickselect_by_small_margin() {
+    // §V-D: "SampleSelect outperforms QuickSelect by a small margin on
+    // the K20Xm."
+    let pool = ThreadPool::new(4);
+    let (data, rank) = uniform();
+    let arch = k20xm();
+    let cfg = SampleSelectConfig::tuned_for(&arch);
+    let s = throughput(&arch, &pool, &data, rank, &cfg, false);
+    let q = throughput(&arch, &pool, &data, rank, &cfg, true);
+    assert!(s > q, "sample {s:.3e} must beat quick {q:.3e}");
+    assert!(
+        s < 2.0 * q,
+        "... but only by a small margin (got {:.2}x)",
+        s / q
+    );
+}
+
+#[test]
+fn v100_f64_sampleselect_nearly_matches_f32() {
+    // §V-D: "SampleSelect achieves a throughput only slightly smaller
+    // than for single-precision inputs" — the atomics (always 32-bit)
+    // are the bottleneck, not bandwidth.
+    let pool = ThreadPool::new(4);
+    let arch = v100();
+    let cfg = SampleSelectConfig::tuned_for(&arch);
+    let w32 = WorkloadSpec::uniform(N, 21).instantiate::<f32>(0);
+    let w64 = WorkloadSpec::uniform(N, 21).instantiate::<f64>(0);
+    let mut device = Device::new(arch.clone(), &pool);
+    let t32 = sample_select_on_device(&mut device, &w32.data, w32.rank, &cfg)
+        .unwrap()
+        .report
+        .throughput();
+    device.reset();
+    let t64 = sample_select_on_device(&mut device, &w64.data, w64.rank, &cfg)
+        .unwrap()
+        .report
+        .throughput();
+    assert!(t64 > 0.8 * t32, "f64 {t64:.3e} vs f32 {t32:.3e}");
+
+    // ... while QuickSelect, being bandwidth-bound, loses much more.
+    let q32 = quick_select_on_device(&mut device, &w32.data, w32.rank, &cfg)
+        .unwrap()
+        .report
+        .throughput();
+    device.reset();
+    let q64 = quick_select_on_device(&mut device, &w64.data, w64.rank, &cfg)
+        .unwrap()
+        .report
+        .throughput();
+    assert!(
+        q64 < 0.8 * q32,
+        "quick f64 {q64:.3e} vs f32 {q32:.3e} must drop"
+    );
+}
+
+#[test]
+fn warp_aggregation_rescues_duplicate_heavy_counting_on_k20() {
+    // §V-E / Fig. 8 right: on the K20Xm, atomic collisions from repeated
+    // values crater the count kernel; warp aggregation removes the
+    // effect at a small general-case cost.
+    let pool = ThreadPool::new(4);
+    let arch = k20xm();
+    let count_time = |d: usize, agg: bool| -> f64 {
+        let w = WorkloadSpec::with_distinct(N, d, 31).instantiate::<f32>(0);
+        let cfg = SampleSelectConfig::default().with_warp_aggregation(agg);
+        let mut device = Device::new(arch.clone(), &pool);
+        let mut rng = SplitMix64::new(9);
+        let tree = sample_kernel(&mut device, &w.data, &cfg, &mut rng, LaunchOrigin::Host);
+        let before = device.now();
+        count_kernel(&mut device, &w.data, &tree, &cfg, true, LaunchOrigin::Host);
+        (device.now() - before).as_ns()
+    };
+    // d = 1: heavy collisions
+    let cliff = count_time(1, false);
+    let rescued = count_time(1, true);
+    assert!(
+        cliff > 5.0 * rescued,
+        "aggregation must rescue d=1: {cliff} vs {rescued}"
+    );
+    // d = n: aggregation costs only a little
+    let plain = count_time(N, false);
+    let aggregated = count_time(N, true);
+    assert!(
+        aggregated < 2.0 * plain,
+        "general-case penalty too high: {aggregated} vs {plain}"
+    );
+}
+
+#[test]
+fn v100_tolerates_duplicates_without_aggregation() {
+    // §V-E: "The fast shared-memory atomics ... make warp-aggregation
+    // unnecessary on the V100."
+    let pool = ThreadPool::new(4);
+    let arch = v100();
+    let run = |d: usize| -> f64 {
+        let w = WorkloadSpec::with_distinct(N, d, 32).instantiate::<f32>(0);
+        let cfg = SampleSelectConfig::tuned_for(&arch); // no aggregation
+        let mut device = Device::new(arch.clone(), &pool);
+        sample_select_on_device(&mut device, &w.data, w.rank, &cfg)
+            .unwrap()
+            .report
+            .throughput()
+    };
+    let worst = run(1);
+    let best = run(N);
+    assert!(
+        worst > best / 4.0,
+        "V100 d=1 ({worst:.3e}) must stay within 4x of d=n ({best:.3e})"
+    );
+}
+
+#[test]
+fn approximate_selection_trades_accuracy_for_speed() {
+    // §V-G / Fig. 10: approximate selection is substantially faster with
+    // bounded rank error that shrinks as buckets grow.
+    let pool = ThreadPool::new(4);
+    let arch = v100();
+    let w = WorkloadSpec::uniform(N, 33).instantiate::<f32>(0);
+    let cfg = SampleSelectConfig::tuned_for(&arch);
+    let mut device = Device::new(arch.clone(), &pool);
+    let exact = sample_select_on_device(&mut device, &w.data, w.rank, &cfg).unwrap();
+    device.reset();
+    let approx128 =
+        approx_select_on_device(&mut device, &w.data, w.rank, &cfg.clone().with_buckets(128))
+            .unwrap();
+    device.reset();
+    let approx1024 = approx_select_on_device(
+        &mut device,
+        &w.data,
+        w.rank,
+        &cfg.clone().with_buckets(1024),
+    )
+    .unwrap();
+    assert!(
+        approx128.report.total_time.as_ns() < 0.8 * exact.report.total_time.as_ns(),
+        "approx must be visibly faster"
+    );
+    assert!(
+        approx128.relative_error < 0.01,
+        "rank error stays ~1% or below"
+    );
+    assert!(approx1024.relative_error < 0.005);
+    // throughput barely depends on bucket count
+    let t128 = approx128.report.throughput();
+    let t1024 = approx1024.report.throughput();
+    assert!(t1024 > 0.6 * t128, "1024-bucket approx must stay cheap");
+}
+
+#[test]
+fn sampleselect_is_robust_where_bucketselect_degrades() {
+    // §I/§V-D: SampleSelect "does not work on the actual values but the
+    // ranks ... and can complete significantly faster for adversarial
+    // data distributions".
+    let pool = ThreadPool::new(4);
+    let arch = v100();
+    let cfg = SampleSelectConfig::tuned_for(&arch);
+    let spec = WorkloadSpec {
+        n: N,
+        distribution: Distribution::ClusteredOutliers,
+        rank: RankChoice::Median,
+        seed: 40,
+    };
+    let w = spec.instantiate::<f32>(0);
+    let mut device = Device::new(arch.clone(), &pool);
+    let sample = sample_select_on_device(&mut device, &w.data, w.rank, &cfg).unwrap();
+    device.reset();
+    let bucket = bucket_select_on_device(&mut device, &w.data, w.rank, &cfg).unwrap();
+    assert_eq!(sample.value, bucket.value, "both stay correct");
+    assert!(
+        bucket.report.levels >= sample.report.levels + 2,
+        "bucketselect {} levels vs sampleselect {}",
+        bucket.report.levels,
+        sample.report.levels
+    );
+    assert!(
+        bucket.report.total_time.as_ns() > 2.0 * sample.report.total_time.as_ns(),
+        "bucketselect {} vs sampleselect {}",
+        bucket.report.total_time,
+        sample.report.total_time
+    );
+}
+
+#[test]
+fn quickselect_needs_far_more_launches() {
+    // §V-F: "the QuickSelect needs a much higher number of kernel
+    // invocations" due to its deeper recursion.
+    let pool = ThreadPool::new(4);
+    let (data, rank) = uniform();
+    let arch = v100();
+    let cfg = SampleSelectConfig::tuned_for(&arch);
+    let mut device = Device::new(arch, &pool);
+    let s = sample_select_on_device(&mut device, &data, rank, &cfg).unwrap();
+    device.reset();
+    let q = quick_select_on_device(&mut device, &data, rank, &cfg).unwrap();
+    assert!(
+        q.report.total_launches() > 2 * s.report.total_launches(),
+        "quick {} vs sample {} launches",
+        q.report.total_launches(),
+        s.report.total_launches()
+    );
+}

@@ -1,0 +1,271 @@
+//! Property-based tests (proptest) over the core data structures and
+//! algorithms: selection correctness on arbitrary inputs, search-tree
+//! order consistency, bitonic-network sortedness, scan identities, and
+//! top-k multiset equality.
+
+use gpu_selection::gpu_sim::arch::v100;
+use gpu_selection::gpu_sim::Device;
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::sampleselect::bitonic::bitonic_sort;
+use gpu_selection::sampleselect::cpu::{cpu_sample_select, CpuSelectConfig};
+use gpu_selection::sampleselect::element::{reference_select, SelectElement};
+use gpu_selection::sampleselect::kv::Pair;
+use gpu_selection::sampleselect::multiselect::multi_select_on_device;
+use gpu_selection::sampleselect::samplesort::sample_sort_on_device;
+use gpu_selection::sampleselect::searchtree::SearchTree;
+use gpu_selection::sampleselect::{
+    quick_select_on_device, sample_select_on_device, top_k_largest_on_device, SampleSelectConfig,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn small_cfg() -> SampleSelectConfig {
+    // Tiny buckets/base case so even small random inputs recurse.
+    SampleSelectConfig::default()
+        .with_buckets(8)
+        .with_oversampling(2)
+        .with_base_case(16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sampleselect_equals_reference(
+        data in vec(-1000i32..1000, 1..500),
+        rank_frac in 0.0f64..1.0,
+    ) {
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let got = sample_select_on_device(&mut device, &data, rank, &small_cfg())
+            .unwrap()
+            .value;
+        prop_assert_eq!(got, reference_select(&data, rank).unwrap());
+    }
+
+    #[test]
+    fn quickselect_equals_reference(
+        data in vec(-50i64..50, 1..400),
+        rank_frac in 0.0f64..1.0,
+    ) {
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let mut cfg = small_cfg();
+        cfg.base_case_size = 16;
+        let got = quick_select_on_device(&mut device, &data, rank, &cfg)
+            .unwrap()
+            .value;
+        prop_assert_eq!(got, reference_select(&data, rank).unwrap());
+    }
+
+    #[test]
+    fn sampleselect_on_finite_floats(
+        data in vec(prop::num::f32::NORMAL | prop::num::f32::ZERO | prop::num::f32::SUBNORMAL, 1..300),
+        rank_frac in 0.0f64..1.0,
+    ) {
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let got = sample_select_on_device(&mut device, &data, rank, &small_cfg())
+            .unwrap()
+            .value;
+        prop_assert_eq!(
+            got.to_bits(),
+            reference_select(&data, rank).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn cpu_backend_equals_reference(
+        data in vec(0u32..100, 1..2000),
+        rank_frac in 0.0f64..1.0,
+    ) {
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let pool = ThreadPool::new(2);
+        let cfg = CpuSelectConfig {
+            num_buckets: 8,
+            oversampling: 2,
+            base_case_size: 32,
+            ..CpuSelectConfig::default()
+        };
+        let (got, _) = cpu_sample_select(&pool, &data, rank, &cfg).unwrap();
+        prop_assert_eq!(got, reference_select(&data, rank).unwrap());
+    }
+
+    #[test]
+    fn bitonic_network_sorts_anything(data in vec(any::<i32>(), 0..300)) {
+        let mut sorted = data.clone();
+        bitonic_sort(&mut sorted);
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        // permutation check
+        let mut a = data;
+        let mut b = sorted;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn searchtree_lookup_matches_linear_reference(
+        mut splitters in vec(-100i32..100, 7usize),
+        queries in vec(-150i32..150, 0..64),
+    ) {
+        splitters.sort_unstable();
+        let tree = SearchTree::build(&splitters);
+        for q in queries {
+            prop_assert_eq!(tree.lookup(q), tree.lookup_reference(q), "query {}", q);
+        }
+    }
+
+    #[test]
+    fn searchtree_is_monotone(mut splitters in vec(-100f64..100.0, 15usize)) {
+        splitters.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tree = SearchTree::build(&splitters);
+        let mut queries: Vec<f64> = (-120..120).map(|i| i as f64 * 0.9).collect();
+        queries.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let buckets: Vec<u32> = queries.iter().map(|&q| tree.lookup(q)).collect();
+        prop_assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "bucket ids must be monotone in the query");
+    }
+
+    #[test]
+    fn equality_buckets_capture_all_duplicates(
+        value in -50i32..50,
+        dup_count in 2usize..8,
+    ) {
+        // splitters with a run of `dup_count` copies of `value`
+        let mut splitters = vec![value - 10, value - 5];
+        splitters.extend(std::iter::repeat_n(value, dup_count));
+        splitters.extend([value + 5, value + 10]);
+        while splitters.len() < 15 {
+            splitters.push(value + 20 + splitters.len() as i32);
+        }
+        splitters.truncate(15);
+        splitters.sort_unstable();
+        let tree = SearchTree::build(&splitters);
+        let bucket = tree.lookup(value) as usize;
+        prop_assert!(tree.is_equality_bucket(bucket));
+        prop_assert_eq!(tree.equality_value(bucket), value);
+        // neighbours stay out
+        prop_assert_ne!(tree.lookup(value - 1) as usize, bucket);
+        prop_assert_ne!(tree.lookup(value + 1) as usize, bucket);
+    }
+
+    #[test]
+    fn scan_identities(values in vec(0u64..1000, 0..500)) {
+        let mut ex = values.clone();
+        let total = gpu_selection::hpc_par::exclusive_scan(&mut ex);
+        prop_assert_eq!(total, values.iter().sum::<u64>());
+        // exclusive_scan[i] == sum of values[..i]
+        let mut running = 0u64;
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(ex[i], running);
+            running += v;
+        }
+        // parallel scan agrees
+        let pool = ThreadPool::new(3);
+        let mut par = values.clone();
+        let ptotal = gpu_selection::hpc_par::parallel_exclusive_scan(&pool, &mut par);
+        prop_assert_eq!(ptotal, total);
+        prop_assert_eq!(par, ex);
+    }
+
+    #[test]
+    fn topk_is_the_sorted_suffix(
+        data in vec(-100i32..100, 1..300),
+        k_frac in 0.01f64..1.0,
+    ) {
+        let k = ((data.len() as f64 * k_frac) as usize).clamp(1, data.len());
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let res = top_k_largest_on_device(&mut device, &data, k, &small_cfg()).unwrap();
+        prop_assert_eq!(res.elements.len(), k);
+        let mut got = res.elements.clone();
+        got.sort_unstable();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let expected = &sorted[data.len() - k..];
+        prop_assert_eq!(&got[..], expected);
+        prop_assert_eq!(res.threshold, sorted[data.len() - k]);
+    }
+
+    #[test]
+    fn sort_keys_refine_ieee_order_f64(a in any::<f64>(), b in any::<f64>()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        // The key order is a *total* refinement of IEEE `<`: strictly
+        // ordered values keep their order; ties (only ±0.0) may be
+        // broken either way but never inverted.
+        if a < b {
+            prop_assert!(a.to_sort_key() < b.to_sort_key());
+        }
+        if a.to_sort_key() < b.to_sort_key() {
+            prop_assert!(b.partial_cmp(&a) != Some(std::cmp::Ordering::Less));
+        }
+    }
+
+    #[test]
+    fn sort_keys_preserve_order_i64(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(a < b, a.to_sort_key() < b.to_sort_key());
+    }
+
+    #[test]
+    fn next_up_has_no_value_in_between_f32(x in prop::num::f32::NORMAL) {
+        prop_assume!(x != f32::MAX);
+        let y = SelectElement::next_up(x);
+        prop_assert!(x < y);
+        prop_assert_eq!(y.to_bits(), if x >= 0.0 { x.to_bits() + 1 } else { x.to_bits() - 1 });
+    }
+
+    #[test]
+    fn multiselect_matches_per_rank_reference(
+        data in vec(-200i32..200, 2..400),
+        rank_fracs in vec(0.0f64..1.0, 1..6),
+    ) {
+        let ranks: Vec<usize> = rank_fracs
+            .iter()
+            .map(|f| ((data.len() - 1) as f64 * f) as usize)
+            .collect();
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let res = multi_select_on_device(&mut device, &data, &ranks, &small_cfg()).unwrap();
+        for (i, &rank) in ranks.iter().enumerate() {
+            prop_assert_eq!(res.values[i], reference_select(&data, rank).unwrap());
+        }
+    }
+
+    #[test]
+    fn samplesort_sorts_arbitrary_input(data in vec(any::<i32>(), 0..400)) {
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let res = sample_sort_on_device(&mut device, &data, &small_cfg()).unwrap();
+        prop_assert!(res.sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut a = data;
+        let mut b = res.sorted;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kv_selection_returns_consistent_pairs(
+        keys in vec(-100i32..100, 1..300),
+        rank_frac in 0.0f64..1.0,
+    ) {
+        let pairs: Vec<Pair<i32, u32>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Pair::new(k, i as u32))
+            .collect();
+        let rank = ((pairs.len() - 1) as f64 * rank_frac) as usize;
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let got = sample_select_on_device(&mut device, &pairs, rank, &small_cfg())
+            .unwrap()
+            .value;
+        // key has the right rank
+        prop_assert_eq!(got.key, reference_select(&keys, rank).unwrap());
+        // payload resolves to an element with that key
+        prop_assert_eq!(keys[got.value as usize], got.key);
+    }
+}

@@ -1,0 +1,209 @@
+//! Invariants of the simulation layer: bucket counts partition the
+//! input, prefix sums are consistent, the filter output is a
+//! permutation of its bucket, timelines are well-formed, and runs are
+//! deterministic for a fixed seed.
+
+use gpu_selection::datagen::WorkloadSpec;
+use gpu_selection::gpu_sim::arch::{k20xm, v100};
+use gpu_selection::gpu_sim::{Device, LaunchOrigin};
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::sampleselect::count::count_kernel;
+use gpu_selection::sampleselect::filter::filter_kernel;
+use gpu_selection::sampleselect::reduce::reduce_kernel;
+use gpu_selection::sampleselect::rng::SplitMix64;
+use gpu_selection::sampleselect::splitter::sample_kernel;
+use gpu_selection::sampleselect::{sample_select_on_device, SampleSelectConfig};
+
+const N: usize = 200_000;
+
+fn workload() -> Vec<f32> {
+    WorkloadSpec::uniform(N, 99).instantiate::<f32>(0).data
+}
+
+#[test]
+fn counts_partition_the_input() {
+    let pool = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool);
+    let data = workload();
+    let cfg = SampleSelectConfig::default();
+    let mut rng = SplitMix64::new(1);
+    let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host);
+    let count = count_kernel(&mut device, &data, &tree, &cfg, true, LaunchOrigin::Host);
+    // Total count equals n.
+    assert_eq!(count.total(), N as u64);
+    // Each element's oracle matches a fresh lookup.
+    let oracles = count.oracles.as_ref().unwrap();
+    for (i, &x) in data.iter().enumerate().step_by(97) {
+        assert_eq!(oracles.get(i), tree.lookup(x));
+    }
+    // Counts match a sequential histogram.
+    let mut expected = vec![0u64; tree.num_buckets()];
+    for &x in &data {
+        expected[tree.lookup(x) as usize] += 1;
+    }
+    assert_eq!(count.counts, expected);
+}
+
+#[test]
+fn filter_output_is_bucket_permutation_and_order_respects_bounds() {
+    let pool = ThreadPool::new(4);
+    let mut device = Device::new(v100(), &pool);
+    let data = workload();
+    let cfg = SampleSelectConfig::default();
+    let mut rng = SplitMix64::new(2);
+    let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host);
+    let count = count_kernel(&mut device, &data, &tree, &cfg, true, LaunchOrigin::Host);
+    let red = reduce_kernel(&mut device, &count, LaunchOrigin::Device);
+
+    for bucket in [0u32, 100, 255] {
+        let out = filter_kernel(
+            &mut device,
+            &data,
+            &count,
+            &red,
+            bucket..bucket + 1,
+            &cfg,
+            LaunchOrigin::Device,
+        );
+        assert_eq!(out.len() as u64, count.counts[bucket as usize]);
+        // multiset equality with the bucket's members
+        let mut got: Vec<u32> = out.iter().map(|x| x.to_bits()).collect();
+        let mut expected: Vec<u32> = data
+            .iter()
+            .filter(|&&x| tree.lookup(x) == bucket)
+            .map(|x| x.to_bits())
+            .collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "bucket {bucket}");
+        // all values within the bucket bounds
+        if let Some(lo) = tree.bucket_lower(bucket as usize) {
+            assert!(out.iter().all(|&x| x >= lo));
+        }
+        if let Some(hi) = tree.bucket_lower(bucket as usize + 1) {
+            assert!(out.iter().all(|&x| x < hi));
+        }
+    }
+}
+
+#[test]
+fn timeline_is_well_formed() {
+    let pool = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool);
+    let data = workload();
+    let cfg = SampleSelectConfig::default();
+    sample_select_on_device(&mut device, &data, N / 2, &cfg).unwrap();
+    let records = device.records();
+    assert!(!records.is_empty());
+    let mut prev_end = gpu_selection::gpu_sim::SimTime::ZERO;
+    for rec in records {
+        // durations are non-negative and equal the breakdown max
+        assert!(rec.duration.as_ns() >= 0.0);
+        assert!((rec.breakdown.total().as_ns() - rec.duration.as_ns()).abs() < 1e-9);
+        // kernels execute in order on the simulated clock
+        assert!(rec.start.as_ns() >= prev_end.as_ns(), "kernel {}", rec.name);
+        prev_end = rec.start + rec.duration;
+        // the first kernel comes from the host, with host launch latency
+        assert!(rec.launch_overhead.as_ns() > 0.0);
+    }
+    assert_eq!(records[0].origin, LaunchOrigin::Host);
+    assert!((device.total_time() - prev_end).as_ns().abs() < 1e-9);
+}
+
+#[test]
+fn simulated_time_is_deterministic() {
+    let pool = ThreadPool::new(4);
+    let data = workload();
+    let cfg = SampleSelectConfig::default();
+    let run = || {
+        let mut device = Device::new(v100(), &pool);
+        let r = sample_select_on_device(&mut device, &data, 1234, &cfg).unwrap();
+        (r.value.to_bits(), r.report.total_time.as_ns())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert!(
+        (a.1 - b.1).abs() < 1e-9,
+        "simulated time must not depend on host thread scheduling"
+    );
+}
+
+#[test]
+fn throughput_grows_with_input_size() {
+    // Launch overheads dominate small inputs; throughput must rise with
+    // n (the left-to-right rise of every curve in Figs. 7/8).
+    let pool = ThreadPool::new(4);
+    let cfg = SampleSelectConfig::default();
+    let mut last = 0.0;
+    for exp in [14usize, 17, 20] {
+        let w = WorkloadSpec::uniform(1 << exp, 5).instantiate::<f32>(0);
+        let mut device = Device::new(v100(), &pool);
+        let tp = sample_select_on_device(&mut device, &w.data, w.rank, &cfg)
+            .unwrap()
+            .report
+            .throughput();
+        assert!(tp > last, "throughput at 2^{exp} = {tp} <= {last}");
+        last = tp;
+    }
+}
+
+#[test]
+fn oracle_traffic_scales_with_element_count() {
+    // The count kernel's write traffic is one oracle byte per element
+    // (§IV-B: "we use a single byte to store each oracle").
+    let pool = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool);
+    let data = workload();
+    let cfg = SampleSelectConfig::default();
+    let mut rng = SplitMix64::new(3);
+    let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host);
+    device.reset();
+    count_kernel(&mut device, &data, &tree, &cfg, true, LaunchOrigin::Host);
+    let with_write = device.records()[0].cost.global_write_bytes;
+    device.reset();
+    count_kernel(&mut device, &data, &tree, &cfg, false, LaunchOrigin::Host);
+    let without_write = device.records()[0].cost.global_write_bytes;
+    assert_eq!(with_write - without_write, N as u64);
+}
+
+#[test]
+fn memory_volume_is_one_plus_epsilon_n() {
+    // §IV-A: SampleSelect needs (1+eps)n element reads/writes with small
+    // eps, vs QuickSelect's 2n. Verify the read volume of a full run.
+    let pool = ThreadPool::new(4);
+    let data = WorkloadSpec::uniform(1 << 20, 6).instantiate::<f32>(0).data;
+    let cfg = SampleSelectConfig::default();
+    let mut device = Device::new(v100(), &pool);
+    sample_select_on_device(&mut device, &data, 1 << 19, &cfg).unwrap();
+    let elem_reads: u64 = device
+        .records()
+        .iter()
+        .map(|r| r.cost.global_read_bytes)
+        .sum();
+    // total global reads, in element units (f32): includes the oracle
+    // stream of the filter (1 byte/elem) and level-2 work.
+    let elements_equivalent = elem_reads as f64 / 4.0 / (1 << 20) as f64;
+    assert!(
+        elements_equivalent < 1.6,
+        "read volume {elements_equivalent:.2}x n exceeds (1+eps)"
+    );
+}
+
+#[test]
+fn k20_and_v100_reports_differ_only_in_time() {
+    let pool = ThreadPool::new(2);
+    let data = workload();
+    let cfg = SampleSelectConfig::default();
+    let mut dk = Device::new(k20xm(), &pool);
+    let mut dv = Device::new(v100(), &pool);
+    let rk = sample_select_on_device(&mut dk, &data, 777, &cfg).unwrap();
+    let rv = sample_select_on_device(&mut dv, &data, 777, &cfg).unwrap();
+    assert_eq!(rk.value, rv.value);
+    assert_eq!(rk.report.levels, rv.report.levels);
+    assert_ne!(
+        rk.report.total_time.as_ns(),
+        rv.report.total_time.as_ns(),
+        "same functional run, different simulated hardware"
+    );
+}
