@@ -5,20 +5,31 @@
 //!
 //! This binary runs SampleSelect, QuickSelect, BucketSelect, and
 //! RadixSelect over a battery of distributions on the V100 and reports
-//! simulated runtime and recursion depth.
+//! simulated runtime and recursion depth. A fifth row per distribution
+//! runs the **resilient** driver against a seeded fault plan (injected
+//! launch failures) and reports how many retries / fallbacks /
+//! degradations the recovery machinery needed; the plain algorithms
+//! report zeros in those columns. The full table is also written to
+//! `results/robustness.csv`.
 //!
 //! ```text
 //! cargo run --release --bin robustness [--full] [--csv] [--reps N]
 //! ```
 
 use gpu_sim::arch::v100;
-use gpu_sim::Device;
+use gpu_sim::{Device, FaultPlan};
 use hpc_par::ThreadPool;
-use sampleselect::{quick_select_on_device, sample_select_on_device, SampleSelectConfig};
+use sampleselect::{
+    quick_select_on_device, resilient_select_on_device, sample_select_on_device, ResilienceConfig,
+    SampleSelectConfig,
+};
 use select_baselines::bucketselect::bucket_select_on_device;
 use select_baselines::radixselect::radix_select_on_device;
 use select_bench::{measure, HarnessArgs, Table};
 use select_datagen::{Distribution, RankChoice, WorkloadSpec};
+
+/// Launch-failure probability for the fault plan fed to the resilient rows.
+const FAULT_RATE: f64 = 0.15;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -39,7 +50,13 @@ fn main() {
         Distribution::ClusteredOutliers,
         Distribution::GeometricCascade,
     ];
-    let algorithms = ["sampleselect", "quickselect", "bucketselect", "radixselect"];
+    let algorithms = [
+        "sampleselect",
+        "quickselect",
+        "bucketselect",
+        "radixselect",
+        "resilient",
+    ];
 
     let mut t = Table::new(vec![
         "distribution",
@@ -47,6 +64,9 @@ fn main() {
         "runtime(ms)",
         "levels",
         "cv",
+        "retries",
+        "fallbacks",
+        "degradations",
     ]);
 
     for dist in distributions {
@@ -58,6 +78,9 @@ fn main() {
         };
         for algo in algorithms {
             let mut levels = 0u32;
+            let mut retries = 0u32;
+            let mut fallbacks = 0u32;
+            let mut degradations = 0u32;
             let stats = measure(reps, |rep| {
                 let w = spec.instantiate::<f32>(rep);
                 let cfg = SampleSelectConfig::tuned_for(&arch).with_seed(41 + rep);
@@ -78,13 +101,29 @@ fn main() {
                             .unwrap()
                             .report
                     }
-                    _ => {
+                    "radixselect" => {
                         radix_select_on_device(&mut device, &w.data, w.rank, &cfg)
+                            .unwrap()
+                            .report
+                    }
+                    _ => {
+                        // Resilient driver under injected launch failures:
+                        // same fault seed per rep across distributions so the
+                        // recovery columns are reproducible run-to-run.
+                        let plan = FaultPlan::new(0xFA117 + rep)
+                            .launch_failures(FAULT_RATE)
+                            .max_launch_failures(4);
+                        device.set_fault_plan(plan);
+                        let rcfg = ResilienceConfig::default();
+                        resilient_select_on_device(&mut device, &w.data, w.rank, &cfg, &rcfg)
                             .unwrap()
                             .report
                     }
                 };
                 levels = levels.max(report.levels);
+                retries += report.resilience.retries;
+                fallbacks += report.resilience.fallbacks;
+                degradations += report.resilience.degradations;
                 report.total_time.as_ms()
             });
             t.row(vec![
@@ -93,12 +132,23 @@ fn main() {
                 format!("{:.3}", stats.mean),
                 levels.to_string(),
                 format!("{:.1}%", stats.cv() * 100.0),
+                retries.to_string(),
+                fallbacks.to_string(),
+                degradations.to_string(),
             ]);
         }
     }
 
+    let csv = t.render_csv();
+    if std::fs::create_dir_all("results").is_ok() {
+        match std::fs::write("results/robustness.csv", &csv) {
+            Ok(()) => eprintln!("wrote results/robustness.csv"),
+            Err(e) => eprintln!("could not write results/robustness.csv: {e}"),
+        }
+    }
+
     if args.csv {
-        print!("{}", t.render_csv());
+        print!("{csv}");
     } else {
         println!("Distribution robustness (Tesla V100, n = {n}, f32, {reps} reps)\n");
         print!("{}", t.render());
@@ -108,5 +158,10 @@ fn main() {
         println!("on uniform data but needs many more (full-size!) levels on");
         println!("clustered-outliers and geometric-cascade inputs; RadixSelect is");
         println!("distribution-independent but always pays key-width/8 levels.");
+        let pct = FAULT_RATE * 100.0;
+        println!("The resilient rows run under a seeded fault plan ({pct:.0}%");
+        println!("launch-failure rate, capped at 4): retries/fallbacks/degradations");
+        println!("show what the recovery machinery spent to still return the exact");
+        println!("k-th element.");
     }
 }

@@ -11,14 +11,16 @@
 //!
 //! # Floating-point caveats
 //!
-//! `f32`/`f64` implementations order by the IEEE total order on
-//! non-NaN values. NaNs are rejected by the input validation available
-//! through the driver configuration; feeding NaNs without validation is
-//! not UB but yields an unspecified (not crash-free-guaranteed-correct)
-//! selection result, exactly like passing NaN to `sort_by` with
-//! `partial_cmp().unwrap()` would panic — we instead order NaN as larger
-//! than every number via the sort-key mapping where a total order is
-//! required.
+//! `f32`/`f64` implementations use a single total-order path: every NaN
+//! (positive or negative, any payload) orders *above* every number, in
+//! both [`SelectElement::lt`] and [`SelectElement::to_sort_key`] — the
+//! two must agree or the bucket invariants break mid-recursion. Non-NaN
+//! values follow the IEEE order, with `-0.0` and `0.0` comparing equal
+//! under `lt` (distinct adjacent sort keys, so sorting remains
+//! deterministic). Selecting from NaN-containing data is therefore
+//! well-defined: NaNs occupy the top ranks. Callers who consider NaN an
+//! input error instead enable [`crate::SampleSelectConfig::check_input`]
+//! and get [`crate::SelectError::NanInput`] up front.
 
 use std::fmt::Debug;
 
@@ -70,9 +72,15 @@ pub trait SelectElement: Copy + Send + Sync + Debug + 'static {
 }
 
 /// Map an `f32` to a `u64` key preserving the IEEE total order
-/// (sign-magnitude to two's-complement-style flip).
+/// (sign-magnitude to two's-complement-style flip). All NaNs collapse to
+/// the maximum key so the key order agrees with `lt` — without the
+/// normalization, a *negative* NaN's flipped bits would sort below
+/// every number.
 #[inline]
 fn f32_key(v: f32) -> u64 {
+    if v.is_nan() {
+        return u32::MAX as u64;
+    }
     let bits = v.to_bits();
     let flipped = if bits & 0x8000_0000 != 0 {
         !bits
@@ -84,6 +92,9 @@ fn f32_key(v: f32) -> u64 {
 
 #[inline]
 fn f64_key(v: f64) -> u64 {
+    if v.is_nan() {
+        return u64::MAX;
+    }
     let bits = v.to_bits();
     if bits & 0x8000_0000_0000_0000 != 0 {
         !bits
@@ -98,7 +109,15 @@ impl SelectElement for f32 {
 
     #[inline]
     fn lt(self, other: Self) -> bool {
-        self < other
+        // NaN orders above every number (and equal to other NaNs), so
+        // `lt` and the sort key induce the same total order.
+        if self.is_nan() {
+            false
+        } else if other.is_nan() {
+            true
+        } else {
+            self < other
+        }
     }
 
     fn next_up(self) -> Self {
@@ -141,7 +160,13 @@ impl SelectElement for f64 {
 
     #[inline]
     fn lt(self, other: Self) -> bool {
-        self < other
+        if self.is_nan() {
+            false
+        } else if other.is_nan() {
+            true
+        } else {
+            self < other
+        }
     }
 
     fn next_up(self) -> Self {
@@ -339,6 +364,59 @@ mod tests {
         assert!(f64::NAN.to_sort_key() > f64::MAX.to_sort_key());
         assert!(f32::NAN.is_nan());
         assert!(!1.0f32.is_nan());
+    }
+
+    #[test]
+    fn all_nans_share_one_key_above_max() {
+        // negative NaN, positive NaN, signaling-payload NaN: one key
+        let neg_nan = f32::from_bits(0xFFC0_0001);
+        let payload_nan = f32::from_bits(0x7F80_0001);
+        assert!(neg_nan.is_nan() && payload_nan.is_nan());
+        assert_eq!(neg_nan.to_sort_key(), f32::NAN.to_sort_key());
+        assert_eq!(payload_nan.to_sort_key(), f32::NAN.to_sort_key());
+        assert!(neg_nan.to_sort_key() > f32::MAX.to_sort_key());
+
+        let neg_nan64 = f64::from_bits(0xFFF8_0000_0000_0001);
+        assert!(neg_nan64.is_nan());
+        assert_eq!(neg_nan64.to_sort_key(), f64::NAN.to_sort_key());
+        assert!(neg_nan64.to_sort_key() > f64::MAX.to_sort_key());
+    }
+
+    #[test]
+    fn lt_agrees_with_sort_key_on_nan() {
+        let neg_nan = f32::from_bits(0xFFC0_0001);
+        for nan in [f32::NAN, neg_nan] {
+            assert!(!nan.lt(f32::MAX), "NaN is not below any number");
+            assert!(!nan.lt(nan), "NaN ties with NaN");
+            assert!(f32::MAX.lt(nan), "every number is below NaN");
+            assert!((-1.0f32).lt(nan));
+        }
+        assert!(!f64::NAN.lt(f64::MAX));
+        assert!(f64::MAX.lt(f64::NAN));
+        // lt and the key order must agree pairwise across classes
+        // (excluding the -0.0/0.0 pair, which intentionally ties under
+        // lt while keeping distinct adjacent keys)
+        let values = [neg_nan, -1.0f32, 0.0, 1.0, f32::MAX, f32::NAN];
+        for &a in &values {
+            for &b in &values {
+                assert_eq!(
+                    a.lt(b),
+                    a.to_sort_key() < b.to_sort_key(),
+                    "lt/key disagree on {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_from_nan_containing_data_is_well_defined() {
+        let data = vec![3.0f32, f32::NAN, 1.0, f32::from_bits(0xFFC0_0001), 2.0];
+        assert_eq!(reference_select(&data, 0), Some(1.0));
+        assert_eq!(reference_select(&data, 1), Some(2.0));
+        assert_eq!(reference_select(&data, 2), Some(3.0));
+        // NaNs occupy the top ranks
+        assert!(reference_select(&data, 3).unwrap().is_nan());
+        assert!(reference_select(&data, 4).unwrap().is_nan());
     }
 
     #[test]

@@ -4,6 +4,68 @@
 
 use gpu_sim::{KernelRecord, KernelSummary, SimTime};
 
+/// What the resilience layer had to do to produce a result: every
+/// retry, algorithm fallback, and accuracy degradation, in order.
+///
+/// Deterministic by construction — the fault injector is seed-driven and
+/// the drivers consume faults in execution order, so the same seed
+/// produces the same event log (the property the robustness tests pin).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResilienceEvents {
+    /// Retries of a failed step (kernel launch or chunk load).
+    pub retries: u32,
+    /// Switches to a different backend (SampleSelect → QuickSelect →
+    /// CPU sort).
+    pub fallbacks: u32,
+    /// Exact→approximate degradations under a time budget.
+    pub degradations: u32,
+    /// Device faults observed (some may be absorbed by a single retry).
+    pub faults_observed: u32,
+    /// Human-readable event log, one entry per resilience action.
+    pub log: Vec<String>,
+}
+
+impl ResilienceEvents {
+    /// Record a retry, with a reason line for the log.
+    pub fn retry(&mut self, detail: impl Into<String>) {
+        self.retries += 1;
+        self.log.push(format!("retry: {}", detail.into()));
+    }
+
+    /// Record a backend fallback.
+    pub fn fallback(&mut self, detail: impl Into<String>) {
+        self.fallbacks += 1;
+        self.log.push(format!("fallback: {}", detail.into()));
+    }
+
+    /// Record an exact→approximate degradation.
+    pub fn degrade(&mut self, detail: impl Into<String>) {
+        self.degradations += 1;
+        self.log.push(format!("degrade: {}", detail.into()));
+    }
+
+    /// Record an observed device fault.
+    pub fn fault(&mut self, detail: impl Into<String>) {
+        self.faults_observed += 1;
+        self.log.push(format!("fault: {}", detail.into()));
+    }
+
+    /// Whether the run needed any resilience action at all.
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0 && self.fallbacks == 0 && self.degradations == 0
+    }
+
+    /// Fold another event set into this one (streaming runs merge the
+    /// per-chunk retry counts into the final report).
+    pub fn merge(&mut self, other: &ResilienceEvents) {
+        self.retries += other.retries;
+        self.fallbacks += other.fallbacks;
+        self.degradations += other.degradations;
+        self.faults_observed += other.faults_observed;
+        self.log.extend(other.log.iter().cloned());
+    }
+}
+
 /// Measurement report of one selection run on the simulated device.
 #[derive(Debug, Clone)]
 pub struct SelectReport {
@@ -21,6 +83,9 @@ pub struct SelectReport {
     pub launch_overhead: SimTime,
     /// Per-kernel aggregation (name, launches, time, resource usage).
     pub kernels: Vec<KernelSummary>,
+    /// Resilience actions taken during the run (empty for fault-free
+    /// runs through the plain drivers).
+    pub resilience: ResilienceEvents,
 }
 
 impl SelectReport {
@@ -63,7 +128,15 @@ impl SelectReport {
             total_time,
             launch_overhead,
             kernels,
+            resilience: ResilienceEvents::default(),
         }
+    }
+
+    /// Attach resilience events to the report (builder style, used by the
+    /// resilient and streaming drivers).
+    pub fn with_resilience(mut self, events: ResilienceEvents) -> Self {
+        self.resilience = events;
+        self
     }
 
     /// Total time spent in kernels named `name` (zero if none ran).
@@ -128,6 +201,7 @@ mod tests {
             cost: KernelCost::new(),
             breakdown: CostBreakdown::default(),
             origin: LaunchOrigin::Host,
+            fault: None,
         }
     }
 
@@ -167,5 +241,31 @@ mod tests {
         let report = SelectReport::from_records("test", 0, &[], 0, false);
         assert_eq!(report.throughput(), 0.0);
         assert_eq!(report.total_launches(), 0);
+    }
+
+    #[test]
+    fn resilience_events_count_and_merge() {
+        let report = SelectReport::from_records("test", 0, &[], 0, false);
+        assert!(report.resilience.is_clean());
+
+        let mut events = ResilienceEvents::default();
+        events.fault("launch-failure in `count`");
+        events.retry("re-seeded splitter sample");
+        events.fallback("sampleselect -> quickselect");
+        assert!(!events.is_clean());
+        assert_eq!(events.retries, 1);
+        assert_eq!(events.fallbacks, 1);
+        assert_eq!(events.faults_observed, 1);
+        assert_eq!(events.log.len(), 3);
+        assert!(events.log[0].starts_with("fault:"));
+
+        let mut other = ResilienceEvents::default();
+        other.degrade("time budget exceeded");
+        events.merge(&other);
+        assert_eq!(events.degradations, 1);
+        assert_eq!(events.log.len(), 4);
+
+        let report = report.with_resilience(events.clone());
+        assert_eq!(report.resilience, events);
     }
 }

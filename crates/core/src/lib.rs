@@ -47,6 +47,7 @@ pub mod params;
 pub mod quickselect;
 pub mod recursion;
 pub mod reduce;
+pub mod resilient;
 pub mod rng;
 pub mod samplesort;
 pub mod searchtree;
@@ -56,21 +57,31 @@ pub mod topk;
 
 pub use approx::{approx_select, approx_select_on_device, ApproxResult};
 pub use element::SelectElement;
-pub use instrument::SelectReport;
+pub use instrument::{ResilienceEvents, SelectReport};
 pub use kv::{zip_pairs, Pair};
 pub use multiselect::{multi_select, multi_select_on_device, quantiles, MultiSelectResult};
 pub use params::{AtomicScope, ConfigError, SampleSelectConfig};
 pub use quickselect::{quick_select, quick_select_on_device};
 pub use recursion::sample_select_on_device;
+pub use resilient::{
+    resilient_select, resilient_select_on_device, resilient_streaming_select, Backend, Outcome,
+    ResilienceConfig, ResilientResult, RetryPolicy,
+};
 pub use samplesort::{sample_sort, sample_sort_on_device, SortResult};
 pub use searchtree::SearchTree;
-pub use streaming::{streaming_select, ChunkSource, SliceChunks, StreamingResult};
+pub use streaming::{streaming_select, ChunkError, ChunkSource, SliceChunks, StreamingResult};
 pub use topk::{bottom_k_smallest_on_device, top_k_largest, top_k_largest_on_device};
 
 use gpu_sim::arch::v100;
 use gpu_sim::Device;
 
 /// Errors returned by the selection drivers.
+///
+/// The taxonomy distinguishes *permanent* errors (bad input, bad
+/// configuration — retrying cannot help) from *transient* faults
+/// surfaced by the device's fault-injection layer, which the
+/// [`resilient`] driver retries; [`SelectError::is_transient`] encodes
+/// the split.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SelectError {
     /// The input slice is empty.
@@ -82,9 +93,28 @@ pub enum SelectError {
     /// Input validation found a NaN (only with
     /// [`SampleSelectConfig::check_input`]).
     NanInput { index: usize },
-    /// The recursion failed to converge (internal safeguard; indicates a
-    /// bug rather than a user error).
+    /// The recursion failed to converge within its depth or work budget
+    /// — degenerate splitter draws, or an internal bug. The resilient
+    /// driver treats this as a signal to fall back to a different
+    /// algorithm rather than retry the same one.
     RecursionLimit,
+    /// A device fault (injected launch failure or memory exhaustion)
+    /// corrupted the run. Transient: a retry may succeed.
+    DeviceFault(gpu_sim::LaunchError),
+    /// A chunk of an out-of-core dataset could not be loaded, even after
+    /// the streaming driver's per-chunk retries.
+    ChunkLoad(ChunkError),
+}
+
+impl SelectError {
+    /// Whether retrying the same operation can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            SelectError::DeviceFault(_) => true,
+            SelectError::ChunkLoad(e) => e.transient,
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for SelectError {
@@ -99,6 +129,8 @@ impl std::fmt::Display for SelectError {
                 write!(f, "input contains NaN at index {index}")
             }
             SelectError::RecursionLimit => write!(f, "selection recursion failed to converge"),
+            SelectError::DeviceFault(e) => write!(f, "device fault: {e}"),
+            SelectError::ChunkLoad(e) => write!(f, "chunk load failed: {e}"),
         }
     }
 }
@@ -144,5 +176,40 @@ mod tests {
         let e = SelectError::RankOutOfRange { rank: 9, len: 3 };
         assert!(format!("{e}").contains('9'));
         assert!(format!("{}", SelectError::NanInput { index: 4 }).contains("NaN"));
+    }
+
+    #[test]
+    fn transient_vs_permanent_taxonomy() {
+        use gpu_sim::{FaultKind, LaunchError, SimTime};
+        let fault = SelectError::DeviceFault(LaunchError {
+            kind: FaultKind::LaunchFailure,
+            kernel: "count".to_string(),
+            launch_index: 3,
+            at: SimTime::ZERO,
+        });
+        assert!(fault.is_transient());
+        assert!(format!("{fault}").contains("count"));
+
+        let transient_chunk = SelectError::ChunkLoad(ChunkError {
+            chunk: 2,
+            message: "read timed out".to_string(),
+            transient: true,
+        });
+        assert!(transient_chunk.is_transient());
+        let permanent_chunk = SelectError::ChunkLoad(ChunkError {
+            chunk: 2,
+            message: "shard deleted".to_string(),
+            transient: false,
+        });
+        assert!(!permanent_chunk.is_transient());
+
+        for permanent in [
+            SelectError::EmptyInput,
+            SelectError::RankOutOfRange { rank: 1, len: 1 },
+            SelectError::NanInput { index: 0 },
+            SelectError::RecursionLimit,
+        ] {
+            assert!(!permanent.is_transient(), "{permanent} must be permanent");
+        }
     }
 }

@@ -119,6 +119,18 @@ pub struct SampleSelectConfig {
     /// Seed for the splitter-sampling RNG (fixed for reproducibility;
     /// vary per repetition in benchmarks).
     pub seed: u64,
+    /// Cap on recursion levels before the driver gives up with
+    /// [`crate::SelectError::RecursionLimit`]. `None` uses the
+    /// algorithm's own default (64 for SampleSelect, 512 for
+    /// QuickSelect); the resilient driver sets a tight cap so degenerate
+    /// splitter draws trigger a backend fallback quickly.
+    pub max_levels: Option<u32>,
+    /// Work budget as a multiple of `n`: once the cumulative elements
+    /// processed across recursion levels exceed `factor * n`, the driver
+    /// stops with [`crate::SelectError::RecursionLimit`]. `None` means
+    /// unlimited. A healthy run processes ~`n * (1 + 1/b + ...)` ≈ `1.1n`
+    /// elements, so factors of 2–4 only trip on degenerate recursions.
+    pub work_budget_factor: Option<f64>,
 }
 
 impl Default for SampleSelectConfig {
@@ -135,6 +147,8 @@ impl Default for SampleSelectConfig {
             wide_oracles: false,
             check_input: false,
             seed: 0x5eed_5e1ec7,
+            max_levels: None,
+            work_budget_factor: None,
         }
     }
 }
@@ -285,6 +299,16 @@ impl SampleSelectConfig {
         self.wide_oracles = on;
         self
     }
+
+    pub fn with_max_levels(mut self, levels: u32) -> Self {
+        self.max_levels = Some(levels);
+        self
+    }
+
+    pub fn with_work_budget_factor(mut self, factor: f64) -> Self {
+        self.work_budget_factor = Some(factor);
+        self
+    }
 }
 
 /// Convenience: does this generation default to warp aggregation?
@@ -401,6 +425,17 @@ mod tests {
         assert!(lc.blocks <= cfg.max_grid_blocks);
         let small = cfg.launch_config(1000, 4);
         assert_eq!(small.blocks, 1);
+    }
+
+    #[test]
+    fn budget_guards_default_off() {
+        let cfg = SampleSelectConfig::default();
+        assert_eq!(cfg.max_levels, None);
+        assert_eq!(cfg.work_budget_factor, None);
+        let guarded = cfg.with_max_levels(8).with_work_budget_factor(3.0);
+        assert_eq!(guarded.max_levels, Some(8));
+        assert_eq!(guarded.work_budget_factor, Some(3.0));
+        guarded.validate().unwrap();
     }
 
     #[test]

@@ -284,6 +284,9 @@ pub fn quick_select_on_device<T: SelectElement>(
     let n = data.len();
     let records_before = device.records().len();
     let mut rng = SplitMix64::new(cfg.seed);
+    let max_levels = cfg.max_levels.unwrap_or(MAX_LEVELS).min(MAX_LEVELS);
+    let work_budget: Option<f64> = cfg.work_budget_factor.map(|f| f * n as f64);
+    let mut work_done: f64 = 0.0;
 
     let mut storage: Vec<T> = Vec::new();
     let mut use_storage = false;
@@ -303,8 +306,14 @@ pub fn quick_select_on_device<T: SelectElement>(
             value = base_case_select(device, cur, k, cfg, origin);
             break;
         }
-        if levels >= MAX_LEVELS {
+        if levels >= max_levels {
             return Err(SelectError::RecursionLimit);
+        }
+        if let Some(budget) = work_budget {
+            work_done += cur.len() as f64;
+            if work_done > budget {
+                return Err(SelectError::RecursionLimit);
+            }
         }
         levels += 1;
 

@@ -110,6 +110,9 @@ pub fn sample_select_on_device<T: SelectElement>(
     let n = data.len();
     let records_before = device.records().len();
     let mut rng = SplitMix64::new(cfg.seed);
+    let max_levels = cfg.max_levels.unwrap_or(MAX_LEVELS).min(MAX_LEVELS);
+    let work_budget: Option<f64> = cfg.work_budget_factor.map(|f| f * n as f64);
+    let mut work_done: f64 = 0.0;
 
     // Device-side tail recursion: every level enqueues at most one
     // follow-up, preserving the paper's launch-ordering argument.
@@ -136,8 +139,17 @@ pub fn sample_select_on_device<T: SelectElement>(
             outcome = Some((value, false));
             break;
         }
-        if task.level >= MAX_LEVELS {
+        if task.level >= max_levels {
             return Err(SelectError::RecursionLimit);
+        }
+        if let Some(budget) = work_budget {
+            // Degenerate splitters barely shrink the bucket, so the
+            // cumulative elements scanned blow past the budget long
+            // before the depth cap trips.
+            work_done += cur.len() as f64;
+            if work_done > budget {
+                return Err(SelectError::RecursionLimit);
+            }
         }
         levels += 1;
 
@@ -337,6 +349,33 @@ mod tests {
         let cfg = SampleSelectConfig::default().with_buckets(512); // needs wide oracles
         let err = sample_select_on_device(&mut device, &[1.0f32; 10], 0, &cfg).unwrap_err();
         assert!(matches!(err, SelectError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn max_levels_guard_trips_on_tight_cap() {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let data = uniform(100_000, 9);
+        let cfg = SampleSelectConfig::default().with_max_levels(0);
+        let err = sample_select_on_device(&mut device, &data, 50_000, &cfg).unwrap_err();
+        assert_eq!(err, SelectError::RecursionLimit);
+        // A generous cap does not interfere.
+        let cfg = SampleSelectConfig::default().with_max_levels(32);
+        sample_select_on_device(&mut device, &data, 50_000, &cfg).unwrap();
+    }
+
+    #[test]
+    fn work_budget_guard_trips_when_exhausted() {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let data = uniform(100_000, 10);
+        // First level alone scans n elements > 0.5 * n.
+        let cfg = SampleSelectConfig::default().with_work_budget_factor(0.5);
+        let err = sample_select_on_device(&mut device, &data, 50_000, &cfg).unwrap_err();
+        assert_eq!(err, SelectError::RecursionLimit);
+        // A healthy run needs barely more than n.
+        let cfg = SampleSelectConfig::default().with_work_budget_factor(2.0);
+        sample_select_on_device(&mut device, &data, 50_000, &cfg).unwrap();
     }
 
     #[test]

@@ -1,0 +1,768 @@
+//! Resilient selection: retry, fallback, and graceful degradation on
+//! top of the plain drivers.
+//!
+//! Real GPU deployments fail in ways the paper's measurement setting
+//! never sees: kernel launches error out, device memory runs dry, and
+//! I/O feeding an out-of-core run stalls. This module wraps the
+//! SampleSelect / QuickSelect / streaming drivers with a policy layer
+//! that keeps returning *correct* answers under injected faults
+//! ([`gpu_sim::FaultPlan`]):
+//!
+//! * **Retry** — a transient device fault (an injected launch failure or
+//!   allocation failure latched by the [`Device`]) discards the
+//!   attempt's result, backs the simulated clock off exponentially, and
+//!   reruns with a *re-seeded* splitter sample so the retry does not
+//!   deterministically replay the same schedule.
+//! * **Fallback** — a recursion that fails to converge (depth or work
+//!   budget exhausted — the signature of degenerate splitters) switches
+//!   backend: SampleSelect → QuickSelect → CPU sort. The CPU sort
+//!   terminates unconditionally, so the chain always produces the exact
+//!   answer.
+//! * **Degradation** — under a time budget, once the simulated clock
+//!   passes the deadline the driver stops pursuing the exact answer and
+//!   returns the single-pass approximate result, tagged with its exact
+//!   achieved rank and rank error ([`Outcome::Approximate`]).
+//!
+//! Every action is recorded in [`ResilienceEvents`] on the returned
+//! report; with a fixed [`gpu_sim::FaultPlan`] seed the whole event log
+//! is deterministic.
+
+use crate::approx::approx_select_on_device;
+use crate::element::{reference_select, SelectElement};
+use crate::instrument::{ResilienceEvents, SelectReport};
+use crate::params::SampleSelectConfig;
+use crate::quickselect::quick_select_on_device;
+use crate::recursion::{sample_select_on_device, validate_input};
+use crate::streaming::{streaming_select, ChunkSource};
+use crate::{SelectError, SelectResult};
+use gpu_sim::arch::v100;
+use gpu_sim::{Device, SimTime};
+
+/// How transient faults are retried.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries per backend after the initial attempt.
+    pub max_retries: u32,
+    /// Simulated backoff before the first retry.
+    pub backoff: SimTime,
+    /// Backoff growth per retry (exponential backoff at 2.0).
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff: SimTime::from_us(50.0),
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+/// Policy knobs of the resilient driver.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResilienceConfig {
+    /// Transient-fault retry policy.
+    pub retry: RetryPolicy,
+    /// Simulated-time budget. Once the device clock passes
+    /// `start + budget`, the driver degrades to the approximate variant
+    /// instead of starting another exact attempt.
+    pub time_budget: Option<SimTime>,
+    /// Recursion-depth guard handed to the inner drivers (overrides
+    /// [`SampleSelectConfig::max_levels`] when set): tripping it
+    /// triggers a backend fallback instead of an error.
+    pub max_levels: Option<u32>,
+    /// Work-budget guard handed to the inner drivers (overrides
+    /// [`SampleSelectConfig::work_budget_factor`] when set).
+    pub work_budget_factor: Option<f64>,
+}
+
+impl ResilienceConfig {
+    pub fn with_time_budget(mut self, budget: SimTime) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.retry.max_retries = retries;
+        self
+    }
+
+    pub fn with_max_levels(mut self, levels: u32) -> Self {
+        self.max_levels = Some(levels);
+        self
+    }
+
+    pub fn with_work_budget_factor(mut self, factor: f64) -> Self {
+        self.work_budget_factor = Some(factor);
+        self
+    }
+}
+
+/// Which implementation produced the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The paper's SampleSelect (first choice).
+    SampleSelect,
+    /// The engineered QuickSelect reference (first fallback).
+    QuickSelect,
+    /// Host-side sort-and-index (last resort; cannot fail).
+    CpuSort,
+}
+
+impl Backend {
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::SampleSelect => "sampleselect",
+            Backend::QuickSelect => "quickselect",
+            Backend::CpuSort => "cpu-sort",
+        }
+    }
+
+    fn report_label(self) -> &'static str {
+        match self {
+            Backend::SampleSelect => "resilient-sampleselect",
+            Backend::QuickSelect => "resilient-quickselect",
+            Backend::CpuSort => "resilient-cpu-sort",
+        }
+    }
+}
+
+/// The answer, tagged with its accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome<T> {
+    /// The exact `rank`-th smallest element.
+    Exact(T),
+    /// A nearby splitter returned under a time budget, with its exact
+    /// rank (splitter ranks are free — §II-C) and distance to target.
+    Approximate {
+        value: T,
+        achieved_rank: u64,
+        rank_error: u64,
+    },
+}
+
+impl<T: Copy> Outcome<T> {
+    /// The selected value, exact or approximate.
+    pub fn value(&self) -> T {
+        match self {
+            Outcome::Exact(v) => *v,
+            Outcome::Approximate { value, .. } => *value,
+        }
+    }
+
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Outcome::Exact(_))
+    }
+}
+
+/// Result of a resilient selection run.
+#[derive(Debug, Clone)]
+pub struct ResilientResult<T> {
+    /// The selected value and its accuracy tag.
+    pub outcome: Outcome<T>,
+    /// The backend that produced it.
+    pub backend: Backend,
+    /// Measurement report over *all* attempts (including discarded
+    /// ones), with the resilience event log attached.
+    pub report: SelectReport,
+}
+
+/// Deterministically derive the seed of retry `attempt` from the base
+/// seed, so a retry draws a fresh splitter sample without becoming
+/// run-to-run nondeterministic.
+fn retry_seed(base: u64, backend: Backend, attempt: u32) -> u64 {
+    let salt = match backend {
+        Backend::SampleSelect => 1u64,
+        Backend::QuickSelect => 2,
+        Backend::CpuSort => 3,
+    };
+    base ^ (0x9E37_79B9_7F4A_7C15u64
+        .wrapping_mul(attempt as u64 + 1)
+        .wrapping_add(salt))
+}
+
+fn backoff_and_count(
+    device: &mut Device,
+    policy: &RetryPolicy,
+    attempt: u32,
+    events: &mut ResilienceEvents,
+    backend: Backend,
+) {
+    let mut backoff = policy.backoff;
+    for _ in 0..attempt {
+        backoff = backoff * policy.backoff_multiplier;
+    }
+    events.retry(format!(
+        "{} attempt {} re-seeded after {}",
+        backend.name(),
+        attempt + 2,
+        backoff
+    ));
+    device.advance_time(backoff);
+}
+
+/// Exact selection with retry, fallback, and degradation. See the
+/// module docs for the policy; `cfg` seeds the first attempt and `rcfg`
+/// controls the resilience behaviour.
+pub fn resilient_select_on_device<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    rcfg: &ResilienceConfig,
+) -> Result<ResilientResult<T>, SelectError> {
+    cfg.validate().map_err(SelectError::InvalidConfig)?;
+    validate_input(data, rank, cfg)?;
+
+    let n = data.len();
+    let records_before = device.records().len();
+    let mut events = ResilienceEvents::default();
+    // Don't let a fault latched by earlier, unrelated work on this
+    // device masquerade as ours.
+    device.take_fault();
+
+    let mut base_cfg = cfg.clone();
+    if rcfg.max_levels.is_some() {
+        base_cfg.max_levels = rcfg.max_levels;
+    }
+    if rcfg.work_budget_factor.is_some() {
+        base_cfg.work_budget_factor = rcfg.work_budget_factor;
+    }
+
+    let deadline = rcfg.time_budget.map(|b| device.now() + b);
+    let over_deadline = |device: &Device| deadline.is_some_and(|dl| device.now() >= dl);
+
+    for backend in [
+        Backend::SampleSelect,
+        Backend::QuickSelect,
+        Backend::CpuSort,
+    ] {
+        let mut attempt = 0u32;
+        loop {
+            if over_deadline(device) {
+                return degrade_to_approx(
+                    device,
+                    data,
+                    rank,
+                    &base_cfg,
+                    records_before,
+                    events,
+                    "time budget exceeded before an exact attempt could start",
+                );
+            }
+
+            let attempt_cfg = base_cfg.clone().with_seed(if attempt == 0 {
+                base_cfg.seed
+            } else {
+                retry_seed(base_cfg.seed, backend, attempt)
+            });
+
+            let result: Result<SelectResult<T>, SelectError> = match backend {
+                Backend::SampleSelect => sample_select_on_device(device, data, rank, &attempt_cfg),
+                Backend::QuickSelect => quick_select_on_device(device, data, rank, &attempt_cfg),
+                Backend::CpuSort => {
+                    let value = reference_select(data, rank)
+                        .expect("validated input always has a rank-th element");
+                    let report = SelectReport::from_records(
+                        backend.report_label(),
+                        n,
+                        &device.records()[records_before..],
+                        0,
+                        false,
+                    );
+                    Ok(SelectResult { value, report })
+                }
+            };
+            // Drain the latch unconditionally: a fault invalidates even a
+            // seemingly successful attempt (its kernels ran incomplete).
+            let fault = device.take_fault();
+            if let Some(f) = &fault {
+                events.fault(f.to_string());
+            }
+
+            match (result, fault) {
+                (Ok(inner), None) => {
+                    let report = SelectReport::from_records(
+                        backend.report_label(),
+                        n,
+                        &device.records()[records_before..],
+                        inner.report.levels,
+                        inner.report.terminated_early,
+                    )
+                    .with_resilience(events);
+                    return Ok(ResilientResult {
+                        outcome: Outcome::Exact(inner.value),
+                        backend,
+                        report,
+                    });
+                }
+                (Err(SelectError::RecursionLimit), _) => {
+                    events.fallback(format!(
+                        "{}: recursion failed to converge (degenerate splitters?)",
+                        backend.name()
+                    ));
+                    break; // next backend
+                }
+                (Ok(_), Some(_)) | (Err(_), Some(_)) => {
+                    // Transient device fault: retry this backend, then
+                    // give up on it.
+                    if attempt < rcfg.retry.max_retries {
+                        backoff_and_count(device, &rcfg.retry, attempt, &mut events, backend);
+                        attempt += 1;
+                    } else {
+                        events.fallback(format!(
+                            "{}: retries exhausted under persistent faults",
+                            backend.name()
+                        ));
+                        break;
+                    }
+                }
+                (Err(e), None) if e.is_transient() => {
+                    if attempt < rcfg.retry.max_retries {
+                        backoff_and_count(device, &rcfg.retry, attempt, &mut events, backend);
+                        attempt += 1;
+                    } else {
+                        events.fallback(format!(
+                            "{}: retries exhausted under persistent faults",
+                            backend.name()
+                        ));
+                        break;
+                    }
+                }
+                (Err(e), None) => return Err(e), // permanent: bad input/config
+            }
+        }
+    }
+    unreachable!("the CPU sort backend cannot fail on validated input")
+}
+
+/// Time budget exhausted: return the single-pass approximate result,
+/// tagged with its accuracy. If even that pass faults, fall through to
+/// the (budget-ignoring) CPU sort — a late exact answer still beats no
+/// answer.
+fn degrade_to_approx<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    records_before: usize,
+    mut events: ResilienceEvents,
+    reason: &str,
+) -> Result<ResilientResult<T>, SelectError> {
+    events.degrade(reason);
+    let n = data.len();
+    let approx = approx_select_on_device(device, data, rank, cfg);
+    let fault = device.take_fault();
+    if let Some(f) = &fault {
+        events.fault(f.to_string());
+    }
+    match (approx, fault) {
+        (Ok(a), None) => {
+            let report = SelectReport::from_records(
+                "resilient-approx",
+                n,
+                &device.records()[records_before..],
+                a.report.levels,
+                a.report.terminated_early,
+            )
+            .with_resilience(events);
+            Ok(ResilientResult {
+                outcome: Outcome::Approximate {
+                    value: a.value,
+                    achieved_rank: a.achieved_rank,
+                    rank_error: a.rank_error,
+                },
+                backend: Backend::SampleSelect,
+                report,
+            })
+        }
+        _ => {
+            events.fallback("approximate pass faulted; CPU sort as last resort");
+            let value =
+                reference_select(data, rank).expect("validated input always has a rank-th element");
+            let report = SelectReport::from_records(
+                Backend::CpuSort.report_label(),
+                n,
+                &device.records()[records_before..],
+                0,
+                false,
+            )
+            .with_resilience(events);
+            Ok(ResilientResult {
+                outcome: Outcome::Exact(value),
+                backend: Backend::CpuSort,
+                report,
+            })
+        }
+    }
+}
+
+/// [`resilient_select_on_device`] on a default simulated device (Tesla
+/// V100 on the process-global thread pool).
+pub fn resilient_select<T: SelectElement>(
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    rcfg: &ResilienceConfig,
+) -> Result<ResilientResult<T>, SelectError> {
+    let mut device = Device::on_global_pool(v100());
+    resilient_select_on_device(&mut device, data, rank, cfg, rcfg)
+}
+
+/// Resilient out-of-core selection: [`streaming_select`] already retries
+/// individual chunk loads; this wrapper additionally retries whole runs
+/// on device faults, falls back to a host-side sort of the materialized
+/// chunks, and degrades to the approximate variant under a time budget.
+pub fn resilient_streaming_select<T: SelectElement, S: ChunkSource<T>>(
+    device: &mut Device,
+    source: &S,
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    rcfg: &ResilienceConfig,
+) -> Result<ResilientResult<T>, SelectError> {
+    cfg.validate().map_err(SelectError::InvalidConfig)?;
+    let n = source.total_len();
+    if n == 0 {
+        return Err(SelectError::EmptyInput);
+    }
+    if rank >= n {
+        return Err(SelectError::RankOutOfRange { rank, len: n });
+    }
+
+    let records_before = device.records().len();
+    let mut events = ResilienceEvents::default();
+    device.take_fault();
+
+    let mut base_cfg = cfg.clone();
+    if rcfg.max_levels.is_some() {
+        base_cfg.max_levels = rcfg.max_levels;
+    }
+    if rcfg.work_budget_factor.is_some() {
+        base_cfg.work_budget_factor = rcfg.work_budget_factor;
+    }
+
+    let deadline = rcfg.time_budget.map(|b| device.now() + b);
+    let over_deadline = |device: &Device| deadline.is_some_and(|dl| device.now() >= dl);
+
+    let mut attempt = 0u32;
+    let fallback_reason: String;
+    loop {
+        if over_deadline(device) {
+            let data = materialize(source)?;
+            return degrade_to_approx(
+                device,
+                &data,
+                rank,
+                &base_cfg,
+                records_before,
+                events,
+                "time budget exceeded before a streaming attempt could start",
+            );
+        }
+        let attempt_cfg = base_cfg.clone().with_seed(if attempt == 0 {
+            base_cfg.seed
+        } else {
+            retry_seed(base_cfg.seed, Backend::SampleSelect, attempt)
+        });
+
+        let result = streaming_select(device, source, rank, &attempt_cfg);
+        let fault = device.take_fault();
+        if let Some(f) = &fault {
+            events.fault(f.to_string());
+        }
+
+        match (result, fault) {
+            (Ok(res), None) => {
+                // Keep the chunk-level retries the streaming driver
+                // already recorded.
+                events.merge(&res.report.resilience);
+                let report = SelectReport::from_records(
+                    "resilient-streaming",
+                    n,
+                    &device.records()[records_before..],
+                    res.report.levels,
+                    res.report.terminated_early,
+                )
+                .with_resilience(events);
+                return Ok(ResilientResult {
+                    outcome: Outcome::Exact(res.value),
+                    backend: Backend::SampleSelect,
+                    report,
+                });
+            }
+            (Err(SelectError::RecursionLimit), _) => {
+                fallback_reason =
+                    "streaming recursion failed to converge; host-side sort".to_string();
+                break;
+            }
+            (Ok(_), Some(_)) | (Err(_), Some(_)) => {
+                if attempt < rcfg.retry.max_retries {
+                    backoff_and_count(
+                        device,
+                        &rcfg.retry,
+                        attempt,
+                        &mut events,
+                        Backend::SampleSelect,
+                    );
+                    attempt += 1;
+                } else {
+                    fallback_reason =
+                        "streaming retries exhausted under persistent faults".to_string();
+                    break;
+                }
+            }
+            (Err(e), None) if e.is_transient() => {
+                if attempt < rcfg.retry.max_retries {
+                    backoff_and_count(
+                        device,
+                        &rcfg.retry,
+                        attempt,
+                        &mut events,
+                        Backend::SampleSelect,
+                    );
+                    attempt += 1;
+                } else {
+                    fallback_reason =
+                        "streaming retries exhausted under persistent faults".to_string();
+                    break;
+                }
+            }
+            (Err(e), None) => return Err(e),
+        }
+    }
+
+    events.fallback(fallback_reason);
+    let data = materialize(source)?;
+    let value =
+        reference_select(&data, rank).expect("validated input always has a rank-th element");
+    let report = SelectReport::from_records(
+        Backend::CpuSort.report_label(),
+        n,
+        &device.records()[records_before..],
+        0,
+        false,
+    )
+    .with_resilience(events);
+    Ok(ResilientResult {
+        outcome: Outcome::Exact(value),
+        backend: Backend::CpuSort,
+        report,
+    })
+}
+
+/// Load every chunk into host memory for the CPU fallback, retrying
+/// transient failures a bounded number of times per chunk.
+fn materialize<T: SelectElement, S: ChunkSource<T>>(source: &S) -> Result<Vec<T>, SelectError> {
+    let mut data = Vec::with_capacity(source.total_len());
+    for c in 0..source.num_chunks() {
+        let mut tries = 0u32;
+        let chunk = loop {
+            match source.load_chunk(c) {
+                Ok(chunk) => break chunk,
+                Err(err) if err.transient && tries < crate::streaming::CHUNK_MAX_RETRIES => {
+                    tries += 1;
+                }
+                Err(err) => return Err(SelectError::ChunkLoad(err)),
+            }
+        };
+        data.extend(chunk);
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use gpu_sim::FaultPlan;
+    use hpc_par::ThreadPool;
+
+    fn uniform(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() as f32).collect()
+    }
+
+    fn run_with_plan(
+        data: &[f32],
+        rank: usize,
+        plan: Option<FaultPlan>,
+        rcfg: &ResilienceConfig,
+    ) -> ResilientResult<f32> {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        if let Some(plan) = plan {
+            device.set_fault_plan(plan);
+        }
+        resilient_select_on_device(
+            &mut device,
+            data,
+            rank,
+            &SampleSelectConfig::default(),
+            rcfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fault_free_run_is_clean_and_exact() {
+        let data = uniform(100_000, 1);
+        let res = run_with_plan(&data, 50_000, None, &ResilienceConfig::default());
+        assert_eq!(
+            res.outcome,
+            Outcome::Exact(reference_select(&data, 50_000).unwrap())
+        );
+        assert_eq!(res.backend, Backend::SampleSelect);
+        assert!(res.report.resilience.is_clean());
+        assert_eq!(res.report.algorithm, "resilient-sampleselect");
+    }
+
+    #[test]
+    fn injected_launch_failure_is_retried_to_exact() {
+        let data = uniform(100_000, 2);
+        let plan = FaultPlan::new(42).fail_launches_at(&[1]);
+        let res = run_with_plan(&data, 50_000, Some(plan), &ResilienceConfig::default());
+        assert_eq!(
+            res.outcome,
+            Outcome::Exact(reference_select(&data, 50_000).unwrap())
+        );
+        assert_eq!(res.report.resilience.faults_observed, 1);
+        assert_eq!(res.report.resilience.retries, 1);
+        assert_eq!(res.report.resilience.fallbacks, 0);
+    }
+
+    #[test]
+    fn persistent_faults_fall_back_to_cpu() {
+        let data = uniform(50_000, 3);
+        // Every launch fails: no device backend can ever finish.
+        let plan = FaultPlan::new(7).launch_failures(1.0);
+        let rcfg = ResilienceConfig::default().with_max_retries(1);
+        let res = run_with_plan(&data, 25_000, Some(plan), &rcfg);
+        assert_eq!(
+            res.outcome,
+            Outcome::Exact(reference_select(&data, 25_000).unwrap())
+        );
+        assert_eq!(res.backend, Backend::CpuSort);
+        // two device backends × (1 retry + 1 fallback)
+        assert_eq!(res.report.resilience.retries, 2);
+        assert_eq!(res.report.resilience.fallbacks, 2);
+    }
+
+    #[test]
+    fn zero_time_budget_degrades_to_approximate() {
+        let data = uniform(100_000, 4);
+        let rcfg = ResilienceConfig::default().with_time_budget(SimTime::ZERO);
+        let res = run_with_plan(&data, 50_000, None, &rcfg);
+        match res.outcome {
+            Outcome::Approximate {
+                value,
+                achieved_rank,
+                rank_error,
+            } => {
+                // the tag must be honest: achieved_rank is the value's
+                // true rank, rank_error its distance to the target
+                let true_rank = data.iter().filter(|&&x| x < value).count() as u64;
+                assert_eq!(achieved_rank, true_rank);
+                assert_eq!(rank_error, true_rank.abs_diff(50_000));
+            }
+            Outcome::Exact(_) => panic!("expected approximate degradation"),
+        }
+        assert_eq!(res.report.resilience.degradations, 1);
+        assert_eq!(res.report.algorithm, "resilient-approx");
+        assert!(!res.outcome.is_exact());
+    }
+
+    #[test]
+    fn same_fault_seed_gives_identical_event_log() {
+        let data = uniform(80_000, 5);
+        let mk = || {
+            let plan = FaultPlan::new(99)
+                .launch_failures(0.3)
+                .max_launch_failures(4);
+            run_with_plan(&data, 40_000, Some(plan), &ResilienceConfig::default())
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.report.resilience, b.report.resilience);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.backend, b.backend);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let err = resilient_select_on_device::<f32>(
+            &mut device,
+            &[],
+            0,
+            &SampleSelectConfig::default(),
+            &ResilienceConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SelectError::EmptyInput);
+
+        let data = uniform(1000, 6);
+        let err = resilient_select_on_device(
+            &mut device,
+            &data,
+            5000,
+            &SampleSelectConfig::default(),
+            &ResilienceConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SelectError::RankOutOfRange { .. }));
+    }
+
+    #[test]
+    fn tight_guards_trigger_fallback_chain() {
+        let data = uniform(100_000, 7);
+        // A zero-level cap makes both device recursions give up at once.
+        let rcfg = ResilienceConfig::default().with_max_levels(0);
+        let res = run_with_plan(&data, 50_000, None, &rcfg);
+        assert_eq!(
+            res.outcome,
+            Outcome::Exact(reference_select(&data, 50_000).unwrap())
+        );
+        assert_eq!(res.backend, Backend::CpuSort);
+        assert_eq!(res.report.resilience.fallbacks, 2);
+        assert_eq!(res.report.resilience.retries, 0);
+    }
+
+    #[test]
+    fn resilient_streaming_retries_device_faults() {
+        use crate::streaming::SliceChunks;
+        let data = uniform(1 << 17, 8);
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        device.set_fault_plan(FaultPlan::new(11).fail_launches_at(&[2]));
+        let source = SliceChunks::new(&data, 1 << 15);
+        let res = resilient_streaming_select(
+            &mut device,
+            &source,
+            1 << 16,
+            &SampleSelectConfig::default(),
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            res.outcome,
+            Outcome::Exact(reference_select(&data, 1 << 16).unwrap())
+        );
+        assert_eq!(res.report.resilience.faults_observed, 1);
+        assert!(res.report.resilience.retries >= 1);
+        assert_eq!(res.report.algorithm, "resilient-streaming");
+    }
+
+    #[test]
+    fn outcome_value_accessor() {
+        assert_eq!(Outcome::Exact(3.5f32).value(), 3.5);
+        let approx = Outcome::Approximate {
+            value: 1.25f32,
+            achieved_rank: 10,
+            rank_error: 2,
+        };
+        assert_eq!(approx.value(), 1.25);
+        assert!(!approx.is_exact());
+    }
+}

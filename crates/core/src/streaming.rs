@@ -16,27 +16,92 @@
 
 use crate::count::count_kernel;
 use crate::element::SelectElement;
-use crate::instrument::SelectReport;
+use crate::instrument::{ResilienceEvents, SelectReport};
 use crate::params::SampleSelectConfig;
 use crate::recursion::sample_select_on_device;
 use crate::rng::SplitMix64;
 use crate::searchtree::SearchTree;
 use crate::{SelectError, SelectResult};
-use gpu_sim::{Device, KernelCost, LaunchOrigin};
+use gpu_sim::{Device, KernelCost, LaunchOrigin, SimTime};
+
+/// Retries of one chunk load before the driver gives up (in addition to
+/// the initial attempt). Only *transient* failures are retried.
+pub const CHUNK_MAX_RETRIES: u32 = 3;
+
+/// Simulated backoff before the first chunk-load retry; doubles on every
+/// subsequent retry of the same chunk.
+const CHUNK_RETRY_BACKOFF_NS: f64 = 10_000.0;
+
+/// A failed chunk load (the streaming analogue of an I/O error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkError {
+    /// Index of the chunk that failed.
+    pub chunk: usize,
+    /// Human-readable failure description.
+    pub message: String,
+    /// Whether re-reading the chunk can plausibly succeed (a timeout or
+    /// flaky link) as opposed to a permanent loss (a deleted shard).
+    pub transient: bool,
+}
+
+impl std::fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let class = if self.transient {
+            "transient"
+        } else {
+            "permanent"
+        };
+        write!(f, "chunk {}: {} ({class})", self.chunk, self.message)
+    }
+}
+
+impl std::error::Error for ChunkError {}
 
 /// A dataset presented as independently loadable chunks.
 ///
 /// `load_chunk` models the I/O of an out-of-core pipeline: the driver
 /// calls it multiple times (sampling pass, histogram pass, filter pass)
 /// and never holds more than one chunk plus the extracted bucket in
-/// memory.
+/// memory. Loads are fallible; the driver retries transient failures
+/// (with exponential backoff) up to [`CHUNK_MAX_RETRIES`] times per load
+/// before surfacing [`SelectError::ChunkLoad`].
 pub trait ChunkSource<T>: Sync {
     /// Number of chunks.
     fn num_chunks(&self) -> usize;
     /// Load chunk `idx` (owned: models a read from storage).
-    fn load_chunk(&self, idx: usize) -> Vec<T>;
+    fn load_chunk(&self, idx: usize) -> Result<Vec<T>, ChunkError>;
     /// Total number of elements across all chunks.
     fn total_len(&self) -> usize;
+}
+
+/// Load one chunk, retrying transient failures with exponential backoff
+/// (charged to the simulated clock). Retries are recorded in `events`.
+fn load_chunk_with_retry<T, S: ChunkSource<T>>(
+    device: &mut Device,
+    source: &S,
+    idx: usize,
+    events: &mut ResilienceEvents,
+) -> Result<Vec<T>, SelectError> {
+    let mut backoff_ns = CHUNK_RETRY_BACKOFF_NS;
+    let mut retries = 0u32;
+    loop {
+        match source.load_chunk(idx) {
+            Ok(chunk) => return Ok(chunk),
+            Err(err) => {
+                if !err.transient || retries >= CHUNK_MAX_RETRIES {
+                    return Err(SelectError::ChunkLoad(err));
+                }
+                retries += 1;
+                events.retry(format!(
+                    "chunk {idx} load failed ({}); retry {retries}/{CHUNK_MAX_RETRIES} \
+                     after {backoff_ns}ns",
+                    err.message
+                ));
+                device.advance_time(SimTime::from_ns(backoff_ns));
+                backoff_ns *= 2.0;
+            }
+        }
+    }
 }
 
 /// The trivial in-memory chunk source: a slice viewed as fixed-size
@@ -59,10 +124,10 @@ impl<T: SelectElement> ChunkSource<T> for SliceChunks<'_, T> {
         self.data.len().div_ceil(self.chunk_len).max(1)
     }
 
-    fn load_chunk(&self, idx: usize) -> Vec<T> {
+    fn load_chunk(&self, idx: usize) -> Result<Vec<T>, ChunkError> {
         let start = (idx * self.chunk_len).min(self.data.len());
         let end = ((idx + 1) * self.chunk_len).min(self.data.len());
-        self.data[start..end].to_vec()
+        Ok(self.data[start..end].to_vec())
     }
 
     fn total_len(&self) -> usize {
@@ -99,16 +164,17 @@ pub fn streaming_select<T: SelectElement, S: ChunkSource<T>>(
     }
     let records_before = device.records().len();
     let mut rng = SplitMix64::new(cfg.seed);
+    let mut events = ResilienceEvents::default();
 
     // Pass 1: proportional sampling across chunks (the streaming analogue
     // of the sample kernel; charged as one gather per sampled element).
-    let tree = streaming_sample(device, source, cfg, &mut rng);
+    let tree = streaming_sample(device, source, cfg, &mut rng, &mut events)?;
 
     // Pass 2: chunkwise histogram, merged on the fly.
     let b = tree.num_buckets();
     let mut counts = vec![0u64; b];
     for c in 0..source.num_chunks() {
-        let chunk = source.load_chunk(c);
+        let chunk = load_chunk_with_retry(device, source, c, &mut events)?;
         if chunk.is_empty() {
             continue;
         }
@@ -151,7 +217,8 @@ pub fn streaming_select<T: SelectElement, S: ChunkSource<T>>(
             &device.records()[records_before..],
             1,
             true,
-        );
+        )
+        .with_resilience(events);
         return Ok(StreamingResult {
             value: tree.equality_value(bucket),
             peak_resident: 0,
@@ -166,7 +233,7 @@ pub fn streaming_select<T: SelectElement, S: ChunkSource<T>>(
         (offsets.get(bucket + 1).copied().unwrap_or(n as u64) - offsets[bucket]) as usize,
     );
     for c in 0..source.num_chunks() {
-        let chunk = source.load_chunk(c);
+        let chunk = load_chunk_with_retry(device, source, c, &mut events)?;
         if chunk.is_empty() {
             continue;
         }
@@ -198,7 +265,8 @@ pub fn streaming_select<T: SelectElement, S: ChunkSource<T>>(
         &device.records()[records_before..],
         inner.report.levels + 1,
         inner.report.terminated_early,
-    );
+    )
+    .with_resilience(events);
     Ok(StreamingResult {
         value: inner.value,
         peak_resident,
@@ -212,12 +280,13 @@ fn streaming_sample<T: SelectElement, S: ChunkSource<T>>(
     source: &S,
     cfg: &SampleSelectConfig,
     rng: &mut SplitMix64,
-) -> SearchTree<T> {
+    events: &mut ResilienceEvents,
+) -> Result<SearchTree<T>, SelectError> {
     let n = source.total_len();
     let s = cfg.sample_size().max(cfg.num_buckets);
     let mut sample: Vec<T> = Vec::with_capacity(s + cfg.num_buckets);
     for c in 0..source.num_chunks() {
-        let chunk = source.load_chunk(c);
+        let chunk = load_chunk_with_retry(device, source, c, events)?;
         if chunk.is_empty() {
             continue;
         }
@@ -247,7 +316,7 @@ fn streaming_sample<T: SelectElement, S: ChunkSource<T>>(
     let splitters: Vec<T> = (1..cfg.num_buckets)
         .map(|i| sample[(i * m / cfg.num_buckets).min(m - 1)])
         .collect();
-    SearchTree::build(&splitters)
+    Ok(SearchTree::build(&splitters))
 }
 
 #[cfg(test)]
@@ -342,5 +411,108 @@ mod tests {
         assert_eq!(res.report.kernel_launches("count_nowrite"), 8);
         assert!(res.report.kernel_launches("stream_filter") == 8);
         assert!(res.report.kernel_launches("sample") >= 1);
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A chunk source whose `target` chunk fails its first `fail_times`
+    /// loads before recovering (or never recovers, if permanent).
+    struct FlakyChunks<'a> {
+        inner: SliceChunks<'a, f32>,
+        target: usize,
+        fail_times: usize,
+        transient: bool,
+        failures: AtomicUsize,
+    }
+
+    impl<'a> FlakyChunks<'a> {
+        fn new(data: &'a [f32], chunk_len: usize, target: usize, fail_times: usize) -> Self {
+            Self {
+                inner: SliceChunks::new(data, chunk_len),
+                target,
+                fail_times,
+                transient: true,
+                failures: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl ChunkSource<f32> for FlakyChunks<'_> {
+        fn num_chunks(&self) -> usize {
+            self.inner.num_chunks()
+        }
+
+        fn load_chunk(&self, idx: usize) -> Result<Vec<f32>, ChunkError> {
+            if idx == self.target && self.failures.load(Ordering::SeqCst) < self.fail_times {
+                self.failures.fetch_add(1, Ordering::SeqCst);
+                return Err(ChunkError {
+                    chunk: idx,
+                    message: "simulated read failure".to_string(),
+                    transient: self.transient,
+                });
+            }
+            self.inner.load_chunk(idx)
+        }
+
+        fn total_len(&self) -> usize {
+            self.inner.total_len()
+        }
+    }
+
+    #[test]
+    fn transient_chunk_failures_are_retried() {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let data = uniform(1 << 17, 6);
+        let source = FlakyChunks::new(&data, 1 << 15, 2, 2);
+        let res = streaming_select(
+            &mut device,
+            &source,
+            1 << 16,
+            &SampleSelectConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(res.value, reference_select(&data, 1 << 16).unwrap());
+        assert_eq!(res.report.resilience.retries, 2);
+        assert!(res.report.resilience.log[0].contains("chunk 2"));
+        // backoff advanced the simulated clock
+        assert!(device.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn permanent_chunk_failure_is_not_retried() {
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let data = uniform(1 << 16, 7);
+        let mut source = FlakyChunks::new(&data, 1 << 14, 1, usize::MAX);
+        source.transient = false;
+        let err = streaming_select(&mut device, &source, 100, &SampleSelectConfig::default())
+            .unwrap_err();
+        match err {
+            SelectError::ChunkLoad(e) => {
+                assert_eq!(e.chunk, 1);
+                assert!(!e.transient);
+            }
+            other => panic!("expected ChunkLoad, got {other}"),
+        }
+        // exactly one attempt: permanent errors short-circuit
+        assert_eq!(source.failures.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn chunk_retries_are_bounded() {
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let data = uniform(1 << 16, 8);
+        let source = FlakyChunks::new(&data, 1 << 14, 0, usize::MAX);
+        let err = streaming_select(&mut device, &source, 100, &SampleSelectConfig::default())
+            .unwrap_err();
+        assert!(err.is_transient(), "exhausted retries keep the fault class");
+        assert!(matches!(err, SelectError::ChunkLoad(_)));
+        // initial attempt + CHUNK_MAX_RETRIES retries, then give up
+        assert_eq!(
+            source.failures.load(Ordering::SeqCst),
+            1 + CHUNK_MAX_RETRIES as usize
+        );
     }
 }

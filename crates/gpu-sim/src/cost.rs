@@ -250,6 +250,19 @@ impl CostBreakdown {
             .max(self.compute)
     }
 
+    /// Scale every component by `factor` (used by the fault injector's
+    /// latency spikes: the kernel does the same work, only slower).
+    pub fn scale(&self, factor: f64) -> CostBreakdown {
+        CostBreakdown {
+            memory: self.memory * factor,
+            shared_atomic: self.shared_atomic * factor,
+            global_atomic: self.global_atomic * factor,
+            warp_intrinsics: self.warp_intrinsics * factor,
+            smem: self.smem * factor,
+            compute: self.compute * factor,
+        }
+    }
+
     /// Name of the dominating resource (for reports and diagnostics).
     pub fn bottleneck(&self) -> &'static str {
         let total = self.total();
@@ -404,6 +417,22 @@ mod tests {
         let t_c = coalesced.time_on(&arch, arch.num_sms as f64).memory;
         let t_s = scattered.time_on(&arch, arch.num_sms as f64).memory;
         assert!((t_s.as_ns() / t_c.as_ns() - arch.uncoalesced_penalty).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_multiplies_every_component() {
+        let arch = v100();
+        let cost = KernelCost {
+            global_read_bytes: 1_000_000,
+            shared_atomic_warp_ops: 1_000,
+            int_ops: 10_000,
+            ..Default::default()
+        };
+        let bd = cost.time_on(&arch, arch.num_sms as f64);
+        let scaled = bd.scale(3.0);
+        assert!((scaled.memory.as_ns() - 3.0 * bd.memory.as_ns()).abs() < 1e-9);
+        assert!((scaled.total().as_ns() - 3.0 * bd.total().as_ns()).abs() < 1e-9);
+        assert_eq!(scaled.bottleneck(), bd.bottleneck());
     }
 
     #[test]

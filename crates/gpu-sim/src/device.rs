@@ -1,10 +1,25 @@
 //! The simulated device: executes kernels functionally (block-parallel on
 //! host threads) and keeps a timeline of per-kernel simulated timings.
+//!
+//! # Fault injection
+//!
+//! A device optionally carries a [`FaultInjector`] (see
+//! [`Device::set_fault_plan`]). Every launch/commit consults it; injected
+//! launch failures surface through the fallible entry points
+//! ([`Device::try_launch`], [`Device::try_commit`]) as [`LaunchError`]s.
+//! The *infallible* entry points keep their historical signatures: on an
+//! injected failure they charge the launch overhead, record the failed
+//! launch on the timeline, **latch** the error, and return — kernel
+//! helpers deep inside an algorithm need no signature changes, and the
+//! driver polls [`Device::take_fault`] after each algorithmic step to
+//! learn that the step's results are garbage and must be retried.
 
 use crate::arch::GpuArchitecture;
 use crate::cost::{CostBreakdown, KernelCost, SimTime};
 use crate::event::Event;
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, LaunchError};
 use crate::launch::{occupancy, LaunchConfig};
+use crate::memory::{AllocError, DeviceMemory, ScatterBuffer};
 use hpc_par::ThreadPool;
 
 /// Whether a kernel was launched by the host or from the device
@@ -35,6 +50,10 @@ pub struct KernelRecord {
     pub breakdown: CostBreakdown,
     /// How the kernel was launched.
     pub origin: LaunchOrigin,
+    /// Injected fault affecting this launch, if any: `LaunchFailure`
+    /// means the kernel did not run (zero duration), `LatencySpike`
+    /// means it ran slower than modeled.
+    pub fault: Option<FaultKind>,
 }
 
 /// Aggregated statistics for all launches of one kernel name.
@@ -54,6 +73,11 @@ pub struct Device<'p> {
     pool: &'p ThreadPool,
     now: SimTime,
     records: Vec<KernelRecord>,
+    injector: Option<FaultInjector>,
+    latched_fault: Option<LaunchError>,
+    launch_counter: u64,
+    alloc_counter: u64,
+    memory: DeviceMemory,
 }
 
 impl<'p> Device<'p> {
@@ -64,6 +88,11 @@ impl<'p> Device<'p> {
             pool,
             now: SimTime::ZERO,
             records: Vec::new(),
+            injector: None,
+            latched_fault: None,
+            launch_counter: 0,
+            alloc_counter: 0,
+            memory: DeviceMemory::unlimited(),
         }
     }
 
@@ -90,21 +119,155 @@ impl<'p> Device<'p> {
         Event::at(self.now)
     }
 
-    /// Launch a kernel: run `kernel(block_id, &mut cost)` for every block
-    /// of the grid (parallelized over the host pool), convert the merged
-    /// resource usage into simulated time, and advance the clock.
+    /// Install a fault plan: every subsequent launch/commit/allocation
+    /// consults a fresh [`FaultInjector`] seeded from the plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// Remove the fault plan (subsequent launches are fault-free).
+    pub fn clear_fault_plan(&mut self) {
+        self.injector = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.injector.as_ref().map(|inj| inj.plan())
+    }
+
+    /// Replace the device-memory accounting (e.g. to impose a capacity).
+    pub fn set_device_memory(&mut self, memory: DeviceMemory) {
+        self.memory = memory;
+    }
+
+    /// Device-memory accounting state.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.memory
+    }
+
+    /// Take the latched fault, if one was injected since the last poll.
+    /// Drivers call this after each algorithmic step; `Some` means the
+    /// step's outputs are garbage and the step must be retried (or the
+    /// algorithm abandoned to a fallback).
+    pub fn take_fault(&mut self) -> Option<LaunchError> {
+        self.latched_fault.take()
+    }
+
+    /// Whether a fault is latched without consuming it.
+    pub fn has_fault(&self) -> bool {
+        self.latched_fault.is_some()
+    }
+
+    /// Advance the simulated clock by `dt` without running anything —
+    /// models host-side waits such as retry backoff, so resilience
+    /// overhead shows up in the measured timeline.
+    pub fn advance_time(&mut self, dt: SimTime) {
+        self.now += dt;
+    }
+
+    /// Decide the fate of the next launch and hand out its index.
+    fn next_launch_decision(&mut self) -> (u64, Option<FaultKind>, f64) {
+        let index = self.launch_counter;
+        self.launch_counter += 1;
+        match &mut self.injector {
+            Some(inj) => {
+                let fault = inj.on_launch(index);
+                (index, fault, inj.spike_factor())
+            }
+            None => (index, None, 1.0),
+        }
+    }
+
+    /// Push one record (normal, spiked, or failed) and advance the clock.
+    fn commit_record(
+        &mut self,
+        name: String,
+        config: LaunchConfig,
+        origin: LaunchOrigin,
+        cost: KernelCost,
+        fault: Option<FaultKind>,
+        spike_factor: f64,
+    ) -> SimTime {
+        let breakdown = match fault {
+            // The launch never ran: no execution time, no resource usage.
+            Some(FaultKind::LaunchFailure) => CostBreakdown::default(),
+            Some(FaultKind::LatencySpike) => {
+                let occ = occupancy(&self.arch, &config);
+                cost.time_on(&self.arch, occ.effective_sms)
+                    .scale(spike_factor)
+            }
+            _ => {
+                let occ = occupancy(&self.arch, &config);
+                cost.time_on(&self.arch, occ.effective_sms)
+            }
+        };
+        let duration = breakdown.total();
+        let launch_overhead = match origin {
+            LaunchOrigin::Host => SimTime::from_us(self.arch.host_launch_us),
+            LaunchOrigin::Device => SimTime::from_us(self.arch.device_launch_us),
+        };
+        self.now += launch_overhead;
+        let start = self.now;
+        self.now += duration;
+        let cost = if fault == Some(FaultKind::LaunchFailure) {
+            KernelCost::new()
+        } else {
+            cost
+        };
+        self.records.push(KernelRecord {
+            name,
+            config,
+            start,
+            duration,
+            launch_overhead,
+            cost,
+            breakdown,
+            origin,
+            fault,
+        });
+        duration + launch_overhead
+    }
+
+    /// Fallible kernel launch: run `kernel(block_id, &mut cost)` for
+    /// every block of the grid (parallelized over the host pool), convert
+    /// the merged resource usage into simulated time, and advance the
+    /// clock.
+    ///
+    /// With a fault plan installed, an injected launch failure skips the
+    /// kernel entirely (its closure never runs), charges the launch
+    /// overhead, records the failed launch on the timeline, and returns
+    /// the error. A latency spike runs the kernel normally but inflates
+    /// its recorded duration.
     ///
     /// Returns the duration including launch overhead.
-    pub fn launch<F>(
+    pub fn try_launch<F>(
         &mut self,
         name: impl Into<String>,
         config: LaunchConfig,
         origin: LaunchOrigin,
         kernel: F,
-    ) -> SimTime
+    ) -> Result<SimTime, LaunchError>
     where
         F: Fn(u32, &mut KernelCost) + Sync,
     {
+        let name = name.into();
+        let (index, fault, spike_factor) = self.next_launch_decision();
+        if fault == Some(FaultKind::LaunchFailure) {
+            self.commit_record(
+                name.clone(),
+                config,
+                origin,
+                KernelCost::new(),
+                fault,
+                spike_factor,
+            );
+            return Err(LaunchError {
+                kind: FaultKind::LaunchFailure,
+                kernel: name,
+                launch_index: index,
+                at: self.now,
+            });
+        }
         let blocks = config.blocks as usize;
         let cost = hpc_par::parallel_map_reduce(
             self.pool,
@@ -122,12 +285,70 @@ impl<'p> Device<'p> {
                 a
             },
         );
-        self.commit(name, config, origin, cost)
+        Ok(self.commit_record(name, config, origin, cost, fault, spike_factor))
     }
 
-    /// Record a kernel whose resource usage was computed by the caller
-    /// (used when a kernel's functional work and cost accounting are
-    /// produced by one fused pass).
+    /// Launch a kernel through the infallible path: like
+    /// [`Device::try_launch`], but an injected failure is latched for
+    /// [`Device::take_fault`] instead of returned, and only the launch
+    /// overhead is charged.
+    pub fn launch<F>(
+        &mut self,
+        name: impl Into<String>,
+        config: LaunchConfig,
+        origin: LaunchOrigin,
+        kernel: F,
+    ) -> SimTime
+    where
+        F: Fn(u32, &mut KernelCost) + Sync,
+    {
+        match self.try_launch(name, config, origin, kernel) {
+            Ok(t) => t,
+            Err(err) => {
+                self.latch(err);
+                match origin {
+                    LaunchOrigin::Host => SimTime::from_us(self.arch.host_launch_us),
+                    LaunchOrigin::Device => SimTime::from_us(self.arch.device_launch_us),
+                }
+            }
+        }
+    }
+
+    /// Fallible commit of a kernel whose resource usage was computed by
+    /// the caller (used when a kernel's functional work and cost
+    /// accounting are produced by one fused pass). An injected failure
+    /// means the launch is considered not to have happened: the caller's
+    /// outputs must be discarded.
+    pub fn try_commit(
+        &mut self,
+        name: impl Into<String>,
+        config: LaunchConfig,
+        origin: LaunchOrigin,
+        cost: KernelCost,
+    ) -> Result<SimTime, LaunchError> {
+        let name = name.into();
+        let (index, fault, spike_factor) = self.next_launch_decision();
+        if fault == Some(FaultKind::LaunchFailure) {
+            self.commit_record(
+                name.clone(),
+                config,
+                origin,
+                KernelCost::new(),
+                fault,
+                spike_factor,
+            );
+            return Err(LaunchError {
+                kind: FaultKind::LaunchFailure,
+                kernel: name,
+                launch_index: index,
+                at: self.now,
+            });
+        }
+        Ok(self.commit_record(name, config, origin, cost, fault, spike_factor))
+    }
+
+    /// Infallible commit: latches injected failures like
+    /// [`Device::launch`].
     pub fn commit(
         &mut self,
         name: impl Into<String>,
@@ -135,27 +356,62 @@ impl<'p> Device<'p> {
         origin: LaunchOrigin,
         cost: KernelCost,
     ) -> SimTime {
-        let occ = occupancy(&self.arch, &config);
-        let breakdown = cost.time_on(&self.arch, occ.effective_sms);
-        let duration = breakdown.total();
-        let launch_overhead = match origin {
-            LaunchOrigin::Host => SimTime::from_us(self.arch.host_launch_us),
-            LaunchOrigin::Device => SimTime::from_us(self.arch.device_launch_us),
-        };
-        self.now += launch_overhead;
-        let start = self.now;
-        self.now += duration;
-        self.records.push(KernelRecord {
-            name: name.into(),
-            config,
-            start,
-            duration,
-            launch_overhead,
-            cost,
-            breakdown,
-            origin,
-        });
-        duration + launch_overhead
+        match self.try_commit(name, config, origin, cost) {
+            Ok(t) => t,
+            Err(err) => {
+                self.latch(err);
+                match origin {
+                    LaunchOrigin::Host => SimTime::from_us(self.arch.host_launch_us),
+                    LaunchOrigin::Device => SimTime::from_us(self.arch.device_launch_us),
+                }
+            }
+        }
+    }
+
+    /// Allocate a tracked scatter buffer of `len` elements, consulting
+    /// the fault injector and the device-memory capacity. Failures are
+    /// also latched (kernel helpers using the infallible launch pattern
+    /// can return early and let the driver poll [`Device::take_fault`]).
+    pub fn try_alloc_scatter<T>(&mut self, len: usize) -> Result<ScatterBuffer<T>, AllocError> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        let index = self.alloc_counter;
+        self.alloc_counter += 1;
+        if let Some(inj) = &mut self.injector {
+            if inj.on_alloc(index) {
+                self.latch(LaunchError {
+                    kind: FaultKind::MemoryExhaustion,
+                    kernel: "alloc".to_string(),
+                    launch_index: index,
+                    at: self.now,
+                });
+                return Err(AllocError::Injected {
+                    alloc_index: index,
+                    bytes,
+                });
+            }
+        }
+        if let Err(err) = self.memory.try_reserve(bytes) {
+            self.latch(LaunchError {
+                kind: FaultKind::MemoryExhaustion,
+                kernel: "alloc".to_string(),
+                launch_index: index,
+                at: self.now,
+            });
+            return Err(err);
+        }
+        Ok(ScatterBuffer::new(len))
+    }
+
+    /// Return `bytes` of tracked device memory to the pool (paired with
+    /// [`Device::try_alloc_scatter`] once the buffer is consumed).
+    pub fn release_alloc(&mut self, bytes: u64) {
+        self.memory.release(bytes);
+    }
+
+    /// Latch `err` for [`Device::take_fault`], keeping the earliest
+    /// unconsumed fault (it is the root cause of a failed step).
+    fn latch(&mut self, err: LaunchError) {
+        self.latched_fault.get_or_insert(err);
     }
 
     /// Simulated time elapsed since `event` (the analogue of
@@ -170,9 +426,20 @@ impl<'p> Device<'p> {
     }
 
     /// Clear the timeline and reset the clock (between measurements).
+    ///
+    /// The fault injector is re-seeded from its plan and all fault/alloc
+    /// counters restart, so repeated measurement reps see the exact same
+    /// fault schedule — same seed, same report.
     pub fn reset(&mut self) {
         self.now = SimTime::ZERO;
         self.records.clear();
+        self.latched_fault = None;
+        self.launch_counter = 0;
+        self.alloc_counter = 0;
+        self.memory.reset();
+        if let Some(inj) = &self.injector {
+            self.injector = Some(FaultInjector::new(inj.plan().clone()));
+        }
     }
 
     /// Aggregate the timeline per kernel name, preserving first-seen
@@ -331,5 +598,155 @@ mod tests {
         dev.reset();
         assert!(dev.records().is_empty());
         assert_eq!(dev.now(), SimTime::ZERO);
+    }
+
+    fn small_cfg() -> LaunchConfig {
+        LaunchConfig {
+            blocks: 10,
+            threads_per_block: 64,
+            shared_mem_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn injected_launch_failure_skips_kernel_and_latches() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        dev.set_fault_plan(FaultPlan::new(1).fail_launches_at(&[0]));
+        let ran = AtomicU32::new(0);
+        dev.launch("doomed", small_cfg(), LaunchOrigin::Host, |_, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "closure must not run");
+        let rec = &dev.records()[0];
+        assert_eq!(rec.fault, Some(FaultKind::LaunchFailure));
+        assert_eq!(rec.duration, SimTime::ZERO);
+        assert!(
+            rec.launch_overhead > SimTime::ZERO,
+            "overhead still charged"
+        );
+        let fault = dev.take_fault().expect("fault latched");
+        assert_eq!(fault.kind, FaultKind::LaunchFailure);
+        assert_eq!(fault.kernel, "doomed");
+        assert_eq!(fault.launch_index, 0);
+        assert!(dev.take_fault().is_none(), "fault consumed");
+        // subsequent launches succeed and run
+        dev.launch("fine", small_cfg(), LaunchOrigin::Host, |_, c| {
+            c.global_read_bytes += 100;
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 10);
+        assert!(dev.take_fault().is_none());
+    }
+
+    #[test]
+    fn try_launch_returns_error_without_latching_consumable_twice() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        dev.set_fault_plan(FaultPlan::new(1).fail_launches_at(&[0]));
+        let err = dev
+            .try_launch("k", small_cfg(), LaunchOrigin::Device, |_, _| {})
+            .unwrap_err();
+        assert_eq!(err.kind, FaultKind::LaunchFailure);
+        assert!(dev.take_fault().is_none(), "try path does not latch");
+        assert!(dev
+            .try_launch("k", small_cfg(), LaunchOrigin::Device, |_, _| {})
+            .is_ok());
+    }
+
+    #[test]
+    fn latency_spike_inflates_duration_but_runs_kernel() {
+        let pool = ThreadPool::new(2);
+        let work = |_: u32, c: &mut KernelCost| {
+            c.global_read_bytes += 100_000;
+        };
+        // baseline without faults
+        let mut clean = device(&pool);
+        clean.launch("k", small_cfg(), LaunchOrigin::Host, work);
+        let base = clean.records()[0].duration;
+
+        let mut dev = device(&pool);
+        dev.set_fault_plan(FaultPlan::new(1).latency_spikes(1.0, 4.0));
+        let ran = AtomicU32::new(0);
+        dev.launch("k", small_cfg(), LaunchOrigin::Host, |b, c| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            work(b, c);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 10, "spiked kernel still runs");
+        let rec = &dev.records()[0];
+        assert_eq!(rec.fault, Some(FaultKind::LatencySpike));
+        assert!((rec.duration.as_ns() - 4.0 * base.as_ns()).abs() < 1e-6);
+        assert!(dev.take_fault().is_none(), "spikes are not errors");
+    }
+
+    #[test]
+    fn commit_failure_discards_cost() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        dev.set_fault_plan(FaultPlan::new(1).fail_launches_at(&[0]));
+        let cost = KernelCost {
+            global_read_bytes: 12345,
+            ..Default::default()
+        };
+        let err = dev
+            .try_commit("c", small_cfg(), LaunchOrigin::Host, cost)
+            .unwrap_err();
+        assert_eq!(err.kind, FaultKind::LaunchFailure);
+        assert_eq!(dev.records()[0].cost.global_read_bytes, 0);
+    }
+
+    #[test]
+    fn alloc_faults_and_capacity() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        dev.set_fault_plan(FaultPlan::new(1).fail_allocs_at(&[0]));
+        let err = dev.try_alloc_scatter::<u64>(100).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(
+            dev.take_fault().map(|f| f.kind),
+            Some(FaultKind::MemoryExhaustion)
+        );
+        // retry succeeds and is tracked
+        let buf = dev.try_alloc_scatter::<u64>(100).unwrap();
+        assert_eq!(buf.len(), 100);
+        assert_eq!(dev.memory().in_use(), 800);
+        dev.release_alloc(800);
+        assert_eq!(dev.memory().in_use(), 0);
+
+        // a hard capacity produces a permanent OOM
+        dev.clear_fault_plan();
+        dev.set_device_memory(DeviceMemory::with_capacity(64));
+        let err = dev.try_alloc_scatter::<u64>(100).unwrap_err();
+        assert!(!err.is_transient());
+        assert!(dev.take_fault().is_some());
+    }
+
+    #[test]
+    fn reset_reseeds_injector_for_identical_schedules() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        dev.set_fault_plan(FaultPlan::new(99).launch_failures(0.3));
+        let schedule = |dev: &mut Device| {
+            for _ in 0..32 {
+                dev.launch("k", small_cfg(), LaunchOrigin::Host, |_, _| {});
+            }
+            let pattern: Vec<bool> = dev.records().iter().map(|r| r.fault.is_some()).collect();
+            pattern
+        };
+        let first = schedule(&mut dev);
+        assert!(first.iter().any(|&f| f), "some launches must fail");
+        assert!(!first.iter().all(|&f| f), "not all launches fail");
+        dev.reset();
+        let second = schedule(&mut dev);
+        assert_eq!(first, second, "same seed, same schedule");
+    }
+
+    #[test]
+    fn advance_time_moves_clock_only() {
+        let pool = ThreadPool::new(1);
+        let mut dev = device(&pool);
+        dev.advance_time(SimTime::from_us(5.0));
+        assert!((dev.now().as_us() - 5.0).abs() < 1e-12);
+        assert!(dev.records().is_empty());
     }
 }

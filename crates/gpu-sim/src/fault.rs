@@ -1,0 +1,374 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! Real GPU deployments see transient failures the paper's algorithms
+//! never had to face in the lab: kernel launches that error out
+//! (`cudaErrorLaunchFailure`, ECC events), allocations that fail under
+//! memory pressure, and latency spikes from clock throttling or PCIe
+//! contention. [`FaultPlan`] describes *which* of these to inject and
+//! [`FaultInjector`] rolls the dice — with a seeded SplitMix64 stream,
+//! so a given plan produces the exact same fault schedule on every run.
+//! That determinism is what makes the resilience layer testable: a test
+//! can assert "launch #3 fails, the driver retries once, the result is
+//! still exact" and have it hold forever.
+//!
+//! The injector is consulted by [`crate::device::Device`] on every
+//! launch/commit and every tracked allocation; injected faults are
+//! recorded on the timeline ([`crate::device::KernelRecord::fault`]) so
+//! they show up in Chrome traces on a dedicated `"fault"` category.
+
+use crate::cost::SimTime;
+use std::fmt;
+
+/// The kinds of fault the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The kernel launch failed; the kernel did not run (or its results
+    /// must be considered garbage). Transient: a retry may succeed.
+    LaunchFailure,
+    /// A device-memory allocation failed. Transient under the injector;
+    /// permanent when the requested size exceeds the device capacity.
+    MemoryExhaustion,
+    /// The kernel ran correctly but took much longer than modeled
+    /// (thermal throttling, contention). Never fatal.
+    LatencySpike,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::LaunchFailure => write!(f, "launch-failure"),
+            FaultKind::MemoryExhaustion => write!(f, "memory-exhaustion"),
+            FaultKind::LatencySpike => write!(f, "latency-spike"),
+        }
+    }
+}
+
+/// A failed (or faulted) kernel launch, as surfaced by the device's
+/// fallible launch path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchError {
+    /// What kind of fault was injected.
+    pub kind: FaultKind,
+    /// Name of the kernel whose launch failed.
+    pub kernel: String,
+    /// Device-wide launch index (0-based since the last reset) at which
+    /// the fault fired — lets logs pinpoint the exact schedule slot.
+    pub launch_index: u64,
+    /// Simulated time at which the fault was raised.
+    pub at: SimTime,
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {} in kernel `{}` (launch #{}, t={})",
+            self.kind, self.kernel, self.launch_index, self.at
+        )
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Declarative description of the faults to inject into one device.
+///
+/// Rates are per-event probabilities in `[0, 1]`; explicit index lists
+/// fire deterministically regardless of the rates. `seed` drives the
+/// probabilistic draws, so the full fault schedule is a pure function of
+/// the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injector's RNG stream.
+    pub seed: u64,
+    /// Probability that any given kernel launch fails.
+    pub launch_failure_rate: f64,
+    /// Cap on probabilistic launch failures (explicit indices are
+    /// exempt); `u64::MAX` means unlimited.
+    pub max_launch_failures: u64,
+    /// Launch indices (0-based since last reset) that always fail.
+    pub fail_launch_indices: Vec<u64>,
+    /// Probability that any given tracked allocation fails.
+    pub alloc_failure_rate: f64,
+    /// Cap on probabilistic allocation failures; `u64::MAX` = unlimited.
+    pub max_alloc_failures: u64,
+    /// Allocation indices (0-based since last reset) that always fail.
+    pub fail_alloc_indices: Vec<u64>,
+    /// Probability that a (successful) launch suffers a latency spike.
+    pub latency_spike_rate: f64,
+    /// Duration multiplier applied to spiked launches (> 1).
+    pub latency_spike_factor: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a builder starting point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            launch_failure_rate: 0.0,
+            max_launch_failures: u64::MAX,
+            fail_launch_indices: Vec::new(),
+            alloc_failure_rate: 0.0,
+            max_alloc_failures: u64::MAX,
+            fail_alloc_indices: Vec::new(),
+            latency_spike_rate: 0.0,
+            latency_spike_factor: 4.0,
+        }
+    }
+
+    /// Fail each launch with probability `rate`.
+    pub fn launch_failures(mut self, rate: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&rate));
+        self.launch_failure_rate = rate;
+        self
+    }
+
+    /// Cap the number of probabilistic launch failures.
+    pub fn max_launch_failures(mut self, max: u64) -> Self {
+        self.max_launch_failures = max;
+        self
+    }
+
+    /// Always fail the launches at these device-wide indices.
+    pub fn fail_launches_at(mut self, indices: &[u64]) -> Self {
+        self.fail_launch_indices = indices.to_vec();
+        self
+    }
+
+    /// Fail each tracked allocation with probability `rate`.
+    pub fn alloc_failures(mut self, rate: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&rate));
+        self.alloc_failure_rate = rate;
+        self
+    }
+
+    /// Cap the number of probabilistic allocation failures.
+    pub fn max_alloc_failures(mut self, max: u64) -> Self {
+        self.max_alloc_failures = max;
+        self
+    }
+
+    /// Always fail the allocations at these indices.
+    pub fn fail_allocs_at(mut self, indices: &[u64]) -> Self {
+        self.fail_alloc_indices = indices.to_vec();
+        self
+    }
+
+    /// Inflate the duration of each launch by `factor` with probability
+    /// `rate`.
+    pub fn latency_spikes(mut self, rate: f64, factor: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&rate));
+        debug_assert!(factor >= 1.0);
+        self.latency_spike_rate = rate;
+        self.latency_spike_factor = factor;
+        self
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.launch_failure_rate == 0.0
+            && self.fail_launch_indices.is_empty()
+            && self.alloc_failure_rate == 0.0
+            && self.fail_alloc_indices.is_empty()
+            && self.latency_spike_rate == 0.0
+    }
+}
+
+/// Stateful executor of a [`FaultPlan`]: a seeded RNG stream plus the
+/// counters that enforce the failure caps.
+///
+/// The fault schedule is a deterministic function of the plan: draws are
+/// consumed in a fixed order (one failure draw per launch if the failure
+/// rate is nonzero, then one spike draw if the spike rate is nonzero,
+/// one draw per tracked allocation), so identical call sequences see
+/// identical faults.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: u64,
+    launch_failures: u64,
+    alloc_failures: u64,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> Self {
+        let state = plan.seed;
+        Self {
+            plan,
+            state,
+            launch_failures: 0,
+            alloc_failures: 0,
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Number of launch failures injected so far.
+    pub fn launch_failures_injected(&self) -> u64 {
+        self.launch_failures
+    }
+
+    /// Number of allocation failures injected so far.
+    pub fn alloc_failures_injected(&self) -> u64 {
+        self.alloc_failures
+    }
+
+    /// SplitMix64 step.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Decide the fate of launch number `index`. Returns the fault to
+    /// apply, if any; `LatencySpike` means "run it, but slower".
+    pub fn on_launch(&mut self, index: u64) -> Option<FaultKind> {
+        if self.plan.fail_launch_indices.contains(&index) {
+            self.launch_failures += 1;
+            return Some(FaultKind::LaunchFailure);
+        }
+        if self.plan.launch_failure_rate > 0.0 {
+            let draw = self.unit_f64();
+            if draw < self.plan.launch_failure_rate
+                && self.launch_failures < self.plan.max_launch_failures
+            {
+                self.launch_failures += 1;
+                return Some(FaultKind::LaunchFailure);
+            }
+        }
+        if self.plan.latency_spike_rate > 0.0 {
+            let draw = self.unit_f64();
+            if draw < self.plan.latency_spike_rate {
+                return Some(FaultKind::LatencySpike);
+            }
+        }
+        None
+    }
+
+    /// Decide the fate of tracked allocation number `index`.
+    pub fn on_alloc(&mut self, index: u64) -> bool {
+        if self.plan.fail_alloc_indices.contains(&index) {
+            self.alloc_failures += 1;
+            return true;
+        }
+        if self.plan.alloc_failure_rate > 0.0 {
+            let draw = self.unit_f64();
+            if draw < self.plan.alloc_failure_rate
+                && self.alloc_failures < self.plan.max_alloc_failures
+            {
+                self.alloc_failures += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Duration multiplier for spiked launches.
+    pub fn spike_factor(&self) -> f64 {
+        self.plan.latency_spike_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_plan_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::new(42));
+        assert!(inj.plan().is_noop());
+        for i in 0..1000 {
+            assert_eq!(inj.on_launch(i), None);
+            assert!(!inj.on_alloc(i));
+        }
+    }
+
+    #[test]
+    fn explicit_indices_always_fire() {
+        let plan = FaultPlan::new(0)
+            .fail_launches_at(&[2, 5])
+            .fail_allocs_at(&[1]);
+        let mut inj = FaultInjector::new(plan);
+        let faults: Vec<_> = (0..8).map(|i| inj.on_launch(i)).collect();
+        assert_eq!(faults[2], Some(FaultKind::LaunchFailure));
+        assert_eq!(faults[5], Some(FaultKind::LaunchFailure));
+        assert!(faults.iter().filter(|f| f.is_some()).count() == 2);
+        assert!(!inj.on_alloc(0));
+        assert!(inj.on_alloc(1));
+        assert_eq!(inj.launch_failures_injected(), 2);
+        assert_eq!(inj.alloc_failures_injected(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::new(7)
+            .launch_failures(0.2)
+            .latency_spikes(0.3, 5.0)
+            .alloc_failures(0.1);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for i in 0..500 {
+            assert_eq!(a.on_launch(i), b.on_launch(i));
+            assert_eq!(a.on_alloc(i), b.on_alloc(i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            let mut inj = FaultInjector::new(FaultPlan::new(seed).launch_failures(0.5));
+            (0..64).map(|i| inj.on_launch(i)).collect::<Vec<_>>()
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn failure_rate_roughly_respected() {
+        let mut inj = FaultInjector::new(FaultPlan::new(11).launch_failures(0.25));
+        let n = 10_000;
+        let failures = (0..n)
+            .filter(|&i| inj.on_launch(i) == Some(FaultKind::LaunchFailure))
+            .count();
+        let rate = failures as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn max_failures_caps_probabilistic_faults() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::new(3)
+                .launch_failures(1.0)
+                .max_launch_failures(2),
+        );
+        let failures = (0..100)
+            .filter(|&i| inj.on_launch(i) == Some(FaultKind::LaunchFailure))
+            .count();
+        assert_eq!(failures, 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FaultKind::LaunchFailure.to_string(), "launch-failure");
+        assert_eq!(FaultKind::MemoryExhaustion.to_string(), "memory-exhaustion");
+        assert_eq!(FaultKind::LatencySpike.to_string(), "latency-spike");
+        let err = LaunchError {
+            kind: FaultKind::LaunchFailure,
+            kernel: "count".to_string(),
+            launch_index: 3,
+            at: SimTime::from_us(1.0),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("launch-failure"));
+        assert!(msg.contains("count"));
+        assert!(msg.contains("#3"));
+    }
+}

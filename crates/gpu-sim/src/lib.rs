@@ -24,6 +24,9 @@
 //! * [`device`] — the simulated GPU: block-parallel functional execution
 //!   on a host thread pool, a simulated clock, and a kernel timeline.
 //! * [`event`] — `cudaEventRecord`-style measurement points.
+//! * [`fault`] — deterministic, seed-driven fault injection (failed
+//!   launches, memory exhaustion, latency spikes) for exercising the
+//!   resilience layer built on top of the simulator.
 //!
 //! ## Fidelity
 //!
@@ -41,6 +44,7 @@ pub mod block;
 pub mod cost;
 pub mod device;
 pub mod event;
+pub mod fault;
 pub mod launch;
 pub mod memory;
 pub mod trace;
@@ -51,6 +55,7 @@ pub use block::BlockExec;
 pub use cost::{CostBreakdown, KernelCost, SimTime};
 pub use device::{Device, KernelRecord, KernelSummary, LaunchOrigin};
 pub use event::Event;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, LaunchError};
 pub use launch::{occupancy, LaunchConfig, Occupancy, TailLaunchQueue};
-pub use memory::{ScatterBuffer, SharedArray};
+pub use memory::{AllocError, DeviceMemory, ScatterBuffer, SharedArray};
 pub use trace::{chrome_trace, trace_events};

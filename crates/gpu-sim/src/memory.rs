@@ -7,7 +7,135 @@
 //! without locks.
 
 use std::cell::UnsafeCell;
+use std::fmt;
 use std::mem::MaybeUninit;
+
+/// Why a tracked device allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The fault injector failed this allocation (transient: a retry may
+    /// succeed).
+    Injected {
+        /// Allocation index (0-based since the last reset) that failed.
+        alloc_index: u64,
+        /// Requested size in bytes.
+        bytes: u64,
+    },
+    /// The request exceeds what the device can ever hold (permanent).
+    OutOfMemory {
+        /// Requested size in bytes.
+        requested: u64,
+        /// Bytes already resident.
+        in_use: u64,
+        /// Configured device capacity in bytes.
+        capacity: u64,
+    },
+}
+
+impl AllocError {
+    /// Whether retrying the same allocation can possibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, AllocError::Injected { .. })
+    }
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Injected { alloc_index, bytes } => write!(
+                f,
+                "injected allocation failure (alloc #{alloc_index}, {bytes} bytes)"
+            ),
+            AllocError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} bytes with {in_use}/{capacity} in use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Device-memory accounting: tracks resident bytes against an optional
+/// capacity so the simulation can exhibit — and the resilience layer can
+/// recover from — out-of-memory conditions.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceMemory {
+    capacity: Option<u64>,
+    in_use: u64,
+    peak: u64,
+    allocs: u64,
+}
+
+impl DeviceMemory {
+    /// Unlimited memory (the default: timing-only simulations should not
+    /// hit artificial OOMs).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Memory capped at `capacity` bytes.
+    pub fn with_capacity(capacity: u64) -> Self {
+        Self {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// Configured capacity, if any.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// High-water mark of resident bytes since the last reset.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Number of successful reservations since the last reset.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Reserve `bytes`, failing when it would exceed the capacity.
+    pub fn try_reserve(&mut self, bytes: u64) -> Result<(), AllocError> {
+        if let Some(capacity) = self.capacity {
+            if self.in_use.saturating_add(bytes) > capacity {
+                return Err(AllocError::OutOfMemory {
+                    requested: bytes,
+                    in_use: self.in_use,
+                    capacity,
+                });
+            }
+        }
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        self.allocs += 1;
+        Ok(())
+    }
+
+    /// Return `bytes` to the pool (saturating: double-frees in the
+    /// simulation clamp to zero instead of corrupting the accounting).
+    pub fn release(&mut self, bytes: u64) {
+        self.in_use = self.in_use.saturating_sub(bytes);
+    }
+
+    /// Clear usage counters, keeping the capacity.
+    pub fn reset(&mut self) {
+        self.in_use = 0;
+        self.peak = 0;
+        self.allocs = 0;
+    }
+}
 
 /// A write-once scatter buffer shared across the host threads that
 /// simulate thread blocks.
@@ -24,6 +152,14 @@ use std::mem::MaybeUninit;
 /// permutation property.
 pub struct ScatterBuffer<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> fmt::Debug for ScatterBuffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScatterBuffer")
+            .field("len", &self.slots.len())
+            .finish()
+    }
 }
 
 // SAFETY: access discipline (disjoint write-once indices) is delegated to
@@ -206,5 +342,47 @@ mod tests {
         let arr = SharedArray::from_slice(&[1.0f32, 2.0, 3.0]);
         assert_eq!(arr.as_slice(), &[1.0, 2.0, 3.0]);
         assert_eq!(arr.bytes_accessed(), 12);
+    }
+
+    #[test]
+    fn unlimited_memory_never_fails() {
+        let mut mem = DeviceMemory::unlimited();
+        assert!(mem.try_reserve(u64::MAX / 2).is_ok());
+        assert!(mem.try_reserve(1 << 40).is_ok());
+        assert_eq!(mem.allocs(), 2);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_released() {
+        let mut mem = DeviceMemory::with_capacity(1000);
+        assert!(mem.try_reserve(600).is_ok());
+        let err = mem.try_reserve(600).unwrap_err();
+        assert_eq!(
+            err,
+            AllocError::OutOfMemory {
+                requested: 600,
+                in_use: 600,
+                capacity: 1000
+            }
+        );
+        assert!(!err.is_transient());
+        mem.release(600);
+        assert!(mem.try_reserve(600).is_ok());
+        assert_eq!(mem.peak(), 600);
+        assert_eq!(mem.in_use(), 600);
+    }
+
+    #[test]
+    fn release_saturates_and_reset_clears() {
+        let mut mem = DeviceMemory::with_capacity(100);
+        mem.try_reserve(50).unwrap();
+        mem.release(500);
+        assert_eq!(mem.in_use(), 0);
+        mem.try_reserve(80).unwrap();
+        mem.reset();
+        assert_eq!(mem.in_use(), 0);
+        assert_eq!(mem.peak(), 0);
+        assert_eq!(mem.allocs(), 0);
+        assert_eq!(mem.capacity(), Some(100));
     }
 }

@@ -10,16 +10,19 @@
 //! track; launch overheads appear as separate events on an "overhead"
 //! track, making the dynamic-parallelism latency savings (§IV-E)
 //! directly visible.
+//!
+//! Serialization is a direct JSON writer (the trace subset only needs
+//! objects, arrays, strings, and numbers), so the crate carries no
+//! serialization dependency.
 
 use crate::device::{Device, LaunchOrigin};
-use serde::Serialize;
 
 /// One Chrome trace event (the subset of fields the viewers need).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct TraceEvent {
     /// Event name (kernel name, or `"launch"` for overheads).
     pub name: String,
-    /// Category: `"kernel"` or `"launch-overhead"`.
+    /// Category: `"kernel"`, `"launch-overhead"`, or `"fault"`.
     pub cat: String,
     /// Phase: `"X"` = complete event with duration.
     pub ph: String,
@@ -36,7 +39,7 @@ pub struct TraceEvent {
 }
 
 /// Detail payload for one kernel event.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct TraceArgs {
     pub blocks: u32,
     pub threads_per_block: u32,
@@ -44,6 +47,8 @@ pub struct TraceArgs {
     pub global_bytes: u64,
     pub shared_atomic_warp_ops: u64,
     pub global_atomic_ops: u64,
+    /// Injected-fault description, when the kernel launch failed.
+    pub fault: Option<String>,
 }
 
 /// Build the trace events for everything on the device timeline.
@@ -54,6 +59,7 @@ pub fn trace_events(device: &Device) -> Vec<TraceEvent> {
             LaunchOrigin::Host => 0,
             LaunchOrigin::Device => 1,
         };
+        let fault = rec.fault.as_ref().map(|f| f.to_string());
         // launch overhead precedes the kernel
         events.push(TraceEvent {
             name: format!("launch {}", rec.name),
@@ -70,11 +76,16 @@ pub fn trace_events(device: &Device) -> Vec<TraceEvent> {
                 global_bytes: 0,
                 shared_atomic_warp_ops: 0,
                 global_atomic_ops: 0,
+                fault: None,
             },
         });
         events.push(TraceEvent {
             name: rec.name.clone(),
-            cat: "kernel".to_string(),
+            cat: if rec.fault.is_some() {
+                "fault".to_string()
+            } else {
+                "kernel".to_string()
+            },
             ph: "X".to_string(),
             ts: rec.start.as_us(),
             dur: rec.duration.as_us(),
@@ -87,6 +98,7 @@ pub fn trace_events(device: &Device) -> Vec<TraceEvent> {
                 global_bytes: rec.cost.total_global_bytes(),
                 shared_atomic_warp_ops: rec.cost.shared_atomic_warp_ops,
                 global_atomic_ops: rec.cost.global_atomic_ops,
+                fault,
             },
         });
     }
@@ -95,296 +107,94 @@ pub fn trace_events(device: &Device) -> Vec<TraceEvent> {
 
 /// Serialize the device timeline as a Chrome trace JSON string.
 pub fn chrome_trace(device: &Device) -> String {
-    serde_json::to_string_nothing_pretty(&trace_events(device))
+    let events = trace_events(device);
+    let mut out = String::with_capacity(events.len() * 256 + 2);
+    out.push('[');
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_event(&mut out, ev);
+    }
+    out.push(']');
+    out
 }
 
-// A hand-rolled stand-in for `serde_json` (which is not among the
-// approved dependencies): serialize via serde into the tiny JSON subset
-// the trace format needs. Kept private to this module.
-mod serde_json {
-    use serde::ser::{self, Serialize};
-
-    /// Serialize any `Serialize` value composed of structs, sequences,
-    /// strings, and numbers into compact JSON.
-    pub fn to_string_nothing_pretty<T: Serialize>(value: &T) -> String {
-        let mut out = String::new();
-        value
-            .serialize(&mut Writer { out: &mut out })
-            .expect("trace serialization cannot fail");
-        out
+fn write_event(out: &mut String, ev: &TraceEvent) {
+    out.push('{');
+    write_str_field(out, "name", &ev.name, true);
+    write_str_field(out, "cat", &ev.cat, false);
+    write_str_field(out, "ph", &ev.ph, false);
+    write_num_field(out, "ts", ev.ts, false);
+    write_num_field(out, "dur", ev.dur, false);
+    write_uint_field(out, "pid", ev.pid as u64, false);
+    write_uint_field(out, "tid", ev.tid as u64, false);
+    out.push_str(",\"args\":{");
+    write_uint_field(out, "blocks", ev.args.blocks as u64, true);
+    write_uint_field(
+        out,
+        "threads_per_block",
+        ev.args.threads_per_block as u64,
+        false,
+    );
+    write_str_field(out, "bottleneck", &ev.args.bottleneck, false);
+    write_uint_field(out, "global_bytes", ev.args.global_bytes, false);
+    write_uint_field(
+        out,
+        "shared_atomic_warp_ops",
+        ev.args.shared_atomic_warp_ops,
+        false,
+    );
+    write_uint_field(out, "global_atomic_ops", ev.args.global_atomic_ops, false);
+    if let Some(fault) = &ev.args.fault {
+        write_str_field(out, "fault", fault, false);
     }
+    out.push_str("}}");
+}
 
-    pub struct Writer<'a> {
-        out: &'a mut String,
+fn write_str_field(out: &mut String, key: &str, value: &str, first: bool) {
+    if !first {
+        out.push(',');
     }
+    escape(key, out);
+    out.push(':');
+    escape(value, out);
+}
 
-    #[derive(Debug)]
-    pub struct Error(String);
-
-    impl std::fmt::Display for Error {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            write!(f, "{}", self.0)
-        }
+fn write_num_field(out: &mut String, key: &str, value: f64, first: bool) {
+    if !first {
+        out.push(',');
     }
-    impl std::error::Error for Error {}
-    impl ser::Error for Error {
-        fn custom<T: std::fmt::Display>(msg: T) -> Self {
-            Error(msg.to_string())
-        }
+    escape(key, out);
+    out.push(':');
+    if value.is_finite() {
+        out.push_str(&format!("{value}"));
+    } else {
+        out.push_str("null");
     }
+}
 
-    fn escape(s: &str, out: &mut String) {
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out.push('"');
+fn write_uint_field(out: &mut String, key: &str, value: u64, first: bool) {
+    if !first {
+        out.push(',');
     }
+    escape(key, out);
+    out.push(':');
+    out.push_str(&value.to_string());
+}
 
-    macro_rules! forward_num {
-        ($($fn:ident: $t:ty),*) => {$(
-            fn $fn(self, v: $t) -> Result<(), Error> {
-                self.out.push_str(&v.to_string());
-                Ok(())
-            }
-        )*};
-    }
-
-    impl<'a, 'b> ser::Serializer for &'b mut Writer<'a> {
-        type Ok = ();
-        type Error = Error;
-        type SerializeSeq = Seq<'a, 'b>;
-        type SerializeTuple = Seq<'a, 'b>;
-        type SerializeTupleStruct = Seq<'a, 'b>;
-        type SerializeTupleVariant = Seq<'a, 'b>;
-        type SerializeMap = Seq<'a, 'b>;
-        type SerializeStruct = Seq<'a, 'b>;
-        type SerializeStructVariant = Seq<'a, 'b>;
-
-        forward_num!(serialize_i8: i8, serialize_i16: i16, serialize_i32: i32,
-            serialize_i64: i64, serialize_u8: u8, serialize_u16: u16,
-            serialize_u32: u32, serialize_u64: u64);
-
-        fn serialize_f32(self, v: f32) -> Result<(), Error> {
-            self.serialize_f64(v as f64)
-        }
-        fn serialize_f64(self, v: f64) -> Result<(), Error> {
-            if v.is_finite() {
-                self.out.push_str(&format!("{v}"));
-            } else {
-                self.out.push_str("null");
-            }
-            Ok(())
-        }
-        fn serialize_bool(self, v: bool) -> Result<(), Error> {
-            self.out.push_str(if v { "true" } else { "false" });
-            Ok(())
-        }
-        fn serialize_char(self, v: char) -> Result<(), Error> {
-            escape(&v.to_string(), self.out);
-            Ok(())
-        }
-        fn serialize_str(self, v: &str) -> Result<(), Error> {
-            escape(v, self.out);
-            Ok(())
-        }
-        fn serialize_bytes(self, _v: &[u8]) -> Result<(), Error> {
-            Err(ser::Error::custom("bytes unsupported"))
-        }
-        fn serialize_none(self) -> Result<(), Error> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Error> {
-            v.serialize(self)
-        }
-        fn serialize_unit(self) -> Result<(), Error> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
-            self.serialize_unit()
-        }
-        fn serialize_unit_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            variant: &'static str,
-        ) -> Result<(), Error> {
-            self.serialize_str(variant)
-        }
-        fn serialize_newtype_struct<T: Serialize + ?Sized>(
-            self,
-            _: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            v.serialize(self)
-        }
-        fn serialize_newtype_variant<T: Serialize + ?Sized>(
-            self,
-            _: &'static str,
-            _: u32,
-            _: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            v.serialize(self)
-        }
-        fn serialize_seq(self, _: Option<usize>) -> Result<Seq<'a, 'b>, Error> {
-            self.out.push('[');
-            Ok(Seq {
-                w: self,
-                first: true,
-                close: ']',
-            })
-        }
-        fn serialize_tuple(self, len: usize) -> Result<Seq<'a, 'b>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_struct(self, _: &'static str, len: usize) -> Result<Seq<'a, 'b>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            _: &'static str,
-            len: usize,
-        ) -> Result<Seq<'a, 'b>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_map(self, _: Option<usize>) -> Result<Seq<'a, 'b>, Error> {
-            self.out.push('{');
-            Ok(Seq {
-                w: self,
-                first: true,
-                close: '}',
-            })
-        }
-        fn serialize_struct(self, _: &'static str, _: usize) -> Result<Seq<'a, 'b>, Error> {
-            self.out.push('{');
-            Ok(Seq {
-                w: self,
-                first: true,
-                close: '}',
-            })
-        }
-        fn serialize_struct_variant(
-            self,
-            name: &'static str,
-            _: u32,
-            _: &'static str,
-            len: usize,
-        ) -> Result<Seq<'a, 'b>, Error> {
-            self.serialize_struct(name, len)
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
-
-    pub struct Seq<'a, 'b> {
-        w: &'b mut Writer<'a>,
-        first: bool,
-        close: char,
-    }
-
-    impl Seq<'_, '_> {
-        fn comma(&mut self) {
-            if self.first {
-                self.first = false;
-            } else {
-                self.w.out.push(',');
-            }
-        }
-    }
-
-    impl ser::SerializeSeq for Seq<'_, '_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            self.comma();
-            v.serialize(&mut *self.w)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.w.out.push(self.close);
-            Ok(())
-        }
-    }
-
-    macro_rules! seq_like {
-        ($trait:ident, $fn:ident) => {
-            impl ser::$trait for Seq<'_, '_> {
-                type Ok = ();
-                type Error = Error;
-                fn $fn<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-                    self.comma();
-                    v.serialize(&mut *self.w)
-                }
-                fn end(self) -> Result<(), Error> {
-                    self.w.out.push(self.close);
-                    Ok(())
-                }
-            }
-        };
-    }
-    seq_like!(SerializeTuple, serialize_element);
-    seq_like!(SerializeTupleStruct, serialize_field);
-    seq_like!(SerializeTupleVariant, serialize_field);
-
-    impl ser::SerializeStruct for Seq<'_, '_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: Serialize + ?Sized>(
-            &mut self,
-            key: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            self.comma();
-            escape(key, self.w.out);
-            self.w.out.push(':');
-            v.serialize(&mut *self.w)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.w.out.push(self.close);
-            Ok(())
-        }
-    }
-
-    impl ser::SerializeStructVariant for Seq<'_, '_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: Serialize + ?Sized>(
-            &mut self,
-            key: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            ser::SerializeStruct::serialize_field(self, key, v)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.w.out.push(self.close);
-            Ok(())
-        }
-    }
-
-    impl ser::SerializeMap for Seq<'_, '_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
-            self.comma();
-            key.serialize(&mut *self.w)
-        }
-        fn serialize_value<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            self.w.out.push(':');
-            v.serialize(&mut *self.w)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.w.out.push(self.close);
-            Ok(())
-        }
-    }
+    out.push('"');
 }
 
 #[cfg(test)]

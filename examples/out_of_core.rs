@@ -1,5 +1,6 @@
 //! Out-of-core selection: the median of a dataset that never fits in
-//! (simulated) device memory at once.
+//! (simulated) device memory at once — including a flaky shard whose
+//! first read fails, exercising the driver's per-chunk retry path.
 //!
 //! The data lives in chunks (think: Parquet row groups, log shards, a
 //! host buffer bigger than VRAM). SampleSelect's histogram level is
@@ -11,17 +12,22 @@
 //! cargo run --release --example out_of_core
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use gpu_selection::gpu_sim::arch::v100;
 use gpu_selection::gpu_sim::Device;
 use gpu_selection::hpc_par::ThreadPool;
 use gpu_selection::prelude::*;
-use gpu_selection::sampleselect::streaming::{streaming_select, ChunkSource};
+use gpu_selection::sampleselect::streaming::{streaming_select, ChunkError, ChunkSource};
 
 /// A synthetic "shard store": chunks are generated on demand from a
-/// seed, the way a real source would read them from disk.
+/// seed, the way a real source would read them from disk. Shard 7's
+/// first read fails with a transient error, the way a real source
+/// sometimes does too.
 struct ShardStore {
     shards: usize,
     shard_len: usize,
+    flaky_shard_pending: AtomicBool,
 }
 
 impl ChunkSource<f32> for ShardStore {
@@ -29,17 +35,24 @@ impl ChunkSource<f32> for ShardStore {
         self.shards
     }
 
-    fn load_chunk(&self, idx: usize) -> Vec<f32> {
+    fn load_chunk(&self, idx: usize) -> Result<Vec<f32>, ChunkError> {
+        if idx == 7 && self.flaky_shard_pending.swap(false, Ordering::SeqCst) {
+            return Err(ChunkError {
+                chunk: idx,
+                message: "simulated read timeout".to_string(),
+                transient: true,
+            });
+        }
         // deterministic per-shard generation = re-loadable
         let mut state = 0x9E3779B97F4A7C15u64 ^ (idx as u64).wrapping_mul(0xD1342543DE82EF95);
-        (0..self.shard_len)
+        Ok((0..self.shard_len)
             .map(|_| {
                 state ^= state << 13;
                 state ^= state >> 7;
                 state ^= state << 17;
                 ((state >> 11) as f64 / (1u64 << 53) as f64) as f32
             })
-            .collect()
+            .collect())
     }
 
     fn total_len(&self) -> usize {
@@ -51,6 +64,7 @@ fn main() {
     let store = ShardStore {
         shards: 64,
         shard_len: 1 << 16,
+        flaky_shard_pending: AtomicBool::new(true),
     };
     let n = store.total_len();
     let rank = n / 2;
@@ -59,7 +73,13 @@ fn main() {
     let mut device = Device::new(v100(), &pool);
     let cfg = SampleSelectConfig::tuned_for(device.arch());
 
-    let res = streaming_select(&mut device, &store, rank, &cfg).expect("streaming select failed");
+    let res = match streaming_select(&mut device, &store, rank, &cfg) {
+        Ok(res) => res,
+        Err(e) => {
+            eprintln!("streaming select failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "median of {n} elements across {} shards: {}",
         store.shards, res.value
@@ -79,11 +99,25 @@ fn main() {
         res.report.kernel_launches("count_nowrite"),
         res.report.kernel_launches("stream_filter"),
     );
+    println!(
+        "chunk retries absorbed by the driver: {}",
+        res.report.resilience.retries
+    );
+    for line in &res.report.resilience.log {
+        println!("  {line}");
+    }
 
     // Verify against an in-memory run over the concatenated shards.
-    let mut all: Vec<f32> = (0..store.shards)
-        .flat_map(|i| store.load_chunk(i))
-        .collect();
+    let mut all: Vec<f32> = Vec::with_capacity(n);
+    for i in 0..store.shards {
+        match store.load_chunk(i) {
+            Ok(chunk) => all.extend(chunk),
+            Err(e) => {
+                eprintln!("verification load failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let (_, kth, _) = all.select_nth_unstable_by(rank, |a, b| a.partial_cmp(b).unwrap());
     assert_eq!(res.value, *kth);
     println!("\nverified against in-memory nth_element");

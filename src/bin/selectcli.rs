@@ -12,6 +12,7 @@ use gpu_selection::baselines::{bucket_select_on_device, radix_select_on_device};
 use gpu_selection::datagen::{Distribution, RankChoice, WorkloadSpec};
 use gpu_selection::gpu_sim::arch::{by_name, v100};
 use gpu_selection::gpu_sim::Device;
+use gpu_selection::gpu_sim::{FaultPlan, SimTime};
 use gpu_selection::hpc_par::ThreadPool;
 use gpu_selection::sampleselect::cpu::{cpu_sample_select, CpuSelectConfig};
 use gpu_selection::sampleselect::element::reference_select;
@@ -20,8 +21,8 @@ use gpu_selection::sampleselect::samplesort::sample_sort_on_device;
 use gpu_selection::sampleselect::streaming::{streaming_select, SliceChunks};
 use gpu_selection::sampleselect::topk::top_k_largest_on_device;
 use gpu_selection::sampleselect::{
-    approx_select_on_device, quick_select_on_device, sample_select_on_device, SampleSelectConfig,
-    SelectReport,
+    approx_select_on_device, quick_select_on_device, resilient_select_on_device,
+    sample_select_on_device, Outcome, ResilienceConfig, SampleSelectConfig, SelectReport,
 };
 use std::process::exit;
 
@@ -37,6 +38,9 @@ struct Args {
     seed: u64,
     breakdown: bool,
     trace: Option<String>,
+    inject_faults: Option<u64>,
+    fault_rate: f64,
+    time_budget_ms: Option<f64>,
 }
 
 impl Default for Args {
@@ -52,6 +56,9 @@ impl Default for Args {
             seed: 42,
             breakdown: false,
             trace: None,
+            inject_faults: None,
+            fault_rate: 0.05,
+            time_budget_ms: None,
         }
     }
 }
@@ -77,6 +84,13 @@ fn parse_args() -> Args {
             "--seed" => out.seed = val("--seed").parse().expect("--seed"),
             "--breakdown" => out.breakdown = true,
             "--trace" => out.trace = Some(val("--trace")),
+            "--inject-faults" => {
+                out.inject_faults = Some(val("--inject-faults").parse().expect("--inject-faults"))
+            }
+            "--fault-rate" => out.fault_rate = val("--fault-rate").parse().expect("--fault-rate"),
+            "--time-budget" => {
+                out.time_budget_ms = Some(val("--time-budget").parse().expect("--time-budget"))
+            }
             "--help" | "-h" => {
                 eprintln!("{}", HELP);
                 exit(0);
@@ -91,9 +105,10 @@ fn parse_args() -> Args {
 }
 
 const HELP: &str =
-    "selectcli --algo sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|cpu \
+    "selectcli --algo sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|cpu \
 --n N --rank R|--k K --dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp \
---arch v100|k20xm|c2070 --buckets B --seed S [--breakdown] [--trace out.json]";
+--arch v100|k20xm|c2070 --buckets B --seed S [--breakdown] [--trace out.json] \
+[--inject-faults SEED [--fault-rate R]] [--time-budget MS]";
 
 fn distribution(name: &str) -> Distribution {
     match name {
@@ -128,6 +143,16 @@ fn print_report(report: &SelectReport, breakdown: bool) {
         report.throughput(),
         report.launch_overhead
     );
+    if !report.resilience.is_clean() || report.resilience.faults_observed > 0 {
+        let r = &report.resilience;
+        println!(
+            "resilience: {} retries, {} fallbacks, {} degradations, {} faults observed",
+            r.retries, r.fallbacks, r.degradations, r.faults_observed
+        );
+        for line in &r.log {
+            println!("  {line}");
+        }
+    }
     if breakdown {
         println!("\nkernel          launches  total-time      ns/element");
         for k in &report.kernels {
@@ -169,6 +194,18 @@ fn main() {
     );
 
     let mut device = Device::new(arch.clone(), pool);
+    if let Some(fault_seed) = args.inject_faults {
+        let plan = FaultPlan::new(fault_seed)
+            .launch_failures(args.fault_rate)
+            .max_launch_failures(8)
+            .latency_spikes(args.fault_rate / 2.0, 4.0);
+        device.set_fault_plan(plan);
+        println!(
+            "fault injection: seed={fault_seed} launch-failure-rate={} (use --algo resilient \
+             to recover)\n",
+            args.fault_rate
+        );
+    }
     match args.algo.as_str() {
         "sample" => {
             let r = sample_select_on_device(&mut device, &w.data, rank, &cfg).unwrap();
@@ -230,9 +267,38 @@ fn main() {
             );
             print_report(&r.report, args.breakdown);
         }
+        "resilient" => {
+            let mut rcfg = ResilienceConfig::default();
+            if let Some(ms) = args.time_budget_ms {
+                rcfg = rcfg.with_time_budget(SimTime::from_ms(ms));
+            }
+            let r = resilient_select_on_device(&mut device, &w.data, rank, &cfg, &rcfg)
+                .unwrap_or_else(|e| {
+                    eprintln!("selection failed: {e}");
+                    exit(1);
+                });
+            match r.outcome {
+                Outcome::Exact(value) => {
+                    println!("value = {value} (exact, backend {})", r.backend.name());
+                    assert_eq!(value, reference_select(&w.data, rank).unwrap());
+                }
+                Outcome::Approximate {
+                    value,
+                    achieved_rank,
+                    rank_error,
+                } => println!(
+                    "value = {value} (approximate under time budget: rank {achieved_rank} \
+                     delivered, {rank} requested, error {rank_error})"
+                ),
+            }
+            print_report(&r.report, args.breakdown);
+        }
         "stream" => {
             let source = SliceChunks::new(&w.data, 1 << 18);
-            let r = streaming_select(&mut device, &source, rank, &cfg).unwrap();
+            let r = streaming_select(&mut device, &source, rank, &cfg).unwrap_or_else(|e| {
+                eprintln!("streaming selection failed: {e}");
+                exit(1);
+            });
             println!(
                 "value = {} (peak resident {} elements = {:.2}% of n)",
                 r.value,
@@ -255,6 +321,14 @@ fn main() {
             eprintln!("unknown algorithm {other}\n{HELP}");
             exit(2);
         }
+    }
+
+    if device.has_fault() {
+        eprintln!(
+            "\nwarning: an injected fault was latched but never consumed — this \
+             algorithm does not poll for faults, so its outputs would be garbage \
+             on real hardware; rerun with --algo resilient"
+        );
     }
 
     if let Some(path) = &args.trace {

@@ -37,11 +37,15 @@ pub mod prelude {
     pub use gpu_sim::arch::{GpuArchitecture, GpuGeneration};
     pub use gpu_sim::cost::SimTime;
     pub use gpu_sim::device::Device;
+    pub use gpu_sim::fault::{FaultKind, FaultPlan, LaunchError};
     pub use sampleselect::approx::{approx_select, ApproxResult};
     pub use sampleselect::cpu::cpu_sample_select;
     pub use sampleselect::element::SelectElement;
     pub use sampleselect::params::{AtomicScope, SampleSelectConfig};
     pub use sampleselect::quickselect::quick_select;
+    pub use sampleselect::resilient::{
+        resilient_select, Backend, Outcome, ResilienceConfig, ResilientResult, RetryPolicy,
+    };
     pub use sampleselect::topk::top_k_largest;
     pub use sampleselect::{sample_select, SelectError, SelectResult};
     pub use select_datagen::{Distribution, Workload, WorkloadSpec};

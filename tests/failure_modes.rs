@@ -1,16 +1,24 @@
 //! Failure-injection tests: every driver must reject malformed input
-//! with the right error, never panic, and never return garbage.
+//! with the right error, never panic, and never return garbage — and
+//! under *injected device/I/O faults*, the resilient driver must keep
+//! returning the exact answer (or a tagged approximation) with a
+//! deterministic record of what it took.
 
 use gpu_selection::baselines::{bucket_select, radix_select};
 use gpu_selection::gpu_sim::arch::v100;
-use gpu_selection::gpu_sim::Device;
+use gpu_selection::gpu_sim::{Device, FaultPlan, SimTime};
 use gpu_selection::hpc_par::ThreadPool;
 use gpu_selection::sampleselect::cpu::{cpu_sample_select, CpuSelectConfig};
+use gpu_selection::sampleselect::element::reference_select;
+use gpu_selection::sampleselect::streaming::{streaming_select, ChunkError, ChunkSource};
 use gpu_selection::sampleselect::topk::kth_largest;
 use gpu_selection::sampleselect::{
-    approx_select, quick_select, sample_select, top_k_largest, ConfigError, SampleSelectConfig,
-    SelectError,
+    approx_select, quick_select, resilient_select_on_device, resilient_streaming_select,
+    sample_select, top_k_largest, Backend, ConfigError, Outcome, ResilienceConfig,
+    SampleSelectConfig, SelectError,
 };
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn cfg() -> SampleSelectConfig {
     SampleSelectConfig::default()
@@ -194,6 +202,234 @@ fn subnormal_floats_select_correctly() {
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let got = sample_select(&data, 5_000, &cfg()).unwrap().value;
     assert_eq!(got.to_bits(), sorted[5_000].to_bits());
+}
+
+fn gen_data(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) as f32
+        })
+        .collect()
+}
+
+/// A chunk source whose `target` chunk fails transiently for its first
+/// `fail_times` loads, then recovers (deterministic: the counter is the
+/// only state).
+struct FlakyChunks<'a> {
+    data: &'a [f32],
+    chunk_len: usize,
+    target: usize,
+    fail_times: usize,
+    failures: AtomicUsize,
+}
+
+impl ChunkSource<f32> for FlakyChunks<'_> {
+    fn num_chunks(&self) -> usize {
+        self.data.len().div_ceil(self.chunk_len).max(1)
+    }
+
+    fn load_chunk(&self, idx: usize) -> Result<Vec<f32>, ChunkError> {
+        if idx == self.target && self.failures.load(Ordering::SeqCst) < self.fail_times {
+            self.failures.fetch_add(1, Ordering::SeqCst);
+            return Err(ChunkError {
+                chunk: idx,
+                message: "injected I/O failure".to_string(),
+                transient: true,
+            });
+        }
+        let start = (idx * self.chunk_len).min(self.data.len());
+        let end = ((idx + 1) * self.chunk_len).min(self.data.len());
+        Ok(self.data[start..end].to_vec())
+    }
+
+    fn total_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[test]
+fn injected_launch_failure_mid_recursion_still_exact() {
+    let data = gen_data(150_000, 0xfa01);
+    let rank = 75_000;
+    let pool = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool);
+    // Launch #4 is the first level's filter kernel, so the first attempt
+    // dies mid-recursion after partial progress.
+    device.set_fault_plan(FaultPlan::new(21).fail_launches_at(&[4]));
+    let res = resilient_select_on_device(
+        &mut device,
+        &data,
+        rank,
+        &SampleSelectConfig::default(),
+        &ResilienceConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        res.outcome,
+        Outcome::Exact(reference_select(&data, rank).unwrap())
+    );
+    assert_eq!(res.report.resilience.faults_observed, 1);
+    assert_eq!(res.report.resilience.retries, 1);
+    assert_eq!(res.report.resilience.fallbacks, 0);
+    assert_eq!(res.backend, Backend::SampleSelect);
+}
+
+#[test]
+fn chunk_load_failure_with_eventual_success() {
+    let data = gen_data(1 << 17, 0xfa02);
+    let rank = 1 << 16;
+    let pool = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool);
+    let source = FlakyChunks {
+        data: &data,
+        chunk_len: 1 << 15,
+        target: 1,
+        fail_times: 2,
+        failures: AtomicUsize::new(0),
+    };
+    let res = streaming_select(&mut device, &source, rank, &SampleSelectConfig::default()).unwrap();
+    assert_eq!(res.value, reference_select(&data, rank).unwrap());
+    assert_eq!(res.report.resilience.retries, 2);
+    assert!(res
+        .report
+        .resilience
+        .log
+        .iter()
+        .all(|l| l.contains("chunk 1")));
+}
+
+#[test]
+fn budget_exhaustion_degrades_with_valid_rank_bound() {
+    let data = gen_data(200_000, 0xfa03);
+    let rank = 123_456;
+    let pool = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool);
+    let rcfg = ResilienceConfig::default().with_time_budget(SimTime::ZERO);
+    let res = resilient_select_on_device(
+        &mut device,
+        &data,
+        rank,
+        &SampleSelectConfig::default(),
+        &rcfg,
+    )
+    .unwrap();
+    match res.outcome {
+        Outcome::Approximate {
+            value,
+            achieved_rank,
+            rank_error,
+        } => {
+            // The tag must be verifiable against the data itself.
+            let true_rank = data.iter().filter(|&&x| x < value).count() as u64;
+            assert_eq!(achieved_rank, true_rank, "claimed rank must be exact");
+            assert_eq!(rank_error, true_rank.abs_diff(rank as u64));
+            // Single-level approximation: error within a few expected
+            // bucket widths (n/b ≈ 780 here).
+            assert!(
+                rank_error < (8 * data.len() / 256) as u64,
+                "rank error {rank_error} implausibly large"
+            );
+        }
+        Outcome::Exact(_) => panic!("zero budget must force degradation"),
+    }
+    assert_eq!(res.report.resilience.degradations, 1);
+}
+
+#[test]
+fn combined_faults_deterministic_and_exact() {
+    // The acceptance scenario: one seeded plan failing >= 1 launch plus
+    // a chunk source failing >= 1 load; the resilient streaming driver
+    // must return the exact k-th element and an identical event log on
+    // every run with the same seeds.
+    let data = gen_data(1 << 17, 0xfa04);
+    let rank = 99_999;
+    let expected = reference_select(&data, rank).unwrap();
+
+    let run = || {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        device.set_fault_plan(FaultPlan::new(1234).fail_launches_at(&[3]));
+        let source = FlakyChunks {
+            data: &data,
+            chunk_len: 1 << 15,
+            target: 2,
+            fail_times: 1,
+            failures: AtomicUsize::new(0),
+        };
+        resilient_streaming_select(
+            &mut device,
+            &source,
+            rank,
+            &SampleSelectConfig::default(),
+            &ResilienceConfig::default(),
+        )
+        .unwrap()
+    };
+
+    let a = run();
+    assert_eq!(a.outcome, Outcome::Exact(expected));
+    assert!(
+        a.report.resilience.faults_observed >= 1,
+        "launch fault seen"
+    );
+    assert!(a.report.resilience.retries >= 1, "retries recorded");
+
+    let b = run();
+    assert_eq!(b.outcome, a.outcome);
+    assert_eq!(b.backend, a.backend);
+    assert_eq!(
+        b.report.resilience, a.report.resilience,
+        "same seeds must reproduce the exact event log"
+    );
+    assert_eq!(b.report.total_launches(), a.report.total_launches());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever single backend is knocked out — SampleSelect by early
+    /// launch faults, both device backends by a zero depth budget, or
+    /// every device kernel by a 100% failure rate — the fallback chain
+    /// still produces the exact k-th element.
+    #[test]
+    fn fallback_chain_is_exact_under_any_single_faulted_backend(
+        data in prop::collection::vec(-1000i32..1000, 1..400),
+        rank_frac in 0.0f64..1.0,
+        scenario in 0usize..3,
+    ) {
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let cfg = SampleSelectConfig::default()
+            .with_buckets(8)
+            .with_oversampling(2)
+            .with_base_case(16);
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let mut rcfg = ResilienceConfig::default().with_max_retries(1);
+        match scenario {
+            0 => {
+                // kill the first attempts' early launches: SampleSelect
+                // must retry or hand over to QuickSelect
+                device.set_fault_plan(FaultPlan::new(7).fail_launches_at(&[0, 1, 2]));
+            }
+            1 => {
+                // starve both device recursions of depth
+                rcfg = rcfg.with_max_levels(0);
+            }
+            _ => {
+                // no device kernel ever completes: CPU sort territory
+                device.set_fault_plan(FaultPlan::new(8).launch_failures(1.0));
+            }
+        }
+        let res = resilient_select_on_device(&mut device, &data, rank, &cfg, &rcfg).unwrap();
+        prop_assert_eq!(
+            res.outcome,
+            Outcome::Exact(reference_select(&data, rank).unwrap())
+        );
+    }
 }
 
 #[test]

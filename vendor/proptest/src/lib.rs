@@ -1,0 +1,551 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses:
+//! the `proptest!` macro with `pat in strategy` arguments, the
+//! `prop_assert*`/`prop_assume!` macros, range and `vec` strategies,
+//! `any::<T>()`, and the `prop::num::f32`/`f64` class strategies.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! seed and case number instead of a minimized input), and generation is
+//! deterministic per test (seeded from the test's module path), so runs
+//! are reproducible without a persistence file.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A source of values for one `proptest!` argument.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = rng.unit_f64() as $t;
+                    let v = self.start + unit * (self.end - self.start);
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+        )*};
+    }
+
+    impl_range_float!(f32, f64);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    // Full bit patterns: NaNs and infinities included, as upstream's
+    // `any::<f32>()` would produce. Tests filter with `prop_assume!`.
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// Strategy wrapper returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Half-open element-count range for [`vec`]; converts from an
+    /// exact size or a `Range<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector whose elements come from
+    /// `element` and whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    macro_rules! float_class_module {
+        ($mod_name:ident, $float:ty, $bits:ty, $exp_max:expr, $mant_bits:expr) => {
+            pub mod $mod_name {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                /// Bitmask of IEEE float classes to draw from; combine
+                /// with `|`. Matches upstream semantics: if neither
+                /// `POSITIVE` nor `NEGATIVE` is included, positive
+                /// values are implied.
+                #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+                pub struct Any(u32);
+
+                pub const POSITIVE: Any = Any(0x01);
+                pub const NEGATIVE: Any = Any(0x02);
+                pub const NORMAL: Any = Any(0x04);
+                pub const SUBNORMAL: Any = Any(0x08);
+                pub const ZERO: Any = Any(0x10);
+                pub const INFINITE: Any = Any(0x20);
+
+                impl std::ops::BitOr for Any {
+                    type Output = Any;
+                    fn bitor(self, rhs: Any) -> Any {
+                        Any(self.0 | rhs.0)
+                    }
+                }
+
+                impl Strategy for Any {
+                    type Value = $float;
+                    fn generate(&self, rng: &mut TestRng) -> $float {
+                        let classes: Vec<u32> = [0x04u32, 0x08, 0x10, 0x20]
+                            .iter()
+                            .copied()
+                            .filter(|c| self.0 & c != 0)
+                            .collect();
+                        assert!(
+                            !classes.is_empty(),
+                            "float-class strategy needs at least one value class"
+                        );
+                        let class = classes[rng.below(classes.len() as u64) as usize];
+                        let negative = if self.0 & 0x02 != 0 {
+                            // NEGATIVE present: mix signs only when
+                            // POSITIVE is also present.
+                            self.0 & 0x01 == 0 || rng.next_u64() & 1 == 1
+                        } else {
+                            false
+                        };
+                        let mant_mask: $bits = (1 << $mant_bits) - 1;
+                        let magnitude: $bits = match class {
+                            // normal: exponent in [1, max-1], any mantissa
+                            0x04 => {
+                                let exp = 1 + rng.below(($exp_max - 1) as u64) as $bits;
+                                (exp << $mant_bits) | (rng.next_u64() as $bits & mant_mask)
+                            }
+                            // subnormal: exponent 0, mantissa != 0
+                            0x08 => 1 + (rng.next_u64() as $bits % mant_mask),
+                            0x10 => 0,
+                            // infinity
+                            _ => ($exp_max as $bits) << $mant_bits,
+                        };
+                        let sign: $bits = if negative {
+                            1 << (<$bits>::BITS - 1)
+                        } else {
+                            0
+                        };
+                        <$float>::from_bits(magnitude | sign)
+                    }
+                }
+            }
+        };
+    }
+
+    float_class_module!(f32, f32, u32, 255u32, 23u32);
+    float_class_module!(f64, f64, u64, 2047u64, 52u64);
+}
+
+pub mod test_runner {
+    /// Per-test deterministic RNG (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Seed deterministically from the test's path so every test
+        /// gets a distinct, stable stream.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound == 0` returns 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                return 0;
+            }
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case violated an assumption and should not be counted.
+        Reject(String),
+        /// The property failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+    }
+}
+
+/// Defines property tests: `fn name(pat in strategy, ...) { body }`
+/// items become `#[test]` functions that run the body over generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            let mut rng = $crate::test_runner::TestRng::for_test(test_path);
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            let mut case = 0u32;
+            while passed < config.cases {
+                case += 1;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < 16 * config.cases + 1024,
+                            "{test_path}: too many rejected cases ({rejected})"
+                        );
+                    }
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!("{test_path}: property failed at case {case}: {msg}");
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Reject the current case (not counted against `cases`) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        let __prop_cond: bool = $cond;
+        if !__prop_cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        let __prop_cond: bool = $cond;
+        if !__prop_cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let __prop_cond: bool = $cond;
+        if !__prop_cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of upstream's `prop::` re-exports.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -10i32..10, y in 0.0f64..1.0) {
+            prop_assert!((-10..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(data in vec(0u32..5, 2..7)) {
+            prop_assert!(data.len() >= 2 && data.len() < 7);
+            prop_assert!(data.iter().all(|&v| v < 5));
+        }
+
+        #[test]
+        fn exact_size_vec(data in vec(any::<i32>(), 4usize)) {
+            prop_assert_eq!(data.len(), 4);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn float_classes_generate_members(
+            x in prop::num::f32::NORMAL | prop::num::f32::ZERO | prop::num::f32::SUBNORMAL,
+        ) {
+            prop_assert!(x.is_finite());
+            prop_assert!(x >= 0.0, "positive implied without sign flags: {}", x);
+        }
+
+        #[test]
+        fn normal_class_is_normal(x in prop::num::f64::NORMAL) {
+            prop_assert!(x.is_normal());
+        }
+
+        #[test]
+        fn tuple_patterns_work((a, b) in (0u32..10).pair()) {
+            prop_assert!(a < 10 && b < 10);
+        }
+    }
+
+    // Helper used above: a minimal tuple strategy for the shim's own
+    // tests (the workspace itself only uses single-value strategies).
+    trait PairExt: Strategy + Sized {
+        fn pair(self) -> PairStrategy<Self> {
+            PairStrategy(self)
+        }
+    }
+    impl<S: Strategy + Sized> PairExt for S {}
+
+    struct PairStrategy<S>(S);
+    impl<S: Strategy> Strategy for PairStrategy<S> {
+        type Value = (S::Value, S::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.0.generate(rng))
+        }
+    }
+
+    #[test]
+    fn deterministic_generation_per_name() {
+        let mut a = TestRng::for_test("same::name");
+        let mut b = TestRng::for_test("same::name");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("other::name");
+        assert_ne!(TestRng::for_test("same::name").next_u64(), c.next_u64());
+    }
+}

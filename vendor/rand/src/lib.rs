@@ -1,0 +1,202 @@
+//! Offline stand-in for the slice of `rand` 0.8 this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng` methods
+//! `gen`, `gen_range`, and `gen_bool`.
+//!
+//! The generator is a SplitMix64 — statistically fine for test-data
+//! generation, deterministic for a given seed, and dependency-free. It
+//! is NOT the same stream as upstream `StdRng`, so seeds produce
+//! different (but still reproducible) data.
+
+use std::ops::Range;
+
+/// Types that can be created from a seed.
+pub trait SeedableRng: Sized {
+    /// Construct the generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (subset of rand 0.8's `Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of `T` from its standard distribution
+    /// (full range for integers, `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a half-open range.
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+/// Standard-distribution sampling (rand's `Standard`).
+pub trait Standard: Sized {
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+/// Uniform sampling over a half-open range (rand's `SampleUniform`).
+pub trait SampleUniform: Sized {
+    fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Uniform integer in `[0, bound)` by widening multiply (Lemire-style,
+/// without the rejection step: the bias is < 2^-32 for the bounds used
+/// in tests and benchmarks).
+fn below<R: Rng>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start.wrapping_add(below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let unit = <$t as Standard>::sample(rng);
+                let v = range.start + unit * (range.end - range.start);
+                if v >= range.end { range.start } else { v }
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic stand-in for rand's `StdRng` (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 16];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..16);
+            assert!(v < 16);
+            seen[v] = true;
+            let s = rng.gen_range(-50i32..50);
+            assert!((-50..50).contains(&s));
+        }
+        assert!(seen.iter().all(|&b| b), "all residues should be hit");
+    }
+
+    #[test]
+    fn mean_is_roughly_centered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
