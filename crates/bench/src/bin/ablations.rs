@@ -51,7 +51,8 @@ fn oversampling_ablation(pool: &ThreadPool, reps: usize, csv: bool) {
                 &cfg,
                 &mut rng,
                 gpu_sim::LaunchOrigin::Host,
-            );
+            )
+            .unwrap();
             let count = sampleselect::count::count_kernel(
                 &mut device,
                 &w.data,

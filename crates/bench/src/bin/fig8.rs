@@ -97,7 +97,8 @@ fn repetition_panel(
                     .with_seed(900 + rep);
                 let mut device = Device::new(arch.clone(), pool);
                 let mut rng = SplitMix64::new(cfg.seed);
-                let tree = sample_kernel(&mut device, &w.data, &cfg, &mut rng, LaunchOrigin::Host);
+                let tree = sample_kernel(&mut device, &w.data, &cfg, &mut rng, LaunchOrigin::Host)
+                    .unwrap();
                 let before = device.now();
                 count_kernel(&mut device, &w.data, &tree, &cfg, true, LaunchOrigin::Host);
                 let count_time = device.now() - before;

@@ -45,7 +45,8 @@ fn main() {
             let w = spec.instantiate::<f32>(rep);
             let mut device = Device::new(arch.clone(), pool);
             let mut rng = SplitMix64::new(cfg.seed + rep);
-            let tree = sample_kernel(&mut device, &w.data, &cfg, &mut rng, LaunchOrigin::Host);
+            let tree =
+                sample_kernel(&mut device, &w.data, &cfg, &mut rng, LaunchOrigin::Host).unwrap();
             let count = count_kernel(&mut device, &w.data, &tree, &cfg, false, LaunchOrigin::Host);
             reduce_totals_kernel(&mut device, &count, LaunchOrigin::Device);
             let phase_time: f64 = device

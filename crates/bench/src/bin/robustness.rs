@@ -21,7 +21,7 @@ use gpu_sim::{Device, FaultPlan};
 use hpc_par::ThreadPool;
 use sampleselect::{
     quick_select_on_device, resilient_select_on_device, sample_select_on_device, ResilienceConfig,
-    SampleSelectConfig,
+    SampleSelectConfig, VerifyPolicy,
 };
 use select_baselines::bucketselect::bucket_select_on_device;
 use select_baselines::radixselect::radix_select_on_device;
@@ -30,6 +30,29 @@ use select_datagen::{Distribution, RankChoice, WorkloadSpec};
 
 /// Launch-failure probability for the fault plan fed to the resilient rows.
 const FAULT_RATE: f64 = 0.15;
+
+/// Bit-flip probability per buffer exposure for the resilient rows; the
+/// paranoid `VerifyPolicy` must detect every consequential corruption.
+const BITFLIP_RATE: f64 = 0.25;
+
+/// Column schema, emitted as `#`-comment lines ahead of the CSV header
+/// so downstream plotting scripts can check it before parsing (and keep
+/// working when columns are appended at the end).
+const CSV_SCHEMA: &str = "\
+# robustness.csv column schema v2
+#   distribution   input value distribution (see select-datagen)
+#   algorithm      selection driver; `resilient` runs under an injected
+#                  fault plan (launch failures + bit flips), the others fault-free
+#   runtime(ms)    mean simulated runtime over the reps
+#   levels         max recursion depth observed
+#   cv             coefficient of variation of the runtime across reps
+#   retries        re-seeded retry attempts summed over the reps
+#   fallbacks      backend hand-offs summed over the reps
+#   degradations   exact->approximate downgrades summed over the reps
+#   corruptions    data-plane corruptions detected by ABFT checks (summed)
+#   certified      results proven exact by the O(n) rank certificate (summed)
+#   resumed        checkpoint resumes (streaming only; 0 for in-memory rows)
+";
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -67,6 +90,9 @@ fn main() {
         "retries",
         "fallbacks",
         "degradations",
+        "corruptions",
+        "certified",
+        "resumed",
     ]);
 
     for dist in distributions {
@@ -81,6 +107,9 @@ fn main() {
             let mut retries = 0u32;
             let mut fallbacks = 0u32;
             let mut degradations = 0u32;
+            let mut corruptions = 0u32;
+            let mut certified = 0u32;
+            let mut resumed = 0u32;
             let stats = measure(reps, |rep| {
                 let w = spec.instantiate::<f32>(rep);
                 let cfg = SampleSelectConfig::tuned_for(&arch).with_seed(41 + rep);
@@ -107,13 +136,18 @@ fn main() {
                             .report
                     }
                     _ => {
-                        // Resilient driver under injected launch failures:
-                        // same fault seed per rep across distributions so the
-                        // recovery columns are reproducible run-to-run.
+                        // Resilient driver under injected launch failures
+                        // plus silent bit flips: same fault seed per rep
+                        // across distributions so the recovery columns are
+                        // reproducible run-to-run. Paranoid verification
+                        // detects the flips and certifies the result.
                         let plan = FaultPlan::new(0xFA117 + rep)
                             .launch_failures(FAULT_RATE)
-                            .max_launch_failures(4);
+                            .max_launch_failures(4)
+                            .bitflips(BITFLIP_RATE)
+                            .max_corruptions(6);
                         device.set_fault_plan(plan);
+                        let cfg = cfg.with_verify(VerifyPolicy::Paranoid);
                         let rcfg = ResilienceConfig::default();
                         resilient_select_on_device(&mut device, &w.data, w.rank, &cfg, &rcfg)
                             .unwrap()
@@ -124,6 +158,9 @@ fn main() {
                 retries += report.resilience.retries;
                 fallbacks += report.resilience.fallbacks;
                 degradations += report.resilience.degradations;
+                corruptions += report.resilience.corruptions_detected;
+                certified += report.resilience.certified;
+                resumed += report.resilience.resumed;
                 report.total_time.as_ms()
             });
             t.row(vec![
@@ -135,11 +172,16 @@ fn main() {
                 retries.to_string(),
                 fallbacks.to_string(),
                 degradations.to_string(),
+                corruptions.to_string(),
+                certified.to_string(),
+                resumed.to_string(),
             ]);
         }
     }
 
-    let csv = t.render_csv();
+    // The schema comment is prepended at the write site only: the
+    // in-memory `render_csv()` output stays a plain header + rows table.
+    let csv = format!("{CSV_SCHEMA}{}", t.render_csv());
     if std::fs::create_dir_all("results").is_ok() {
         match std::fs::write("results/robustness.csv", &csv) {
             Ok(()) => eprintln!("wrote results/robustness.csv"),
@@ -159,9 +201,11 @@ fn main() {
         println!("clustered-outliers and geometric-cascade inputs; RadixSelect is");
         println!("distribution-independent but always pays key-width/8 levels.");
         let pct = FAULT_RATE * 100.0;
+        let bits = BITFLIP_RATE * 100.0;
         println!("The resilient rows run under a seeded fault plan ({pct:.0}%");
-        println!("launch-failure rate, capped at 4): retries/fallbacks/degradations");
-        println!("show what the recovery machinery spent to still return the exact");
-        println!("k-th element.");
+        println!("launch-failure rate capped at 4, plus {bits:.0}% bit-flip rate capped");
+        println!("at 6 corruptions) with paranoid verification: retries/fallbacks/");
+        println!("degradations/corruptions/certified show what the recovery and");
+        println!("ABFT machinery spent to still return the exact k-th element.");
     }
 }

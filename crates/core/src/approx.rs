@@ -58,7 +58,7 @@ pub fn approx_select_on_device<T: SelectElement>(
     let records_before = device.records().len();
     let mut rng = SplitMix64::new(cfg.seed);
 
-    let tree = sample_kernel(device, data, cfg, &mut rng, LaunchOrigin::Host);
+    let tree = sample_kernel(device, data, cfg, &mut rng, LaunchOrigin::Host)?;
     let count = count_kernel(device, data, &tree, cfg, false, LaunchOrigin::Host);
     let red = reduce_totals_kernel(device, &count, LaunchOrigin::Device);
 

@@ -244,12 +244,28 @@ pub fn count_kernel<T: SelectElement>(
     };
     device.commit(name, launch, origin, cost);
 
-    let oracles = match (oracle_u8, oracle_u16) {
+    let mut oracles = match (oracle_u8, oracle_u16) {
         // SAFETY: all n element slots were written exactly once.
         (Some(o), None) => Some(OracleBuf::U8(unsafe { o.into_vec(n) })),
         (None, Some(o)) => Some(OracleBuf::U16(unsafe { o.into_vec(n) })),
         _ => None,
     };
+
+    // Give the fault injector its shot at the freshly materialized
+    // buffers: the bucket histogram and the oracle array are exactly the
+    // device-memory regions a real upset would hit between kernels.
+    // Corruption is silent — the ABFT checks in `verify` (histogram sum,
+    // filter size, rank certificate) are what catch it downstream.
+    device.corrupt_region("counts", counts.as_mut_slice());
+    match &mut oracles {
+        Some(OracleBuf::U8(v)) => {
+            device.corrupt_region("oracles", v.as_mut_slice());
+        }
+        Some(OracleBuf::U16(v)) => {
+            device.corrupt_region("oracles", v.as_mut_slice());
+        }
+        None => {}
+    }
 
     CountResult {
         counts,

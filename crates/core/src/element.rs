@@ -65,6 +65,16 @@ pub trait SelectElement: Copy + Send + Sync + Debug + 'static {
         false
     }
 
+    /// Lossless bit image of the value, for serialization (checkpoint
+    /// files). Unlike [`SelectElement::to_sort_key`] — which collapses
+    /// all NaNs to one key — this round-trips exactly through
+    /// [`SelectElement::from_bits_u64`].
+    fn to_bits_u64(self) -> u64;
+
+    /// Reconstruct a value from its [`SelectElement::to_bits_u64`]
+    /// image. Bits beyond the type's width are ignored.
+    fn from_bits_u64(bits: u64) -> Self;
+
     /// Total-order comparison derived from the sort key.
     fn total_cmp(self, other: Self) -> std::cmp::Ordering {
         self.to_sort_key().cmp(&other.to_sort_key())
@@ -152,6 +162,14 @@ impl SelectElement for f32 {
     fn is_nan(self) -> bool {
         f32::is_nan(self)
     }
+
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits() as u64
+    }
+
+    fn from_bits_u64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
 }
 
 impl SelectElement for f64 {
@@ -201,6 +219,14 @@ impl SelectElement for f64 {
     fn is_nan(self) -> bool {
         f64::is_nan(self)
     }
+
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+
+    fn from_bits_u64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
 }
 
 macro_rules! impl_unsigned {
@@ -243,6 +269,14 @@ macro_rules! impl_unsigned {
 
             fn to_f64(self) -> f64 {
                 self as f64
+            }
+
+            fn to_bits_u64(self) -> u64 {
+                self as u64
+            }
+
+            fn from_bits_u64(bits: u64) -> Self {
+                bits as $t
             }
         }
     };
@@ -292,6 +326,14 @@ macro_rules! impl_signed {
 
             fn to_f64(self) -> f64 {
                 self as f64
+            }
+
+            fn to_bits_u64(self) -> u64 {
+                self as $u as u64
+            }
+
+            fn from_bits_u64(bits: u64) -> Self {
+                bits as $u as $t
             }
         }
     };
@@ -464,6 +506,26 @@ mod tests {
         }
         assert_eq!(reference_select(&data, 5), None);
         assert_eq!(reference_select::<f32>(&[], 0), None);
+    }
+
+    #[test]
+    fn bits_roundtrip_is_lossless() {
+        // NaN payloads and -0.0 survive, unlike to_sort_key
+        for v in [1.5f32, -0.0, f32::NAN, f32::from_bits(0xFFC0_0001)] {
+            assert_eq!(f32::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+        }
+        for v in [-2.5f64, f64::NAN, f64::MIN] {
+            assert_eq!(f64::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+        }
+        for v in [0u32, 42, u32::MAX] {
+            assert_eq!(u32::from_bits_u64(v.to_bits_u64()), v);
+        }
+        for v in [i64::MIN, -1, 0, i64::MAX] {
+            assert_eq!(i64::from_bits_u64(v.to_bits_u64()), v);
+        }
+        for v in [i32::MIN, -7, i32::MAX] {
+            assert_eq!(i32::from_bits_u64(v.to_bits_u64()), v);
+        }
     }
 
     #[test]

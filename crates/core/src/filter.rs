@@ -56,12 +56,13 @@ pub fn filter_kernel<T: SelectElement>(
     let lo = bucket_range.start;
     let hi = bucket_range.end;
 
-    let mut cost = hpc_par::parallel_map_reduce(
+    let (mut cost, oracle_mismatches) = hpc_par::parallel_map_reduce(
         device.pool(),
         blocks,
         1,
-        KernelCost::new(),
-        |range, mut cost| {
+        (KernelCost::new(), 0u64),
+        |range, acc| {
+            let (mut cost, mut mismatches) = acc;
             let mut cursors = vec![0u64; (hi - lo) as usize];
             for block in range {
                 let start = block * chunk;
@@ -79,12 +80,25 @@ pub fn filter_kernel<T: SelectElement>(
                         let bucket = oracles.get(idx + lane);
                         if (lo..hi).contains(&bucket) {
                             let rel = (bucket - lo) as usize;
+                            // A corrupted oracle can route extra elements
+                            // into this (bucket, block) range; writing past
+                            // the range allotted by the prefix sums would
+                            // violate the scatter buffer's write-once
+                            // contract, so overflowing matches are dropped
+                            // and flagged instead.
+                            if cursors[rel] >= count.partials[bucket as usize * blocks + block] {
+                                mismatches += 1;
+                                matched_in_warp += 1;
+                                continue;
+                            }
                             let pos = reduce.offsets[bucket as usize * blocks + block] - range_base
                                 + cursors[rel];
                             cursors[rel] += 1;
                             // SAFETY: the two-pass scheme assigns each
                             // output slot to exactly one (block, bucket,
-                            // local-rank) triple.
+                            // local-rank) triple; the bound check above
+                            // keeps that true even under corrupted
+                            // oracles.
                             unsafe { out_ref.write(pos as usize, data[idx + lane]) };
                             matched_in_warp += 1;
                         }
@@ -118,6 +132,16 @@ pub fn filter_kernel<T: SelectElement>(
                     matched_in_block += matched_in_warp;
                     idx += wlen;
                 }
+                // A corrupted oracle can also *remove* elements from a
+                // (bucket, block) range, leaving output slots unwritten;
+                // detect the shortfall so the scatter buffer is never
+                // finalized with uninitialized slots.
+                for (rel, &cursor) in cursors.iter().enumerate().take((hi - lo) as usize) {
+                    let bucket = lo as usize + rel;
+                    if cursor != count.partials[bucket * blocks + block] {
+                        mismatches += 1;
+                    }
+                }
                 let len = (end - start) as u64;
                 // Oracles are streamed coalesced; the matching elements
                 // are gathered sparsely (uncoalesced) and written
@@ -128,10 +152,11 @@ pub fn filter_kernel<T: SelectElement>(
                 cost.int_ops += len;
                 cost.blocks += 1;
             }
-            cost
+            (cost, mismatches)
         },
         |mut a, b| {
-            a.merge(&b);
+            a.0.merge(&b.0);
+            a.1 += b.1;
             a
         },
     );
@@ -140,8 +165,24 @@ pub fn filter_kernel<T: SelectElement>(
 
     device.commit("filter", launch, origin, cost);
 
+    if oracle_mismatches > 0 {
+        // The scatter buffer may hold unwritten slots, so finalizing it
+        // would be undefined behaviour. Rebuild the output with a safe
+        // sequential gather over the (corrupted) oracles; the length (or
+        // content) discrepancy is then caught by the ABFT checks in the
+        // recursion driver.
+        return data
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| (lo..hi).contains(&oracles.get(i)))
+            .map(|(_, &x)| x)
+            .collect();
+    }
+
     // SAFETY: cursor arithmetic wrote each of the out_len slots exactly
-    // once (verified by the partition tests below).
+    // once (verified by the partition tests below), and
+    // `oracle_mismatches == 0` certifies every (block, bucket) range was
+    // filled to exactly its expected count.
     unsafe { out.into_vec(out_len) }
 }
 

@@ -21,6 +21,13 @@ pub struct ResilienceEvents {
     pub degradations: u32,
     /// Device faults observed (some may be absorbed by a single retry).
     pub faults_observed: u32,
+    /// Silent data corruptions caught by an ABFT invariant or rank
+    /// certificate (see [`crate::verify`]).
+    pub corruptions_detected: u32,
+    /// Final answers that passed an exact rank certificate.
+    pub certified: u32,
+    /// Streaming runs resumed from a checkpoint instead of restarting.
+    pub resumed: u32,
     /// Human-readable event log, one entry per resilience action.
     pub log: Vec<String>,
 }
@@ -50,6 +57,24 @@ impl ResilienceEvents {
         self.log.push(format!("fault: {}", detail.into()));
     }
 
+    /// Record a silent corruption caught by a verification check.
+    pub fn corruption(&mut self, detail: impl Into<String>) {
+        self.corruptions_detected += 1;
+        self.log.push(format!("corruption: {}", detail.into()));
+    }
+
+    /// Record a successful rank certification of the final answer.
+    pub fn certify(&mut self, detail: impl Into<String>) {
+        self.certified += 1;
+        self.log.push(format!("certified: {}", detail.into()));
+    }
+
+    /// Record a streaming run resumed from a checkpoint.
+    pub fn resume(&mut self, detail: impl Into<String>) {
+        self.resumed += 1;
+        self.log.push(format!("resumed: {}", detail.into()));
+    }
+
     /// Whether the run needed any resilience action at all.
     pub fn is_clean(&self) -> bool {
         self.retries == 0 && self.fallbacks == 0 && self.degradations == 0
@@ -62,6 +87,9 @@ impl ResilienceEvents {
         self.fallbacks += other.fallbacks;
         self.degradations += other.degradations;
         self.faults_observed += other.faults_observed;
+        self.corruptions_detected += other.corruptions_detected;
+        self.certified += other.certified;
+        self.resumed += other.resumed;
         self.log.extend(other.log.iter().cloned());
     }
 }
@@ -261,9 +289,18 @@ mod tests {
 
         let mut other = ResilienceEvents::default();
         other.degrade("time budget exceeded");
+        other.corruption("histogram-sum on level 1");
+        other.certify("rank 500 in [499, 502)");
+        other.resume("checkpoint at chunk 3");
         events.merge(&other);
         assert_eq!(events.degradations, 1);
-        assert_eq!(events.log.len(), 4);
+        assert_eq!(events.corruptions_detected, 1);
+        assert_eq!(events.certified, 1);
+        assert_eq!(events.resumed, 1);
+        assert_eq!(events.log.len(), 7);
+        assert!(other.log[1].starts_with("corruption:"));
+        assert!(other.log[2].starts_with("certified:"));
+        assert!(other.log[3].starts_with("resumed:"));
 
         let report = report.with_resilience(events.clone());
         assert_eq!(report.resilience, events);

@@ -59,6 +59,19 @@ impl<K: SelectElement, V: Payload> SelectElement for Pair<K, V> {
         self.key.to_sort_key()
     }
 
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        // Only the key fits the 64-bit image; payloads are restored as
+        // `V::default()` by `from_bits_u64`. Checkpoint/corruption
+        // plumbing therefore treats pair payloads as non-authoritative.
+        self.key.to_bits_u64()
+    }
+
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        Pair::new(K::from_bits_u64(bits), V::default())
+    }
+
     fn from_f64(v: f64) -> Self {
         Pair::new(K::from_f64(v), V::default())
     }

@@ -54,6 +54,7 @@ pub mod searchtree;
 pub mod splitter;
 pub mod streaming;
 pub mod topk;
+pub mod verify;
 
 pub use approx::{approx_select, approx_select_on_device, ApproxResult};
 pub use element::SelectElement;
@@ -69,8 +70,12 @@ pub use resilient::{
 };
 pub use samplesort::{sample_sort, sample_sort_on_device, SortResult};
 pub use searchtree::SearchTree;
-pub use streaming::{streaming_select, ChunkError, ChunkSource, SliceChunks, StreamingResult};
+pub use streaming::{
+    streaming_select, streaming_select_with_checkpoint, ChunkError, ChunkSource, SliceChunks,
+    StreamingResult,
+};
 pub use topk::{bottom_k_smallest_on_device, top_k_largest, top_k_largest_on_device};
+pub use verify::VerifyPolicy;
 
 use gpu_sim::arch::v100;
 use gpu_sim::Device;
@@ -104,6 +109,16 @@ pub enum SelectError {
     /// A chunk of an out-of-core dataset could not be loaded, even after
     /// the streaming driver's per-chunk retries.
     ChunkLoad(ChunkError),
+    /// An algorithm-level integrity check (ABFT invariant or rank
+    /// certificate, see [`verify`]) caught silently corrupted data.
+    /// Transient: a retry with re-seeded sampling recomputes every
+    /// intermediate buffer from the (intact) input.
+    Corruption {
+        /// Which invariant failed (e.g. `"histogram-sum"`).
+        invariant: &'static str,
+        /// Human-readable detail of the violation.
+        detail: String,
+    },
 }
 
 impl SelectError {
@@ -112,6 +127,7 @@ impl SelectError {
         match self {
             SelectError::DeviceFault(_) => true,
             SelectError::ChunkLoad(e) => e.transient,
+            SelectError::Corruption { .. } => true,
             _ => false,
         }
     }
@@ -131,6 +147,9 @@ impl std::fmt::Display for SelectError {
             SelectError::RecursionLimit => write!(f, "selection recursion failed to converge"),
             SelectError::DeviceFault(e) => write!(f, "device fault: {e}"),
             SelectError::ChunkLoad(e) => write!(f, "chunk load failed: {e}"),
+            SelectError::Corruption { invariant, detail } => {
+                write!(f, "data corruption detected ({invariant}): {detail}")
+            }
         }
     }
 }
@@ -202,6 +221,13 @@ mod tests {
             transient: false,
         });
         assert!(!permanent_chunk.is_transient());
+
+        let corruption = SelectError::Corruption {
+            invariant: "histogram-sum",
+            detail: "counts sum to 99 for n=100".to_string(),
+        };
+        assert!(corruption.is_transient());
+        assert!(format!("{corruption}").contains("histogram-sum"));
 
         for permanent in [
             SelectError::EmptyInput,

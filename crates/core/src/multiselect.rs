@@ -101,7 +101,7 @@ pub fn multi_select_on_device<T: SelectElement>(
             continue;
         }
 
-        let tree = sample_kernel(device, cur, cfg, &mut rng, origin);
+        let tree = sample_kernel(device, cur, cfg, &mut rng, origin)?;
         let count = count_kernel(device, cur, &tree, cfg, true, origin);
         let red = reduce_kernel(device, &count, LaunchOrigin::Device);
 

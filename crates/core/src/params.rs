@@ -5,6 +5,7 @@
 //! of [`SampleSelectConfig`], so the Fig. 7 parameter-tuning sweeps are
 //! plain loops over configurations.
 
+use crate::verify::VerifyPolicy;
 use gpu_sim::arch::{GpuArchitecture, GpuGeneration};
 
 /// Where the bucket counters live (§IV-G): per-block shared-memory
@@ -131,6 +132,11 @@ pub struct SampleSelectConfig {
     /// unlimited. A healthy run processes ~`n * (1 + 1/b + ...)` ≈ `1.1n`
     /// elements, so factors of 2–4 only trip on degenerate recursions.
     pub work_budget_factor: Option<f64>,
+    /// Algorithm-based fault-tolerance level (see [`crate::verify`]):
+    /// `Off` (default) runs no integrity checks, `Spot` checks the cheap
+    /// per-level invariants, `Paranoid` additionally certifies the final
+    /// result with one O(n) rank-counting pass.
+    pub verify: VerifyPolicy,
 }
 
 impl Default for SampleSelectConfig {
@@ -149,6 +155,7 @@ impl Default for SampleSelectConfig {
             seed: 0x5eed_5e1ec7,
             max_levels: None,
             work_budget_factor: None,
+            verify: VerifyPolicy::Off,
         }
     }
 }
@@ -307,6 +314,11 @@ impl SampleSelectConfig {
 
     pub fn with_work_budget_factor(mut self, factor: f64) -> Self {
         self.work_budget_factor = Some(factor);
+        self
+    }
+
+    pub fn with_verify(mut self, policy: VerifyPolicy) -> Self {
+        self.verify = policy;
         self
     }
 }

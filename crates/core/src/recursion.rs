@@ -18,6 +18,7 @@ use crate::params::SampleSelectConfig;
 use crate::reduce::reduce_kernel;
 use crate::rng::SplitMix64;
 use crate::splitter::sample_kernel;
+use crate::verify::{check_filter_size, check_histogram};
 use crate::{SelectError, SelectResult};
 use gpu_sim::{Device, KernelCost, LaunchConfig, LaunchOrigin, TailLaunchQueue};
 
@@ -153,16 +154,26 @@ pub fn sample_select_on_device<T: SelectElement>(
         }
         levels += 1;
 
-        let tree = sample_kernel(device, cur, cfg, &mut rng, origin);
+        // Splitter order is checked inside `sample_kernel` (always on:
+        // an unsorted tree is unusable, not merely inaccurate).
+        let tree = sample_kernel(device, cur, cfg, &mut rng, origin)?;
         let count = count_kernel(device, cur, &tree, cfg, true, origin);
+        if cfg.verify.spot_checks() {
+            check_histogram(&count.counts, cur.len())?;
+        }
         let red = reduce_kernel(device, &count, LaunchOrigin::Device);
         select_bucket_kernel(device, tree.num_buckets(), LaunchOrigin::Device);
 
         let bucket = red.bucket_for_rank(k as u64);
-        debug_assert!(
-            red.bucket_size(bucket) > 0,
-            "rank must fall in a non-empty bucket"
-        );
+        if red.bucket_size(bucket) == 0 {
+            // Healthy runs always land the rank in a non-empty bucket;
+            // an empty one means the counts (or their prefix sums) were
+            // corrupted after the histogram was assembled.
+            return Err(SelectError::Corruption {
+                invariant: "bucket-for-rank",
+                detail: format!("rank {k} mapped to empty bucket {bucket}"),
+            });
+        }
 
         if tree.is_equality_bucket(bucket) {
             // §IV-C: all elements of this bucket equal its lower-bound
@@ -181,8 +192,24 @@ pub fn sample_select_on_device<T: SelectElement>(
             cfg,
             LaunchOrigin::Device,
         );
+        if cfg.verify.spot_checks() {
+            check_filter_size(next.len(), red.bucket_size(bucket))?;
+        }
         let next_rank = k - red.bucket_offsets[bucket] as usize;
-        debug_assert!(next_rank < next.len());
+        if next_rank >= next.len() {
+            // Unconditionally guarded (not just under `verify`): a
+            // corrupted oracle or count buffer can shrink the filter
+            // output below the descending rank, and indexing past it at
+            // the next level would panic instead of surfacing a
+            // retryable error.
+            return Err(SelectError::Corruption {
+                invariant: "filter-size",
+                detail: format!(
+                    "descending rank {next_rank} outside filtered bucket of {} elements",
+                    next.len()
+                ),
+            });
+        }
         storage = next;
         use_storage = true;
         queue.push(LevelTask {

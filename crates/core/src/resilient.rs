@@ -34,6 +34,7 @@ use crate::params::SampleSelectConfig;
 use crate::quickselect::quick_select_on_device;
 use crate::recursion::{sample_select_on_device, validate_input};
 use crate::streaming::{streaming_select, ChunkSource};
+use crate::verify::certify_rank;
 use crate::{SelectError, SelectResult};
 use gpu_sim::arch::v100;
 use gpu_sim::{Device, SimTime};
@@ -47,6 +48,10 @@ pub struct RetryPolicy {
     pub backoff: SimTime,
     /// Backoff growth per retry (exponential backoff at 2.0).
     pub backoff_multiplier: f64,
+    /// Ceiling on a single backoff: exponential growth stops here, so a
+    /// long retry chain degrades the clock linearly instead of
+    /// geometrically.
+    pub max_backoff: SimTime,
 }
 
 impl Default for RetryPolicy {
@@ -55,6 +60,7 @@ impl Default for RetryPolicy {
             max_retries: 3,
             backoff: SimTime::from_us(50.0),
             backoff_multiplier: 2.0,
+            max_backoff: SimTime::from_ms(5.0),
         }
     }
 }
@@ -193,6 +199,9 @@ fn backoff_and_count(
     for _ in 0..attempt {
         backoff = backoff * policy.backoff_multiplier;
     }
+    if backoff > policy.max_backoff {
+        backoff = policy.max_backoff;
+    }
     events.retry(format!(
         "{} attempt {} re-seeded after {}",
         backend.name(),
@@ -283,6 +292,45 @@ pub fn resilient_select_on_device<T: SelectElement>(
 
             match (result, fault) {
                 (Ok(inner), None) => {
+                    // Before declaring the answer exact, a paranoid
+                    // policy demands an independent rank certificate
+                    // (one counting pass over the untouched input) —
+                    // the only check that catches a *self-consistent*
+                    // corruption of the intermediate buffers. The CPU
+                    // sort reads the input directly and needs none.
+                    if base_cfg.verify.certify() && backend != Backend::CpuSort {
+                        match certify_rank(
+                            device,
+                            data,
+                            inner.value,
+                            rank,
+                            &base_cfg,
+                            gpu_sim::LaunchOrigin::Host,
+                        ) {
+                            Ok(()) => events
+                                .certify(format!("rank {rank} certified on {}", backend.name())),
+                            Err(SelectError::Corruption { invariant, detail }) => {
+                                events.corruption(format!("{invariant}: {detail}"));
+                                if attempt < rcfg.retry.max_retries {
+                                    backoff_and_count(
+                                        device,
+                                        &rcfg.retry,
+                                        attempt,
+                                        &mut events,
+                                        backend,
+                                    );
+                                    attempt += 1;
+                                    continue;
+                                }
+                                events.fallback(format!(
+                                    "{}: retries exhausted under persistent faults",
+                                    backend.name()
+                                ));
+                                break;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
                     let report = SelectReport::from_records(
                         backend.report_label(),
                         n,
@@ -319,6 +367,9 @@ pub fn resilient_select_on_device<T: SelectElement>(
                     }
                 }
                 (Err(e), None) if e.is_transient() => {
+                    if let SelectError::Corruption { invariant, detail } = &e {
+                        events.corruption(format!("{invariant}: {detail}"));
+                    }
                     if attempt < rcfg.retry.max_retries {
                         backoff_and_count(device, &rcfg.retry, attempt, &mut events, backend);
                         attempt += 1;
@@ -474,6 +525,40 @@ pub fn resilient_streaming_select<T: SelectElement, S: ChunkSource<T>>(
 
         match (result, fault) {
             (Ok(res), None) => {
+                if base_cfg.verify.certify() {
+                    // Streaming certification re-reads the source (the
+                    // input is out-of-core, so the certificate is the
+                    // one pass that touches all of it again).
+                    let data = materialize(source)?;
+                    match certify_rank(
+                        device,
+                        &data,
+                        res.value,
+                        rank,
+                        &base_cfg,
+                        gpu_sim::LaunchOrigin::Host,
+                    ) {
+                        Ok(()) => events.certify(format!("rank {rank} certified on streaming")),
+                        Err(SelectError::Corruption { invariant, detail }) => {
+                            events.corruption(format!("{invariant}: {detail}"));
+                            if attempt < rcfg.retry.max_retries {
+                                backoff_and_count(
+                                    device,
+                                    &rcfg.retry,
+                                    attempt,
+                                    &mut events,
+                                    Backend::SampleSelect,
+                                );
+                                attempt += 1;
+                                continue;
+                            }
+                            fallback_reason =
+                                "streaming retries exhausted under persistent faults".to_string();
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
                 // Keep the chunk-level retries the streaming driver
                 // already recorded.
                 events.merge(&res.report.resilience);
@@ -513,6 +598,9 @@ pub fn resilient_streaming_select<T: SelectElement, S: ChunkSource<T>>(
                 }
             }
             (Err(e), None) if e.is_transient() => {
+                if let SelectError::Corruption { invariant, detail } = &e {
+                    events.corruption(format!("{invariant}: {detail}"));
+                }
                 if attempt < rcfg.retry.max_retries {
                     backoff_and_count(
                         device,

@@ -88,7 +88,7 @@ fn sort_rec<T: SelectElement>(
         return Ok(buf);
     }
 
-    let tree = crate::splitter::sample_kernel(device, data, cfg, rng, origin);
+    let tree = crate::splitter::sample_kernel(device, data, cfg, rng, origin)?;
     let count = count_kernel(device, data, &tree, cfg, true, origin);
     let red = reduce_kernel(device, &count, LaunchOrigin::Device);
     let b = tree.num_buckets() as u32;

@@ -7,6 +7,7 @@ use crate::element::SelectElement;
 use crate::params::SampleSelectConfig;
 use crate::rng::SplitMix64;
 use crate::searchtree::SearchTree;
+use crate::SelectError;
 use gpu_sim::{Device, KernelCost, LaunchConfig, LaunchOrigin};
 
 /// Run the sample kernel on `device`, returning the splitter tree.
@@ -22,7 +23,7 @@ pub fn sample_kernel<T: SelectElement>(
     cfg: &SampleSelectConfig,
     rng: &mut SplitMix64,
     origin: LaunchOrigin,
-) -> SearchTree<T> {
+) -> Result<SearchTree<T>, SelectError> {
     assert!(!data.is_empty(), "sample kernel requires a non-empty input");
     let b = cfg.num_buckets;
     let s = cfg.sample_size().max(b);
@@ -40,7 +41,7 @@ pub fn sample_kernel<T: SelectElement>(
     stats.charge::<T>(&mut cost);
 
     // Pick the i/b percentiles (i = 1..b-1 inclusive of b-1 values).
-    let splitters: Vec<T> = (1..b).map(|i| sample[i * s / b]).collect();
+    let mut splitters: Vec<T> = (1..b).map(|i| sample[i * s / b]).collect();
     debug_assert_eq!(splitters.len(), b - 1);
 
     // Write the search tree to global memory.
@@ -54,7 +55,14 @@ pub fn sample_kernel<T: SelectElement>(
     };
     device.commit("sample", launch, origin, cost);
 
-    SearchTree::build(&splitters)
+    // The splitter buffer lives in global memory between kernels, so it
+    // is a target for the device's silent-corruption injector. The order
+    // invariant is checked unconditionally (it costs O(b) and the search
+    // tree is unusable — not just wrong — on unsorted splitters).
+    crate::verify::corrupt_elements(device, "splitters", &mut splitters);
+    crate::verify::check_splitters(&splitters)?;
+
+    Ok(SearchTree::build(&splitters))
 }
 
 #[cfg(test)]
@@ -73,7 +81,7 @@ mod tests {
         let mut device = Device::new(v100(), &pool);
         let mut rng = SplitMix64::new(1);
         let data: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.37).sin()).collect();
-        let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host);
+        let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host).unwrap();
         let s = tree.splitters();
         assert_eq!(s.len(), cfg.num_buckets - 1);
         assert!(s.windows(2).all(|w| !w[1].lt(w[0])), "splitters sorted");
@@ -91,7 +99,7 @@ mod tests {
         let data: Vec<f64> = (0..100_000)
             .map(|_| SplitMix64::new(rng.next_u64()).next_f64())
             .collect();
-        let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host);
+        let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host).unwrap();
         for (i, &s) in tree.splitters().iter().enumerate() {
             let expected = (i + 1) as f64 / 16.0;
             assert!(
@@ -107,7 +115,7 @@ mod tests {
         let mut device = Device::new(v100(), &pool);
         let mut rng = SplitMix64::new(3);
         let data: Vec<f32> = (0..5_000).map(|i| i as f32).collect();
-        sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host);
+        sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host).unwrap();
         let recs = device.records();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].name, "sample");
@@ -128,14 +136,16 @@ mod tests {
             &cfg,
             &mut SplitMix64::new(9),
             LaunchOrigin::Host,
-        );
+        )
+        .unwrap();
         let t2 = sample_kernel(
             &mut d2,
             &data,
             &cfg,
             &mut SplitMix64::new(9),
             LaunchOrigin::Host,
-        );
+        )
+        .unwrap();
         assert_eq!(t1.splitters(), t2.splitters());
     }
 
@@ -147,7 +157,7 @@ mod tests {
         // 10 elements but sample_size is 1024: sampling with replacement
         // still yields a valid (duplicate-heavy) splitter set.
         let data: Vec<u32> = (0..10).collect();
-        let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host);
+        let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host).unwrap();
         assert_eq!(tree.num_buckets(), cfg.num_buckets);
         // every data value must land in *some* bucket consistent with
         // the reference lookup

@@ -13,6 +13,21 @@
 //! oracles — nothing is stored per element) → pick the bucket containing
 //! the rank → re-stream, extracting only that bucket → recurse in
 //! memory.
+//!
+//! ## Checkpoint / resume
+//!
+//! Long out-of-core runs outlive processes: the host gets preempted, the
+//! job is killed, the machine reboots. Every pass of the streaming
+//! pipeline is chunk-incremental, so the full driver state between two
+//! chunk loads is tiny — the partial sample (or the splitters), the
+//! merged histogram, the surviving-candidate buffer, the RNG state, and
+//! the position in the pipeline. [`streaming_select_with_checkpoint`]
+//! persists exactly that after every chunk into a versioned, checksummed
+//! checkpoint file and can resume a killed run from it, reproducing the
+//! uninterrupted run bit for bit (the RNG state makes the sampling pass
+//! deterministic across the kill). A corrupted or mismatched checkpoint
+//! is detected by its FNV-1a checksum / run fingerprint and degrades to
+//! a clean restart, never to silently wrong state.
 
 use crate::count::count_kernel;
 use crate::element::SelectElement;
@@ -21,8 +36,10 @@ use crate::params::SampleSelectConfig;
 use crate::recursion::sample_select_on_device;
 use crate::rng::SplitMix64;
 use crate::searchtree::SearchTree;
+use crate::verify::{check_filter_size, check_histogram, check_splitters};
 use crate::{SelectError, SelectResult};
 use gpu_sim::{Device, KernelCost, LaunchOrigin, SimTime};
+use std::path::Path;
 
 /// Retries of one chunk load before the driver gives up (in addition to
 /// the initial attempt). Only *transient* failures are retried.
@@ -72,6 +89,18 @@ pub trait ChunkSource<T>: Sync {
     fn load_chunk(&self, idx: usize) -> Result<Vec<T>, ChunkError>;
     /// Total number of elements across all chunks.
     fn total_len(&self) -> usize;
+    /// Human-readable name of the backing source, used in retry and
+    /// give-up diagnostics (a file path, a shard set, an URL prefix).
+    fn source_name(&self) -> &str {
+        "chunks"
+    }
+    /// Byte offset of chunk `idx` within the backing source, when the
+    /// source is a contiguous byte stream; `None` for sources without a
+    /// meaningful linear layout.
+    fn chunk_byte_offset(&self, idx: usize) -> Option<u64> {
+        let _ = idx;
+        None
+    }
 }
 
 /// Load one chunk, retrying transient failures with exponential backoff
@@ -84,6 +113,12 @@ fn load_chunk_with_retry<T, S: ChunkSource<T>>(
 ) -> Result<Vec<T>, SelectError> {
     let mut backoff_ns = CHUNK_RETRY_BACKOFF_NS;
     let mut retries = 0u32;
+    // Identify the chunk the way an operator would look it up: index,
+    // byte offset, and the backing source's name.
+    let position = match source.chunk_byte_offset(idx) {
+        Some(off) => format!("chunk {idx} at byte {off} of `{}`", source.source_name()),
+        None => format!("chunk {idx} of `{}`", source.source_name()),
+    };
     loop {
         match source.load_chunk(idx) {
             Ok(chunk) => return Ok(chunk),
@@ -93,7 +128,7 @@ fn load_chunk_with_retry<T, S: ChunkSource<T>>(
                 }
                 retries += 1;
                 events.retry(format!(
-                    "chunk {idx} load failed ({}); retry {retries}/{CHUNK_MAX_RETRIES} \
+                    "{position} load failed ({}); retry {retries}/{CHUNK_MAX_RETRIES} \
                      after {backoff_ns}ns",
                     err.message
                 ));
@@ -133,6 +168,15 @@ impl<T: SelectElement> ChunkSource<T> for SliceChunks<'_, T> {
     fn total_len(&self) -> usize {
         self.data.len()
     }
+
+    fn source_name(&self) -> &str {
+        "host-slice"
+    }
+
+    fn chunk_byte_offset(&self, idx: usize) -> Option<u64> {
+        let start = (idx * self.chunk_len).min(self.data.len());
+        Some((start * T::BYTES) as u64)
+    }
 }
 
 /// Result of a streaming selection, with out-of-core statistics.
@@ -147,12 +191,320 @@ pub struct StreamingResult<T> {
     pub report: SelectReport,
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint format
+// ---------------------------------------------------------------------
+
+/// File magic of a streaming checkpoint ("SampleSelect ChecKpoint").
+const CHECKPOINT_MAGIC: [u8; 4] = *b"SSCK";
+/// Format version; bumped on any layout change.
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Pipeline positions a checkpoint can record.
+const PHASE_SAMPLE: u8 = 0;
+const PHASE_COUNT: u8 = 1;
+const PHASE_FILTER: u8 = 2;
+
+/// Identity of a run: a checkpoint written by a different job (other
+/// seed, size, rank, chunking, bucket count, or element width) must
+/// never be resumed into this one.
+struct Fingerprint {
+    seed: u64,
+    n: u64,
+    rank: u64,
+    num_chunks: u64,
+    num_buckets: u64,
+    elem_bytes: u8,
+}
+
+/// Everything needed to restart the pipeline between two chunk loads.
+#[derive(Debug)]
+struct CheckpointState<T> {
+    /// Which pass was running ([`PHASE_SAMPLE`] / [`PHASE_COUNT`] /
+    /// [`PHASE_FILTER`]).
+    phase: u8,
+    /// First chunk of that pass not yet processed.
+    next_chunk: u64,
+    /// Sampling RNG state *after* the last processed chunk, so a resumed
+    /// sampling pass draws the exact same positions the uninterrupted
+    /// run would have.
+    rng_state: u64,
+    /// Partial proportional sample (sampling pass only).
+    sample: Vec<T>,
+    /// Finished splitters (later passes).
+    splitters: Vec<T>,
+    /// Merged histogram so far.
+    counts: Vec<u64>,
+    /// Surviving candidates extracted so far (filter pass).
+    kept: Vec<T>,
+}
+
+impl<T> CheckpointState<T> {
+    fn fresh(seed: u64) -> Self {
+        Self {
+            phase: PHASE_SAMPLE,
+            next_chunk: 0,
+            rng_state: seed,
+            sample: Vec::new(),
+            splitters: Vec::new(),
+            counts: Vec::new(),
+            kept: Vec::new(),
+        }
+    }
+}
+
+/// FNV-1a 64-bit, the checkpoint's end-to-end checksum: cheap, no
+/// dependencies, and a single flipped bit anywhere in the file changes
+/// it.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_elems<T: SelectElement>(out: &mut Vec<u8>, elems: &[T]) {
+    push_u64(out, elems.len() as u64);
+    for &x in elems {
+        push_u64(out, x.to_bits_u64());
+    }
+}
+
+/// Serialize a checkpoint: magic, version, fingerprint, pipeline
+/// position, four length-prefixed arrays (all little-endian, elements as
+/// lossless 64-bit images), and a trailing FNV-1a checksum over
+/// everything before it.
+fn encode_checkpoint<T: SelectElement>(fp: &Fingerprint, state: &CheckpointState<T>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        64 + 8
+            * (state.sample.len() + state.splitters.len() + state.counts.len() + state.kept.len()),
+    );
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    push_u64(&mut out, fp.seed);
+    push_u64(&mut out, fp.n);
+    push_u64(&mut out, fp.rank);
+    push_u64(&mut out, fp.num_chunks);
+    push_u64(&mut out, fp.num_buckets);
+    out.push(fp.elem_bytes);
+    out.push(state.phase);
+    push_u64(&mut out, state.next_chunk);
+    push_u64(&mut out, state.rng_state);
+    push_elems(&mut out, &state.sample);
+    push_elems(&mut out, &state.splitters);
+    push_u64(&mut out, state.counts.len() as u64);
+    for &c in &state.counts {
+        push_u64(&mut out, c);
+    }
+    push_elems(&mut out, &state.kept);
+    let checksum = fnv1a64(&out);
+    push_u64(&mut out, checksum);
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| "truncated checkpoint".to_string())?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn elems<T: SelectElement>(&mut self, max_len: u64) -> Result<Vec<T>, String> {
+        let len = self.u64()?;
+        if len > max_len {
+            return Err(format!("implausible array length {len}"));
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(T::from_bits_u64(self.u64()?));
+        }
+        Ok(out)
+    }
+}
+
+/// Parse and validate a checkpoint. Every rejection reason is a
+/// human-readable string; callers log it and fall back to a clean
+/// restart — a bad checkpoint must never poison a run.
+fn decode_checkpoint<T: SelectElement>(
+    bytes: &[u8],
+    fp: &Fingerprint,
+) -> Result<CheckpointState<T>, String> {
+    if bytes.len() < CHECKPOINT_MAGIC.len() + 8 {
+        return Err("file too short".to_string());
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+        ));
+    }
+    let mut cur = Cursor {
+        bytes: body,
+        pos: 0,
+    };
+    if cur.take(4)? != CHECKPOINT_MAGIC {
+        return Err("bad magic".to_string());
+    }
+    let version = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
+    if version != CHECKPOINT_VERSION {
+        return Err(format!("unsupported version {version}"));
+    }
+    let seed = cur.u64()?;
+    let n = cur.u64()?;
+    let rank = cur.u64()?;
+    let num_chunks = cur.u64()?;
+    let num_buckets = cur.u64()?;
+    let elem_bytes = cur.u8()?;
+    if seed != fp.seed
+        || n != fp.n
+        || rank != fp.rank
+        || num_chunks != fp.num_chunks
+        || num_buckets != fp.num_buckets
+        || elem_bytes != fp.elem_bytes
+    {
+        return Err("fingerprint mismatch: checkpoint belongs to a different run".to_string());
+    }
+    let phase = cur.u8()?;
+    if phase > PHASE_FILTER {
+        return Err(format!("invalid phase {phase}"));
+    }
+    let next_chunk = cur.u64()?;
+    if next_chunk > fp.num_chunks {
+        return Err(format!(
+            "next chunk {next_chunk} beyond {num_chunks} chunks"
+        ));
+    }
+    let rng_state = cur.u64()?;
+    let sample: Vec<T> = cur.elems(fp.n)?;
+    let splitters: Vec<T> = cur.elems(fp.num_buckets)?;
+    let counts_len = cur.u64()?;
+    if counts_len > fp.num_buckets {
+        return Err(format!("implausible histogram length {counts_len}"));
+    }
+    let mut counts = Vec::with_capacity(counts_len as usize);
+    for _ in 0..counts_len {
+        counts.push(cur.u64()?);
+    }
+    let kept: Vec<T> = cur.elems(fp.n)?;
+    if cur.pos != body.len() {
+        return Err("trailing garbage after checkpoint payload".to_string());
+    }
+    if phase > PHASE_SAMPLE && splitters.len() as u64 != fp.num_buckets - 1 {
+        return Err(format!(
+            "phase {phase} checkpoint carries {} splitters, expected {}",
+            splitters.len(),
+            fp.num_buckets - 1
+        ));
+    }
+    if phase > PHASE_COUNT && counts.len() as u64 != fp.num_buckets {
+        return Err(format!(
+            "phase {phase} checkpoint carries {} bucket counts, expected {num_buckets}",
+            counts.len()
+        ));
+    }
+    Ok(CheckpointState {
+        phase,
+        next_chunk,
+        rng_state,
+        sample,
+        splitters,
+        counts,
+        kept,
+    })
+}
+
+/// Atomically persist the current pipeline state: serialize, write to a
+/// sibling temp file, rename over the target. A failed write is logged
+/// and otherwise ignored — checkpointing is best-effort and must never
+/// fail the selection itself.
+fn save_checkpoint<T: SelectElement>(
+    path: Option<&Path>,
+    fp: &Fingerprint,
+    state: &CheckpointState<T>,
+    events: &mut ResilienceEvents,
+) {
+    let Some(path) = path else { return };
+    let bytes = encode_checkpoint(fp, state);
+    let tmp = path.with_extension("ckpt-tmp");
+    let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(err) = result {
+        events.log.push(format!(
+            "checkpoint: write to `{}` failed ({err})",
+            path.display()
+        ));
+    }
+}
+
+fn delete_checkpoint(path: Option<&Path>) {
+    if let Some(path) = path {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
 /// Select the `rank`-th smallest element of a chunked dataset.
 pub fn streaming_select<T: SelectElement, S: ChunkSource<T>>(
     device: &mut Device,
     source: &S,
     rank: usize,
     cfg: &SampleSelectConfig,
+) -> Result<StreamingResult<T>, SelectError> {
+    streaming_select_impl(device, source, rank, cfg, None, false)
+}
+
+/// [`streaming_select`] with crash tolerance: persist a checkpoint to
+/// `checkpoint` after every processed chunk, and (with `resume`) restart
+/// from an existing checkpoint instead of from scratch.
+///
+/// Resuming reproduces the uninterrupted run exactly — the checkpoint
+/// carries the sampling RNG state, so the splitters (and with them every
+/// downstream buffer) come out bit-identical. The checkpoint file is
+/// deleted once the run completes. An unreadable, corrupted
+/// (checksum-mismatched), or foreign (fingerprint-mismatched) checkpoint
+/// is rejected with a logged event and the run restarts cleanly.
+pub fn streaming_select_with_checkpoint<T: SelectElement, S: ChunkSource<T>>(
+    device: &mut Device,
+    source: &S,
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    checkpoint: &Path,
+    resume: bool,
+) -> Result<StreamingResult<T>, SelectError> {
+    streaming_select_impl(device, source, rank, cfg, Some(checkpoint), resume)
+}
+
+fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
+    device: &mut Device,
+    source: &S,
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    checkpoint: Option<&Path>,
+    resume: bool,
 ) -> Result<StreamingResult<T>, SelectError> {
     cfg.validate().map_err(SelectError::InvalidConfig)?;
     let n = source.total_len();
@@ -163,29 +515,132 @@ pub fn streaming_select<T: SelectElement, S: ChunkSource<T>>(
         return Err(SelectError::RankOutOfRange { rank, len: n });
     }
     let records_before = device.records().len();
-    let mut rng = SplitMix64::new(cfg.seed);
     let mut events = ResilienceEvents::default();
+    let b = cfg.num_buckets;
+    let fp = Fingerprint {
+        seed: cfg.seed,
+        n: n as u64,
+        rank: rank as u64,
+        num_chunks: source.num_chunks() as u64,
+        num_buckets: b as u64,
+        elem_bytes: T::BYTES as u8,
+    };
+
+    let mut state = CheckpointState::<T>::fresh(cfg.seed);
+    if resume {
+        if let Some(path) = checkpoint {
+            match std::fs::read(path) {
+                Ok(bytes) => match decode_checkpoint::<T>(&bytes, &fp) {
+                    Ok(restored) => {
+                        events.resume(format!(
+                            "phase {} at chunk {} from `{}`",
+                            restored.phase,
+                            restored.next_chunk,
+                            path.display()
+                        ));
+                        state = restored;
+                    }
+                    Err(msg) => {
+                        events.corruption(format!(
+                            "checkpoint `{}` rejected ({msg}); clean restart",
+                            path.display()
+                        ));
+                    }
+                },
+                Err(err) => {
+                    events.log.push(format!(
+                        "checkpoint: `{}` unreadable ({err}); clean restart",
+                        path.display()
+                    ));
+                }
+            }
+        }
+    }
 
     // Pass 1: proportional sampling across chunks (the streaming analogue
     // of the sample kernel; charged as one gather per sampled element).
-    let tree = streaming_sample(device, source, cfg, &mut rng, &mut events)?;
+    let mut rng = SplitMix64::from_state(state.rng_state);
+    if state.phase == PHASE_SAMPLE {
+        let s = cfg.sample_size().max(b);
+        let mut sample = std::mem::take(&mut state.sample);
+        for c in (state.next_chunk as usize)..source.num_chunks() {
+            let chunk = load_chunk_with_retry(device, source, c, &mut events)?;
+            if !chunk.is_empty() {
+                // proportional share, at least 1 to represent the chunk
+                let share = ((s as u128 * chunk.len() as u128) / n as u128).max(1) as usize;
+                for _ in 0..share {
+                    sample.push(chunk[rng.next_below(chunk.len())]);
+                }
+            }
+            state.next_chunk = c as u64 + 1;
+            state.rng_state = rng.state();
+            state.sample = sample;
+            save_checkpoint(checkpoint, &fp, &state, &mut events);
+            sample = std::mem::take(&mut state.sample);
+        }
+        let mut cost = KernelCost::new();
+        cost.blocks = 1;
+        cost.uncoalesced_bytes += (sample.len() * T::BYTES) as u64;
+        let stats = crate::bitonic::bitonic_sort(&mut sample);
+        stats.charge::<T>(&mut cost);
+        cost.global_write_bytes += ((b - 1) * T::BYTES) as u64;
+        device.commit(
+            "sample",
+            gpu_sim::LaunchConfig {
+                blocks: 1,
+                threads_per_block: cfg.threads_per_block,
+                shared_mem_bytes: (sample.len() * T::BYTES) as u32,
+            },
+            LaunchOrigin::Host,
+            cost,
+        );
+        let m = sample.len();
+        let mut splitters: Vec<T> = (1..b).map(|i| sample[(i * m / b).min(m - 1)]).collect();
+        // Like the in-memory sample kernel, the splitter buffer sits in
+        // global memory and is exposed to the bit-flip injector.
+        crate::verify::corrupt_elements(device, "splitters", &mut splitters);
+        state.phase = PHASE_COUNT;
+        state.next_chunk = 0;
+        state.splitters = splitters;
+        save_checkpoint(checkpoint, &fp, &state, &mut events);
+    }
+    // Checked unconditionally — the splitters may have been corrupted in
+    // device memory (above) or loaded from an untrusted checkpoint, and
+    // `SearchTree::build` requires sorted input.
+    check_splitters(&state.splitters)?;
+    let tree = SearchTree::build(&state.splitters);
 
     // Pass 2: chunkwise histogram, merged on the fly.
-    let b = tree.num_buckets();
-    let mut counts = vec![0u64; b];
-    for c in 0..source.num_chunks() {
-        let chunk = load_chunk_with_retry(device, source, c, &mut events)?;
-        if chunk.is_empty() {
-            continue;
+    if state.phase == PHASE_COUNT {
+        let mut counts = if state.counts.len() == b {
+            std::mem::take(&mut state.counts)
+        } else {
+            vec![0u64; b]
+        };
+        for c in (state.next_chunk as usize)..source.num_chunks() {
+            let chunk = load_chunk_with_retry(device, source, c, &mut events)?;
+            if !chunk.is_empty() {
+                let result = count_kernel(device, &chunk, &tree, cfg, false, LaunchOrigin::Host);
+                for (acc, v) in counts.iter_mut().zip(result.counts.iter()) {
+                    *acc += v;
+                }
+            }
+            state.next_chunk = c as u64 + 1;
+            state.counts = counts;
+            save_checkpoint(checkpoint, &fp, &state, &mut events);
+            counts = std::mem::take(&mut state.counts);
         }
-        let result = count_kernel(device, &chunk, &tree, cfg, false, LaunchOrigin::Host);
-        for (acc, v) in counts.iter_mut().zip(result.counts.iter()) {
-            *acc += v;
-        }
+        state.phase = PHASE_FILTER;
+        state.next_chunk = 0;
+        state.counts = counts;
+        save_checkpoint(checkpoint, &fp, &state, &mut events);
     }
-    debug_assert_eq!(counts.iter().sum::<u64>(), n as u64);
+    // The merged histogram feeds the bucket search below; a corrupted
+    // count would silently misroute the recursion, so the sum invariant
+    // is checked unconditionally (it costs O(b)).
+    check_histogram(&state.counts, n)?;
 
-    let mut offsets = counts;
+    let mut offsets = state.counts.clone();
     let total = hpc_par::exclusive_scan(&mut offsets);
     debug_assert_eq!(total, n as u64);
     let bucket = hpc_par::scan::bucket_for_rank(&offsets, rank as u64);
@@ -211,6 +666,7 @@ pub fn streaming_select<T: SelectElement, S: ChunkSource<T>>(
     }
 
     if tree.is_equality_bucket(bucket) {
+        delete_checkpoint(checkpoint);
         let report = SelectReport::from_records(
             "streaming-sampleselect",
             n,
@@ -229,36 +685,52 @@ pub fn streaming_select<T: SelectElement, S: ChunkSource<T>>(
     // Pass 3: re-stream, keeping only the target bucket.
     let lower = tree.bucket_lower(bucket);
     let upper = tree.bucket_lower(bucket + 1);
-    let mut kept: Vec<T> = Vec::with_capacity(
-        (offsets.get(bucket + 1).copied().unwrap_or(n as u64) - offsets[bucket]) as usize,
-    );
-    for c in 0..source.num_chunks() {
+    let mut kept = std::mem::take(&mut state.kept);
+    kept.reserve((offsets.get(bucket + 1).copied().unwrap_or(n as u64) - offsets[bucket]) as usize);
+    for c in (state.next_chunk as usize)..source.num_chunks() {
         let chunk = load_chunk_with_retry(device, source, c, &mut events)?;
-        if chunk.is_empty() {
-            continue;
+        if !chunk.is_empty() {
+            let before = kept.len();
+            kept.extend(chunk.iter().copied().filter(|&x| {
+                let above = lower.is_none_or(|lo| !x.lt(lo));
+                let below = upper.is_none_or(|hi| x.lt(hi));
+                above && below
+            }));
+            // Charge the extraction kernel: stream read + bound compares +
+            // contiguous writes of the matches.
+            let mut cost = KernelCost::new();
+            cost.global_read_bytes += (chunk.len() * T::BYTES) as u64;
+            cost.int_ops += chunk.len() as u64 * 2;
+            cost.global_write_bytes += ((kept.len() - before) * T::BYTES) as u64;
+            let launch = cfg.launch_config(chunk.len(), T::BYTES);
+            cost.blocks = launch.blocks as u64;
+            device.commit("stream_filter", launch, LaunchOrigin::Host, cost);
         }
-        let before = kept.len();
-        kept.extend(chunk.iter().copied().filter(|&x| {
-            let above = lower.is_none_or(|lo| !x.lt(lo));
-            let below = upper.is_none_or(|hi| x.lt(hi));
-            above && below
-        }));
-        // Charge the extraction kernel: stream read + bound compares +
-        // contiguous writes of the matches.
-        let mut cost = KernelCost::new();
-        cost.global_read_bytes += (chunk.len() * T::BYTES) as u64;
-        cost.int_ops += chunk.len() as u64 * 2;
-        cost.global_write_bytes += ((kept.len() - before) * T::BYTES) as u64;
-        let launch = cfg.launch_config(chunk.len(), T::BYTES);
-        cost.blocks = launch.blocks as u64;
-        device.commit("stream_filter", launch, LaunchOrigin::Host, cost);
+        state.next_chunk = c as u64 + 1;
+        state.kept = kept;
+        save_checkpoint(checkpoint, &fp, &state, &mut events);
+        kept = std::mem::take(&mut state.kept);
+    }
+    if cfg.verify.spot_checks() {
+        check_filter_size(kept.len(), state.counts[bucket])?;
     }
     let peak_resident = kept.len();
     let sub_rank = rank - offsets[bucket] as usize;
-    debug_assert!(sub_rank < kept.len());
+    if sub_rank >= kept.len() {
+        // Unconditionally guarded: a corrupted count or a torn filter
+        // pass would otherwise panic in the in-memory recursion below.
+        return Err(SelectError::Corruption {
+            invariant: "filter-size",
+            detail: format!(
+                "descending rank {sub_rank} outside extracted bucket of {} elements",
+                kept.len()
+            ),
+        });
+    }
 
     // Finish in memory.
     let inner: SelectResult<T> = sample_select_on_device(device, &kept, sub_rank, cfg)?;
+    delete_checkpoint(checkpoint);
     let report = SelectReport::from_records(
         "streaming-sampleselect",
         n,
@@ -272,51 +744,6 @@ pub fn streaming_select<T: SelectElement, S: ChunkSource<T>>(
         peak_resident,
         report,
     })
-}
-
-/// Proportional per-chunk sampling + splitter-tree construction.
-fn streaming_sample<T: SelectElement, S: ChunkSource<T>>(
-    device: &mut Device,
-    source: &S,
-    cfg: &SampleSelectConfig,
-    rng: &mut SplitMix64,
-    events: &mut ResilienceEvents,
-) -> Result<SearchTree<T>, SelectError> {
-    let n = source.total_len();
-    let s = cfg.sample_size().max(cfg.num_buckets);
-    let mut sample: Vec<T> = Vec::with_capacity(s + cfg.num_buckets);
-    for c in 0..source.num_chunks() {
-        let chunk = load_chunk_with_retry(device, source, c, events)?;
-        if chunk.is_empty() {
-            continue;
-        }
-        // proportional share, at least 1 to represent the chunk
-        let share = ((s as u128 * chunk.len() as u128) / n as u128).max(1) as usize;
-        for _ in 0..share {
-            sample.push(chunk[rng.next_below(chunk.len())]);
-        }
-    }
-    let mut cost = KernelCost::new();
-    cost.blocks = 1;
-    cost.uncoalesced_bytes += (sample.len() * T::BYTES) as u64;
-    let stats = crate::bitonic::bitonic_sort(&mut sample);
-    stats.charge::<T>(&mut cost);
-    cost.global_write_bytes += ((cfg.num_buckets - 1) * T::BYTES) as u64;
-    device.commit(
-        "sample",
-        gpu_sim::LaunchConfig {
-            blocks: 1,
-            threads_per_block: cfg.threads_per_block,
-            shared_mem_bytes: (sample.len() * T::BYTES) as u32,
-        },
-        LaunchOrigin::Host,
-        cost,
-    );
-    let m = sample.len();
-    let splitters: Vec<T> = (1..cfg.num_buckets)
-        .map(|i| sample[(i * m / cfg.num_buckets).min(m - 1)])
-        .collect();
-    Ok(SearchTree::build(&splitters))
 }
 
 #[cfg(test)]
@@ -457,6 +884,14 @@ mod tests {
         fn total_len(&self) -> usize {
             self.inner.total_len()
         }
+
+        fn source_name(&self) -> &str {
+            "flaky-shards"
+        }
+
+        fn chunk_byte_offset(&self, idx: usize) -> Option<u64> {
+            self.inner.chunk_byte_offset(idx)
+        }
     }
 
     #[test]
@@ -475,6 +910,13 @@ mod tests {
         assert_eq!(res.value, reference_select(&data, 1 << 16).unwrap());
         assert_eq!(res.report.resilience.retries, 2);
         assert!(res.report.resilience.log[0].contains("chunk 2"));
+        // the diagnostics identify the source and the byte position
+        assert!(res.report.resilience.log[0].contains("flaky-shards"));
+        assert!(
+            res.report.resilience.log[0].contains(&format!("at byte {}", (2 << 15) * 4)),
+            "log line: {}",
+            res.report.resilience.log[0]
+        );
         // backoff advanced the simulated clock
         assert!(device.now() > SimTime::ZERO);
     }
@@ -514,5 +956,169 @@ mod tests {
             source.failures.load(Ordering::SeqCst),
             1 + CHUNK_MAX_RETRIES as usize
         );
+    }
+
+    // -----------------------------------------------------------------
+    // Checkpoint / resume
+    // -----------------------------------------------------------------
+
+    fn temp_ckpt(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sselect-ckpt-{}-{tag}.ckpt", std::process::id()))
+    }
+
+    fn test_fingerprint() -> Fingerprint {
+        Fingerprint {
+            seed: 7,
+            n: 1000,
+            rank: 500,
+            num_chunks: 4,
+            num_buckets: 16,
+            elem_bytes: 4,
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_losslessly() {
+        let fp = test_fingerprint();
+        let state = CheckpointState::<f32> {
+            phase: PHASE_COUNT,
+            next_chunk: 2,
+            rng_state: 0xDEAD_BEEF,
+            sample: vec![],
+            splitters: (0..15).map(|i| i as f32).collect(),
+            counts: (0..16).map(|i| i * 3).collect(),
+            kept: vec![1.5, -0.0, f32::NAN],
+        };
+        let bytes = encode_checkpoint(&fp, &state);
+        let back = decode_checkpoint::<f32>(&bytes, &fp).unwrap();
+        assert_eq!(back.phase, PHASE_COUNT);
+        assert_eq!(back.next_chunk, 2);
+        assert_eq!(back.rng_state, 0xDEAD_BEEF);
+        assert_eq!(back.splitters, state.splitters);
+        assert_eq!(back.counts, state.counts);
+        // bit-exact, including NaN payloads and the sign of -0.0
+        let kept_bits: Vec<u32> = back.kept.iter().map(|x| x.to_bits()).collect();
+        let expect_bits: Vec<u32> = state.kept.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(kept_bits, expect_bits);
+    }
+
+    #[test]
+    fn checksum_catches_any_flipped_byte() {
+        let fp = test_fingerprint();
+        let state = CheckpointState::<f32>::fresh(7);
+        let bytes = encode_checkpoint(&fp, &state);
+        for pos in [0, 4, 12, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                decode_checkpoint::<f32>(&bad, &fp).is_err(),
+                "flip at byte {pos} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_checkpoint_is_rejected() {
+        let fp = test_fingerprint();
+        let state = CheckpointState::<f32>::fresh(7);
+        let bytes = encode_checkpoint(&fp, &state);
+        let other = Fingerprint {
+            rank: 501,
+            ..test_fingerprint()
+        };
+        let err = decode_checkpoint::<f32>(&bytes, &other).unwrap_err();
+        assert!(err.contains("fingerprint"), "got: {err}");
+    }
+
+    #[test]
+    fn killed_run_resumes_bit_identical() {
+        let data = uniform(1 << 17, 9);
+        let rank = 1 << 16;
+        let cfg = SampleSelectConfig::default();
+        let path = temp_ckpt("resume");
+        let _ = std::fs::remove_file(&path);
+
+        // Ground truth: the uninterrupted run.
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let healthy = SliceChunks::new(&data, 1 << 14);
+        let uninterrupted = streaming_select(&mut device, &healthy, rank, &cfg).unwrap();
+
+        // "Kill" a run mid-way: chunk 5 fails permanently.
+        let mut flaky = FlakyChunks::new(&data, 1 << 14, 5, usize::MAX);
+        flaky.transient = false;
+        let mut device = Device::new(v100(), &pool);
+        let err = streaming_select_with_checkpoint(&mut device, &flaky, rank, &cfg, &path, false)
+            .unwrap_err();
+        assert!(matches!(err, SelectError::ChunkLoad(_)));
+        assert!(path.exists(), "checkpoint must survive the crash");
+
+        // Resume against the healthy source.
+        let mut device = Device::new(v100(), &pool);
+        let resumed =
+            streaming_select_with_checkpoint(&mut device, &healthy, rank, &cfg, &path, true)
+                .unwrap();
+        assert_eq!(
+            resumed.value.to_bits(),
+            uninterrupted.value.to_bits(),
+            "resumed run must be bit-identical to the uninterrupted one"
+        );
+        assert_eq!(resumed.report.resilience.resumed, 1);
+        assert!(resumed
+            .report
+            .resilience
+            .log
+            .iter()
+            .any(|l| l.starts_with("resumed:")));
+        assert!(!path.exists(), "checkpoint deleted after success");
+    }
+
+    #[test]
+    fn corrupted_checkpoint_triggers_clean_restart() {
+        let data = uniform(1 << 16, 10);
+        let rank = 1 << 15;
+        let cfg = SampleSelectConfig::default();
+        let path = temp_ckpt("corrupt");
+        std::fs::write(&path, b"SSCKgarbage-that-is-not-a-checkpoint").unwrap();
+
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let source = SliceChunks::new(&data, 1 << 14);
+        let res = streaming_select_with_checkpoint(&mut device, &source, rank, &cfg, &path, true)
+            .unwrap();
+        assert_eq!(res.value, reference_select(&data, rank).unwrap());
+        assert_eq!(res.report.resilience.resumed, 0, "nothing to resume from");
+        assert_eq!(res.report.resilience.corruptions_detected, 1);
+        assert!(res
+            .report
+            .resilience
+            .log
+            .iter()
+            .any(|l| l.starts_with("corruption: checkpoint")));
+        assert!(!path.exists(), "checkpoint deleted after success");
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        let data = uniform(1 << 16, 11);
+        let rank = 12_345;
+        let cfg = SampleSelectConfig::default();
+        let path = temp_ckpt("plain");
+        let _ = std::fs::remove_file(&path);
+
+        let pool = ThreadPool::new(2);
+        let source = SliceChunks::new(&data, 1 << 14);
+        let mut device = Device::new(v100(), &pool);
+        let plain = streaming_select(&mut device, &source, rank, &cfg).unwrap();
+        let mut device = Device::new(v100(), &pool);
+        let ckpt = streaming_select_with_checkpoint(&mut device, &source, rank, &cfg, &path, false)
+            .unwrap();
+        assert_eq!(plain.value.to_bits(), ckpt.value.to_bits());
+        assert_eq!(
+            plain.report.kernel_launches("count_nowrite"),
+            ckpt.report.kernel_launches("count_nowrite"),
+            "checkpointing must not change the kernel schedule"
+        );
+        assert!(!path.exists());
     }
 }

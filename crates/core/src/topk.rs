@@ -83,7 +83,7 @@ pub fn top_k_largest_on_device<T: SelectElement>(
         }
         levels += 1;
 
-        let tree = sample_kernel(device, slice, cfg, &mut rng, origin);
+        let tree = sample_kernel(device, slice, cfg, &mut rng, origin)?;
         let count = count_kernel(device, slice, &tree, cfg, true, origin);
         let red = reduce_kernel(device, &count, LaunchOrigin::Device);
         let bucket = red.bucket_for_rank(cur_rank as u64);

@@ -17,9 +17,9 @@
 use crate::arch::GpuArchitecture;
 use crate::cost::{CostBreakdown, KernelCost, SimTime};
 use crate::event::Event;
-use crate::fault::{FaultInjector, FaultKind, FaultPlan, LaunchError};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, LaunchError, MemoryCorruption};
 use crate::launch::{occupancy, LaunchConfig};
-use crate::memory::{AllocError, DeviceMemory, ScatterBuffer};
+use crate::memory::{AllocError, CorruptTarget, DeviceMemory, ScatterBuffer};
 use hpc_par::ThreadPool;
 
 /// Whether a kernel was launched by the host or from the device
@@ -77,6 +77,7 @@ pub struct Device<'p> {
     latched_fault: Option<LaunchError>,
     launch_counter: u64,
     alloc_counter: u64,
+    access_counter: u64,
     memory: DeviceMemory,
 }
 
@@ -92,6 +93,7 @@ impl<'p> Device<'p> {
             latched_fault: None,
             launch_counter: 0,
             alloc_counter: 0,
+            access_counter: 0,
             memory: DeviceMemory::unlimited(),
         }
     }
@@ -408,6 +410,53 @@ impl<'p> Device<'p> {
         self.memory.release(bytes);
     }
 
+    /// Give the fault injector a chance to corrupt the named
+    /// device-memory region (one tracked access). With a corruption-free
+    /// plan — or no plan — this is a counter bump and nothing else.
+    ///
+    /// An injected corruption mutates one byte of `buf` in place and is
+    /// recorded on the timeline as a zero-duration `"corrupt"` record
+    /// (category `"fault"` in the Chrome trace), but it is **not**
+    /// latched: memory upsets are silent on real hardware, so detection
+    /// is left to algorithm-level integrity checks.
+    pub fn corrupt_region<M: CorruptTarget + ?Sized>(
+        &mut self,
+        region: &str,
+        buf: &mut M,
+    ) -> Option<MemoryCorruption> {
+        let index = self.access_counter;
+        self.access_counter += 1;
+        let now = self.now;
+        let corruption =
+            self.injector
+                .as_mut()?
+                .on_memory_access(index, now, region, buf.len_bytes())?;
+        buf.mutate_byte(corruption.byte_offset, corruption.op);
+        self.records.push(KernelRecord {
+            name: format!("corrupt:{region}"),
+            config: LaunchConfig {
+                blocks: 1,
+                threads_per_block: 1,
+                shared_mem_bytes: 0,
+            },
+            start: self.now,
+            duration: SimTime::ZERO,
+            launch_overhead: SimTime::ZERO,
+            cost: KernelCost::new(),
+            breakdown: CostBreakdown::default(),
+            origin: LaunchOrigin::Host,
+            fault: Some(FaultKind::MemoryCorruption),
+        });
+        Some(corruption)
+    }
+
+    /// Number of memory corruptions injected since the last reset.
+    pub fn corruptions_injected(&self) -> u64 {
+        self.injector
+            .as_ref()
+            .map_or(0, |inj| inj.corruptions_injected())
+    }
+
     /// Latch `err` for [`Device::take_fault`], keeping the earliest
     /// unconsumed fault (it is the root cause of a failed step).
     fn latch(&mut self, err: LaunchError) {
@@ -436,6 +485,7 @@ impl<'p> Device<'p> {
         self.latched_fault = None;
         self.launch_counter = 0;
         self.alloc_counter = 0;
+        self.access_counter = 0;
         self.memory.reset();
         if let Some(inj) = &self.injector {
             self.injector = Some(FaultInjector::new(inj.plan().clone()));
@@ -739,6 +789,59 @@ mod tests {
         dev.reset();
         let second = schedule(&mut dev);
         assert_eq!(first, second, "same seed, same schedule");
+    }
+
+    #[test]
+    fn corrupt_region_mutates_buffer_and_records_without_latching() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        dev.set_fault_plan(FaultPlan::new(4).corrupt_accesses_at(&[0]));
+        let mut counts = vec![0u64; 16];
+        let c = dev
+            .corrupt_region("counts", counts.as_mut_slice())
+            .expect("explicit index fires");
+        assert_eq!(c.region, "counts");
+        assert!(counts.iter().any(|&v| v != 0), "a bit actually flipped");
+        assert!(!dev.has_fault(), "corruption is silent, never latched");
+        let rec = &dev.records()[0];
+        assert_eq!(rec.name, "corrupt:counts");
+        assert_eq!(rec.fault, Some(FaultKind::MemoryCorruption));
+        assert_eq!(rec.duration, SimTime::ZERO);
+        assert_eq!(dev.corruptions_injected(), 1);
+        // access #1 is clean and leaves no record
+        let mut more = vec![0u8; 4];
+        assert!(dev.corrupt_region("oracles", more.as_mut_slice()).is_none());
+        assert_eq!(dev.records().len(), 1);
+    }
+
+    #[test]
+    fn corrupt_region_without_plan_is_noop() {
+        let pool = ThreadPool::new(1);
+        let mut dev = device(&pool);
+        let mut buf = vec![1.0f32; 8];
+        assert!(dev.corrupt_region("data", buf.as_mut_slice()).is_none());
+        assert_eq!(buf, vec![1.0f32; 8]);
+        assert!(dev.records().is_empty());
+    }
+
+    #[test]
+    fn reset_reseeds_corruption_schedule() {
+        let pool = ThreadPool::new(1);
+        let mut dev = device(&pool);
+        dev.set_fault_plan(FaultPlan::new(21).bitflips(0.5));
+        let schedule = |dev: &mut Device| {
+            (0..32)
+                .map(|_| {
+                    let mut buf = vec![0u32; 8];
+                    dev.corrupt_region("r", buf.as_mut_slice())
+                        .map(|c| (c.byte_offset, c.op, c.access_index))
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = schedule(&mut dev);
+        assert!(first.iter().any(|c| c.is_some()));
+        dev.reset();
+        assert_eq!(first, schedule(&mut dev), "same seed, same corruptions");
     }
 
     #[test]

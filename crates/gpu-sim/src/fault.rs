@@ -31,6 +31,11 @@ pub enum FaultKind {
     /// The kernel ran correctly but took much longer than modeled
     /// (thermal throttling, contention). Never fatal.
     LatencySpike,
+    /// A byte in device memory was silently corrupted (bit flip or stuck
+    /// byte). Unlike the other kinds this is **not** latched: real
+    /// hardware gives no error code for an undetected upset, so the only
+    /// way to notice is an algorithm-level integrity check (ABFT).
+    MemoryCorruption,
 }
 
 impl fmt::Display for FaultKind {
@@ -39,7 +44,63 @@ impl fmt::Display for FaultKind {
             FaultKind::LaunchFailure => write!(f, "launch-failure"),
             FaultKind::MemoryExhaustion => write!(f, "memory-exhaustion"),
             FaultKind::LatencySpike => write!(f, "latency-spike"),
+            FaultKind::MemoryCorruption => write!(f, "memory-corruption"),
         }
+    }
+}
+
+/// How one injected memory corruption mutates its target byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionOp {
+    /// XOR the byte with `mask` (one or more flipped bits).
+    BitFlip { mask: u8 },
+    /// Force the byte to `value` regardless of its content (stuck-at-0 /
+    /// stuck-at-1 fault).
+    StuckByte { value: u8 },
+}
+
+impl CorruptionOp {
+    /// Apply the corruption to one byte.
+    pub fn apply(self, byte: u8) -> u8 {
+        match self {
+            CorruptionOp::BitFlip { mask } => byte ^ mask,
+            CorruptionOp::StuckByte { value } => value,
+        }
+    }
+}
+
+impl fmt::Display for CorruptionOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptionOp::BitFlip { mask } => write!(f, "bit-flip mask {mask:#04x}"),
+            CorruptionOp::StuckByte { value } => write!(f, "stuck byte {value:#04x}"),
+        }
+    }
+}
+
+/// One injected memory corruption, as applied to a tracked region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryCorruption {
+    /// Name of the corrupted region (e.g. `"counts"`, `"oracles"`).
+    pub region: String,
+    /// Byte offset inside the region that was mutated.
+    pub byte_offset: usize,
+    /// The mutation applied.
+    pub op: CorruptionOp,
+    /// Device-wide tracked-access index (0-based since last reset) at
+    /// which the corruption fired.
+    pub access_index: u64,
+    /// Simulated time at which the corruption was applied.
+    pub at: SimTime,
+}
+
+impl fmt::Display for MemoryCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected memory-corruption in region `{}` ({} at byte {}, access #{}, t={})",
+            self.region, self.op, self.byte_offset, self.access_index, self.at
+        )
     }
 }
 
@@ -97,6 +158,21 @@ pub struct FaultPlan {
     pub latency_spike_rate: f64,
     /// Duration multiplier applied to spiked launches (> 1).
     pub latency_spike_factor: f64,
+    /// Probability that any given tracked memory access flips 1–2 bits
+    /// of one byte in the accessed region.
+    pub bitflip_rate: f64,
+    /// Probability that any given tracked memory access leaves one byte
+    /// of the region stuck at `0x00` or `0xFF`.
+    pub stuck_byte_rate: f64,
+    /// Cap on probabilistic corruptions (explicit indices are exempt);
+    /// `u64::MAX` means unlimited.
+    pub max_corruptions: u64,
+    /// Tracked-access indices (0-based since last reset) that are always
+    /// corrupted (single-bit flip at a seeded offset).
+    pub corrupt_access_indices: Vec<u64>,
+    /// Probabilistic corruptions only fire at or after this simulated
+    /// time (schedule-by-time; explicit indices are exempt).
+    pub corrupt_not_before: SimTime,
 }
 
 impl FaultPlan {
@@ -112,6 +188,11 @@ impl FaultPlan {
             fail_alloc_indices: Vec::new(),
             latency_spike_rate: 0.0,
             latency_spike_factor: 4.0,
+            bitflip_rate: 0.0,
+            stuck_byte_rate: 0.0,
+            max_corruptions: u64::MAX,
+            corrupt_access_indices: Vec::new(),
+            corrupt_not_before: SimTime::ZERO,
         }
     }
 
@@ -163,6 +244,41 @@ impl FaultPlan {
         self
     }
 
+    /// Flip bits in tracked memory regions: each tracked access is
+    /// corrupted with probability `rate`.
+    pub fn bitflips(mut self, rate: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&rate));
+        self.bitflip_rate = rate;
+        self
+    }
+
+    /// Stick one byte of a tracked region at `0x00`/`0xFF` with
+    /// probability `rate` per tracked access.
+    pub fn stuck_bytes(mut self, rate: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&rate));
+        self.stuck_byte_rate = rate;
+        self
+    }
+
+    /// Cap the number of probabilistic corruptions.
+    pub fn max_corruptions(mut self, max: u64) -> Self {
+        self.max_corruptions = max;
+        self
+    }
+
+    /// Always corrupt the tracked memory accesses at these indices.
+    pub fn corrupt_accesses_at(mut self, indices: &[u64]) -> Self {
+        self.corrupt_access_indices = indices.to_vec();
+        self
+    }
+
+    /// Only fire probabilistic corruptions at or after simulated time
+    /// `t` (models an upset arriving mid-run).
+    pub fn corrupt_not_before(mut self, t: SimTime) -> Self {
+        self.corrupt_not_before = t;
+        self
+    }
+
     /// Whether the plan can inject anything at all.
     pub fn is_noop(&self) -> bool {
         self.launch_failure_rate == 0.0
@@ -170,6 +286,9 @@ impl FaultPlan {
             && self.alloc_failure_rate == 0.0
             && self.fail_alloc_indices.is_empty()
             && self.latency_spike_rate == 0.0
+            && self.bitflip_rate == 0.0
+            && self.stuck_byte_rate == 0.0
+            && self.corrupt_access_indices.is_empty()
     }
 }
 
@@ -187,6 +306,7 @@ pub struct FaultInjector {
     state: u64,
     launch_failures: u64,
     alloc_failures: u64,
+    corruptions: u64,
 }
 
 impl FaultInjector {
@@ -197,6 +317,7 @@ impl FaultInjector {
             state,
             launch_failures: 0,
             alloc_failures: 0,
+            corruptions: 0,
         }
     }
 
@@ -213,6 +334,11 @@ impl FaultInjector {
     /// Number of allocation failures injected so far.
     pub fn alloc_failures_injected(&self) -> u64 {
         self.alloc_failures
+    }
+
+    /// Number of memory corruptions injected so far.
+    pub fn corruptions_injected(&self) -> u64 {
+        self.corruptions
     }
 
     /// SplitMix64 step.
@@ -275,6 +401,77 @@ impl FaultInjector {
     /// Duration multiplier for spiked launches.
     pub fn spike_factor(&self) -> f64 {
         self.plan.latency_spike_factor
+    }
+
+    /// Draw a 1–2 bit flip mask and a byte offset inside `len_bytes`.
+    fn draw_bitflip(&mut self, len_bytes: usize) -> (usize, CorruptionOp) {
+        let offset = (self.next_u64() % len_bytes as u64) as usize;
+        let r = self.next_u64();
+        let mut mask = 1u8 << (r % 8);
+        if r & (1 << 8) != 0 {
+            mask |= 1u8 << ((r >> 9) % 8);
+        }
+        (offset, CorruptionOp::BitFlip { mask })
+    }
+
+    /// Draw a stuck-byte value and a byte offset inside `len_bytes`.
+    fn draw_stuck_byte(&mut self, len_bytes: usize) -> (usize, CorruptionOp) {
+        let offset = (self.next_u64() % len_bytes as u64) as usize;
+        let value = if self.next_u64() & 1 == 0 { 0x00 } else { 0xFF };
+        (offset, CorruptionOp::StuckByte { value })
+    }
+
+    /// Decide the fate of tracked memory access number `index` on a
+    /// region of `len_bytes` bytes at simulated time `now`. Returns the
+    /// corruption to apply, if any. Explicit indices fire regardless of
+    /// rates, caps, and the time gate (mirroring the launch/alloc
+    /// index-list semantics).
+    pub fn on_memory_access(
+        &mut self,
+        index: u64,
+        now: SimTime,
+        region: &str,
+        len_bytes: usize,
+    ) -> Option<MemoryCorruption> {
+        if len_bytes == 0 {
+            return None;
+        }
+        let make = |offset: usize, op: CorruptionOp| MemoryCorruption {
+            region: region.to_string(),
+            byte_offset: offset,
+            op,
+            access_index: index,
+            at: now,
+        };
+        if self.plan.corrupt_access_indices.contains(&index) {
+            self.corruptions += 1;
+            let (offset, op) = self.draw_bitflip(len_bytes);
+            return Some(make(offset, op));
+        }
+        let gate_open = now >= self.plan.corrupt_not_before;
+        if self.plan.bitflip_rate > 0.0 {
+            let draw = self.unit_f64();
+            if draw < self.plan.bitflip_rate
+                && gate_open
+                && self.corruptions < self.plan.max_corruptions
+            {
+                self.corruptions += 1;
+                let (offset, op) = self.draw_bitflip(len_bytes);
+                return Some(make(offset, op));
+            }
+        }
+        if self.plan.stuck_byte_rate > 0.0 {
+            let draw = self.unit_f64();
+            if draw < self.plan.stuck_byte_rate
+                && gate_open
+                && self.corruptions < self.plan.max_corruptions
+            {
+                self.corruptions += 1;
+                let (offset, op) = self.draw_stuck_byte(len_bytes);
+                return Some(make(offset, op));
+            }
+        }
+        None
     }
 }
 
@@ -356,10 +553,95 @@ mod tests {
     }
 
     #[test]
+    fn corruption_draws_are_deterministic() {
+        let plan = FaultPlan::new(13).bitflips(0.3).stuck_bytes(0.1);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for i in 0..500 {
+            assert_eq!(
+                a.on_memory_access(i, SimTime::ZERO, "r", 64),
+                b.on_memory_access(i, SimTime::ZERO, "r", 64)
+            );
+        }
+        assert!(a.corruptions_injected() > 0);
+    }
+
+    #[test]
+    fn corruption_offsets_stay_in_bounds() {
+        let mut inj = FaultInjector::new(FaultPlan::new(5).bitflips(1.0).stuck_bytes(1.0));
+        for i in 0..200 {
+            let len = 1 + (i as usize % 37);
+            let c = inj
+                .on_memory_access(i, SimTime::ZERO, "buf", len)
+                .expect("rate 1.0 always corrupts");
+            assert!(c.byte_offset < len, "offset {} in {}", c.byte_offset, len);
+            if let CorruptionOp::BitFlip { mask } = c.op {
+                assert!(mask != 0 && mask.count_ones() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_access_indices_always_corrupt() {
+        let mut inj = FaultInjector::new(FaultPlan::new(0).corrupt_accesses_at(&[3]));
+        assert!(inj.on_memory_access(0, SimTime::ZERO, "r", 16).is_none());
+        let c = inj.on_memory_access(3, SimTime::ZERO, "r", 16).unwrap();
+        assert_eq!(c.access_index, 3);
+        assert_eq!(inj.corruptions_injected(), 1);
+    }
+
+    #[test]
+    fn max_corruptions_caps_probabilistic_corruptions() {
+        let mut inj = FaultInjector::new(FaultPlan::new(9).bitflips(1.0).max_corruptions(3));
+        let hits = (0..50)
+            .filter(|&i| inj.on_memory_access(i, SimTime::ZERO, "r", 8).is_some())
+            .count();
+        assert_eq!(hits, 3);
+    }
+
+    #[test]
+    fn time_gate_delays_corruptions() {
+        let plan = FaultPlan::new(9)
+            .bitflips(1.0)
+            .corrupt_not_before(SimTime::from_us(10.0));
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj
+            .on_memory_access(0, SimTime::from_us(5.0), "r", 8)
+            .is_none());
+        assert!(inj
+            .on_memory_access(1, SimTime::from_us(10.0), "r", 8)
+            .is_some());
+    }
+
+    #[test]
+    fn empty_region_is_never_corrupted() {
+        let mut inj = FaultInjector::new(FaultPlan::new(2).bitflips(1.0));
+        assert!(inj.on_memory_access(0, SimTime::ZERO, "r", 0).is_none());
+    }
+
+    #[test]
+    fn corruption_op_apply() {
+        assert_eq!(CorruptionOp::BitFlip { mask: 0b101 }.apply(0b1111), 0b1010);
+        assert_eq!(CorruptionOp::StuckByte { value: 0xFF }.apply(0x12), 0xFF);
+    }
+
+    #[test]
     fn display_formats() {
         assert_eq!(FaultKind::LaunchFailure.to_string(), "launch-failure");
         assert_eq!(FaultKind::MemoryExhaustion.to_string(), "memory-exhaustion");
         assert_eq!(FaultKind::LatencySpike.to_string(), "latency-spike");
+        assert_eq!(FaultKind::MemoryCorruption.to_string(), "memory-corruption");
+        let corruption = MemoryCorruption {
+            region: "counts".to_string(),
+            byte_offset: 17,
+            op: CorruptionOp::BitFlip { mask: 0x04 },
+            access_index: 2,
+            at: SimTime::from_us(3.0),
+        };
+        let msg = corruption.to_string();
+        assert!(msg.contains("memory-corruption"));
+        assert!(msg.contains("counts"));
+        assert!(msg.contains("byte 17"));
         let err = LaunchError {
             kind: FaultKind::LaunchFailure,
             kernel: "count".to_string(),

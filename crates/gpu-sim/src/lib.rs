@@ -25,8 +25,9 @@
 //!   on a host thread pool, a simulated clock, and a kernel timeline.
 //! * [`event`] — `cudaEventRecord`-style measurement points.
 //! * [`fault`] — deterministic, seed-driven fault injection (failed
-//!   launches, memory exhaustion, latency spikes) for exercising the
-//!   resilience layer built on top of the simulator.
+//!   launches, memory exhaustion, latency spikes, silent memory
+//!   corruption) for exercising the resilience layer built on top of
+//!   the simulator.
 //!
 //! ## Fidelity
 //!
@@ -55,7 +56,7 @@ pub use block::BlockExec;
 pub use cost::{CostBreakdown, KernelCost, SimTime};
 pub use device::{Device, KernelRecord, KernelSummary, LaunchOrigin};
 pub use event::Event;
-pub use fault::{FaultInjector, FaultKind, FaultPlan, LaunchError};
+pub use fault::{CorruptionOp, FaultInjector, FaultKind, FaultPlan, LaunchError, MemoryCorruption};
 pub use launch::{occupancy, LaunchConfig, Occupancy, TailLaunchQueue};
-pub use memory::{AllocError, DeviceMemory, ScatterBuffer, SharedArray};
+pub use memory::{AllocError, CorruptTarget, DeviceMemory, ScatterBuffer, SharedArray};
 pub use trace::{chrome_trace, trace_events};

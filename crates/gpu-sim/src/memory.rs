@@ -6,6 +6,7 @@
 //! simulated thread, so concurrent host threads can fill one allocation
 //! without locks.
 
+use crate::fault::CorruptionOp;
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
@@ -213,6 +214,53 @@ impl<T> ScatterBuffer<T> {
     }
 }
 
+/// A device-memory region the fault injector can corrupt byte-wise.
+///
+/// Corruption works on the little-endian byte image of the region, so a
+/// single bit flip in, say, a `u64` count lands in one specific byte of
+/// one specific element — exactly the granularity of a real memory
+/// upset — without any `unsafe` reinterpretation.
+pub trait CorruptTarget {
+    /// Size of the region's byte image.
+    fn len_bytes(&self) -> usize;
+    /// Apply `op` to the byte at `offset` (no-op when out of range).
+    fn mutate_byte(&mut self, offset: usize, op: CorruptionOp);
+}
+
+impl CorruptTarget for [u8] {
+    fn len_bytes(&self) -> usize {
+        self.len()
+    }
+
+    fn mutate_byte(&mut self, offset: usize, op: CorruptionOp) {
+        if let Some(b) = self.get_mut(offset) {
+            *b = op.apply(*b);
+        }
+    }
+}
+
+macro_rules! impl_corrupt_target {
+    ($($t:ty),*) => {$(
+        impl CorruptTarget for [$t] {
+            fn len_bytes(&self) -> usize {
+                std::mem::size_of_val(self)
+            }
+
+            fn mutate_byte(&mut self, offset: usize, op: CorruptionOp) {
+                let width = std::mem::size_of::<$t>();
+                let (idx, byte) = (offset / width, offset % width);
+                if let Some(v) = self.get_mut(idx) {
+                    let mut bytes = v.to_le_bytes();
+                    bytes[byte] = op.apply(bytes[byte]);
+                    *v = <$t>::from_le_bytes(bytes);
+                }
+            }
+        }
+    )*};
+}
+
+impl_corrupt_target!(u16, u32, u64, i32, i64, f32, f64);
+
 /// Model of one block's shared-memory array for the bitonic sorting
 /// kernel: tracks the bytes moved so bank traffic can be charged, while
 /// the data itself lives in a plain host vector.
@@ -370,6 +418,36 @@ mod tests {
         assert!(mem.try_reserve(600).is_ok());
         assert_eq!(mem.peak(), 600);
         assert_eq!(mem.in_use(), 600);
+    }
+
+    #[test]
+    fn corrupt_target_flips_one_bit_of_one_element() {
+        let mut counts = [0u64; 8];
+        // byte 2 of element 3: flipping bit 0 adds 2^16 to counts[3]
+        counts.mutate_byte(3 * 8 + 2, CorruptionOp::BitFlip { mask: 0x01 });
+        assert_eq!(counts[3], 1 << 16);
+        assert!(counts.iter().enumerate().all(|(i, &c)| i == 3 || c == 0));
+        assert_eq!(counts.len_bytes(), 64);
+    }
+
+    #[test]
+    fn corrupt_target_stuck_byte_and_floats() {
+        let mut oracle = vec![7u8; 4];
+        oracle.mutate_byte(1, CorruptionOp::StuckByte { value: 0xFF });
+        assert_eq!(oracle, vec![7, 0xFF, 7, 7]);
+
+        let mut xs = [1.0f32, 2.0];
+        let before = xs[1];
+        xs.mutate_byte(4 + 3, CorruptionOp::BitFlip { mask: 0x80 });
+        assert_eq!(xs[1], -before, "sign-bit flip negates");
+        assert_eq!(xs[0], 1.0);
+    }
+
+    #[test]
+    fn corrupt_target_out_of_range_is_noop() {
+        let mut xs = vec![5u32; 2];
+        xs.mutate_byte(99, CorruptionOp::StuckByte { value: 0 });
+        assert_eq!(xs, vec![5, 5]);
     }
 
     #[test]

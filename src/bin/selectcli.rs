@@ -18,11 +18,14 @@ use gpu_selection::sampleselect::cpu::{cpu_sample_select, CpuSelectConfig};
 use gpu_selection::sampleselect::element::reference_select;
 use gpu_selection::sampleselect::multiselect::quantiles;
 use gpu_selection::sampleselect::samplesort::sample_sort_on_device;
-use gpu_selection::sampleselect::streaming::{streaming_select, SliceChunks};
+use gpu_selection::sampleselect::streaming::{
+    streaming_select, streaming_select_with_checkpoint, SliceChunks,
+};
 use gpu_selection::sampleselect::topk::top_k_largest_on_device;
 use gpu_selection::sampleselect::{
     approx_select_on_device, quick_select_on_device, resilient_select_on_device,
     sample_select_on_device, Outcome, ResilienceConfig, SampleSelectConfig, SelectReport,
+    VerifyPolicy,
 };
 use std::process::exit;
 
@@ -41,6 +44,11 @@ struct Args {
     inject_faults: Option<u64>,
     fault_rate: f64,
     time_budget_ms: Option<f64>,
+    inject_bitflips: Option<u64>,
+    bitflip_rate: f64,
+    verify: VerifyPolicy,
+    checkpoint: Option<String>,
+    resume: bool,
 }
 
 impl Default for Args {
@@ -59,6 +67,11 @@ impl Default for Args {
             inject_faults: None,
             fault_rate: 0.05,
             time_budget_ms: None,
+            inject_bitflips: None,
+            bitflip_rate: 0.02,
+            verify: VerifyPolicy::Off,
+            checkpoint: None,
+            resume: false,
         }
     }
 }
@@ -91,6 +104,21 @@ fn parse_args() -> Args {
             "--time-budget" => {
                 out.time_budget_ms = Some(val("--time-budget").parse().expect("--time-budget"))
             }
+            "--inject-bitflips" => {
+                out.inject_bitflips =
+                    Some(val("--inject-bitflips").parse().expect("--inject-bitflips"))
+            }
+            "--bitflip-rate" => {
+                out.bitflip_rate = val("--bitflip-rate").parse().expect("--bitflip-rate")
+            }
+            "--verify" => {
+                out.verify = val("--verify").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(2);
+                })
+            }
+            "--checkpoint" => out.checkpoint = Some(val("--checkpoint")),
+            "--resume" => out.resume = true,
             "--help" | "-h" => {
                 eprintln!("{}", HELP);
                 exit(0);
@@ -108,7 +136,8 @@ const HELP: &str =
     "selectcli --algo sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|cpu \
 --n N --rank R|--k K --dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp \
 --arch v100|k20xm|c2070 --buckets B --seed S [--breakdown] [--trace out.json] \
-[--inject-faults SEED [--fault-rate R]] [--time-budget MS]";
+[--inject-faults SEED [--fault-rate R]] [--inject-bitflips SEED [--bitflip-rate R]] \
+[--verify off|spot|paranoid] [--time-budget MS] [--checkpoint FILE [--resume]]";
 
 fn distribution(name: &str) -> Distribution {
     match name {
@@ -143,11 +172,23 @@ fn print_report(report: &SelectReport, breakdown: bool) {
         report.throughput(),
         report.launch_overhead
     );
-    if !report.resilience.is_clean() || report.resilience.faults_observed > 0 {
-        let r = &report.resilience;
+    let r = &report.resilience;
+    if !r.is_clean()
+        || r.faults_observed > 0
+        || r.corruptions_detected > 0
+        || r.certified > 0
+        || r.resumed > 0
+    {
         println!(
-            "resilience: {} retries, {} fallbacks, {} degradations, {} faults observed",
-            r.retries, r.fallbacks, r.degradations, r.faults_observed
+            "resilience: {} retries, {} fallbacks, {} degradations, {} faults observed, \
+             {} corruptions detected, {} certified, {} resumed",
+            r.retries,
+            r.fallbacks,
+            r.degradations,
+            r.faults_observed,
+            r.corruptions_detected,
+            r.certified,
+            r.resumed
         );
         for line in &r.log {
             println!("  {line}");
@@ -185,7 +226,8 @@ fn main() {
 
     let mut cfg = SampleSelectConfig::tuned_for(&arch)
         .with_buckets(args.buckets)
-        .with_seed(args.seed);
+        .with_seed(args.seed)
+        .with_verify(args.verify);
     cfg.wide_oracles = args.buckets > 256;
 
     println!(
@@ -194,17 +236,33 @@ fn main() {
     );
 
     let mut device = Device::new(arch.clone(), pool);
-    if let Some(fault_seed) = args.inject_faults {
-        let plan = FaultPlan::new(fault_seed)
-            .launch_failures(args.fault_rate)
-            .max_launch_failures(8)
-            .latency_spikes(args.fault_rate / 2.0, 4.0);
+    if args.inject_faults.is_some() || args.inject_bitflips.is_some() {
+        let plan_seed = args
+            .inject_faults
+            .or(args.inject_bitflips)
+            .expect("one of the fault seeds is set");
+        let mut plan = FaultPlan::new(plan_seed);
+        if let Some(fault_seed) = args.inject_faults {
+            plan = plan
+                .launch_failures(args.fault_rate)
+                .max_launch_failures(8)
+                .latency_spikes(args.fault_rate / 2.0, 4.0);
+            println!(
+                "fault injection: seed={fault_seed} launch-failure-rate={} (use --algo resilient \
+                 to recover)",
+                args.fault_rate
+            );
+        }
+        if args.inject_bitflips.is_some() {
+            plan = plan.bitflips(args.bitflip_rate);
+            println!(
+                "bit-flip injection: seed={plan_seed} rate={} per buffer exposure (use \
+                 --verify spot|paranoid to detect)",
+                args.bitflip_rate
+            );
+        }
         device.set_fault_plan(plan);
-        println!(
-            "fault injection: seed={fault_seed} launch-failure-rate={} (use --algo resilient \
-             to recover)\n",
-            args.fault_rate
-        );
+        println!();
     }
     match args.algo.as_str() {
         "sample" => {
@@ -295,8 +353,22 @@ fn main() {
         }
         "stream" => {
             let source = SliceChunks::new(&w.data, 1 << 18);
-            let r = streaming_select(&mut device, &source, rank, &cfg).unwrap_or_else(|e| {
+            let result = match &args.checkpoint {
+                Some(path) => streaming_select_with_checkpoint(
+                    &mut device,
+                    &source,
+                    rank,
+                    &cfg,
+                    std::path::Path::new(path),
+                    args.resume,
+                ),
+                None => streaming_select(&mut device, &source, rank, &cfg),
+            };
+            let r = result.unwrap_or_else(|e| {
                 eprintln!("streaming selection failed: {e}");
+                if args.checkpoint.is_some() {
+                    eprintln!("(progress checkpointed; rerun with --resume to continue)");
+                }
                 exit(1);
             });
             println!(

@@ -453,3 +453,263 @@ fn device_reuse_across_runs_is_clean() {
         launches_prev = launches;
     }
 }
+
+// ---------------------------------------------------------------------
+// Data-plane faults: silent bit flips, ABFT verification, rank
+// certification, and checkpoint/resume for streaming jobs.
+// ---------------------------------------------------------------------
+
+use gpu_selection::sampleselect::streaming::{streaming_select_with_checkpoint, SliceChunks};
+use gpu_selection::sampleselect::verify::rank_bounds;
+use gpu_selection::sampleselect::{sample_select_on_device, sample_sort, VerifyPolicy};
+
+/// The acceptance scenario for silent corruption: a fault plan that
+/// flips bits in every exposed buffer (splitters, counts, oracles). The
+/// resilient driver under paranoid verification must still return the
+/// exact k-th element, the detections must show up in the resilience
+/// events, the injected corruptions on the kernel trace, and the whole
+/// episode must replay identically from the same seeds.
+#[test]
+fn bitflips_under_paranoid_verify_stay_exact_and_deterministic() {
+    let data = gen_data(1 << 17, 0xfa05);
+    let rank = 70_000;
+    let expected = reference_select(&data, rank).unwrap();
+
+    let run = || {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        device.set_fault_plan(FaultPlan::new(41).bitflips(1.0));
+        let cfg = SampleSelectConfig::default().with_verify(VerifyPolicy::Paranoid);
+        let res = resilient_select_on_device(
+            &mut device,
+            &data,
+            rank,
+            &cfg,
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+        let corrupt_records = device
+            .records()
+            .iter()
+            .filter(|r| r.name.starts_with("corrupt:"))
+            .count();
+        (res, corrupt_records)
+    };
+
+    let (a, corrupt_a) = run();
+    assert_eq!(a.outcome, Outcome::Exact(expected));
+    assert!(
+        corrupt_a >= 1,
+        "injected corruption must appear on the trace"
+    );
+    assert!(
+        a.report.resilience.corruptions_detected >= 1,
+        "ABFT checks must notice the corrupted buffers"
+    );
+    assert!(
+        a.report.resilience.certified >= 1,
+        "the final answer must carry a rank certificate"
+    );
+
+    let (b, corrupt_b) = run();
+    assert_eq!(b.outcome, a.outcome);
+    assert_eq!(b.backend, a.backend);
+    assert_eq!(
+        b.report.resilience, a.report.resilience,
+        "same fault seed must reproduce the event log"
+    );
+    assert_eq!(corrupt_b, corrupt_a, "same corruption trace");
+}
+
+/// CI fault matrix: `FAULT_MATRIX_CLASS` selects one injected fault
+/// class (`launch`, `alloc`, `bitflip`, `chunk-load`) and
+/// `FAULT_MATRIX_SEED` overrides its fault seed; with neither set, all
+/// four classes run with the default seed. Every class must end in the
+/// exact answer regardless of what the injector does.
+#[test]
+fn fault_matrix_every_class_recovers_exact() {
+    let class_env = std::env::var("FAULT_MATRIX_CLASS").ok();
+    let seed: u64 = std::env::var("FAULT_MATRIX_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1729);
+    let classes: Vec<&str> = match class_env.as_deref() {
+        Some(c) => vec![c],
+        None => vec!["launch", "alloc", "bitflip", "chunk-load"],
+    };
+    let data = gen_data(1 << 17, 0xfa06);
+    let rank = 50_000;
+    let expected = reference_select(&data, rank).unwrap();
+
+    for class in classes {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let rcfg = ResilienceConfig::default();
+        let outcome = match class {
+            "launch" => {
+                device.set_fault_plan(
+                    FaultPlan::new(seed)
+                        .launch_failures(0.2)
+                        .max_launch_failures(6),
+                );
+                resilient_select_on_device(&mut device, &data, rank, &cfg(), &rcfg)
+                    .unwrap()
+                    .outcome
+            }
+            "alloc" => {
+                device.set_fault_plan(
+                    FaultPlan::new(seed)
+                        .alloc_failures(0.3)
+                        .max_alloc_failures(4),
+                );
+                resilient_select_on_device(&mut device, &data, rank, &cfg(), &rcfg)
+                    .unwrap()
+                    .outcome
+            }
+            "bitflip" => {
+                device.set_fault_plan(FaultPlan::new(seed).bitflips(0.5).max_corruptions(8));
+                let vcfg = cfg().with_verify(VerifyPolicy::Paranoid);
+                resilient_select_on_device(&mut device, &data, rank, &vcfg, &rcfg)
+                    .unwrap()
+                    .outcome
+            }
+            "chunk-load" => {
+                let source = FlakyChunks {
+                    data: &data,
+                    chunk_len: 1 << 15,
+                    target: 1,
+                    fail_times: 2,
+                    failures: AtomicUsize::new(0),
+                };
+                resilient_streaming_select(&mut device, &source, rank, &cfg(), &rcfg)
+                    .unwrap()
+                    .outcome
+            }
+            other => panic!("unknown FAULT_MATRIX_CLASS `{other}`"),
+        };
+        assert_eq!(
+            outcome,
+            Outcome::Exact(expected),
+            "fault class `{class}` (seed {seed}) must recover the exact answer"
+        );
+    }
+}
+
+#[test]
+fn killed_streaming_job_resumes_from_checkpoint() {
+    let data = gen_data(1 << 16, 0xfa07);
+    let rank = 31_337;
+    let scfg = SampleSelectConfig::default();
+    let ckpt =
+        std::env::temp_dir().join(format!("gpu-selection-fm-ckpt-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let pool = ThreadPool::new(2);
+
+    // Uninterrupted reference run.
+    let mut device = Device::new(v100(), &pool);
+    let healthy = SliceChunks::new(&data, 1 << 13);
+    let expected = streaming_select(&mut device, &healthy, rank, &scfg).unwrap();
+
+    // The same job dies at chunk 5 (the source never recovers) but
+    // persists its per-chunk progress...
+    let mut device = Device::new(v100(), &pool);
+    let dying = FlakyChunks {
+        data: &data,
+        chunk_len: 1 << 13,
+        target: 5,
+        fail_times: usize::MAX,
+        failures: AtomicUsize::new(0),
+    };
+    let err = streaming_select_with_checkpoint(&mut device, &dying, rank, &scfg, &ckpt, false)
+        .unwrap_err();
+    assert!(matches!(err, SelectError::ChunkLoad(_)));
+    assert!(ckpt.exists(), "checkpoint must survive the crash");
+
+    // ...so the restarted process resumes instead of starting over and
+    // lands on the bit-identical answer.
+    let mut device = Device::new(v100(), &pool);
+    let resumed =
+        streaming_select_with_checkpoint(&mut device, &healthy, rank, &scfg, &ckpt, true).unwrap();
+    assert_eq!(resumed.value.to_bits(), expected.value.to_bits());
+    assert_eq!(resumed.report.resilience.resumed, 1, "resume event logged");
+    assert!(!ckpt.exists(), "checkpoint deleted after success");
+}
+
+#[test]
+fn corrupted_checkpoint_falls_back_to_clean_restart() {
+    let data = gen_data(1 << 16, 0xfa08);
+    let rank = 9_999;
+    let scfg = SampleSelectConfig::default();
+    let ckpt = std::env::temp_dir().join(format!(
+        "gpu-selection-fm-bad-ckpt-{}.bin",
+        std::process::id()
+    ));
+    std::fs::write(&ckpt, b"SSCKgarbage-that-is-not-a-checkpoint").unwrap();
+
+    let pool = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool);
+    let source = SliceChunks::new(&data, 1 << 13);
+    let res =
+        streaming_select_with_checkpoint(&mut device, &source, rank, &scfg, &ckpt, true).unwrap();
+    assert_eq!(
+        res.value.to_bits(),
+        reference_select(&data, rank).unwrap().to_bits()
+    );
+    assert_eq!(
+        res.report.resilience.corruptions_detected, 1,
+        "checksum rejection must be logged as a detected corruption"
+    );
+    assert_eq!(res.report.resilience.resumed, 0, "no resume from garbage");
+    assert!(!ckpt.exists(), "checkpoint deleted after success");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// NaN orders above every number (`element.rs` total order), so the
+    /// samplesort, quickselect, and streaming pipelines must all return
+    /// a value occupying the requested rank even when the input carries
+    /// NaNs. Ties may resolve to different (bit-equal-ranked)
+    /// representatives, so agreement is asserted through the rank
+    /// certificate bounds rather than bit equality.
+    #[test]
+    fn nan_inputs_rank_consistently_across_algorithms(
+        mut data in prop::collection::vec(-1.0e6f32..1.0e6, 32..400),
+        nan_positions in prop::collection::vec(0usize..400, 1..10),
+        rank_frac in 0.0f64..1.0,
+    ) {
+        let len = data.len();
+        for &p in &nan_positions {
+            data[p % len] = f32::NAN;
+        }
+        let rank = ((len - 1) as f64 * rank_frac) as usize;
+        let cfg = SampleSelectConfig::default()
+            .with_buckets(8)
+            .with_oversampling(2)
+            .with_base_case(16);
+        let pool = ThreadPool::new(1);
+
+        let mut device = Device::new(v100(), &pool);
+        let ss = sample_select_on_device(&mut device, &data, rank, &cfg).unwrap().value;
+        let qs = quick_select(&data, rank, &cfg).unwrap().value;
+        let sorted = sample_sort(&data, &cfg).unwrap().sorted;
+        let so = sorted[rank];
+        let mut device = Device::new(v100(), &pool);
+        let source = SliceChunks::new(&data, 64);
+        let st = streaming_select(&mut device, &source, rank, &cfg).unwrap().value;
+
+        for (name, v) in [
+            ("samplesort", so),
+            ("quickselect", qs),
+            ("sampleselect", ss),
+            ("streaming", st),
+        ] {
+            let (below, tied) = rank_bounds(&data, v);
+            prop_assert!(
+                below <= rank as u64 && (rank as u64) < below + tied,
+                "{} returned {:?} occupying ranks [{}, {}) but rank {} was requested",
+                name, v, below, below + tied, rank
+            );
+        }
+    }
+}

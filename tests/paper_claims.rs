@@ -249,7 +249,7 @@ fn warp_aggregation_rescues_duplicate_heavy_counting_on_k20() {
         let cfg = SampleSelectConfig::default().with_warp_aggregation(agg);
         let mut device = Device::new(arch.clone(), &pool);
         let mut rng = SplitMix64::new(9);
-        let tree = sample_kernel(&mut device, &w.data, &cfg, &mut rng, LaunchOrigin::Host);
+        let tree = sample_kernel(&mut device, &w.data, &cfg, &mut rng, LaunchOrigin::Host).unwrap();
         let before = device.now();
         count_kernel(&mut device, &w.data, &tree, &cfg, true, LaunchOrigin::Host);
         (device.now() - before).as_ns()

@@ -27,7 +27,7 @@ fn counts_partition_the_input() {
     let data = workload();
     let cfg = SampleSelectConfig::default();
     let mut rng = SplitMix64::new(1);
-    let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host);
+    let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host).unwrap();
     let count = count_kernel(&mut device, &data, &tree, &cfg, true, LaunchOrigin::Host);
     // Total count equals n.
     assert_eq!(count.total(), N as u64);
@@ -51,7 +51,7 @@ fn filter_output_is_bucket_permutation_and_order_respects_bounds() {
     let data = workload();
     let cfg = SampleSelectConfig::default();
     let mut rng = SplitMix64::new(2);
-    let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host);
+    let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host).unwrap();
     let count = count_kernel(&mut device, &data, &tree, &cfg, true, LaunchOrigin::Host);
     let red = reduce_kernel(&mut device, &count, LaunchOrigin::Device);
 
@@ -157,7 +157,7 @@ fn oracle_traffic_scales_with_element_count() {
     let data = workload();
     let cfg = SampleSelectConfig::default();
     let mut rng = SplitMix64::new(3);
-    let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host);
+    let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host).unwrap();
     device.reset();
     count_kernel(&mut device, &data, &tree, &cfg, true, LaunchOrigin::Host);
     let with_write = device.records()[0].cost.global_write_bytes;
