@@ -14,7 +14,9 @@
 //! barrier count (one per `j`-stage), and shared-memory traffic.
 
 use crate::element::SelectElement;
-use gpu_sim::KernelCost;
+use gpu_sim::sanitizer::{SanitizerConfig, SanitizerReport};
+use gpu_sim::warp::WARP_SIZE;
+use gpu_sim::{BlockExec, KernelCost, WarpSchedule};
 
 /// Resource usage of one bitonic sort.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -106,6 +108,72 @@ pub fn bitonic_sort<T: SelectElement>(data: &mut [T]) -> BitonicStats {
 
     data.copy_from_slice(&buf[..n]);
     stats
+}
+
+/// The same bitonic network executed thread-level on a [`BlockExec`]:
+/// the conformance reference for the vectorized [`bitonic_sort`].
+///
+/// Each `j`-stage is one BSP phase. The pair `(i, i ^ j)` is owned by
+/// the lower-indexed thread, which reads and (conditionally) writes
+/// both words — every shared word has exactly one accessor per phase,
+/// so the kernel is race-free under any [`WarpSchedule`] and clean
+/// under the sanitizer; both properties are what the conformance suite
+/// asserts.
+///
+/// Returns the sorted keys plus the sanitizer report when `sanitize`
+/// is set.
+pub fn bitonic_sort_on_block(
+    values: &[u32],
+    schedule: WarpSchedule,
+    sanitize: Option<SanitizerConfig>,
+) -> (Vec<u32>, Option<SanitizerReport>) {
+    let n = values.len();
+    if n <= 1 {
+        return (
+            values.to_vec(),
+            sanitize.map(|_| SanitizerReport::default()),
+        );
+    }
+    let padded = n.next_power_of_two();
+    let threads = padded.max(WARP_SIZE);
+    let mut block = match sanitize {
+        Some(cfg) => BlockExec::with_sanitizer(threads, padded, cfg),
+        None => BlockExec::new(threads, padded),
+    };
+    block.set_schedule(schedule);
+
+    // load phase: lane i owns word i (padding lanes store the sentinel)
+    block.phase(|tid, b| {
+        if tid < padded {
+            let v = values.get(tid).copied().unwrap_or(u32::MAX);
+            b.smem_write(tid, v);
+        }
+    });
+
+    let mut k = 2;
+    while k <= padded {
+        let mut j = k / 2;
+        while j >= 1 {
+            block.phase(|tid, b| {
+                let partner = tid ^ j;
+                if tid < padded && partner > tid {
+                    let ascending = tid & k == 0;
+                    let a = b.smem_read(tid);
+                    let v = b.smem_read(partner);
+                    if (v < a) == ascending {
+                        b.smem_write(tid, v);
+                        b.smem_write(partner, a);
+                    }
+                }
+            });
+            j /= 2;
+        }
+        k *= 2;
+    }
+
+    let sorted = block.shared()[..n].to_vec();
+    let report = block.take_sanitizer_report();
+    (sorted, report)
 }
 
 /// Sorting-network-based selection: sort and pick rank `k`. This is the
@@ -239,6 +307,22 @@ mod tests {
         assert!(stats.conflicted_exchanges > 0);
         // ...but most strides are sub-warp
         assert!(stats.conflicted_exchanges < stats.compare_exchanges / 2);
+    }
+
+    #[test]
+    fn block_reference_matches_vectorized_network() {
+        let mut rng = SplitMix64::new(31);
+        for n in [1usize, 2, 7, 32, 100, 256] {
+            let data: Vec<u32> = (0..n).map(|_| rng.next_u64() as u32).collect();
+            let mut expected = data.clone();
+            bitonic_sort(&mut expected);
+            for schedule in [WarpSchedule::Sequential, WarpSchedule::Shuffled { seed: 3 }] {
+                let (sorted, report) =
+                    bitonic_sort_on_block(&data, schedule, Some(SanitizerConfig::full()));
+                assert_eq!(sorted, expected, "n = {n}, schedule {schedule:?}");
+                assert!(report.unwrap().is_clean());
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::element::SelectElement;
 use crate::params::{AtomicScope, SampleSelectConfig};
 use crate::searchtree::SearchTree;
 use gpu_sim::warp::{warp_atomic_stats, WARP_SIZE};
-use gpu_sim::{Device, KernelCost, LaunchOrigin, ScatterBuffer};
+use gpu_sim::{Device, KernelCost, LaunchOrigin};
 
 /// Per-element bucket indexes, stored as narrowly as possible
 /// ("we use a single byte to store each oracle", §IV-B; two bytes is
@@ -98,14 +98,14 @@ pub fn count_kernel<T: SelectElement>(
     let height = tree.height() as u64;
     let oracle_bytes = cfg.oracle_bytes();
 
-    let partials = ScatterBuffer::<u64>::new(b * blocks);
+    let partials = device.scatter_buffer::<u64>(b * blocks, "count-partials");
     let oracle_u8 = if write_oracles && oracle_bytes == 1 {
-        Some(ScatterBuffer::<u8>::new(n))
+        Some(device.scatter_buffer::<u8>(n, "count-oracles"))
     } else {
         None
     };
     let oracle_u16 = if write_oracles && oracle_bytes == 2 {
-        Some(ScatterBuffer::<u16>::new(n))
+        Some(device.scatter_buffer::<u16>(n, "count-oracles"))
     } else {
         None
     };

@@ -15,7 +15,7 @@ use crate::element::SelectElement;
 use crate::params::{AtomicScope, SampleSelectConfig};
 use crate::reduce::ReduceResult;
 use gpu_sim::warp::WARP_SIZE;
-use gpu_sim::{Device, KernelCost, LaunchOrigin, ScatterBuffer};
+use gpu_sim::{Device, KernelCost, LaunchOrigin};
 use std::ops::Range;
 
 /// Extract all elements whose bucket lies in `bucket_range` into a
@@ -51,7 +51,7 @@ pub fn filter_kernel<T: SelectElement>(
     let range_base = reduce.bucket_offsets[bucket_range.start as usize];
     let range_end = reduce.bucket_offsets[bucket_range.end as usize];
     let out_len = (range_end - range_base) as usize;
-    let out = ScatterBuffer::<T>::new(out_len);
+    let out = device.scatter_buffer::<T>(out_len, "filter-out");
     let out_ref = &out;
     let lo = bucket_range.start;
     let hi = bucket_range.end;

@@ -230,6 +230,7 @@ mod tests {
             breakdown: CostBreakdown::default(),
             origin: LaunchOrigin::Host,
             fault: None,
+            sanitizer: None,
         }
     }
 

@@ -51,6 +51,7 @@ pub mod resilient;
 pub mod rng;
 pub mod samplesort;
 pub mod searchtree;
+pub mod simt_ref;
 pub mod splitter;
 pub mod streaming;
 pub mod topk;
@@ -62,7 +63,7 @@ pub use instrument::{ResilienceEvents, SelectReport};
 pub use kv::{zip_pairs, Pair};
 pub use multiselect::{multi_select, multi_select_on_device, quantiles, MultiSelectResult};
 pub use params::{AtomicScope, ConfigError, SampleSelectConfig};
-pub use quickselect::{quick_select, quick_select_on_device};
+pub use quickselect::{bipartition_on_device, quick_select, quick_select_on_device};
 pub use recursion::sample_select_on_device;
 pub use resilient::{
     resilient_select, resilient_select_on_device, resilient_streaming_select, Backend, Outcome,
@@ -119,6 +120,18 @@ pub enum SelectError {
         /// Human-readable detail of the violation.
         detail: String,
     },
+    /// A thread-level reference kernel addressed shared memory out of
+    /// bounds with the SIMT sanitizer disarmed (armed, the access is
+    /// reported as a [`gpu_sim::SanitizerFinding`] instead). Permanent:
+    /// the kernel itself is wrong.
+    SharedOutOfBounds {
+        /// Kernel that performed the access.
+        kernel: &'static str,
+        /// Offending word index.
+        index: usize,
+        /// Size of the shared allocation in words.
+        len: usize,
+    },
 }
 
 impl SelectError {
@@ -149,6 +162,12 @@ impl std::fmt::Display for SelectError {
             SelectError::ChunkLoad(e) => write!(f, "chunk load failed: {e}"),
             SelectError::Corruption { invariant, detail } => {
                 write!(f, "data corruption detected ({invariant}): {detail}")
+            }
+            SelectError::SharedOutOfBounds { kernel, index, len } => {
+                write!(
+                    f,
+                    "kernel {kernel}: shared-memory access out of bounds (word {index} of {len})"
+                )
             }
         }
     }
@@ -234,6 +253,11 @@ mod tests {
             SelectError::RankOutOfRange { rank: 1, len: 1 },
             SelectError::NanInput { index: 0 },
             SelectError::RecursionLimit,
+            SelectError::SharedOutOfBounds {
+                kernel: "bitonic-ref",
+                index: 64,
+                len: 64,
+            },
         ] {
             assert!(!permanent.is_transient(), "{permanent} must be permanent");
         }

@@ -27,7 +27,7 @@ use crate::rng::SplitMix64;
 use crate::{SelectError, SelectResult};
 use gpu_sim::arch::v100;
 use gpu_sim::warp::WARP_SIZE;
-use gpu_sim::{Device, KernelCost, LaunchConfig, LaunchOrigin, ScatterBuffer};
+use gpu_sim::{Device, KernelCost, LaunchConfig, LaunchOrigin};
 
 /// Pivot sample size: a small shared-memory bitonic sort picks the
 /// median of this many random elements.
@@ -88,7 +88,7 @@ fn quick_count_kernel<T: SelectElement>(
     let blocks = launch.blocks as usize;
     let chunk = launch.block_chunk(n);
 
-    let partials_buf = ScatterBuffer::<(u64, u64)>::new(blocks);
+    let partials_buf = device.scatter_buffer::<(u64, u64)>(blocks, "quick-count-partials");
     let partials_ref = &partials_buf;
     let mut cost = hpc_par::parallel_map_reduce(
         device.pool(),
@@ -204,7 +204,7 @@ fn bipartition_kernel<T: SelectElement>(
         l_run += total - s - e;
     }
 
-    let out = ScatterBuffer::<T>::new(n);
+    let out = device.scatter_buffer::<T>(n, "bipartition-out");
     let out_ref = &out;
     let smaller_off_ref = &smaller_off;
     let equal_off_ref = &equal_off;
@@ -268,6 +268,26 @@ fn bipartition_kernel<T: SelectElement>(
 
     // SAFETY: the three regions tile 0..n and every slot is written once.
     unsafe { out.into_vec(n) }
+}
+
+/// One QuickSelect bipartition level as a public entry point: count
+/// against `pivot`, then scatter into `smaller ++ equal ++ larger`
+/// order. Exposed for the differential conformance suite, which
+/// cross-validates this vectorized pass (under the device sanitizer)
+/// against a thread-level `BlockExec` reference.
+///
+/// Returns the partitioned data plus the `(smaller, equal)` totals.
+pub fn bipartition_on_device<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    pivot: T,
+    cfg: &SampleSelectConfig,
+    origin: LaunchOrigin,
+) -> (Vec<T>, u64, u64) {
+    let counts = quick_count_kernel(device, data, pivot, cfg, origin);
+    let (smaller, equal) = (counts.smaller, counts.equal);
+    let out = bipartition_kernel(device, data, pivot, &counts, cfg, origin);
+    (out, smaller, equal)
 }
 
 /// Exact QuickSelect on a simulated device.

@@ -9,7 +9,7 @@
 //!    place elements contiguously without global collisions.
 
 use crate::count::CountResult;
-use gpu_sim::{Device, KernelCost, LaunchConfig, LaunchOrigin};
+use gpu_sim::{Device, KernelCost, LaunchConfig, LaunchOrigin, SanitizerFinding, SanitizerKind};
 
 /// Result of the reduce kernel.
 #[derive(Debug, Clone)]
@@ -47,6 +47,36 @@ pub fn reduce_kernel(
     let b = count.counts.len();
     let mut offsets = count.partials.clone();
     let total = hpc_par::parallel_exclusive_scan(device.pool(), &mut offsets);
+
+    // Sanitize mode: an exclusive scan of non-negative partials must be
+    // monotone and end at the running total — a violated window means
+    // the partials (or the scan itself) were corrupted, which would send
+    // the filter kernel's disjoint write ranges overlapping. Reported as
+    // out-of-bounds findings on the reduce record.
+    if let Some(sink) = device.sanitizer_sink() {
+        for (i, w) in offsets.windows(2).enumerate() {
+            if w[0] > w[1] {
+                sink.record(SanitizerFinding {
+                    kind: SanitizerKind::OutOfBounds,
+                    index: i + 1,
+                    phase: 0,
+                    thread: None,
+                    other_thread: None,
+                    context: "reduce-scan".to_string(),
+                });
+            }
+        }
+        if offsets.last().copied().unwrap_or(0) > total {
+            sink.record(SanitizerFinding {
+                kind: SanitizerKind::OutOfBounds,
+                index: offsets.len(),
+                phase: 0,
+                thread: None,
+                other_thread: None,
+                context: "reduce-scan".to_string(),
+            });
+        }
+    }
 
     let mut bucket_offsets = Vec::with_capacity(b + 1);
     for bucket in 0..b {

@@ -121,7 +121,16 @@ pub fn top_k_largest_on_device<T: SelectElement>(
         use_storage = true;
     }
 
-    debug_assert_eq!(collected.len(), k, "top-k set has wrong cardinality");
+    // A wrong cardinality means a corrupted count/filter pipeline (the
+    // invariant the old debug_assert only checked in debug builds);
+    // surface it as a permanent error instead of returning a wrong-size
+    // set in release builds.
+    if collected.len() != k {
+        return Err(SelectError::Corruption {
+            invariant: "topk-cardinality",
+            detail: format!("collected {} elements for k = {k}", collected.len()),
+        });
+    }
     let report = SelectReport::from_records(
         "topk-sampleselect",
         n,

@@ -14,9 +14,252 @@
 //! implementations and require bit-identical results and identical
 //! collision counts (see `count.rs`'s tests in the `sampleselect`
 //! crate and the tests below).
+//!
+//! Two features support the differential conformance suite:
+//!
+//! * a [`WarpSchedule`] — phases may execute warps in deterministic
+//!   order or in a seed-shuffled order. A data-race-free kernel must
+//!   produce bit-identical results under every schedule;
+//! * an opt-in SIMT sanitizer ([`BlockExec::with_sanitizer`]) that
+//!   tracks per-phase shared-memory access sets and reports races,
+//!   barrier divergence, uninitialized reads, out-of-bounds accesses,
+//!   and mixed atomic/plain access as structured
+//!   [`SanitizerFinding`]s instead of panicking.
+
+use std::fmt;
 
 use crate::cost::KernelCost;
+use crate::sanitizer::{SanitizerConfig, SanitizerFinding, SanitizerKind, SanitizerReport};
 use crate::warp::{ballot, warp_atomic_stats, WARP_SIZE};
+
+/// The order in which a phase visits the block's warps.
+///
+/// Lanes always run in lane order within their warp (SIMT lockstep);
+/// the *warp* interleaving is what real hardware never guarantees, so
+/// the conformance suite runs kernels under both variants and requires
+/// bit-identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarpSchedule {
+    /// Warps run in ascending id order (the legacy behaviour).
+    #[default]
+    Sequential,
+    /// Warps run in a deterministic pseudo-random permutation derived
+    /// from the seed (Fisher–Yates over a SplitMix64 stream).
+    Shuffled { seed: u64 },
+}
+
+/// A rejected shared-memory access: index past the block's allocation.
+///
+/// Returned by the checked accessors [`BlockExec::try_smem_read`] /
+/// [`BlockExec::try_smem_write`]. The infallible wrappers panic with
+/// this message when no sanitizer is installed, and degrade to a
+/// recorded [`SanitizerKind::OutOfBounds`] finding (read-as-zero /
+/// dropped write) when one is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmemAccessError {
+    /// The offending word index.
+    pub index: usize,
+    /// The block's shared-memory size in words.
+    pub len: usize,
+    /// True for a write, false for a read.
+    pub write: bool,
+}
+
+impl fmt::Display for SmemAccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shared-memory {} out of bounds: word {} in a {}-word block",
+            if self.write { "write" } else { "read" },
+            self.index,
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for SmemAccessError {}
+
+const NO_TID: u32 = u32::MAX;
+
+/// Per-block sanitizer tracking state: per-phase access sets over the
+/// shared words, a persistent init map, and per-thread barrier counts.
+struct SanState {
+    cfg: SanitizerConfig,
+    findings: Vec<SanitizerFinding>,
+    truncated: u64,
+    accesses: u64,
+    /// Thread that wrote each word this phase (`NO_TID` = none).
+    writer: Vec<u32>,
+    /// First thread that read each word this phase (`NO_TID` = none).
+    reader: Vec<u32>,
+    /// Word was atomically accessed this phase.
+    atomic: Vec<bool>,
+    /// Word has ever been written (persists across phases).
+    init: Vec<bool>,
+    /// Words touched this phase, for cheap per-phase reset.
+    touched: Vec<usize>,
+    /// Conditional barriers executed per thread this phase.
+    thread_barriers: Vec<u64>,
+    phase_index: u64,
+}
+
+impl SanState {
+    fn new(cfg: SanitizerConfig, num_threads: usize, shared_words: usize) -> Self {
+        Self {
+            cfg,
+            findings: Vec::new(),
+            truncated: 0,
+            accesses: 0,
+            writer: vec![NO_TID; shared_words],
+            reader: vec![NO_TID; shared_words],
+            atomic: vec![false; shared_words],
+            init: vec![false; shared_words],
+            touched: Vec::new(),
+            thread_barriers: vec![0; num_threads],
+            phase_index: 0,
+        }
+    }
+
+    fn record(
+        &mut self,
+        kind: SanitizerKind,
+        index: usize,
+        thread: Option<u32>,
+        other_thread: Option<u32>,
+    ) {
+        if self.findings.len() >= self.cfg.max_findings {
+            self.truncated += 1;
+            return;
+        }
+        self.findings.push(SanitizerFinding {
+            kind,
+            index,
+            phase: self.phase_index,
+            thread,
+            other_thread,
+            context: "smem".to_string(),
+        });
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.writer[idx] == NO_TID && self.reader[idx] == NO_TID && !self.atomic[idx] {
+            self.touched.push(idx);
+        }
+    }
+
+    /// An in-bounds read by `tid` (None = host-side access outside any
+    /// phase, which is exempt from race and init tracking).
+    fn track_read(&mut self, idx: usize, tid: Option<usize>) {
+        self.accesses += 1;
+        let Some(tid) = tid else { return };
+        let tid = tid as u32;
+        if self.cfg.uninit && !self.init[idx] {
+            self.record(SanitizerKind::UninitRead, idx, Some(tid), None);
+        }
+        if self.cfg.races && self.writer[idx] != NO_TID && self.writer[idx] != tid {
+            let other = self.writer[idx];
+            self.record(SanitizerKind::ReadWriteRace, idx, Some(tid), Some(other));
+        }
+        if self.cfg.atomics && self.atomic[idx] {
+            self.record(SanitizerKind::MixedAtomic, idx, Some(tid), None);
+        }
+        self.touch(idx);
+        if self.reader[idx] == NO_TID {
+            self.reader[idx] = tid;
+        }
+    }
+
+    /// An in-bounds write by `tid` (None = host-side setup, exempt from
+    /// race tracking but still marks the word initialized).
+    fn track_write(&mut self, idx: usize, tid: Option<usize>) {
+        self.accesses += 1;
+        let Some(tid) = tid else {
+            self.init[idx] = true;
+            return;
+        };
+        let tid = tid as u32;
+        if self.cfg.races && self.writer[idx] != NO_TID && self.writer[idx] != tid {
+            let other = self.writer[idx];
+            self.record(SanitizerKind::WriteWriteRace, idx, Some(tid), Some(other));
+        }
+        if self.cfg.races && self.reader[idx] != NO_TID && self.reader[idx] != tid {
+            let other = self.reader[idx];
+            self.record(SanitizerKind::ReadWriteRace, idx, Some(tid), Some(other));
+        }
+        if self.cfg.atomics && self.atomic[idx] {
+            self.record(SanitizerKind::MixedAtomic, idx, Some(tid), None);
+        }
+        self.touch(idx);
+        self.writer[idx] = tid;
+        self.init[idx] = true;
+    }
+
+    /// An atomic access to `idx` (warp-granular; no single thread id).
+    fn track_atomic(&mut self, idx: usize) {
+        self.accesses += 1;
+        if self.cfg.atomics && (self.writer[idx] != NO_TID || self.reader[idx] != NO_TID) {
+            let other = if self.writer[idx] != NO_TID {
+                self.writer[idx]
+            } else {
+                self.reader[idx]
+            };
+            self.record(SanitizerKind::MixedAtomic, idx, None, Some(other));
+        }
+        self.touch(idx);
+        self.atomic[idx] = true;
+        self.init[idx] = true;
+    }
+
+    fn oob(&mut self, idx: usize, tid: Option<usize>) {
+        if self.cfg.bounds {
+            self.record(SanitizerKind::OutOfBounds, idx, tid.map(|t| t as u32), None);
+        }
+    }
+
+    /// Close the current barrier interval: check conditional-barrier
+    /// convergence and clear the per-phase access sets.
+    fn end_phase(&mut self) {
+        if self.cfg.barriers {
+            let min = self.thread_barriers.iter().copied().min().unwrap_or(0);
+            let max = self.thread_barriers.iter().copied().max().unwrap_or(0);
+            if min != max {
+                let hi = self.thread_barriers.iter().position(|&b| b == max);
+                let lo = self.thread_barriers.iter().position(|&b| b == min);
+                self.record(
+                    SanitizerKind::BarrierDivergence,
+                    max as usize,
+                    hi.map(|t| t as u32),
+                    lo.map(|t| t as u32),
+                );
+            }
+        }
+        for &idx in &self.touched {
+            self.writer[idx] = NO_TID;
+            self.reader[idx] = NO_TID;
+            self.atomic[idx] = false;
+        }
+        self.touched.clear();
+        self.thread_barriers.iter_mut().for_each(|b| *b = 0);
+        self.phase_index += 1;
+    }
+
+    fn report(&self) -> SanitizerReport {
+        SanitizerReport {
+            findings: self.findings.clone(),
+            truncated: self.truncated,
+            phases: self.phase_index,
+            accesses: self.accesses,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A simulated thread block executing in BSP phases.
 ///
@@ -33,6 +276,11 @@ pub struct BlockExec {
     /// Resource usage accrued by this block.
     pub cost: KernelCost,
     barriers: u64,
+    schedule: WarpSchedule,
+    /// Thread currently executing inside a phase closure; `None`
+    /// between phases (host-style setup and readback).
+    current_tid: Option<usize>,
+    san: Option<Box<SanState>>,
 }
 
 impl BlockExec {
@@ -50,7 +298,29 @@ impl BlockExec {
             shared_u32: vec![0; shared_words],
             cost,
             barriers: 0,
+            schedule: WarpSchedule::Sequential,
+            current_tid: None,
+            san: None,
         }
+    }
+
+    /// Create a block with the SIMT sanitizer armed: shared-memory
+    /// accesses are tracked per phase and violations are recorded as
+    /// [`SanitizerFinding`]s (retrieved via
+    /// [`BlockExec::take_sanitizer_report`]) instead of panicking.
+    pub fn with_sanitizer(num_threads: usize, shared_words: usize, cfg: SanitizerConfig) -> Self {
+        let mut block = Self::new(num_threads, shared_words);
+        block.san = Some(Box::new(SanState::new(cfg, num_threads, shared_words)));
+        block
+    }
+
+    /// Set the warp execution order used by subsequent phases.
+    pub fn set_schedule(&mut self, schedule: WarpSchedule) {
+        self.schedule = schedule;
+    }
+
+    pub fn schedule(&self) -> WarpSchedule {
+        self.schedule
     }
 
     pub fn num_threads(&self) -> usize {
@@ -61,16 +331,111 @@ impl BlockExec {
         self.num_threads / WARP_SIZE
     }
 
-    /// Read shared memory (tracked).
-    pub fn smem_read(&mut self, idx: usize) -> u32 {
-        self.cost.smem_bytes += 4;
-        self.shared_u32[idx]
+    /// Whether the sanitizer is armed on this block.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.san.is_some()
     }
 
-    /// Write shared memory (tracked).
-    pub fn smem_write(&mut self, idx: usize, value: u32) {
+    /// Snapshot of the sanitizer's findings so far (None when the
+    /// sanitizer is not armed).
+    pub fn sanitizer_report(&self) -> Option<SanitizerReport> {
+        self.san.as_ref().map(|s| s.report())
+    }
+
+    /// Take the sanitizer's findings, leaving the tracking state armed
+    /// but empty.
+    pub fn take_sanitizer_report(&mut self) -> Option<SanitizerReport> {
+        self.san.as_mut().map(|s| {
+            let report = s.report();
+            s.findings.clear();
+            s.truncated = 0;
+            s.accesses = 0;
+            report
+        })
+    }
+
+    /// The warp visit order for one phase under the current schedule.
+    fn warp_order(&mut self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.num_warps()).collect();
+        if let WarpSchedule::Shuffled { seed } = self.schedule {
+            // Mix the barrier count in so each phase gets its own
+            // permutation while staying reproducible for a given seed.
+            let mut state = seed ^ (self.barriers.wrapping_mul(0xA24B_AED4_963E_E407));
+            for i in (1..order.len()).rev() {
+                let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+        }
+        order
+    }
+
+    /// Read shared memory (tracked), reporting out-of-bounds instead of
+    /// panicking.
+    pub fn try_smem_read(&mut self, idx: usize) -> Result<u32, SmemAccessError> {
         self.cost.smem_bytes += 4;
+        if idx >= self.shared_u32.len() {
+            let err = SmemAccessError {
+                index: idx,
+                len: self.shared_u32.len(),
+                write: false,
+            };
+            if let Some(san) = self.san.as_mut() {
+                san.oob(idx, self.current_tid);
+            }
+            return Err(err);
+        }
+        if let Some(san) = self.san.as_mut() {
+            san.track_read(idx, self.current_tid);
+        }
+        Ok(self.shared_u32[idx])
+    }
+
+    /// Write shared memory (tracked), reporting out-of-bounds instead
+    /// of panicking.
+    pub fn try_smem_write(&mut self, idx: usize, value: u32) -> Result<(), SmemAccessError> {
+        self.cost.smem_bytes += 4;
+        if idx >= self.shared_u32.len() {
+            let err = SmemAccessError {
+                index: idx,
+                len: self.shared_u32.len(),
+                write: true,
+            };
+            if let Some(san) = self.san.as_mut() {
+                san.oob(idx, self.current_tid);
+            }
+            return Err(err);
+        }
+        if let Some(san) = self.san.as_mut() {
+            san.track_write(idx, self.current_tid);
+        }
         self.shared_u32[idx] = value;
+        Ok(())
+    }
+
+    /// Read shared memory (tracked). Out of bounds: a sanitizer finding
+    /// and zero when the sanitizer is armed, a panic otherwise.
+    pub fn smem_read(&mut self, idx: usize) -> u32 {
+        match self.try_smem_read(idx) {
+            Ok(v) => v,
+            Err(err) => {
+                if self.san.is_some() {
+                    0
+                } else {
+                    panic!("{err}");
+                }
+            }
+        }
+    }
+
+    /// Write shared memory (tracked). Out of bounds: a sanitizer
+    /// finding and a dropped write when the sanitizer is armed, a panic
+    /// otherwise.
+    pub fn smem_write(&mut self, idx: usize, value: u32) {
+        if let Err(err) = self.try_smem_write(idx, value) {
+            if self.san.is_none() {
+                panic!("{err}");
+            }
+        }
     }
 
     /// Untracked view for result extraction.
@@ -78,20 +443,26 @@ impl BlockExec {
         &self.shared_u32
     }
 
-    /// Run one phase: `f(tid, block)` for every thread, in thread order,
-    /// followed by an implicit barrier.
+    /// Run one phase: `f(tid, block)` for every thread, followed by an
+    /// implicit barrier. Warps are visited in the order given by the
+    /// current [`WarpSchedule`]; lanes run in lane order.
     ///
     /// Sequential execution per phase is faithful for programs whose
     /// phases are data-race-free (each shared location written by at
     /// most one thread per phase, or only through the atomic helpers) —
-    /// which the assertions in the atomic helpers enforce for counters.
+    /// a contract the sanitizer, when armed, checks instead of assumes.
     pub fn phase<F>(&mut self, mut f: F)
     where
         F: FnMut(usize, &mut BlockExec),
     {
-        for tid in 0..self.num_threads {
-            f(tid, self);
+        for warp in self.warp_order() {
+            for lane in 0..WARP_SIZE {
+                let tid = warp * WARP_SIZE + lane;
+                self.current_tid = Some(tid);
+                f(tid, self);
+            }
         }
+        self.current_tid = None;
         self.barrier();
     }
 
@@ -104,13 +475,20 @@ impl BlockExec {
         F: FnMut(usize, &[T], &mut BlockExec) -> Vec<T>,
     {
         let mut out = vec![T::default(); self.num_threads];
-        for warp in 0..self.num_warps() {
+        for warp in self.warp_order() {
             let base = warp * WARP_SIZE;
-            let values: Vec<T> = (0..WARP_SIZE).map(|l| lane(base + l, self)).collect();
+            let values: Vec<T> = (0..WARP_SIZE)
+                .map(|l| {
+                    self.current_tid = Some(base + l);
+                    lane(base + l, self)
+                })
+                .collect();
+            self.current_tid = None;
             let results = f(warp, &values, self);
             assert_eq!(results.len(), WARP_SIZE);
             out[base..base + WARP_SIZE].copy_from_slice(&results);
         }
+        self.current_tid = None;
         self.barrier();
         out
     }
@@ -125,10 +503,21 @@ impl BlockExec {
     /// Execute one warp-wide shared-memory atomic-add instruction: each
     /// lane increments `counter_base + targets[lane]`. Returns each
     /// lane's fetched-before value; charges the exact collision cost.
+    ///
+    /// With the sanitizer armed, out-of-bounds lanes are recorded as
+    /// findings and skipped (fetch value 0), and mixing these atomics
+    /// with plain accesses to the same word within one barrier interval
+    /// is reported as [`SanitizerKind::MixedAtomic`].
     pub fn warp_shared_atomic_add(&mut self, counter_base: usize, targets: &[u32]) -> Vec<u32> {
         assert!(targets.len() <= WARP_SIZE);
-        let mut scratch = vec![0u32; self.shared_u32.len()];
-        let stats = warp_atomic_stats(targets, &mut scratch);
+        let len = self.shared_u32.len();
+        let in_bounds: Vec<u32> = targets
+            .iter()
+            .copied()
+            .filter(|&t| counter_base + (t as usize) < len)
+            .collect();
+        let mut scratch = vec![0u32; len];
+        let stats = warp_atomic_stats(&in_bounds, &mut scratch);
         self.cost.shared_atomic_warp_ops += 1;
         self.cost.shared_atomic_replays += stats.max_multiplicity.saturating_sub(1) as u64;
         // lanes commit in lane order (hardware order is unspecified; any
@@ -137,6 +526,16 @@ impl BlockExec {
             .iter()
             .map(|&t| {
                 let slot = counter_base + t as usize;
+                if slot >= len {
+                    if let Some(san) = self.san.as_mut() {
+                        san.oob(slot, self.current_tid);
+                        return 0;
+                    }
+                    panic!("shared-memory atomic out of bounds: word {slot} in a {len}-word block");
+                }
+                if let Some(san) = self.san.as_mut() {
+                    san.track_atomic(slot);
+                }
                 let old = self.shared_u32[slot];
                 self.shared_u32[slot] = old + 1;
                 old
@@ -145,9 +544,25 @@ impl BlockExec {
     }
 
     /// Block-wide barrier (`__syncthreads`), charged as an intrinsic.
+    /// Ends the current sanitizer phase: conditional-barrier divergence
+    /// is checked and the per-phase access sets are cleared.
     pub fn barrier(&mut self) {
         self.barriers += 1;
         self.cost.warp_intrinsics += 1;
+        if let Some(san) = self.san.as_mut() {
+            san.end_phase();
+        }
+    }
+
+    /// A *conditional* barrier executed by the current thread inside a
+    /// phase closure. Correct kernels execute the same number per
+    /// thread per phase; the sanitizer reports
+    /// [`SanitizerKind::BarrierDivergence`] otherwise.
+    pub fn thread_barrier(&mut self) {
+        self.cost.warp_intrinsics += 1;
+        if let (Some(san), Some(tid)) = (self.san.as_mut(), self.current_tid) {
+            san.thread_barriers[tid] += 1;
+        }
     }
 
     /// Barriers executed so far.
@@ -234,5 +649,178 @@ mod tests {
         assert_eq!(block.cost.shared_atomic_warp_ops, 1);
         assert_eq!(block.cost.shared_atomic_replays, 31);
         assert_eq!(block.shared()[0], 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn unsanitized_oob_read_panics_with_context() {
+        let mut block = BlockExec::new(32, 4);
+        block.smem_read(4);
+    }
+
+    #[test]
+    fn shuffled_schedule_permutes_warps_but_not_results() {
+        // A race-free kernel: each thread owns its word.
+        let run = |schedule: WarpSchedule| {
+            let mut block = BlockExec::new(128, 128);
+            block.set_schedule(schedule);
+            let mut visit_order = Vec::new();
+            block.phase(|tid, b| {
+                b.smem_write(tid, tid as u32 + 1);
+            });
+            block.phase(|tid, _| visit_order.push(tid));
+            (block.shared().to_vec(), visit_order)
+        };
+        let (seq, order_seq) = run(WarpSchedule::Sequential);
+        let (shuf, order_shuf) = run(WarpSchedule::Shuffled { seed: 7 });
+        assert_eq!(seq, shuf);
+        assert_ne!(order_seq, order_shuf, "seed 7 should permute 4 warps");
+        // same seed → same order (reproducible)
+        let (_, order_again) = run(WarpSchedule::Shuffled { seed: 7 });
+        assert_eq!(order_shuf, order_again);
+    }
+
+    #[test]
+    fn sanitizer_flags_write_write_race() {
+        let mut block = BlockExec::with_sanitizer(64, 8, SanitizerConfig::full());
+        block.phase(|tid, b| {
+            b.smem_write(0, tid as u32); // every thread writes word 0
+        });
+        let report = block.take_sanitizer_report().unwrap();
+        assert!(report.count_of(SanitizerKind::WriteWriteRace) > 0);
+    }
+
+    #[test]
+    fn sanitizer_flags_read_write_race() {
+        let mut block = BlockExec::with_sanitizer(64, 64, SanitizerConfig::full());
+        block.phase(|tid, b| {
+            b.smem_write(tid, 1);
+        });
+        // in-place neighbour read + own write in one phase: classic
+        // unsynchronized Hillis–Steele step
+        block.phase(|tid, b| {
+            let left = if tid > 0 { b.smem_read(tid - 1) } else { 0 };
+            b.smem_write(tid, left + 1);
+        });
+        let report = block.take_sanitizer_report().unwrap();
+        assert!(report.count_of(SanitizerKind::ReadWriteRace) > 0);
+        assert_eq!(report.count_of(SanitizerKind::WriteWriteRace), 0);
+    }
+
+    #[test]
+    fn sanitizer_flags_uninit_read_but_not_after_init() {
+        let mut block = BlockExec::with_sanitizer(32, 8, SanitizerConfig::full());
+        block.phase(|tid, b| {
+            if tid == 0 {
+                let _ = b.smem_read(3); // never written
+            }
+        });
+        block.phase(|tid, b| {
+            if tid == 0 {
+                b.smem_write(3, 9);
+            }
+        });
+        block.phase(|tid, b| {
+            if tid == 0 {
+                assert_eq!(b.smem_read(3), 9); // now initialized
+            }
+        });
+        let report = block.take_sanitizer_report().unwrap();
+        assert_eq!(report.count_of(SanitizerKind::UninitRead), 1);
+    }
+
+    #[test]
+    fn sanitizer_flags_barrier_divergence() {
+        let mut block = BlockExec::with_sanitizer(64, 0, SanitizerConfig::full());
+        block.phase(|tid, b| {
+            if tid < 32 {
+                b.thread_barrier(); // half the block syncs, half does not
+            }
+        });
+        let report = block.take_sanitizer_report().unwrap();
+        assert_eq!(report.count_of(SanitizerKind::BarrierDivergence), 1);
+    }
+
+    #[test]
+    fn sanitizer_flags_oob_without_panicking() {
+        let mut block = BlockExec::with_sanitizer(32, 4, SanitizerConfig::full());
+        block.phase(|tid, b| {
+            if tid == 0 {
+                b.smem_write(4, 1); // one past the end: dropped
+                assert_eq!(b.smem_read(4), 0); // reads as zero
+            }
+        });
+        let report = block.take_sanitizer_report().unwrap();
+        assert_eq!(report.count_of(SanitizerKind::OutOfBounds), 2);
+    }
+
+    #[test]
+    fn sanitizer_flags_mixed_atomic_access() {
+        let mut block = BlockExec::with_sanitizer(32, 4, SanitizerConfig::full());
+        // atomics and a plain read of the same counter word in the same
+        // barrier interval
+        block.warp_shared_atomic_add(0, &[0; 32]);
+        block.phase(|tid, b| {
+            if tid == 0 {
+                let _ = b.smem_read(0);
+            }
+        });
+        let report = block.take_sanitizer_report().unwrap();
+        assert!(report.count_of(SanitizerKind::MixedAtomic) > 0);
+    }
+
+    #[test]
+    fn sanitizer_clean_on_race_free_histogram() {
+        let mut block = BlockExec::with_sanitizer(128, 8, SanitizerConfig::full());
+        // init phase, barrier, atomics, barrier, per-thread readback
+        block.phase(|tid, b| {
+            if tid < 8 {
+                b.smem_write(tid, 0);
+            }
+        });
+        let data: Vec<u32> = (0..128).map(|i| (i * 13) % 8).collect();
+        for warp in 0..4 {
+            let targets: Vec<u32> = (0..WARP_SIZE).map(|l| data[warp * 32 + l]).collect();
+            block.warp_shared_atomic_add(0, &targets);
+        }
+        block.barrier();
+        block.phase(|tid, b| {
+            if tid < 8 {
+                let _ = b.smem_read(tid);
+            }
+        });
+        let report = block.take_sanitizer_report().unwrap();
+        assert!(
+            report.is_clean(),
+            "unexpected findings: {:?}",
+            report.findings
+        );
+        assert!(report.accesses > 0);
+        assert_eq!(report.phases, 3); // init phase, explicit barrier, read phase
+    }
+
+    #[test]
+    fn sanitizer_does_not_change_results_or_cost() {
+        let run = |sanitize: bool| {
+            let mut block = if sanitize {
+                BlockExec::with_sanitizer(128, 8, SanitizerConfig::full())
+            } else {
+                BlockExec::new(128, 8)
+            };
+            let data: Vec<u32> = (0..128).map(|i| (i * 7) % 8).collect();
+            for warp in 0..4 {
+                let targets: Vec<u32> = (0..WARP_SIZE).map(|l| data[warp * 32 + l]).collect();
+                block.warp_shared_atomic_add(0, &targets);
+            }
+            (block.shared().to_vec(), block.cost)
+        };
+        let (plain, cost_plain) = run(false);
+        let (sanitized, cost_san) = run(true);
+        assert_eq!(plain, sanitized);
+        assert_eq!(
+            cost_plain.shared_atomic_replays,
+            cost_san.shared_atomic_replays
+        );
+        assert_eq!(cost_plain.smem_bytes, cost_san.smem_bytes);
     }
 }

@@ -435,6 +435,103 @@ mod tests {
         assert_eq!(scaled.bottleneck(), bd.bottleneck());
     }
 
+    /// More work on any resource can never make a kernel *faster*: the
+    /// overlap model is monotone in every counter. A violation would let
+    /// the simulator "reward" extra atomic collisions or extra traffic,
+    /// inverting every comparison the figures are built on.
+    #[test]
+    fn cost_is_monotone_in_every_resource() {
+        let base = KernelCost {
+            global_read_bytes: 100_000,
+            global_write_bytes: 50_000,
+            uncoalesced_bytes: 10_000,
+            shared_atomic_warp_ops: 2_000,
+            shared_atomic_replays: 500,
+            global_atomic_ops: 1_000,
+            global_atomic_hot_ops: 200,
+            warp_intrinsics: 3_000,
+            smem_bytes: 40_000,
+            int_ops: 80_000,
+            blocks: 80,
+        };
+        type Bump = fn(&mut KernelCost);
+        let bumps: [(&str, Bump); 10] = [
+            ("global_read_bytes", |c| c.global_read_bytes += 1_000_000),
+            ("global_write_bytes", |c| c.global_write_bytes += 1_000_000),
+            ("uncoalesced_bytes", |c| c.uncoalesced_bytes += 1_000_000),
+            ("shared_atomic_warp_ops", |c| {
+                c.shared_atomic_warp_ops += 100_000
+            }),
+            ("shared_atomic_replays", |c| {
+                c.shared_atomic_replays += 100_000
+            }),
+            ("global_atomic_ops", |c| c.global_atomic_ops += 100_000),
+            ("global_atomic_hot_ops", |c| {
+                c.global_atomic_hot_ops += 100_000
+            }),
+            ("warp_intrinsics", |c| c.warp_intrinsics += 100_000),
+            ("smem_bytes", |c| c.smem_bytes += 10_000_000),
+            ("int_ops", |c| c.int_ops += 10_000_000),
+        ];
+        for arch in [k20xm(), v100()] {
+            for occupancy in [1.0, arch.num_sms as f64 / 2.0, arch.num_sms as f64] {
+                let t0 = base.time_on(&arch, occupancy).total();
+                for (name, bump) in bumps {
+                    let mut c = base;
+                    bump(&mut c);
+                    let t1 = c.time_on(&arch, occupancy).total();
+                    assert!(
+                        t1 >= t0,
+                        "{name} increase made {} faster at occupancy {occupancy}: \
+                         {t0} -> {t1}",
+                        arch.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fig. 5's architecture split: the *relative* price of same-address
+    /// shared-atomic collisions (conflict replays) is far higher on
+    /// Kepler than on Volta, which is why the paper's warp-aggregated
+    /// variants pay off on the K20Xm but barely matter on the V100.
+    #[test]
+    fn replay_penalty_ordering_matches_fig5() {
+        let conflict_free = KernelCost {
+            shared_atomic_warp_ops: 100_000,
+            ..Default::default()
+        };
+        // Same instruction count, every warp fully serialized on one
+        // counter (31 replays per 32-lane warp).
+        let colliding = KernelCost {
+            shared_atomic_warp_ops: 100_000,
+            shared_atomic_replays: 3_100_000,
+            ..Default::default()
+        };
+        let k = k20xm();
+        let v = v100();
+        let slowdown = |arch: &crate::arch::GpuArchitecture| {
+            let base = conflict_free
+                .time_on(arch, arch.num_sms as f64)
+                .shared_atomic;
+            let bad = colliding.time_on(arch, arch.num_sms as f64).shared_atomic;
+            bad.as_ns() / base.as_ns()
+        };
+        let k_slowdown = slowdown(&k);
+        let v_slowdown = slowdown(&v);
+        assert!(k_slowdown > 1.0 && v_slowdown > 1.0);
+        assert!(
+            k_slowdown > v_slowdown,
+            "Kepler must punish collisions harder: K20Xm x{k_slowdown:.1} \
+             vs V100 x{v_slowdown:.1}"
+        );
+        // And in absolute terms the colliding workload is still slower
+        // on Kepler despite Volta having more SMs to spread it over.
+        let abs_k = colliding.time_on(&k, k.num_sms as f64).shared_atomic;
+        let abs_v = colliding.time_on(&v, v.num_sms as f64).shared_atomic;
+        assert!(abs_k > abs_v);
+    }
+
     #[test]
     fn busy_sms_clamped_to_device() {
         let arch = v100();

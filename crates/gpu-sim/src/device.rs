@@ -20,6 +20,7 @@ use crate::event::Event;
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, LaunchError, MemoryCorruption};
 use crate::launch::{occupancy, LaunchConfig};
 use crate::memory::{AllocError, CorruptTarget, DeviceMemory, ScatterBuffer};
+use crate::sanitizer::{reports_to_json, SanitizerConfig, SanitizerReport, SanitizerSink};
 use hpc_par::ThreadPool;
 
 /// Whether a kernel was launched by the host or from the device
@@ -54,6 +55,9 @@ pub struct KernelRecord {
     /// means the kernel did not run (zero duration), `LatencySpike`
     /// means it ran slower than modeled.
     pub fault: Option<FaultKind>,
+    /// SIMT-sanitizer result for this launch: `Some` (possibly clean)
+    /// when the device sanitizer was armed, `None` otherwise.
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 /// Aggregated statistics for all launches of one kernel name.
@@ -79,6 +83,7 @@ pub struct Device<'p> {
     alloc_counter: u64,
     access_counter: u64,
     memory: DeviceMemory,
+    sanitizer: Option<SanitizerSink>,
 }
 
 impl<'p> Device<'p> {
@@ -95,6 +100,7 @@ impl<'p> Device<'p> {
             alloc_counter: 0,
             access_counter: 0,
             memory: DeviceMemory::unlimited(),
+            sanitizer: None,
         }
     }
 
@@ -135,6 +141,82 @@ impl<'p> Device<'p> {
     /// The installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.injector.as_ref().map(|inj| inj.plan())
+    }
+
+    /// Arm the SIMT sanitizer: buffers handed out by
+    /// [`Device::scatter_buffer`] grow shadow write-tracking, kernels
+    /// may report invariant violations, and every subsequent
+    /// [`KernelRecord`] carries a [`SanitizerReport`] (clean or not).
+    ///
+    /// Deliberately independent of the launch/alloc counters, so arming
+    /// the sanitizer never perturbs an installed fault schedule.
+    pub fn set_sanitizer(&mut self, cfg: SanitizerConfig) {
+        self.sanitizer = Some(SanitizerSink::new(cfg));
+    }
+
+    /// Disarm the sanitizer (subsequent records carry no report).
+    pub fn clear_sanitizer(&mut self) {
+        self.sanitizer = None;
+    }
+
+    /// Whether the sanitizer is armed.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// A handle to the findings sink, for kernels that create their own
+    /// sanitized structures (e.g. a [`crate::SharedArray`]).
+    pub fn sanitizer_sink(&self) -> Option<SanitizerSink> {
+        self.sanitizer.clone()
+    }
+
+    /// All non-clean sanitizer reports on the timeline, with the kernel
+    /// name each belongs to.
+    pub fn sanitizer_findings(&self) -> Vec<(&str, &SanitizerReport)> {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.sanitizer {
+                Some(rep) if !rep.is_clean() => Some((r.name.as_str(), rep)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True when the sanitizer is armed and no kernel on the timeline
+    /// produced a finding.
+    pub fn sanitizer_clean(&self) -> bool {
+        self.sanitizer.is_some()
+            && self.records.iter().all(|r| match &r.sanitizer {
+                Some(rep) => rep.is_clean(),
+                None => true,
+            })
+    }
+
+    /// Serialize every record's sanitizer report as JSON (the CI
+    /// artifact format; empty array when the sanitizer is off).
+    pub fn sanitizer_json(&self) -> String {
+        let reports: Vec<(String, SanitizerReport)> = self
+            .records
+            .iter()
+            .filter_map(|r| {
+                r.sanitizer
+                    .as_ref()
+                    .map(|rep| (r.name.clone(), rep.clone()))
+            })
+            .collect();
+        reports_to_json(&reports)
+    }
+
+    /// Allocate a scatter buffer for a kernel's output: plain when the
+    /// sanitizer is off (zero overhead), shadow-tracked when armed.
+    /// Unlike [`Device::try_alloc_scatter`] this touches no fault or
+    /// allocation counters — it exists so kernels can opt into
+    /// sanitization without perturbing deterministic fault schedules.
+    pub fn scatter_buffer<T>(&self, len: usize, region: &str) -> ScatterBuffer<T> {
+        match &self.sanitizer {
+            Some(sink) => ScatterBuffer::with_sanitizer(len, sink.clone(), region),
+            None => ScatterBuffer::new(len),
+        }
     }
 
     /// Replace the device-memory accounting (e.g. to impose a capacity).
@@ -216,6 +298,9 @@ impl<'p> Device<'p> {
         } else {
             cost
         };
+        // Findings reported since the previous commit belong to this
+        // launch; draining here keeps the sink empty between kernels.
+        let sanitizer = self.sanitizer.as_ref().map(|sink| sink.drain());
         self.records.push(KernelRecord {
             name,
             config,
@@ -226,6 +311,7 @@ impl<'p> Device<'p> {
             breakdown,
             origin,
             fault,
+            sanitizer,
         });
         duration + launch_overhead
     }
@@ -401,7 +487,7 @@ impl<'p> Device<'p> {
             });
             return Err(err);
         }
-        Ok(ScatterBuffer::new(len))
+        Ok(self.scatter_buffer(len, "alloc"))
     }
 
     /// Return `bytes` of tracked device memory to the pool (paired with
@@ -446,6 +532,7 @@ impl<'p> Device<'p> {
             breakdown: CostBreakdown::default(),
             origin: LaunchOrigin::Host,
             fault: Some(FaultKind::MemoryCorruption),
+            sanitizer: None,
         });
         Some(corruption)
     }
@@ -489,6 +576,9 @@ impl<'p> Device<'p> {
         self.memory.reset();
         if let Some(inj) = &self.injector {
             self.injector = Some(FaultInjector::new(inj.plan().clone()));
+        }
+        if let Some(sink) = &self.sanitizer {
+            let _ = sink.drain();
         }
     }
 
@@ -842,6 +932,74 @@ mod tests {
         assert!(first.iter().any(|c| c.is_some()));
         dev.reset();
         assert_eq!(first, schedule(&mut dev), "same seed, same corruptions");
+    }
+
+    #[test]
+    fn sanitizer_reports_attach_to_the_launching_kernel() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        dev.set_sanitizer(SanitizerConfig::full());
+        assert!(dev.sanitizer_enabled());
+
+        // clean kernel: its record carries an empty report
+        let buf = dev.scatter_buffer::<u32>(4, "out");
+        assert!(buf.is_sanitized());
+        for i in 0..4 {
+            unsafe { buf.write(i, i as u32) };
+        }
+        drop(unsafe { buf.into_vec(4) });
+        dev.commit("clean", small_cfg(), LaunchOrigin::Host, KernelCost::new());
+
+        // racy kernel: double write lands on *its* record, not the clean one
+        let buf = dev.scatter_buffer::<u32>(2, "out");
+        unsafe {
+            buf.write(0, 1);
+            buf.write(0, 2);
+            buf.write(1, 3);
+        }
+        drop(unsafe { buf.into_vec(2) });
+        dev.commit("racy", small_cfg(), LaunchOrigin::Host, KernelCost::new());
+
+        let recs = dev.records();
+        assert!(recs[0].sanitizer.as_ref().unwrap().is_clean());
+        let racy = recs[1].sanitizer.as_ref().unwrap();
+        assert_eq!(racy.findings.len(), 1);
+        assert!(!dev.sanitizer_clean());
+        assert_eq!(dev.sanitizer_findings().len(), 1);
+        assert_eq!(dev.sanitizer_findings()[0].0, "racy");
+        assert!(dev.sanitizer_json().contains("write-write-race"));
+    }
+
+    #[test]
+    fn sanitizer_off_means_no_reports_and_plain_buffers() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        assert!(!dev.scatter_buffer::<u32>(4, "out").is_sanitized());
+        dev.commit("k", small_cfg(), LaunchOrigin::Host, KernelCost::new());
+        assert!(dev.records()[0].sanitizer.is_none());
+        assert!(!dev.sanitizer_clean(), "clean requires the sanitizer armed");
+        assert_eq!(dev.sanitizer_json(), "[]");
+    }
+
+    #[test]
+    fn arming_the_sanitizer_does_not_shift_fault_schedules() {
+        let pool = ThreadPool::new(2);
+        let run = |sanitize: bool| {
+            let mut dev = device(&pool);
+            dev.set_fault_plan(FaultPlan::new(99).launch_failures(0.3));
+            if sanitize {
+                dev.set_sanitizer(SanitizerConfig::full());
+            }
+            for _ in 0..8 {
+                let _buf = dev.scatter_buffer::<u64>(16, "out");
+                dev.launch("k", small_cfg(), LaunchOrigin::Host, |_, _| {});
+            }
+            dev.records()
+                .iter()
+                .map(|r| r.fault.is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

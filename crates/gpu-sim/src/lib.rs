@@ -21,6 +21,11 @@
 //!   dynamic-parallelism tail-launch queue.
 //! * [`memory`] — scatter buffers for the two-pass counter scheme and
 //!   traffic-tracked shared-memory arrays.
+//! * [`sanitizer`] — the opt-in SIMT sanitizer (a
+//!   `compute-sanitizer` analogue): per-phase shared-memory race,
+//!   barrier-divergence, uninitialized-read, out-of-bounds, and
+//!   mixed-atomic detection, reported as structured findings on the
+//!   kernel timeline.
 //! * [`device`] — the simulated GPU: block-parallel functional execution
 //!   on a host thread pool, a simulated clock, and a kernel timeline.
 //! * [`event`] — `cudaEventRecord`-style measurement points.
@@ -48,15 +53,19 @@ pub mod event;
 pub mod fault;
 pub mod launch;
 pub mod memory;
+pub mod sanitizer;
 pub mod trace;
 pub mod warp;
 
 pub use arch::{GpuArchitecture, GpuGeneration};
-pub use block::BlockExec;
+pub use block::{BlockExec, SmemAccessError, WarpSchedule};
 pub use cost::{CostBreakdown, KernelCost, SimTime};
 pub use device::{Device, KernelRecord, KernelSummary, LaunchOrigin};
 pub use event::Event;
 pub use fault::{CorruptionOp, FaultInjector, FaultKind, FaultPlan, LaunchError, MemoryCorruption};
 pub use launch::{occupancy, LaunchConfig, Occupancy, TailLaunchQueue};
 pub use memory::{AllocError, CorruptTarget, DeviceMemory, ScatterBuffer, SharedArray};
+pub use sanitizer::{
+    SanitizerConfig, SanitizerFinding, SanitizerKind, SanitizerReport, SanitizerSink,
+};
 pub use trace::{chrome_trace, trace_events};

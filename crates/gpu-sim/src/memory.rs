@@ -7,9 +7,11 @@
 //! without locks.
 
 use crate::fault::CorruptionOp;
+use crate::sanitizer::{SanitizerFinding, SanitizerKind, SanitizerSink};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Why a tracked device allocation failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +155,30 @@ impl DeviceMemory {
 /// permutation property.
 pub struct ScatterBuffer<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    shadow: Option<ScatterShadow>,
+}
+
+/// Per-slot write tracking attached to a sanitized [`ScatterBuffer`]:
+/// catches out-of-bounds and double writes (the vectorized-path
+/// equivalents of the `BlockExec` detectors) without changing the
+/// buffer's hot-path layout — unsanitized buffers carry `None`.
+struct ScatterShadow {
+    written: Box<[AtomicU8]>,
+    sink: SanitizerSink,
+    region: String,
+}
+
+impl ScatterShadow {
+    fn report(&self, kind: SanitizerKind, index: usize) {
+        self.sink.record(SanitizerFinding {
+            kind,
+            index,
+            phase: 0,
+            thread: None,
+            other_thread: None,
+            context: format!("scatter:{}", self.region),
+        });
+    }
 }
 
 impl<T> fmt::Debug for ScatterBuffer<T> {
@@ -177,7 +203,33 @@ impl<T> ScatterBuffer<T> {
         }
         Self {
             slots: v.into_boxed_slice(),
+            shadow: None,
         }
+    }
+
+    /// Allocate a *sanitized* buffer: each write is checked against a
+    /// per-slot shadow map, and out-of-bounds or double writes are
+    /// reported to `sink` (tagged with `region`) instead of invoking
+    /// undefined behaviour. Unwritten slots extracted by
+    /// [`ScatterBuffer::into_vec`] are reported as uninitialized reads
+    /// and zero-filled, so the element type must be valid for the
+    /// all-zero bit pattern (true of every kernel payload here:
+    /// integers, floats, and tuples thereof).
+    pub fn with_sanitizer(len: usize, sink: SanitizerSink, region: &str) -> Self {
+        let mut buf = Self::new(len);
+        let mut written = Vec::with_capacity(len);
+        written.resize_with(len, || AtomicU8::new(0));
+        buf.shadow = Some(ScatterShadow {
+            written: written.into_boxed_slice(),
+            sink,
+            region: region.to_string(),
+        });
+        buf
+    }
+
+    /// Whether this buffer carries a sanitizer shadow map.
+    pub fn is_sanitized(&self) -> bool {
+        self.shadow.is_some()
     }
 
     /// Capacity of the buffer.
@@ -195,22 +247,53 @@ impl<T> ScatterBuffer<T> {
     /// `idx < len()`, and no other write to `idx` may happen concurrently
     /// or at any other time before `into_vec`.
     pub unsafe fn write(&self, idx: usize, value: T) {
-        debug_assert!(idx < self.slots.len(), "scatter write out of bounds");
+        if let Some(shadow) = &self.shadow {
+            if idx >= self.slots.len() {
+                shadow.report(SanitizerKind::OutOfBounds, idx);
+                return;
+            }
+            if shadow.written[idx].swap(1, Ordering::Relaxed) != 0 {
+                // keep the first write so the write-once invariant (and
+                // determinism) survives the violation
+                shadow.report(SanitizerKind::WriteWriteRace, idx);
+                return;
+            }
+        } else {
+            debug_assert!(idx < self.slots.len(), "scatter write out of bounds");
+        }
         (*self.slots[idx].get()).write(value);
     }
 
     /// Consume the buffer, returning the first `len` slots as a `Vec`.
     ///
     /// # Safety
-    /// Slots `0..len` must all have been written.
+    /// Slots `0..len` must all have been written. With a sanitizer
+    /// shadow attached, an unwritten slot is reported as a finding and
+    /// zero-filled instead (see [`ScatterBuffer::with_sanitizer`] for
+    /// the element-type requirement this relies on).
     pub unsafe fn into_vec(self, len: usize) -> Vec<T> {
         assert!(len <= self.slots.len());
+        let shadow = self.shadow;
         let mut slots = Vec::from(self.slots);
         slots.truncate(len);
-        slots
-            .into_iter()
-            .map(|cell| cell.into_inner().assume_init())
-            .collect()
+        match shadow {
+            Some(shadow) => slots
+                .into_iter()
+                .enumerate()
+                .map(|(idx, cell)| {
+                    if shadow.written[idx].load(Ordering::Relaxed) == 0 {
+                        shadow.report(SanitizerKind::UninitRead, idx);
+                        MaybeUninit::zeroed().assume_init()
+                    } else {
+                        cell.into_inner().assume_init()
+                    }
+                })
+                .collect(),
+            None => slots
+                .into_iter()
+                .map(|cell| cell.into_inner().assume_init())
+                .collect(),
+        }
     }
 }
 
@@ -267,6 +350,7 @@ impl_corrupt_target!(u16, u32, u64, i32, i64, f32, f64);
 pub struct SharedArray<T> {
     data: Vec<T>,
     bytes_accessed: u64,
+    sink: Option<(SanitizerSink, String)>,
 }
 
 impl<T: Copy + Default> SharedArray<T> {
@@ -276,6 +360,7 @@ impl<T: Copy + Default> SharedArray<T> {
         Self {
             data: vec![T::default(); len],
             bytes_accessed: 0,
+            sink: None,
         }
     }
 
@@ -283,6 +368,37 @@ impl<T: Copy + Default> SharedArray<T> {
         Self {
             data: values.to_vec(),
             bytes_accessed: std::mem::size_of_val(values) as u64,
+            sink: None,
+        }
+    }
+
+    /// Allocate a *sanitized* shared array: out-of-bounds accesses are
+    /// reported to `sink` (tagged with `region`) and degraded — reads
+    /// return `T::default()`, writes and swaps are dropped — instead of
+    /// panicking.
+    pub fn with_sanitizer(len: usize, sink: SanitizerSink, region: &str) -> Self {
+        let mut arr = Self::new(len);
+        arr.sink = Some((sink, region.to_string()));
+        arr
+    }
+
+    /// Report an out-of-bounds access when sanitized; `true` if handled
+    /// (caller must degrade gracefully), `false` if the legacy panic
+    /// should fire.
+    fn oob(&self, index: usize) -> bool {
+        match &self.sink {
+            Some((sink, region)) => {
+                sink.record(SanitizerFinding {
+                    kind: SanitizerKind::OutOfBounds,
+                    index,
+                    phase: 0,
+                    thread: None,
+                    other_thread: None,
+                    context: format!("shared:{region}"),
+                });
+                true
+            }
+            None => false,
         }
     }
 
@@ -296,17 +412,27 @@ impl<T: Copy + Default> SharedArray<T> {
 
     pub fn read(&mut self, idx: usize) -> T {
         self.bytes_accessed += std::mem::size_of::<T>() as u64;
+        if idx >= self.data.len() && self.oob(idx) {
+            return T::default();
+        }
         self.data[idx]
     }
 
     pub fn write(&mut self, idx: usize, value: T) {
         self.bytes_accessed += std::mem::size_of::<T>() as u64;
+        if idx >= self.data.len() && self.oob(idx) {
+            return;
+        }
         self.data[idx] = value;
     }
 
     /// Swap two elements (one compare-exchange of a sorting network).
     pub fn swap(&mut self, a: usize, b: usize) {
         self.bytes_accessed += 4 * std::mem::size_of::<T>() as u64;
+        let len = self.data.len();
+        if (a >= len || b >= len) && self.oob(a.max(b)) {
+            return;
+        }
         self.data.swap(a, b);
     }
 
@@ -448,6 +574,60 @@ mod tests {
         let mut xs = vec![5u32; 2];
         xs.mutate_byte(99, CorruptionOp::StuckByte { value: 0 });
         assert_eq!(xs, vec![5, 5]);
+    }
+
+    #[test]
+    fn sanitized_scatter_reports_oob_and_double_writes() {
+        use crate::sanitizer::{SanitizerConfig, SanitizerKind, SanitizerSink};
+        let sink = SanitizerSink::new(SanitizerConfig::full());
+        let buf = ScatterBuffer::with_sanitizer(4, sink.clone(), "test-out");
+        assert!(buf.is_sanitized());
+        unsafe {
+            buf.write(0, 10u32);
+            buf.write(9, 99); // out of bounds: dropped, reported
+            buf.write(0, 20); // double write: dropped, first value kept
+            buf.write(1, 11);
+            buf.write(2, 12);
+            buf.write(3, 13);
+        }
+        let v = unsafe { buf.into_vec(4) };
+        assert_eq!(v, vec![10, 11, 12, 13]);
+        let report = sink.drain();
+        assert_eq!(report.count_of(SanitizerKind::OutOfBounds), 1);
+        assert_eq!(report.count_of(SanitizerKind::WriteWriteRace), 1);
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| f.context == "scatter:test-out"));
+    }
+
+    #[test]
+    fn sanitized_scatter_zero_fills_unwritten_slots() {
+        use crate::sanitizer::{SanitizerConfig, SanitizerKind, SanitizerSink};
+        let sink = SanitizerSink::new(SanitizerConfig::full());
+        let buf = ScatterBuffer::with_sanitizer(3, sink.clone(), "gap");
+        unsafe {
+            buf.write(0, 5u64);
+            buf.write(2, 7);
+        }
+        let v = unsafe { buf.into_vec(3) };
+        assert_eq!(v, vec![5, 0, 7]);
+        assert_eq!(sink.drain().count_of(SanitizerKind::UninitRead), 1);
+    }
+
+    #[test]
+    fn sanitized_shared_array_degrades_oob_instead_of_panicking() {
+        use crate::sanitizer::{SanitizerConfig, SanitizerKind, SanitizerSink};
+        let sink = SanitizerSink::new(SanitizerConfig::full());
+        let mut arr = SharedArray::<u32>::with_sanitizer(4, sink.clone(), "sort");
+        arr.write(0, 42);
+        arr.write(4, 1); // dropped
+        assert_eq!(arr.read(4), 0); // default
+        arr.swap(0, 7); // dropped
+        assert_eq!(arr.read(0), 42);
+        let report = sink.drain();
+        assert_eq!(report.count_of(SanitizerKind::OutOfBounds), 3);
+        assert!(report.findings.iter().all(|f| f.context == "shared:sort"));
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub struct TraceArgs {
     pub global_atomic_ops: u64,
     /// Injected-fault description, when the kernel launch failed.
     pub fault: Option<String>,
+    /// SIMT-sanitizer findings attributed to this kernel (0 when clean
+    /// or when the sanitizer was off; only written to JSON when > 0).
+    pub sanitizer_findings: u64,
 }
 
 /// Build the trace events for everything on the device timeline.
@@ -77,6 +80,7 @@ pub fn trace_events(device: &Device) -> Vec<TraceEvent> {
                 shared_atomic_warp_ops: 0,
                 global_atomic_ops: 0,
                 fault: None,
+                sanitizer_findings: 0,
             },
         });
         events.push(TraceEvent {
@@ -99,6 +103,10 @@ pub fn trace_events(device: &Device) -> Vec<TraceEvent> {
                 shared_atomic_warp_ops: rec.cost.shared_atomic_warp_ops,
                 global_atomic_ops: rec.cost.global_atomic_ops,
                 fault,
+                sanitizer_findings: rec
+                    .sanitizer
+                    .as_ref()
+                    .map_or(0, |s| s.findings.len() as u64 + s.truncated),
             },
         });
     }
@@ -148,6 +156,9 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
     write_uint_field(out, "global_atomic_ops", ev.args.global_atomic_ops, false);
     if let Some(fault) = &ev.args.fault {
         write_str_field(out, "fault", fault, false);
+    }
+    if ev.args.sanitizer_findings > 0 {
+        write_uint_field(out, "sanitizer_findings", ev.args.sanitizer_findings, false);
     }
     out.push_str("}}");
 }
@@ -251,6 +262,34 @@ mod tests {
         assert_eq!(opens, closes);
         // no trailing commas
         assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    #[test]
+    fn sanitizer_findings_surface_in_trace_args() {
+        use crate::sanitizer::SanitizerConfig;
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        device.set_sanitizer(SanitizerConfig::full());
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: 32,
+            shared_mem_bytes: 0,
+        };
+        let buf = device.scatter_buffer::<u32>(1, "out");
+        unsafe {
+            buf.write(0, 1);
+            buf.write(0, 2); // double write → one finding
+        }
+        drop(buf);
+        device.launch("racy", cfg, LaunchOrigin::Host, |_, _| {});
+        device.launch("clean", cfg, LaunchOrigin::Host, |_, _| {});
+        let json = chrome_trace(&device);
+        assert_eq!(json.matches("\"sanitizer_findings\":1").count(), 1);
+        let events = trace_events(&device);
+        let racy = events.iter().find(|e| e.name == "racy").unwrap();
+        assert_eq!(racy.args.sanitizer_findings, 1);
+        let clean = events.iter().find(|e| e.name == "clean").unwrap();
+        assert_eq!(clean.args.sanitizer_findings, 0);
     }
 
     #[test]

@@ -5,14 +5,15 @@
 //! cargo run --release --bin selectcli -- \
 //!     [--algo sample|quick|bucket|radix|approx|topk|cpu] \
 //!     [--n 4194304] [--rank N | --k N] [--dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp] \
-//!     [--arch v100|k20xm|c2070] [--buckets 256] [--seed 42] [--breakdown]
+//!     [--arch v100|k20xm|c2070] [--buckets 256] [--seed 42] [--breakdown] \
+//!     [--sanitize [--sanitize-json out.json]]
 //! ```
 
 use gpu_selection::baselines::{bucket_select_on_device, radix_select_on_device};
 use gpu_selection::datagen::{Distribution, RankChoice, WorkloadSpec};
 use gpu_selection::gpu_sim::arch::{by_name, v100};
 use gpu_selection::gpu_sim::Device;
-use gpu_selection::gpu_sim::{FaultPlan, SimTime};
+use gpu_selection::gpu_sim::{FaultPlan, SanitizerConfig, SimTime};
 use gpu_selection::hpc_par::ThreadPool;
 use gpu_selection::sampleselect::cpu::{cpu_sample_select, CpuSelectConfig};
 use gpu_selection::sampleselect::element::reference_select;
@@ -49,6 +50,8 @@ struct Args {
     verify: VerifyPolicy,
     checkpoint: Option<String>,
     resume: bool,
+    sanitize: bool,
+    sanitize_json: Option<String>,
 }
 
 impl Default for Args {
@@ -72,6 +75,8 @@ impl Default for Args {
             verify: VerifyPolicy::Off,
             checkpoint: None,
             resume: false,
+            sanitize: false,
+            sanitize_json: None,
         }
     }
 }
@@ -119,6 +124,11 @@ fn parse_args() -> Args {
             }
             "--checkpoint" => out.checkpoint = Some(val("--checkpoint")),
             "--resume" => out.resume = true,
+            "--sanitize" => out.sanitize = true,
+            "--sanitize-json" => {
+                out.sanitize = true;
+                out.sanitize_json = Some(val("--sanitize-json"));
+            }
             "--help" | "-h" => {
                 eprintln!("{}", HELP);
                 exit(0);
@@ -137,7 +147,8 @@ const HELP: &str =
 --n N --rank R|--k K --dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp \
 --arch v100|k20xm|c2070 --buckets B --seed S [--breakdown] [--trace out.json] \
 [--inject-faults SEED [--fault-rate R]] [--inject-bitflips SEED [--bitflip-rate R]] \
-[--verify off|spot|paranoid] [--time-budget MS] [--checkpoint FILE [--resume]]";
+[--verify off|spot|paranoid] [--time-budget MS] [--checkpoint FILE [--resume]] \
+[--sanitize [--sanitize-json out.json]]";
 
 fn distribution(name: &str) -> Distribution {
     match name {
@@ -236,6 +247,13 @@ fn main() {
     );
 
     let mut device = Device::new(arch.clone(), pool);
+    if args.sanitize {
+        device.set_sanitizer(SanitizerConfig::full());
+        println!(
+            "SIMT sanitizer armed: shared-memory races, barrier divergence, uninitialized \
+             reads, out-of-bounds and mixed atomic/plain accesses are reported per kernel\n"
+        );
+    }
     if args.inject_faults.is_some() || args.inject_bitflips.is_some() {
         let plan_seed = args
             .inject_faults
@@ -392,6 +410,39 @@ fn main() {
         other => {
             eprintln!("unknown algorithm {other}\n{HELP}");
             exit(2);
+        }
+    }
+
+    if args.sanitize {
+        let findings = device.sanitizer_findings();
+        if findings.is_empty() {
+            println!(
+                "\nsanitizer: clean — no findings across {} launches",
+                device.records().len()
+            );
+        } else {
+            println!("\nsanitizer: FINDINGS");
+            for (kernel, report) in &findings {
+                println!(
+                    "  {kernel}: {} finding(s){}",
+                    report.findings.len(),
+                    if report.truncated > 0 {
+                        format!(" (+{} truncated)", report.truncated)
+                    } else {
+                        String::new()
+                    }
+                );
+                for f in report.findings.iter().take(5) {
+                    println!("    {f}");
+                }
+            }
+        }
+        if let Some(path) = &args.sanitize_json {
+            std::fs::write(path, device.sanitizer_json()).expect("failed to write sanitizer json");
+            println!("sanitizer report written to {path}");
+        }
+        if !findings.is_empty() {
+            exit(3);
         }
     }
 

@@ -268,4 +268,83 @@ proptest! {
         // payload resolves to an element with that key
         prop_assert_eq!(keys[got.value as usize], got.key);
     }
+
+    /// Metamorphic: selection is a function of the multiset, so any
+    /// permutation of the input leaves the selected value unchanged.
+    #[test]
+    fn selection_is_permutation_invariant(
+        data in vec(-1000i32..1000, 1..400),
+        rank_frac in 0.0f64..1.0,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let base = sample_select_on_device(&mut device, &data, rank, &small_cfg())
+            .unwrap()
+            .value;
+
+        // Fisher–Yates with a deterministic generator.
+        let mut shuffled = data;
+        let mut state = shuffle_seed;
+        for i in (1..shuffled.len()).rev() {
+            state = state
+                .wrapping_add(0x9e3779b97f4a7c15)
+                .wrapping_mul(0xbf58476d1ce4e5b9);
+            state ^= state >> 27;
+            shuffled.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut device = Device::new(v100(), &pool);
+        let permuted = sample_select_on_device(&mut device, &shuffled, rank, &small_cfg())
+            .unwrap()
+            .value;
+        prop_assert_eq!(base, permuted);
+    }
+
+    /// Metamorphic: negation reverses the order, so the rank-`k`
+    /// element of `v` is the negation of the rank-`n-1-k` element of
+    /// `-v` (rank-complement symmetry).
+    #[test]
+    fn rank_complement_symmetry_under_negation(
+        data in vec(-1000i32..1000, 1..400),
+        rank_frac in 0.0f64..1.0,
+    ) {
+        let n = data.len();
+        let rank = ((n - 1) as f64 * rank_frac) as usize;
+        let negated: Vec<i32> = data.iter().map(|&x| -x).collect();
+
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let forward = sample_select_on_device(&mut device, &data, rank, &small_cfg())
+            .unwrap()
+            .value;
+        let mut device = Device::new(v100(), &pool);
+        let backward = sample_select_on_device(&mut device, &negated, n - 1 - rank, &small_cfg())
+            .unwrap()
+            .value;
+        prop_assert_eq!(forward, -backward);
+    }
+
+    /// Duplicate-heavy inputs (a handful of distinct values, so almost
+    /// every bucket degenerates to an equality bucket) still select the
+    /// exact rank, across the sample- and quick-select pipelines.
+    #[test]
+    fn duplicate_heavy_inputs_select_exactly(
+        data in vec(0i32..5, 1..500),
+        rank_frac in 0.0f64..1.0,
+    ) {
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let expect = reference_select(&data, rank).unwrap();
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        let sample = sample_select_on_device(&mut device, &data, rank, &small_cfg())
+            .unwrap()
+            .value;
+        prop_assert_eq!(sample, expect);
+        let mut device = Device::new(v100(), &pool);
+        let quick = quick_select_on_device(&mut device, &data, rank, &small_cfg())
+            .unwrap()
+            .value;
+        prop_assert_eq!(quick, expect);
+    }
 }

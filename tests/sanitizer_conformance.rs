@@ -1,0 +1,471 @@
+//! Differential kernel-conformance suite for the SIMT sanitizer.
+//!
+//! Every kernel family of the paper's pipeline runs under three
+//! schedules — the vectorized fast path (with the device sanitizer
+//! armed), and the thread-level [`BlockExec`] reference under a
+//! deterministic and two seed-shuffled warp orderings — and must
+//! produce bit-identical outputs with zero sanitizer findings:
+//!
+//! 1. sample / bitonic sorting network,
+//! 2. count + search-tree oracle classification,
+//! 3. reduce / exclusive prefix sum,
+//! 4. two-pass filter extraction,
+//! 5. QuickSelect bipartition,
+//! 6. fused top-k suffix extraction.
+//!
+//! The negative half: one deliberately-racy mutant per detector class
+//! (`sampleselect::simt_ref::mutants`) proving the corresponding
+//! detector fires, plus a zero-overhead check that arming the sanitizer
+//! changes neither results nor the simulated clock on the bench paths.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gpu_selection::gpu_sim::arch::v100;
+use gpu_selection::gpu_sim::sanitizer::{SanitizerConfig, SanitizerKind};
+use gpu_selection::gpu_sim::{Device, LaunchOrigin, WarpSchedule};
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::sampleselect::bitonic::{bitonic_sort, bitonic_sort_on_block};
+use gpu_selection::sampleselect::count::{count_kernel, CountResult};
+use gpu_selection::sampleselect::filter::filter_kernel;
+use gpu_selection::sampleselect::reduce::{reduce_kernel, ReduceResult};
+use gpu_selection::sampleselect::rng::SplitMix64;
+use gpu_selection::sampleselect::searchtree::SearchTree;
+use gpu_selection::sampleselect::simt_ref::{self, mutants};
+use gpu_selection::sampleselect::splitter::sample_kernel;
+use gpu_selection::sampleselect::streaming::{
+    streaming_select, streaming_select_with_checkpoint, ChunkError, ChunkSource,
+};
+use gpu_selection::sampleselect::{
+    bipartition_on_device, sample_select_on_device, top_k_largest_on_device, SampleSelectConfig,
+    SelectError,
+};
+
+/// The three schedules every reference kernel must agree under.
+fn schedules() -> [WarpSchedule; 3] {
+    [
+        WarpSchedule::Sequential,
+        WarpSchedule::Shuffled { seed: 0x5eed },
+        WarpSchedule::Shuffled { seed: 1_234_517 },
+    ]
+}
+
+fn gen_u32(n: usize, seed: u64, modulo: u32) -> Vec<u32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| (rng.next_u64() % modulo as u64) as u32)
+        .collect()
+}
+
+/// Run sample → count → reduce on an armed device and hand back the
+/// pieces the per-family tests compare against.
+fn armed_pipeline(
+    device: &mut Device,
+    data: &[u32],
+    cfg: &SampleSelectConfig,
+) -> (SearchTree<u32>, CountResult, ReduceResult, Vec<u32>) {
+    let mut rng = SplitMix64::new(0x9e3779b97f4a7c15);
+    let tree = sample_kernel(device, data, cfg, &mut rng, LaunchOrigin::Host).unwrap();
+    let count = count_kernel(device, data, &tree, cfg, true, LaunchOrigin::Host);
+    let red = reduce_kernel(device, &count, LaunchOrigin::Device);
+    let oracles = count.oracles.as_ref().unwrap();
+    let oracle: Vec<u32> = (0..data.len()).map(|i| oracles.get(i)).collect();
+    (tree, count, red, oracle)
+}
+
+fn small_cfg() -> SampleSelectConfig {
+    SampleSelectConfig::default().with_buckets(16)
+}
+
+#[test]
+fn bitonic_family_conformance() {
+    let data = gen_u32(97, 0xb1701c, 1_000_000);
+    let mut expect = data.clone();
+    bitonic_sort(&mut expect);
+    for schedule in schedules() {
+        let (got, report) = bitonic_sort_on_block(&data, schedule, Some(SanitizerConfig::full()));
+        assert_eq!(got, expect, "bitonic reference diverged under {schedule:?}");
+        let report = report.unwrap();
+        assert!(
+            report.is_clean(),
+            "bitonic reference dirty: {}",
+            report.to_json()
+        );
+    }
+    // The unsanitized reference agrees too (and reports nothing).
+    let (got, report) = bitonic_sort_on_block(&data, WarpSchedule::Sequential, None);
+    assert_eq!(got, expect);
+    assert!(report.is_none());
+}
+
+#[test]
+fn count_family_conformance() {
+    let pool = ThreadPool::new(4);
+    let mut device = Device::new(v100(), &pool);
+    device.set_sanitizer(SanitizerConfig::full());
+    let data = gen_u32(3000, 0xc0417, 50_000);
+    let cfg = small_cfg();
+    let (tree, count, _red, oracle) = armed_pipeline(&mut device, &data, &cfg);
+
+    // The stored oracles match the search tree's reference traversal.
+    for (i, &x) in data.iter().enumerate() {
+        assert_eq!(
+            oracle[i],
+            tree.lookup_reference(x),
+            "oracle mismatch at {i}"
+        );
+    }
+
+    // Thread-level histogram over the oracles reproduces the counts
+    // bit-for-bit under every schedule, sanitizer-clean.
+    for schedule in schedules() {
+        let (counts, report) = simt_ref::block_histogram(
+            &oracle,
+            tree.num_buckets(),
+            schedule,
+            Some(SanitizerConfig::full()),
+        );
+        assert_eq!(
+            counts, count.counts,
+            "histogram diverged under {schedule:?}"
+        );
+        assert!(report.unwrap().is_clean());
+    }
+    assert!(device.sanitizer_clean(), "{}", device.sanitizer_json());
+}
+
+#[test]
+fn reduce_family_conformance() {
+    let pool = ThreadPool::new(4);
+    let mut device = Device::new(v100(), &pool);
+    device.set_sanitizer(SanitizerConfig::full());
+    let data = gen_u32(3000, 0x4ed0ce, 50_000);
+    let cfg = small_cfg();
+    let (_tree, count, red, _oracle) = armed_pipeline(&mut device, &data, &cfg);
+
+    let partials: Vec<u32> = count.partials.iter().map(|&p| p as u32).collect();
+    for schedule in schedules() {
+        let (scan, report) =
+            simt_ref::block_exclusive_scan(&partials, schedule, Some(SanitizerConfig::full()));
+        let scan64: Vec<u64> = scan.iter().map(|&x| x as u64).collect();
+        assert_eq!(scan64, red.offsets, "scan diverged under {schedule:?}");
+        assert!(report.unwrap().is_clean());
+    }
+    assert!(device.sanitizer_clean(), "{}", device.sanitizer_json());
+}
+
+#[test]
+fn filter_family_conformance() {
+    let pool = ThreadPool::new(4);
+    let mut device = Device::new(v100(), &pool);
+    device.set_sanitizer(SanitizerConfig::full());
+    let data = gen_u32(2000, 0xf117e4, 40_000);
+    let cfg = small_cfg();
+    let (_tree, count, red, oracle) = armed_pipeline(&mut device, &data, &cfg);
+
+    let bucket = red.bucket_for_rank(data.len() as u64 / 2) as u32;
+    let got = filter_kernel(
+        &mut device,
+        &data,
+        &count,
+        &red,
+        bucket..bucket + 1,
+        &cfg,
+        LaunchOrigin::Device,
+    );
+    for schedule in schedules() {
+        let (want, report) = simt_ref::block_bucket_concat(
+            &data,
+            &oracle,
+            bucket,
+            bucket + 1,
+            schedule,
+            Some(SanitizerConfig::full()),
+        );
+        assert_eq!(got, want, "filter diverged under {schedule:?}");
+        assert!(report.unwrap().is_clean());
+    }
+    assert!(device.sanitizer_clean(), "{}", device.sanitizer_json());
+}
+
+#[test]
+fn bipartition_family_conformance() {
+    let pool = ThreadPool::new(4);
+    let mut device = Device::new(v100(), &pool);
+    device.set_sanitizer(SanitizerConfig::full());
+    let data = gen_u32(2000, 0xb142, 300);
+    let pivot = 150u32;
+    let cfg = small_cfg();
+    let (got, smaller, equal) =
+        bipartition_on_device(&mut device, &data, pivot, &cfg, LaunchOrigin::Host);
+    for schedule in schedules() {
+        let (want, s, e, report) =
+            simt_ref::block_bipartition(&data, pivot, schedule, Some(SanitizerConfig::full()));
+        assert_eq!(got, want, "bipartition diverged under {schedule:?}");
+        assert_eq!((s, e), (smaller, equal));
+        assert!(report.unwrap().is_clean());
+    }
+    assert!(device.sanitizer_clean(), "{}", device.sanitizer_json());
+}
+
+#[test]
+fn topk_family_conformance() {
+    let pool = ThreadPool::new(4);
+    let mut device = Device::new(v100(), &pool);
+    device.set_sanitizer(SanitizerConfig::full());
+    let data = gen_u32(2000, 0x70b4, 40_000);
+    let cfg = small_cfg();
+    let (tree, count, red, oracle) = armed_pipeline(&mut device, &data, &cfg);
+
+    // The fused top-k extraction pulls the target bucket plus every
+    // larger bucket in one filter pass (§IV-I).
+    let k = 400usize;
+    let rank = (data.len() - k) as u64;
+    let bucket = red.bucket_for_rank(rank) as u32;
+    let b = tree.num_buckets() as u32;
+    let fused = filter_kernel(
+        &mut device,
+        &data,
+        &count,
+        &red,
+        bucket..b,
+        &cfg,
+        LaunchOrigin::Device,
+    );
+    for schedule in schedules() {
+        let (want, report) = simt_ref::block_bucket_concat(
+            &data,
+            &oracle,
+            bucket,
+            b,
+            schedule,
+            Some(SanitizerConfig::full()),
+        );
+        assert_eq!(fused, want, "fused top-k diverged under {schedule:?}");
+        assert!(report.unwrap().is_clean());
+    }
+    assert!(device.sanitizer_clean(), "{}", device.sanitizer_json());
+
+    // End to end: the full fused driver on an armed device stays clean
+    // and returns exactly the k largest elements.
+    let mut device = Device::new(v100(), &pool);
+    device.set_sanitizer(SanitizerConfig::full());
+    let res = top_k_largest_on_device(&mut device, &data, k, &cfg).unwrap();
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let mut got = res.elements.clone();
+    got.sort_unstable();
+    assert_eq!(got, sorted[data.len() - k..].to_vec());
+    assert_eq!(res.threshold, sorted[data.len() - k]);
+    assert!(device.sanitizer_clean(), "{}", device.sanitizer_json());
+}
+
+// ---------------------------------------------------------------------
+// Negative half: each detector class fires on its mutant, under every
+// schedule.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutant_write_write_race_detected() {
+    for schedule in schedules() {
+        let r = mutants::write_write_race(schedule, SanitizerConfig::full());
+        assert!(
+            r.count_of(SanitizerKind::WriteWriteRace) > 0,
+            "{}",
+            r.to_json()
+        );
+        assert!(!r.is_clean());
+    }
+}
+
+#[test]
+fn mutant_read_write_race_detected() {
+    for schedule in schedules() {
+        let r = mutants::read_write_race(schedule, SanitizerConfig::full());
+        assert!(
+            r.count_of(SanitizerKind::ReadWriteRace) > 0,
+            "{}",
+            r.to_json()
+        );
+    }
+}
+
+#[test]
+fn mutant_barrier_divergence_detected() {
+    for schedule in schedules() {
+        let r = mutants::barrier_divergence(schedule, SanitizerConfig::full());
+        assert!(
+            r.count_of(SanitizerKind::BarrierDivergence) > 0,
+            "{}",
+            r.to_json()
+        );
+    }
+}
+
+#[test]
+fn mutant_uninit_read_detected() {
+    for schedule in schedules() {
+        let r = mutants::uninit_read(schedule, SanitizerConfig::full());
+        assert!(r.count_of(SanitizerKind::UninitRead) > 0, "{}", r.to_json());
+    }
+}
+
+#[test]
+fn mutant_out_of_bounds_detected_and_degrades_without_sanitizer() {
+    for schedule in schedules() {
+        let r = mutants::oob_access(schedule, Some(SanitizerConfig::full())).unwrap();
+        assert!(
+            r.count_of(SanitizerKind::OutOfBounds) > 0,
+            "{}",
+            r.to_json()
+        );
+    }
+    // Disarmed, the checked accessor surfaces a structured error rather
+    // than a panic (the former smem OOB behaviour).
+    let err = mutants::oob_access(WarpSchedule::Sequential, None).unwrap_err();
+    assert!(
+        matches!(err, SelectError::SharedOutOfBounds { .. }),
+        "{err:?}"
+    );
+    assert!(!err.is_transient(), "an OOB kernel bug is permanent");
+}
+
+#[test]
+fn mutant_mixed_atomic_detected() {
+    for schedule in schedules() {
+        let r = mutants::mixed_atomic(schedule, SanitizerConfig::full());
+        assert!(
+            r.count_of(SanitizerKind::MixedAtomic) > 0,
+            "{}",
+            r.to_json()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overhead and determinism guarantees.
+// ---------------------------------------------------------------------
+
+/// Arming the sanitizer must not move the simulated clock or the
+/// result on the fig8/fig9 bench paths: detectors live on the
+/// `BlockExec` reference path and in allocation shadows, never in the
+/// vectorized kernels' cost model.
+#[test]
+fn sanitizer_off_has_zero_overhead_on_bench_paths() {
+    let data = gen_u32(50_000, 0x0f8f9, 1 << 20);
+    let rank = 12_345usize;
+    let cfg = SampleSelectConfig::default();
+    let pool = ThreadPool::new(4);
+
+    let mut plain = Device::new(v100(), &pool);
+    let base = sample_select_on_device(&mut plain, &data, rank, &cfg).unwrap();
+
+    let mut armed = Device::new(v100(), &pool);
+    armed.set_sanitizer(SanitizerConfig::full());
+    let sanitized = sample_select_on_device(&mut armed, &data, rank, &cfg).unwrap();
+
+    assert_eq!(base.value, sanitized.value);
+    assert_eq!(
+        plain.total_time(),
+        armed.total_time(),
+        "sanitizer must cost zero simulated time"
+    );
+    assert_eq!(plain.records().len(), armed.records().len());
+    for (p, a) in plain.records().iter().zip(armed.records()) {
+        assert_eq!(p.duration, a.duration, "kernel {} slowed down", p.name);
+        assert!(
+            p.sanitizer.is_none(),
+            "disarmed device must not attach reports"
+        );
+        let report = a
+            .sanitizer
+            .as_ref()
+            .expect("armed device attaches a report");
+        assert!(report.is_clean(), "{}", report.to_json());
+    }
+    assert!(armed.sanitizer_clean());
+}
+
+/// A chunk source that fails `fail_times` loads of chunk `target`.
+struct FlakyChunks<'a> {
+    data: &'a [u32],
+    chunk_len: usize,
+    target: usize,
+    fail_times: usize,
+    failures: AtomicUsize,
+}
+
+impl ChunkSource<u32> for FlakyChunks<'_> {
+    fn num_chunks(&self) -> usize {
+        self.data.len().div_ceil(self.chunk_len).max(1)
+    }
+
+    fn load_chunk(&self, idx: usize) -> Result<Vec<u32>, ChunkError> {
+        if idx == self.target && self.failures.load(Ordering::SeqCst) < self.fail_times {
+            self.failures.fetch_add(1, Ordering::SeqCst);
+            return Err(ChunkError {
+                chunk: idx,
+                message: "injected I/O failure".to_string(),
+                transient: true,
+            });
+        }
+        let start = (idx * self.chunk_len).min(self.data.len());
+        let end = ((idx + 1) * self.chunk_len).min(self.data.len());
+        Ok(self.data[start..end].to_vec())
+    }
+
+    fn total_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Satellite: resuming a checkpointed streaming run on a *different*
+/// thread-pool size (a different warp-level interleaving of the host
+/// backend) still lands on the bit-identical result — position handout
+/// is scan-based, never a first-come atomic cursor.
+#[test]
+fn checkpoint_resume_is_pool_size_invariant() {
+    let data = gen_u32(1 << 15, 0x57e5a, 1 << 18);
+    let rank = 11_111usize;
+    let cfg = SampleSelectConfig::default();
+    let ckpt = std::env::temp_dir().join(format!(
+        "gpu-selection-conformance-ckpt-{}.bin",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&ckpt);
+
+    // Uninterrupted reference on a single-threaded pool.
+    let pool1 = ThreadPool::new(1);
+    let mut device = Device::new(v100(), &pool1);
+    let healthy = FlakyChunks {
+        data: &data,
+        chunk_len: 1 << 12,
+        target: usize::MAX,
+        fail_times: 0,
+        failures: AtomicUsize::new(0),
+    };
+    let expected = streaming_select(&mut device, &healthy, rank, &cfg).unwrap();
+
+    // Crash at chunk 3 on a two-thread pool, checkpointing progress...
+    let pool2 = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool2);
+    let dying = FlakyChunks {
+        data: &data,
+        chunk_len: 1 << 12,
+        target: 3,
+        fail_times: usize::MAX,
+        failures: AtomicUsize::new(0),
+    };
+    let err = streaming_select_with_checkpoint(&mut device, &dying, rank, &cfg, &ckpt, false)
+        .unwrap_err();
+    assert!(matches!(err, SelectError::ChunkLoad(_)));
+    assert!(ckpt.exists());
+
+    // ...and resume on a five-thread pool: bit-identical value.
+    let pool5 = ThreadPool::new(5);
+    let mut device = Device::new(v100(), &pool5);
+    let resumed =
+        streaming_select_with_checkpoint(&mut device, &healthy, rank, &cfg, &ckpt, true).unwrap();
+    assert_eq!(resumed.value, expected.value);
+    assert_eq!(resumed.report.resilience.resumed, 1);
+    assert!(!ckpt.exists(), "checkpoint removed after success");
+}
