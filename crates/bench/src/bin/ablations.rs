@@ -184,7 +184,7 @@ fn equality_bucket_ablation(pool: &ThreadPool, reps: usize, csv: bool) {
 fn main() {
     let args = HarnessArgs::parse();
     let reps = args.reps_or(3);
-    let pool = ThreadPool::global();
+    let pool = args.thread_pool();
     oversampling_ablation(pool, reps, args.csv);
     base_case_ablation(pool, reps, args.csv);
     oracle_width_ablation(pool, reps, args.csv);

@@ -64,7 +64,7 @@ fn main() {
     // scaled run reports the 2^27-equivalent by linear extrapolation).
     let n: usize = if args.full { 1 << 27 } else { 1 << 22 };
     let scale = (1usize << 27) as f64 / n as f64;
-    let pool = ThreadPool::global();
+    let pool = args.thread_pool();
     let spec = WorkloadSpec::uniform(n, 0xbc5c0);
 
     let mut t = Table::new(vec!["algorithm", "gpu", "runtime(ms)", "cv"]);

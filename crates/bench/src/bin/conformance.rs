@@ -78,7 +78,7 @@ fn main() {
         }
     }
 
-    let pool = ThreadPool::new(4);
+    let pool = ThreadPool::global();
     let cfg = SampleSelectConfig::default().with_buckets(16);
     let full = SanitizerConfig::full();
     let mut failures = 0usize;
@@ -87,7 +87,7 @@ fn main() {
 
     // ---- vectorized outputs, produced once on an armed device ----
     let data = gen_u32(3000, 0xc0f0, 50_000);
-    let mut device = Device::new(v100(), &pool);
+    let mut device = Device::new(v100(), pool);
     device.set_sanitizer(full);
     let mut rng = SplitMix64::new(0x9e3779b97f4a7c15);
     let tree = sample_kernel(&mut device, &data, &cfg, &mut rng, LaunchOrigin::Host)
@@ -277,12 +277,12 @@ fn main() {
         (
             "fig8:sampleselect",
             {
-                let mut plain = Device::new(v100(), &pool);
+                let mut plain = Device::new(v100(), pool);
                 sample_select_on_device(&mut plain, &bench_data, rank, &bench_cfg).unwrap();
                 plain.total_time().as_ns()
             },
             {
-                let mut armed = Device::new(v100(), &pool);
+                let mut armed = Device::new(v100(), pool);
                 armed.set_sanitizer(full);
                 sample_select_on_device(&mut armed, &bench_data, rank, &bench_cfg).unwrap();
                 armed.total_time().as_ns()
@@ -291,12 +291,12 @@ fn main() {
         (
             "fig9:approx-count",
             {
-                let mut plain = Device::new(v100(), &pool);
+                let mut plain = Device::new(v100(), pool);
                 approx_select_on_device(&mut plain, &bench_data, rank, &bench_cfg).unwrap();
                 plain.total_time().as_ns()
             },
             {
-                let mut armed = Device::new(v100(), &pool);
+                let mut armed = Device::new(v100(), pool);
                 armed.set_sanitizer(full);
                 approx_select_on_device(&mut armed, &bench_data, rank, &bench_cfg).unwrap();
                 armed.total_time().as_ns()

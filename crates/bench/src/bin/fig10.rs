@@ -9,7 +9,6 @@
 
 use gpu_sim::arch::v100;
 use gpu_sim::Device;
-use hpc_par::ThreadPool;
 use sampleselect::{approx_select_on_device, sample_select_on_device, SampleSelectConfig};
 use select_bench::{fmt_throughput, HarnessArgs, Stats, Table};
 use select_datagen::WorkloadSpec;
@@ -18,7 +17,7 @@ fn main() {
     let args = HarnessArgs::parse();
     let reps = args.reps_or(10);
     let n = if args.full { 1 << 28 } else { 1 << 22 };
-    let pool = ThreadPool::global();
+    let pool = args.thread_pool();
     let arch = v100();
     let spec = WorkloadSpec::uniform(n, 0xf1610);
 

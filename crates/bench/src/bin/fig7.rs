@@ -53,7 +53,7 @@ fn main() {
     let args = HarnessArgs::parse();
     let reps = args.reps_or(if args.full { 10 } else { 3 });
     let sizes = paper_sizes(args.full);
-    let pool = ThreadPool::global();
+    let pool = args.thread_pool();
 
     let mut t = Table::new(vec![
         "gpu",

@@ -121,7 +121,7 @@ fn main() {
     let reps = args.reps_or(if args.full { 10 } else { 3 });
     let sizes = paper_sizes(args.full);
     let rep_n = if args.full { 1 << 28 } else { 1 << 22 };
-    let pool = ThreadPool::global();
+    let pool = args.thread_pool();
 
     let mut t = Table::new(vec![
         "gpu",

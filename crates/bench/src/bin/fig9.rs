@@ -16,7 +16,6 @@
 
 use gpu_sim::arch::v100;
 use gpu_sim::{Device, LaunchOrigin};
-use hpc_par::ThreadPool;
 use sampleselect::count::count_kernel;
 use sampleselect::quickselect::quick_select_on_device;
 use sampleselect::reduce::reduce_totals_kernel;
@@ -31,7 +30,7 @@ const N: usize = 1 << 24;
 fn main() {
     let args = HarnessArgs::parse();
     let reps = args.reps_or(3);
-    let pool = ThreadPool::global();
+    let pool = args.thread_pool();
     let arch = v100();
     let cfg = SampleSelectConfig::tuned_for(&arch);
     let spec = WorkloadSpec::uniform(N, 0xf199);

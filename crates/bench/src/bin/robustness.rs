@@ -18,7 +18,6 @@
 
 use gpu_sim::arch::v100;
 use gpu_sim::{Device, FaultPlan};
-use hpc_par::ThreadPool;
 use sampleselect::{
     quick_select_on_device, resilient_select_on_device, sample_select_on_device, ResilienceConfig,
     SampleSelectConfig, VerifyPolicy,
@@ -58,7 +57,7 @@ fn main() {
     let args = HarnessArgs::parse();
     let reps = args.reps_or(3);
     let n = if args.full { 1 << 26 } else { 1 << 22 };
-    let pool = ThreadPool::global();
+    let pool = args.thread_pool();
     let arch = v100();
 
     let distributions = [

@@ -134,6 +134,10 @@ pub struct HarnessArgs {
     /// Repetitions per data point (default 10 as in the paper; figure
     /// binaries may reduce it for the quick mode).
     pub reps: Option<usize>,
+    /// Size of the process-global thread pool (default: one worker per
+    /// hardware thread). Chunk granularity of the parallel primitives
+    /// is tuned separately via the `HPC_PAR_MIN_CHUNK` env variable.
+    pub threads: Option<usize>,
 }
 
 impl HarnessArgs {
@@ -150,7 +154,13 @@ impl HarnessArgs {
                         .and_then(|v| v.parse().ok())
                         .or_else(|| panic!("--reps needs a number"));
                 }
-                other => panic!("unknown flag {other}; known: --full --csv --reps N"),
+                "--threads" => {
+                    out.threads = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .or_else(|| panic!("--threads needs a number"));
+                }
+                other => panic!("unknown flag {other}; known: --full --csv --reps N --threads N"),
             }
         }
         out
@@ -159,6 +169,21 @@ impl HarnessArgs {
     /// Repetition count: explicit `--reps`, else `dflt`.
     pub fn reps_or(&self, dflt: usize) -> usize {
         self.reps.unwrap_or(dflt)
+    }
+
+    /// The process-global thread pool, sized by `--threads` when given.
+    /// Must be called before anything else touches the global pool; a
+    /// losing race (pool already initialized) is reported on stderr.
+    pub fn thread_pool(&self) -> &'static hpc_par::ThreadPool {
+        if let Some(n) = self.threads {
+            if !hpc_par::ThreadPool::init_global(n) {
+                eprintln!(
+                    "--threads {n} ignored: global pool already initialized with {} workers",
+                    hpc_par::ThreadPool::global().num_threads()
+                );
+            }
+        }
+        hpc_par::ThreadPool::global()
     }
 }
 

@@ -57,6 +57,17 @@ impl BitonicStats {
 /// participate in the network like real GPU threads whose elements are
 /// sentinel-initialized shared-memory slots.
 pub fn bitonic_sort<T: SelectElement>(data: &mut [T]) -> BitonicStats {
+    bitonic_sort_with_scratch(data, &mut Vec::new())
+}
+
+/// [`bitonic_sort`] with a caller-provided padded buffer, so repeated
+/// sorts (one per recursion level / query) reuse one allocation. The
+/// buffer is cleared and regrown to the padded length; contents after
+/// the call are unspecified.
+pub fn bitonic_sort_with_scratch<T: SelectElement>(
+    data: &mut [T],
+    buf: &mut Vec<T>,
+) -> BitonicStats {
     let n = data.len();
     if n <= 1 {
         return BitonicStats {
@@ -67,7 +78,7 @@ pub fn bitonic_sort<T: SelectElement>(data: &mut [T]) -> BitonicStats {
         };
     }
     let padded = n.next_power_of_two();
-    let mut buf: Vec<T> = Vec::with_capacity(padded);
+    buf.clear();
     buf.extend_from_slice(data);
     buf.resize(padded, T::max_value());
 
@@ -179,8 +190,17 @@ pub fn bitonic_sort_on_block(
 /// Sorting-network-based selection: sort and pick rank `k`. This is the
 /// base case of both SampleSelect and QuickSelect (§IV-D).
 pub fn bitonic_select<T: SelectElement>(data: &mut [T], k: usize) -> (T, BitonicStats) {
+    bitonic_select_with_scratch(data, k, &mut Vec::new())
+}
+
+/// [`bitonic_select`] with a caller-provided padded sorting buffer.
+pub fn bitonic_select_with_scratch<T: SelectElement>(
+    data: &mut [T],
+    k: usize,
+    buf: &mut Vec<T>,
+) -> (T, BitonicStats) {
     debug_assert!(k < data.len());
-    let stats = bitonic_sort(data);
+    let stats = bitonic_sort_with_scratch(data, buf);
     (data[k], stats)
 }
 

@@ -11,6 +11,7 @@
 use crate::element::SelectElement;
 use crate::params::{AtomicScope, SampleSelectConfig};
 use crate::searchtree::SearchTree;
+use crate::workspace::KernelScratch;
 use gpu_sim::warp::{warp_atomic_stats, WARP_SIZE};
 use gpu_sim::{Device, KernelCost, LaunchOrigin};
 
@@ -90,6 +91,31 @@ pub fn count_kernel<T: SelectElement>(
     write_oracles: bool,
     origin: LaunchOrigin,
 ) -> CountResult {
+    count_kernel_scoped(
+        device,
+        data,
+        tree,
+        cfg,
+        write_oracles,
+        origin,
+        &KernelScratch::new(),
+    )
+}
+
+/// [`count_kernel`] with caller-provided closure scratch: the per-worker
+/// bucket counters and warp-collision arrays are leased from `scratch`
+/// instead of freshly allocated, and the partials/oracle buffers come
+/// from the device [`gpu_sim::BufferPool`] when it is armed. With a warm
+/// pool + scratch, the kernel is allocation-free.
+pub fn count_kernel_scoped<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    tree: &SearchTree<T>,
+    cfg: &SampleSelectConfig,
+    write_oracles: bool,
+    origin: LaunchOrigin,
+    scratch: &KernelScratch,
+) -> CountResult {
     let n = data.len();
     let b = tree.num_buckets();
     let launch = cfg.launch_config(n, T::BYTES);
@@ -98,14 +124,14 @@ pub fn count_kernel<T: SelectElement>(
     let height = tree.height() as u64;
     let oracle_bytes = cfg.oracle_bytes();
 
-    let partials = device.scatter_buffer::<u64>(b * blocks, "count-partials");
+    let partials = device.pooled_scatter::<u64>(b * blocks, "count-partials");
     let oracle_u8 = if write_oracles && oracle_bytes == 1 {
-        Some(device.scatter_buffer::<u8>(n, "count-oracles"))
+        Some(device.pooled_scatter::<u8>(n, "count-oracles"))
     } else {
         None
     };
     let oracle_u16 = if write_oracles && oracle_bytes == 2 {
-        Some(device.scatter_buffer::<u16>(n, "count-oracles"))
+        Some(device.pooled_scatter::<u16>(n, "count-oracles"))
     } else {
         None
     };
@@ -122,8 +148,8 @@ pub fn count_kernel<T: SelectElement>(
         (KernelCost::new(), 0u64, 0u64),
         |range, acc| {
             let (mut cost, mut lanes_total, mut distinct_total) = acc;
-            let mut local = vec![0u64; b];
-            let mut scratch = vec![0u32; b];
+            let mut local = scratch.lease_u64(b);
+            let mut warp_scratch = scratch.lease_u32(b);
             let mut warp_buckets = [0u32; WARP_SIZE];
             for block in range {
                 let start = block * chunk;
@@ -147,7 +173,7 @@ pub fn count_kernel<T: SelectElement>(
                                 }
                             }
                         }
-                        let stats = warp_atomic_stats(&warp_buckets[..wlen], &mut scratch);
+                        let stats = warp_atomic_stats(&warp_buckets[..wlen], &mut warp_scratch);
                         lanes_total += stats.lanes as u64;
                         distinct_total += stats.distinct as u64;
                         match cfg.atomic_scope {
@@ -206,6 +232,8 @@ pub fn count_kernel<T: SelectElement>(
                 }
                 cost.blocks += 1;
             }
+            scratch.give_u64(local);
+            scratch.give_u32(warp_scratch);
             (cost, lanes_total, distinct_total)
         },
         |mut a, b| {
@@ -216,7 +244,8 @@ pub fn count_kernel<T: SelectElement>(
 
     // SAFETY: every (bucket, block) slot was written exactly once above.
     let partials = unsafe { partials.into_vec(b * blocks) };
-    let mut counts = vec![0u64; b];
+    let mut counts = device.lease_vec::<u64>(b, "counts");
+    counts.resize(b, 0);
     for bucket in 0..b {
         counts[bucket] = partials[bucket * blocks..(bucket + 1) * blocks]
             .iter()

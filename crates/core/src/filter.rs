@@ -14,6 +14,7 @@ use crate::count::CountResult;
 use crate::element::SelectElement;
 use crate::params::{AtomicScope, SampleSelectConfig};
 use crate::reduce::ReduceResult;
+use crate::workspace::KernelScratch;
 use gpu_sim::warp::WARP_SIZE;
 use gpu_sim::{Device, KernelCost, LaunchOrigin};
 use std::ops::Range;
@@ -34,6 +35,34 @@ pub fn filter_kernel<T: SelectElement>(
     cfg: &SampleSelectConfig,
     origin: LaunchOrigin,
 ) -> Vec<T> {
+    filter_kernel_scoped(
+        device,
+        data,
+        count,
+        reduce,
+        bucket_range,
+        cfg,
+        origin,
+        &KernelScratch::new(),
+    )
+}
+
+/// [`filter_kernel`] with caller-provided closure scratch: per-worker
+/// output cursors come from `scratch` and the output buffer from the
+/// device [`gpu_sim::BufferPool`] when armed, making a warm launch
+/// allocation-free (the returned `Vec` reuses a pooled allocation that
+/// the driver recycles after consuming it).
+#[allow(clippy::too_many_arguments)]
+pub fn filter_kernel_scoped<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    count: &CountResult,
+    reduce: &ReduceResult,
+    bucket_range: Range<u32>,
+    cfg: &SampleSelectConfig,
+    origin: LaunchOrigin,
+    scratch: &KernelScratch,
+) -> Vec<T> {
     let n = data.len();
     let oracles = count
         .oracles
@@ -51,7 +80,7 @@ pub fn filter_kernel<T: SelectElement>(
     let range_base = reduce.bucket_offsets[bucket_range.start as usize];
     let range_end = reduce.bucket_offsets[bucket_range.end as usize];
     let out_len = (range_end - range_base) as usize;
-    let out = device.scatter_buffer::<T>(out_len, "filter-out");
+    let out = device.pooled_scatter::<T>(out_len, "filter-out");
     let out_ref = &out;
     let lo = bucket_range.start;
     let hi = bucket_range.end;
@@ -63,7 +92,7 @@ pub fn filter_kernel<T: SelectElement>(
         (KernelCost::new(), 0u64),
         |range, acc| {
             let (mut cost, mut mismatches) = acc;
-            let mut cursors = vec![0u64; (hi - lo) as usize];
+            let mut cursors = scratch.lease_u64((hi - lo) as usize);
             for block in range {
                 let start = block * chunk;
                 let end = ((block + 1) * chunk).min(n);
@@ -152,6 +181,7 @@ pub fn filter_kernel<T: SelectElement>(
                 cost.int_ops += len;
                 cost.blocks += 1;
             }
+            scratch.give_u64(cursors);
             (cost, mismatches)
         },
         |mut a, b| {

@@ -139,7 +139,7 @@ impl SelectReport {
                     s.cost.merge(&rec.cost);
                 }
                 None => kernels.push(KernelSummary {
-                    name: rec.name.clone(),
+                    name: rec.name.to_string(),
                     launches: 1,
                     total_time: rec.duration,
                     total_launch_overhead: rec.launch_overhead,
@@ -217,7 +217,7 @@ mod tests {
 
     fn record(name: &str, dur_ns: f64, overhead_ns: f64) -> KernelRecord {
         KernelRecord {
-            name: name.to_string(),
+            name: name.to_string().into(),
             config: LaunchConfig {
                 blocks: 1,
                 threads_per_block: 32,

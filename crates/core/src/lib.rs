@@ -56,6 +56,7 @@ pub mod splitter;
 pub mod streaming;
 pub mod topk;
 pub mod verify;
+pub mod workspace;
 
 pub use approx::{approx_select, approx_select_on_device, ApproxResult};
 pub use element::SelectElement;
@@ -64,7 +65,7 @@ pub use kv::{zip_pairs, Pair};
 pub use multiselect::{multi_select, multi_select_on_device, quantiles, MultiSelectResult};
 pub use params::{AtomicScope, ConfigError, SampleSelectConfig};
 pub use quickselect::{bipartition_on_device, quick_select, quick_select_on_device};
-pub use recursion::sample_select_on_device;
+pub use recursion::{sample_select_on_device, sample_select_with_workspace};
 pub use resilient::{
     resilient_select, resilient_select_on_device, resilient_streaming_select, Backend, Outcome,
     ResilienceConfig, ResilientResult, RetryPolicy,
@@ -77,6 +78,7 @@ pub use streaming::{
 };
 pub use topk::{bottom_k_smallest_on_device, top_k_largest, top_k_largest_on_device};
 pub use verify::VerifyPolicy;
+pub use workspace::{KernelScratch, SelectWorkspace};
 
 use gpu_sim::arch::v100;
 use gpu_sim::Device;

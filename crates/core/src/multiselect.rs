@@ -9,15 +9,16 @@
 //! buckets that contain a target. With `b >> m` buckets, the expected
 //! extra data touched stays `O(m · n / b)` per level.
 
-use crate::count::count_kernel;
+use crate::count::count_kernel_scoped;
 use crate::element::SelectElement;
-use crate::filter::filter_kernel;
+use crate::filter::filter_kernel_scoped;
 use crate::instrument::SelectReport;
 use crate::params::SampleSelectConfig;
-use crate::recursion::{base_case_select, validate_input};
+use crate::recursion::{base_case_select_with, recycle_level, validate_input};
 use crate::reduce::reduce_kernel;
 use crate::rng::SplitMix64;
-use crate::splitter::sample_kernel;
+use crate::splitter::sample_kernel_into;
+use crate::workspace::SelectWorkspace;
 use crate::SelectError;
 use gpu_sim::arch::v100;
 use gpu_sim::{Device, LaunchOrigin};
@@ -51,6 +52,19 @@ pub fn multi_select_on_device<T: SelectElement>(
     ranks: &[usize],
     cfg: &SampleSelectConfig,
 ) -> Result<MultiSelectResult<T>, SelectError> {
+    multi_select_with_workspace(device, data, ranks, cfg, &mut SelectWorkspace::new())
+}
+
+/// [`multi_select_on_device`] with a reusable [`SelectWorkspace`] (see
+/// [`crate::recursion::sample_select_with_workspace`] for the reuse
+/// contract).
+pub fn multi_select_with_workspace<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    ranks: &[usize],
+    cfg: &SampleSelectConfig,
+    ws: &mut SelectWorkspace<T>,
+) -> Result<MultiSelectResult<T>, SelectError> {
     cfg.validate().map_err(SelectError::InvalidConfig)?;
     if ranks.is_empty() {
         return Ok(MultiSelectResult {
@@ -78,36 +92,45 @@ pub fn multi_select_on_device<T: SelectElement>(
     }];
 
     while let Some(seg) = pending.pop() {
-        let cur: &[T] = if seg.level == 0 { data } else { &seg.data };
-        let origin = if seg.level == 0 {
+        let Segment {
+            data: seg_data,
+            queries: seg_queries,
+            level,
+        } = seg;
+        let cur: &[T] = if level == 0 { data } else { &seg_data };
+        let origin = if level == 0 {
             LaunchOrigin::Host
         } else {
             LaunchOrigin::Device
         };
-        if seg.level >= MAX_LEVELS {
+        if level >= MAX_LEVELS {
             return Err(SelectError::RecursionLimit);
         }
-        levels = levels.max(seg.level + 1);
+        levels = levels.max(level + 1);
 
         if cur.len() <= cfg.base_case_size.max(cfg.sample_size()) {
-            // One sort answers every query of the segment.
-            let mut buf = cur.to_vec();
-            let first_rank = seg.queries[0].1;
-            let _ = base_case_select(device, cur, first_rank, cfg, origin);
-            crate::bitonic::bitonic_sort(&mut buf);
-            for &(qi, rank) in &seg.queries {
-                results[qi] = Some(buf[rank]);
+            // One sort answers every query of the segment (the bitonic
+            // selection fully sorts its working copy, `ws.base`).
+            let first_rank = seg_queries[0].1;
+            let SelectWorkspace {
+                base, sort_scratch, ..
+            } = &mut *ws;
+            let _ = base_case_select_with(device, cur, first_rank, cfg, origin, base, sort_scratch);
+            for &(qi, rank) in &seg_queries {
+                results[qi] = Some(base[rank]);
             }
+            device.recycle_vec("filter-out", seg_data);
             continue;
         }
 
-        let tree = sample_kernel(device, cur, cfg, &mut rng, origin)?;
-        let count = count_kernel(device, cur, &tree, cfg, true, origin);
+        sample_kernel_into(device, cur, cfg, &mut rng, origin, ws)?;
+        let tree = ws.tree().expect("sample_kernel_into built a tree");
+        let count = count_kernel_scoped(device, cur, tree, cfg, true, origin, &ws.scratch);
         let red = reduce_kernel(device, &count, LaunchOrigin::Device);
 
         // Group the segment's queries by target bucket.
         let mut by_bucket: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
-        for &(qi, rank) in &seg.queries {
+        for &(qi, rank) in &seg_queries {
             let bucket = red.bucket_for_rank(rank as u64);
             match by_bucket.iter_mut().find(|(b, _)| *b == bucket) {
                 Some((_, qs)) => qs.push((qi, rank)),
@@ -125,7 +148,7 @@ pub fn multi_select_on_device<T: SelectElement>(
                 continue;
             }
             let bucket_u32 = bucket as u32;
-            let sub = filter_kernel(
+            let sub = filter_kernel_scoped(
                 device,
                 cur,
                 &count,
@@ -133,6 +156,7 @@ pub fn multi_select_on_device<T: SelectElement>(
                 bucket_u32..bucket_u32 + 1,
                 cfg,
                 LaunchOrigin::Device,
+                &ws.scratch,
             );
             let offset = red.bucket_offsets[bucket] as usize;
             let queries: Vec<(usize, usize)> = queries
@@ -143,9 +167,11 @@ pub fn multi_select_on_device<T: SelectElement>(
             pending.push(Segment {
                 data: sub,
                 queries,
-                level: seg.level + 1,
+                level: level + 1,
             });
         }
+        device.recycle_vec("filter-out", seg_data);
+        recycle_level(device, count, red);
     }
 
     let values = results

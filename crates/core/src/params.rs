@@ -137,6 +137,11 @@ pub struct SampleSelectConfig {
     /// per-level invariants, `Paranoid` additionally certifies the final
     /// result with one O(n) rank-counting pass.
     pub verify: VerifyPolicy,
+    /// Streaming driver only: overlap loading chunk `c + 1` with the
+    /// count/filter passes over chunk `c` (double buffering on the host
+    /// thread pool). Functionally bit-identical with the setting off;
+    /// only wall-clock time changes.
+    pub stream_prefetch: bool,
 }
 
 impl Default for SampleSelectConfig {
@@ -156,6 +161,7 @@ impl Default for SampleSelectConfig {
             max_levels: None,
             work_budget_factor: None,
             verify: VerifyPolicy::Off,
+            stream_prefetch: true,
         }
     }
 }
@@ -319,6 +325,11 @@ impl SampleSelectConfig {
 
     pub fn with_verify(mut self, policy: VerifyPolicy) -> Self {
         self.verify = policy;
+        self
+    }
+
+    pub fn with_stream_prefetch(mut self, on: bool) -> Self {
+        self.stream_prefetch = on;
         self
     }
 }

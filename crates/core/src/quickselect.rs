@@ -88,7 +88,7 @@ fn quick_count_kernel<T: SelectElement>(
     let blocks = launch.blocks as usize;
     let chunk = launch.block_chunk(n);
 
-    let partials_buf = device.scatter_buffer::<(u64, u64)>(blocks, "quick-count-partials");
+    let partials_buf = device.pooled_scatter::<(u64, u64)>(blocks, "quick-count-partials");
     let partials_ref = &partials_buf;
     let mut cost = hpc_par::parallel_map_reduce(
         device.pool(),
@@ -204,7 +204,7 @@ fn bipartition_kernel<T: SelectElement>(
         l_run += total - s - e;
     }
 
-    let out = device.scatter_buffer::<T>(n, "bipartition-out");
+    let out = device.pooled_scatter::<T>(n, "bipartition-out");
     let out_ref = &out;
     let smaller_off_ref = &smaller_off;
     let equal_off_ref = &equal_off;

@@ -9,16 +9,17 @@
 //! [`TailLaunchQueue`] whose follow-up launches are charged the (lower)
 //! device-launch latency.
 
-use crate::bitonic::bitonic_select;
-use crate::count::count_kernel;
+use crate::bitonic::bitonic_select_with_scratch;
+use crate::count::{count_kernel_scoped, CountResult, OracleBuf};
 use crate::element::SelectElement;
-use crate::filter::filter_kernel;
+use crate::filter::filter_kernel_scoped;
 use crate::instrument::SelectReport;
 use crate::params::SampleSelectConfig;
-use crate::reduce::reduce_kernel;
+use crate::reduce::{reduce_kernel, ReduceResult};
 use crate::rng::SplitMix64;
-use crate::splitter::sample_kernel;
+use crate::splitter::sample_kernel_into;
 use crate::verify::{check_filter_size, check_histogram};
+use crate::workspace::SelectWorkspace;
 use crate::{SelectError, SelectResult};
 use gpu_sim::{Device, KernelCost, LaunchConfig, LaunchOrigin, TailLaunchQueue};
 
@@ -65,8 +66,32 @@ pub fn base_case_select<T: SelectElement>(
     cfg: &SampleSelectConfig,
     origin: LaunchOrigin,
 ) -> T {
-    let mut buf = data.to_vec();
-    let (value, stats) = bitonic_select(&mut buf, k);
+    base_case_select_with(
+        device,
+        data,
+        k,
+        cfg,
+        origin,
+        &mut Vec::new(),
+        &mut Vec::new(),
+    )
+}
+
+/// [`base_case_select`] with caller-owned element scratch: `buf` receives
+/// the working copy and `sort_scratch` the padded bitonic buffer, so a
+/// warm workspace makes the base case allocation-free.
+pub fn base_case_select_with<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    k: usize,
+    cfg: &SampleSelectConfig,
+    origin: LaunchOrigin,
+    buf: &mut Vec<T>,
+    sort_scratch: &mut Vec<T>,
+) -> T {
+    buf.clear();
+    buf.extend_from_slice(data);
+    let (value, stats) = bitonic_select_with_scratch(buf, k, sort_scratch);
     let mut cost = KernelCost::new();
     cost.blocks = 1;
     cost.global_read_bytes += (data.len() * T::BYTES) as u64;
@@ -97,6 +122,28 @@ fn select_bucket_kernel(device: &mut Device, num_buckets: usize, origin: LaunchO
     device.commit("select_bucket", launch, origin, cost);
 }
 
+/// Hand a finished level's device buffers back to the buffer pool (a
+/// no-op drop when the pool is disarmed). Regions poisoned by injected
+/// corruption are dropped by the pool instead of being recycled.
+pub(crate) fn recycle_level(device: &mut Device, count: CountResult, red: ReduceResult) {
+    recycle_count(device, count);
+    device.recycle_vec("reduce-offsets", red.offsets);
+    device.recycle_vec("bucket-offsets", red.bucket_offsets);
+}
+
+/// Return a dead count-kernel result's buffers to the device pool
+/// (used standalone by the streaming histogram pass, which has no
+/// reduce result).
+pub(crate) fn recycle_count(device: &mut Device, count: CountResult) {
+    device.recycle_vec("counts", count.counts);
+    device.recycle_vec("count-partials", count.partials);
+    match count.oracles {
+        Some(OracleBuf::U8(v)) => device.recycle_vec("oracles", v),
+        Some(OracleBuf::U16(v)) => device.recycle_vec("oracles", v),
+        None => {}
+    }
+}
+
 /// Exact SampleSelect on a simulated device: the `rank`-th smallest
 /// element of `data` (0-based).
 pub fn sample_select_on_device<T: SelectElement>(
@@ -104,6 +151,25 @@ pub fn sample_select_on_device<T: SelectElement>(
     data: &[T],
     rank: usize,
     cfg: &SampleSelectConfig,
+) -> Result<SelectResult<T>, SelectError> {
+    sample_select_with_workspace(device, data, rank, cfg, &mut SelectWorkspace::new())
+}
+
+/// [`sample_select_on_device`] with a reusable [`SelectWorkspace`]: all
+/// host-side element scratch (sample, splitters, sort buffers, base-case
+/// copy, search tree) lives in `ws` and is reused across levels and
+/// across queries, and the level buffers (counts, partials, oracles,
+/// prefix sums, filter output) are leased from and recycled to the
+/// device [`gpu_sim::BufferPool`] when it is armed. With a warm
+/// workspace and pool the steady-state recursion performs zero heap
+/// allocations in the kernels; the result is bit-identical to the
+/// workspace-less path (pinned by a property test).
+pub fn sample_select_with_workspace<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    ws: &mut SelectWorkspace<T>,
 ) -> Result<SelectResult<T>, SelectError> {
     cfg.validate().map_err(SelectError::InvalidConfig)?;
     validate_input(data, rank, cfg)?;
@@ -136,7 +202,10 @@ pub fn sample_select_on_device<T: SelectElement>(
         debug_assert!(k < cur.len());
 
         if cur.len() <= cfg.base_case_size.max(cfg.sample_size()) {
-            let value = base_case_select(device, cur, k, cfg, origin);
+            let SelectWorkspace {
+                base, sort_scratch, ..
+            } = &mut *ws;
+            let value = base_case_select_with(device, cur, k, cfg, origin, base, sort_scratch);
             outcome = Some((value, false));
             break;
         }
@@ -156,8 +225,9 @@ pub fn sample_select_on_device<T: SelectElement>(
 
         // Splitter order is checked inside `sample_kernel` (always on:
         // an unsorted tree is unusable, not merely inaccurate).
-        let tree = sample_kernel(device, cur, cfg, &mut rng, origin)?;
-        let count = count_kernel(device, cur, &tree, cfg, true, origin);
+        sample_kernel_into(device, cur, cfg, &mut rng, origin, ws)?;
+        let tree = ws.tree().expect("sample_kernel_into built a tree");
+        let count = count_kernel_scoped(device, cur, tree, cfg, true, origin, &ws.scratch);
         if cfg.verify.spot_checks() {
             check_histogram(&count.counts, cur.len())?;
         }
@@ -179,11 +249,12 @@ pub fn sample_select_on_device<T: SelectElement>(
             // §IV-C: all elements of this bucket equal its lower-bound
             // splitter — terminate early.
             outcome = Some((tree.equality_value(bucket), true));
+            recycle_level(device, count, red);
             break;
         }
 
         let bucket_u32 = bucket as u32;
-        let next = filter_kernel(
+        let next = filter_kernel_scoped(
             device,
             cur,
             &count,
@@ -191,6 +262,7 @@ pub fn sample_select_on_device<T: SelectElement>(
             bucket_u32..bucket_u32 + 1,
             cfg,
             LaunchOrigin::Device,
+            &ws.scratch,
         );
         if cfg.verify.spot_checks() {
             check_filter_size(next.len(), red.bucket_size(bucket))?;
@@ -210,13 +282,19 @@ pub fn sample_select_on_device<T: SelectElement>(
                 ),
             });
         }
-        storage = next;
+        let prev = std::mem::replace(&mut storage, next);
+        device.recycle_vec("filter-out", prev);
+        recycle_level(device, count, red);
         use_storage = true;
         queue.push(LevelTask {
             rank: next_rank,
             level: task.level + 1,
         });
     }
+
+    // The last level's filtered bucket goes back to the pool for the
+    // next query.
+    device.recycle_vec("filter-out", storage);
 
     let (value, terminated_early) = outcome.expect("recursion ended without producing a value");
     let report = SelectReport::from_records(

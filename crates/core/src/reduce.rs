@@ -45,7 +45,8 @@ pub fn reduce_kernel(
 ) -> ReduceResult {
     let blocks = count.blocks;
     let b = count.counts.len();
-    let mut offsets = count.partials.clone();
+    let mut offsets = device.lease_vec::<u64>(count.partials.len(), "reduce-offsets");
+    offsets.extend_from_slice(&count.partials);
     let total = hpc_par::parallel_exclusive_scan(device.pool(), &mut offsets);
 
     // Sanitize mode: an exclusive scan of non-negative partials must be
@@ -78,7 +79,8 @@ pub fn reduce_kernel(
         }
     }
 
-    let mut bucket_offsets = Vec::with_capacity(b + 1);
+    let mut bucket_offsets = device.lease_vec::<u64>(b + 1, "bucket-offsets");
+    bucket_offsets.reserve(b + 1);
     for bucket in 0..b {
         bucket_offsets.push(offsets[bucket * blocks]);
     }
@@ -121,7 +123,8 @@ pub fn reduce_totals_kernel(
     origin: LaunchOrigin,
 ) -> ReduceResult {
     let b = count.counts.len();
-    let mut bucket_offsets = count.counts.clone();
+    let mut bucket_offsets = device.lease_vec::<u64>(b + 1, "bucket-offsets");
+    bucket_offsets.extend_from_slice(&count.counts);
     let total = hpc_par::exclusive_scan(&mut bucket_offsets);
     bucket_offsets.push(total);
 

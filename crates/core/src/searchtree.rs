@@ -47,6 +47,19 @@ impl<T: SelectElement> SearchTree<T> {
     /// Panics if `sorted_splitters.len() + 1` is not a power of two >= 2
     /// or the input is not sorted.
     pub fn build(sorted_splitters: &[T]) -> Self {
+        let mut slot = None;
+        Self::rebuild_into(&mut slot, sorted_splitters);
+        slot.expect("rebuild_into fills the slot")
+    }
+
+    /// Build a tree into `slot`, reusing the previous tree's node,
+    /// splitter, and equality arrays when the bucket count is unchanged
+    /// (the common case: every recursion level of one query uses the
+    /// same `b`). With a warm slot this performs no heap allocation.
+    ///
+    /// # Panics
+    /// Same contract as [`SearchTree::build`].
+    pub fn rebuild_into(slot: &mut Option<Self>, sorted_splitters: &[T]) {
         let b = sorted_splitters.len() + 1;
         assert!(
             b.is_power_of_two() && b >= 2,
@@ -57,12 +70,35 @@ impl<T: SelectElement> SearchTree<T> {
             sorted_splitters.windows(2).all(|w| !w[1].lt(w[0])),
             "splitters must be sorted"
         );
+        match slot {
+            Some(tree) if tree.num_buckets == b => tree.assemble(sorted_splitters),
+            _ => {
+                let mut tree = Self {
+                    nodes: Vec::new(),
+                    splitters: Vec::new(),
+                    num_buckets: b,
+                    height: b.trailing_zeros(),
+                    equality: Vec::new(),
+                };
+                tree.assemble(sorted_splitters);
+                *slot = Some(tree);
+            }
+        }
+    }
 
-        let mut splitters = sorted_splitters.to_vec();
-        let mut equality = vec![false; b];
+    /// (Re)populate all derived arrays from a sorted splitter slice of
+    /// the matching bucket count, reusing existing capacity.
+    fn assemble(&mut self, sorted_splitters: &[T]) {
+        let m = sorted_splitters.len();
+        debug_assert_eq!(m + 1, self.num_buckets);
+        self.splitters.clear();
+        self.splitters.extend_from_slice(sorted_splitters);
+        self.equality.clear();
+        self.equality.resize(self.num_buckets, false);
+        let splitters = &mut self.splitters;
+        let equality = &mut self.equality;
 
         // Find runs of equal splitters and apply the ε transformation.
-        let m = splitters.len();
         let mut run_start = 0;
         while run_start < m {
             let v = splitters[run_start];
@@ -89,18 +125,11 @@ impl<T: SelectElement> SearchTree<T> {
 
         // Eytzinger layout: in-order traversal of the implicit complete
         // tree visits the sorted splitters in order.
-        let mut nodes = vec![T::min_value(); m];
+        self.nodes.clear();
+        self.nodes.resize(m, T::min_value());
         let mut next = 0usize;
-        fill_in_order(&mut nodes, &splitters, 0, &mut next);
+        fill_in_order(&mut self.nodes, &self.splitters, 0, &mut next);
         debug_assert_eq!(next, m);
-
-        Self {
-            nodes,
-            splitters,
-            num_buckets: b,
-            height: b.trailing_zeros(),
-            equality,
-        }
     }
 
     /// Fig. 4's traversal loop: the bucket index of `x`.
@@ -307,6 +336,45 @@ mod tests {
     #[should_panic(expected = "2^k - 1 splitters")]
     fn rejects_wrong_splitter_count() {
         SearchTree::build(&[1.0f32, 2.0]);
+    }
+
+    #[test]
+    fn rebuild_into_reuses_arrays_when_bucket_count_matches() {
+        let mut slot = None;
+        SearchTree::rebuild_into(&mut slot, &[10.0f32, 20.0, 30.0]);
+        let nodes_ptr = slot.as_ref().unwrap().nodes().as_ptr();
+        SearchTree::rebuild_into(&mut slot, &[1.0f32, 2.0, 3.0]);
+        let tree = slot.as_ref().unwrap();
+        assert_eq!(tree.nodes().as_ptr(), nodes_ptr, "node array reused");
+        assert_eq!(tree.lookup(2.5), 2);
+        assert_eq!(tree.lookup(0.5), 0);
+    }
+
+    #[test]
+    fn rebuild_into_matches_fresh_build() {
+        let mut rng = SplitMix64::new(41);
+        let mut slot = None;
+        for b in [4usize, 4, 8, 8, 4] {
+            let mut splitters: Vec<f64> = (0..b - 1).map(|_| rng.next_f64() * 50.0).collect();
+            splitters.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // duplicate a run sometimes to exercise equality buckets
+            if b == 8 {
+                splitters[2] = splitters[1];
+            }
+            SearchTree::rebuild_into(&mut slot, &splitters);
+            let rebuilt = slot.as_ref().unwrap();
+            let fresh = SearchTree::build(&splitters);
+            assert_eq!(rebuilt.nodes(), fresh.nodes());
+            assert_eq!(rebuilt.splitters(), fresh.splitters());
+            assert_eq!(rebuilt.num_buckets(), fresh.num_buckets());
+            for i in 0..b {
+                assert_eq!(rebuilt.is_equality_bucket(i), fresh.is_equality_bucket(i));
+            }
+            for _ in 0..200 {
+                let x = rng.next_f64() * 60.0 - 5.0;
+                assert_eq!(rebuilt.lookup(x), fresh.lookup(x));
+            }
+        }
     }
 
     #[test]

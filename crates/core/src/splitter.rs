@@ -2,11 +2,12 @@
 //! shared memory with the bitonic network, pick the `i/b` percentiles as
 //! splitters, and build the implicit search tree.
 
-use crate::bitonic::bitonic_sort;
+use crate::bitonic::bitonic_sort_with_scratch;
 use crate::element::SelectElement;
 use crate::params::SampleSelectConfig;
 use crate::rng::SplitMix64;
 use crate::searchtree::SearchTree;
+use crate::workspace::SelectWorkspace;
 use crate::SelectError;
 use gpu_sim::{Device, KernelCost, LaunchConfig, LaunchOrigin};
 
@@ -24,12 +25,37 @@ pub fn sample_kernel<T: SelectElement>(
     rng: &mut SplitMix64,
     origin: LaunchOrigin,
 ) -> Result<SearchTree<T>, SelectError> {
+    let mut ws = SelectWorkspace::new();
+    sample_kernel_into(device, data, cfg, rng, origin, &mut ws)?;
+    Ok(ws.take_tree().expect("sample_kernel_into built a tree"))
+}
+
+/// [`sample_kernel`] writing into a reusable [`SelectWorkspace`]: the
+/// sample, sorting scratch, splitter staging, and search-tree arrays are
+/// all reused across calls, so a warm workspace makes this kernel
+/// allocation-free. The built tree lands in `ws.tree`.
+pub fn sample_kernel_into<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    cfg: &SampleSelectConfig,
+    rng: &mut SplitMix64,
+    origin: LaunchOrigin,
+    ws: &mut SelectWorkspace<T>,
+) -> Result<(), SelectError> {
     assert!(!data.is_empty(), "sample kernel requires a non-empty input");
     let b = cfg.num_buckets;
     let s = cfg.sample_size().max(b);
+    let SelectWorkspace {
+        sample,
+        splitters,
+        sort_scratch,
+        tree,
+        ..
+    } = ws;
 
     // Gather the sample (with replacement, matching the §II-B analysis).
-    let mut sample: Vec<T> = (0..s).map(|_| data[rng.next_below(data.len())]).collect();
+    sample.clear();
+    sample.extend((0..s).map(|_| data[rng.next_below(data.len())]));
 
     let mut cost = KernelCost::new();
     cost.blocks = 1;
@@ -37,11 +63,12 @@ pub fn sample_kernel<T: SelectElement>(
     cost.uncoalesced_bytes += (s * T::BYTES) as u64;
 
     // Sort the sample in shared memory.
-    let stats = bitonic_sort(&mut sample);
+    let stats = bitonic_sort_with_scratch(sample, sort_scratch);
     stats.charge::<T>(&mut cost);
 
     // Pick the i/b percentiles (i = 1..b-1 inclusive of b-1 values).
-    let mut splitters: Vec<T> = (1..b).map(|i| sample[i * s / b]).collect();
+    splitters.clear();
+    splitters.extend((1..b).map(|i| sample[i * s / b]));
     debug_assert_eq!(splitters.len(), b - 1);
 
     // Write the search tree to global memory.
@@ -59,10 +86,11 @@ pub fn sample_kernel<T: SelectElement>(
     // is a target for the device's silent-corruption injector. The order
     // invariant is checked unconditionally (it costs O(b) and the search
     // tree is unusable — not just wrong — on unsorted splitters).
-    crate::verify::corrupt_elements(device, "splitters", &mut splitters);
-    crate::verify::check_splitters(&splitters)?;
+    crate::verify::corrupt_elements(device, "splitters", splitters);
+    crate::verify::check_splitters(splitters)?;
 
-    Ok(SearchTree::build(&splitters))
+    SearchTree::rebuild_into(tree, splitters);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -29,17 +29,19 @@
 //! is detected by its FNV-1a checksum / run fingerprint and degrades to
 //! a clean restart, never to silently wrong state.
 
-use crate::count::count_kernel;
+use crate::count::count_kernel_scoped;
 use crate::element::SelectElement;
 use crate::instrument::{ResilienceEvents, SelectReport};
 use crate::params::SampleSelectConfig;
-use crate::recursion::sample_select_on_device;
+use crate::recursion::{recycle_count, sample_select_on_device};
 use crate::rng::SplitMix64;
 use crate::searchtree::SearchTree;
 use crate::verify::{check_filter_size, check_histogram, check_splitters};
+use crate::workspace::KernelScratch;
 use crate::{SelectError, SelectResult};
 use gpu_sim::{Device, KernelCost, LaunchOrigin, SimTime};
 use std::path::Path;
+use std::sync::Mutex;
 
 /// Retries of one chunk load before the driver gives up (in addition to
 /// the initial attempt). Only *transient* failures are retried.
@@ -105,28 +107,41 @@ pub trait ChunkSource<T>: Sync {
 
 /// Load one chunk, retrying transient failures with exponential backoff
 /// (charged to the simulated clock). Retries are recorded in `events`.
+///
+/// `prefetched` carries the result of a first load attempt that was
+/// issued ahead of time on the host thread pool (see the pipelined
+/// passes in [`streaming_select_impl`]); when present, it replaces the
+/// synchronous first attempt and the retry ladder continues from there,
+/// so prefetching never changes retry counts, backoff, or diagnostics.
 fn load_chunk_with_retry<T, S: ChunkSource<T>>(
     device: &mut Device,
     source: &S,
     idx: usize,
+    prefetched: Option<Result<Vec<T>, ChunkError>>,
     events: &mut ResilienceEvents,
 ) -> Result<Vec<T>, SelectError> {
     let mut backoff_ns = CHUNK_RETRY_BACKOFF_NS;
     let mut retries = 0u32;
-    // Identify the chunk the way an operator would look it up: index,
-    // byte offset, and the backing source's name.
-    let position = match source.chunk_byte_offset(idx) {
-        Some(off) => format!("chunk {idx} at byte {off} of `{}`", source.source_name()),
-        None => format!("chunk {idx} of `{}`", source.source_name()),
+    let mut attempt = match prefetched {
+        Some(first) => first,
+        None => source.load_chunk(idx),
     };
     loop {
-        match source.load_chunk(idx) {
+        match attempt {
             Ok(chunk) => return Ok(chunk),
             Err(err) => {
                 if !err.transient || retries >= CHUNK_MAX_RETRIES {
                     return Err(SelectError::ChunkLoad(err));
                 }
                 retries += 1;
+                // Identify the chunk the way an operator would look it
+                // up: index, byte offset, and the backing source's name.
+                let position = match source.chunk_byte_offset(idx) {
+                    Some(off) => {
+                        format!("chunk {idx} at byte {off} of `{}`", source.source_name())
+                    }
+                    None => format!("chunk {idx} of `{}`", source.source_name()),
+                };
                 events.retry(format!(
                     "{position} load failed ({}); retry {retries}/{CHUNK_MAX_RETRIES} \
                      after {backoff_ns}ns",
@@ -134,6 +149,7 @@ fn load_chunk_with_retry<T, S: ChunkSource<T>>(
                 ));
                 device.advance_time(SimTime::from_ns(backoff_ns));
                 backoff_ns *= 2.0;
+                attempt = source.load_chunk(idx);
             }
         }
     }
@@ -564,7 +580,7 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
         let s = cfg.sample_size().max(b);
         let mut sample = std::mem::take(&mut state.sample);
         for c in (state.next_chunk as usize)..source.num_chunks() {
-            let chunk = load_chunk_with_retry(device, source, c, &mut events)?;
+            let chunk = load_chunk_with_retry(device, source, c, None, &mut events)?;
             if !chunk.is_empty() {
                 // proportional share, at least 1 to represent the chunk
                 let share = ((s as u128 * chunk.len() as u128) / n as u128).max(1) as usize;
@@ -610,20 +626,50 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
     check_splitters(&state.splitters)?;
     let tree = SearchTree::build(&state.splitters);
 
-    // Pass 2: chunkwise histogram, merged on the fly.
+    // Pass 2: chunkwise histogram, merged on the fly. With
+    // `cfg.stream_prefetch` the first load attempt of chunk c+1 is
+    // issued on the host pool while chunk c is being counted
+    // (double-buffered I/O); retries, events, checkpoints, and the
+    // kernel schedule are bit-identical to the sequential pass.
     if state.phase == PHASE_COUNT {
+        let pool = device.pool();
+        let num_chunks = source.num_chunks();
+        let scratch = KernelScratch::new();
+        let mut staged: Option<Result<Vec<T>, ChunkError>> = None;
         let mut counts = if state.counts.len() == b {
             std::mem::take(&mut state.counts)
         } else {
             vec![0u64; b]
         };
-        for c in (state.next_chunk as usize)..source.num_chunks() {
-            let chunk = load_chunk_with_retry(device, source, c, &mut events)?;
-            if !chunk.is_empty() {
-                let result = count_kernel(device, &chunk, &tree, cfg, false, LaunchOrigin::Host);
+        for c in (state.next_chunk as usize)..num_chunks {
+            let chunk = load_chunk_with_retry(device, source, c, staged.take(), &mut events)?;
+            let mut count_chunk = |device: &mut Device| {
+                if chunk.is_empty() {
+                    return;
+                }
+                let result = count_kernel_scoped(
+                    device,
+                    &chunk,
+                    &tree,
+                    cfg,
+                    false,
+                    LaunchOrigin::Host,
+                    &scratch,
+                );
                 for (acc, v) in counts.iter_mut().zip(result.counts.iter()) {
                     *acc += v;
                 }
+                recycle_count(device, result);
+            };
+            if cfg.stream_prefetch && c + 1 < num_chunks {
+                let slot: Mutex<Option<Result<Vec<T>, ChunkError>>> = Mutex::new(None);
+                pool.scope(|s| {
+                    s.spawn(|| *slot.lock().unwrap() = Some(source.load_chunk(c + 1)));
+                    count_chunk(device);
+                });
+                staged = slot.into_inner().unwrap();
+            } else {
+                count_chunk(device);
             }
             state.next_chunk = c as u64 + 1;
             state.counts = counts;
@@ -640,7 +686,11 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
     // is checked unconditionally (it costs O(b)).
     check_histogram(&state.counts, n)?;
 
-    let mut offsets = state.counts.clone();
+    // Prefix-sum the histogram into a pooled buffer — the sequential
+    // clone here used to be the only per-query allocation between the
+    // count and filter passes.
+    let mut offsets = device.lease_vec::<u64>(state.counts.len(), "stream-offsets");
+    offsets.extend_from_slice(&state.counts);
     let total = hpc_par::exclusive_scan(&mut offsets);
     debug_assert_eq!(total, n as u64);
     let bucket = hpc_par::scan::bucket_for_rank(&offsets, rank as u64);
@@ -666,6 +716,7 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
     }
 
     if tree.is_equality_bucket(bucket) {
+        device.recycle_vec("stream-offsets", offsets);
         delete_checkpoint(checkpoint);
         let report = SelectReport::from_records(
             "streaming-sampleselect",
@@ -682,40 +733,61 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
         });
     }
 
-    // Pass 3: re-stream, keeping only the target bucket.
+    // Pass 3: re-stream, keeping only the target bucket. Prefetched
+    // like the histogram pass: chunk c+1 loads on the pool while chunk
+    // c's bound-compare extraction runs.
     let lower = tree.bucket_lower(bucket);
     let upper = tree.bucket_lower(bucket + 1);
     let mut kept = std::mem::take(&mut state.kept);
     kept.reserve((offsets.get(bucket + 1).copied().unwrap_or(n as u64) - offsets[bucket]) as usize);
-    for c in (state.next_chunk as usize)..source.num_chunks() {
-        let chunk = load_chunk_with_retry(device, source, c, &mut events)?;
-        if !chunk.is_empty() {
-            let before = kept.len();
-            kept.extend(chunk.iter().copied().filter(|&x| {
-                let above = lower.is_none_or(|lo| !x.lt(lo));
-                let below = upper.is_none_or(|hi| x.lt(hi));
-                above && below
-            }));
-            // Charge the extraction kernel: stream read + bound compares +
-            // contiguous writes of the matches.
-            let mut cost = KernelCost::new();
-            cost.global_read_bytes += (chunk.len() * T::BYTES) as u64;
-            cost.int_ops += chunk.len() as u64 * 2;
-            cost.global_write_bytes += ((kept.len() - before) * T::BYTES) as u64;
-            let launch = cfg.launch_config(chunk.len(), T::BYTES);
-            cost.blocks = launch.blocks as u64;
-            device.commit("stream_filter", launch, LaunchOrigin::Host, cost);
+    {
+        let pool = device.pool();
+        let num_chunks = source.num_chunks();
+        let mut staged: Option<Result<Vec<T>, ChunkError>> = None;
+        for c in (state.next_chunk as usize)..num_chunks {
+            let chunk = load_chunk_with_retry(device, source, c, staged.take(), &mut events)?;
+            let mut filter_chunk = |device: &mut Device| {
+                if chunk.is_empty() {
+                    return;
+                }
+                let before = kept.len();
+                kept.extend(chunk.iter().copied().filter(|&x| {
+                    let above = lower.is_none_or(|lo| !x.lt(lo));
+                    let below = upper.is_none_or(|hi| x.lt(hi));
+                    above && below
+                }));
+                // Charge the extraction kernel: stream read + bound
+                // compares + contiguous writes of the matches.
+                let mut cost = KernelCost::new();
+                cost.global_read_bytes += (chunk.len() * T::BYTES) as u64;
+                cost.int_ops += chunk.len() as u64 * 2;
+                cost.global_write_bytes += ((kept.len() - before) * T::BYTES) as u64;
+                let launch = cfg.launch_config(chunk.len(), T::BYTES);
+                cost.blocks = launch.blocks as u64;
+                device.commit("stream_filter", launch, LaunchOrigin::Host, cost);
+            };
+            if cfg.stream_prefetch && c + 1 < num_chunks {
+                let slot: Mutex<Option<Result<Vec<T>, ChunkError>>> = Mutex::new(None);
+                pool.scope(|s| {
+                    s.spawn(|| *slot.lock().unwrap() = Some(source.load_chunk(c + 1)));
+                    filter_chunk(device);
+                });
+                staged = slot.into_inner().unwrap();
+            } else {
+                filter_chunk(device);
+            }
+            state.next_chunk = c as u64 + 1;
+            state.kept = kept;
+            save_checkpoint(checkpoint, &fp, &state, &mut events);
+            kept = std::mem::take(&mut state.kept);
         }
-        state.next_chunk = c as u64 + 1;
-        state.kept = kept;
-        save_checkpoint(checkpoint, &fp, &state, &mut events);
-        kept = std::mem::take(&mut state.kept);
     }
     if cfg.verify.spot_checks() {
         check_filter_size(kept.len(), state.counts[bucket])?;
     }
     let peak_resident = kept.len();
     let sub_rank = rank - offsets[bucket] as usize;
+    device.recycle_vec("stream-offsets", offsets);
     if sub_rank >= kept.len() {
         // Unconditionally guarded: a corrupted count or a torn filter
         // pass would otherwise panic in the in-memory recursion below.

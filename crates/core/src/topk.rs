@@ -7,15 +7,16 @@
 //! needs to descend into the target bucket, but all elements from larger
 //! buckets are guaranteed to be part of the top-k selection."
 
-use crate::count::count_kernel;
+use crate::count::count_kernel_scoped;
 use crate::element::SelectElement;
-use crate::filter::filter_kernel;
+use crate::filter::filter_kernel_scoped;
 use crate::instrument::SelectReport;
 use crate::params::SampleSelectConfig;
-use crate::recursion::{base_case_select, validate_input};
+use crate::recursion::{base_case_select_with, recycle_level, validate_input};
 use crate::reduce::reduce_kernel;
 use crate::rng::SplitMix64;
-use crate::splitter::sample_kernel;
+use crate::splitter::sample_kernel_into;
+use crate::workspace::SelectWorkspace;
 use crate::{SelectError, SelectResult};
 use gpu_sim::arch::v100;
 use gpu_sim::{Device, LaunchOrigin};
@@ -38,6 +39,19 @@ pub fn top_k_largest_on_device<T: SelectElement>(
     data: &[T],
     k: usize,
     cfg: &SampleSelectConfig,
+) -> Result<TopKResult<T>, SelectError> {
+    top_k_largest_with_workspace(device, data, k, cfg, &mut SelectWorkspace::new())
+}
+
+/// [`top_k_largest_on_device`] with a reusable [`SelectWorkspace`] (see
+/// [`crate::recursion::sample_select_with_workspace`] for the reuse
+/// contract).
+pub fn top_k_largest_with_workspace<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    k: usize,
+    cfg: &SampleSelectConfig,
+    ws: &mut SelectWorkspace<T>,
 ) -> Result<TopKResult<T>, SelectError> {
     cfg.validate().map_err(SelectError::InvalidConfig)?;
     if k == 0 || k > data.len() {
@@ -73,24 +87,28 @@ pub fn top_k_largest_on_device<T: SelectElement>(
         };
 
         if slice.len() <= cfg.base_case_size.max(cfg.sample_size()) {
-            // Base case: sort, take the suffix from the rank position.
-            let mut buf = slice.to_vec();
-            let value = base_case_select(device, slice, cur_rank, cfg, origin);
-            crate::bitonic::bitonic_sort(&mut buf);
-            collected.extend_from_slice(&buf[cur_rank..]);
+            // Base case: the bitonic selection fully sorts its working
+            // copy (`ws.base`), so the top-k suffix is read directly.
+            let SelectWorkspace {
+                base, sort_scratch, ..
+            } = &mut *ws;
+            let value =
+                base_case_select_with(device, slice, cur_rank, cfg, origin, base, sort_scratch);
+            collected.extend_from_slice(&base[cur_rank..]);
             threshold = value;
             break;
         }
         levels += 1;
 
-        let tree = sample_kernel(device, slice, cfg, &mut rng, origin)?;
-        let count = count_kernel(device, slice, &tree, cfg, true, origin);
+        sample_kernel_into(device, slice, cfg, &mut rng, origin, ws)?;
+        let tree = ws.tree().expect("sample_kernel_into built a tree");
+        let count = count_kernel_scoped(device, slice, tree, cfg, true, origin, &ws.scratch);
         let red = reduce_kernel(device, &count, LaunchOrigin::Device);
         let bucket = red.bucket_for_rank(cur_rank as u64);
         let b = tree.num_buckets() as u32;
 
         // Fused filter: the target bucket plus every larger bucket.
-        let fused = filter_kernel(
+        let fused = filter_kernel_scoped(
             device,
             slice,
             &count,
@@ -98,6 +116,7 @@ pub fn top_k_largest_on_device<T: SelectElement>(
             bucket as u32..b,
             cfg,
             LaunchOrigin::Device,
+            &ws.scratch,
         );
         // Elements of the target bucket come first in the fused output
         // (the extraction is bucket-major).
@@ -113,13 +132,21 @@ pub fn top_k_largest_on_device<T: SelectElement>(
             collected.extend_from_slice(&target_part[..need]);
             threshold = tree.equality_value(bucket);
             terminated_early = true;
+            device.recycle_vec("filter-out", fused);
+            recycle_level(device, count, red);
             break;
         }
 
         cur_rank -= red.bucket_offsets[bucket] as usize;
-        cur = target_part.to_vec();
+        let mut next = device.lease_vec::<T>(target_size, "topk-cur");
+        next.extend_from_slice(target_part);
+        let prev = std::mem::replace(&mut cur, next);
+        device.recycle_vec("topk-cur", prev);
+        device.recycle_vec("filter-out", fused);
+        recycle_level(device, count, red);
         use_storage = true;
     }
+    device.recycle_vec("topk-cur", cur);
 
     // A wrong cardinality means a corrupted count/filter pipeline (the
     // invariant the old debug_assert only checked in debug builds);

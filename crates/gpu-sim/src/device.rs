@@ -15,6 +15,7 @@
 //! learn that the step's results are garbage and must be retried.
 
 use crate::arch::GpuArchitecture;
+use crate::bufpool::{BufferPool, BufferPoolStats};
 use crate::cost::{CostBreakdown, KernelCost, SimTime};
 use crate::event::Event;
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, LaunchError, MemoryCorruption};
@@ -22,6 +23,7 @@ use crate::launch::{occupancy, LaunchConfig};
 use crate::memory::{AllocError, CorruptTarget, DeviceMemory, ScatterBuffer};
 use crate::sanitizer::{reports_to_json, SanitizerConfig, SanitizerReport, SanitizerSink};
 use hpc_par::ThreadPool;
+use std::borrow::Cow;
 
 /// Whether a kernel was launched by the host or from the device
 /// (CUDA Dynamic Parallelism); the two have different launch latencies.
@@ -35,8 +37,10 @@ pub enum LaunchOrigin {
 #[derive(Debug, Clone)]
 pub struct KernelRecord {
     /// Kernel name, e.g. `"count"` or `"filter"` — used to aggregate the
-    /// Fig. 9 breakdown.
-    pub name: String,
+    /// Fig. 9 breakdown. Borrowed for the static kernel names of the hot
+    /// path (recording a launch must not allocate), owned for the few
+    /// synthesized names such as `"corrupt:<region>"`.
+    pub name: Cow<'static, str>,
     /// Launch configuration used.
     pub config: LaunchConfig,
     /// Simulated start time (after the launch overhead).
@@ -84,6 +88,7 @@ pub struct Device<'p> {
     access_counter: u64,
     memory: DeviceMemory,
     sanitizer: Option<SanitizerSink>,
+    buf_pool: Option<BufferPool>,
 }
 
 impl<'p> Device<'p> {
@@ -101,6 +106,7 @@ impl<'p> Device<'p> {
             access_counter: 0,
             memory: DeviceMemory::unlimited(),
             sanitizer: None,
+            buf_pool: None,
         }
     }
 
@@ -176,7 +182,7 @@ impl<'p> Device<'p> {
         self.records
             .iter()
             .filter_map(|r| match &r.sanitizer {
-                Some(rep) if !rep.is_clean() => Some((r.name.as_str(), rep)),
+                Some(rep) if !rep.is_clean() => Some((r.name.as_ref(), rep)),
                 _ => None,
             })
             .collect()
@@ -201,7 +207,7 @@ impl<'p> Device<'p> {
             .filter_map(|r| {
                 r.sanitizer
                     .as_ref()
-                    .map(|rep| (r.name.clone(), rep.clone()))
+                    .map(|rep| (r.name.to_string(), rep.clone()))
             })
             .collect();
         reports_to_json(&reports)
@@ -216,6 +222,82 @@ impl<'p> Device<'p> {
         match &self.sanitizer {
             Some(sink) => ScatterBuffer::with_sanitizer(len, sink.clone(), region),
             None => ScatterBuffer::new(len),
+        }
+    }
+
+    /// Arm the buffer pool: [`Device::pooled_scatter`] and
+    /// [`Device::lease_vec`] start drawing storage from recycled
+    /// allocations instead of the heap. Like the sanitizer, the pool is
+    /// deliberately independent of the launch/alloc counters — arming it
+    /// never perturbs a fault schedule — and it survives
+    /// [`Device::reset`], since its whole point is reuse across repeated
+    /// queries. A region the injector corrupts is poisoned in the pool,
+    /// so corrupted buffers are never recycled into a later query.
+    pub fn enable_buffer_pool(&mut self) {
+        if self.buf_pool.is_none() {
+            self.buf_pool = Some(BufferPool::new());
+        }
+    }
+
+    /// Disarm the buffer pool, dropping every shelved allocation.
+    pub fn disable_buffer_pool(&mut self) {
+        self.buf_pool = None;
+    }
+
+    /// Whether the buffer pool is armed.
+    pub fn buffer_pool_enabled(&self) -> bool {
+        self.buf_pool.is_some()
+    }
+
+    /// Pool effectiveness counters (`None` when the pool is disarmed).
+    pub fn buffer_pool_stats(&self) -> Option<BufferPoolStats> {
+        self.buf_pool.as_ref().map(|p| p.stats())
+    }
+
+    /// [`Device::scatter_buffer`] drawing its storage from the buffer
+    /// pool when armed (identical semantics otherwise): the kernels'
+    /// allocation-free path. Consume the result with
+    /// [`ScatterBuffer::into_vec`] and return the vector via
+    /// [`Device::recycle_vec`] once its contents are dead.
+    pub fn pooled_scatter<T: Send + 'static>(
+        &mut self,
+        len: usize,
+        region: &'static str,
+    ) -> ScatterBuffer<T> {
+        match &mut self.buf_pool {
+            Some(pool) => {
+                let storage = pool.acquire::<T>(len, region);
+                match &self.sanitizer {
+                    Some(sink) => ScatterBuffer::from_storage_with_sanitizer(
+                        storage,
+                        len,
+                        sink.clone(),
+                        region,
+                    ),
+                    None => ScatterBuffer::from_storage(storage, len),
+                }
+            }
+            None => self.scatter_buffer(len, region),
+        }
+    }
+
+    /// Lease an empty vector with capacity at least `len` from the
+    /// buffer pool (a plain empty vector when disarmed — callers grow it
+    /// exactly as the unpooled code always did). Pair with
+    /// [`Device::recycle_vec`] under the same region tag.
+    pub fn lease_vec<T: Send + 'static>(&mut self, len: usize, region: &'static str) -> Vec<T> {
+        match &mut self.buf_pool {
+            Some(pool) => pool.acquire::<T>(len, region),
+            None => Vec::new(),
+        }
+    }
+
+    /// Return a dead buffer's allocation to the pool (dropped when the
+    /// pool is disarmed, or when `region` was poisoned by an injected
+    /// corruption since the last recycle).
+    pub fn recycle_vec<T: Send + 'static>(&mut self, region: &'static str, buf: Vec<T>) {
+        if let Some(pool) = &mut self.buf_pool {
+            pool.recycle(region, buf);
         }
     }
 
@@ -265,7 +347,7 @@ impl<'p> Device<'p> {
     /// Push one record (normal, spiked, or failed) and advance the clock.
     fn commit_record(
         &mut self,
-        name: String,
+        name: Cow<'static, str>,
         config: LaunchConfig,
         origin: LaunchOrigin,
         cost: KernelCost,
@@ -330,7 +412,7 @@ impl<'p> Device<'p> {
     /// Returns the duration including launch overhead.
     pub fn try_launch<F>(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         config: LaunchConfig,
         origin: LaunchOrigin,
         kernel: F,
@@ -351,7 +433,7 @@ impl<'p> Device<'p> {
             );
             return Err(LaunchError {
                 kind: FaultKind::LaunchFailure,
-                kernel: name,
+                kernel: name.into_owned(),
                 launch_index: index,
                 at: self.now,
             });
@@ -382,7 +464,7 @@ impl<'p> Device<'p> {
     /// overhead is charged.
     pub fn launch<F>(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         config: LaunchConfig,
         origin: LaunchOrigin,
         kernel: F,
@@ -409,7 +491,7 @@ impl<'p> Device<'p> {
     /// outputs must be discarded.
     pub fn try_commit(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         config: LaunchConfig,
         origin: LaunchOrigin,
         cost: KernelCost,
@@ -427,7 +509,7 @@ impl<'p> Device<'p> {
             );
             return Err(LaunchError {
                 kind: FaultKind::LaunchFailure,
-                kernel: name,
+                kernel: name.into_owned(),
                 launch_index: index,
                 at: self.now,
             });
@@ -439,7 +521,7 @@ impl<'p> Device<'p> {
     /// [`Device::launch`].
     pub fn commit(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         config: LaunchConfig,
         origin: LaunchOrigin,
         cost: KernelCost,
@@ -518,8 +600,13 @@ impl<'p> Device<'p> {
                 .as_mut()?
                 .on_memory_access(index, now, region, buf.len_bytes())?;
         buf.mutate_byte(corruption.byte_offset, corruption.op);
+        // The region's backing buffer now holds corrupted bytes: the pool
+        // must not recycle it into a later query.
+        if let Some(pool) = &mut self.buf_pool {
+            pool.poison(region);
+        }
         self.records.push(KernelRecord {
-            name: format!("corrupt:{region}"),
+            name: Cow::Owned(format!("corrupt:{region}")),
             config: LaunchConfig {
                 blocks: 1,
                 threads_per_block: 1,
@@ -565,7 +652,9 @@ impl<'p> Device<'p> {
     ///
     /// The fault injector is re-seeded from its plan and all fault/alloc
     /// counters restart, so repeated measurement reps see the exact same
-    /// fault schedule — same seed, same report.
+    /// fault schedule — same seed, same report. The buffer pool is left
+    /// warm: reuse across repeated queries is its purpose, and poisoned
+    /// regions stay quarantined until their buffer is dropped.
     pub fn reset(&mut self) {
         self.now = SimTime::ZERO;
         self.records.clear();
@@ -591,9 +680,9 @@ impl<'p> Device<'p> {
             let idx = match order.iter().position(|n| n == &rec.name) {
                 Some(i) => i,
                 None => {
-                    order.push(rec.name.clone());
+                    order.push(rec.name.to_string());
                     out.push(KernelSummary {
-                        name: rec.name.clone(),
+                        name: rec.name.to_string(),
                         launches: 0,
                         total_time: SimTime::ZERO,
                         total_launch_overhead: SimTime::ZERO,
@@ -1000,6 +1089,78 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn pooled_scatter_reuses_allocations_across_reset() {
+        let pool = ThreadPool::new(2);
+        let mut dev = device(&pool);
+        dev.enable_buffer_pool();
+        assert!(dev.buffer_pool_enabled());
+        for rep in 0..3 {
+            let buf = dev.pooled_scatter::<u64>(64, "count-partials");
+            for i in 0..64 {
+                unsafe { buf.write(i, i as u64) };
+            }
+            let v = unsafe { buf.into_vec(64) };
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+            dev.recycle_vec("count-partials", v);
+            dev.reset();
+            let stats = dev.buffer_pool_stats().unwrap();
+            assert_eq!(stats.acquires, rep + 1);
+            assert_eq!(stats.hits, rep, "reset keeps the pool warm");
+        }
+    }
+
+    #[test]
+    fn pooled_scatter_without_pool_matches_plain_buffer() {
+        let pool = ThreadPool::new(1);
+        let mut dev = device(&pool);
+        let buf = dev.pooled_scatter::<u32>(4, "out");
+        assert!(!buf.is_sanitized());
+        assert_eq!(buf.len(), 4);
+        assert!(dev.buffer_pool_stats().is_none());
+        // recycling without a pool is a plain drop
+        dev.recycle_vec("out", vec![1u32, 2, 3]);
+    }
+
+    #[test]
+    fn corruption_poisons_the_pool_region() {
+        let pool = ThreadPool::new(1);
+        let mut dev = device(&pool);
+        dev.enable_buffer_pool();
+        dev.set_fault_plan(FaultPlan::new(4).corrupt_accesses_at(&[0]));
+        let mut counts = dev.lease_vec::<u64>(16, "counts");
+        counts.resize(16, 0);
+        dev.corrupt_region("counts", counts.as_mut_slice())
+            .expect("explicit index fires");
+        dev.recycle_vec("counts", counts);
+        let stats = dev.buffer_pool_stats().unwrap();
+        assert_eq!(stats.poisoned_dropped, 1, "corrupted buffer never shelved");
+        // the next lease misses (no recycled buffer to leak from)
+        let clean = dev.lease_vec::<u64>(16, "counts");
+        assert!(clean.is_empty());
+        assert_eq!(dev.buffer_pool_stats().unwrap().hits, 0);
+    }
+
+    #[test]
+    fn pooled_scatter_with_sanitizer_still_shadow_tracks() {
+        let pool = ThreadPool::new(1);
+        let mut dev = device(&pool);
+        dev.enable_buffer_pool();
+        dev.set_sanitizer(SanitizerConfig::full());
+        // warm the pool with a stale buffer
+        dev.recycle_vec("out", vec![0xAAu32; 8]);
+        let buf = dev.pooled_scatter::<u32>(4, "out");
+        assert!(buf.is_sanitized());
+        unsafe {
+            buf.write(0, 1);
+            buf.write(2, 3);
+        }
+        let v = unsafe { buf.into_vec(4) };
+        assert_eq!(v, vec![1, 0, 3, 0], "stale bytes zero-filled, reported");
+        dev.commit("k", small_cfg(), LaunchOrigin::Host, KernelCost::new());
+        assert!(!dev.sanitizer_clean());
     }
 
     #[test]

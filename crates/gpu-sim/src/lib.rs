@@ -21,6 +21,9 @@
 //!   dynamic-parallelism tail-launch queue.
 //! * [`memory`] — scatter buffers for the two-pass counter scheme and
 //!   traffic-tracked shared-memory arrays.
+//! * [`bufpool`] — size-classed, fault-aware recycling of device
+//!   buffers, so steady-state queries allocate nothing (the simulation
+//!   analogue of amortizing `cudaMalloc` across kernels).
 //! * [`sanitizer`] — the opt-in SIMT sanitizer (a
 //!   `compute-sanitizer` analogue): per-phase shared-memory race,
 //!   barrier-divergence, uninitialized-read, out-of-bounds, and
@@ -47,6 +50,7 @@
 
 pub mod arch;
 pub mod block;
+pub mod bufpool;
 pub mod cost;
 pub mod device;
 pub mod event;
@@ -59,6 +63,7 @@ pub mod warp;
 
 pub use arch::{GpuArchitecture, GpuGeneration};
 pub use block::{BlockExec, SmemAccessError, WarpSchedule};
+pub use bufpool::{BufferPool, BufferPoolStats};
 pub use cost::{CostBreakdown, KernelCost, SimTime};
 pub use device::{Device, KernelRecord, KernelSummary, LaunchOrigin};
 pub use event::Event;

@@ -154,7 +154,7 @@ impl DeviceMemory {
 /// exclusive scan — and the integration tests verify the resulting
 /// permutation property.
 pub struct ScatterBuffer<T> {
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    slots: Vec<UnsafeCell<MaybeUninit<T>>>,
     shadow: Option<ScatterShadow>,
 }
 
@@ -202,9 +202,60 @@ impl<T> ScatterBuffer<T> {
             v.push(UnsafeCell::new(MaybeUninit::uninit()));
         }
         Self {
-            slots: v.into_boxed_slice(),
+            slots: v,
             shadow: None,
         }
+    }
+
+    /// Build a buffer of `len` slots on top of a recycled allocation
+    /// (typically leased from a [`crate::BufferPool`]): the vector's
+    /// capacity is reused and no slot initialization loop runs —
+    /// `MaybeUninit` slots are legitimately uninitialized. Capacity is
+    /// grown only if `storage` is too small. [`ScatterBuffer::into_vec`]
+    /// returns the same allocation, so it can be recycled again.
+    pub fn from_storage(mut storage: Vec<T>, len: usize) -> Self {
+        storage.clear();
+        if storage.capacity() < len {
+            // relative to the (zero) length: guarantees capacity >= len
+            storage.reserve(len);
+        }
+        // Reinterpret the allocation: `UnsafeCell<MaybeUninit<T>>` is
+        // guaranteed to have the same size, alignment, and memory layout
+        // as `T` (both wrappers are documented as layout-transparent),
+        // so the Vec's (ptr, capacity) pair describes the same heap
+        // block under either element type.
+        let mut slots: Vec<UnsafeCell<MaybeUninit<T>>> = unsafe {
+            let cap = storage.capacity();
+            let ptr = storage.as_mut_ptr() as *mut UnsafeCell<MaybeUninit<T>>;
+            std::mem::forget(storage);
+            Vec::from_raw_parts(ptr, 0, cap)
+        };
+        // SAFETY: len <= capacity, and MaybeUninit slots need no
+        // initialization to be valid.
+        unsafe { slots.set_len(len) };
+        Self {
+            slots,
+            shadow: None,
+        }
+    }
+
+    /// [`ScatterBuffer::from_storage`] with a sanitizer shadow attached
+    /// (see [`ScatterBuffer::with_sanitizer`] for its semantics).
+    pub fn from_storage_with_sanitizer(
+        storage: Vec<T>,
+        len: usize,
+        sink: SanitizerSink,
+        region: &str,
+    ) -> Self {
+        let mut buf = Self::from_storage(storage, len);
+        let mut written = Vec::with_capacity(len);
+        written.resize_with(len, || AtomicU8::new(0));
+        buf.shadow = Some(ScatterShadow {
+            written: written.into_boxed_slice(),
+            sink,
+            region: region.to_string(),
+        });
+        buf
     }
 
     /// Allocate a *sanitized* buffer: each write is checked against a
@@ -273,27 +324,22 @@ impl<T> ScatterBuffer<T> {
     /// the element-type requirement this relies on).
     pub unsafe fn into_vec(self, len: usize) -> Vec<T> {
         assert!(len <= self.slots.len());
-        let shadow = self.shadow;
-        let mut slots = Vec::from(self.slots);
-        slots.truncate(len);
-        match shadow {
-            Some(shadow) => slots
-                .into_iter()
-                .enumerate()
-                .map(|(idx, cell)| {
-                    if shadow.written[idx].load(Ordering::Relaxed) == 0 {
-                        shadow.report(SanitizerKind::UninitRead, idx);
-                        MaybeUninit::zeroed().assume_init()
-                    } else {
-                        cell.into_inner().assume_init()
-                    }
-                })
-                .collect(),
-            None => slots
-                .into_iter()
-                .map(|cell| cell.into_inner().assume_init())
-                .collect(),
+        let mut slots = self.slots;
+        if let Some(shadow) = &self.shadow {
+            for (idx, slot) in slots.iter_mut().take(len).enumerate() {
+                if shadow.written[idx].load(Ordering::Relaxed) == 0 {
+                    shadow.report(SanitizerKind::UninitRead, idx);
+                    *slot.get() = MaybeUninit::zeroed();
+                }
+            }
         }
+        // Reinterpret the allocation in place (the inverse of
+        // `from_storage`; see the layout argument there). Keeping the
+        // original capacity lets the caller recycle the allocation.
+        let cap = slots.capacity();
+        let ptr = slots.as_mut_ptr() as *mut T;
+        std::mem::forget(slots);
+        Vec::from_raw_parts(ptr, len, cap)
     }
 }
 
@@ -497,6 +543,49 @@ mod tests {
         // uninitialized slots (MaybeUninit never drops payloads; the one
         // written String is intentionally forgotten).
         drop(buf);
+    }
+
+    #[test]
+    fn scatter_from_storage_reuses_allocation() {
+        let storage = Vec::<u64>::with_capacity(16);
+        let cap = storage.capacity();
+        let block = storage.as_ptr();
+        let buf = ScatterBuffer::from_storage(storage, 8);
+        assert_eq!(buf.len(), 8);
+        for i in 0..8 {
+            unsafe { buf.write(i, i as u64) };
+        }
+        let v = unsafe { buf.into_vec(8) };
+        assert_eq!(v, (0..8).collect::<Vec<u64>>());
+        assert_eq!(v.capacity(), cap, "capacity survives the roundtrip");
+        assert_eq!(v.as_ptr(), block, "same heap block end to end");
+    }
+
+    #[test]
+    fn scatter_from_storage_grows_undersized_storage() {
+        let buf = ScatterBuffer::from_storage(Vec::<u32>::with_capacity(2), 6);
+        assert_eq!(buf.len(), 6);
+        for i in 0..6 {
+            unsafe { buf.write(i, i as u32 * 10) };
+        }
+        let v = unsafe { buf.into_vec(6) };
+        assert_eq!(v, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn scatter_from_storage_with_sanitizer_matches_fresh_semantics() {
+        use crate::sanitizer::{SanitizerConfig, SanitizerKind, SanitizerSink};
+        let sink = SanitizerSink::new(SanitizerConfig::full());
+        let storage = vec![7u64; 5]; // stale contents must not leak
+        let buf = ScatterBuffer::from_storage_with_sanitizer(storage, 3, sink.clone(), "re");
+        assert!(buf.is_sanitized());
+        unsafe {
+            buf.write(0, 1);
+            buf.write(2, 3);
+        }
+        let v = unsafe { buf.into_vec(3) };
+        assert_eq!(v, vec![1, 0, 3], "unwritten slot zero-filled, not stale");
+        assert_eq!(sink.drain().count_of(SanitizerKind::UninitRead), 1);
     }
 
     #[test]

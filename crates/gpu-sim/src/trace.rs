@@ -84,7 +84,7 @@ pub fn trace_events(device: &Device) -> Vec<TraceEvent> {
             },
         });
         events.push(TraceEvent {
-            name: rec.name.clone(),
+            name: rec.name.to_string(),
             cat: if rec.fault.is_some() {
                 "fault".to_string()
             } else {

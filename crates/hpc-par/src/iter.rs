@@ -4,8 +4,8 @@
 //! from a shared atomic counter, so uneven per-chunk cost (e.g. the filter
 //! kernel touching only some buckets) still balances well.
 
+use crate::min_chunk;
 use crate::pool::{SendPtr, ThreadPool};
-use crate::DEFAULT_MIN_CHUNK;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -62,7 +62,7 @@ pub fn parallel_for<F>(pool: &ThreadPool, n: usize, body: F)
 where
     F: Fn(usize) + Sync,
 {
-    parallel_for_chunks(pool, n, DEFAULT_MIN_CHUNK, |range| {
+    parallel_for_chunks(pool, n, min_chunk(), |range| {
         for i in range {
             body(i);
         }
@@ -77,7 +77,7 @@ where
 {
     let mut out: Vec<T> = Vec::with_capacity(n);
     let ptr = SendPtr::new(out.as_mut_ptr());
-    parallel_for_chunks(pool, n, DEFAULT_MIN_CHUNK.min(1024), |range| {
+    parallel_for_chunks(pool, n, min_chunk().min(1024), |range| {
         for i in range {
             // SAFETY: chunk ranges tile 0..n disjointly, so each slot is
             // written exactly once; capacity is n.

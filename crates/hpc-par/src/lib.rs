@@ -44,3 +44,19 @@ pub use sync::WaitGroup;
 /// Default minimum work per chunk before the primitives bother going
 /// parallel. Below this, thread coordination costs more than it saves.
 pub const DEFAULT_MIN_CHUNK: usize = 4096;
+
+/// Effective minimum chunk size: [`DEFAULT_MIN_CHUNK`] unless the
+/// `HPC_PAR_MIN_CHUNK` environment variable overrides it (for tuning
+/// the parallel/inline cutover without a rebuild). Read once; later
+/// changes to the variable have no effect. Unparsable or zero values
+/// fall back to the default.
+pub fn min_chunk() -> usize {
+    static MIN_CHUNK: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *MIN_CHUNK.get_or_init(|| {
+        std::env::var("HPC_PAR_MIN_CHUNK")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_MIN_CHUNK)
+    })
+}

@@ -15,6 +15,10 @@ use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// The process-wide pool (see [`ThreadPool::global`] /
+/// [`ThreadPool::init_global`]).
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
 /// A fixed-size pool of worker threads.
 ///
 /// The pool is cheap to share (`&ThreadPool`); a process-wide instance
@@ -57,15 +61,29 @@ impl ThreadPool {
         }
     }
 
-    /// The process-wide pool, sized to `available_parallelism`.
+    /// The process-wide pool, sized to `available_parallelism` unless
+    /// [`ThreadPool::init_global`] fixed a width first.
     pub fn global() -> &'static ThreadPool {
-        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
         GLOBAL.get_or_init(|| {
             let n = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4);
             ThreadPool::new(n)
         })
+    }
+
+    /// Size the process-wide pool to `num_threads` workers, before its
+    /// first use. Returns `false` (leaving the existing pool untouched)
+    /// when the global pool was already initialized — worker threads
+    /// cannot be re-spawned once handed out. Binaries call this from
+    /// their `--threads` flag handling ahead of any pool use.
+    pub fn init_global(num_threads: usize) -> bool {
+        let mut installed = false;
+        GLOBAL.get_or_init(|| {
+            installed = true;
+            ThreadPool::new(num_threads)
+        });
+        installed
     }
 
     /// Number of worker threads.

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare a perfsmoke run against the committed hot-path baseline.
+
+Usage:
+    python3 scripts/check_perf.py [CURRENT] [BASELINE]
+
+CURRENT defaults to ./BENCH_hotpath.json (written by the `perfsmoke`
+bench binary) and BASELINE to bench/baselines/hotpath.json.
+
+Gating policy
+-------------
+The simulator is deterministic, so three of the recorded metrics are
+bit-stable for a fixed seed / thread count / rep count:
+
+* ``sim_ns``       — simulated GPU time,
+* ``bytes_moved``  — global-memory traffic of every kernel,
+* ``allocs``       — heap allocations while the query ran.
+
+A >15% regression in any of those FAILS the check (exit 1): more
+simulated time means the kernel schedule got worse, more bytes means a
+kernel re-reads data it should not, and more allocations means the
+zero-allocation hot path is eroding.
+
+Wall-clock time is noisy on shared CI runners (we have measured >40%
+run-to-run swings for identical binaries), so ``wall_mean_s``
+regressions only WARN. The deterministic metrics are the contract;
+wall time is the courtesy readout.
+
+Improvements beyond 15% also WARN, as a nudge to refresh the baseline
+so the ratchet keeps holding.
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.15
+HARD_METRICS = ("sim_ns", "bytes_moved", "allocs")
+SOFT_METRICS = ("wall_mean_s",)
+
+SHAPES = {
+    "fig8": ("fresh", "pooled"),
+    "fig9": ("fresh", "pooled"),
+    "streaming": ("prefetch_off", "prefetch_on"),
+}
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main(argv):
+    current_path = argv[1] if len(argv) > 1 else "BENCH_hotpath.json"
+    baseline_path = argv[2] if len(argv) > 2 else "bench/baselines/hotpath.json"
+    current = load(current_path)
+    baseline = load(baseline_path)
+
+    failures = []
+    warnings = []
+
+    if current.get("schema") != baseline.get("schema"):
+        failures.append(
+            f"schema mismatch: current {current.get('schema')!r} "
+            f"vs baseline {baseline.get('schema')!r}"
+        )
+
+    for shape, legs in SHAPES.items():
+        cur_shape = current.get(shape)
+        base_shape = baseline.get(shape)
+        if cur_shape is None or base_shape is None:
+            failures.append(f"{shape}: missing from current or baseline")
+            continue
+        if cur_shape.get("n") != base_shape.get("n"):
+            failures.append(
+                f"{shape}: incomparable problem sizes "
+                f"(current n={cur_shape.get('n')}, baseline n={base_shape.get('n')}; "
+                f"run perfsmoke with the baseline's mode)"
+            )
+            continue
+        for leg in legs:
+            cur_leg = cur_shape.get(leg, {})
+            base_leg = base_shape.get(leg, {})
+            for metric in HARD_METRICS + SOFT_METRICS:
+                cur = cur_leg.get(metric)
+                base = base_leg.get(metric)
+                if cur is None or base is None:
+                    failures.append(f"{shape}.{leg}.{metric}: missing value")
+                    continue
+                if base == 0:
+                    continue
+                ratio = cur / base
+                tag = f"{shape}.{leg}.{metric}"
+                line = f"{tag}: {base} -> {cur} ({(ratio - 1) * 100:+.1f}%)"
+                if ratio > 1 + THRESHOLD:
+                    if metric in HARD_METRICS:
+                        failures.append(line)
+                    else:
+                        warnings.append(f"{line} [wall-clock: warn only]")
+                elif ratio < 1 - THRESHOLD:
+                    warnings.append(f"{line} [improvement: consider refreshing baseline]")
+
+    for w in warnings:
+        print(f"WARN  {w}")
+    for f in failures:
+        print(f"FAIL  {f}")
+    if failures:
+        print(f"\ncheck_perf: {len(failures)} regression(s) vs {baseline_path}")
+        return 1
+    print(f"check_perf: OK vs {baseline_path} ({len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -52,6 +52,7 @@ struct Args {
     resume: bool,
     sanitize: bool,
     sanitize_json: Option<String>,
+    threads: Option<usize>,
 }
 
 impl Default for Args {
@@ -77,6 +78,7 @@ impl Default for Args {
             resume: false,
             sanitize: false,
             sanitize_json: None,
+            threads: None,
         }
     }
 }
@@ -124,6 +126,7 @@ fn parse_args() -> Args {
             }
             "--checkpoint" => out.checkpoint = Some(val("--checkpoint")),
             "--resume" => out.resume = true,
+            "--threads" => out.threads = Some(val("--threads").parse().expect("--threads")),
             "--sanitize" => out.sanitize = true,
             "--sanitize-json" => {
                 out.sanitize = true;
@@ -148,7 +151,7 @@ const HELP: &str =
 --arch v100|k20xm|c2070 --buckets B --seed S [--breakdown] [--trace out.json] \
 [--inject-faults SEED [--fault-rate R]] [--inject-bitflips SEED [--bitflip-rate R]] \
 [--verify off|spot|paranoid] [--time-budget MS] [--checkpoint FILE [--resume]] \
-[--sanitize [--sanitize-json out.json]]";
+[--sanitize [--sanitize-json out.json]] [--threads N]";
 
 fn distribution(name: &str) -> Distribution {
     match name {
@@ -222,6 +225,14 @@ fn print_report(report: &SelectReport, breakdown: bool) {
 fn main() {
     let args = parse_args();
     let arch = by_name(&args.arch).unwrap_or_else(v100);
+    if let Some(n) = args.threads {
+        if !ThreadPool::init_global(n) {
+            eprintln!(
+                "--threads {n} ignored: global pool already initialized with {} workers",
+                ThreadPool::global().num_threads()
+            );
+        }
+    }
     let pool = ThreadPool::global();
     let spec = WorkloadSpec {
         n: args.n,

@@ -348,3 +348,143 @@ proptest! {
         prop_assert_eq!(quick, expect);
     }
 }
+
+// ---------------------------------------------------------------------
+// Zero-allocation hot path: the pooled-workspace driver must be
+// bit-identical to the fresh-allocation driver — same value, same
+// kernel schedule, same simulated timeline — on arbitrary shapes, both
+// cold and warm (reused across queries), and an injected bit flip must
+// never leak a poisoned buffer into the next query.
+// ---------------------------------------------------------------------
+
+fn trace_signature(
+    report: &gpu_selection::sampleselect::SelectReport,
+) -> Vec<(String, u64, f64, u64, u64)> {
+    report
+        .kernels
+        .iter()
+        .map(|k| {
+            (
+                k.name.clone(),
+                k.launches,
+                k.total_time.as_ns(),
+                k.cost.global_read_bytes,
+                k.cost.global_write_bytes,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pooled_workspace_matches_fresh_path(
+        data in vec(-1000i32..1000, 8..400),
+        rank_frac in 0.0f64..1.0,
+        warm_queries in 0usize..3,
+    ) {
+        use gpu_selection::sampleselect::recursion::sample_select_with_workspace;
+        use gpu_selection::sampleselect::SelectWorkspace;
+
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let cfg = small_cfg();
+        let pool = ThreadPool::new(1);
+
+        // Reference: the fresh-allocation path on a pristine device.
+        let mut fresh_dev = Device::new(v100(), &pool);
+        let fresh = sample_select_on_device(&mut fresh_dev, &data, rank, &cfg).unwrap();
+
+        // Pooled path: armed buffer pool + a workspace reused across
+        // `warm_queries` preceding queries (0 = cold first query).
+        let mut pooled_dev = Device::new(v100(), &pool);
+        pooled_dev.enable_buffer_pool();
+        let mut ws: SelectWorkspace<i32> = SelectWorkspace::new();
+        for _ in 0..warm_queries {
+            sample_select_with_workspace(&mut pooled_dev, &data, rank, &cfg, &mut ws).unwrap();
+            pooled_dev.reset();
+        }
+        let pooled =
+            sample_select_with_workspace(&mut pooled_dev, &data, rank, &cfg, &mut ws).unwrap();
+
+        prop_assert_eq!(fresh.value, pooled.value);
+        prop_assert_eq!(
+            trace_signature(&fresh.report),
+            trace_signature(&pooled.report)
+        );
+        prop_assert_eq!(fresh.report.total_time, pooled.report.total_time);
+        prop_assert_eq!(fresh.report.levels, pooled.report.levels);
+    }
+
+    #[test]
+    fn poisoned_buffers_never_leak_into_next_query(
+        data in vec(-1000i32..1000, 64..400),
+        rank_frac in 0.0f64..1.0,
+        fault_seed in 1u64..64,
+    ) {
+        use gpu_selection::gpu_sim::FaultPlan;
+        use gpu_selection::sampleselect::recursion::sample_select_with_workspace;
+        use gpu_selection::sampleselect::SelectWorkspace;
+
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let cfg = small_cfg();
+        let pool = ThreadPool::new(1);
+        let expect = reference_select(&data, rank).unwrap();
+
+        let mut device = Device::new(v100(), &pool);
+        device.enable_buffer_pool();
+        let mut ws: SelectWorkspace<i32> = SelectWorkspace::new();
+
+        // Query 1 under heavy bit-flip injection: it may detect the
+        // corruption and error, or survive — either way any corrupted
+        // pooled region is poisoned and must not reach query 2.
+        device.set_fault_plan(FaultPlan::new(fault_seed).bitflips(1.0));
+        let _ = sample_select_with_workspace(&mut device, &data, rank, &cfg, &mut ws);
+        device.clear_fault_plan();
+        device.reset();
+
+        // Query 2 on the same device/workspace/pool must be clean.
+        let second =
+            sample_select_with_workspace(&mut device, &data, rank, &cfg, &mut ws).unwrap();
+        prop_assert_eq!(second.value, expect);
+    }
+}
+
+/// Deterministic companion to the property above: with corruption
+/// guaranteed to land in a pooled region, the pool must record the
+/// quarantined drop.
+#[test]
+fn corrupted_pooled_region_is_quarantined() {
+    use gpu_selection::gpu_sim::FaultPlan;
+    use gpu_selection::sampleselect::recursion::sample_select_with_workspace;
+    use gpu_selection::sampleselect::SelectWorkspace;
+
+    let data: Vec<i32> = (0..4096)
+        .map(|i| (i * 2654435761u64 as i64 % 4096) as i32)
+        .collect();
+    let cfg = small_cfg();
+    let pool = ThreadPool::new(1);
+    let mut device = Device::new(v100(), &pool);
+    device.enable_buffer_pool();
+    let mut ws: SelectWorkspace<i32> = SelectWorkspace::new();
+
+    // Corruptible-access index 1 is the level-0 `counts` buffer (index
+    // 0 is the splitter staging buffer, which is workspace-owned): the
+    // bit flip is guaranteed to land in a pool-recycled region.
+    device.set_fault_plan(FaultPlan::new(3).corrupt_accesses_at(&[1]));
+    let _ = sample_select_with_workspace(&mut device, &data, 2048, &cfg, &mut ws);
+    device.clear_fault_plan();
+    device.reset();
+
+    let second = sample_select_with_workspace(&mut device, &data, 2048, &cfg, &mut ws).unwrap();
+    assert_eq!(
+        second.value,
+        reference_select(&data, 2048).unwrap(),
+        "query after quarantine must be exact"
+    );
+    let stats = device.buffer_pool_stats().expect("pool armed");
+    assert!(
+        stats.poisoned_dropped > 0,
+        "guaranteed corruption must quarantine the poisoned buffer, stats: {stats:?}"
+    );
+}

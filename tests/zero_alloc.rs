@@ -1,0 +1,173 @@
+//! Allocation accounting for the zero-allocation hot path.
+//!
+//! A counting `#[global_allocator]` shim proves the PR's central
+//! property: with the device buffer pool armed and a warm
+//! [`SelectWorkspace`], the steady-state recursion kernels (sample →
+//! count → reduce → filter at level >= 1) perform **zero** heap
+//! allocations, and a full driver query allocates only the bounded
+//! report-assembly footprint.
+//!
+//! Everything runs inside one `#[test]` so no sibling test thread can
+//! allocate while the counter is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use gpu_selection::gpu_sim::arch::v100;
+use gpu_selection::gpu_sim::{Device, LaunchOrigin};
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::sampleselect::count::{count_kernel_scoped, OracleBuf};
+use gpu_selection::sampleselect::filter::filter_kernel_scoped;
+use gpu_selection::sampleselect::recursion::sample_select_with_workspace;
+use gpu_selection::sampleselect::reduce::reduce_kernel;
+use gpu_selection::sampleselect::rng::SplitMix64;
+use gpu_selection::sampleselect::splitter::sample_kernel_into;
+use gpu_selection::sampleselect::{SampleSelectConfig, SelectWorkspace};
+
+/// Counts every heap allocation (and reallocation) while armed.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn counted<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let out = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (out, ALLOCS.load(Ordering::SeqCst))
+}
+
+fn uniform(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_f64() as f32).collect()
+}
+
+/// One full recursion level driven through the kernel-layer API exactly
+/// as `sample_select_with_workspace` drives it, returning the size of
+/// the filtered bucket. Every pooled buffer is recycled at the end, as
+/// the driver does between levels.
+fn one_level(
+    device: &mut Device,
+    ws: &mut SelectWorkspace<f32>,
+    data: &[f32],
+    cfg: &SampleSelectConfig,
+) -> usize {
+    // Fresh RNG per pass: identical splitters, buckets, and buffer
+    // shapes, so the warm pool always has a fitting allocation.
+    let mut rng = SplitMix64::new(cfg.seed);
+    sample_kernel_into(device, data, cfg, &mut rng, LaunchOrigin::Host, ws)
+        .expect("non-degenerate sample");
+    let tree = ws.tree().expect("tree built");
+    let count = count_kernel_scoped(
+        device,
+        data,
+        tree,
+        cfg,
+        true,
+        LaunchOrigin::Host,
+        &ws.scratch,
+    );
+    let red = reduce_kernel(device, &count, LaunchOrigin::Device);
+    let bucket = red.bucket_for_rank((data.len() / 2) as u64) as u32;
+    let out = filter_kernel_scoped(
+        device,
+        data,
+        &count,
+        &red,
+        bucket..bucket + 1,
+        cfg,
+        LaunchOrigin::Device,
+        &ws.scratch,
+    );
+    let kept = out.len();
+    device.recycle_vec("filter-out", out);
+    device.recycle_vec("counts", count.counts);
+    device.recycle_vec("count-partials", count.partials);
+    match count.oracles {
+        Some(OracleBuf::U8(v)) => device.recycle_vec("oracles", v),
+        Some(OracleBuf::U16(v)) => device.recycle_vec("oracles", v),
+        None => {}
+    }
+    device.recycle_vec("reduce-offsets", red.offsets);
+    device.recycle_vec("bucket-offsets", red.bucket_offsets);
+    kept
+}
+
+#[test]
+fn steady_state_hot_path_does_not_allocate() {
+    // Single-threaded pool: the parallel primitives run inline, so the
+    // counter observes the kernel bodies themselves rather than task
+    // spawning (which real GPU streams amortize the same way).
+    let pool = ThreadPool::new(1);
+    let mut device = Device::new(v100(), &pool);
+    device.enable_buffer_pool();
+    let cfg = SampleSelectConfig::default();
+    let data = uniform(1 << 16, 0xa110c);
+
+    let mut ws: SelectWorkspace<f32> = SelectWorkspace::new();
+
+    // Two cold passes warm the workspace, the device pool, and the
+    // record buffer's capacity.
+    let k1 = one_level(&mut device, &mut ws, &data, &cfg);
+    device.reset();
+    let k2 = one_level(&mut device, &mut ws, &data, &cfg);
+    assert_eq!(k1, k2, "identical seed must reproduce the pass");
+    device.reset();
+
+    // Steady state: an entire sample/count/reduce/filter level must not
+    // touch the heap at all.
+    let before = device.buffer_pool_stats().expect("pool armed");
+    let (k3, allocs) = counted(|| one_level(&mut device, &mut ws, &data, &cfg));
+    assert_eq!(k3, k1);
+    assert_eq!(
+        allocs, 0,
+        "steady-state recursion level allocated {allocs} times"
+    );
+    let after = device.buffer_pool_stats().expect("pool armed");
+    assert_eq!(
+        after.misses, before.misses,
+        "warm pool must serve every steady-state lease"
+    );
+    assert!(after.hits > before.hits, "the pass leased from the pool");
+
+    // Full driver query: only the bounded report-assembly footprint
+    // (kernel summaries + name strings + the tail-launch queue) may
+    // allocate once the workspace and pool are warm.
+    let r_cold = sample_select_with_workspace(&mut device, &data, 1 << 15, &cfg, &mut ws)
+        .expect("select succeeds");
+    device.reset();
+    let (r_warm, query_allocs) = counted(|| {
+        sample_select_with_workspace(&mut device, &data, 1 << 15, &cfg, &mut ws)
+            .expect("select succeeds")
+    });
+    assert_eq!(r_cold.value, r_warm.value);
+    assert!(
+        query_allocs <= 32,
+        "warm full query allocated {query_allocs} times (report assembly \
+         should need well under 32)"
+    );
+}
