@@ -29,7 +29,9 @@ use hpc_par::ThreadPool;
 use sampleselect::recursion::sample_select_with_workspace;
 use sampleselect::rng::SplitMix64;
 use sampleselect::streaming::{streaming_select, ChunkError, ChunkSource};
-use sampleselect::{sample_select_on_device, SampleSelectConfig, SelectReport, SelectWorkspace};
+use sampleselect::{
+    sample_select_on_device, ObsSession, SampleSelectConfig, SelectReport, SelectWorkspace,
+};
 use select_bench::HarnessArgs;
 use select_datagen::WorkloadSpec;
 
@@ -279,6 +281,28 @@ fn main() {
     );
     let (stream_off, stream_on) = streaming_shape(stream_n, pool, reps);
 
+    // One extra pooled query under an ObsSession, outside every clocked
+    // and allocation-counted leg, so the bench artifact carries a
+    // metrics snapshot without perturbing the regression numbers.
+    eprintln!("perfsmoke: metrics snapshot query...");
+    let metrics_json = {
+        let spec = WorkloadSpec::uniform(fig9_n, 0xf188a5e);
+        let w = spec.instantiate::<f32>(0);
+        let mut device = Device::new(v100(), pool);
+        device.enable_buffer_pool();
+        let session = ObsSession::start();
+        let _ = sample_select_on_device(
+            &mut device,
+            &w.data,
+            w.rank,
+            &SampleSelectConfig::default().with_seed(500),
+        )
+        .expect("metrics query");
+        let report = session.finish();
+        // Indent the snapshot so it nests cleanly in the artifact.
+        report.snapshot.to_json().trim_end().replace('\n', "\n  ")
+    };
+
     let speedup8 = fig8_fresh.wall_mean_s / fig8_pooled.wall_mean_s;
     let speedup9 = fig9_fresh.wall_mean_s / fig9_pooled.wall_mean_s;
     let stream_speedup = stream_off.wall_mean_s / stream_on.wall_mean_s;
@@ -288,7 +312,8 @@ fn main() {
         "{{\n  \"schema\": \"perfsmoke-v1\",\n  \"reps\": {reps},\n  \"threads\": {},\n  \
          \"fig8\": {{\"n\": {fig8_n}, \"fresh\": {}, \"pooled\": {}, \"wall_speedup\": {speedup8:.3}, \"alloc_ratio\": {alloc_ratio8:.1}}},\n  \
          \"fig9\": {{\"n\": {fig9_n}, \"fresh\": {}, \"pooled\": {}, \"wall_speedup\": {speedup9:.3}}},\n  \
-         \"streaming\": {{\"n\": {stream_n}, \"prefetch_off\": {}, \"prefetch_on\": {}, \"wall_speedup\": {stream_speedup:.3}}}\n}}\n",
+         \"streaming\": {{\"n\": {stream_n}, \"prefetch_off\": {}, \"prefetch_on\": {}, \"wall_speedup\": {stream_speedup:.3}}},\n  \
+         \"metrics\": {metrics_json}\n}}\n",
         pool.num_threads(),
         leg_json(&fig8_fresh),
         leg_json(&fig8_pooled),

@@ -2,7 +2,74 @@
 //! measurements (throughput plots of Fig. 7/8, the per-kernel runtime
 //! breakdown of Fig. 9) from a single selection run.
 
+use std::fmt;
+
 use gpu_sim::{KernelRecord, KernelSummary, SimTime};
+
+use crate::obs::{self, Counter};
+
+/// One resilience action, as structured data. The variant is the event
+/// kind; the payload is the human-readable detail.
+///
+/// `Display` reproduces the exact `"kind: detail"` lines the log used
+/// to hold as plain strings, so text output (selectcli, examples) and
+/// the robustness-bench CSVs are byte-identical to before.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilienceEvent {
+    /// Retry of a failed step (kernel launch or chunk load).
+    Retry(String),
+    /// Switch to a different backend.
+    Fallback(String),
+    /// Exact→approximate degradation under a time budget.
+    Degrade(String),
+    /// Observed device fault.
+    Fault(String),
+    /// Silent corruption caught by a verification check.
+    Corruption(String),
+    /// Final answer passed an exact rank certificate.
+    Certified(String),
+    /// Streaming run resumed from a checkpoint.
+    Resumed(String),
+    /// Checkpoint bookkeeping note (no counter attached — e.g. an
+    /// unwritable or unreadable checkpoint file).
+    Checkpoint(String),
+}
+
+impl ResilienceEvent {
+    /// The event-kind prefix used in the text rendering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ResilienceEvent::Retry(_) => "retry",
+            ResilienceEvent::Fallback(_) => "fallback",
+            ResilienceEvent::Degrade(_) => "degrade",
+            ResilienceEvent::Fault(_) => "fault",
+            ResilienceEvent::Corruption(_) => "corruption",
+            ResilienceEvent::Certified(_) => "certified",
+            ResilienceEvent::Resumed(_) => "resumed",
+            ResilienceEvent::Checkpoint(_) => "checkpoint",
+        }
+    }
+
+    /// The free-form detail payload.
+    pub fn detail(&self) -> &str {
+        match self {
+            ResilienceEvent::Retry(d)
+            | ResilienceEvent::Fallback(d)
+            | ResilienceEvent::Degrade(d)
+            | ResilienceEvent::Fault(d)
+            | ResilienceEvent::Corruption(d)
+            | ResilienceEvent::Certified(d)
+            | ResilienceEvent::Resumed(d)
+            | ResilienceEvent::Checkpoint(d) => d,
+        }
+    }
+}
+
+impl fmt::Display for ResilienceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.detail())
+    }
+}
 
 /// What the resilience layer had to do to produce a result: every
 /// retry, algorithm fallback, and accuracy degradation, in order.
@@ -28,60 +95,86 @@ pub struct ResilienceEvents {
     pub certified: u32,
     /// Streaming runs resumed from a checkpoint instead of restarting.
     pub resumed: u32,
-    /// Human-readable event log, one entry per resilience action.
-    pub log: Vec<String>,
+    /// Structured event log, one entry per resilience action, in order.
+    /// Render entries with `Display` for the legacy text lines.
+    pub log: Vec<ResilienceEvent>,
 }
 
 impl ResilienceEvents {
     /// Record a retry, with a reason line for the log.
     pub fn retry(&mut self, detail: impl Into<String>) {
         self.retries += 1;
-        self.log.push(format!("retry: {}", detail.into()));
+        obs::counter_add(Counter::Retries, 1);
+        self.log.push(ResilienceEvent::Retry(detail.into()));
     }
 
     /// Record a backend fallback.
     pub fn fallback(&mut self, detail: impl Into<String>) {
         self.fallbacks += 1;
-        self.log.push(format!("fallback: {}", detail.into()));
+        obs::counter_add(Counter::Fallbacks, 1);
+        self.log.push(ResilienceEvent::Fallback(detail.into()));
     }
 
     /// Record an exact→approximate degradation.
     pub fn degrade(&mut self, detail: impl Into<String>) {
         self.degradations += 1;
-        self.log.push(format!("degrade: {}", detail.into()));
+        obs::counter_add(Counter::Degradations, 1);
+        self.log.push(ResilienceEvent::Degrade(detail.into()));
     }
 
     /// Record an observed device fault.
     pub fn fault(&mut self, detail: impl Into<String>) {
         self.faults_observed += 1;
-        self.log.push(format!("fault: {}", detail.into()));
+        obs::counter_add(Counter::FaultsObserved, 1);
+        self.log.push(ResilienceEvent::Fault(detail.into()));
     }
 
     /// Record a silent corruption caught by a verification check.
     pub fn corruption(&mut self, detail: impl Into<String>) {
         self.corruptions_detected += 1;
-        self.log.push(format!("corruption: {}", detail.into()));
+        obs::counter_add(Counter::CorruptionsDetected, 1);
+        self.log.push(ResilienceEvent::Corruption(detail.into()));
     }
 
     /// Record a successful rank certification of the final answer.
     pub fn certify(&mut self, detail: impl Into<String>) {
         self.certified += 1;
-        self.log.push(format!("certified: {}", detail.into()));
+        obs::counter_add(Counter::Certified, 1);
+        self.log.push(ResilienceEvent::Certified(detail.into()));
     }
 
     /// Record a streaming run resumed from a checkpoint.
     pub fn resume(&mut self, detail: impl Into<String>) {
         self.resumed += 1;
-        self.log.push(format!("resumed: {}", detail.into()));
+        obs::counter_add(Counter::Resumed, 1);
+        self.log.push(ResilienceEvent::Resumed(detail.into()));
     }
 
-    /// Whether the run needed any resilience action at all.
+    /// Record a checkpoint bookkeeping note. Logged but not counted — a
+    /// failed checkpoint write degrades durability, not the result.
+    pub fn checkpoint_note(&mut self, detail: impl Into<String>) {
+        self.log.push(ResilienceEvent::Checkpoint(detail.into()));
+    }
+
+    /// Whether the run needed any resilience action at all. Every
+    /// counted event disqualifies a run from being clean — including
+    /// observed faults, detected corruptions, and checkpoint resumes
+    /// (a run that hit silent corruption is *not* clean even if a retry
+    /// was never needed). Certification is the one exception: it is a
+    /// verification success, not a recovery action.
     pub fn is_clean(&self) -> bool {
-        self.retries == 0 && self.fallbacks == 0 && self.degradations == 0
+        self.retries == 0
+            && self.fallbacks == 0
+            && self.degradations == 0
+            && self.faults_observed == 0
+            && self.corruptions_detected == 0
+            && self.resumed == 0
     }
 
     /// Fold another event set into this one (streaming runs merge the
-    /// per-chunk retry counts into the final report).
+    /// per-chunk retry counts into the final report). Does not touch the
+    /// metrics registry — the folded events were already counted when
+    /// they were first recorded.
     pub fn merge(&mut self, other: &ResilienceEvents) {
         self.retries += other.retries;
         self.fallbacks += other.fallbacks;
@@ -125,6 +218,12 @@ impl SelectReport {
         levels: u32,
         terminated_early: bool,
     ) -> Self {
+        // Every driver (including nested ones) funnels through here, so
+        // this is the one place query-level counters are bumped.
+        obs::counter_add(Counter::Queries, 1);
+        obs::counter_add(Counter::RecursionLevels, levels as u64);
+        obs::counter_add(Counter::EqualityBucketExits, terminated_early as u64);
+
         let total_time: SimTime = records.iter().map(|r| r.duration + r.launch_overhead).sum();
         let launch_overhead: SimTime = records.iter().map(|r| r.launch_overhead).sum();
 
@@ -286,7 +385,10 @@ mod tests {
         assert_eq!(events.fallbacks, 1);
         assert_eq!(events.faults_observed, 1);
         assert_eq!(events.log.len(), 3);
-        assert!(events.log[0].starts_with("fault:"));
+        assert_eq!(
+            events.log[0].to_string(),
+            "fault: launch-failure in `count`"
+        );
 
         let mut other = ResilienceEvents::default();
         other.degrade("time budget exceeded");
@@ -299,11 +401,73 @@ mod tests {
         assert_eq!(events.certified, 1);
         assert_eq!(events.resumed, 1);
         assert_eq!(events.log.len(), 7);
-        assert!(other.log[1].starts_with("corruption:"));
-        assert!(other.log[2].starts_with("certified:"));
-        assert!(other.log[3].starts_with("resumed:"));
+        assert!(other.log[1].to_string().starts_with("corruption:"));
+        assert!(other.log[2].to_string().starts_with("certified:"));
+        assert!(other.log[3].to_string().starts_with("resumed:"));
 
         let report = report.with_resilience(events.clone());
         assert_eq!(report.resilience, events);
+    }
+
+    /// Regression test: `is_clean()` used to consider only retries,
+    /// fallbacks, and degradations — a run that observed a fault, caught
+    /// a silent corruption, or resumed from a checkpoint still reported
+    /// itself clean. Pin that every recovery counter disqualifies.
+    #[test]
+    fn is_clean_considers_every_recovery_counter() {
+        type Recorder = fn(&mut ResilienceEvents);
+        let dirty: [(&str, Recorder); 6] = [
+            ("retry", |e| e.retry("x")),
+            ("fallback", |e| e.fallback("x")),
+            ("degrade", |e| e.degrade("x")),
+            ("fault", |e| e.fault("x")),
+            ("corruption", |e| e.corruption("x")),
+            ("resume", |e| e.resume("x")),
+        ];
+        for (name, record) in dirty {
+            let mut events = ResilienceEvents::default();
+            record(&mut events);
+            assert!(!events.is_clean(), "`{name}` must not count as clean");
+        }
+        // certification is a verification success, not a recovery; a
+        // checkpoint note is bookkeeping — neither dirties the run
+        let mut events = ResilienceEvents::default();
+        events.certify("rank 5 in [4, 6)");
+        events.checkpoint_note("write to `cp` failed (disk full)");
+        assert!(events.is_clean());
+        assert_eq!(events.log.len(), 2);
+        assert_eq!(
+            events.log[1].to_string(),
+            "checkpoint: write to `cp` failed (disk full)"
+        );
+    }
+
+    #[test]
+    fn event_display_matches_legacy_log_lines() {
+        let mut events = ResilienceEvents::default();
+        events.retry("re-seeded");
+        events.fallback("a -> b");
+        events.degrade("budget");
+        events.fault("boom");
+        events.corruption("sum mismatch");
+        events.certify("ok");
+        events.resume("chunk 3");
+        events.checkpoint_note("note");
+        let lines: Vec<String> = events.log.iter().map(|e| e.to_string()).collect();
+        assert_eq!(
+            lines,
+            [
+                "retry: re-seeded",
+                "fallback: a -> b",
+                "degrade: budget",
+                "fault: boom",
+                "corruption: sum mismatch",
+                "certified: ok",
+                "resumed: chunk 3",
+                "checkpoint: note",
+            ]
+        );
+        assert_eq!(events.log[0].kind(), "retry");
+        assert_eq!(events.log[0].detail(), "re-seeded");
     }
 }

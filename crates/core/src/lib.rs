@@ -43,6 +43,7 @@ pub mod filter;
 pub mod instrument;
 pub mod kv;
 pub mod multiselect;
+pub mod obs;
 pub mod params;
 pub mod quickselect;
 pub mod recursion;
@@ -60,9 +61,10 @@ pub mod workspace;
 
 pub use approx::{approx_select, approx_select_on_device, ApproxResult};
 pub use element::SelectElement;
-pub use instrument::{ResilienceEvents, SelectReport};
+pub use instrument::{ResilienceEvent, ResilienceEvents, SelectReport};
 pub use kv::{zip_pairs, Pair};
 pub use multiselect::{multi_select, multi_select_on_device, quantiles, MultiSelectResult};
+pub use obs::{MetricsRegistry, MetricsSnapshot, ObsReport, ObsSession, QuerySpan, SpanKind};
 pub use params::{AtomicScope, ConfigError, SampleSelectConfig};
 pub use quickselect::{bipartition_on_device, quick_select, quick_select_on_device};
 pub use recursion::{sample_select_on_device, sample_select_with_workspace};

@@ -13,6 +13,7 @@ use crate::count::count_kernel_scoped;
 use crate::element::SelectElement;
 use crate::filter::filter_kernel_scoped;
 use crate::instrument::SelectReport;
+use crate::obs::{self, Histogram, SpanKind};
 use crate::params::SampleSelectConfig;
 use crate::recursion::{base_case_select_with, recycle_level, validate_input};
 use crate::reduce::reduce_kernel;
@@ -78,6 +79,7 @@ pub fn multi_select_with_workspace<T: SelectElement>(
 
     let n = data.len();
     let records_before = device.records().len();
+    obs::span_enter(SpanKind::Query, "multiselect", 0, device.now().as_ns());
     let mut rng = SplitMix64::new(cfg.seed);
     let mut results: Vec<Option<T>> = vec![None; ranks.len()];
     let mut levels = 0u32;
@@ -107,6 +109,12 @@ pub fn multi_select_with_workspace<T: SelectElement>(
             return Err(SelectError::RecursionLimit);
         }
         levels = levels.max(level + 1);
+        obs::span_enter(
+            SpanKind::Level,
+            "segment",
+            level as u64,
+            device.now().as_ns(),
+        );
 
         if cur.len() <= cfg.base_case_size.max(cfg.sample_size()) {
             // One sort answers every query of the segment (the bitonic
@@ -120,6 +128,7 @@ pub fn multi_select_with_workspace<T: SelectElement>(
                 results[qi] = Some(base[rank]);
             }
             device.recycle_vec("filter-out", seg_data);
+            obs::span_exit(device.now().as_ns());
             continue;
         }
 
@@ -172,12 +181,20 @@ pub fn multi_select_with_workspace<T: SelectElement>(
         }
         device.recycle_vec("filter-out", seg_data);
         recycle_level(device, count, red);
+        obs::observe(
+            Histogram::LevelKeptElements,
+            pending.iter().map(|s| s.data.len() as u64).sum(),
+        );
+        obs::span_exit(device.now().as_ns());
     }
 
     let values = results
         .into_iter()
         .map(|v| v.expect("every query resolved"))
         .collect();
+    obs::absorb_device(device);
+    obs::pool_sample(device);
+    obs::span_exit(device.now().as_ns());
     let report = SelectReport::from_records(
         "multiselect",
         n,

@@ -21,6 +21,7 @@
 use crate::bitonic::bitonic_sort;
 use crate::element::SelectElement;
 use crate::instrument::SelectReport;
+use crate::obs::{self, Histogram, SpanKind};
 use crate::params::{AtomicScope, SampleSelectConfig};
 use crate::recursion::{base_case_select, validate_input};
 use crate::rng::SplitMix64;
@@ -303,6 +304,7 @@ pub fn quick_select_on_device<T: SelectElement>(
 
     let n = data.len();
     let records_before = device.records().len();
+    obs::span_enter(SpanKind::Query, "quickselect", 0, device.now().as_ns());
     let mut rng = SplitMix64::new(cfg.seed);
     let max_levels = cfg.max_levels.unwrap_or(MAX_LEVELS).min(MAX_LEVELS);
     let work_budget: Option<f64> = cfg.work_budget_factor.map(|f| f * n as f64);
@@ -336,6 +338,8 @@ pub fn quick_select_on_device<T: SelectElement>(
             }
         }
         levels += 1;
+        let level_ix = (levels - 1) as u64;
+        obs::span_enter(SpanKind::Level, "level", level_ix, device.now().as_ns());
 
         let pivot = pivot_kernel(device, cur, cfg, &mut rng, origin);
         let counts = quick_count_kernel(device, cur, pivot, cfg, LaunchOrigin::Device);
@@ -347,6 +351,7 @@ pub fn quick_select_on_device<T: SelectElement>(
             // without even writing the partition.
             value = pivot;
             terminated_early = true;
+            obs::span_exit(device.now().as_ns());
             break;
         }
 
@@ -358,9 +363,13 @@ pub fn quick_select_on_device<T: SelectElement>(
             storage = partitioned[smaller + equal..].to_vec();
             k -= smaller + equal;
         }
+        obs::observe(Histogram::LevelKeptElements, storage.len() as u64);
+        obs::span_exit(device.now().as_ns());
         use_storage = true;
     }
 
+    obs::absorb_device(device);
+    obs::span_exit(device.now().as_ns());
     let report = SelectReport::from_records(
         "quickselect",
         n,

@@ -14,6 +14,7 @@ use crate::count::{count_kernel_scoped, CountResult, OracleBuf};
 use crate::element::SelectElement;
 use crate::filter::filter_kernel_scoped;
 use crate::instrument::SelectReport;
+use crate::obs::{self, Gauge, Histogram, SpanKind, Track};
 use crate::params::SampleSelectConfig;
 use crate::reduce::{reduce_kernel, ReduceResult};
 use crate::rng::SplitMix64;
@@ -176,6 +177,7 @@ pub fn sample_select_with_workspace<T: SelectElement>(
 
     let n = data.len();
     let records_before = device.records().len();
+    obs::span_enter(SpanKind::Query, "sampleselect", 0, device.now().as_ns());
     let mut rng = SplitMix64::new(cfg.seed);
     let max_levels = cfg.max_levels.unwrap_or(MAX_LEVELS).min(MAX_LEVELS);
     let work_budget: Option<f64> = cfg.work_budget_factor.map(|f| f * n as f64);
@@ -202,10 +204,17 @@ pub fn sample_select_with_workspace<T: SelectElement>(
         debug_assert!(k < cur.len());
 
         if cur.len() <= cfg.base_case_size.max(cfg.sample_size()) {
+            obs::span_enter(
+                SpanKind::Kernel,
+                "base_sort",
+                task.level as u64,
+                device.now().as_ns(),
+            );
             let SelectWorkspace {
                 base, sort_scratch, ..
             } = &mut *ws;
             let value = base_case_select_with(device, cur, k, cfg, origin, base, sort_scratch);
+            obs::span_exit(device.now().as_ns());
             outcome = Some((value, false));
             break;
         }
@@ -222,17 +231,40 @@ pub fn sample_select_with_workspace<T: SelectElement>(
             }
         }
         levels += 1;
+        let level_ix = task.level as u64;
+        obs::span_enter(SpanKind::Level, "level", level_ix, device.now().as_ns());
 
         // Splitter order is checked inside `sample_kernel` (always on:
         // an unsorted tree is unusable, not merely inaccurate).
+        obs::span_enter(SpanKind::Kernel, "sample", level_ix, device.now().as_ns());
         sample_kernel_into(device, cur, cfg, &mut rng, origin, ws)?;
+        obs::span_exit(device.now().as_ns());
         let tree = ws.tree().expect("sample_kernel_into built a tree");
+        obs::span_enter(SpanKind::Kernel, "count", level_ix, device.now().as_ns());
         let count = count_kernel_scoped(device, cur, tree, cfg, true, origin, &ws.scratch);
+        obs::span_exit(device.now().as_ns());
+        if obs::enabled() {
+            // Derived samples computed only when a session is installed
+            // (the occupancy scan would otherwise be pure overhead).
+            let ts_us = device.now().as_us();
+            let occupied = count.counts.iter().filter(|&&c| c != 0).count() as u64;
+            obs::gauge_set(Gauge::BucketOccupancy, occupied);
+            obs::track_sample(Track::BucketOccupancy, ts_us, occupied as f64);
+            if let Some(rec) = device.records().last() {
+                let replays = rec.cost.shared_atomic_replays * 1_000_000;
+                if let Some(ppm) = replays.checked_div(rec.cost.shared_atomic_warp_ops) {
+                    obs::gauge_set(Gauge::AtomicCollisionRatePpm, ppm);
+                    obs::track_sample(Track::AtomicCollisionRate, ts_us, ppm as f64 / 1e6);
+                }
+            }
+        }
         if cfg.verify.spot_checks() {
             check_histogram(&count.counts, cur.len())?;
         }
+        obs::span_enter(SpanKind::Kernel, "reduce", level_ix, device.now().as_ns());
         let red = reduce_kernel(device, &count, LaunchOrigin::Device);
         select_bucket_kernel(device, tree.num_buckets(), LaunchOrigin::Device);
+        obs::span_exit(device.now().as_ns());
 
         let bucket = red.bucket_for_rank(k as u64);
         if red.bucket_size(bucket) == 0 {
@@ -250,10 +282,12 @@ pub fn sample_select_with_workspace<T: SelectElement>(
             // splitter — terminate early.
             outcome = Some((tree.equality_value(bucket), true));
             recycle_level(device, count, red);
+            obs::span_exit(device.now().as_ns());
             break;
         }
 
         let bucket_u32 = bucket as u32;
+        obs::span_enter(SpanKind::Kernel, "filter", level_ix, device.now().as_ns());
         let next = filter_kernel_scoped(
             device,
             cur,
@@ -264,6 +298,8 @@ pub fn sample_select_with_workspace<T: SelectElement>(
             LaunchOrigin::Device,
             &ws.scratch,
         );
+        obs::span_exit(device.now().as_ns());
+        obs::observe(Histogram::LevelKeptElements, next.len() as u64);
         if cfg.verify.spot_checks() {
             check_filter_size(next.len(), red.bucket_size(bucket))?;
         }
@@ -285,6 +321,7 @@ pub fn sample_select_with_workspace<T: SelectElement>(
         let prev = std::mem::replace(&mut storage, next);
         device.recycle_vec("filter-out", prev);
         recycle_level(device, count, red);
+        obs::span_exit(device.now().as_ns());
         use_storage = true;
         queue.push(LevelTask {
             rank: next_rank,
@@ -295,6 +332,10 @@ pub fn sample_select_with_workspace<T: SelectElement>(
     // The last level's filtered bucket goes back to the pool for the
     // next query.
     device.recycle_vec("filter-out", storage);
+
+    obs::absorb_device(device);
+    obs::pool_sample(device);
+    obs::span_exit(device.now().as_ns());
 
     let (value, terminated_early) = outcome.expect("recursion ended without producing a value");
     let report = SelectReport::from_records(

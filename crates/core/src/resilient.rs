@@ -30,6 +30,7 @@
 use crate::approx::approx_select_on_device;
 use crate::element::{reference_select, SelectElement};
 use crate::instrument::{ResilienceEvents, SelectReport};
+use crate::obs::{self, SpanKind};
 use crate::params::SampleSelectConfig;
 use crate::quickselect::quick_select_on_device;
 use crate::recursion::{sample_select_on_device, validate_input};
@@ -226,6 +227,8 @@ pub fn resilient_select_on_device<T: SelectElement>(
 
     let n = data.len();
     let records_before = device.records().len();
+    let outer_depth = obs::span_depth();
+    obs::span_enter(SpanKind::Query, "resilient", 0, device.now().as_ns());
     let mut events = ResilienceEvents::default();
     // Don't let a fault latched by earlier, unrelated work on this
     // device masquerade as ours.
@@ -250,6 +253,7 @@ pub fn resilient_select_on_device<T: SelectElement>(
         let mut attempt = 0u32;
         loop {
             if over_deadline(device) {
+                obs::span_close_to(outer_depth, device.now().as_ns());
                 return degrade_to_approx(
                     device,
                     data,
@@ -267,6 +271,13 @@ pub fn resilient_select_on_device<T: SelectElement>(
                 retry_seed(base_cfg.seed, backend, attempt)
             });
 
+            let attempt_depth = obs::span_depth();
+            obs::span_enter(
+                SpanKind::Attempt,
+                backend.name(),
+                attempt as u64,
+                device.now().as_ns(),
+            );
             let result: Result<SelectResult<T>, SelectError> = match backend {
                 Backend::SampleSelect => sample_select_on_device(device, data, rank, &attempt_cfg),
                 Backend::QuickSelect => quick_select_on_device(device, data, rank, &attempt_cfg),
@@ -289,6 +300,9 @@ pub fn resilient_select_on_device<T: SelectElement>(
             if let Some(f) = &fault {
                 events.fault(f.to_string());
             }
+            // Close the attempt span, unwinding any spans a failed
+            // inner driver left open.
+            obs::span_close_to(attempt_depth, device.now().as_ns());
 
             match (result, fault) {
                 (Ok(inner), None) => {
@@ -331,6 +345,9 @@ pub fn resilient_select_on_device<T: SelectElement>(
                             Err(e) => return Err(e),
                         }
                     }
+                    obs::absorb_device(device);
+                    obs::pool_sample(device);
+                    obs::span_close_to(outer_depth, device.now().as_ns());
                     let report = SelectReport::from_records(
                         backend.report_label(),
                         n,
@@ -408,6 +425,8 @@ fn degrade_to_approx<T: SelectElement>(
     if let Some(f) = &fault {
         events.fault(f.to_string());
     }
+    obs::absorb_device(device);
+    obs::pool_sample(device);
     match (approx, fault) {
         (Ok(a), None) => {
             let report = SelectReport::from_records(
@@ -482,6 +501,13 @@ pub fn resilient_streaming_select<T: SelectElement, S: ChunkSource<T>>(
     }
 
     let records_before = device.records().len();
+    let outer_depth = obs::span_depth();
+    obs::span_enter(
+        SpanKind::Query,
+        "resilient-streaming",
+        0,
+        device.now().as_ns(),
+    );
     let mut events = ResilienceEvents::default();
     device.take_fault();
 
@@ -500,6 +526,7 @@ pub fn resilient_streaming_select<T: SelectElement, S: ChunkSource<T>>(
     let fallback_reason: String;
     loop {
         if over_deadline(device) {
+            obs::span_close_to(outer_depth, device.now().as_ns());
             let data = materialize(source)?;
             return degrade_to_approx(
                 device,
@@ -517,11 +544,19 @@ pub fn resilient_streaming_select<T: SelectElement, S: ChunkSource<T>>(
             retry_seed(base_cfg.seed, Backend::SampleSelect, attempt)
         });
 
+        let attempt_depth = obs::span_depth();
+        obs::span_enter(
+            SpanKind::Attempt,
+            "streaming",
+            attempt as u64,
+            device.now().as_ns(),
+        );
         let result = streaming_select(device, source, rank, &attempt_cfg);
         let fault = device.take_fault();
         if let Some(f) = &fault {
             events.fault(f.to_string());
         }
+        obs::span_close_to(attempt_depth, device.now().as_ns());
 
         match (result, fault) {
             (Ok(res), None) => {
@@ -562,6 +597,9 @@ pub fn resilient_streaming_select<T: SelectElement, S: ChunkSource<T>>(
                 // Keep the chunk-level retries the streaming driver
                 // already recorded.
                 events.merge(&res.report.resilience);
+                obs::absorb_device(device);
+                obs::pool_sample(device);
+                obs::span_close_to(outer_depth, device.now().as_ns());
                 let report = SelectReport::from_records(
                     "resilient-streaming",
                     n,
@@ -624,6 +662,9 @@ pub fn resilient_streaming_select<T: SelectElement, S: ChunkSource<T>>(
     let data = materialize(source)?;
     let value =
         reference_select(&data, rank).expect("validated input always has a rank-th element");
+    obs::absorb_device(device);
+    obs::pool_sample(device);
+    obs::span_close_to(outer_depth, device.now().as_ns());
     let report = SelectReport::from_records(
         Backend::CpuSort.report_label(),
         n,

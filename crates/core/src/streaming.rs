@@ -32,6 +32,7 @@
 use crate::count::count_kernel_scoped;
 use crate::element::SelectElement;
 use crate::instrument::{ResilienceEvents, SelectReport};
+use crate::obs::{self, Counter, Histogram, SpanKind};
 use crate::params::SampleSelectConfig;
 use crate::recursion::{recycle_count, sample_select_on_device};
 use crate::rng::SplitMix64;
@@ -128,7 +129,11 @@ fn load_chunk_with_retry<T, S: ChunkSource<T>>(
     };
     loop {
         match attempt {
-            Ok(chunk) => return Ok(chunk),
+            Ok(chunk) => {
+                obs::counter_add(Counter::StreamingChunks, 1);
+                obs::observe(Histogram::ChunkLoadRetries, retries as u64);
+                return Ok(chunk);
+            }
             Err(err) => {
                 if !err.transient || retries >= CHUNK_MAX_RETRIES {
                     return Err(SelectError::ChunkLoad(err));
@@ -470,10 +475,7 @@ fn save_checkpoint<T: SelectElement>(
     let tmp = path.with_extension("ckpt-tmp");
     let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, path));
     if let Err(err) = result {
-        events.log.push(format!(
-            "checkpoint: write to `{}` failed ({err})",
-            path.display()
-        ));
+        events.checkpoint_note(format!("write to `{}` failed ({err})", path.display()));
     }
 }
 
@@ -531,6 +533,12 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
         return Err(SelectError::RankOutOfRange { rank, len: n });
     }
     let records_before = device.records().len();
+    obs::span_enter(
+        SpanKind::Query,
+        "streaming-sampleselect",
+        0,
+        device.now().as_ns(),
+    );
     let mut events = ResilienceEvents::default();
     let b = cfg.num_buckets;
     let fp = Fingerprint {
@@ -564,8 +572,8 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
                     }
                 },
                 Err(err) => {
-                    events.log.push(format!(
-                        "checkpoint: `{}` unreadable ({err}); clean restart",
+                    events.checkpoint_note(format!(
+                        "`{}` unreadable ({err}); clean restart",
                         path.display()
                     ));
                 }
@@ -580,6 +588,12 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
         let s = cfg.sample_size().max(b);
         let mut sample = std::mem::take(&mut state.sample);
         for c in (state.next_chunk as usize)..source.num_chunks() {
+            obs::span_enter(
+                SpanKind::Chunk,
+                "sample_pass",
+                c as u64,
+                device.now().as_ns(),
+            );
             let chunk = load_chunk_with_retry(device, source, c, None, &mut events)?;
             if !chunk.is_empty() {
                 // proportional share, at least 1 to represent the chunk
@@ -593,6 +607,7 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
             state.sample = sample;
             save_checkpoint(checkpoint, &fp, &state, &mut events);
             sample = std::mem::take(&mut state.sample);
+            obs::span_exit(device.now().as_ns());
         }
         let mut cost = KernelCost::new();
         cost.blocks = 1;
@@ -642,6 +657,12 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
             vec![0u64; b]
         };
         for c in (state.next_chunk as usize)..num_chunks {
+            obs::span_enter(
+                SpanKind::Chunk,
+                "count_pass",
+                c as u64,
+                device.now().as_ns(),
+            );
             let chunk = load_chunk_with_retry(device, source, c, staged.take(), &mut events)?;
             let mut count_chunk = |device: &mut Device| {
                 if chunk.is_empty() {
@@ -675,6 +696,7 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
             state.counts = counts;
             save_checkpoint(checkpoint, &fp, &state, &mut events);
             counts = std::mem::take(&mut state.counts);
+            obs::span_exit(device.now().as_ns());
         }
         state.phase = PHASE_FILTER;
         state.next_chunk = 0;
@@ -718,6 +740,9 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
     if tree.is_equality_bucket(bucket) {
         device.recycle_vec("stream-offsets", offsets);
         delete_checkpoint(checkpoint);
+        obs::absorb_device(device);
+        obs::pool_sample(device);
+        obs::span_exit(device.now().as_ns());
         let report = SelectReport::from_records(
             "streaming-sampleselect",
             n,
@@ -745,6 +770,12 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
         let num_chunks = source.num_chunks();
         let mut staged: Option<Result<Vec<T>, ChunkError>> = None;
         for c in (state.next_chunk as usize)..num_chunks {
+            obs::span_enter(
+                SpanKind::Chunk,
+                "filter_pass",
+                c as u64,
+                device.now().as_ns(),
+            );
             let chunk = load_chunk_with_retry(device, source, c, staged.take(), &mut events)?;
             let mut filter_chunk = |device: &mut Device| {
                 if chunk.is_empty() {
@@ -780,6 +811,7 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
             state.kept = kept;
             save_checkpoint(checkpoint, &fp, &state, &mut events);
             kept = std::mem::take(&mut state.kept);
+            obs::span_exit(device.now().as_ns());
         }
     }
     if cfg.verify.spot_checks() {
@@ -803,6 +835,9 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
     // Finish in memory.
     let inner: SelectResult<T> = sample_select_on_device(device, &kept, sub_rank, cfg)?;
     delete_checkpoint(checkpoint);
+    obs::absorb_device(device);
+    obs::pool_sample(device);
+    obs::span_exit(device.now().as_ns());
     let report = SelectReport::from_records(
         "streaming-sampleselect",
         n,
@@ -822,6 +857,7 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
 mod tests {
     use super::*;
     use crate::element::reference_select;
+    use crate::instrument::ResilienceEvent;
     use gpu_sim::arch::v100;
     use hpc_par::ThreadPool;
 
@@ -981,13 +1017,13 @@ mod tests {
         .unwrap();
         assert_eq!(res.value, reference_select(&data, 1 << 16).unwrap());
         assert_eq!(res.report.resilience.retries, 2);
-        assert!(res.report.resilience.log[0].contains("chunk 2"));
+        let line = res.report.resilience.log[0].to_string();
+        assert!(line.contains("chunk 2"));
         // the diagnostics identify the source and the byte position
-        assert!(res.report.resilience.log[0].contains("flaky-shards"));
+        assert!(line.contains("flaky-shards"));
         assert!(
-            res.report.resilience.log[0].contains(&format!("at byte {}", (2 << 15) * 4)),
-            "log line: {}",
-            res.report.resilience.log[0]
+            line.contains(&format!("at byte {}", (2 << 15) * 4)),
+            "log line: {line}"
         );
         // backoff advanced the simulated clock
         assert!(device.now() > SimTime::ZERO);
@@ -1141,7 +1177,7 @@ mod tests {
             .resilience
             .log
             .iter()
-            .any(|l| l.starts_with("resumed:")));
+            .any(|l| matches!(l, ResilienceEvent::Resumed(_))));
         assert!(!path.exists(), "checkpoint deleted after success");
     }
 
@@ -1166,7 +1202,7 @@ mod tests {
             .resilience
             .log
             .iter()
-            .any(|l| l.starts_with("corruption: checkpoint")));
+            .any(|l| l.to_string().starts_with("corruption: checkpoint")));
         assert!(!path.exists(), "checkpoint deleted after success");
     }
 

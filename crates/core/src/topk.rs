@@ -11,6 +11,7 @@ use crate::count::count_kernel_scoped;
 use crate::element::SelectElement;
 use crate::filter::filter_kernel_scoped;
 use crate::instrument::SelectReport;
+use crate::obs::{self, Histogram, SpanKind};
 use crate::params::SampleSelectConfig;
 use crate::recursion::{base_case_select_with, recycle_level, validate_input};
 use crate::reduce::reduce_kernel;
@@ -66,6 +67,12 @@ pub fn top_k_largest_with_workspace<T: SelectElement>(
 
     let n = data.len();
     let records_before = device.records().len();
+    obs::span_enter(
+        SpanKind::Query,
+        "topk-sampleselect",
+        0,
+        device.now().as_ns(),
+    );
     let mut rng = SplitMix64::new(cfg.seed);
 
     // `collected` accumulates elements already known to be in the top-k
@@ -99,6 +106,12 @@ pub fn top_k_largest_with_workspace<T: SelectElement>(
             break;
         }
         levels += 1;
+        obs::span_enter(
+            SpanKind::Level,
+            "level",
+            (levels - 1) as u64,
+            device.now().as_ns(),
+        );
 
         sample_kernel_into(device, slice, cfg, &mut rng, origin, ws)?;
         let tree = ws.tree().expect("sample_kernel_into built a tree");
@@ -134,6 +147,7 @@ pub fn top_k_largest_with_workspace<T: SelectElement>(
             terminated_early = true;
             device.recycle_vec("filter-out", fused);
             recycle_level(device, count, red);
+            obs::span_exit(device.now().as_ns());
             break;
         }
 
@@ -144,6 +158,8 @@ pub fn top_k_largest_with_workspace<T: SelectElement>(
         device.recycle_vec("topk-cur", prev);
         device.recycle_vec("filter-out", fused);
         recycle_level(device, count, red);
+        obs::observe(Histogram::LevelKeptElements, cur.len() as u64);
+        obs::span_exit(device.now().as_ns());
         use_storage = true;
     }
     device.recycle_vec("topk-cur", cur);
@@ -158,6 +174,9 @@ pub fn top_k_largest_with_workspace<T: SelectElement>(
             detail: format!("collected {} elements for k = {k}", collected.len()),
         });
     }
+    obs::absorb_device(device);
+    obs::pool_sample(device);
+    obs::span_exit(device.now().as_ns());
     let report = SelectReport::from_records(
         "topk-sampleselect",
         n,
@@ -205,6 +224,12 @@ pub fn bottom_k_smallest_on_device<T: SelectElement>(
     let threshold = crate::recursion::sample_select_on_device(device, data, k - 1, cfg)?;
     let n = data.len();
     let records_before = device.records().len();
+    obs::span_enter(
+        SpanKind::Query,
+        "bottomk-sampleselect",
+        0,
+        device.now().as_ns(),
+    );
     let mut elements: Vec<T> = Vec::with_capacity(k);
     let mut ties = Vec::new();
     for &x in data {
@@ -226,6 +251,8 @@ pub fn bottom_k_smallest_on_device<T: SelectElement>(
     device.commit("bottom_filter", launch, LaunchOrigin::Device, cost);
 
     debug_assert_eq!(elements.len(), k);
+    obs::absorb_device(device);
+    obs::span_exit(device.now().as_ns());
     let mut report = SelectReport::from_records(
         "bottomk-sampleselect",
         n,

@@ -36,6 +36,9 @@
 //!   launches, memory exhaustion, latency spikes, silent memory
 //!   corruption) for exercising the resilience layer built on top of
 //!   the simulator.
+//! * [`jsonv`] — a strict, dependency-free JSON validator used by the
+//!   workspace's tests to prove the hand-rolled exporters (traces,
+//!   metrics snapshots) emit well-formed documents.
 //!
 //! ## Fidelity
 //!
@@ -55,6 +58,7 @@ pub mod cost;
 pub mod device;
 pub mod event;
 pub mod fault;
+pub mod jsonv;
 pub mod launch;
 pub mod memory;
 pub mod sanitizer;
@@ -73,4 +77,4 @@ pub use memory::{AllocError, CorruptTarget, DeviceMemory, ScatterBuffer, SharedA
 pub use sanitizer::{
     SanitizerConfig, SanitizerFinding, SanitizerKind, SanitizerReport, SanitizerSink,
 };
-pub use trace::{chrome_trace, trace_events};
+pub use trace::{chrome_trace, chrome_trace_with_counters, trace_events, CounterTrack};

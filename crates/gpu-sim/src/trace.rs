@@ -11,6 +11,11 @@
 //! track, making the dynamic-parallelism latency savings (§IV-E)
 //! directly visible.
 //!
+//! Counter timeseries (bucket occupancy, atomic-collision rate,
+//! buffer-pool hit rate — sampled by the observability layer above this
+//! crate) ride along as Perfetto counter tracks: `"ph": "C"` events via
+//! [`chrome_trace_with_counters`].
+//!
 //! Serialization is a direct JSON writer (the trace subset only needs
 //! objects, arrays, strings, and numbers), so the crate carries no
 //! serialization dependency.
@@ -47,11 +52,19 @@ pub struct TraceArgs {
     pub global_bytes: u64,
     pub shared_atomic_warp_ops: u64,
     pub global_atomic_ops: u64,
-    /// Injected-fault description, when the kernel launch failed.
+    /// Injected-fault description, when the kernel launch failed. A
+    /// faulted launch carries the annotation on *both* its events (the
+    /// launch-overhead event and the kernel event), so filtering either
+    /// track in the viewer still surfaces the fault.
     pub fault: Option<String>,
     /// SIMT-sanitizer findings attributed to this kernel (0 when clean
     /// or when the sanitizer was off; only written to JSON when > 0).
+    /// Counts only *recorded* findings — dropped ones are reported
+    /// separately in [`TraceArgs::sanitizer_truncated`], never folded in.
     pub sanitizer_findings: u64,
+    /// Findings the sanitizer dropped after its per-kernel cap (only
+    /// written to JSON when > 0).
+    pub sanitizer_truncated: u64,
 }
 
 /// Build the trace events for everything on the device timeline.
@@ -79,8 +92,9 @@ pub fn trace_events(device: &Device) -> Vec<TraceEvent> {
                 global_bytes: 0,
                 shared_atomic_warp_ops: 0,
                 global_atomic_ops: 0,
-                fault: None,
+                fault: fault.clone(),
                 sanitizer_findings: 0,
+                sanitizer_truncated: 0,
             },
         });
         events.push(TraceEvent {
@@ -106,17 +120,35 @@ pub fn trace_events(device: &Device) -> Vec<TraceEvent> {
                 sanitizer_findings: rec
                     .sanitizer
                     .as_ref()
-                    .map_or(0, |s| s.findings.len() as u64 + s.truncated),
+                    .map_or(0, |s| s.findings.len() as u64),
+                sanitizer_truncated: rec.sanitizer.as_ref().map_or(0, |s| s.truncated),
             },
         });
     }
     events
 }
 
+/// One Perfetto counter track: a named series of `(ts_us, value)`
+/// samples rendered as a `"ph": "C"` counter lane in the trace viewer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterTrack {
+    /// Track (and counter) name shown in the viewer.
+    pub name: String,
+    /// `(timestamp in microseconds, value)` samples, in time order.
+    pub samples: Vec<(f64, f64)>,
+}
+
 /// Serialize the device timeline as a Chrome trace JSON string.
 pub fn chrome_trace(device: &Device) -> String {
+    chrome_trace_with_counters(device, &[])
+}
+
+/// [`chrome_trace`] plus counter tracks appended as `"ph": "C"` events
+/// (one per sample). Empty tracks are skipped.
+pub fn chrome_trace_with_counters(device: &Device, tracks: &[CounterTrack]) -> String {
     let events = trace_events(device);
-    let mut out = String::with_capacity(events.len() * 256 + 2);
+    let samples: usize = tracks.iter().map(|t| t.samples.len()).sum();
+    let mut out = String::with_capacity((events.len() + samples) * 256 + 2);
     out.push('[');
     for (i, ev) in events.iter().enumerate() {
         if i > 0 {
@@ -124,8 +156,30 @@ pub fn chrome_trace(device: &Device) -> String {
         }
         write_event(&mut out, ev);
     }
+    let mut first = events.is_empty();
+    for track in tracks {
+        for &(ts, value) in &track.samples {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_counter_event(&mut out, &track.name, ts, value);
+        }
+    }
     out.push(']');
     out
+}
+
+fn write_counter_event(out: &mut String, name: &str, ts: f64, value: f64) {
+    out.push('{');
+    write_str_field(out, "name", name, true);
+    write_str_field(out, "cat", "counter", false);
+    write_str_field(out, "ph", "C", false);
+    write_num_field(out, "ts", ts, false);
+    write_uint_field(out, "pid", 1, false);
+    out.push_str(",\"args\":{");
+    write_num_field(out, "value", value, true);
+    out.push_str("}}");
 }
 
 fn write_event(out: &mut String, ev: &TraceEvent) {
@@ -159,6 +213,14 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
     }
     if ev.args.sanitizer_findings > 0 {
         write_uint_field(out, "sanitizer_findings", ev.args.sanitizer_findings, false);
+    }
+    if ev.args.sanitizer_truncated > 0 {
+        write_uint_field(
+            out,
+            "sanitizer_truncated",
+            ev.args.sanitizer_truncated,
+            false,
+        );
     }
     out.push_str("}}");
 }
@@ -251,17 +313,129 @@ mod tests {
         let pool = ThreadPool::new(1);
         let device = run_device(&pool);
         let json = chrome_trace(&device);
-        assert!(json.starts_with('['));
-        assert!(json.ends_with(']'));
-        assert!(json.contains("\"ph\":\"X\""));
-        assert!(json.contains("\"name\":\"count\""));
-        assert!(json.contains("\"bottleneck\""));
-        // balanced braces/brackets (cheap structural check)
-        let opens = json.matches('{').count();
-        let closes = json.matches('}').count();
-        assert_eq!(opens, closes);
-        // no trailing commas
-        assert!(!json.contains(",]") && !json.contains(",}"));
+        // strict parse via the workspace's recursive-descent validator —
+        // every event must be an object with the trace-event fields.
+        let doc = crate::jsonv::parse(&json).expect("trace is valid JSON");
+        let events = doc.as_arr().expect("trace is an array");
+        assert_eq!(events.len(), 4);
+        for ev in events {
+            let obj = ev.as_obj().expect("event is an object");
+            assert_eq!(ev.get("ph").and_then(|p| p.as_str()), Some("X"));
+            for key in ["name", "cat", "ts", "dur", "pid", "tid", "args"] {
+                assert!(obj.contains_key(key), "event missing {key}: {obj:?}");
+            }
+            let args = ev.get("args").unwrap();
+            assert!(args.get("bottleneck").is_some());
+            assert!(args.get("blocks").and_then(|b| b.as_num()).is_some());
+        }
+        assert_eq!(
+            events[1].get("name").and_then(|n| n.as_str()),
+            Some("count")
+        );
+    }
+
+    #[test]
+    fn counter_tracks_emit_perfetto_counter_events() {
+        let pool = ThreadPool::new(1);
+        let device = run_device(&pool);
+        let tracks = [
+            CounterTrack {
+                name: "bucket_occupancy".to_string(),
+                samples: vec![(1.0, 212.0), (2.5, 48.0)],
+            },
+            CounterTrack {
+                name: "empty_track".to_string(),
+                samples: Vec::new(),
+            },
+        ];
+        let json = chrome_trace_with_counters(&device, &tracks);
+        let doc = crate::jsonv::parse(&json).expect("trace with counters is valid JSON");
+        let events = doc.as_arr().unwrap();
+        assert_eq!(events.len(), 4 + 2, "2 counter samples appended");
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(
+            counters[0].get("name").and_then(|n| n.as_str()),
+            Some("bucket_occupancy")
+        );
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(|v| v.as_num()),
+            Some(212.0)
+        );
+        assert_eq!(counters[1].get("ts").and_then(|t| t.as_num()), Some(2.5));
+        // empty device + only counter events still forms a valid array
+        let fresh = Device::new(v100(), &pool);
+        let json = chrome_trace_with_counters(&fresh, &tracks);
+        let doc = crate::jsonv::parse(&json).expect("counter-only trace parses");
+        assert_eq!(doc.as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn faulted_launch_annotates_both_events() {
+        use crate::fault::FaultPlan;
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        device.set_fault_plan(FaultPlan::new(9).launch_failures(1.0));
+        let cfg = LaunchConfig {
+            blocks: 4,
+            threads_per_block: 64,
+            shared_mem_bytes: 0,
+        };
+        device.launch("doomed", cfg, LaunchOrigin::Host, |_, _| {});
+        assert!(device.has_fault());
+        let events = trace_events(&device);
+        assert_eq!(events.len(), 2);
+        let overhead = &events[0];
+        let kernel = &events[1];
+        assert_eq!(overhead.cat, "launch-overhead");
+        assert!(
+            overhead.args.fault.is_some(),
+            "launch-overhead event of a faulted launch must carry the fault"
+        );
+        assert_eq!(overhead.args.fault, kernel.args.fault);
+        assert_eq!(kernel.cat, "fault");
+        // and the JSON carries the annotation twice
+        let json = chrome_trace(&device);
+        assert_eq!(json.matches("\"fault\":").count(), 2);
+        crate::jsonv::parse(&json).expect("faulted trace is valid JSON");
+    }
+
+    #[test]
+    fn sanitizer_truncated_is_not_folded_into_findings() {
+        use crate::sanitizer::SanitizerConfig;
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        device.set_sanitizer(SanitizerConfig {
+            max_findings: 1,
+            ..SanitizerConfig::full()
+        });
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: 32,
+            shared_mem_bytes: 0,
+        };
+        let buf = device.scatter_buffer::<u32>(1, "out");
+        unsafe {
+            buf.write(0, 1);
+            buf.write(0, 2); // finding 1 (recorded)
+            buf.write(0, 3); // finding 2 (truncated by the cap)
+        }
+        drop(buf);
+        device.launch("racy", cfg, LaunchOrigin::Host, |_, _| {});
+        let events = trace_events(&device);
+        let racy = events.iter().find(|e| e.name == "racy").unwrap();
+        assert_eq!(racy.args.sanitizer_findings, 1, "recorded findings only");
+        assert!(racy.args.sanitizer_truncated >= 1, "cap overflow surfaced");
+        let json = chrome_trace(&device);
+        assert!(json.contains("\"sanitizer_findings\":1"));
+        assert!(json.contains("\"sanitizer_truncated\":"));
+        crate::jsonv::parse(&json).expect("sanitizer trace is valid JSON");
     }
 
     #[test]

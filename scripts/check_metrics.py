@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate observability artifacts produced by `selectcli`.
+
+Usage:
+    python3 scripts/check_metrics.py METRICS.json [TRACE.json] [SCHEMA]
+
+* METRICS.json — written by `selectcli --metrics`; must parse as JSON,
+  carry the `select-metrics-v1` schema tag, and expose exactly the
+  metric names pinned in `bench/metrics_schema.txt` (default SCHEMA).
+  Any drift — a renamed, added, or removed metric — fails the check so
+  dashboards never break silently.
+* TRACE.json  — optional; written by `selectcli --trace`. Must parse as
+  JSON, every event must carry the Chrome trace-event required fields,
+  and at least one Perfetto counter event (`"ph": "C"`) must be present
+  (the session always samples bucket occupancy).
+
+Exit status: 0 on success, 1 on any validation failure.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL  {msg}")
+    sys.exit(1)
+
+
+def load_schema(path: Path) -> list[str]:
+    names = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            names.append(line)
+    return names
+
+
+def check_metrics(metrics_path: Path, schema_path: Path) -> None:
+    try:
+        doc = json.loads(metrics_path.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"{metrics_path}: not valid JSON: {e}")
+    if doc.get("schema") != "select-metrics-v1":
+        fail(f"{metrics_path}: schema tag {doc.get('schema')!r} != 'select-metrics-v1'")
+
+    exported = (
+        list(doc.get("counters", {}))
+        + list(doc.get("gauges", {}))
+        + list(doc.get("histograms", {}))
+    )
+    pinned = load_schema(schema_path)
+    if exported != pinned:
+        missing = [n for n in pinned if n not in exported]
+        extra = [n for n in exported if n not in pinned]
+        detail = []
+        if missing:
+            detail.append(f"missing {missing}")
+        if extra:
+            detail.append(f"unpinned {extra}")
+        if not detail:
+            detail.append("order changed")
+        fail(
+            f"{metrics_path}: metric names drifted from {schema_path.name}: "
+            + "; ".join(detail)
+        )
+
+    for name, v in doc["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"{metrics_path}: counter {name} = {v!r} is not a non-negative int")
+    for name, h in doc["histograms"].items():
+        if len(h["buckets"]) != len(h["bounds"]) + 1:
+            fail(f"{metrics_path}: histogram {name} bucket/bound arity mismatch")
+        if sum(h["buckets"]) != h["count"]:
+            fail(f"{metrics_path}: histogram {name} bucket sum != count")
+    print(f"OK    {metrics_path}: {len(pinned)} metrics match {schema_path.name}")
+
+
+def check_trace(trace_path: Path) -> None:
+    try:
+        events = json.loads(trace_path.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"{trace_path}: not valid JSON: {e}")
+    if not isinstance(events, list) or not events:
+        fail(f"{trace_path}: trace must be a non-empty JSON array")
+
+    counters = 0
+    for e in events:
+        for field in ("name", "ph", "ts", "pid"):
+            if field not in e:
+                fail(f"{trace_path}: event missing {field!r}: {e}")
+        if e["ph"] == "X":
+            if "dur" not in e or "args" not in e:
+                fail(f"{trace_path}: complete event missing dur/args: {e['name']}")
+        elif e["ph"] == "C":
+            counters += 1
+            if "value" not in e.get("args", {}):
+                fail(f"{trace_path}: counter event without args.value: {e['name']}")
+        else:
+            fail(f"{trace_path}: unexpected phase {e['ph']!r}")
+    if counters == 0:
+        fail(f"{trace_path}: no Perfetto counter events ('ph':'C') present")
+    print(f"OK    {trace_path}: {len(events)} events, {counters} counter samples")
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    metrics = Path(sys.argv[1])
+    trace = Path(sys.argv[2]) if len(sys.argv) > 2 else None
+    schema = Path(sys.argv[3]) if len(sys.argv) > 3 else REPO / "bench" / "metrics_schema.txt"
+    check_metrics(metrics, schema)
+    if trace is not None:
+        check_trace(trace)
+    print("check_metrics: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,10 +3,14 @@
 //!
 //! ```text
 //! cargo run --release --bin selectcli -- \
-//!     [--algo sample|quick|bucket|radix|approx|topk|cpu] \
-//!     [--n 4194304] [--rank N | --k N] [--dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp] \
+//!     [--algo sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|cpu] \
+//!     [--n 4194304] [--rank N | --k N] \
+//!     [--dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp] \
 //!     [--arch v100|k20xm|c2070] [--buckets 256] [--seed 42] [--breakdown] \
-//!     [--sanitize [--sanitize-json out.json]]
+//!     [--trace out.json] [--metrics out.json|out.prom] [--span-log out.txt] \
+//!     [--inject-faults SEED [--fault-rate R]] [--inject-bitflips SEED [--bitflip-rate R]] \
+//!     [--verify off|spot|paranoid] [--time-budget MS] [--checkpoint FILE [--resume]] \
+//!     [--sanitize [--sanitize-json out.json]] [--threads N]
 //! ```
 
 use gpu_selection::baselines::{bucket_select_on_device, radix_select_on_device};
@@ -25,8 +29,8 @@ use gpu_selection::sampleselect::streaming::{
 use gpu_selection::sampleselect::topk::top_k_largest_on_device;
 use gpu_selection::sampleselect::{
     approx_select_on_device, quick_select_on_device, resilient_select_on_device,
-    sample_select_on_device, Outcome, ResilienceConfig, SampleSelectConfig, SelectReport,
-    VerifyPolicy,
+    sample_select_on_device, ObsSession, Outcome, ResilienceConfig, SampleSelectConfig,
+    SelectReport, VerifyPolicy,
 };
 use std::process::exit;
 
@@ -53,6 +57,8 @@ struct Args {
     sanitize: bool,
     sanitize_json: Option<String>,
     threads: Option<usize>,
+    metrics: Option<String>,
+    span_log: Option<String>,
 }
 
 impl Default for Args {
@@ -79,6 +85,8 @@ impl Default for Args {
             sanitize: false,
             sanitize_json: None,
             threads: None,
+            metrics: None,
+            span_log: None,
         }
     }
 }
@@ -89,7 +97,7 @@ fn parse_args() -> Args {
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
             it.next().unwrap_or_else(|| {
-                eprintln!("{name} needs a value");
+                eprintln!("{name} needs a value\n{HELP}");
                 exit(2);
             })
         };
@@ -127,6 +135,8 @@ fn parse_args() -> Args {
             "--checkpoint" => out.checkpoint = Some(val("--checkpoint")),
             "--resume" => out.resume = true,
             "--threads" => out.threads = Some(val("--threads").parse().expect("--threads")),
+            "--metrics" => out.metrics = Some(val("--metrics")),
+            "--span-log" => out.span_log = Some(val("--span-log")),
             "--sanitize" => out.sanitize = true,
             "--sanitize-json" => {
                 out.sanitize = true;
@@ -149,6 +159,7 @@ const HELP: &str =
     "selectcli --algo sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|cpu \
 --n N --rank R|--k K --dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp \
 --arch v100|k20xm|c2070 --buckets B --seed S [--breakdown] [--trace out.json] \
+[--metrics out.json|out.prom] [--span-log out.txt] \
 [--inject-faults SEED [--fault-rate R]] [--inject-bitflips SEED [--bitflip-rate R]] \
 [--verify off|spot|paranoid] [--time-budget MS] [--checkpoint FILE [--resume]] \
 [--sanitize [--sanitize-json out.json]] [--threads N]";
@@ -167,7 +178,7 @@ fn distribution(name: &str) -> Distribution {
         },
         "exp" => Distribution::Exponential { lambda: 1.0 },
         other => {
-            eprintln!("unknown distribution {other}");
+            eprintln!("unknown distribution {other}\n{HELP}");
             exit(2);
         }
     }
@@ -187,12 +198,9 @@ fn print_report(report: &SelectReport, breakdown: bool) {
         report.launch_overhead
     );
     let r = &report.resilience;
-    if !r.is_clean()
-        || r.faults_observed > 0
-        || r.corruptions_detected > 0
-        || r.certified > 0
-        || r.resumed > 0
-    {
+    // is_clean() now covers faults/corruptions/resumed; certified alone
+    // does not make a run unclean but is still worth printing.
+    if !r.is_clean() || r.certified > 0 {
         println!(
             "resilience: {} retries, {} fallbacks, {} degradations, {} faults observed, \
              {} corruptions detected, {} certified, {} resumed",
@@ -256,6 +264,14 @@ fn main() {
         "algo={} n={} dist={} arch={} buckets={} rank={rank}\n",
         args.algo, args.n, args.dist, arch.name, args.buckets
     );
+
+    // Start an observability session whenever any export was requested;
+    // the trace export also benefits (counter tracks ride along).
+    let obs_session = if args.metrics.is_some() || args.span_log.is_some() || args.trace.is_some() {
+        Some(ObsSession::start())
+    } else {
+        None
+    };
 
     let mut device = Device::new(arch.clone(), pool);
     if args.sanitize {
@@ -465,8 +481,31 @@ fn main() {
         );
     }
 
+    let obs_report = obs_session.map(ObsSession::finish);
+
+    if let Some(path) = &args.metrics {
+        let report = obs_report.as_ref().expect("session started for --metrics");
+        let body = if path.ends_with(".prom") {
+            report.snapshot.to_prometheus()
+        } else {
+            report.snapshot.to_json()
+        };
+        std::fs::write(path, body).expect("failed to write metrics");
+        println!("\nmetrics written to {path}");
+    }
+
+    if let Some(path) = &args.span_log {
+        let report = obs_report.as_ref().expect("session started for --span-log");
+        std::fs::write(path, report.span_log()).expect("failed to write span log");
+        println!("span log written to {path}");
+    }
+
     if let Some(path) = &args.trace {
-        let json = gpu_selection::gpu_sim::chrome_trace(&device);
+        let tracks: &[_] = obs_report
+            .as_ref()
+            .map(|r| r.tracks.as_slice())
+            .unwrap_or(&[]);
+        let json = gpu_selection::gpu_sim::chrome_trace_with_counters(&device, tracks);
         std::fs::write(path, json).expect("failed to write trace");
         println!("\nchrome trace written to {path} (open in chrome://tracing or ui.perfetto.dev)");
     }

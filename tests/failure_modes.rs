@@ -299,7 +299,7 @@ fn chunk_load_failure_with_eventual_success() {
         .resilience
         .log
         .iter()
-        .all(|l| l.contains("chunk 1")));
+        .all(|l| l.to_string().contains("chunk 1")));
 }
 
 #[test]

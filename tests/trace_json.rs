@@ -1,0 +1,190 @@
+//! Strict JSON-shape validation of the Chrome/Perfetto trace export.
+//!
+//! Replaces the old "braces balance" smoke check with a real
+//! recursive-descent parse (`gpu_sim::jsonv`) plus structural
+//! assertions, covering the cases that actually bit us: counter
+//! tracks, faulted launches, and sanitizer-flagged kernels.
+
+use gpu_selection::gpu_sim::arch::v100;
+use gpu_selection::gpu_sim::jsonv::{self, Json};
+use gpu_selection::gpu_sim::{
+    chrome_trace, chrome_trace_with_counters, Device, FaultPlan, LaunchConfig, LaunchOrigin,
+    SanitizerConfig,
+};
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::sampleselect::rng::SplitMix64;
+use gpu_selection::sampleselect::{resilient_select_on_device, ObsSession, ResilienceConfig};
+use gpu_selection::sampleselect::{sample_select_on_device, SampleSelectConfig};
+
+fn uniform(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_f64() as f32).collect()
+}
+
+/// Every event in a trace array must carry the Chrome trace-event
+/// required fields with the right JSON types.
+fn validate_events(doc: &Json) -> (usize, usize) {
+    let events = doc.as_arr().expect("trace is a JSON array");
+    let mut complete = 0;
+    let mut counters = 0;
+    for e in events {
+        let obj = e.as_obj().expect("event is an object");
+        let ph = obj["ph"].as_str().expect("ph is a string");
+        assert!(obj["name"].as_str().is_some(), "name is a string");
+        assert!(obj["ts"].as_num().is_some(), "ts is a number");
+        assert!(obj["pid"].as_num().is_some(), "pid is a number");
+        match ph {
+            "X" => {
+                complete += 1;
+                assert!(obj["dur"].as_num().is_some(), "complete event has dur");
+                assert!(obj["tid"].as_num().is_some(), "complete event has tid");
+                let args = obj["args"].as_obj().expect("args object");
+                assert!(args["blocks"].as_num().is_some());
+                assert!(args["bottleneck"].as_str().is_some());
+            }
+            "C" => {
+                counters += 1;
+                assert_eq!(obj["cat"].as_str(), Some("counter"));
+                let args = obj["args"].as_obj().expect("counter args");
+                assert!(args["value"].as_num().is_some(), "counter carries value");
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    (complete, counters)
+}
+
+#[test]
+fn clean_run_trace_parses_strictly() {
+    let data = uniform(64_000, 0x7ace);
+    let pool = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool);
+    sample_select_on_device(&mut device, &data, 32_000, &SampleSelectConfig::default()).unwrap();
+
+    let json = chrome_trace(&device);
+    let doc = jsonv::parse(&json).expect("clean trace is strict JSON");
+    let (complete, counters) = validate_events(&doc);
+    assert!(complete >= 2, "launch-overhead + kernel events present");
+    assert_eq!(counters, 0, "no counter tracks without a session");
+}
+
+#[test]
+fn counter_tracks_round_trip_through_the_validator() {
+    let data = uniform(64_000, 0x7ac1);
+    let pool = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool);
+    let session = ObsSession::start();
+    sample_select_on_device(&mut device, &data, 32_000, &SampleSelectConfig::default()).unwrap();
+    let report = session.finish();
+
+    let json = chrome_trace_with_counters(&device, &report.tracks);
+    let doc = jsonv::parse(&json).expect("trace with counters is strict JSON");
+    let (_, counters) = validate_events(&doc);
+    assert!(counters > 0, "session sampled at least one counter track");
+
+    // Track names survive into the event stream.
+    let names: Vec<&str> = doc
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+        .map(|e| e.get("name").and_then(Json::as_str).unwrap())
+        .collect();
+    assert!(names.contains(&"bucket_occupancy"), "got {names:?}");
+}
+
+#[test]
+fn faulted_run_trace_parses_and_carries_fault_fields() {
+    let data = uniform(80_000, 0xfa57);
+    let pool = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool);
+    device.set_fault_plan(
+        FaultPlan::new(3)
+            .launch_failures(0.3)
+            .max_launch_failures(4),
+    );
+    resilient_select_on_device(
+        &mut device,
+        &data,
+        40_000,
+        &SampleSelectConfig::default(),
+        &ResilienceConfig::default(),
+    )
+    .unwrap();
+
+    let json = chrome_trace(&device);
+    let doc = jsonv::parse(&json).expect("faulted trace is strict JSON");
+    validate_events(&doc);
+    let faults: Vec<&Json> = doc
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("args").and_then(|a| a.get("fault")).is_some())
+        .collect();
+    assert!(!faults.is_empty(), "fault annotations survive export");
+    // The fix under test: the launch-overhead event of a faulted launch
+    // is annotated too, so both halves of every faulted launch agree.
+    assert!(
+        faults.iter().any(|e| e
+            .get("cat")
+            .and_then(Json::as_str)
+            .is_some_and(|c| c == "launch-overhead")),
+        "launch-overhead half of a faulted launch carries the fault"
+    );
+}
+
+#[test]
+fn sanitizer_flagged_run_trace_parses_with_split_fields() {
+    let pool = ThreadPool::new(2);
+    let mut device = Device::new(v100(), &pool);
+    device.set_sanitizer(SanitizerConfig {
+        max_findings: 1,
+        ..SanitizerConfig::full()
+    });
+    // Deliberate same-address races: several findings, so with
+    // max_findings=1 the report truncates.
+    let buf = device.scatter_buffer::<u32>(1, "racy-out");
+    unsafe {
+        buf.write(0, 1);
+        buf.write(0, 2);
+        buf.write(0, 3);
+    }
+    drop(buf);
+    let cfg = LaunchConfig {
+        blocks: 1,
+        threads_per_block: 32,
+        shared_mem_bytes: 0,
+    };
+    device.launch("racy", cfg, LaunchOrigin::Host, |_, _| {});
+
+    let json = chrome_trace(&device);
+    let doc = jsonv::parse(&json).expect("sanitizer-flagged trace is strict JSON");
+    let events = doc.as_arr().unwrap();
+    let flagged: Vec<&Json> = events
+        .iter()
+        .filter(|e| {
+            e.get("args")
+                .and_then(|a| a.get("sanitizer_findings"))
+                .is_some()
+        })
+        .collect();
+    assert!(!flagged.is_empty(), "sanitizer annotations exported");
+    // The fix under test: truncation is its own field, not folded into
+    // the finding count.
+    for e in &flagged {
+        let args = e.get("args").unwrap();
+        let findings = args
+            .get("sanitizer_findings")
+            .and_then(Json::as_num)
+            .unwrap();
+        let truncated = args
+            .get("sanitizer_truncated")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        assert!(findings >= 1.0);
+        if truncated > 0.0 {
+            return; // saw a truncated report with the split field — done
+        }
+    }
+    panic!("expected at least one truncated sanitizer report (max_findings=1)");
+}

@@ -18,6 +18,7 @@ use gpu_selection::gpu_sim::{Device, LaunchOrigin};
 use gpu_selection::hpc_par::ThreadPool;
 use gpu_selection::sampleselect::count::{count_kernel_scoped, OracleBuf};
 use gpu_selection::sampleselect::filter::filter_kernel_scoped;
+use gpu_selection::sampleselect::obs;
 use gpu_selection::sampleselect::recursion::sample_select_with_workspace;
 use gpu_selection::sampleselect::reduce::reduce_kernel;
 use gpu_selection::sampleselect::rng::SplitMix64;
@@ -169,5 +170,27 @@ fn steady_state_hot_path_does_not_allocate() {
         query_allocs <= 32,
         "warm full query allocated {query_allocs} times (report assembly \
          should need well under 32)"
+    );
+
+    // With no ObsSession installed, every observability entry point the
+    // drivers call on the hot path must be a branch-and-return: zero
+    // heap allocations, zero pool traffic.
+    assert!(!obs::enabled(), "no session may be active in this test");
+    let (_, obs_allocs) = counted(|| {
+        for i in 0..1000u64 {
+            obs::counter_add(obs::Counter::KernelLaunches, 1);
+            obs::gauge_set(obs::Gauge::BucketOccupancy, i);
+            obs::observe(obs::Histogram::KernelDurationNs, i * 97);
+            obs::span_enter(obs::SpanKind::Kernel, "noop", i, i as f64);
+            obs::track_sample(obs::Track::BucketOccupancy, i as f64, 0.5);
+            obs::span_exit(i as f64);
+            obs::absorb_device(&device);
+            obs::pool_sample(&device);
+            let _ = obs::span_depth();
+        }
+    });
+    assert_eq!(
+        obs_allocs, 0,
+        "disabled observability allocated {obs_allocs} times across 9000 calls"
     );
 }
