@@ -52,6 +52,7 @@ pub mod resilient;
 pub mod rng;
 pub mod samplesort;
 pub mod searchtree;
+pub mod shard;
 pub mod simt_ref;
 pub mod splitter;
 pub mod streaming;
@@ -74,9 +75,13 @@ pub use resilient::{
 };
 pub use samplesort::{sample_sort, sample_sort_on_device, SortResult};
 pub use searchtree::SearchTree;
+pub use shard::{
+    sharded_select, sharded_select_clean, KillSpec, ShardConfig, ShardFaults, ShardReport,
+    ShardTopology, ShardedResult,
+};
 pub use streaming::{
-    streaming_select, streaming_select_with_checkpoint, ChunkError, ChunkSource, SliceChunks,
-    StreamingResult,
+    streaming_select, streaming_select_with_checkpoint, streaming_select_with_topology, ChunkError,
+    ChunkSource, SliceChunks, StreamingResult,
 };
 pub use topk::{bottom_k_smallest_on_device, top_k_largest, top_k_largest_on_device};
 pub use verify::VerifyPolicy;

@@ -90,10 +90,18 @@ pub enum Counter {
     Certified,
     /// Resilience: streaming runs resumed from a checkpoint.
     Resumed,
+    /// Sharding: shard devices launched by the coordinator.
+    ShardsLaunched,
+    /// Sharding: stragglers hedged onto a spare device.
+    StragglersHedged,
+    /// Sharding: dead shards recovered by partition replay.
+    ShardsRecovered,
+    /// Sharding: queries that finished degraded on a survivor quorum.
+    QuorumDegradations,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 18] = [
         Counter::Queries,
         Counter::KernelLaunches,
         Counter::RecursionLevels,
@@ -108,6 +116,10 @@ impl Counter {
         Counter::CorruptionsDetected,
         Counter::Certified,
         Counter::Resumed,
+        Counter::ShardsLaunched,
+        Counter::StragglersHedged,
+        Counter::ShardsRecovered,
+        Counter::QuorumDegradations,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -127,6 +139,10 @@ impl Counter {
             Counter::CorruptionsDetected => "select_corruptions_detected_total",
             Counter::Certified => "select_certified_total",
             Counter::Resumed => "select_resumed_total",
+            Counter::ShardsLaunched => "select_shards_launched_total",
+            Counter::StragglersHedged => "select_stragglers_hedged_total",
+            Counter::ShardsRecovered => "select_shards_recovered_total",
+            Counter::QuorumDegradations => "select_quorum_degradations_total",
         }
     }
 }

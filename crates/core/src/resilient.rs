@@ -34,6 +34,7 @@ use crate::obs::{self, SpanKind};
 use crate::params::SampleSelectConfig;
 use crate::quickselect::quick_select_on_device;
 use crate::recursion::{sample_select_on_device, validate_input};
+use crate::rng::SplitMix64;
 use crate::streaming::{streaming_select, ChunkSource};
 use crate::verify::certify_rank;
 use crate::{SelectError, SelectResult};
@@ -53,6 +54,11 @@ pub struct RetryPolicy {
     /// long retry chain degrades the clock linearly instead of
     /// geometrically.
     pub max_backoff: SimTime,
+    /// Seed for the decorrelated backoff jitter. Two retry chains with
+    /// the same policy but different *salts* (backend, shard index)
+    /// de-synchronize, while any (seed, salt, attempt) triple always
+    /// produces the same delay — retries stay bit-reproducible.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -62,7 +68,47 @@ impl Default for RetryPolicy {
             backoff: SimTime::from_us(50.0),
             backoff_multiplier: 2.0,
             max_backoff: SimTime::from_ms(5.0),
+            jitter_seed: 0x5EED_BA5E_0DDB_A115,
         }
+    }
+}
+
+impl RetryPolicy {
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+}
+
+/// The backoff before retry `attempt` (0-based) of the chain identified
+/// by `salt`: exponential growth clamped to `max_backoff`, then scaled
+/// by a seeded jitter factor in `[0.5, 1.5)`.
+///
+/// Without the jitter, K shards hitting the same transient fault all
+/// re-launch at the same simulated instant (a thundering herd on the
+/// coordinator and the interconnect); decorrelating per (salt, attempt)
+/// spreads them out while keeping every delay a pure function of the
+/// policy seed.
+pub fn jittered_backoff(policy: &RetryPolicy, salt: u64, attempt: u32) -> SimTime {
+    let mut backoff = policy.backoff;
+    for _ in 0..attempt {
+        backoff = backoff * policy.backoff_multiplier;
+    }
+    if backoff > policy.max_backoff {
+        backoff = policy.max_backoff;
+    }
+    let mut rng = SplitMix64::new(
+        policy
+            .jitter_seed
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(attempt as u64),
+    );
+    let factor = 0.5 + rng.next_f64();
+    let jittered = backoff * factor;
+    if jittered > policy.max_backoff {
+        policy.max_backoff
+    } else {
+        jittered
     }
 }
 
@@ -196,13 +242,12 @@ fn backoff_and_count(
     events: &mut ResilienceEvents,
     backend: Backend,
 ) {
-    let mut backoff = policy.backoff;
-    for _ in 0..attempt {
-        backoff = backoff * policy.backoff_multiplier;
-    }
-    if backoff > policy.max_backoff {
-        backoff = policy.max_backoff;
-    }
+    let salt = match backend {
+        Backend::SampleSelect => 1u64,
+        Backend::QuickSelect => 2,
+        Backend::CpuSort => 3,
+    };
+    let backoff = jittered_backoff(policy, salt, attempt);
     events.retry(format!(
         "{} attempt {} re-seeded after {}",
         backend.name(),
@@ -893,5 +938,43 @@ mod tests {
         };
         assert_eq!(approx.value(), 1.25);
         assert!(!approx.is_exact());
+    }
+
+    #[test]
+    fn backoff_jitter_desynchronizes_equal_policies() {
+        // Two shards sharing one RetryPolicy must not retry in lockstep:
+        // with distinct salts, at least one attempt in the chain gets a
+        // different delay (the thundering-herd regression).
+        let policy = RetryPolicy::default();
+        let chain_a: Vec<f64> = (0..4)
+            .map(|a| jittered_backoff(&policy, 0, a).as_ns())
+            .collect();
+        let chain_b: Vec<f64> = (0..4)
+            .map(|a| jittered_backoff(&policy, 1, a).as_ns())
+            .collect();
+        assert_ne!(chain_a, chain_b, "same-policy shards retried in lockstep");
+    }
+
+    #[test]
+    fn backoff_jitter_is_reproducible_and_bounded() {
+        let policy = RetryPolicy::default();
+        for salt in 0..8u64 {
+            for attempt in 0..6u32 {
+                let a = jittered_backoff(&policy, salt, attempt);
+                let b = jittered_backoff(&policy, salt, attempt);
+                assert_eq!(
+                    a, b,
+                    "jitter must be a pure function of (seed, salt, attempt)"
+                );
+                assert!(a <= policy.max_backoff);
+                assert!(a >= policy.backoff * 0.5);
+            }
+        }
+        // A different policy seed moves the whole schedule.
+        let reseeded = RetryPolicy::default().with_jitter_seed(42);
+        assert_ne!(
+            jittered_backoff(&policy, 0, 0),
+            jittered_backoff(&reseeded, 0, 0)
+        );
     }
 }

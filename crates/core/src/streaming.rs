@@ -37,6 +37,7 @@ use crate::params::SampleSelectConfig;
 use crate::recursion::{recycle_count, sample_select_on_device};
 use crate::rng::SplitMix64;
 use crate::searchtree::SearchTree;
+use crate::shard::ShardTopology;
 use crate::verify::{check_filter_size, check_histogram, check_splitters};
 use crate::workspace::KernelScratch;
 use crate::{SelectError, SelectResult};
@@ -218,8 +219,11 @@ pub struct StreamingResult<T> {
 
 /// File magic of a streaming checkpoint ("SampleSelect ChecKpoint").
 const CHECKPOINT_MAGIC: [u8; 4] = *b"SSCK";
-/// Format version; bumped on any layout change.
-const CHECKPOINT_VERSION: u32 = 1;
+/// Format version; bumped on any layout change. Version 2 added the
+/// shard topology (shard count + partition-boundary hash) to the
+/// fingerprint, so a run resumed under a different `--shards` value is
+/// rejected instead of silently replaying a foreign partition plan.
+const CHECKPOINT_VERSION: u32 = 2;
 
 /// Pipeline positions a checkpoint can record.
 const PHASE_SAMPLE: u8 = 0;
@@ -227,14 +231,21 @@ const PHASE_COUNT: u8 = 1;
 const PHASE_FILTER: u8 = 2;
 
 /// Identity of a run: a checkpoint written by a different job (other
-/// seed, size, rank, chunking, bucket count, or element width) must
-/// never be resumed into this one.
+/// seed, size, rank, chunking, bucket count, shard topology, or element
+/// width) must never be resumed into this one.
 struct Fingerprint {
     seed: u64,
     n: u64,
     rank: u64,
     num_chunks: u64,
     num_buckets: u64,
+    /// Number of device shards the run partitions data across
+    /// (1 for plain single-device streaming).
+    shards: u64,
+    /// FNV-1a over the shard partition boundaries
+    /// ([`ShardTopology::fingerprint`]): two runs with the same shard
+    /// count but different partition boundaries are still different runs.
+    topology_hash: u64,
     elem_bytes: u8,
 }
 
@@ -277,7 +288,7 @@ impl<T> CheckpointState<T> {
 /// FNV-1a 64-bit, the checkpoint's end-to-end checksum: cheap, no
 /// dependencies, and a single flipped bit anywhere in the file changes
 /// it.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;
@@ -313,6 +324,8 @@ fn encode_checkpoint<T: SelectElement>(fp: &Fingerprint, state: &CheckpointState
     push_u64(&mut out, fp.rank);
     push_u64(&mut out, fp.num_chunks);
     push_u64(&mut out, fp.num_buckets);
+    push_u64(&mut out, fp.shards);
+    push_u64(&mut out, fp.topology_hash);
     out.push(fp.elem_bytes);
     out.push(state.phase);
     push_u64(&mut out, state.next_chunk);
@@ -401,7 +414,19 @@ fn decode_checkpoint<T: SelectElement>(
     let rank = cur.u64()?;
     let num_chunks = cur.u64()?;
     let num_buckets = cur.u64()?;
+    let shards = cur.u64()?;
+    let topology_hash = cur.u64()?;
     let elem_bytes = cur.u8()?;
+    if shards != fp.shards || topology_hash != fp.topology_hash {
+        // Called out separately from the generic mismatch: resuming with
+        // a different `--shards` is the one fingerprint drift an operator
+        // plausibly causes on purpose, and the message should say so.
+        return Err(format!(
+            "shard topology changed: checkpoint written with {shards} shard(s), \
+             resuming with {}",
+            fp.shards
+        ));
+    }
     if seed != fp.seed
         || n != fp.n
         || rank != fp.rank
@@ -492,7 +517,7 @@ pub fn streaming_select<T: SelectElement, S: ChunkSource<T>>(
     rank: usize,
     cfg: &SampleSelectConfig,
 ) -> Result<StreamingResult<T>, SelectError> {
-    streaming_select_impl(device, source, rank, cfg, None, false)
+    streaming_select_impl(device, source, rank, cfg, None, false, None)
 }
 
 /// [`streaming_select`] with crash tolerance: persist a checkpoint to
@@ -513,7 +538,33 @@ pub fn streaming_select_with_checkpoint<T: SelectElement, S: ChunkSource<T>>(
     checkpoint: &Path,
     resume: bool,
 ) -> Result<StreamingResult<T>, SelectError> {
-    streaming_select_impl(device, source, rank, cfg, Some(checkpoint), resume)
+    streaming_select_impl(device, source, rank, cfg, Some(checkpoint), resume, None)
+}
+
+/// [`streaming_select_with_checkpoint`] for a run that is part of a
+/// sharded deployment: the shard topology (shard count and partition
+/// boundaries, see [`ShardTopology`]) is baked into the checkpoint
+/// fingerprint, so a `--resume` under a different `--shards` value is
+/// rejected with a logged [`ResilienceEvent`] and the run restarts
+/// cleanly instead of replaying a foreign partition plan.
+pub fn streaming_select_with_topology<T: SelectElement, S: ChunkSource<T>>(
+    device: &mut Device,
+    source: &S,
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    checkpoint: &Path,
+    resume: bool,
+    topology: &ShardTopology,
+) -> Result<StreamingResult<T>, SelectError> {
+    streaming_select_impl(
+        device,
+        source,
+        rank,
+        cfg,
+        Some(checkpoint),
+        resume,
+        Some(topology),
+    )
 }
 
 fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
@@ -523,6 +574,7 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
     cfg: &SampleSelectConfig,
     checkpoint: Option<&Path>,
     resume: bool,
+    topology: Option<&ShardTopology>,
 ) -> Result<StreamingResult<T>, SelectError> {
     cfg.validate().map_err(SelectError::InvalidConfig)?;
     let n = source.total_len();
@@ -541,12 +593,16 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
     );
     let mut events = ResilienceEvents::default();
     let b = cfg.num_buckets;
+    let single = ShardTopology::single(n);
+    let topology = topology.unwrap_or(&single);
     let fp = Fingerprint {
         seed: cfg.seed,
         n: n as u64,
         rank: rank as u64,
         num_chunks: source.num_chunks() as u64,
         num_buckets: b as u64,
+        shards: topology.shards() as u64,
+        topology_hash: topology.fingerprint(),
         elem_bytes: T::BYTES as u8,
     };
 
@@ -1075,12 +1131,15 @@ mod tests {
     }
 
     fn test_fingerprint() -> Fingerprint {
+        let topo = ShardTopology::single(1000);
         Fingerprint {
             seed: 7,
             n: 1000,
             rank: 500,
             num_chunks: 4,
             num_buckets: 16,
+            shards: topo.shards() as u64,
+            topology_hash: topo.fingerprint(),
             elem_bytes: 4,
         }
     }
@@ -1136,6 +1195,97 @@ mod tests {
         };
         let err = decode_checkpoint::<f32>(&bytes, &other).unwrap_err();
         assert!(err.contains("fingerprint"), "got: {err}");
+    }
+
+    #[test]
+    fn shard_topology_change_is_rejected_with_specific_message() {
+        let two = ShardTopology::even(1000, 2);
+        let four = ShardTopology::even(1000, 4);
+        let fp2 = Fingerprint {
+            shards: two.shards() as u64,
+            topology_hash: two.fingerprint(),
+            ..test_fingerprint()
+        };
+        let fp4 = Fingerprint {
+            shards: four.shards() as u64,
+            topology_hash: four.fingerprint(),
+            ..test_fingerprint()
+        };
+        let bytes = encode_checkpoint(&fp2, &CheckpointState::<f32>::fresh(7));
+        let err = decode_checkpoint::<f32>(&bytes, &fp4).unwrap_err();
+        assert!(err.contains("shard topology changed"), "got: {err}");
+        assert!(err.contains("2 shard(s)"), "got: {err}");
+        // Same shard count but different boundaries is also a different run.
+        let uneven = ShardTopology::from_boundaries(vec![0, 100, 1000]);
+        let fp_uneven = Fingerprint {
+            shards: uneven.shards() as u64,
+            topology_hash: uneven.fingerprint(),
+            ..test_fingerprint()
+        };
+        let err = decode_checkpoint::<f32>(&bytes, &fp_uneven).unwrap_err();
+        assert!(err.contains("shard topology changed"), "got: {err}");
+        // And the matching topology round-trips.
+        assert!(decode_checkpoint::<f32>(&bytes, &fp2).is_ok());
+    }
+
+    #[test]
+    fn resume_under_different_shard_count_restarts_cleanly() {
+        let data = uniform(1 << 16, 23);
+        let rank = 1 << 15;
+        let cfg = SampleSelectConfig::default();
+        let path = temp_ckpt("topo-mismatch");
+        let _ = std::fs::remove_file(&path);
+
+        // "Kill" a K=2 run mid-way so a checkpoint survives on disk.
+        let two = ShardTopology::even(data.len(), 2);
+        let mut flaky = FlakyChunks::new(&data, 1 << 13, 5, usize::MAX);
+        flaky.transient = false;
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let err =
+            streaming_select_with_topology(&mut device, &flaky, rank, &cfg, &path, false, &two)
+                .unwrap_err();
+        assert!(matches!(err, SelectError::ChunkLoad(_)));
+        assert!(path.exists(), "checkpoint must survive the crash");
+
+        // Resume with --shards 4: the checkpoint must be rejected with a
+        // clean event and the run must restart (and still be exact).
+        let four = ShardTopology::even(data.len(), 4);
+        let healthy = SliceChunks::new(&data, 1 << 13);
+        let mut device = Device::new(v100(), &pool);
+        let res =
+            streaming_select_with_topology(&mut device, &healthy, rank, &cfg, &path, true, &four)
+                .unwrap();
+        assert_eq!(res.value, reference_select(&data, rank).unwrap());
+        assert_eq!(
+            res.report.resilience.resumed, 0,
+            "foreign topology never resumes"
+        );
+        assert_eq!(res.report.resilience.corruptions_detected, 1);
+        assert!(
+            res.report
+                .resilience
+                .log
+                .iter()
+                .any(|l| l.to_string().contains("shard topology changed")),
+            "rejection must name the topology change: {:?}",
+            res.report.resilience.log
+        );
+        assert!(!path.exists(), "checkpoint deleted after success");
+
+        // Resuming with the *matching* topology still works.
+        let _ = std::fs::remove_file(&path);
+        let mut flaky = FlakyChunks::new(&data, 1 << 13, 5, usize::MAX);
+        flaky.transient = false;
+        let mut device = Device::new(v100(), &pool);
+        let _ = streaming_select_with_topology(&mut device, &flaky, rank, &cfg, &path, false, &two)
+            .unwrap_err();
+        let mut device = Device::new(v100(), &pool);
+        let res =
+            streaming_select_with_topology(&mut device, &healthy, rank, &cfg, &path, true, &two)
+                .unwrap();
+        assert_eq!(res.value, reference_select(&data, rank).unwrap());
+        assert_eq!(res.report.resilience.resumed, 1);
     }
 
     #[test]

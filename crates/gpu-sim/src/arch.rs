@@ -10,6 +10,8 @@
 //! V100** — plus the Fermi-generation **Tesla C2070** used in the paper's
 //! §V-D comparison against BucketSelect (Alabi et al.).
 
+use crate::cost::SimTime;
+
 /// NVIDIA GPU hardware generations relevant to the paper.
 ///
 /// The generation determines which low-level communication features are
@@ -43,6 +45,79 @@ impl GpuGeneration {
     /// supported (compute capability >= 3.5).
     pub fn has_dynamic_parallelism(self) -> bool {
         self >= GpuGeneration::Kepler
+    }
+}
+
+/// Inter-device interconnect model: the bandwidth/latency pair the
+/// simulator charges for traffic that crosses device boundaries
+/// (all-reduced histograms, splitter broadcasts, shard re-partitioning).
+///
+/// Fermi/Kepler parts talk over PCIe 2.0; the V100 generation brings
+/// NVLink. Bandwidth is per-direction sustained (not the marketing
+/// aggregate); latency is the one-way small-message hop cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Interconnect name, e.g. `"NVLink 2.0"`.
+    pub name: &'static str,
+    /// Sustained per-direction bandwidth in GB/s (== bytes/ns).
+    pub bandwidth_gbs: f64,
+    /// One-way hop latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl LinkModel {
+    /// PCIe 2.0 x16: ~8 GB/s theoretical, ~6 GB/s sustained.
+    pub fn pcie2(latency_us: f64) -> Self {
+        LinkModel {
+            name: "PCIe 2.0 x16",
+            bandwidth_gbs: 6.0,
+            latency_us,
+        }
+    }
+
+    /// NVLink 2.0 (V100 SXM2): 25 GB/s per link per direction, three
+    /// links usable between a device pair in the DGX topology.
+    pub fn nvlink2() -> Self {
+        LinkModel {
+            name: "NVLink 2.0",
+            bandwidth_gbs: 75.0,
+            latency_us: 1.3,
+        }
+    }
+
+    /// Sustained link bandwidth in bytes per nanosecond.
+    pub fn bytes_per_ns(&self) -> f64 {
+        self.bandwidth_gbs // GB/s == bytes/ns
+    }
+
+    /// Point-to-point transfer time for `bytes` over one hop.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_us(self.latency_us) + SimTime::from_ns(bytes as f64 / self.bytes_per_ns())
+    }
+
+    /// Ring all-reduce time for a `bytes`-sized payload across
+    /// `devices` peers: `2 (k-1)` pipeline steps, each moving a
+    /// `bytes / k` fragment and paying one hop latency. Degenerates to
+    /// zero for a single device (nothing to reduce across).
+    pub fn all_reduce_time(&self, bytes: u64, devices: usize) -> SimTime {
+        if devices <= 1 {
+            return SimTime::ZERO;
+        }
+        let k = devices as f64;
+        let steps = 2.0 * (k - 1.0);
+        let fragment = bytes as f64 / k;
+        SimTime::from_us(self.latency_us) * steps
+            + SimTime::from_ns(steps * fragment / self.bytes_per_ns())
+    }
+
+    /// Binomial-tree broadcast of `bytes` from one root to `devices - 1`
+    /// peers: `ceil(log2 k)` rounds, each a full-payload hop.
+    pub fn broadcast_time(&self, bytes: u64, devices: usize) -> SimTime {
+        if devices <= 1 {
+            return SimTime::ZERO;
+        }
+        let rounds = (devices as f64).log2().ceil();
+        self.transfer_time(bytes) * rounds
     }
 }
 
@@ -88,6 +163,8 @@ pub struct GpuArchitecture {
     pub max_threads_per_sm: u32,
     /// Maximum resident blocks per SM.
     pub max_blocks_per_sm: u32,
+    /// Inter-device interconnect (PCIe or NVLink) for multi-GPU runs.
+    pub link: LinkModel,
 
     // ---- cost-model parameters ----
     /// Cost of one warp-wide shared-memory atomic *instruction* on one
@@ -170,6 +247,7 @@ pub fn k20xm() -> GpuArchitecture {
         max_threads_per_block: 1024,
         max_threads_per_sm: 2048,
         max_blocks_per_sm: 16,
+        link: LinkModel::pcie2(8.0),
         // Kepler shared atomics are compiled to a lock/retry loop in
         // shared memory: expensive per instruction AND per same-address
         // replay — the reason the paper's K20Xm results favour the
@@ -206,6 +284,7 @@ pub fn v100() -> GpuArchitecture {
         max_threads_per_block: 1024,
         max_threads_per_sm: 2048,
         max_blocks_per_sm: 32,
+        link: LinkModel::nvlink2(),
         // Native shared atomics: pipelined at roughly one warp-wide
         // instruction per ~50 SM cycles, with cheap same-address
         // replays — fast enough that warp aggregation buys nothing
@@ -243,6 +322,7 @@ pub fn c2070() -> GpuArchitecture {
         max_threads_per_block: 1024,
         max_threads_per_sm: 1536,
         max_blocks_per_sm: 8,
+        link: LinkModel::pcie2(10.0),
         // Fermi: shared atomics lock-based, global atomics slow (pre-
         // Kepler L2 atomic improvements).
         shared_atomic_warp_ns: 130.0,
@@ -339,5 +419,45 @@ mod tests {
     fn bytes_per_ns_equals_gbs() {
         // GB/s and bytes/ns are the same unit; guard against unit slips.
         assert!((v100().bytes_per_ns() - 742.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_transfer_monotone_in_bytes_with_latency_floor() {
+        let link = v100().link;
+        let small = link.transfer_time(64);
+        let large = link.transfer_time(1 << 20);
+        assert!(small < large);
+        // Tiny messages are latency-bound: the floor is the hop latency.
+        assert!(small.as_us() >= link.latency_us);
+        assert!(small.as_us() < link.latency_us + 1.0);
+    }
+
+    #[test]
+    fn nvlink_beats_pcie() {
+        let bytes = 64u64 << 20;
+        assert!(v100().link.transfer_time(bytes) < c2070().link.transfer_time(bytes));
+        assert!(v100().link.all_reduce_time(bytes, 4) < k20xm().link.all_reduce_time(bytes, 4));
+    }
+
+    #[test]
+    fn all_reduce_degenerates_and_scales() {
+        let link = v100().link;
+        assert_eq!(link.all_reduce_time(1 << 20, 1), SimTime::ZERO);
+        // Ring all-reduce moves ~2x the payload regardless of k; the
+        // latency term grows with k.
+        let t2 = link.all_reduce_time(1 << 20, 2);
+        let t8 = link.all_reduce_time(1 << 20, 8);
+        assert!(t8 > t2);
+        assert!(t8.as_us() < t2.as_us() * 10.0);
+    }
+
+    #[test]
+    fn broadcast_rounds_are_logarithmic() {
+        let link = k20xm().link;
+        let one = link.broadcast_time(4096, 2);
+        let four = link.broadcast_time(4096, 4);
+        let eight = link.broadcast_time(4096, 8);
+        assert!((four.as_ns() - 2.0 * one.as_ns()).abs() < 1e-6);
+        assert!((eight.as_ns() - 3.0 * one.as_ns()).abs() < 1e-6);
     }
 }

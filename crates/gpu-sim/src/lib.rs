@@ -65,7 +65,7 @@ pub mod sanitizer;
 pub mod trace;
 pub mod warp;
 
-pub use arch::{GpuArchitecture, GpuGeneration};
+pub use arch::{GpuArchitecture, GpuGeneration, LinkModel};
 pub use block::{BlockExec, SmemAccessError, WarpSchedule};
 pub use bufpool::{BufferPool, BufferPoolStats};
 pub use cost::{CostBreakdown, KernelCost, SimTime};

@@ -3,15 +3,22 @@
 //!
 //! ```text
 //! cargo run --release --bin selectcli -- \
-//!     [--algo sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|cpu] \
+//!     [--algo sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|shard|cpu] \
 //!     [--n 4194304] [--rank N | --k N] \
 //!     [--dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp] \
 //!     [--arch v100|k20xm|c2070] [--buckets 256] [--seed 42] [--breakdown] \
 //!     [--trace out.json] [--metrics out.json|out.prom] [--span-log out.txt] \
 //!     [--inject-faults SEED [--fault-rate R]] [--inject-bitflips SEED [--bitflip-rate R]] \
 //!     [--verify off|spot|paranoid] [--time-budget MS] [--checkpoint FILE [--resume]] \
+//!     [--shards K] [--kill-shard SHARD@LEVEL] [--hedge] \
 //!     [--sanitize [--sanitize-json out.json]] [--threads N]
 //! ```
+//!
+//! `--algo shard` partitions the workload across `--shards` simulated
+//! devices; `--kill-shard 1@2` kills shard 1 at recursion level 2 (the
+//! driver recovers it by replay), and `--hedge` arms cost-model
+//! straggler hedging. `--inject-faults`/`--inject-bitflips` apply their
+//! fault plan to shard 0.
 
 use gpu_selection::baselines::{bucket_select_on_device, radix_select_on_device};
 use gpu_selection::datagen::{Distribution, RankChoice, WorkloadSpec};
@@ -29,8 +36,8 @@ use gpu_selection::sampleselect::streaming::{
 use gpu_selection::sampleselect::topk::top_k_largest_on_device;
 use gpu_selection::sampleselect::{
     approx_select_on_device, quick_select_on_device, resilient_select_on_device,
-    sample_select_on_device, ObsSession, Outcome, ResilienceConfig, SampleSelectConfig,
-    SelectReport, VerifyPolicy,
+    sample_select_on_device, sharded_select, KillSpec, ObsSession, Outcome, ResilienceConfig,
+    SampleSelectConfig, SelectReport, ShardConfig, ShardFaults, VerifyPolicy,
 };
 use std::process::exit;
 
@@ -59,6 +66,9 @@ struct Args {
     threads: Option<usize>,
     metrics: Option<String>,
     span_log: Option<String>,
+    shards: usize,
+    kill_shard: Option<KillSpec>,
+    hedge: bool,
 }
 
 impl Default for Args {
@@ -87,6 +97,9 @@ impl Default for Args {
             threads: None,
             metrics: None,
             span_log: None,
+            shards: 2,
+            kill_shard: None,
+            hedge: false,
         }
     }
 }
@@ -134,6 +147,14 @@ fn parse_args() -> Args {
             }
             "--checkpoint" => out.checkpoint = Some(val("--checkpoint")),
             "--resume" => out.resume = true,
+            "--shards" => out.shards = val("--shards").parse().expect("--shards"),
+            "--kill-shard" => {
+                out.kill_shard = Some(val("--kill-shard").parse().unwrap_or_else(|e| {
+                    eprintln!("--kill-shard: {e}\n{HELP}");
+                    exit(2);
+                }))
+            }
+            "--hedge" => out.hedge = true,
             "--threads" => out.threads = Some(val("--threads").parse().expect("--threads")),
             "--metrics" => out.metrics = Some(val("--metrics")),
             "--span-log" => out.span_log = Some(val("--span-log")),
@@ -156,12 +177,13 @@ fn parse_args() -> Args {
 }
 
 const HELP: &str =
-    "selectcli --algo sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|cpu \
+    "selectcli --algo sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|shard|cpu \
 --n N --rank R|--k K --dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp \
 --arch v100|k20xm|c2070 --buckets B --seed S [--breakdown] [--trace out.json] \
 [--metrics out.json|out.prom] [--span-log out.txt] \
 [--inject-faults SEED [--fault-rate R]] [--inject-bitflips SEED [--bitflip-rate R]] \
 [--verify off|spot|paranoid] [--time-budget MS] [--checkpoint FILE [--resume]] \
+[--shards K] [--kill-shard SHARD@LEVEL] [--hedge] \
 [--sanitize [--sanitize-json out.json]] [--threads N]";
 
 fn distribution(name: &str) -> Distribution {
@@ -423,6 +445,89 @@ fn main() {
                 r.peak_resident as f64 / args.n as f64 * 100.0
             );
             print_report(&r.report, args.breakdown);
+        }
+        "shard" => {
+            let scfg = ShardConfig::default()
+                .with_shards(args.shards)
+                .with_hedge(args.hedge);
+            let mut faults = ShardFaults::default();
+            if let Some(spec) = args.kill_shard {
+                println!(
+                    "shard kill injection: shard {} dies at recursion level {}",
+                    spec.shard, spec.level
+                );
+                faults = faults.kill_shard(spec.shard, spec.level);
+            }
+            if args.inject_faults.is_some() || args.inject_bitflips.is_some() {
+                // The per-shard devices are built by the driver, so the
+                // plan latched on `device` above never fires; rebuild the
+                // same plan and pin it to shard 0.
+                let plan_seed = args
+                    .inject_faults
+                    .or(args.inject_bitflips)
+                    .expect("one of the fault seeds is set");
+                let mut plan = FaultPlan::new(plan_seed);
+                if args.inject_faults.is_some() {
+                    plan = plan
+                        .launch_failures(args.fault_rate)
+                        .max_launch_failures(8)
+                        .latency_spikes(args.fault_rate / 2.0, 4.0);
+                }
+                if args.inject_bitflips.is_some() {
+                    plan = plan.bitflips(args.bitflip_rate);
+                }
+                println!("(fault plan applied to shard 0)");
+                faults = faults.with_plan(0, plan);
+            }
+            let r = sharded_select(&arch, pool, &w.data, rank, &cfg, &scfg, &faults)
+                .unwrap_or_else(|e| {
+                    eprintln!("sharded selection failed: {e}");
+                    exit(1);
+                });
+            match r.outcome {
+                Outcome::Exact(value) => {
+                    println!("value = {value} (exact, {} shards)", r.report.shards);
+                    assert_eq!(value, reference_select(&w.data, rank).unwrap());
+                }
+                Outcome::Approximate {
+                    value,
+                    achieved_rank,
+                    rank_error,
+                } => println!(
+                    "value = {value} (approximate after quorum degradation: rank \
+                     {achieved_rank} over survivors, {rank} requested, bounded error \
+                     {rank_error})"
+                ),
+            }
+            let rep = &r.report;
+            println!(
+                "levels: {}, simulated time: {} (link {} / {} bytes)",
+                rep.levels, rep.sim_time, rep.link_time, rep.link_bytes
+            );
+            println!(
+                "shards: {} launched, {} stragglers hedged, {} recovered, {} quorum \
+                 degradations ({} candidates lost)",
+                rep.shards,
+                rep.stragglers_hedged,
+                rep.shards_recovered,
+                rep.quorum_degradations,
+                rep.lost_elements
+            );
+            let ev = &rep.events;
+            if !ev.is_clean() || ev.certified > 0 {
+                println!(
+                    "resilience: {} retries, {} faults observed, {} corruptions detected, \
+                     {} certified, {} resumed",
+                    ev.retries,
+                    ev.faults_observed,
+                    ev.corruptions_detected,
+                    ev.certified,
+                    ev.resumed
+                );
+                for line in &ev.log {
+                    println!("  {line}");
+                }
+            }
         }
         "cpu" => {
             let t0 = std::time::Instant::now();

@@ -46,6 +46,9 @@ pub mod prelude {
     pub use sampleselect::resilient::{
         resilient_select, Backend, Outcome, ResilienceConfig, ResilientResult, RetryPolicy,
     };
+    pub use sampleselect::shard::{
+        sharded_select, sharded_select_clean, KillSpec, ShardConfig, ShardFaults, ShardTopology,
+    };
     pub use sampleselect::topk::top_k_largest;
     pub use sampleselect::{sample_select, SelectError, SelectResult};
     pub use select_datagen::{Distribution, Workload, WorkloadSpec};

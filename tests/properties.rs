@@ -450,6 +450,115 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Sharded multi-device selection: the coordinator protocol must be
+// invisible — any shard count produces the bit-identical result of the
+// single-device driver on arbitrary inputs (clean), and killing any
+// single shard at any level still yields the exact answer via replay
+// recovery (faulted).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// K ∈ {2, 4, 8} is bit-identical to K = 1 on arbitrary integer
+    /// inputs, independent of the host thread-pool width (the sharded
+    /// coordinator must not let scheduling order leak into the result).
+    #[test]
+    fn sharded_selection_is_bit_identical_to_single_device(
+        data in vec(-1000i32..1000, 64..600),
+        rank_frac in 0.0f64..1.0,
+        pool_threads in 1usize..4,
+    ) {
+        use gpu_selection::sampleselect::{sharded_select_clean, ShardConfig};
+
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let cfg = small_cfg();
+        let pool = ThreadPool::new(pool_threads);
+        let arch = v100();
+
+        let single = sharded_select_clean(
+            &arch, &pool, &data, rank, &cfg, &ShardConfig::default().with_shards(1),
+        ).unwrap();
+        prop_assert!(single.outcome.is_exact());
+        prop_assert_eq!(single.outcome.value(), reference_select(&data, rank).unwrap());
+
+        for k in [2usize, 4, 8] {
+            let sharded = sharded_select_clean(
+                &arch, &pool, &data, rank, &cfg, &ShardConfig::default().with_shards(k),
+            ).unwrap();
+            prop_assert!(sharded.outcome.is_exact(), "K={} must stay exact", k);
+            prop_assert_eq!(
+                sharded.outcome.value(), single.outcome.value(),
+                "K={} diverged from K=1", k
+            );
+            prop_assert!(sharded.report.events.is_clean(), "K={} run must be fault-free", k);
+        }
+    }
+
+    /// Same invariant on floats, compared bit-for-bit (so -0.0 vs 0.0
+    /// and NaN-payload drift would be caught).
+    #[test]
+    fn sharded_selection_is_bit_identical_on_floats(
+        data in vec(prop::num::f32::NORMAL | prop::num::f32::ZERO, 64..400),
+        rank_frac in 0.0f64..1.0,
+        k_idx in 0usize..3,
+    ) {
+        use gpu_selection::sampleselect::{sharded_select_clean, ShardConfig};
+
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let cfg = small_cfg();
+        let pool = ThreadPool::new(2);
+        let arch = v100();
+        let k = [2usize, 4, 8][k_idx];
+
+        let single = sharded_select_clean(
+            &arch, &pool, &data, rank, &cfg, &ShardConfig::default().with_shards(1),
+        ).unwrap();
+        let sharded = sharded_select_clean(
+            &arch, &pool, &data, rank, &cfg, &ShardConfig::default().with_shards(k),
+        ).unwrap();
+        prop_assert_eq!(
+            sharded.outcome.value().to_bits(),
+            single.outcome.value().to_bits(),
+            "K={} not bit-identical to K=1", k
+        );
+    }
+
+    /// Killing any single shard at any early recursion level keeps the
+    /// result exact: the coordinator replays the dead shard's partition
+    /// on a spare device and verifies the replay fingerprint.
+    #[test]
+    fn any_single_shard_kill_is_recovered_exactly(
+        data in vec(-500i32..500, 128..600),
+        rank_frac in 0.0f64..1.0,
+        shard in 0usize..4,
+        level in 0u32..2,
+    ) {
+        use gpu_selection::sampleselect::{sharded_select, ShardConfig, ShardFaults};
+
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let cfg = small_cfg();
+        let pool = ThreadPool::new(2);
+        let arch = v100();
+        let scfg = ShardConfig::default().with_shards(4).with_recovery_budget(1);
+        let faults = ShardFaults::default().kill_shard(shard, level);
+
+        let res = sharded_select(&arch, &pool, &data, rank, &cfg, &scfg, &faults).unwrap();
+        prop_assert!(
+            res.outcome.is_exact(),
+            "kill {}@{} must be recovered, not degraded", shard, level
+        );
+        prop_assert_eq!(res.outcome.value(), reference_select(&data, rank).unwrap());
+        // The kill fires only if the recursion reaches `level`; when it
+        // does, exactly one recovery must be recorded.
+        prop_assert!(res.report.shards_recovered <= 1);
+        if res.report.levels > level {
+            prop_assert_eq!(res.report.shards_recovered, 1, "kill at a reached level must recover");
+        }
+    }
+}
+
 /// Deterministic companion to the property above: with corruption
 /// guaranteed to land in a pooled region, the pool must record the
 /// quarantined drop.

@@ -1,0 +1,179 @@
+//! CI shard matrix: sharded selection under every fault class, at every
+//! shard count.
+//!
+//! `SHARD_MATRIX_K` pins one shard count (2, 4, or 8) and
+//! `SHARD_MATRIX_FAULT` pins one fault class (`launch`, `bitflip`,
+//! `latency`, `shard-kill`, `shard-kill-degraded`);
+//! `SHARD_MATRIX_SEED` overrides the fault seed. With nothing set, the
+//! whole grid runs with the default seed. Every leg must finish without
+//! panicking: exact for every recoverable class, *tagged approximate*
+//! for the exhausted-recovery-budget leg — never a silently wrong exact.
+
+use gpu_selection::gpu_sim::arch::v100;
+use gpu_selection::gpu_sim::FaultPlan;
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::sampleselect::element::reference_select;
+use gpu_selection::sampleselect::rng::SplitMix64;
+use gpu_selection::sampleselect::{
+    sharded_select, Outcome, SampleSelectConfig, ShardConfig, ShardFaults, VerifyPolicy,
+};
+
+fn uniform(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_f64() as f32).collect()
+}
+
+const ALL_FAULTS: [&str; 5] = [
+    "launch",
+    "bitflip",
+    "latency",
+    "shard-kill",
+    "shard-kill-degraded",
+];
+
+#[test]
+fn shard_matrix_every_leg_ends_well() {
+    let k_env = std::env::var("SHARD_MATRIX_K")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok());
+    let fault_env = std::env::var("SHARD_MATRIX_FAULT").ok();
+    let seed: u64 = std::env::var("SHARD_MATRIX_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1101);
+
+    let ks: Vec<usize> = match k_env {
+        Some(k) => vec![k],
+        None => vec![2, 4, 8],
+    };
+    let faults: Vec<&str> = match fault_env.as_deref() {
+        Some(f) => vec![f],
+        None => ALL_FAULTS.to_vec(),
+    };
+
+    let data = uniform(1 << 17, 0x5bad);
+    let rank = 77_777;
+    let expected = reference_select(&data, rank).unwrap();
+    let pool = ThreadPool::new(2);
+    let arch = v100();
+
+    for &k in &ks {
+        for fault in &faults {
+            // The injected fault always lands on a real shard.
+            let victim = k - 1;
+            let (cfg, scfg, plan) = match *fault {
+                "launch" => (
+                    SampleSelectConfig::default(),
+                    ShardConfig::default().with_shards(k),
+                    ShardFaults::default().with_plan(
+                        victim,
+                        FaultPlan::new(seed)
+                            .launch_failures(0.3)
+                            .max_launch_failures(3),
+                    ),
+                ),
+                "bitflip" => (
+                    SampleSelectConfig::default().with_verify(VerifyPolicy::Paranoid),
+                    ShardConfig::default().with_shards(k),
+                    ShardFaults::default().with_plan(
+                        victim,
+                        FaultPlan::new(seed).bitflips(1.0).max_corruptions(2),
+                    ),
+                ),
+                "latency" => (
+                    SampleSelectConfig::default(),
+                    ShardConfig::default().with_shards(k).with_hedge(true),
+                    ShardFaults::default()
+                        .with_plan(victim, FaultPlan::new(seed).latency_spikes(1.0, 50.0)),
+                ),
+                "shard-kill" => (
+                    SampleSelectConfig::default(),
+                    ShardConfig::default()
+                        .with_shards(k)
+                        .with_recovery_budget(1),
+                    ShardFaults::default().kill_shard(victim, 1),
+                ),
+                "shard-kill-degraded" => (
+                    SampleSelectConfig::default(),
+                    ShardConfig::default()
+                        .with_shards(k)
+                        .with_recovery_budget(0),
+                    ShardFaults::default().kill_shard(victim, 1),
+                ),
+                other => panic!("unknown SHARD_MATRIX_FAULT `{other}`"),
+            };
+
+            let res = sharded_select(&arch, &pool, &data, rank, &cfg, &scfg, &plan)
+                .unwrap_or_else(|e| panic!("K={k} fault={fault} seed={seed} errored: {e}"));
+
+            match *fault {
+                "shard-kill-degraded" => match res.outcome {
+                    Outcome::Approximate { rank_error, .. } => {
+                        assert_eq!(
+                            rank_error, res.report.lost_elements,
+                            "K={k} fault={fault}: rank error must equal the lost candidates"
+                        );
+                        assert_eq!(res.report.quorum_degradations, 1);
+                    }
+                    Outcome::Exact(_) => panic!(
+                        "K={k} fault={fault} seed={seed}: degraded run must tag its \
+                         result approximate, never claim exactness"
+                    ),
+                },
+                _ => {
+                    assert_eq!(
+                        res.outcome,
+                        Outcome::Exact(expected),
+                        "K={k} fault={fault} seed={seed} must recover the exact answer"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The degraded leg's approximate answer is not just tagged — its
+/// reported achieved rank is truthful: it equals the value's below-count
+/// over the surviving shards' partitions, re-derived here from scratch.
+#[test]
+fn degraded_answers_report_truthful_ranks() {
+    use gpu_selection::sampleselect::ShardTopology;
+
+    let data = uniform(1 << 16, 0xdead);
+    let rank = 30_000;
+    let pool = ThreadPool::new(2);
+    let res = sharded_select(
+        &v100(),
+        &pool,
+        &data,
+        rank,
+        &SampleSelectConfig::default(),
+        &ShardConfig::default()
+            .with_shards(4)
+            .with_recovery_budget(0),
+        &ShardFaults::default().kill_shard(1, 1),
+    )
+    .unwrap();
+    match res.outcome {
+        Outcome::Approximate {
+            value,
+            achieved_rank,
+            rank_error,
+        } => {
+            // Shard 1 of the even 4-way topology died; its partition is
+            // excluded from the survivor rank count.
+            let dead = ShardTopology::even(data.len(), 4).range(1);
+            let below = data
+                .iter()
+                .enumerate()
+                .filter(|&(i, &x)| !dead.contains(&i) && x < value)
+                .count() as u64;
+            assert_eq!(
+                achieved_rank, below,
+                "achieved rank must be the value's below-count over survivors"
+            );
+            assert_eq!(rank_error, res.report.lost_elements);
+        }
+        Outcome::Exact(_) => panic!("budget 0 with a kill must degrade"),
+    }
+}
