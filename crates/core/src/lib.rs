@@ -52,6 +52,7 @@ pub mod resilient;
 pub mod rng;
 pub mod samplesort;
 pub mod searchtree;
+pub mod server;
 pub mod shard;
 pub mod simt_ref;
 pub mod splitter;
@@ -65,7 +66,9 @@ pub use element::SelectElement;
 pub use instrument::{ResilienceEvent, ResilienceEvents, SelectReport};
 pub use kv::{zip_pairs, Pair};
 pub use multiselect::{multi_select, multi_select_on_device, quantiles, MultiSelectResult};
-pub use obs::{MetricsRegistry, MetricsSnapshot, ObsReport, ObsSession, QuerySpan, SpanKind};
+pub use obs::{
+    MetricsRegistry, MetricsSnapshot, ObsReport, ObsSession, QuerySpan, SpanGuard, SpanKind,
+};
 pub use params::{AtomicScope, ConfigError, SampleSelectConfig};
 pub use quickselect::{bipartition_on_device, quick_select, quick_select_on_device};
 pub use recursion::{sample_select_on_device, sample_select_with_workspace};
@@ -75,6 +78,10 @@ pub use resilient::{
 };
 pub use samplesort::{sample_sort, sample_sort_on_device, SortResult};
 pub use searchtree::SearchTree;
+pub use server::{
+    BreakerConfig, QueryKind, QueryRequest, QueryResponse, QueryStatus, QuotaConfig, SelectServer,
+    ServerConfig, ServerSnapshot, TenantCounters,
+};
 pub use shard::{
     sharded_select, sharded_select_clean, KillSpec, ShardConfig, ShardFaults, ShardReport,
     ShardTopology, ShardedResult,
@@ -129,6 +136,19 @@ pub enum SelectError {
         /// Human-readable detail of the violation.
         detail: String,
     },
+    /// The `selectd` server refused to admit the query: the tenant's
+    /// token bucket is empty, the admission queue is full, or the
+    /// server is draining. Explicit backpressure — the client must slow
+    /// down or retry later; the internal resilience loop deliberately
+    /// does *not* absorb it ([`SelectError::is_transient`] is false),
+    /// because hiding overload behind retries defeats load shedding.
+    Overloaded {
+        /// Why admission was refused (`"quota"`, `"queue-full"`,
+        /// `"draining"`).
+        reason: &'static str,
+        /// The tenant whose request was refused.
+        tenant: String,
+    },
     /// A thread-level reference kernel addressed shared memory out of
     /// bounds with the SIMT sanitizer disarmed (armed, the access is
     /// reported as a [`gpu_sim::SanitizerFinding`] instead). Permanent:
@@ -171,6 +191,12 @@ impl std::fmt::Display for SelectError {
             SelectError::ChunkLoad(e) => write!(f, "chunk load failed: {e}"),
             SelectError::Corruption { invariant, detail } => {
                 write!(f, "data corruption detected ({invariant}): {detail}")
+            }
+            SelectError::Overloaded { reason, tenant } => {
+                write!(
+                    f,
+                    "server overloaded ({reason}): tenant `{tenant}` rejected"
+                )
             }
             SelectError::SharedOutOfBounds { kernel, index, len } => {
                 write!(
@@ -266,6 +292,11 @@ mod tests {
                 kernel: "bitonic-ref",
                 index: 64,
                 len: 64,
+            },
+            // Backpressure must reach the client, not be retried away.
+            SelectError::Overloaded {
+                reason: "quota",
+                tenant: "t0".to_string(),
             },
         ] {
             assert!(!permanent.is_transient(), "{permanent} must be permanent");

@@ -98,10 +98,21 @@ pub enum Counter {
     ShardsRecovered,
     /// Sharding: queries that finished degraded on a survivor quorum.
     QuorumDegradations,
+    /// Serving: queries admitted past quota + queue checks.
+    Admitted,
+    /// Serving: queries rejected at admission (quota or queue full).
+    Rejected,
+    /// Serving: queries degraded because their deadline expired (in
+    /// queue or via the resilient driver's time budget).
+    DeadlineDegraded,
+    /// Serving: circuit-breaker open transitions (device quarantined).
+    BreakerOpen,
+    /// Serving: rank queries answered by a merged `multiselect` batch.
+    Batched,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 23] = [
         Counter::Queries,
         Counter::KernelLaunches,
         Counter::RecursionLevels,
@@ -120,6 +131,11 @@ impl Counter {
         Counter::StragglersHedged,
         Counter::ShardsRecovered,
         Counter::QuorumDegradations,
+        Counter::Admitted,
+        Counter::Rejected,
+        Counter::DeadlineDegraded,
+        Counter::BreakerOpen,
+        Counter::Batched,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -143,6 +159,11 @@ impl Counter {
             Counter::StragglersHedged => "select_stragglers_hedged_total",
             Counter::ShardsRecovered => "select_shards_recovered_total",
             Counter::QuorumDegradations => "select_quorum_degradations_total",
+            Counter::Admitted => "select_admitted_total",
+            Counter::Rejected => "select_rejected_total",
+            Counter::DeadlineDegraded => "select_deadline_degraded_total",
+            Counter::BreakerOpen => "select_breaker_open_total",
+            Counter::Batched => "select_batched_total",
         }
     }
 }
@@ -562,7 +583,15 @@ pub struct ObsSession {
 
 impl ObsSession {
     pub fn start() -> Self {
-        let registry = Arc::new(MetricsRegistry::new());
+        Self::start_with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Install a session whose counters feed a *shared* registry — the
+    /// handle-based enablement the `selectd` server uses: one registry
+    /// owned by the server, one session per worker thread, so N
+    /// concurrent queries aggregate into a single fixed-slot snapshot
+    /// while spans stay per-thread.
+    pub fn start_with_registry(registry: Arc<MetricsRegistry>) -> Self {
         ACTIVE.with(|a| {
             *a.borrow_mut() = Some(ObsState {
                 registry: Arc::clone(&registry),
@@ -688,6 +717,59 @@ pub fn span_exit(now_ns: f64) {
 /// error paths that skipped their `span_exit` calls.
 pub fn span_depth() -> usize {
     with_state(|st| st.stack.len()).unwrap_or(0)
+}
+
+/// Close open spans until at most `depth` remain, stamping them with
+/// the latest simulated timestamp the session has seen. The panic-path
+/// variant of [`span_close_to`]: an unwinding driver has no device at
+/// hand to ask for `now`.
+pub fn span_unwind_to(depth: usize) {
+    with_state(|st| {
+        while st.stack.len() > depth {
+            let mut span = st.stack.pop().expect("stack non-empty");
+            span.end_ns = st.last_ns.max(span.start_ns);
+            match st.stack.last_mut() {
+                Some(parent) => parent.children.push(span),
+                None => st.roots.push(span),
+            }
+        }
+    });
+}
+
+/// RAII span-stack protector for code that may panic mid-query.
+///
+/// A panicking driver leaves its open spans on the thread's session
+/// stack; if the panic is caught (a server worker isolating one bad
+/// query), the *next* query on that thread would nest inside the
+/// dangling spans and every later snapshot would differ. Taking a
+/// `SpanGuard` before running the driver and dropping it after (drop
+/// runs during unwinding too) restores the stack to its entry depth, so
+/// a caught panic leaves the session exactly as it found it.
+///
+/// On the non-panic path the guard is a no-op for balanced drivers —
+/// they already closed everything they opened.
+pub struct SpanGuard {
+    depth: usize,
+}
+
+impl SpanGuard {
+    pub fn new() -> Self {
+        SpanGuard {
+            depth: span_depth(),
+        }
+    }
+}
+
+impl Default for SpanGuard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        span_unwind_to(self.depth);
+    }
 }
 
 /// Close open spans until at most `depth` remain (no-op if already
@@ -846,6 +928,54 @@ mod tests {
         assert_eq!(q.children.len(), 1);
         assert_eq!(q.children[0].kind, SpanKind::Attempt);
         assert!((q.children[0].end_ns - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_guard_restores_stack_across_caught_panic() {
+        let session = ObsSession::start();
+        span_enter(SpanKind::Query, "server", 0, 0.0);
+        let result = std::panic::catch_unwind(|| {
+            let _guard = SpanGuard::new();
+            span_enter(SpanKind::Attempt, "sampleselect", 0, 5.0);
+            span_enter(SpanKind::Level, "level", 0, 6.0);
+            panic!("injected driver panic");
+        });
+        assert!(result.is_err());
+        // the guard unwound the panicking query's spans
+        assert_eq!(span_depth(), 1);
+        span_enter(SpanKind::Attempt, "next-query", 0, 10.0);
+        span_exit(12.0);
+        span_exit(20.0);
+        let report = session.finish();
+        let q = &report.spans[0];
+        // the dangling Attempt/Level pair was closed under the server
+        // span; the next query is a clean sibling, not a grandchild
+        assert_eq!(q.children.len(), 2);
+        assert_eq!(q.children[1].name, "next-query");
+        assert!(q.children[1].children.is_empty());
+    }
+
+    #[test]
+    fn shared_registry_aggregates_across_sessions() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let r1 = Arc::clone(&registry);
+        let r2 = Arc::clone(&registry);
+        let t1 = std::thread::spawn(move || {
+            let s = ObsSession::start_with_registry(r1);
+            counter_add(Counter::Admitted, 3);
+            s.finish();
+        });
+        let t2 = std::thread::spawn(move || {
+            let s = ObsSession::start_with_registry(r2);
+            counter_add(Counter::Admitted, 4);
+            counter_add(Counter::Rejected, 1);
+            s.finish();
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("select_admitted_total"), 7);
+        assert_eq!(snap.counter("select_rejected_total"), 1);
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Per-device circuit breaker.
+//!
+//! Every server worker owns one breaker for its primary device. The
+//! breaker consumes the health verdict of each query served on that
+//! device — "unhealthy" meaning the device latched an injected fault or
+//! the ABFT layer caught a corruption during the query, the signals
+//! `resilient.rs` already surfaces in [`crate::ResilienceEvents`] — and
+//! decides where the *next* query runs:
+//!
+//! * **Closed** — queries run on the primary. `failure_threshold`
+//!   consecutive unhealthy queries trip the breaker.
+//! * **Open** — the primary is quarantined; queries are rerouted to the
+//!   worker's clean spare device (the shared admission queue already
+//!   redistributes the rest of the load to other workers). After
+//!   `probe_after` rerouted queries the breaker goes half-open.
+//! * **HalfOpen** — exactly one probe query runs on the primary: a
+//!   healthy probe closes the breaker (device rehabilitated), an
+//!   unhealthy one reopens it for another full quarantine window.
+//!
+//! State transitions are driven purely by query counts, so a fixed
+//! fault-plan seed produces the same breaker trajectory on every run.
+
+/// Breaker policy knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive unhealthy queries on the primary that open the
+    /// breaker.
+    pub failure_threshold: u32,
+    /// Queries served on the spare before a half-open probe of the
+    /// primary.
+    pub probe_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            probe_after: 8,
+        }
+    }
+}
+
+/// Which device the worker should run the next query on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    Primary,
+    Spare,
+}
+
+/// Observable breaker transitions (logged into the server event log
+/// and counted as `select_breaker_open_total` on open/reopen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerEvent {
+    Opened,
+    Reopened,
+    Closed,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open { rerouted: u32 },
+    HalfOpen,
+}
+
+/// The breaker itself. See the module docs for the state machine.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: State,
+    consecutive_failures: u32,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: State::Closed,
+            consecutive_failures: 0,
+        }
+    }
+
+    /// Whether the primary device is currently quarantined.
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, State::Open { .. })
+    }
+
+    /// Route the next query. Advances the quarantine window: the
+    /// `probe_after`-th routed query after opening goes half-open and
+    /// probes the primary.
+    pub fn route(&mut self) -> Route {
+        match self.state {
+            State::Closed | State::HalfOpen => Route::Primary,
+            State::Open { rerouted } => {
+                if rerouted >= self.cfg.probe_after {
+                    self.state = State::HalfOpen;
+                    Route::Primary
+                } else {
+                    self.state = State::Open {
+                        rerouted: rerouted + 1,
+                    };
+                    Route::Spare
+                }
+            }
+        }
+    }
+
+    /// Feed the health verdict of a query that ran on `route`. Spare
+    /// results never move the breaker — only the primary's health is
+    /// under test.
+    pub fn on_result(&mut self, route: Route, healthy: bool) -> Option<BreakerEvent> {
+        if route == Route::Spare {
+            return None;
+        }
+        match self.state {
+            State::Closed => {
+                if healthy {
+                    self.consecutive_failures = 0;
+                    None
+                } else {
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= self.cfg.failure_threshold {
+                        self.state = State::Open { rerouted: 0 };
+                        self.consecutive_failures = 0;
+                        Some(BreakerEvent::Opened)
+                    } else {
+                        None
+                    }
+                }
+            }
+            State::HalfOpen => {
+                if healthy {
+                    self.state = State::Closed;
+                    self.consecutive_failures = 0;
+                    Some(BreakerEvent::Closed)
+                } else {
+                    self.state = State::Open { rerouted: 0 };
+                    Some(BreakerEvent::Reopened)
+                }
+            }
+            // A result for an Open state can only be a spare result,
+            // handled above.
+            State::Open { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, probe_after: u32) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            probe_after,
+        })
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures_only() {
+        let mut b = breaker(3, 4);
+        assert_eq!(b.on_result(Route::Primary, false), None);
+        assert_eq!(b.on_result(Route::Primary, true), None); // streak reset
+        assert_eq!(b.on_result(Route::Primary, false), None);
+        assert_eq!(b.on_result(Route::Primary, false), None);
+        assert_eq!(
+            b.on_result(Route::Primary, false),
+            Some(BreakerEvent::Opened)
+        );
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn quarantine_reroutes_then_probes() {
+        let mut b = breaker(1, 2);
+        assert_eq!(
+            b.on_result(Route::Primary, false),
+            Some(BreakerEvent::Opened)
+        );
+        assert_eq!(b.route(), Route::Spare);
+        assert_eq!(b.route(), Route::Spare);
+        // window served: next route is the half-open probe
+        assert_eq!(b.route(), Route::Primary);
+        assert_eq!(
+            b.on_result(Route::Primary, true),
+            Some(BreakerEvent::Closed)
+        );
+        assert_eq!(b.route(), Route::Primary);
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = breaker(1, 1);
+        b.on_result(Route::Primary, false);
+        assert_eq!(b.route(), Route::Spare);
+        assert_eq!(b.route(), Route::Primary); // probe
+        assert_eq!(
+            b.on_result(Route::Primary, false),
+            Some(BreakerEvent::Reopened)
+        );
+        assert!(b.is_open());
+        assert_eq!(b.route(), Route::Spare);
+    }
+
+    #[test]
+    fn spare_results_never_move_the_breaker() {
+        let mut b = breaker(1, 8);
+        b.on_result(Route::Primary, false);
+        assert!(b.is_open());
+        for _ in 0..100 {
+            assert_eq!(b.on_result(Route::Spare, false), None);
+        }
+        assert!(b.is_open());
+    }
+}

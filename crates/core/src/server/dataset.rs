@@ -1,0 +1,162 @@
+//! Server-side datasets.
+//!
+//! Clients never ship data over the wire: a query names its dataset by
+//! a compact [`DatasetSpec`] (distribution code, size, seed) and the
+//! server instantiates and caches it. Two queries naming the same spec
+//! share one cached `Arc<Vec<f32>>` — which is exactly what makes
+//! cross-query batching possible: same spec ⇒ same buffer ⇒ one
+//! `multiselect` pass answers all of them.
+//!
+//! Generation is a pure function of the spec (SplitMix64 throughout),
+//! so an in-process client — the bit-identity proptest, `loadgen`'s
+//! result checker — can regenerate the exact dataset the server used.
+
+use crate::rng::SplitMix64;
+
+/// Distribution codes carried on the wire (one byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DistCode {
+    Uniform = 0,
+    Distinct16 = 1,
+    Distinct1024 = 2,
+    Normal = 3,
+    Exponential = 4,
+    SortedAscending = 5,
+    ClusteredOutliers = 6,
+    GeometricCascade = 7,
+}
+
+impl DistCode {
+    pub const ALL: [DistCode; 8] = [
+        DistCode::Uniform,
+        DistCode::Distinct16,
+        DistCode::Distinct1024,
+        DistCode::Normal,
+        DistCode::Exponential,
+        DistCode::SortedAscending,
+        DistCode::ClusteredOutliers,
+        DistCode::GeometricCascade,
+    ];
+
+    pub fn from_u8(b: u8) -> Option<DistCode> {
+        Self::ALL.into_iter().find(|d| *d as u8 == b)
+    }
+
+    /// The `selectcli --dist` style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistCode::Uniform => "uniform",
+            DistCode::Distinct16 => "d16",
+            DistCode::Distinct1024 => "d1024",
+            DistCode::Normal => "normal",
+            DistCode::Exponential => "exp",
+            DistCode::SortedAscending => "sorted",
+            DistCode::ClusteredOutliers => "clustered",
+            DistCode::GeometricCascade => "cascade",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<DistCode> {
+        Self::ALL.into_iter().find(|d| d.name() == name)
+    }
+}
+
+/// Identity of one server-side dataset. `Ord` + `Hash` so it can key
+/// the dataset cache and the batching scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetSpec {
+    pub dist: DistCode,
+    pub n: u64,
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    pub fn uniform(n: usize, seed: u64) -> Self {
+        Self {
+            dist: DistCode::Uniform,
+            n: n as u64,
+            seed,
+        }
+    }
+}
+
+/// Instantiate a dataset from its spec — the server's (only) dataset
+/// provider, deliberately `pub` so clients can reproduce server data.
+pub fn instantiate(spec: &DatasetSpec) -> Vec<f32> {
+    let n = spec.n as usize;
+    let mut rng = SplitMix64::new(spec.seed ^ 0x0DA7_A5E7_u64);
+    match spec.dist {
+        DistCode::Uniform => (0..n).map(|_| rng.next_f64() as f32).collect(),
+        DistCode::Distinct16 => (0..n).map(|_| rng.next_below(16) as f32).collect(),
+        DistCode::Distinct1024 => (0..n).map(|_| rng.next_below(1024) as f32).collect(),
+        DistCode::Normal => (0..n)
+            .map(|_| {
+                // Box–Muller on two SplitMix64 draws.
+                let u1 = rng.next_f64().max(1e-12);
+                let u2 = rng.next_f64();
+                ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+            })
+            .collect(),
+        DistCode::Exponential => (0..n)
+            .map(|_| (-(rng.next_f64().max(1e-12)).ln()) as f32)
+            .collect(),
+        DistCode::SortedAscending => (0..n).map(|i| i as f32).collect(),
+        DistCode::ClusteredOutliers => (0..n)
+            .map(|_| {
+                if rng.next_below(1024) == 0 {
+                    1e9 * rng.next_f64() as f32
+                } else {
+                    1e-6 * rng.next_f64() as f32
+                }
+            })
+            .collect(),
+        DistCode::GeometricCascade => (0..n)
+            .map(|_| {
+                let scale = rng.next_below(16) as i32;
+                (2f64.powi(-scale) * rng.next_f64()) as f32
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for d in DistCode::ALL {
+            assert_eq!(DistCode::from_u8(d as u8), Some(d));
+            assert_eq!(DistCode::from_name(d.name()), Some(d));
+        }
+        assert_eq!(DistCode::from_u8(200), None);
+        assert_eq!(DistCode::from_name("zipf"), None);
+    }
+
+    #[test]
+    fn instantiation_is_deterministic_per_spec() {
+        for d in DistCode::ALL {
+            let spec = DatasetSpec {
+                dist: d,
+                n: 4096,
+                seed: 7,
+            };
+            let a = instantiate(&spec);
+            let b = instantiate(&spec);
+            assert_eq!(a.len(), 4096);
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "{d:?} must regenerate bit-identically"
+            );
+            assert!(a.iter().all(|x| x.is_finite()), "{d:?} produced non-finite");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = instantiate(&DatasetSpec::uniform(1024, 1));
+        let b = instantiate(&DatasetSpec::uniform(1024, 2));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,1242 @@
+//! `selectd`: an overload-safe, concurrent, multi-tenant selection
+//! service.
+//!
+//! Everything below this crate's driver layer is hardened for a single
+//! query at a time — faults, ABFT, checkpoints, sharding — but routed
+//! through per-thread state (`ObsSession` TLS, one workspace, one
+//! device). This module is the concurrency unlock: a [`SelectServer`]
+//! owns a pool of warm devices and [`SelectWorkspace`]s and admits N
+//! concurrent queries through *handles* — sessions bound to a shared
+//! [`MetricsRegistry`], tickets bound to per-query channels — with
+//! robustness as the headline:
+//!
+//! * **Bounded admission.** A fixed-capacity queue plus per-tenant
+//!   token buckets ([`QuotaConfig`]). When either says no, the query is
+//!   rejected *immediately* with [`SelectError::Overloaded`] — explicit
+//!   backpressure instead of unbounded queueing.
+//! * **Deadline degradation.** A query's deadline propagates into the
+//!   resilient driver's time-budget path: an overloaded server returns
+//!   a tagged [`Outcome::Approximate`]-style answer (honest achieved
+//!   rank and rank error) rather than timing out silently; a query
+//!   whose deadline already expired in the queue skips the exact
+//!   attempt entirely.
+//! * **Circuit breaking.** Each worker's primary device is watched by a
+//!   [`CircuitBreaker`] fed by the fault/latch signals the resilient
+//!   driver already surfaces. Consecutive unhealthy queries quarantine
+//!   the device; traffic reroutes to a clean spare (and, through the
+//!   shared queue, to the other workers) until a half-open probe
+//!   rehabilitates it.
+//! * **Cross-query batching.** Exact rank queries naming the same
+//!   [`DatasetSpec`] are merged into one `multiselect` pass — the
+//!   sample/count/reduce work of each level is shared, so m queued
+//!   queries cost barely more than one (RadiK's batched-serving
+//!   observation).
+//! * **Graceful drain.** [`SelectServer::drain`] stops admission,
+//!   finishes (or, under a hard drain, checkpoints) in-flight work, and
+//!   emits a final [`ServerSnapshot`]. Streaming queries always run
+//!   with a spooled checkpoint, so a hard drain loses no progress.
+//!
+//! Concurrent execution is bit-identical to serial execution of the
+//! same query set: every query runs on a freshly `reset` device with
+//! its own seed, and the warm buffer pool is result-invariant (both
+//! pinned by property tests).
+
+pub mod breaker;
+pub mod dataset;
+pub mod quota;
+pub mod wire;
+
+pub use breaker::{BreakerConfig, BreakerEvent, CircuitBreaker, Route};
+pub use dataset::{DatasetSpec, DistCode};
+pub use quota::{QuotaConfig, TokenBucket};
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::approx::approx_select_on_device;
+use crate::element::{reference_select, SelectElement};
+use crate::multiselect::multi_select_with_workspace;
+use crate::obs::{Counter, MetricsRegistry, MetricsSnapshot, ObsSession, SpanGuard};
+use crate::params::SampleSelectConfig;
+use crate::resilient::{resilient_select_on_device, Outcome, ResilienceConfig};
+use crate::streaming::{streaming_select_with_checkpoint, ChunkError, ChunkSource, SliceChunks};
+use crate::topk::top_k_largest_on_device;
+use crate::workspace::SelectWorkspace;
+use crate::SelectError;
+use gpu_sim::arch::{v100, GpuArchitecture};
+use gpu_sim::{Device, FaultPlan, SimTime};
+use hpc_par::ThreadPool;
+
+// ---------------------------------------------------------------------
+// Public request/response types
+// ---------------------------------------------------------------------
+
+/// What a query asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// The exact `rank`-th smallest element.
+    Exact { rank: u64 },
+    /// A single-pass approximate answer for `rank` (cheap by design).
+    Approx { rank: u64 },
+    /// The top-`k` threshold (the `(n-k)`-th smallest element).
+    TopK { k: u64 },
+    /// The `q`-quantiles (q-1 values) of the dataset.
+    Quantiles { q: u64 },
+    /// Out-of-core selection over the dataset in `chunk_len` chunks,
+    /// checkpointed to the server spool (drain-safe).
+    Stream { rank: u64, chunk_len: u64 },
+}
+
+/// One client query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Tenant identity for quota accounting (any UTF-8 string).
+    pub tenant: String,
+    pub kind: QueryKind,
+    /// The dataset the query runs against (instantiated and cached
+    /// server-side; see [`dataset::instantiate`]).
+    pub dataset: DatasetSpec,
+    /// Wall-clock deadline in milliseconds from submission; `None`
+    /// means the client will wait for an exact answer.
+    pub deadline_ms: Option<u32>,
+    /// Seed for the query's splitter sampling.
+    pub seed: u64,
+}
+
+/// How a query ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryStatus {
+    /// Exact answer.
+    Exact { value: f32 },
+    /// Tagged approximate answer (deadline degradation or an `Approx`
+    /// query), with its honest achieved rank and distance to target.
+    Approximate {
+        value: f32,
+        achieved_rank: u64,
+        rank_error: u64,
+        /// True when an exact query was degraded by its deadline (as
+        /// opposed to the client asking for an approximation).
+        deadline_degraded: bool,
+    },
+    /// Top-k threshold.
+    TopK { threshold: f32, k: u64 },
+    /// Quantile values (q-1 of them).
+    Quantiles { values: Vec<f32> },
+    /// A streaming query interrupted by a hard drain; re-submit the
+    /// same query after restart to resume from `resume_token`.
+    Checkpointed { resume_token: String },
+    /// The query could not be answered (permanent error or a panic
+    /// isolated by the worker).
+    Failed { message: String },
+}
+
+impl QueryStatus {
+    /// Whether this response claims an exact answer.
+    pub fn is_exact(&self) -> bool {
+        matches!(
+            self,
+            QueryStatus::Exact { .. } | QueryStatus::TopK { .. } | QueryStatus::Quantiles { .. }
+        )
+    }
+}
+
+/// The server's answer to one admitted query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// Server-assigned query id (admission order).
+    pub id: u64,
+    pub tenant: String,
+    pub status: QueryStatus,
+    /// Which backend label produced the answer (`None` for rejected /
+    /// failed paths that never ran a driver).
+    pub backend: Option<&'static str>,
+    /// True when the answer came out of a merged multiselect batch.
+    pub batched: bool,
+    /// Wall-clock milliseconds spent queued before a worker picked the
+    /// query up.
+    pub wait_ms: f64,
+    /// Wall-clock milliseconds of driver execution.
+    pub service_ms: f64,
+}
+
+/// Handle to one admitted query: wait on it for the response.
+#[derive(Debug)]
+pub struct QueryTicket {
+    /// The server-assigned query id.
+    pub id: u64,
+    rx: Receiver<QueryResponse>,
+}
+
+impl QueryTicket {
+    /// Block until the worker responds. Returns a `Failed` status if
+    /// the server was torn down without answering.
+    pub fn wait(self) -> QueryResponse {
+        self.rx.recv().unwrap_or(QueryResponse {
+            id: self.id,
+            tenant: String::new(),
+            status: QueryStatus::Failed {
+                message: "server shut down before answering".to_string(),
+            },
+            backend: None,
+            batched: false,
+            wait_ms: 0.0,
+            service_ms: 0.0,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads, each owning one warm primary device (plus a
+    /// lazily built clean spare for breaker rerouting).
+    pub workers: usize,
+    /// Host threads per worker's simulated-device pool.
+    pub worker_threads: usize,
+    /// Admission-queue capacity; a full queue rejects with
+    /// [`SelectError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Per-tenant token bucket.
+    pub quota: QuotaConfig,
+    /// Per-device circuit breaker.
+    pub breaker: BreakerConfig,
+    /// Max exact rank queries merged into one multiselect pass
+    /// (1 disables batching).
+    pub batch_max: usize,
+    /// Base selection configuration (per-query seeds override
+    /// `select.seed`).
+    pub select: SampleSelectConfig,
+    /// Resilience policy for exact queries (the per-query deadline
+    /// overrides `resilience.time_budget`).
+    pub resilience: ResilienceConfig,
+    /// Simulated-device architecture.
+    pub arch: GpuArchitecture,
+    /// Upper bound on instantiated dataset size (admission control on
+    /// memory, not correctness).
+    pub max_dataset_elems: u64,
+    /// Wall-deadline milliseconds → simulated-budget milliseconds
+    /// scale for the degradation path.
+    pub deadline_sim_scale: f64,
+    /// Directory for streaming-query checkpoints (`None` disables
+    /// `Stream` queries).
+    pub spool_dir: Option<PathBuf>,
+    /// Injected fault plans per worker's primary device (testing/CI:
+    /// make worker *i* flaky and watch the breaker quarantine it).
+    pub fault_plans: Vec<Option<FaultPlan>>,
+    /// Restart each worker's span-collecting session after this many
+    /// queries so a long-lived server does not accumulate span trees
+    /// without bound (counters live in the shared registry and are
+    /// unaffected).
+    pub session_recycle_queries: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            worker_threads: 1,
+            queue_capacity: 64,
+            quota: QuotaConfig::default(),
+            breaker: BreakerConfig::default(),
+            batch_max: 8,
+            select: SampleSelectConfig::default(),
+            resilience: ResilienceConfig::default(),
+            arch: v100(),
+            max_dataset_elems: 1 << 24,
+            deadline_sim_scale: 1.0,
+            spool_dir: None,
+            fault_plans: Vec::new(),
+            session_recycle_queries: 256,
+        }
+    }
+}
+
+impl ServerConfig {
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap.max(1);
+        self
+    }
+
+    pub fn with_quota(mut self, quota: QuotaConfig) -> Self {
+        self.quota = quota;
+        self
+    }
+
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max.max(1);
+        self
+    }
+
+    pub fn with_spool_dir(mut self, dir: PathBuf) -> Self {
+        self.spool_dir = Some(dir);
+        self
+    }
+
+    /// Arm worker `w`'s primary device with a fault plan.
+    pub fn with_fault_plan(mut self, worker: usize, plan: FaultPlan) -> Self {
+        if self.fault_plans.len() <= worker {
+            self.fault_plans.resize(worker + 1, None);
+        }
+        self.fault_plans[worker] = Some(plan);
+        self
+    }
+
+    pub fn with_select(mut self, select: SampleSelectConfig) -> Self {
+        self.select = select;
+        self
+    }
+
+    fn fault_plan_for(&self, worker: usize) -> Option<FaultPlan> {
+        self.fault_plans.get(worker).cloned().flatten()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-tenant accounting
+// ---------------------------------------------------------------------
+
+/// Per-tenant counters, exported in the [`ServerSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    pub admitted: u64,
+    pub rejected: u64,
+    pub deadline_degraded: u64,
+    /// Queries served on a spare device while a breaker was open.
+    pub breaker_rerouted: u64,
+    /// Queries answered out of a merged multiselect batch.
+    pub batched: u64,
+    pub exact: u64,
+    pub approximate: u64,
+    pub failed: u64,
+}
+
+struct TenantState {
+    bucket: TokenBucket,
+    counters: TenantCounters,
+}
+
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+/// Everything the server knows at drain time (or on a live `Stats`
+/// request): the shared metrics registry, per-tenant counters, and the
+/// ordered event log (breaker transitions, quarantines, drain).
+#[derive(Debug, Clone)]
+pub struct ServerSnapshot {
+    pub metrics: MetricsSnapshot,
+    /// `(tenant, counters)` in tenant-name order.
+    pub tenants: Vec<(String, TenantCounters)>,
+    pub events: Vec<String>,
+    /// Total responses produced.
+    pub queries_served: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ServerSnapshot {
+    /// Hand-rolled JSON (like the rest of the workspace), embedding the
+    /// metrics snapshot verbatim. Parses with `gpu_sim::jsonv`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n  \"schema\": \"selectd-snapshot-v1\",\n");
+        let _ = writeln!(out, "  \"queries_served\": {},", self.queries_served);
+        out.push_str("  \"tenants\": {");
+        for (i, (name, c)) in self.tenants.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"admitted\": {}, \"rejected\": {}, \
+                 \"deadline_degraded\": {}, \"breaker_rerouted\": {}, \"batched\": {}, \
+                 \"exact\": {}, \"approximate\": {}, \"failed\": {}}}",
+                json_escape(name),
+                c.admitted,
+                c.rejected,
+                c.deadline_degraded,
+                c.breaker_rerouted,
+                c.batched,
+                c.exact,
+                c.approximate,
+                c.failed
+            );
+        }
+        out.push_str("\n  },\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\"", json_escape(e));
+        }
+        out.push_str("\n  ],\n  \"metrics\": ");
+        // MetricsSnapshot::to_json is a complete object ending in '\n'.
+        out.push_str(self.metrics.to_json().trim_end());
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server internals
+// ---------------------------------------------------------------------
+
+const MODE_RUNNING: u8 = 0;
+const MODE_DRAINING: u8 = 1;
+/// Hard drain: in-flight streaming queries checkpoint and stop at the
+/// next chunk boundary instead of running to completion.
+const MODE_HARD_DRAIN: u8 = 2;
+
+struct Job {
+    id: u64,
+    tenant: String,
+    kind: QueryKind,
+    spec: DatasetSpec,
+    data: Arc<Vec<f32>>,
+    deadline_ms: Option<u32>,
+    seed: u64,
+    submitted: Instant,
+    tx: Sender<QueryResponse>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    registry: Arc<MetricsRegistry>,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    tenants: Mutex<BTreeMap<String, TenantState>>,
+    datasets: Mutex<BTreeMap<DatasetSpec, Arc<Vec<f32>>>>,
+    events: Mutex<Vec<String>>,
+    mode: AtomicU8,
+    next_id: AtomicU64,
+    served: AtomicU64,
+    start: Instant,
+}
+
+impl Shared {
+    fn mode(&self) -> u8 {
+        self.mode.load(Ordering::Acquire)
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn log_event(&self, event: String) {
+        self.events.lock().unwrap().push(event);
+    }
+
+    fn tenant_count<F: FnOnce(&mut TenantCounters)>(&self, tenant: &str, f: F) {
+        let mut tenants = self.tenants.lock().unwrap();
+        let now = self.now_ns();
+        let state = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantState {
+                bucket: TokenBucket::new(self.cfg.quota.clone(), now),
+                counters: TenantCounters::default(),
+            });
+        f(&mut state.counters);
+    }
+}
+
+/// The server: spawn with [`SelectServer::start`], submit with
+/// [`SelectServer::submit`]/[`SelectServer::query`], stop with
+/// [`SelectServer::drain`].
+pub struct SelectServer {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SelectServer {
+    pub fn start(cfg: ServerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            registry: Arc::new(MetricsRegistry::new()),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            tenants: Mutex::new(BTreeMap::new()),
+            datasets: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+            mode: AtomicU8::new(MODE_RUNNING),
+            next_id: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            start: Instant::now(),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("selectd-worker-{w}"))
+                    .spawn(move || worker_loop(shared, w))
+                    .expect("spawn worker")
+            })
+            .collect();
+        SelectServer {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Shared handle to the live metrics registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.registry
+    }
+
+    /// Admit one query, or reject it with explicit backpressure.
+    ///
+    /// Rejection reasons (all [`SelectError::Overloaded`]): the server
+    /// is draining, the tenant's token bucket is empty (`"quota"`), or
+    /// the admission queue is full (`"queue-full"`). Invalid queries
+    /// (rank out of range, empty dataset) fail with their usual
+    /// [`SelectError`]s and never consume quota.
+    pub fn submit(&self, req: QueryRequest) -> Result<QueryTicket, SelectError> {
+        let shared = &self.shared;
+        if shared.mode() != MODE_RUNNING {
+            shared.registry.add(Counter::Rejected, 1);
+            shared.tenant_count(&req.tenant, |c| c.rejected += 1);
+            return Err(SelectError::Overloaded {
+                reason: "draining",
+                tenant: req.tenant,
+            });
+        }
+        // Validate before charging quota.
+        if req.dataset.n == 0 {
+            return Err(SelectError::EmptyInput);
+        }
+        if req.dataset.n > shared.cfg.max_dataset_elems {
+            return Err(SelectError::Overloaded {
+                reason: "dataset-too-large",
+                tenant: req.tenant,
+            });
+        }
+        let n = req.dataset.n;
+        match req.kind {
+            QueryKind::Exact { rank } | QueryKind::Approx { rank } => {
+                if rank >= n {
+                    return Err(SelectError::RankOutOfRange {
+                        rank: rank as usize,
+                        len: n as usize,
+                    });
+                }
+            }
+            QueryKind::TopK { k } => {
+                if k == 0 || k > n {
+                    return Err(SelectError::RankOutOfRange {
+                        rank: k as usize,
+                        len: n as usize,
+                    });
+                }
+            }
+            QueryKind::Quantiles { q } => {
+                if q < 2 {
+                    return Err(SelectError::RankOutOfRange {
+                        rank: q as usize,
+                        len: n as usize,
+                    });
+                }
+            }
+            QueryKind::Stream { rank, chunk_len } => {
+                if rank >= n || chunk_len == 0 {
+                    return Err(SelectError::RankOutOfRange {
+                        rank: rank as usize,
+                        len: n as usize,
+                    });
+                }
+                if shared.cfg.spool_dir.is_none() {
+                    return Err(SelectError::Overloaded {
+                        reason: "streaming-disabled",
+                        tenant: req.tenant,
+                    });
+                }
+            }
+        }
+
+        // Per-tenant token bucket.
+        {
+            let mut tenants = shared.tenants.lock().unwrap();
+            let now = shared.now_ns();
+            let state = tenants
+                .entry(req.tenant.clone())
+                .or_insert_with(|| TenantState {
+                    bucket: TokenBucket::new(shared.cfg.quota.clone(), now),
+                    counters: TenantCounters::default(),
+                });
+            if !state.bucket.try_take(now) {
+                state.counters.rejected += 1;
+                shared.registry.add(Counter::Rejected, 1);
+                return Err(SelectError::Overloaded {
+                    reason: "quota",
+                    tenant: req.tenant,
+                });
+            }
+        }
+
+        // Dataset cache (instantiated on the submitter's thread so the
+        // workers never pay generation cost).
+        let data = {
+            let mut cache = shared.datasets.lock().unwrap();
+            Arc::clone(
+                cache
+                    .entry(req.dataset)
+                    .or_insert_with(|| Arc::new(dataset::instantiate(&req.dataset))),
+            )
+        };
+
+        // Bounded queue.
+        let (tx, rx) = channel();
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut queue = shared.queue.lock().unwrap();
+            if queue.len() >= shared.cfg.queue_capacity {
+                drop(queue);
+                shared.registry.add(Counter::Rejected, 1);
+                shared.tenant_count(&req.tenant, |c| c.rejected += 1);
+                return Err(SelectError::Overloaded {
+                    reason: "queue-full",
+                    tenant: req.tenant,
+                });
+            }
+            queue.push_back(Job {
+                id,
+                tenant: req.tenant.clone(),
+                kind: req.kind,
+                spec: req.dataset,
+                data,
+                deadline_ms: req.deadline_ms,
+                seed: req.seed,
+                submitted: Instant::now(),
+                tx,
+            });
+        }
+        shared.registry.add(Counter::Admitted, 1);
+        shared.tenant_count(&req.tenant, |c| c.admitted += 1);
+        shared.available.notify_one();
+        Ok(QueryTicket { id, rx })
+    }
+
+    /// Submit and block for the response.
+    pub fn query(&self, req: QueryRequest) -> Result<QueryResponse, SelectError> {
+        self.submit(req).map(QueryTicket::wait)
+    }
+
+    /// Live snapshot (the wire `Stats` op).
+    pub fn snapshot(&self) -> ServerSnapshot {
+        let shared = &self.shared;
+        ServerSnapshot {
+            metrics: shared.registry.snapshot(),
+            tenants: shared
+                .tenants
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, st)| (name.clone(), st.counters))
+                .collect(),
+            events: shared.events.lock().unwrap().clone(),
+            queries_served: shared.served.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop admitting and wake every worker. `hard` additionally makes
+    /// in-flight streaming queries checkpoint at the next chunk
+    /// boundary instead of running to completion.
+    pub fn begin_drain(&self, hard: bool) {
+        let mode = if hard { MODE_HARD_DRAIN } else { MODE_DRAINING };
+        self.shared.mode.store(mode, Ordering::Release);
+        self.shared.log_event(format!(
+            "drain: admission stopped ({})",
+            if hard { "hard" } else { "graceful" }
+        ));
+        self.shared.available.notify_all();
+    }
+
+    /// Graceful shutdown: stop admitting, let the workers finish every
+    /// queued query, join them, and return the final snapshot.
+    pub fn drain(&self) -> ServerSnapshot {
+        if self.shared.mode() == MODE_RUNNING {
+            self.begin_drain(false);
+        }
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared
+            .log_event("drain: all workers joined".to_string());
+        self.snapshot()
+    }
+}
+
+impl Drop for SelectServer {
+    fn drop(&mut self) {
+        self.begin_drain(false);
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+/// A [`ChunkSource`] that aborts (with a *permanent* chunk error) at
+/// the next chunk boundary once a hard drain begins — the mechanism
+/// that turns "stop now" into "checkpoint and stop", because the
+/// streaming driver persists its checkpoint after every chunk.
+struct DrainAwareSource<'a> {
+    inner: SliceChunks<'a, f32>,
+    shared: &'a Shared,
+}
+
+impl ChunkSource<f32> for DrainAwareSource<'_> {
+    fn num_chunks(&self) -> usize {
+        self.inner.num_chunks()
+    }
+
+    fn total_len(&self) -> usize {
+        self.inner.total_len()
+    }
+
+    fn source_name(&self) -> &str {
+        "selectd-stream"
+    }
+
+    fn load_chunk(&self, chunk: usize) -> Result<Vec<f32>, ChunkError> {
+        if self.shared.mode() == MODE_HARD_DRAIN {
+            return Err(ChunkError {
+                chunk,
+                message: "server hard-draining; progress checkpointed".to_string(),
+                transient: false,
+            });
+        }
+        self.inner.load_chunk(chunk)
+    }
+}
+
+fn pop_batch(shared: &Shared) -> Option<Vec<Job>> {
+    let mut queue = shared.queue.lock().unwrap();
+    loop {
+        if let Some(job) = queue.pop_front() {
+            let mut batch = vec![job];
+            // Cross-query batching: pull every queued *exact* query on
+            // the same dataset (any tenant, any seed — exactness is
+            // seed-independent) into one multiselect pass.
+            if shared.cfg.batch_max > 1 && matches!(batch[0].kind, QueryKind::Exact { .. }) {
+                let spec = batch[0].spec;
+                let mut i = 0;
+                while i < queue.len() && batch.len() < shared.cfg.batch_max {
+                    let mergeable = matches!(queue[i].kind, QueryKind::Exact { .. })
+                        && queue[i].spec == spec
+                        && queue[i].deadline_ms.is_none();
+                    if mergeable {
+                        batch.push(queue.remove(i).expect("index in bounds"));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            return Some(batch);
+        }
+        if shared.mode() != MODE_RUNNING {
+            return None;
+        }
+        queue = shared.available.wait(queue).unwrap();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, worker_id: usize) {
+    let cfg = shared.cfg.clone();
+    let pool = ThreadPool::new(cfg.worker_threads.max(1));
+    let mut primary = Device::new(cfg.arch.clone(), &pool);
+    primary.enable_buffer_pool();
+    if let Some(plan) = cfg.fault_plan_for(worker_id) {
+        primary.set_fault_plan(plan);
+    }
+    let mut spare: Option<Device> = None;
+    let mut breaker = CircuitBreaker::new(cfg.breaker.clone());
+    let mut ws = SelectWorkspace::<f32>::new();
+    let mut session = ObsSession::start_with_registry(Arc::clone(&shared.registry));
+    let mut queries_since_recycle = 0u64;
+
+    while let Some(batch) = pop_batch(&shared) {
+        let route = breaker.route();
+        let rerouted = route == Route::Spare;
+        let device: &mut Device = match route {
+            Route::Primary => &mut primary,
+            Route::Spare => spare.get_or_insert_with(|| {
+                // The quarantined "hardware" is replaced by a clean
+                // standby: same architecture, no fault plan.
+                let mut d = Device::new(cfg.arch.clone(), &pool);
+                d.enable_buffer_pool();
+                d
+            }),
+        };
+
+        let healthy = serve_batch(&shared, &cfg, device, &mut ws, batch, rerouted);
+        if let Some(event) = breaker.on_result(route, healthy) {
+            match event {
+                BreakerEvent::Opened | BreakerEvent::Reopened => {
+                    shared.registry.add(Counter::BreakerOpen, 1);
+                    shared.log_event(format!(
+                        "breaker: worker {worker_id} primary device quarantined ({event:?}); \
+                         rerouting to spare"
+                    ));
+                }
+                BreakerEvent::Closed => {
+                    shared.log_event(format!(
+                        "breaker: worker {worker_id} primary device rehabilitated"
+                    ));
+                }
+            }
+        }
+
+        queries_since_recycle += 1;
+        if queries_since_recycle >= cfg.session_recycle_queries {
+            // Drop accumulated span trees; the shared registry keeps
+            // every counter.
+            session.finish();
+            session = ObsSession::start_with_registry(Arc::clone(&shared.registry));
+            queries_since_recycle = 0;
+        }
+    }
+    session.finish();
+}
+
+/// Serve one popped batch (usually a single job). Returns the health
+/// verdict for the breaker: `false` when the device latched a fault or
+/// the ABFT layer caught a corruption during any job of the batch.
+fn serve_batch(
+    shared: &Shared,
+    cfg: &ServerConfig,
+    device: &mut Device,
+    ws: &mut SelectWorkspace<f32>,
+    batch: Vec<Job>,
+    rerouted: bool,
+) -> bool {
+    if batch.len() >= 2 {
+        // All jobs are Exact on the same dataset (pop_batch guarantees
+        // it). One multiselect pass answers every one of them.
+        let data = Arc::clone(&batch[0].data);
+        let ranks: Vec<usize> = batch
+            .iter()
+            .map(|j| match j.kind {
+                QueryKind::Exact { rank } => rank as usize,
+                _ => unreachable!("pop_batch only merges exact queries"),
+            })
+            .collect();
+        let select_cfg = cfg.select.clone().with_seed(batch[0].seed);
+        let t0 = Instant::now();
+        device.reset();
+        let result = {
+            let _guard = SpanGuard::new();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                multi_select_with_workspace(device, &data, &ranks, &select_cfg, ws)
+            }))
+        };
+        let fault = device.take_fault();
+        let service_ms = t0.elapsed().as_secs_f64() * 1e3;
+        match (result, fault) {
+            (Ok(Ok(multi)), None) => {
+                shared.registry.add(Counter::Batched, batch.len() as u64);
+                for (job, value) in batch.into_iter().zip(multi.values) {
+                    shared.tenant_count(&job.tenant, |c| {
+                        c.batched += 1;
+                        c.exact += 1;
+                        if rerouted {
+                            c.breaker_rerouted += 1;
+                        }
+                    });
+                    respond(
+                        shared,
+                        job,
+                        QueryStatus::Exact { value },
+                        Some("multiselect"),
+                        true,
+                        service_ms,
+                    );
+                }
+                return true;
+            }
+            _ => {
+                // Batch attempt faulted (or a panic was isolated): fall
+                // back to serving each query individually through the
+                // resilient driver, which owns retry/fallback.
+                let mut healthy = false; // the batch itself was unhealthy
+                for job in batch {
+                    healthy &= serve_job(shared, cfg, device, ws, job, rerouted);
+                }
+                return healthy;
+            }
+        }
+    }
+    let mut healthy = true;
+    for job in batch {
+        healthy &= serve_job(shared, cfg, device, ws, job, rerouted);
+    }
+    healthy
+}
+
+fn respond(
+    shared: &Shared,
+    job: Job,
+    status: QueryStatus,
+    backend: Option<&'static str>,
+    batched: bool,
+    service_ms: f64,
+) {
+    let wait_ms = job.submitted.elapsed().as_secs_f64() * 1e3 - service_ms;
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    // The client may have given up on its ticket; a dead channel is
+    // not a server error.
+    let _ = job.tx.send(QueryResponse {
+        id: job.id,
+        tenant: job.tenant,
+        status,
+        backend,
+        batched,
+        wait_ms: wait_ms.max(0.0),
+        service_ms,
+    });
+}
+
+/// Serve one query on `device`. Returns the breaker health verdict.
+fn serve_job(
+    shared: &Shared,
+    cfg: &ServerConfig,
+    device: &mut Device,
+    ws: &mut SelectWorkspace<f32>,
+    job: Job,
+    rerouted: bool,
+) -> bool {
+    let t0 = Instant::now();
+    let data = Arc::clone(&job.data);
+    let select_cfg = cfg.select.clone().with_seed(job.seed);
+
+    // Deadline bookkeeping: how much wall budget is left when the
+    // worker picks the query up?
+    let waited_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+    let expired = job.deadline_ms.is_some_and(|d| waited_ms >= f64::from(d));
+    let remaining_ms = job.deadline_ms.map(|d| (f64::from(d) - waited_ms).max(0.0));
+
+    device.reset();
+    let _guard = SpanGuard::new();
+    let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_query(
+            shared,
+            cfg,
+            device,
+            ws,
+            &job,
+            &data,
+            &select_cfg,
+            expired,
+            remaining_ms,
+        )
+    }));
+    let service_ms = t0.elapsed().as_secs_f64() * 1e3;
+    match ran {
+        Ok((status, backend, healthy)) => {
+            if rerouted {
+                shared.tenant_count(&job.tenant, |c| c.breaker_rerouted += 1);
+            }
+            respond(shared, job, status, backend, false, service_ms);
+            healthy
+        }
+        Err(_) => {
+            // Panic isolated: the SpanGuard restored the span stack and
+            // the device gets reset before the next query; answer the
+            // client honestly and treat the device as unhealthy.
+            let _ = device.take_fault();
+            shared.tenant_count(&job.tenant, |c| c.failed += 1);
+            respond(
+                shared,
+                job,
+                QueryStatus::Failed {
+                    message: "query panicked in driver (isolated)".to_string(),
+                },
+                None,
+                false,
+                service_ms,
+            );
+            false
+        }
+    }
+}
+
+/// The per-kind driver dispatch. Returns `(status, backend, healthy)`.
+#[allow(clippy::too_many_arguments)]
+fn run_query(
+    shared: &Shared,
+    cfg: &ServerConfig,
+    device: &mut Device,
+    ws: &mut SelectWorkspace<f32>,
+    job: &Job,
+    data: &[f32],
+    select_cfg: &SampleSelectConfig,
+    expired: bool,
+    remaining_ms: Option<f64>,
+) -> (QueryStatus, Option<&'static str>, bool) {
+    match job.kind {
+        QueryKind::Exact { rank } => {
+            let mut rcfg = cfg.resilience.clone();
+            if expired {
+                // The queue already consumed the deadline: skip the
+                // exact attempt entirely and shed load via the
+                // degradation path (zero budget degrades immediately).
+                rcfg.time_budget = Some(SimTime::ZERO);
+            } else if let Some(ms) = remaining_ms {
+                rcfg.time_budget = Some(SimTime::from_ms(ms * cfg.deadline_sim_scale));
+            }
+            match resilient_select_on_device(device, data, rank as usize, select_cfg, &rcfg) {
+                Ok(res) => {
+                    let healthy = res.report.resilience.faults_observed == 0
+                        && res.report.resilience.corruptions_detected == 0;
+                    let backend = Some(res.backend.name());
+                    match res.outcome {
+                        Outcome::Exact(value) => {
+                            shared.tenant_count(&job.tenant, |c| c.exact += 1);
+                            (QueryStatus::Exact { value }, backend, healthy)
+                        }
+                        Outcome::Approximate {
+                            value,
+                            achieved_rank,
+                            rank_error,
+                        } => {
+                            shared.registry.add(Counter::DeadlineDegraded, 1);
+                            shared.tenant_count(&job.tenant, |c| {
+                                c.approximate += 1;
+                                c.deadline_degraded += 1;
+                            });
+                            (
+                                QueryStatus::Approximate {
+                                    value,
+                                    achieved_rank,
+                                    rank_error,
+                                    deadline_degraded: true,
+                                },
+                                backend,
+                                healthy,
+                            )
+                        }
+                    }
+                }
+                Err(e) => {
+                    shared.tenant_count(&job.tenant, |c| c.failed += 1);
+                    (
+                        QueryStatus::Failed {
+                            message: e.to_string(),
+                        },
+                        None,
+                        !e.is_transient(),
+                    )
+                }
+            }
+        }
+        QueryKind::Approx { rank } => {
+            // The client asked for an approximation: one counting pass,
+            // retried on faults, with the exact CPU answer as the
+            // can't-fail last resort (an exact answer is a rank_error=0
+            // approximation).
+            let mut healthy = true;
+            for attempt in 0..=cfg.resilience.retry.max_retries {
+                device.reset();
+                let attempt_cfg = select_cfg
+                    .clone()
+                    .with_seed(select_cfg.seed.wrapping_add(u64::from(attempt)));
+                let result = approx_select_on_device(device, data, rank as usize, &attempt_cfg);
+                let fault = device.take_fault();
+                if let (Ok(a), None) = (result, fault) {
+                    shared.tenant_count(&job.tenant, |c| c.approximate += 1);
+                    return (
+                        QueryStatus::Approximate {
+                            value: a.value,
+                            achieved_rank: a.achieved_rank,
+                            rank_error: a.rank_error,
+                            deadline_degraded: false,
+                        },
+                        Some("approx"),
+                        healthy,
+                    );
+                }
+                healthy = false;
+            }
+            let value = reference_select(data, rank as usize).expect("rank validated at admission");
+            shared.tenant_count(&job.tenant, |c| c.approximate += 1);
+            (
+                QueryStatus::Approximate {
+                    value,
+                    achieved_rank: rank,
+                    rank_error: 0,
+                    deadline_degraded: false,
+                },
+                Some("cpu-sort"),
+                false,
+            )
+        }
+        QueryKind::TopK { k } => {
+            let mut healthy = true;
+            for attempt in 0..=cfg.resilience.retry.max_retries {
+                device.reset();
+                let attempt_cfg = select_cfg
+                    .clone()
+                    .with_seed(select_cfg.seed.wrapping_add(u64::from(attempt)));
+                let result = top_k_largest_on_device(device, data, k as usize, &attempt_cfg);
+                let fault = device.take_fault();
+                if let (Ok(r), None) = (result, fault) {
+                    shared.tenant_count(&job.tenant, |c| c.exact += 1);
+                    return (
+                        QueryStatus::TopK {
+                            threshold: r.threshold,
+                            k,
+                        },
+                        Some("topk"),
+                        healthy,
+                    );
+                }
+                healthy = false;
+            }
+            let threshold =
+                reference_select(data, data.len() - k as usize).expect("k validated at admission");
+            shared.tenant_count(&job.tenant, |c| c.exact += 1);
+            (QueryStatus::TopK { threshold, k }, Some("cpu-sort"), false)
+        }
+        QueryKind::Quantiles { q } => {
+            let n = data.len();
+            let ranks: Vec<usize> = (1..q as usize)
+                .map(|i| (i * n / q as usize).min(n.saturating_sub(1)))
+                .collect();
+            let mut healthy = true;
+            for attempt in 0..=cfg.resilience.retry.max_retries {
+                device.reset();
+                let attempt_cfg = select_cfg
+                    .clone()
+                    .with_seed(select_cfg.seed.wrapping_add(u64::from(attempt)));
+                let result = multi_select_with_workspace(device, data, &ranks, &attempt_cfg, ws);
+                let fault = device.take_fault();
+                if let (Ok(r), None) = (result, fault) {
+                    shared.tenant_count(&job.tenant, |c| c.exact += 1);
+                    return (
+                        QueryStatus::Quantiles { values: r.values },
+                        Some("multiselect"),
+                        healthy,
+                    );
+                }
+                healthy = false;
+            }
+            let mut sorted = data.to_vec();
+            sorted.sort_by(|a, b| SelectElement::total_cmp(*a, *b));
+            let values = ranks.iter().map(|&r| sorted[r]).collect();
+            shared.tenant_count(&job.tenant, |c| c.exact += 1);
+            (QueryStatus::Quantiles { values }, Some("cpu-sort"), false)
+        }
+        QueryKind::Stream { rank, chunk_len } => {
+            let spool = cfg
+                .spool_dir
+                .as_ref()
+                .expect("streaming admission requires a spool dir");
+            // Stable checkpoint name per (tenant, dataset, rank): a
+            // re-submission after a hard drain resumes the same file.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            let mut mix = |v: u64| {
+                h ^= v;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            };
+            for b in job.tenant.bytes() {
+                mix(u64::from(b));
+            }
+            mix(job.spec.dist as u64);
+            mix(job.spec.n);
+            mix(job.spec.seed);
+            mix(rank);
+            let ckpt = spool.join(format!("stream-{h:016x}.ckpt"));
+            let source = DrainAwareSource {
+                inner: SliceChunks::new(data, chunk_len as usize),
+                shared,
+            };
+            let result = streaming_select_with_checkpoint(
+                device,
+                &source,
+                rank as usize,
+                select_cfg,
+                &ckpt,
+                true, // resume a matching checkpoint if one exists
+            );
+            let fault = device.take_fault();
+            match (result, fault) {
+                (Ok(res), None) => {
+                    shared.tenant_count(&job.tenant, |c| c.exact += 1);
+                    (
+                        QueryStatus::Exact { value: res.value },
+                        Some("streaming"),
+                        true,
+                    )
+                }
+                (Err(SelectError::ChunkLoad(e)), _) if shared.mode() == MODE_HARD_DRAIN => {
+                    shared.log_event(format!(
+                        "drain: streaming query {} checkpointed at chunk {}",
+                        job.id, e.chunk
+                    ));
+                    shared.tenant_count(&job.tenant, |c| c.failed += 1);
+                    (
+                        QueryStatus::Checkpointed {
+                            resume_token: ckpt.display().to_string(),
+                        },
+                        Some("streaming"),
+                        true, // a drain is not a device-health signal
+                    )
+                }
+                (Err(e), fault) => {
+                    shared.tenant_count(&job.tenant, |c| c.failed += 1);
+                    (
+                        QueryStatus::Failed {
+                            message: e.to_string(),
+                        },
+                        None,
+                        fault.is_none() && !e.is_transient(),
+                    )
+                }
+                (Ok(_), Some(_)) => {
+                    // A latched fault invalidates the run even though it
+                    // "succeeded".
+                    shared.tenant_count(&job.tenant, |c| c.failed += 1);
+                    (
+                        QueryStatus::Failed {
+                            message: "device fault invalidated streaming run".to_string(),
+                        },
+                        None,
+                        false,
+                    )
+                }
+            }
+        }
+    }
+}

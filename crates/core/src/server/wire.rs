@@ -1,0 +1,667 @@
+//! `selectd` wire protocol: length-prefixed binary frames.
+//!
+//! Deliberately tiny — no serde, no external deps, no self-describing
+//! schema. Every frame is a `u32` big-endian payload length followed by
+//! the payload; every payload starts with a protocol version byte. The
+//! codec is pure (`encode_*`/`decode_*` on byte slices) so it can be
+//! unit-tested without sockets, and [`read_frame`]/[`write_frame`] wrap
+//! it for any `Read`/`Write` transport.
+//!
+//! Queries name their dataset by [`DatasetSpec`] — clients never ship
+//! element data, which keeps frames O(bytes) while the server selects
+//! over O(gigabytes).
+
+use std::io::{self, Read, Write};
+
+use super::dataset::{DatasetSpec, DistCode};
+use super::{QueryKind, QueryRequest, QueryStatus};
+
+/// Protocol version carried in every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload; anything larger is a protocol error
+/// (the protocol never legitimately ships datasets).
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+// Request opcodes.
+const OP_QUERY: u8 = 1;
+const OP_STATS: u8 = 2;
+const OP_DRAIN: u8 = 3;
+const OP_PING: u8 = 4;
+
+// Query kind codes.
+const KIND_EXACT: u8 = 0;
+const KIND_APPROX: u8 = 1;
+const KIND_TOPK: u8 = 2;
+const KIND_QUANTILES: u8 = 3;
+const KIND_STREAM: u8 = 4;
+
+// Response status codes.
+const ST_EXACT: u8 = 0;
+const ST_APPROX: u8 = 1;
+const ST_REJECTED: u8 = 2;
+const ST_FAILED: u8 = 3;
+const ST_TOPK: u8 = 4;
+const ST_QUANTILES: u8 = 5;
+const ST_CHECKPOINTED: u8 = 6;
+const ST_PONG: u8 = 7;
+const ST_STATS: u8 = 8;
+const ST_DRAINED: u8 = 9;
+
+/// A decoded client→server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Query(QueryRequest),
+    /// Live snapshot request.
+    Stats,
+    /// Graceful drain; the server answers with the final snapshot and
+    /// closes.
+    Drain,
+    Ping,
+}
+
+/// A decoded server→client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Outcome of an admitted query, plus whether it was served from a
+    /// merged batch.
+    Done {
+        status: QueryStatus,
+        batched: bool,
+    },
+    /// The query was refused at admission (`SelectError::Overloaded` or
+    /// a validation error); `reason` is the rendered error.
+    Rejected {
+        reason: String,
+    },
+    /// Snapshot JSON for a `Stats` request.
+    Stats {
+        json: String,
+    },
+    /// Final snapshot JSON for a `Drain` request.
+    Drained {
+        json: String,
+    },
+    Pong,
+}
+
+/// Malformed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError {
+        message: message.into(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Primitive cursors
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError {
+            message: "truncated frame (u8)".to_string(),
+        })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes([self.u8()?, self.u8()?]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes([
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+        ]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let hi = u64::from(self.u32()?);
+        let lo = u64::from(self.u32()?);
+        Ok((hi << 32) | lo)
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn str16(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        self.bytes(len).and_then(|b| match std::str::from_utf8(b) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => err("invalid utf-8 in string"),
+        })
+    }
+
+    fn str32(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        self.bytes(len).and_then(|b| match std::str::from_utf8(b) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => err("invalid utf-8 in string"),
+        })
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + len > self.buf.len() {
+            return err("truncated frame (bytes)");
+        }
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            err(format!(
+                "trailing garbage: {} bytes after payload",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) -> Result<(), WireError> {
+    if s.len() > u16::MAX as usize {
+        return err("string too long for u16 length prefix");
+    }
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_str32(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// Encode a request payload (no length prefix).
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, WireError> {
+    let mut out = vec![WIRE_VERSION];
+    match req {
+        Request::Query(q) => {
+            out.push(OP_QUERY);
+            let (kind, a, b) = match q.kind {
+                QueryKind::Exact { rank } => (KIND_EXACT, rank, 0),
+                QueryKind::Approx { rank } => (KIND_APPROX, rank, 0),
+                QueryKind::TopK { k } => (KIND_TOPK, k, 0),
+                QueryKind::Quantiles { q } => (KIND_QUANTILES, q, 0),
+                QueryKind::Stream { rank, chunk_len } => (KIND_STREAM, rank, chunk_len),
+            };
+            out.push(kind);
+            put_str16(&mut out, &q.tenant)?;
+            out.push(q.dataset.dist as u8);
+            put_u64(&mut out, q.dataset.n);
+            put_u64(&mut out, q.dataset.seed);
+            put_u64(&mut out, a);
+            put_u64(&mut out, b);
+            put_u32(&mut out, q.deadline_ms.unwrap_or(0));
+            put_u64(&mut out, q.seed);
+        }
+        Request::Stats => out.push(OP_STATS),
+        Request::Drain => out.push(OP_DRAIN),
+        Request::Ping => out.push(OP_PING),
+    }
+    Ok(out)
+}
+
+/// Decode a request payload (no length prefix).
+pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return err(format!("unsupported protocol version {version}"));
+    }
+    let op = r.u8()?;
+    let req = match op {
+        OP_QUERY => {
+            let kind_code = r.u8()?;
+            let tenant = r.str16()?;
+            let dist = r.u8()?;
+            let dist = DistCode::from_u8(dist).ok_or(WireError {
+                message: format!("unknown distribution code {dist}"),
+            })?;
+            let n = r.u64()?;
+            let seed = r.u64()?;
+            let a = r.u64()?;
+            let b = r.u64()?;
+            let deadline = r.u32()?;
+            let query_seed = r.u64()?;
+            let kind = match kind_code {
+                KIND_EXACT => QueryKind::Exact { rank: a },
+                KIND_APPROX => QueryKind::Approx { rank: a },
+                KIND_TOPK => QueryKind::TopK { k: a },
+                KIND_QUANTILES => QueryKind::Quantiles { q: a },
+                KIND_STREAM => QueryKind::Stream {
+                    rank: a,
+                    chunk_len: b,
+                },
+                other => return err(format!("unknown query kind {other}")),
+            };
+            Request::Query(QueryRequest {
+                tenant,
+                kind,
+                dataset: DatasetSpec { dist, n, seed },
+                deadline_ms: if deadline == 0 { None } else { Some(deadline) },
+                seed: query_seed,
+            })
+        }
+        OP_STATS => Request::Stats,
+        OP_DRAIN => Request::Drain,
+        OP_PING => Request::Ping,
+        other => return err(format!("unknown opcode {other}")),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// Encode a response payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
+    let mut out = vec![WIRE_VERSION];
+    match resp {
+        Response::Done { status, batched } => {
+            match status {
+                QueryStatus::Exact { value } => {
+                    out.push(ST_EXACT);
+                    put_u32(&mut out, value.to_bits());
+                }
+                QueryStatus::Approximate {
+                    value,
+                    achieved_rank,
+                    rank_error,
+                    deadline_degraded,
+                } => {
+                    out.push(ST_APPROX);
+                    put_u32(&mut out, value.to_bits());
+                    put_u64(&mut out, *achieved_rank);
+                    put_u64(&mut out, *rank_error);
+                    out.push(u8::from(*deadline_degraded));
+                }
+                QueryStatus::TopK { threshold, k } => {
+                    out.push(ST_TOPK);
+                    put_u32(&mut out, threshold.to_bits());
+                    put_u64(&mut out, *k);
+                }
+                QueryStatus::Quantiles { values } => {
+                    out.push(ST_QUANTILES);
+                    put_u32(&mut out, values.len() as u32);
+                    for v in values {
+                        put_u32(&mut out, v.to_bits());
+                    }
+                }
+                QueryStatus::Checkpointed { resume_token } => {
+                    out.push(ST_CHECKPOINTED);
+                    put_str16(&mut out, resume_token)?;
+                }
+                QueryStatus::Failed { message } => {
+                    out.push(ST_FAILED);
+                    put_str16(&mut out, message)?;
+                }
+            }
+            out.push(u8::from(*batched));
+        }
+        Response::Rejected { reason } => {
+            out.push(ST_REJECTED);
+            put_str16(&mut out, reason)?;
+        }
+        Response::Stats { json } => {
+            out.push(ST_STATS);
+            put_str32(&mut out, json);
+        }
+        Response::Drained { json } => {
+            out.push(ST_DRAINED);
+            put_str32(&mut out, json);
+        }
+        Response::Pong => out.push(ST_PONG),
+    }
+    Ok(out)
+}
+
+/// Decode a response payload (no length prefix).
+pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return err(format!("unsupported protocol version {version}"));
+    }
+    let st = r.u8()?;
+    let resp = match st {
+        ST_EXACT => {
+            let value = r.f32()?;
+            let batched = r.u8()? != 0;
+            Response::Done {
+                status: QueryStatus::Exact { value },
+                batched,
+            }
+        }
+        ST_APPROX => {
+            let value = r.f32()?;
+            let achieved_rank = r.u64()?;
+            let rank_error = r.u64()?;
+            let deadline_degraded = r.u8()? != 0;
+            let batched = r.u8()? != 0;
+            Response::Done {
+                status: QueryStatus::Approximate {
+                    value,
+                    achieved_rank,
+                    rank_error,
+                    deadline_degraded,
+                },
+                batched,
+            }
+        }
+        ST_TOPK => {
+            let threshold = r.f32()?;
+            let k = r.u64()?;
+            let batched = r.u8()? != 0;
+            Response::Done {
+                status: QueryStatus::TopK { threshold, k },
+                batched,
+            }
+        }
+        ST_QUANTILES => {
+            let count = r.u32()? as usize;
+            if count > (MAX_FRAME_LEN as usize) / 4 {
+                return err("quantile count exceeds frame bound");
+            }
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(r.f32()?);
+            }
+            let batched = r.u8()? != 0;
+            Response::Done {
+                status: QueryStatus::Quantiles { values },
+                batched,
+            }
+        }
+        ST_CHECKPOINTED => {
+            let resume_token = r.str16()?;
+            let batched = r.u8()? != 0;
+            Response::Done {
+                status: QueryStatus::Checkpointed { resume_token },
+                batched,
+            }
+        }
+        ST_FAILED => {
+            let message = r.str16()?;
+            let batched = r.u8()? != 0;
+            Response::Done {
+                status: QueryStatus::Failed { message },
+                batched,
+            }
+        }
+        ST_REJECTED => Response::Rejected { reason: r.str16()? },
+        ST_STATS => Response::Stats { json: r.str32()? },
+        ST_DRAINED => Response::Drained { json: r.str32()? },
+        ST_PONG => Response::Pong,
+        other => return err(format!("unknown status code {other}")),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Framing over Read/Write
+// ---------------------------------------------------------------------
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_LEN",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `None` on a clean EOF at a
+/// frame boundary (peer closed the connection).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = encode_request(&req).unwrap();
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = encode_response(&resp).unwrap();
+        assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Drain);
+        for kind in [
+            QueryKind::Exact { rank: 12_345 },
+            QueryKind::Approx { rank: 1 },
+            QueryKind::TopK { k: 100 },
+            QueryKind::Quantiles { q: 10 },
+            QueryKind::Stream {
+                rank: 7,
+                chunk_len: 4096,
+            },
+        ] {
+            roundtrip_request(Request::Query(QueryRequest {
+                tenant: "tenant-α".to_string(),
+                kind,
+                dataset: DatasetSpec {
+                    dist: DistCode::Normal,
+                    n: 1 << 20,
+                    seed: 0xDEAD_BEEF,
+                },
+                deadline_ms: Some(250),
+                seed: 42,
+            }));
+        }
+        // deadline 0 on the wire means "no deadline"
+        roundtrip_request(Request::Query(QueryRequest {
+            tenant: String::new(),
+            kind: QueryKind::Exact { rank: 0 },
+            dataset: DatasetSpec::uniform(8, 1),
+            deadline_ms: None,
+            seed: 0,
+        }));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Rejected {
+            reason: "server overloaded (quota): tenant `t` rejected".to_string(),
+        });
+        roundtrip_response(Response::Stats {
+            json: "{\"x\": 1}".to_string(),
+        });
+        roundtrip_response(Response::Drained {
+            json: "{}".to_string(),
+        });
+        for status in [
+            QueryStatus::Exact { value: 3.25 },
+            QueryStatus::Approximate {
+                value: -0.5,
+                achieved_rank: 99,
+                rank_error: 3,
+                deadline_degraded: true,
+            },
+            QueryStatus::TopK {
+                threshold: 1.5,
+                k: 32,
+            },
+            QueryStatus::Quantiles {
+                values: vec![0.25, 0.5, 0.75],
+            },
+            QueryStatus::Checkpointed {
+                resume_token: "/tmp/spool/stream-abc.ckpt".to_string(),
+            },
+            QueryStatus::Failed {
+                message: "query panicked in driver (isolated)".to_string(),
+            },
+        ] {
+            roundtrip_response(Response::Done {
+                status,
+                batched: false,
+            });
+        }
+        roundtrip_response(Response::Done {
+            status: QueryStatus::Exact { value: f32::MIN },
+            batched: true,
+        });
+    }
+
+    #[test]
+    fn float_bits_survive_exactly() {
+        // The protocol must not round through decimal: check bit
+        // patterns that decimal formatting would mangle.
+        for bits in [0x0000_0001u32, 0x7F7F_FFFF, 0x8000_0000, 0x3EAA_AAAB] {
+            let resp = Response::Done {
+                status: QueryStatus::Exact {
+                    value: f32::from_bits(bits),
+                },
+                batched: false,
+            };
+            let decoded = decode_response(&encode_response(&resp).unwrap()).unwrap();
+            match decoded {
+                Response::Done {
+                    status: QueryStatus::Exact { value },
+                    ..
+                } => assert_eq!(value.to_bits(), bits),
+                other => panic!("wrong decode: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        // bad version
+        assert!(decode_request(&[9, OP_PING]).is_err());
+        // unknown opcode
+        assert!(decode_request(&[WIRE_VERSION, 200]).is_err());
+        // truncated query
+        let mut q = encode_request(&Request::Query(QueryRequest {
+            tenant: "t".to_string(),
+            kind: QueryKind::Exact { rank: 5 },
+            dataset: DatasetSpec::uniform(64, 2),
+            deadline_ms: None,
+            seed: 0,
+        }))
+        .unwrap();
+        q.truncate(q.len() - 3);
+        assert!(decode_request(&q).is_err());
+        // trailing garbage
+        let mut p = encode_request(&Request::Ping).unwrap();
+        p.push(0);
+        assert!(decode_request(&p).is_err());
+        // unknown distribution code
+        let mut bad = encode_request(&Request::Query(QueryRequest {
+            tenant: "t".to_string(),
+            kind: QueryKind::Exact { rank: 5 },
+            dataset: DatasetSpec::uniform(64, 2),
+            deadline_ms: None,
+            seed: 0,
+        }))
+        .unwrap();
+        // dist byte sits right after the 2-byte tenant prefix + 1 byte
+        // tenant + version/op/kind bytes
+        let dist_pos = 1 + 1 + 1 + 2 + 1;
+        bad[dist_pos] = 99;
+        assert!(decode_request(&bad).is_err());
+    }
+
+    #[test]
+    fn frame_io_roundtrips_and_rejects_oversize() {
+        let payload = encode_request(&Request::Ping).unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let got = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(got, payload);
+        // clean EOF at a frame boundary
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+
+        // an adversarial length prefix is refused before allocation
+        let mut huge = std::io::Cursor::new(vec![0xFF, 0xFF, 0xFF, 0xFF]);
+        assert!(read_frame(&mut huge).is_err());
+    }
+}

@@ -19,6 +19,25 @@
 //! driver recovers it by replay), and `--hedge` arms cost-model
 //! straggler hedging. `--inject-faults`/`--inject-bitflips` apply their
 //! fault plan to shard 0.
+//!
+//! `--connect HOST:PORT` turns the CLI into a `selectd` client: the
+//! query (`--algo sample|resilient` ⇒ exact, `approx`, `topk`,
+//! `quantiles`, `stream`) is sent over the wire protocol instead of
+//! running locally; `--drain` gracefully shuts the server down and
+//! prints its final metrics snapshot.
+//!
+//! Exit codes (scripts rely on these):
+//!
+//! * `0` — exact answer produced and verified.
+//! * `1` — the query failed (driver error, connection error).
+//! * `2` — usage error.
+//! * `3` — SIMT sanitizer findings (with `--sanitize`).
+//! * `4` — **tagged approximate/degraded answer**: the result is honest
+//!   but not exact (`--algo approx`, a time-budget or deadline
+//!   degradation, a quorum-degraded shard run).
+//! * `5` — **overload rejection**: a `selectd` server refused admission
+//!   (quota, full queue, or draining) — retry later, do not treat as a
+//!   data error.
 
 use gpu_selection::baselines::{bucket_select_on_device, radix_select_on_device};
 use gpu_selection::datagen::{Distribution, RankChoice, WorkloadSpec};
@@ -69,6 +88,10 @@ struct Args {
     shards: usize,
     kill_shard: Option<KillSpec>,
     hedge: bool,
+    connect: Option<String>,
+    tenant: String,
+    deadline_ms: Option<u32>,
+    drain: bool,
 }
 
 impl Default for Args {
@@ -100,6 +123,10 @@ impl Default for Args {
             shards: 2,
             kill_shard: None,
             hedge: false,
+            connect: None,
+            tenant: "cli".into(),
+            deadline_ms: None,
+            drain: false,
         }
     }
 }
@@ -155,6 +182,10 @@ fn parse_args() -> Args {
                 }))
             }
             "--hedge" => out.hedge = true,
+            "--connect" => out.connect = Some(val("--connect")),
+            "--tenant" => out.tenant = val("--tenant"),
+            "--deadline" => out.deadline_ms = Some(val("--deadline").parse().expect("--deadline")),
+            "--drain" => out.drain = true,
             "--threads" => out.threads = Some(val("--threads").parse().expect("--threads")),
             "--metrics" => out.metrics = Some(val("--metrics")),
             "--span-log" => out.span_log = Some(val("--span-log")),
@@ -184,7 +215,10 @@ const HELP: &str =
 [--inject-faults SEED [--fault-rate R]] [--inject-bitflips SEED [--bitflip-rate R]] \
 [--verify off|spot|paranoid] [--time-budget MS] [--checkpoint FILE [--resume]] \
 [--shards K] [--kill-shard SHARD@LEVEL] [--hedge] \
-[--sanitize [--sanitize-json out.json]] [--threads N]";
+[--sanitize [--sanitize-json out.json]] [--threads N] \
+[--connect HOST:PORT [--tenant NAME] [--deadline MS] [--drain]]\n\
+exit codes: 0 exact answer; 1 failure; 2 usage error; 3 sanitizer findings; \
+4 tagged approximate/degraded answer; 5 overload rejection (server backpressure)";
 
 fn distribution(name: &str) -> Distribution {
     match name {
@@ -252,8 +286,158 @@ fn print_report(report: &SelectReport, breakdown: bool) {
     }
 }
 
+/// Exit code for honest-but-not-exact answers (tagged approximate,
+/// deadline/time-budget degradation, quorum degradation, checkpointed).
+const EXIT_APPROX: i32 = 4;
+/// Exit code for explicit server backpressure (`SelectError::Overloaded`).
+const EXIT_OVERLOADED: i32 = 5;
+
+/// `--connect` client mode: ship the query to a `selectd` server over
+/// the wire protocol instead of running it locally. Never returns.
+fn run_client(args: &Args) -> ! {
+    use gpu_selection::sampleselect::server::dataset::{DatasetSpec, DistCode};
+    use gpu_selection::sampleselect::server::wire;
+    use gpu_selection::sampleselect::{QueryKind, QueryRequest, QueryStatus};
+
+    let addr = args.connect.as_deref().expect("connect mode");
+    let mut stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        exit(1);
+    });
+
+    let request = if args.drain {
+        wire::Request::Drain
+    } else {
+        let dist = DistCode::from_name(&args.dist).unwrap_or_else(|| {
+            eprintln!("unknown distribution {} for --connect\n{HELP}", args.dist);
+            exit(2);
+        });
+        let rank = args.rank.unwrap_or(args.n / 2) as u64;
+        let kind = match args.algo.as_str() {
+            // Every locally-exact algorithm maps to the server's exact
+            // query; the server picks its own backend.
+            "sample" | "quick" | "bucket" | "radix" | "sort" | "resilient" | "cpu" => {
+                QueryKind::Exact { rank }
+            }
+            "approx" => QueryKind::Approx { rank },
+            "topk" => QueryKind::TopK {
+                k: args.k.unwrap_or(100) as u64,
+            },
+            "quantiles" => QueryKind::Quantiles {
+                q: args.k.unwrap_or(10) as u64,
+            },
+            "stream" => QueryKind::Stream {
+                rank,
+                chunk_len: 1 << 16,
+            },
+            other => {
+                eprintln!("unknown algorithm {other}\n{HELP}");
+                exit(2);
+            }
+        };
+        wire::Request::Query(QueryRequest {
+            tenant: args.tenant.clone(),
+            kind,
+            dataset: DatasetSpec {
+                dist,
+                n: args.n as u64,
+                seed: args.seed,
+            },
+            deadline_ms: args.deadline_ms,
+            seed: args.seed,
+        })
+    };
+
+    let payload = wire::encode_request(&request).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    if let Err(e) = wire::write_frame(&mut stream, &payload) {
+        eprintln!("send failed: {e}");
+        exit(1);
+    }
+    let frame = match wire::read_frame(&mut stream) {
+        Ok(Some(f)) => f,
+        Ok(None) => {
+            eprintln!("server closed the connection");
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("receive failed: {e}");
+            exit(1);
+        }
+    };
+    let response = wire::decode_response(&frame).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    match response {
+        wire::Response::Done { status, batched } => {
+            let tag = if batched { " [batched]" } else { "" };
+            match status {
+                QueryStatus::Exact { value } => {
+                    println!("value = {value} (exact){tag}");
+                    exit(0);
+                }
+                QueryStatus::TopK { threshold, k } => {
+                    println!("top-{k} threshold = {threshold}{tag}");
+                    exit(0);
+                }
+                QueryStatus::Quantiles { values } => {
+                    print!("quantiles:");
+                    for v in &values {
+                        print!(" {v:.4}");
+                    }
+                    println!("{tag}");
+                    exit(0);
+                }
+                QueryStatus::Approximate {
+                    value,
+                    achieved_rank,
+                    rank_error,
+                    deadline_degraded,
+                } => {
+                    println!(
+                        "value = {value} (approximate{}: rank {achieved_rank} delivered, \
+                         error {rank_error}){tag}",
+                        if deadline_degraded {
+                            ", deadline-degraded"
+                        } else {
+                            ""
+                        }
+                    );
+                    exit(EXIT_APPROX);
+                }
+                QueryStatus::Checkpointed { resume_token } => {
+                    println!("checkpointed at {resume_token}; resubmit the query to resume");
+                    exit(EXIT_APPROX);
+                }
+                QueryStatus::Failed { message } => {
+                    eprintln!("query failed: {message}");
+                    exit(1);
+                }
+            }
+        }
+        wire::Response::Rejected { reason } => {
+            eprintln!("rejected: {reason}");
+            exit(EXIT_OVERLOADED);
+        }
+        wire::Response::Drained { json } | wire::Response::Stats { json } => {
+            println!("{json}");
+            exit(0);
+        }
+        wire::Response::Pong => {
+            println!("pong");
+            exit(0);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.connect.is_some() {
+        run_client(&args);
+    }
     let arch = by_name(&args.arch).unwrap_or_else(v100);
     if let Some(n) = args.threads {
         if !ThreadPool::init_global(n) {
@@ -294,6 +478,11 @@ fn main() {
     } else {
         None
     };
+
+    // Set when the answer is honest but not exact (approximate variant,
+    // time-budget degradation, quorum degradation): main exits with
+    // EXIT_APPROX so scripts can tell tagged answers from exact ones.
+    let mut degraded = false;
 
     let mut device = Device::new(arch.clone(), pool);
     if args.sanitize {
@@ -356,6 +545,7 @@ fn main() {
         }
         "approx" => {
             let r = approx_select_on_device(&mut device, &w.data, rank, &cfg).unwrap();
+            degraded = true;
             println!(
                 "value = {} (rank {} delivered, {} requested, {:.4}% relative error)",
                 r.value,
@@ -411,10 +601,13 @@ fn main() {
                     value,
                     achieved_rank,
                     rank_error,
-                } => println!(
-                    "value = {value} (approximate under time budget: rank {achieved_rank} \
-                     delivered, {rank} requested, error {rank_error})"
-                ),
+                } => {
+                    degraded = true;
+                    println!(
+                        "value = {value} (approximate under time budget: rank {achieved_rank} \
+                         delivered, {rank} requested, error {rank_error})"
+                    );
+                }
             }
             print_report(&r.report, args.breakdown);
         }
@@ -493,11 +686,14 @@ fn main() {
                     value,
                     achieved_rank,
                     rank_error,
-                } => println!(
-                    "value = {value} (approximate after quorum degradation: rank \
-                     {achieved_rank} over survivors, {rank} requested, bounded error \
-                     {rank_error})"
-                ),
+                } => {
+                    degraded = true;
+                    println!(
+                        "value = {value} (approximate after quorum degradation: rank \
+                         {achieved_rank} over survivors, {rank} requested, bounded error \
+                         {rank_error})"
+                    );
+                }
             }
             let rep = &r.report;
             println!(
@@ -613,5 +809,9 @@ fn main() {
         let json = gpu_selection::gpu_sim::chrome_trace_with_counters(&device, tracks);
         std::fs::write(path, json).expect("failed to write trace");
         println!("\nchrome trace written to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+
+    if degraded {
+        exit(EXIT_APPROX);
     }
 }

@@ -1,0 +1,536 @@
+//! Integration tests for the `selectd` server core: admission control
+//! (quotas, bounded queue, drain), deadline degradation, circuit
+//! breaking under injected faults, cross-query batching, graceful and
+//! hard drain, the wire codec end-to-end, and — the headline — the
+//! guarantee that concurrent execution is bit-identical to serial
+//! execution of the same queries.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gpu_selection::gpu_sim::arch::v100;
+use gpu_selection::gpu_sim::{Device, FaultPlan};
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::sampleselect::approx::approx_select_on_device;
+use gpu_selection::sampleselect::element::reference_select;
+use gpu_selection::sampleselect::server::dataset::{self, DatasetSpec, DistCode};
+use gpu_selection::sampleselect::server::{wire, QuotaConfig};
+use gpu_selection::sampleselect::{
+    BreakerConfig, QueryKind, QueryRequest, QueryStatus, SampleSelectConfig, SelectError,
+    SelectServer, ServerConfig,
+};
+use proptest::prelude::*;
+
+fn unique_spool(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "selectd-test-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create spool dir");
+    dir
+}
+
+fn exact(tenant: &str, spec: DatasetSpec, rank: u64, seed: u64) -> QueryRequest {
+    QueryRequest {
+        tenant: tenant.to_string(),
+        kind: QueryKind::Exact { rank },
+        dataset: spec,
+        deadline_ms: None,
+        seed,
+    }
+}
+
+#[test]
+fn exact_queries_answer_correctly_across_tenants() {
+    let server = SelectServer::start(ServerConfig::default().with_workers(2));
+    let mut tickets = Vec::new();
+    let mut expected = Vec::new();
+    for (i, dist) in [DistCode::Uniform, DistCode::Normal, DistCode::Distinct16]
+        .into_iter()
+        .enumerate()
+    {
+        let spec = DatasetSpec {
+            dist,
+            n: 20_000,
+            seed: 11 + i as u64,
+        };
+        let rank = 1_000 + 3_000 * i as u64;
+        let data = dataset::instantiate(&spec);
+        expected.push(reference_select(&data, rank as usize).unwrap());
+        tickets.push(
+            server
+                .submit(exact(&format!("tenant-{i}"), spec, rank, 77))
+                .expect("admitted"),
+        );
+    }
+    for (ticket, want) in tickets.into_iter().zip(expected) {
+        match ticket.wait().status {
+            QueryStatus::Exact { value } => assert_eq!(value.to_bits(), want.to_bits()),
+            other => panic!("expected exact answer, got {other:?}"),
+        }
+    }
+    let snap = server.drain();
+    assert_eq!(snap.queries_served, 3);
+    assert_eq!(snap.tenants.len(), 3);
+    for (_, c) in &snap.tenants {
+        assert_eq!(c.admitted, 1);
+        assert_eq!(c.exact, 1);
+        assert_eq!(c.failed, 0);
+    }
+}
+
+#[test]
+fn quota_exhaustion_rejects_with_explicit_backpressure() {
+    let cfg = ServerConfig::default().with_workers(1).with_quota(
+        QuotaConfig::default()
+            .with_burst(2.0)
+            .with_refill_per_sec(0.0),
+    );
+    let server = SelectServer::start(cfg);
+    let spec = DatasetSpec::uniform(4_096, 3);
+
+    let t1 = server.submit(exact("greedy", spec, 10, 1)).expect("1st");
+    let t2 = server.submit(exact("greedy", spec, 20, 2)).expect("2nd");
+    match server.submit(exact("greedy", spec, 30, 3)) {
+        Err(SelectError::Overloaded { reason, tenant }) => {
+            assert_eq!(reason, "quota");
+            assert_eq!(tenant, "greedy");
+        }
+        other => panic!("3rd query must hit the quota, got {other:?}"),
+    }
+    // Another tenant has its own bucket and is unaffected.
+    let t3 = server
+        .submit(exact("patient", spec, 30, 3))
+        .expect("other tenant");
+    for t in [t1, t2, t3] {
+        assert!(matches!(t.wait().status, QueryStatus::Exact { .. }));
+    }
+
+    let snap = server.drain();
+    let greedy = &snap.tenants.iter().find(|(n, _)| n == "greedy").unwrap().1;
+    assert_eq!(greedy.admitted, 2);
+    assert_eq!(greedy.rejected, 1);
+    let m = &snap.metrics;
+    let get = |name: &str| {
+        m.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    assert_eq!(get("select_admitted_total"), 3);
+    assert_eq!(get("select_rejected_total"), 1);
+}
+
+#[test]
+fn draining_server_rejects_new_queries() {
+    let server = SelectServer::start(ServerConfig::default().with_workers(1));
+    server.begin_drain(false);
+    match server.submit(exact("late", DatasetSpec::uniform(1_024, 1), 5, 1)) {
+        Err(SelectError::Overloaded { reason, .. }) => assert_eq!(reason, "draining"),
+        other => panic!("expected draining rejection, got {other:?}"),
+    }
+    let snap = server.drain();
+    assert!(snap.events.iter().any(|e| e.contains("admission stopped")));
+}
+
+#[test]
+fn invalid_queries_fail_without_consuming_quota() {
+    let cfg = ServerConfig::default().with_quota(
+        QuotaConfig::default()
+            .with_burst(1.0)
+            .with_refill_per_sec(0.0),
+    );
+    let server = SelectServer::start(cfg);
+    let spec = DatasetSpec::uniform(100, 1);
+    assert!(matches!(
+        server.submit(exact("t", spec, 100, 1)),
+        Err(SelectError::RankOutOfRange { .. })
+    ));
+    assert!(matches!(
+        server.submit(exact(
+            "t",
+            DatasetSpec {
+                dist: DistCode::Uniform,
+                n: 0,
+                seed: 1
+            },
+            0,
+            1
+        )),
+        Err(SelectError::EmptyInput)
+    ));
+    // The bad queries above must not have burned the single token.
+    let t = server
+        .submit(exact("t", spec, 50, 1))
+        .expect("token intact");
+    assert!(matches!(t.wait().status, QueryStatus::Exact { .. }));
+}
+
+#[test]
+fn expired_deadline_degrades_to_tagged_approximate() {
+    let server = SelectServer::start(ServerConfig::default().with_workers(1));
+    let spec = DatasetSpec::uniform(50_000, 9);
+    let data = dataset::instantiate(&spec);
+    let rank = 25_000u64;
+    // A zero-millisecond deadline has always expired by dequeue time:
+    // the server must shed the exact attempt and answer with a tagged
+    // approximation, never a silent timeout or an untagged answer.
+    let resp = server
+        .query(QueryRequest {
+            tenant: "impatient".to_string(),
+            kind: QueryKind::Exact { rank },
+            dataset: spec,
+            deadline_ms: Some(0),
+            seed: 4,
+        })
+        .expect("admitted");
+    match resp.status {
+        QueryStatus::Approximate {
+            value,
+            achieved_rank,
+            rank_error,
+            deadline_degraded,
+        } => {
+            assert!(deadline_degraded, "degradation must be tagged");
+            assert_eq!(
+                value.to_bits(),
+                reference_select(&data, achieved_rank as usize)
+                    .unwrap()
+                    .to_bits(),
+                "achieved_rank must be the true rank of the returned value"
+            );
+            assert_eq!(rank_error, achieved_rank.abs_diff(rank));
+        }
+        other => panic!("expected tagged approximate, got {other:?}"),
+    }
+    let snap = server.drain();
+    let t = &snap.tenants[0].1;
+    assert_eq!(t.deadline_degraded, 1);
+    let degraded = snap
+        .metrics
+        .counters
+        .iter()
+        .find(|(n, _)| *n == "select_deadline_degraded_total")
+        .unwrap()
+        .1;
+    assert_eq!(degraded, 1);
+}
+
+#[test]
+fn breaker_quarantines_flaky_device_and_answers_stay_exact() {
+    // Worker 0's primary device fails every launch; the breaker must
+    // open and reroute to the clean spare, and every answer must still
+    // be exact (the resilient driver absorbs the faults meanwhile).
+    let cfg = ServerConfig::default()
+        .with_workers(1)
+        .with_batch_max(1)
+        .with_breaker(BreakerConfig {
+            failure_threshold: 2,
+            probe_after: 4,
+        })
+        .with_fault_plan(0, FaultPlan::new(77).launch_failures(1.0));
+    let server = SelectServer::start(cfg);
+    let spec = DatasetSpec::uniform(8_192, 21);
+    let data = dataset::instantiate(&spec);
+
+    let mut responses = Vec::new();
+    for i in 0..12u64 {
+        let rank = 100 + i * 500;
+        let resp = server
+            .query(exact("flaky-tenant", spec, rank, i))
+            .expect("admitted");
+        responses.push((rank, resp));
+    }
+    for (rank, resp) in &responses {
+        match &resp.status {
+            QueryStatus::Exact { value } => assert_eq!(
+                value.to_bits(),
+                reference_select(&data, *rank as usize).unwrap().to_bits(),
+                "no silently-wrong exact under faults"
+            ),
+            other => panic!("expected exact answer under faults, got {other:?}"),
+        }
+    }
+
+    let snap = server.drain();
+    assert!(
+        snap.events.iter().any(|e| e.contains("quarantined")),
+        "breaker must have opened; events: {:?}",
+        snap.events
+    );
+    let opened = snap
+        .metrics
+        .counters
+        .iter()
+        .find(|(n, _)| *n == "select_breaker_open_total")
+        .unwrap()
+        .1;
+    assert!(opened >= 1);
+    let t = &snap.tenants[0].1;
+    assert!(
+        t.breaker_rerouted >= 1,
+        "some queries must have been served on the spare: {t:?}"
+    );
+}
+
+#[test]
+fn same_dataset_exact_queries_batch_into_one_multiselect() {
+    let server = SelectServer::start(ServerConfig::default().with_workers(1).with_batch_max(8));
+    // Head-of-line blocker: a large exact query keeps the single worker
+    // busy while the small same-spec queries pile up behind it.
+    let big = DatasetSpec::uniform(400_000, 5);
+    let big_data = dataset::instantiate(&big);
+    let head = server.submit(exact("blocker", big, 200_000, 1)).unwrap();
+
+    let spec = DatasetSpec::uniform(8_192, 6);
+    let data = dataset::instantiate(&spec);
+    let ranks = [10u64, 4_000, 7_000, 8_000];
+    let tickets: Vec<_> = ranks
+        .iter()
+        .map(|&r| server.submit(exact("batcher", spec, r, 2)).unwrap())
+        .collect();
+
+    match head.wait().status {
+        QueryStatus::Exact { value } => {
+            assert_eq!(
+                value.to_bits(),
+                reference_select(&big_data, 200_000).unwrap().to_bits()
+            );
+        }
+        other => panic!("head query failed: {other:?}"),
+    }
+    let mut batched_count = 0;
+    for (ticket, &rank) in tickets.into_iter().zip(&ranks) {
+        let resp = ticket.wait();
+        if resp.batched {
+            batched_count += 1;
+        }
+        match resp.status {
+            QueryStatus::Exact { value } => assert_eq!(
+                value.to_bits(),
+                reference_select(&data, rank as usize).unwrap().to_bits()
+            ),
+            other => panic!("batched query failed: {other:?}"),
+        }
+    }
+    assert!(
+        batched_count >= 2,
+        "at least one merged multiselect pass expected, got {batched_count} batched answers"
+    );
+    let snap = server.drain();
+    let counted = snap
+        .metrics
+        .counters
+        .iter()
+        .find(|(n, _)| *n == "select_batched_total")
+        .unwrap()
+        .1;
+    assert_eq!(counted, batched_count as u64);
+}
+
+#[test]
+fn hard_drain_checkpoints_streaming_query_and_resume_completes_it() {
+    let spool = unique_spool("harddrain");
+    let spec = DatasetSpec::uniform(300_000, 13);
+    let data = dataset::instantiate(&spec);
+    let rank = 150_000u64;
+    let stream = QueryRequest {
+        tenant: "streamer".to_string(),
+        kind: QueryKind::Stream {
+            rank,
+            chunk_len: 4_096,
+        },
+        dataset: spec,
+        deadline_ms: None,
+        seed: 8,
+    };
+
+    let server = SelectServer::start(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_spool_dir(spool.clone()),
+    );
+    let ticket = server.submit(stream.clone()).expect("admitted");
+    // Give the worker a moment to start chewing chunks, then pull the
+    // plug mid-stream.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    server.begin_drain(true);
+    let first = ticket.wait();
+    let want = reference_select(&data, rank as usize).unwrap();
+    match &first.status {
+        QueryStatus::Checkpointed { resume_token } => {
+            assert!(
+                std::path::Path::new(resume_token).exists(),
+                "checkpoint file must survive the drain"
+            );
+        }
+        // The query may legitimately win the race and finish first; it
+        // must then be exact and correct.
+        QueryStatus::Exact { value } => assert_eq!(value.to_bits(), want.to_bits()),
+        other => panic!("unexpected drain outcome: {other:?}"),
+    }
+    server.drain();
+
+    // A fresh server over the same spool resumes (or re-runs) the query
+    // to the exact answer.
+    let server2 = SelectServer::start(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_spool_dir(spool.clone()),
+    );
+    match server2.query(stream).expect("admitted").status {
+        QueryStatus::Exact { value } => assert_eq!(value.to_bits(), want.to_bits()),
+        other => panic!("resumed query must complete exactly, got {other:?}"),
+    }
+    server2.drain();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn snapshot_json_is_well_formed_and_carries_tenants() {
+    let server = SelectServer::start(ServerConfig::default().with_workers(1));
+    let spec = DatasetSpec::uniform(2_048, 30);
+    server
+        .query(exact("json \"tenant\"", spec, 100, 1))
+        .unwrap();
+    let snap = server.drain();
+    let json = snap.to_json();
+    let parsed = gpu_selection::gpu_sim::jsonv::parse(&json)
+        .unwrap_or_else(|e| panic!("snapshot JSON must parse: {e}\n{json}"));
+    let text = format!("{parsed:?}");
+    assert!(text.contains("selectd-snapshot-v1"));
+    assert!(
+        json.contains("json \\\"tenant\\\""),
+        "tenant names are escaped"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol end-to-end (codec + framing over an in-memory pipe)
+// ---------------------------------------------------------------------
+
+#[test]
+fn wire_frames_roundtrip_through_a_byte_stream() {
+    let req = wire::Request::Query(QueryRequest {
+        tenant: "net".to_string(),
+        kind: QueryKind::TopK { k: 64 },
+        dataset: DatasetSpec {
+            dist: DistCode::Exponential,
+            n: 1 << 16,
+            seed: 5,
+        },
+        deadline_ms: Some(100),
+        seed: 17,
+    });
+    let mut stream = Vec::new();
+    wire::write_frame(&mut stream, &wire::encode_request(&req).unwrap()).unwrap();
+    wire::write_frame(
+        &mut stream,
+        &wire::encode_request(&wire::Request::Stats).unwrap(),
+    )
+    .unwrap();
+
+    let mut cursor = std::io::Cursor::new(stream);
+    let f1 = wire::read_frame(&mut cursor).unwrap().unwrap();
+    assert_eq!(wire::decode_request(&f1).unwrap(), req);
+    let f2 = wire::read_frame(&mut cursor).unwrap().unwrap();
+    assert_eq!(wire::decode_request(&f2).unwrap(), wire::Request::Stats);
+    assert!(
+        wire::read_frame(&mut cursor).unwrap().is_none(),
+        "clean EOF"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity: concurrent server == serial direct execution
+// ---------------------------------------------------------------------
+
+/// Serial reference for one query: a fresh device, the same per-query
+/// seed, the same driver family the server uses on its happy path.
+fn serial_answer(req: &QueryRequest) -> QueryStatus {
+    let pool = ThreadPool::new(1);
+    let mut device = Device::new(v100(), &pool);
+    device.enable_buffer_pool();
+    let data = dataset::instantiate(&req.dataset);
+    let cfg = SampleSelectConfig::default().with_seed(req.seed);
+    match req.kind {
+        QueryKind::Exact { rank } => QueryStatus::Exact {
+            value: reference_select(&data, rank as usize).unwrap(),
+        },
+        QueryKind::Approx { rank } => {
+            let a = approx_select_on_device(&mut device, &data, rank as usize, &cfg).unwrap();
+            QueryStatus::Approximate {
+                value: a.value,
+                achieved_rank: a.achieved_rank,
+                rank_error: a.rank_error,
+                deadline_degraded: false,
+            }
+        }
+        _ => unreachable!("proptest only generates exact/approx"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// Mixed exact/approx queries from several tenants, executed
+    /// concurrently on a multi-worker server (with batching enabled),
+    /// must produce bit-identical results to serial one-at-a-time
+    /// execution. This is the determinism contract that makes the
+    /// service debuggable: concurrency, admission order, batching, and
+    /// device pooling are all invisible in the answers.
+    #[test]
+    fn concurrent_execution_is_bit_identical_to_serial(
+        raw in proptest::collection::vec(0u64..u64::MAX, 4..16),
+    ) {
+        let n = 6_000u64;
+        // Unpack each raw u64 into (kind, dataset seed, rank, query
+        // seed) — the vendored proptest shim has no tuple strategies.
+        let queries: Vec<(u8, u64, u64, u64)> = raw
+            .iter()
+            .map(|&r| {
+                ((r % 2) as u8, 1 + (r >> 1) % 3, (r >> 3) % n, 1 + (r >> 17) % 1_000_000)
+            })
+            .collect();
+        let server = SelectServer::start(
+            ServerConfig::default()
+                .with_workers(3)
+                .with_batch_max(4)
+                .with_queue_capacity(64)
+                .with_quota(QuotaConfig::default().with_burst(1e9)),
+        );
+        let reqs: Vec<QueryRequest> = queries
+            .iter()
+            .map(|&(kind, dseed, rank, qseed)| QueryRequest {
+                tenant: format!("t{}", dseed % 2),
+                kind: if kind == 0 {
+                    QueryKind::Exact { rank }
+                } else {
+                    QueryKind::Approx { rank }
+                },
+                dataset: DatasetSpec { dist: DistCode::Uniform, n, seed: dseed },
+                deadline_ms: None,
+                seed: qseed,
+            })
+            .collect();
+        let tickets: Vec<_> = reqs
+            .iter()
+            .map(|r| server.submit(r.clone()).expect("admitted"))
+            .collect();
+        for (req, ticket) in reqs.iter().zip(tickets) {
+            let got = ticket.wait().status;
+            let want = serial_answer(req);
+            prop_assert_eq!(
+                format!("{got:?}"),
+                format!("{want:?}"),
+                "query {:?} diverged under concurrency",
+                req
+            );
+        }
+        server.drain();
+    }
+}
