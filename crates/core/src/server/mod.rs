@@ -222,6 +222,11 @@ pub struct ServerConfig {
     /// Upper bound on instantiated dataset size (admission control on
     /// memory, not correctness).
     pub max_dataset_elems: u64,
+    /// Total bytes of instantiated datasets kept warm in the server
+    /// cache; least-recently-used specs are evicted past this bound.
+    /// In-flight queries hold their own `Arc`, so eviction never
+    /// invalidates queued or running work.
+    pub dataset_cache_bytes: usize,
     /// Wall-deadline milliseconds → simulated-budget milliseconds
     /// scale for the degradation path.
     pub deadline_sim_scale: f64,
@@ -251,6 +256,7 @@ impl Default for ServerConfig {
             resilience: ResilienceConfig::default(),
             arch: v100(),
             max_dataset_elems: 1 << 24,
+            dataset_cache_bytes: 256 << 20,
             deadline_sim_scale: 1.0,
             spool_dir: None,
             fault_plans: Vec::new(),
@@ -428,13 +434,54 @@ struct Job {
     tx: Sender<QueryResponse>,
 }
 
+/// LRU dataset cache bounded by total bytes. Client-chosen specs must
+/// not be able to grow server memory without limit: past the cap the
+/// least-recently-used spec is evicted (in-flight queries keep their
+/// own `Arc`, so eviction is invisible to queued and running work).
+#[derive(Default)]
+struct DatasetCache {
+    entries: BTreeMap<DatasetSpec, (Arc<Vec<f32>>, u64)>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl DatasetCache {
+    fn get_or_instantiate(&mut self, spec: &DatasetSpec, cap_bytes: usize) -> Arc<Vec<f32>> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((data, last_used)) = self.entries.get_mut(spec) {
+            *last_used = tick;
+            return Arc::clone(data);
+        }
+        let data = Arc::new(dataset::instantiate(spec));
+        self.bytes += data.len() * std::mem::size_of::<f32>();
+        self.entries.insert(*spec, (Arc::clone(&data), tick));
+        while self.bytes > cap_bytes {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(spec, _)| *spec);
+            match lru {
+                Some(spec) => {
+                    if let Some((evicted, _)) = self.entries.remove(&spec) {
+                        self.bytes -= evicted.len() * std::mem::size_of::<f32>();
+                    }
+                }
+                None => break,
+            }
+        }
+        data
+    }
+}
+
 struct Shared {
     cfg: ServerConfig,
     registry: Arc<MetricsRegistry>,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     tenants: Mutex<BTreeMap<String, TenantState>>,
-    datasets: Mutex<BTreeMap<DatasetSpec, Arc<Vec<f32>>>>,
+    datasets: Mutex<DatasetCache>,
     events: Mutex<Vec<String>>,
     mode: AtomicU8,
     next_id: AtomicU64,
@@ -453,6 +500,18 @@ impl Shared {
 
     fn log_event(&self, event: String) {
         self.events.lock().unwrap().push(event);
+    }
+
+    /// Count a queue-full rejection and hand back the quota token it
+    /// already paid — a query the server never admitted must not burn
+    /// the tenant's budget.
+    fn reject_queue_full(&self, tenant: &str) {
+        let mut tenants = self.tenants.lock().unwrap();
+        if let Some(state) = tenants.get_mut(tenant) {
+            state.bucket.refund();
+            state.counters.rejected += 1;
+        }
+        self.registry.add(Counter::Rejected, 1);
     }
 
     fn tenant_count<F: FnOnce(&mut TenantCounters)>(&self, tenant: &str, f: F) {
@@ -483,7 +542,7 @@ impl SelectServer {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             tenants: Mutex::new(BTreeMap::new()),
-            datasets: Mutex::new(BTreeMap::new()),
+            datasets: Mutex::new(DatasetCache::default()),
             events: Mutex::new(Vec::new()),
             mode: AtomicU8::new(MODE_RUNNING),
             next_id: AtomicU64::new(0),
@@ -515,9 +574,10 @@ impl SelectServer {
     ///
     /// Rejection reasons (all [`SelectError::Overloaded`]): the server
     /// is draining, the tenant's token bucket is empty (`"quota"`), or
-    /// the admission queue is full (`"queue-full"`). Invalid queries
-    /// (rank out of range, empty dataset) fail with their usual
-    /// [`SelectError`]s and never consume quota.
+    /// the admission queue is full (`"queue-full"`, which refunds the
+    /// quota token the submission charged). Invalid queries (rank out
+    /// of range, empty dataset) fail with their usual [`SelectError`]s
+    /// and never consume quota.
     pub fn submit(&self, req: QueryRequest) -> Result<QueryTicket, SelectError> {
         let shared = &self.shared;
         if shared.mode() != MODE_RUNNING {
@@ -557,7 +617,10 @@ impl SelectServer {
                 }
             }
             QueryKind::Quantiles { q } => {
-                if q < 2 {
+                // Upper bound mirrors the TopK `k <= n` check: serving
+                // builds q-1 ranks, so an unbounded q from the wire
+                // would be an allocation-sized attack on the worker.
+                if q < 2 || q > n {
                     return Err(SelectError::RankOutOfRange {
                         rank: q as usize,
                         len: n as usize,
@@ -600,16 +663,26 @@ impl SelectServer {
             }
         }
 
+        // Queue pre-check before the dataset is touched: a submission
+        // the queue will reject must not pay (or cache) instantiation.
+        // Racy by design — the authoritative check is under the push
+        // lock below.
+        if shared.queue.lock().unwrap().len() >= shared.cfg.queue_capacity {
+            shared.reject_queue_full(&req.tenant);
+            return Err(SelectError::Overloaded {
+                reason: "queue-full",
+                tenant: req.tenant,
+            });
+        }
+
         // Dataset cache (instantiated on the submitter's thread so the
-        // workers never pay generation cost).
-        let data = {
-            let mut cache = shared.datasets.lock().unwrap();
-            Arc::clone(
-                cache
-                    .entry(req.dataset)
-                    .or_insert_with(|| Arc::new(dataset::instantiate(&req.dataset))),
-            )
-        };
+        // workers never pay generation cost; LRU-bounded by
+        // `dataset_cache_bytes`).
+        let data = shared
+            .datasets
+            .lock()
+            .unwrap()
+            .get_or_instantiate(&req.dataset, shared.cfg.dataset_cache_bytes);
 
         // Bounded queue.
         let (tx, rx) = channel();
@@ -618,8 +691,7 @@ impl SelectServer {
             let mut queue = shared.queue.lock().unwrap();
             if queue.len() >= shared.cfg.queue_capacity {
                 drop(queue);
-                shared.registry.add(Counter::Rejected, 1);
-                shared.tenant_count(&req.tenant, |c| c.rejected += 1);
+                shared.reject_queue_full(&req.tenant);
                 return Err(SelectError::Overloaded {
                     reason: "queue-full",
                     tenant: req.tenant,
@@ -696,7 +768,14 @@ impl SelectServer {
 
 impl Drop for SelectServer {
     fn drop(&mut self) {
-        self.begin_drain(false);
+        // Don't overwrite an already-begun (possibly hard) drain: a
+        // graceful store here would blind `DrainAwareSource` to
+        // MODE_HARD_DRAIN and let in-flight streams run to completion.
+        if self.shared.mode() == MODE_RUNNING {
+            self.begin_drain(false);
+        } else {
+            self.shared.available.notify_all();
+        }
         let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
         for h in handles {
             let _ = h.join();
@@ -749,8 +828,14 @@ fn pop_batch(shared: &Shared) -> Option<Vec<Job>> {
             let mut batch = vec![job];
             // Cross-query batching: pull every queued *exact* query on
             // the same dataset (any tenant, any seed — exactness is
-            // seed-independent) into one multiselect pass.
-            if shared.cfg.batch_max > 1 && matches!(batch[0].kind, QueryKind::Exact { .. }) {
+            // seed-independent) into one multiselect pass. Only
+            // deadline-free queries batch — on both sides: a
+            // deadline-carrying head must go through `serve_job`'s
+            // expired/remaining-budget path, not the batch path.
+            if shared.cfg.batch_max > 1
+                && matches!(batch[0].kind, QueryKind::Exact { .. })
+                && batch[0].deadline_ms.is_none()
+            {
                 let spec = batch[0].spec;
                 let mut i = 0;
                 while i < queue.len() && batch.len() < shared.cfg.batch_max {
@@ -1238,5 +1323,60 @@ fn run_query(
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(seed: u64) -> DatasetSpec {
+        DatasetSpec::uniform(1_024, seed)
+    }
+
+    #[test]
+    fn dataset_cache_evicts_lru_past_byte_cap() {
+        // Each spec is 1024 * 4 = 4 KiB; cap at 2 entries' worth.
+        let cap = 2 * 4 * 1024;
+        let mut cache = DatasetCache::default();
+        let a = cache.get_or_instantiate(&spec(1), cap);
+        cache.get_or_instantiate(&spec(2), cap);
+        assert_eq!(cache.entries.len(), 2);
+        assert!(cache.bytes <= cap);
+        // Touch spec 1 so spec 2 is the LRU victim.
+        cache.get_or_instantiate(&spec(1), cap);
+        cache.get_or_instantiate(&spec(3), cap);
+        assert_eq!(cache.entries.len(), 2);
+        assert!(cache.bytes <= cap);
+        assert!(cache.entries.contains_key(&spec(1)), "recently used survives");
+        assert!(!cache.entries.contains_key(&spec(2)), "LRU entry evicted");
+        // A distinct-seed scan stays bounded — the unbounded-growth DoS.
+        for s in 100..200 {
+            cache.get_or_instantiate(&spec(s), cap);
+            assert!(cache.bytes <= cap);
+        }
+        // Evicted entries stay valid for holders of the Arc.
+        assert_eq!(a.len(), 1_024);
+    }
+
+    #[test]
+    fn dataset_cache_evicts_even_a_lone_over_cap_entry() {
+        let mut cache = DatasetCache::default();
+        let data = cache.get_or_instantiate(&spec(1), 16);
+        assert_eq!(data.len(), 1_024, "over-cap dataset still served");
+        assert!(cache.entries.is_empty(), "but not kept warm");
+        assert_eq!(cache.bytes, 0);
+    }
+
+    #[test]
+    fn drop_preserves_hard_drain_mode() {
+        // Drop must not downgrade MODE_HARD_DRAIN to MODE_DRAINING:
+        // DrainAwareSource keys off hard-drain to checkpoint in-flight
+        // streams at the next chunk boundary.
+        let server = SelectServer::start(ServerConfig::default().with_workers(1));
+        server.begin_drain(true);
+        let shared = Arc::clone(&server.shared);
+        drop(server);
+        assert_eq!(shared.mode(), MODE_HARD_DRAIN);
     }
 }

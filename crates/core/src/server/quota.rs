@@ -78,6 +78,13 @@ impl TokenBucket {
         }
     }
 
+    /// Return one token: the query it paid for was never admitted
+    /// (e.g. a queue-full rejection after the quota was charged).
+    /// Capped at `burst` like any refill.
+    pub fn refund(&mut self) {
+        self.tokens = (self.tokens + 1.0).min(self.cfg.burst);
+    }
+
     /// Tokens currently available (after refilling to `now_ns`).
     pub fn available(&mut self, now_ns: u64) -> f64 {
         self.refill(now_ns);
@@ -116,6 +123,24 @@ mod tests {
         assert!(!b.try_take(100_000_000));
         // a long idle period caps at burst, not unbounded credit
         assert!((b.available(10_000_000_000) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refund_restores_a_token_capped_at_burst() {
+        let cfg = QuotaConfig::default()
+            .with_burst(2.0)
+            .with_refill_per_sec(0.0);
+        let mut b = TokenBucket::new(cfg, 0);
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(!b.try_take(0));
+        b.refund();
+        assert!(b.try_take(0), "refunded token is spendable again");
+        // Refunding a full bucket must not mint credit beyond burst.
+        b.refund();
+        b.refund();
+        b.refund();
+        assert!((b.available(0) - 2.0).abs() < 1e-9);
     }
 
     #[test]

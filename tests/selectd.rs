@@ -171,6 +171,120 @@ fn invalid_queries_fail_without_consuming_quota() {
 }
 
 #[test]
+fn oversized_quantile_count_is_rejected_at_admission() {
+    // Serving Quantiles{q} builds q-1 ranks, so an unbounded q from a
+    // remote client would be a one-query allocation DoS. Admission
+    // must bound it by n, mirroring the TopK k<=n check.
+    let server = SelectServer::start(ServerConfig::default().with_workers(1));
+    let spec = DatasetSpec::uniform(1_000, 2);
+    for q in [1_001u64, u64::MAX] {
+        match server.submit(QueryRequest {
+            tenant: "hostile".to_string(),
+            kind: QueryKind::Quantiles { q },
+            dataset: spec,
+            deadline_ms: None,
+            seed: 1,
+        }) {
+            Err(SelectError::RankOutOfRange { .. }) => {}
+            other => panic!("q={q} must be rejected at admission, got {other:?}"),
+        }
+    }
+    // A sane q still works.
+    let resp = server
+        .query(QueryRequest {
+            tenant: "sane".to_string(),
+            kind: QueryKind::Quantiles { q: 4 },
+            dataset: spec,
+            deadline_ms: None,
+            seed: 1,
+        })
+        .expect("admitted");
+    match resp.status {
+        QueryStatus::Quantiles { values } => assert_eq!(values.len(), 3),
+        other => panic!("expected quantiles, got {other:?}"),
+    }
+    server.drain();
+}
+
+#[test]
+fn queue_full_rejection_refunds_the_quota_token() {
+    // No workers: the queue never drains, so the second submission is
+    // rejected queue-full. That rejection must hand the quota token
+    // back — with a burst of 2 and no refill, a tenant that loses a
+    // token to every queue-full rejection would hit "quota" on its
+    // third try instead of "queue-full".
+    let cfg = ServerConfig {
+        workers: 0,
+        queue_capacity: 1,
+        quota: QuotaConfig::default()
+            .with_burst(2.0)
+            .with_refill_per_sec(0.0),
+        ..ServerConfig::default()
+    };
+    let server = SelectServer::start(cfg);
+    let spec = DatasetSpec::uniform(1_024, 4);
+    let _queued = server.submit(exact("t", spec, 10, 1)).expect("admitted");
+    for attempt in 0..3 {
+        match server.submit(exact("t", spec, 20, 2)) {
+            Err(SelectError::Overloaded { reason, .. }) => assert_eq!(
+                reason, "queue-full",
+                "attempt {attempt}: rejection must refund the token, \
+                 not burn quota"
+            ),
+            other => panic!("attempt {attempt}: expected queue-full, got {other:?}"),
+        }
+    }
+    let snap = server.snapshot();
+    let t = &snap.tenants.iter().find(|(n, _)| n == "t").unwrap().1;
+    assert_eq!(t.admitted, 1);
+    assert_eq!(t.rejected, 3);
+}
+
+#[test]
+fn deadline_head_job_is_not_served_through_the_batch_path() {
+    // A deadline-carrying exact query that becomes the head of a batch
+    // must NOT be merged into the multiselect pass (which ignores
+    // deadlines): it has to go through serve_job's expired/remaining-
+    // budget path. Queue it behind a blocker together with mergeable
+    // deadline-free queries on the same dataset.
+    let server = SelectServer::start(ServerConfig::default().with_workers(1).with_batch_max(8));
+    let big = DatasetSpec::uniform(400_000, 5);
+    let head = server.submit(exact("blocker", big, 200_000, 1)).unwrap();
+
+    let spec = DatasetSpec::uniform(8_192, 6);
+    let deadline_ticket = server
+        .submit(QueryRequest {
+            tenant: "impatient".to_string(),
+            kind: QueryKind::Exact { rank: 4_000 },
+            dataset: spec,
+            deadline_ms: Some(0), // expired the moment it waits at all
+            seed: 2,
+        })
+        .unwrap();
+    let followers: Vec<_> = [10u64, 7_000, 8_000]
+        .iter()
+        .map(|&r| server.submit(exact("patient", spec, r, 2)).unwrap())
+        .collect();
+
+    head.wait();
+    let resp = deadline_ticket.wait();
+    assert!(
+        !resp.batched,
+        "deadline-carrying query must not ride the batch path"
+    );
+    match resp.status {
+        QueryStatus::Approximate {
+            deadline_degraded, ..
+        } => assert!(deadline_degraded, "expired deadline must degrade, tagged"),
+        other => panic!("expired-deadline head must degrade, got {other:?}"),
+    }
+    for f in followers {
+        assert!(matches!(f.wait().status, QueryStatus::Exact { .. }));
+    }
+    server.drain();
+}
+
+#[test]
 fn expired_deadline_degrades_to_tagged_approximate() {
     let server = SelectServer::start(ServerConfig::default().with_workers(1));
     let spec = DatasetSpec::uniform(50_000, 9);
