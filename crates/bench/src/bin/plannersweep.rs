@@ -1,0 +1,177 @@
+//! `plannersweep` — the planner-vs-fixed-backend regret sweep.
+//!
+//! Runs the planner conformance grid ({uniform, duplicate-heavy,
+//! sorted, reverse-sorted, low-entropy-key, large-k} x {u32, u64, f32})
+//! and, per cell, measures the simulated time of each fixed backend
+//! (SampleSelect, QuickSelect, RadixSelect) plus the `--algo auto`
+//! planner run on fresh devices. Every cell also cross-checks that the
+//! auto answer is bit-identical to every fixed backend's.
+//!
+//! Writes `BENCH_planner.json` (schema `plannersweep-v1`) for
+//! `scripts/check_perf.py --planner`, which fails CI when the planner's
+//! pick regresses more than 15% against the best fixed backend in any
+//! cell.
+//!
+//! ```text
+//! cargo run --release --bin plannersweep [-- --full --threads N --csv]
+//! ```
+
+use gpu_sim::arch::v100;
+use gpu_sim::Device;
+use hpc_par::ThreadPool;
+use sampleselect::element::SelectElement;
+use sampleselect::planner::{run_planned, PlannedBackend};
+use sampleselect::rng::SplitMix64;
+use sampleselect::{auto_select_on_device, SampleSelectConfig, SelectWorkspace};
+use select_bench::{HarnessArgs, Table};
+
+const DISTS: [&str; 6] = [
+    "uniform",
+    "duplicate-heavy",
+    "sorted",
+    "reverse-sorted",
+    "low-entropy-key",
+    "large-k",
+];
+
+struct Cell {
+    dist: &'static str,
+    ty: &'static str,
+    chosen: &'static str,
+    auto_us: f64,
+    fixed_us: Vec<(&'static str, f64)>,
+}
+
+fn gen_data<T: SelectElement>(dist: &str, n: usize, seed: u64) -> (Vec<T>, usize) {
+    let mut rng = SplitMix64::new(seed);
+    let data: Vec<T> = (0..n)
+        .map(|i| {
+            let v = match dist {
+                "uniform" | "large-k" => rng.next_f64() * 1e9,
+                "duplicate-heavy" => (rng.next_u64() % 16) as f64,
+                "sorted" => i as f64,
+                "reverse-sorted" => (n - i) as f64,
+                "low-entropy-key" => (rng.next_u64() % 251) as f64,
+                other => panic!("unknown distribution {other}"),
+            };
+            T::from_f64(v)
+        })
+        .collect();
+    let rank = if dist == "large-k" { n - n / 3 } else { n / 2 };
+    (data, rank)
+}
+
+fn run_cell<T: SelectElement>(
+    dist: &'static str,
+    ty: &'static str,
+    n: usize,
+    seed: u64,
+    pool: &ThreadPool,
+) -> Cell {
+    let (data, rank) = gen_data::<T>(dist, n, seed);
+    let cfg = SampleSelectConfig::default();
+    let arch = v100();
+
+    let mut fixed_us = Vec::new();
+    let mut bits: Option<u64> = None;
+    for backend in PlannedBackend::RANK_CANDIDATES {
+        let mut device = Device::new(arch.clone(), pool);
+        let mut ws = SelectWorkspace::new();
+        let res = run_planned(&mut device, &data, rank, &cfg, &mut ws, backend)
+            .unwrap_or_else(|e| panic!("{dist}/{ty}: fixed {} errored: {e}", backend.name()));
+        let b = res.value.to_bits_u64();
+        assert_eq!(*bits.get_or_insert(b), b, "{dist}/{ty}: backends disagree");
+        fixed_us.push((backend.name(), res.report.total_time.as_us()));
+    }
+
+    let mut device = Device::new(arch.clone(), pool);
+    let (decision, auto) = auto_select_on_device(&mut device, &data, rank, &cfg)
+        .unwrap_or_else(|e| panic!("{dist}/{ty}: auto errored: {e}"));
+    assert_eq!(
+        auto.value.to_bits_u64(),
+        bits.unwrap(),
+        "{dist}/{ty}: auto answer diverged from the fixed backends"
+    );
+
+    Cell {
+        dist,
+        ty,
+        chosen: decision.backend.name(),
+        auto_us: auto.report.total_time.as_us(),
+        fixed_us,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let pool = ThreadPool::new(args.threads.unwrap_or(4));
+    let n: usize = if args.full { 1 << 20 } else { 1 << 17 };
+    let seed = 0x9a71;
+
+    let mut cells = Vec::new();
+    for dist in DISTS {
+        cells.push(run_cell::<u32>(dist, "u32", n, seed, &pool));
+        cells.push(run_cell::<u64>(dist, "u64", n, seed, &pool));
+        cells.push(run_cell::<f32>(dist, "f32", n, seed, &pool));
+    }
+
+    let mut t = Table::new(vec![
+        "dist",
+        "type",
+        "chosen",
+        "auto_us",
+        "sample_us",
+        "quick_us",
+        "radix_us",
+        "regret",
+    ]);
+    let mut rows_json = Vec::new();
+    for c in &cells {
+        let best = c
+            .fixed_us
+            .iter()
+            .map(|&(_, t)| t)
+            .fold(f64::INFINITY, f64::min);
+        let regret = c.auto_us / best;
+        let fixed: Vec<String> = c
+            .fixed_us
+            .iter()
+            .map(|&(name, t)| format!("\"{name}_us\": {t:.3}"))
+            .collect();
+        rows_json.push(format!(
+            "{{\"dist\": \"{}\", \"type\": \"{}\", \"chosen\": \"{}\", \
+             \"auto_us\": {:.3}, {}, \"best_us\": {best:.3}}}",
+            c.dist,
+            c.ty,
+            c.chosen,
+            c.auto_us,
+            fixed.join(", ")
+        ));
+        t.row(vec![
+            c.dist.to_string(),
+            c.ty.to_string(),
+            c.chosen.to_string(),
+            format!("{:.1}", c.auto_us),
+            format!("{:.1}", c.fixed_us[0].1),
+            format!("{:.1}", c.fixed_us[1].1),
+            format!("{:.1}", c.fixed_us[2].1),
+            format!("{regret:.2}x"),
+        ]);
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"plannersweep-v1\",\n  \"n\": {n},\n  \"seed\": {seed},\n  \
+         \"cells\": [\n    {}\n  ]\n}}\n",
+        rows_json.join(",\n    ")
+    );
+    std::fs::write("BENCH_planner.json", &json).expect("write BENCH_planner.json");
+
+    println!(
+        "Planner regret sweep (Tesla V100, n = 2^{}, rank = n/2 except large-k)\n",
+        n.trailing_zeros()
+    );
+    print!("{}", t.render());
+    println!();
+    println!("regret = auto sim-time / best fixed backend sim-time per cell.");
+    println!("BENCH_planner.json written; gate with scripts/check_perf.py --planner.");
+}

@@ -45,7 +45,9 @@ pub mod kv;
 pub mod multiselect;
 pub mod obs;
 pub mod params;
+pub mod planner;
 pub mod quickselect;
+pub mod radix;
 pub mod recursion;
 pub mod reduce;
 pub mod resilient;
@@ -70,11 +72,18 @@ pub use obs::{
     MetricsRegistry, MetricsSnapshot, ObsReport, ObsSession, QuerySpan, SpanGuard, SpanKind,
 };
 pub use params::{AtomicScope, ConfigError, SampleSelectConfig};
+pub use planner::{
+    auto_select_on_device, auto_select_with_workspace, plan_rank_query, plan_topk_query,
+    profile_data, DataProfile, PlanDecision, PlanSignals, PlannedBackend,
+};
 pub use quickselect::{bipartition_on_device, quick_select, quick_select_on_device};
+pub use radix::{
+    radix_select, radix_select_into, radix_select_on_device, radix_select_with_workspace,
+};
 pub use recursion::{sample_select_on_device, sample_select_with_workspace};
 pub use resilient::{
-    resilient_select, resilient_select_on_device, resilient_streaming_select, Backend, Outcome,
-    ResilienceConfig, ResilientResult, RetryPolicy,
+    resilient_select, resilient_select_on_device, resilient_select_planned,
+    resilient_streaming_select, Backend, Outcome, ResilienceConfig, ResilientResult, RetryPolicy,
 };
 pub use samplesort::{sample_sort, sample_sort_on_device, SortResult};
 pub use searchtree::SearchTree;

@@ -109,10 +109,21 @@ pub enum Counter {
     BreakerOpen,
     /// Serving: rank queries answered by a merged `multiselect` batch.
     Batched,
+    /// Planner: queries routed to the RadixSelect backend.
+    PlannerRadix,
+    /// Planner: queries routed to the SampleSelect backend.
+    PlannerSample,
+    /// Planner: queries routed to the QuickSelect backend.
+    PlannerQuick,
+    /// Planner: queries routed to the fused top-k backend.
+    PlannerTopk,
+    /// Planner: decisions where live obs signals overrode the analytic
+    /// cost model's first choice.
+    PlannerOverrides,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 28] = [
         Counter::Queries,
         Counter::KernelLaunches,
         Counter::RecursionLevels,
@@ -136,6 +147,11 @@ impl Counter {
         Counter::DeadlineDegraded,
         Counter::BreakerOpen,
         Counter::Batched,
+        Counter::PlannerRadix,
+        Counter::PlannerSample,
+        Counter::PlannerQuick,
+        Counter::PlannerTopk,
+        Counter::PlannerOverrides,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -164,6 +180,11 @@ impl Counter {
             Counter::DeadlineDegraded => "select_deadline_degraded_total",
             Counter::BreakerOpen => "select_breaker_open_total",
             Counter::Batched => "select_batched_total",
+            Counter::PlannerRadix => "select_planner_radix_total",
+            Counter::PlannerSample => "select_planner_sample_total",
+            Counter::PlannerQuick => "select_planner_quick_total",
+            Counter::PlannerTopk => "select_planner_topk_total",
+            Counter::PlannerOverrides => "select_planner_overrides_total",
         }
     }
 }

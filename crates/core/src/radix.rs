@@ -1,0 +1,621 @@
+//! Production MSD RadixSelect (Alabi et al. 2012, §III/\[10\]): most
+//! significant-digit radix bucketing over the binary key representation,
+//! promoted from the `baselines` sketch into a first-class backend.
+//!
+//! Each level histograms one 8-bit digit of the (order-preserving) sort
+//! key, starting from the most significant, and recurses into the digit
+//! bucket containing the target rank. The recursion depth is
+//! **data-independent** — at most `key_bits / 8` passes, but never fewer
+//! either: the paper's key comparison is that SampleSelect reaches its
+//! base case in ~2 data-dependent levels where radix methods burn a
+//! fixed number of full passes. RadiK (PAPERS.md) shows the radix family
+//! winning anyway at large k and under adversarial splitter regimes,
+//! which is why the [`crate::planner`] treats this backend as a
+//! first-class candidate instead of a strawman.
+//!
+//! Differences from the baselines sketch, in production order:
+//!
+//! * **Zero-alloc warm path**: the per-block digit histogram and warp
+//!   collision scratch are leased from [`KernelScratch`] (the sketch
+//!   allocated `vec![0u64; 256]` per block per pass inside the hot
+//!   closure), and the partials/oracle/filter buffers come from the
+//!   device [`gpu_sim::BufferPool`] — pinned by the `zero_alloc`
+//!   integration test.
+//! * **ABFT**: per-pass digit-histogram-sum spot checks under
+//!   [`crate::verify::VerifyPolicy::Spot`], plus unconditional
+//!   `bucket-for-rank` / `filter-size` corruption guards so silent bit
+//!   flips surface as retryable [`SelectError::Corruption`] instead of
+//!   panics. Paranoid runs get a rank certificate from the resilient
+//!   driver, exactly like the other device backends.
+//! * **Resilience**: honors `max_levels` / `work_budget_factor` guards
+//!   so the resilient driver's fallback chain and time budget apply.
+//! * **Observability**: query/level/kernel spans, bucket-occupancy and
+//!   atomic-collision gauges, and pool/counter absorption.
+
+use crate::count::{CountResult, OracleBuf};
+use crate::element::SelectElement;
+use crate::filter::filter_kernel_scoped;
+use crate::instrument::SelectReport;
+use crate::obs::{self, Gauge, Histogram, SpanKind, Track};
+use crate::params::{AtomicScope, SampleSelectConfig};
+use crate::recursion::{base_case_select_with, recycle_level, validate_input};
+use crate::reduce::reduce_kernel;
+use crate::verify::{check_filter_size, check_histogram};
+use crate::workspace::{KernelScratch, SelectWorkspace};
+use crate::{SelectError, SelectResult};
+use gpu_sim::arch::v100;
+use gpu_sim::warp::{warp_atomic_stats, WARP_SIZE};
+use gpu_sim::{Device, KernelCost, LaunchOrigin};
+
+/// Bits per radix digit (256 buckets, one oracle byte).
+pub const DIGIT_BITS: u32 = 8;
+
+/// Buckets per digit pass.
+pub const RADIX_BUCKETS: usize = 1 << DIGIT_BITS;
+
+/// Safety net mirroring `recursion::MAX_LEVELS`; the radix recursion is
+/// structurally bounded by `key_bits / 8` anyway.
+const MAX_LEVELS: u32 = 64;
+
+/// Effective key width for a type: the number of bits that can differ.
+pub fn key_bits<T: SelectElement>() -> u32 {
+    (T::BYTES * 8) as u32
+}
+
+/// Digit passes a full radix recursion performs on `T` keys.
+pub fn radix_passes<T: SelectElement>() -> u32 {
+    key_bits::<T>().div_ceil(DIGIT_BITS)
+}
+
+/// Histogram one 8-bit digit of every element's sort key.
+///
+/// The structural twin of [`crate::count::count_kernel_scoped`]: same
+/// pooled regions (`count-partials`, `count-oracles`, `counts`), same
+/// warp-exact atomic accounting, same corruption hooks — but the bucket
+/// of an element is `(key >> shift) & 0xff` instead of a search-tree
+/// lookup, so there is no tree traversal to charge and the oracle is
+/// always one byte.
+pub fn radix_digit_count_kernel<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    shift: u32,
+    cfg: &SampleSelectConfig,
+    origin: LaunchOrigin,
+    scratch: &KernelScratch,
+) -> CountResult {
+    let n = data.len();
+    let b = RADIX_BUCKETS;
+    let launch = cfg.launch_config(n, T::BYTES);
+    let blocks = launch.blocks as usize;
+    let chunk = launch.block_chunk(n);
+
+    let partials = device.pooled_scatter::<u64>(b * blocks, "count-partials");
+    let oracles = device.pooled_scatter::<u8>(n, "count-oracles");
+    let partials_ref = &partials;
+    let oracles_ref = &oracles;
+
+    let (mut cost, _lanes_total, distinct_total) = hpc_par::parallel_map_reduce(
+        device.pool(),
+        blocks,
+        1,
+        (KernelCost::new(), 0u64, 0u64),
+        |range, acc| {
+            let (mut cost, mut lanes_total, mut distinct_total) = acc;
+            let mut local = scratch.lease_u64(b);
+            let mut warp_scratch = scratch.lease_u32(b);
+            let mut warp_buckets = [0u32; WARP_SIZE];
+            for block in range {
+                let start = block * chunk;
+                let end = ((block + 1) * chunk).min(n);
+                local.iter_mut().for_each(|c| *c = 0);
+                if start < end {
+                    let mut idx = start;
+                    while idx < end {
+                        let wlen = WARP_SIZE.min(end - idx);
+                        for lane in 0..wlen {
+                            let digit = ((data[idx + lane].to_sort_key() >> shift) & 0xff) as u32;
+                            warp_buckets[lane] = digit;
+                            local[digit as usize] += 1;
+                            // SAFETY: each element index is owned by
+                            // exactly one block chunk.
+                            unsafe { oracles_ref.write(idx + lane, digit as u8) };
+                        }
+                        let stats = warp_atomic_stats(&warp_buckets[..wlen], &mut warp_scratch);
+                        lanes_total += stats.lanes as u64;
+                        distinct_total += stats.distinct as u64;
+                        match cfg.atomic_scope {
+                            AtomicScope::Shared => {
+                                cost.shared_atomic_warp_ops += 1;
+                                if !cfg.warp_aggregation {
+                                    cost.shared_atomic_replays +=
+                                        stats.max_multiplicity.saturating_sub(1) as u64;
+                                }
+                            }
+                            AtomicScope::Global => {
+                                cost.global_atomic_ops += if cfg.warp_aggregation {
+                                    stats.distinct as u64
+                                } else {
+                                    stats.lanes as u64
+                                };
+                            }
+                        }
+                        if cfg.warp_aggregation {
+                            // One ballot per digit bit instead of the
+                            // replay serialization (Fig. 6 analogue).
+                            cost.warp_intrinsics += DIGIT_BITS as u64;
+                        }
+                        idx += wlen;
+                    }
+                    let len = (end - start) as u64;
+                    cost.global_read_bytes += len * T::BYTES as u64;
+                    cost.int_ops += len * 2; // shift + mask
+                    cost.global_write_bytes += len; // one oracle byte each
+                }
+                // Store this block's partial counts (bucket-major slot).
+                for (digit, &c) in local.iter().enumerate() {
+                    // SAFETY: (digit, block) pairs are unique per block.
+                    unsafe { partials_ref.write(digit * blocks + block, c) };
+                }
+                if start >= end {
+                    continue;
+                }
+                if cfg.atomic_scope == AtomicScope::Shared {
+                    // Block flushes its digit counters to global memory
+                    // for the reduce kernel.
+                    cost.global_write_bytes += b as u64 * 4;
+                }
+                cost.blocks += 1;
+            }
+            scratch.give_u64(local);
+            scratch.give_u32(warp_scratch);
+            (cost, lanes_total, distinct_total)
+        },
+        |mut a, b| {
+            a.0.merge(&b.0);
+            (a.0, a.1 + b.1, a.2 + b.2)
+        },
+    );
+
+    // SAFETY: every (digit, block) slot was written exactly once above.
+    let partials = unsafe { partials.into_vec(b * blocks) };
+    let mut counts = device.lease_vec::<u64>(b, "counts");
+    counts.resize(b, 0);
+    for digit in 0..b {
+        counts[digit] = partials[digit * blocks..(digit + 1) * blocks].iter().sum();
+    }
+
+    if cfg.atomic_scope == AtomicScope::Global {
+        let hot = counts.iter().copied().max().unwrap_or(0);
+        cost.global_atomic_hot_ops = if cfg.warp_aggregation && n > 0 {
+            let factor = distinct_total as f64 / n.max(1) as f64;
+            (hot as f64 * factor).ceil() as u64
+        } else {
+            hot
+        };
+    }
+
+    device.commit("digit_count", launch, origin, cost);
+
+    // Fault-injection hooks on the freshly materialized device buffers;
+    // corruption stays silent here and is caught by the ABFT checks.
+    let mut oracles = unsafe { oracles.into_vec(n) };
+    device.corrupt_region("counts", counts.as_mut_slice());
+    device.corrupt_region("oracles", oracles.as_mut_slice());
+
+    CountResult {
+        counts,
+        partials,
+        blocks,
+        oracles: Some(OracleBuf::U8(oracles)),
+    }
+}
+
+/// Exact RadixSelect on a simulated device: the `rank`-th smallest
+/// element of `data` (0-based), with a fresh workspace.
+pub fn radix_select_on_device<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+) -> Result<SelectResult<T>, SelectError> {
+    radix_select_with_workspace(device, data, rank, cfg, &mut SelectWorkspace::new())
+}
+
+/// [`radix_select_on_device`] with a reusable [`SelectWorkspace`]: the
+/// per-pass digit histograms, warp scratch and base-case buffers live in
+/// `ws`, and the level buffers (counts, partials, oracles, prefix sums,
+/// filter output) are leased from the device [`gpu_sim::BufferPool`]
+/// when it is armed. With a warm workspace and pool, a steady-state
+/// radix query performs zero heap allocations (pinned by the
+/// `zero_alloc` integration test).
+pub fn radix_select_with_workspace<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    ws: &mut SelectWorkspace<T>,
+) -> Result<SelectResult<T>, SelectError> {
+    let mut report = SelectReport::empty("radixselect");
+    let value = radix_select_into(device, data, rank, cfg, ws, &mut report)?;
+    Ok(SelectResult { value, report })
+}
+
+/// [`radix_select_with_workspace`] writing into a caller-owned report.
+///
+/// The report shell is re-aggregated in place, so a caller that keeps
+/// the same [`SelectReport`] across queries (as the zero-alloc suite
+/// and long-lived `selectd` workers do) pays **zero** heap allocations
+/// for an entire warm query — kernels, level buffers, and report
+/// assembly included. On error the report keeps its previous contents.
+pub fn radix_select_into<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    ws: &mut SelectWorkspace<T>,
+    report: &mut SelectReport,
+) -> Result<T, SelectError> {
+    cfg.validate_count_only()
+        .map_err(SelectError::InvalidConfig)?;
+    validate_input(data, rank, cfg)?;
+
+    let n = data.len();
+    let records_before = device.records().len();
+    obs::span_enter(SpanKind::Query, "radixselect", 0, device.now().as_ns());
+    let max_levels = cfg.max_levels.unwrap_or(MAX_LEVELS).min(MAX_LEVELS);
+    let work_budget: Option<f64> = cfg.work_budget_factor.map(|f| f * n as f64);
+    let mut work_done: f64 = 0.0;
+
+    let mut storage: Vec<T> = Vec::new();
+    let mut use_storage = false;
+    let mut k = rank;
+    let mut levels = 0u32;
+    let mut shift = key_bits::<T>();
+
+    let (value, terminated_early) = loop {
+        let cur: &[T] = if use_storage { &storage } else { data };
+        let origin = if levels == 0 {
+            LaunchOrigin::Host
+        } else {
+            LaunchOrigin::Device
+        };
+        debug_assert!(k < cur.len());
+
+        if cur.len() <= cfg.base_case_size {
+            obs::span_enter(
+                SpanKind::Kernel,
+                "base_sort",
+                levels as u64,
+                device.now().as_ns(),
+            );
+            let SelectWorkspace {
+                base, sort_scratch, ..
+            } = &mut *ws;
+            let value = base_case_select_with(device, cur, k, cfg, origin, base, sort_scratch);
+            obs::span_exit(device.now().as_ns());
+            break (value, false);
+        }
+        if shift == 0 {
+            // All key bits consumed: the remaining elements share one
+            // sort key, i.e. they are all equal under the element order.
+            break (cur[0], true);
+        }
+        if levels >= max_levels {
+            return Err(SelectError::RecursionLimit);
+        }
+        if let Some(budget) = work_budget {
+            // Low-entropy keys barely shrink the bucket (every dead
+            // digit pass keeps all n elements), so the cumulative
+            // elements scanned trip the budget before the depth cap.
+            work_done += cur.len() as f64;
+            if work_done > budget {
+                return Err(SelectError::RecursionLimit);
+            }
+        }
+        shift -= DIGIT_BITS;
+        let level_ix = levels as u64;
+        levels += 1;
+        obs::span_enter(SpanKind::Level, "level", level_ix, device.now().as_ns());
+
+        obs::span_enter(
+            SpanKind::Kernel,
+            "digit_count",
+            level_ix,
+            device.now().as_ns(),
+        );
+        let count = radix_digit_count_kernel(device, cur, shift, cfg, origin, &ws.scratch);
+        obs::span_exit(device.now().as_ns());
+        if obs::enabled() {
+            let ts_us = device.now().as_us();
+            let occupied = count.counts.iter().filter(|&&c| c != 0).count() as u64;
+            obs::gauge_set(Gauge::BucketOccupancy, occupied);
+            obs::track_sample(Track::BucketOccupancy, ts_us, occupied as f64);
+            if let Some(rec) = device.records().last() {
+                let replays = rec.cost.shared_atomic_replays * 1_000_000;
+                if let Some(ppm) = replays.checked_div(rec.cost.shared_atomic_warp_ops) {
+                    obs::gauge_set(Gauge::AtomicCollisionRatePpm, ppm);
+                    obs::track_sample(Track::AtomicCollisionRate, ts_us, ppm as f64 / 1e6);
+                }
+            }
+        }
+        if cfg.verify.spot_checks() {
+            check_histogram(&count.counts, cur.len())?;
+        }
+        obs::span_enter(SpanKind::Kernel, "reduce", level_ix, device.now().as_ns());
+        let red = reduce_kernel(device, &count, LaunchOrigin::Device);
+        obs::span_exit(device.now().as_ns());
+
+        let digit = red.bucket_for_rank(k as u64);
+        if red.bucket_size(digit) == 0 {
+            // Healthy runs always land the rank in a non-empty digit
+            // bucket; an empty one means the counts (or their prefix
+            // sums) were corrupted after the histogram was assembled.
+            return Err(SelectError::Corruption {
+                invariant: "bucket-for-rank",
+                detail: format!("rank {k} mapped to empty digit bucket {digit}"),
+            });
+        }
+
+        let digit_u32 = digit as u32;
+        obs::span_enter(SpanKind::Kernel, "filter", level_ix, device.now().as_ns());
+        let next = filter_kernel_scoped(
+            device,
+            cur,
+            &count,
+            &red,
+            digit_u32..digit_u32 + 1,
+            cfg,
+            LaunchOrigin::Device,
+            &ws.scratch,
+        );
+        obs::span_exit(device.now().as_ns());
+        obs::observe(Histogram::LevelKeptElements, next.len() as u64);
+        if cfg.verify.spot_checks() {
+            check_filter_size(next.len(), red.bucket_size(digit))?;
+        }
+        let next_rank = k - red.bucket_offsets[digit] as usize;
+        if next_rank >= next.len() {
+            // Unconditionally guarded (not just under `verify`): a
+            // corrupted oracle or count buffer can shrink the filter
+            // output below the descending rank, and indexing past it at
+            // the next level would panic instead of surfacing a
+            // retryable error.
+            return Err(SelectError::Corruption {
+                invariant: "filter-size",
+                detail: format!(
+                    "descending rank {next_rank} outside filtered digit bucket of {} elements",
+                    next.len()
+                ),
+            });
+        }
+        let prev = std::mem::replace(&mut storage, next);
+        device.recycle_vec("filter-out", prev);
+        recycle_level(device, count, red);
+        obs::span_exit(device.now().as_ns());
+        use_storage = true;
+        k = next_rank;
+    };
+
+    // The last level's filtered bucket goes back to the pool for the
+    // next query.
+    device.recycle_vec("filter-out", storage);
+
+    obs::absorb_device(device);
+    obs::pool_sample(device);
+    obs::span_exit(device.now().as_ns());
+
+    report.refill_from_records(
+        "radixselect",
+        n,
+        &device.records()[records_before..],
+        levels,
+        terminated_early,
+    );
+    Ok(value)
+}
+
+/// RadixSelect on a default simulated device (Tesla V100 on the
+/// process-global thread pool).
+pub fn radix_select<T: SelectElement>(
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+) -> Result<SelectResult<T>, SelectError> {
+    let mut device = Device::on_global_pool(v100());
+    radix_select_on_device(&mut device, data, rank, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::reference_select;
+    use crate::rng::SplitMix64;
+    use gpu_sim::FaultPlan;
+    use hpc_par::ThreadPool;
+
+    fn select<T: SelectElement>(data: &[T], rank: usize) -> SelectResult<T> {
+        let pool = ThreadPool::new(4);
+        let mut device = Device::new(v100(), &pool);
+        radix_select_on_device(&mut device, data, rank, &SampleSelectConfig::default()).unwrap()
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() as f32 * 2.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn matches_reference_on_floats() {
+        let data = uniform(100_000, 1);
+        for rank in [0usize, 1, 50_000, 99_999] {
+            assert_eq!(
+                select(&data, rank).value,
+                reference_select(&data, rank).unwrap(),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_integers() {
+        let mut rng = SplitMix64::new(2);
+        let data: Vec<u32> = (0..80_000).map(|_| rng.next_u64() as u32).collect();
+        assert_eq!(
+            select(&data, 40_000).value,
+            reference_select(&data, 40_000).unwrap()
+        );
+        let signed: Vec<i32> = (0..80_000).map(|_| rng.next_u64() as i32).collect();
+        assert_eq!(
+            select(&signed, 12_345).value,
+            reference_select(&signed, 12_345).unwrap()
+        );
+    }
+
+    #[test]
+    fn depth_bounded_by_key_bytes() {
+        let f32s = uniform(1 << 20, 3);
+        let res = select(&f32s, 1 << 19);
+        assert!(res.report.levels <= 4, "f32 levels = {}", res.report.levels);
+        let mut rng = SplitMix64::new(4);
+        let f64s: Vec<f64> = (0..500_000).map(|_| rng.next_f64()).collect();
+        let res = select(&f64s, 250_000);
+        assert!(res.report.levels <= 8, "f64 levels = {}", res.report.levels);
+    }
+
+    #[test]
+    fn all_equal_input_exhausts_key_bits() {
+        // Identical keys: every digit pass keeps everything, so the
+        // recursion burns all 4 passes and exits on bit exhaustion.
+        let data = vec![7.5f32; 20_000];
+        let res = select(&data, 10_000);
+        assert_eq!(res.value, 7.5);
+        assert!(res.report.terminated_early);
+        assert_eq!(res.report.levels, 4);
+    }
+
+    #[test]
+    fn negative_floats_ordered_correctly() {
+        let vals = [-3.0f32, -1.0, -2.0, 0.0, 2.0, 1.0, -0.5];
+        let big: Vec<f32> = (0..50_000)
+            .map(|i| vals[i % 7] + (i / 7) as f32 * 1e-7)
+            .collect();
+        assert_eq!(select(&big, 10).value, reference_select(&big, 10).unwrap());
+    }
+
+    #[test]
+    fn report_contains_radix_kernels() {
+        let data = uniform(200_000, 5);
+        let res = select(&data, 100_000);
+        assert_eq!(res.report.algorithm, "radixselect");
+        for name in ["digit_count", "reduce", "filter", "base_sort"] {
+            assert!(
+                res.report.kernel_launches(name) > 0,
+                "missing kernel {name}"
+            );
+        }
+        assert_eq!(res.report.kernel_launches("sample"), 0);
+    }
+
+    #[test]
+    fn workspace_path_is_bit_identical_to_fresh() {
+        let data = uniform(150_000, 6);
+        let rank = 75_000;
+        let pool = ThreadPool::new(2);
+
+        let mut fresh_dev = Device::new(v100(), &pool);
+        let fresh =
+            radix_select_on_device(&mut fresh_dev, &data, rank, &SampleSelectConfig::default())
+                .unwrap();
+
+        let mut pooled_dev = Device::new(v100(), &pool);
+        pooled_dev.enable_buffer_pool();
+        let mut ws: SelectWorkspace<f32> = SelectWorkspace::new();
+        for _ in 0..2 {
+            radix_select_with_workspace(
+                &mut pooled_dev,
+                &data,
+                rank,
+                &SampleSelectConfig::default(),
+                &mut ws,
+            )
+            .unwrap();
+            pooled_dev.reset();
+        }
+        let pooled = radix_select_with_workspace(
+            &mut pooled_dev,
+            &data,
+            rank,
+            &SampleSelectConfig::default(),
+            &mut ws,
+        )
+        .unwrap();
+
+        assert_eq!(fresh.value.to_bits(), pooled.value.to_bits());
+        assert_eq!(fresh.report.total_time, pooled.report.total_time);
+        assert_eq!(fresh.report.levels, pooled.report.levels);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let pool = ThreadPool::new(1);
+        let mut device = Device::new(v100(), &pool);
+        assert_eq!(
+            radix_select_on_device::<f32>(&mut device, &[], 0, &SampleSelectConfig::default())
+                .unwrap_err(),
+            SelectError::EmptyInput
+        );
+        assert_eq!(
+            radix_select_on_device(&mut device, &[1.0f32], 1, &SampleSelectConfig::default())
+                .unwrap_err(),
+            SelectError::RankOutOfRange { rank: 1, len: 1 }
+        );
+    }
+
+    #[test]
+    fn max_levels_guard_trips_on_tight_cap() {
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let data = uniform(100_000, 9);
+        let cfg = SampleSelectConfig::default().with_max_levels(0);
+        assert_eq!(
+            radix_select_on_device(&mut device, &data, 50_000, &cfg).unwrap_err(),
+            SelectError::RecursionLimit
+        );
+        let cfg = SampleSelectConfig::default().with_max_levels(8);
+        radix_select_on_device(&mut device, &data, 50_000, &cfg).unwrap();
+    }
+
+    #[test]
+    fn work_budget_guard_trips_on_low_entropy_keys() {
+        // Keys whose top three digits never differ: every early pass
+        // keeps all n elements, so the scanned-work budget trips.
+        let data: Vec<u32> = (0..50_000u32).map(|i| i % 251).collect();
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let cfg = SampleSelectConfig::default().with_work_budget_factor(1.5);
+        assert_eq!(
+            radix_select_on_device(&mut device, &data, 25_000, &cfg).unwrap_err(),
+            SelectError::RecursionLimit
+        );
+        let cfg = SampleSelectConfig::default().with_work_budget_factor(8.0);
+        let res = radix_select_on_device(&mut device, &data, 25_000, &cfg).unwrap();
+        assert_eq!(res.value, reference_select(&data, 25_000).unwrap());
+    }
+
+    #[test]
+    fn spot_checks_catch_injected_histogram_corruption() {
+        use crate::verify::VerifyPolicy;
+        let data = uniform(100_000, 11);
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        // Corruptible-access index 0 is the level-0 `counts` buffer
+        // (radix draws no splitter sample, so counts materialize first).
+        device.set_fault_plan(FaultPlan::new(7).corrupt_accesses_at(&[0]));
+        let cfg = SampleSelectConfig::default().with_verify(VerifyPolicy::Spot);
+        let err = radix_select_on_device(&mut device, &data, 50_000, &cfg).unwrap_err();
+        assert!(
+            matches!(err, SelectError::Corruption { .. }),
+            "expected corruption, got {err:?}"
+        );
+    }
+}

@@ -155,10 +155,15 @@ impl ResilienceConfig {
 /// Which implementation produced the result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
-    /// The paper's SampleSelect (first choice).
+    /// The paper's SampleSelect (first choice of the default chain).
     SampleSelect,
     /// The engineered QuickSelect reference (first fallback).
     QuickSelect,
+    /// MSD RadixSelect ([`crate::radix`]) — only enters a chain when the
+    /// [`crate::planner`] puts it first; never a default fallback, since
+    /// its fixed `key_bits / 8` passes are the wrong medicine for the
+    /// degenerate inputs that make the adaptive recursions fail.
+    RadixSelect,
     /// Host-side sort-and-index (last resort; cannot fail).
     CpuSort,
 }
@@ -168,6 +173,7 @@ impl Backend {
         match self {
             Backend::SampleSelect => "sampleselect",
             Backend::QuickSelect => "quickselect",
+            Backend::RadixSelect => "radixselect",
             Backend::CpuSort => "cpu-sort",
         }
     }
@@ -176,10 +182,28 @@ impl Backend {
         match self {
             Backend::SampleSelect => "resilient-sampleselect",
             Backend::QuickSelect => "resilient-quickselect",
+            Backend::RadixSelect => "resilient-radixselect",
             Backend::CpuSort => "resilient-cpu-sort",
         }
     }
+
+    fn salt(self) -> u64 {
+        match self {
+            Backend::SampleSelect => 1,
+            Backend::QuickSelect => 2,
+            Backend::CpuSort => 3,
+            Backend::RadixSelect => 4,
+        }
+    }
 }
+
+/// The default fallback chain: the paper's algorithm, the engineered
+/// reference, then the host sort that cannot fail.
+pub const DEFAULT_CHAIN: [Backend; 3] = [
+    Backend::SampleSelect,
+    Backend::QuickSelect,
+    Backend::CpuSort,
+];
 
 /// The answer, tagged with its accuracy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -225,11 +249,7 @@ pub struct ResilientResult<T> {
 /// seed, so a retry draws a fresh splitter sample without becoming
 /// run-to-run nondeterministic.
 fn retry_seed(base: u64, backend: Backend, attempt: u32) -> u64 {
-    let salt = match backend {
-        Backend::SampleSelect => 1u64,
-        Backend::QuickSelect => 2,
-        Backend::CpuSort => 3,
-    };
+    let salt = backend.salt();
     base ^ (0x9E37_79B9_7F4A_7C15u64
         .wrapping_mul(attempt as u64 + 1)
         .wrapping_add(salt))
@@ -242,12 +262,7 @@ fn backoff_and_count(
     events: &mut ResilienceEvents,
     backend: Backend,
 ) {
-    let salt = match backend {
-        Backend::SampleSelect => 1u64,
-        Backend::QuickSelect => 2,
-        Backend::CpuSort => 3,
-    };
-    let backoff = jittered_backoff(policy, salt, attempt);
+    let backoff = jittered_backoff(policy, backend.salt(), attempt);
     events.retry(format!(
         "{} attempt {} re-seeded after {}",
         backend.name(),
@@ -267,6 +282,55 @@ pub fn resilient_select_on_device<T: SelectElement>(
     cfg: &SampleSelectConfig,
     rcfg: &ResilienceConfig,
 ) -> Result<ResilientResult<T>, SelectError> {
+    resilient_select_with_chain(device, data, rank, cfg, rcfg, &DEFAULT_CHAIN)
+}
+
+/// [`resilient_select_on_device`] with the fallback chain reordered so
+/// the [`crate::planner`]'s chosen backend runs first. The planner's
+/// pick gets the retry budget and the certificate; if it fails to
+/// converge or faults persistently, the default chain takes over, so a
+/// bad plan costs time but never an answer.
+pub fn resilient_select_planned<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    rcfg: &ResilienceConfig,
+    planned: crate::planner::PlannedBackend,
+) -> Result<ResilientResult<T>, SelectError> {
+    use crate::planner::PlannedBackend;
+    let first = match planned {
+        // A top-k plan reaching the rank path means "threshold via the
+        // sample recursion" — same kernels, same chain head.
+        PlannedBackend::Sample | PlannedBackend::TopK => Backend::SampleSelect,
+        PlannedBackend::Quick => Backend::QuickSelect,
+        PlannedBackend::Radix => Backend::RadixSelect,
+    };
+    let mut chain = [
+        first,
+        Backend::SampleSelect,
+        Backend::QuickSelect,
+        Backend::CpuSort,
+    ];
+    let mut len = 1;
+    for b in DEFAULT_CHAIN {
+        if b != first {
+            chain[len] = b;
+            len += 1;
+        }
+    }
+    resilient_select_with_chain(device, data, rank, cfg, rcfg, &chain[..len])
+}
+
+fn resilient_select_with_chain<T: SelectElement>(
+    device: &mut Device,
+    data: &[T],
+    rank: usize,
+    cfg: &SampleSelectConfig,
+    rcfg: &ResilienceConfig,
+    chain: &[Backend],
+) -> Result<ResilientResult<T>, SelectError> {
+    debug_assert_eq!(chain.last(), Some(&Backend::CpuSort));
     cfg.validate().map_err(SelectError::InvalidConfig)?;
     validate_input(data, rank, cfg)?;
 
@@ -290,11 +354,7 @@ pub fn resilient_select_on_device<T: SelectElement>(
     let deadline = rcfg.time_budget.map(|b| device.now() + b);
     let over_deadline = |device: &Device| deadline.is_some_and(|dl| device.now() >= dl);
 
-    for backend in [
-        Backend::SampleSelect,
-        Backend::QuickSelect,
-        Backend::CpuSort,
-    ] {
+    for backend in chain.iter().copied() {
         let mut attempt = 0u32;
         loop {
             if over_deadline(device) {
@@ -326,6 +386,9 @@ pub fn resilient_select_on_device<T: SelectElement>(
             let result: Result<SelectResult<T>, SelectError> = match backend {
                 Backend::SampleSelect => sample_select_on_device(device, data, rank, &attempt_cfg),
                 Backend::QuickSelect => quick_select_on_device(device, data, rank, &attempt_cfg),
+                Backend::RadixSelect => {
+                    crate::radix::radix_select_on_device(device, data, rank, &attempt_cfg)
+                }
                 Backend::CpuSort => {
                     let value = reference_select(data, rank)
                         .expect("validated input always has a rank-th element");

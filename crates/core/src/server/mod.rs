@@ -62,7 +62,10 @@ use crate::element::{reference_select, SelectElement};
 use crate::multiselect::multi_select_with_workspace;
 use crate::obs::{Counter, MetricsRegistry, MetricsSnapshot, ObsSession, SpanGuard};
 use crate::params::SampleSelectConfig;
-use crate::resilient::{resilient_select_on_device, Outcome, ResilienceConfig};
+use crate::planner::{plan_rank_query_with_signals, plan_topk_query, PlanSignals, PlannedBackend};
+use crate::resilient::{
+    resilient_select_on_device, resilient_select_planned, Outcome, ResilienceConfig,
+};
 use crate::streaming::{streaming_select_with_checkpoint, ChunkError, ChunkSource, SliceChunks};
 use crate::topk::top_k_largest_on_device;
 use crate::workspace::SelectWorkspace;
@@ -154,6 +157,12 @@ pub struct QueryResponse {
     /// Which backend label produced the answer (`None` for rejected /
     /// failed paths that never ran a driver).
     pub backend: Option<&'static str>,
+    /// What the admission-time planner chose for this query (`None`
+    /// when the planner is disabled or the kind is not planned). The
+    /// serving backend can differ: the resilient driver may have fallen
+    /// past the planned backend, or the batcher may have merged the
+    /// query into a multiselect pass.
+    pub planned: Option<&'static str>,
     /// True when the answer came out of a merged multiselect batch.
     pub batched: bool,
     /// Wall-clock milliseconds spent queued before a worker picked the
@@ -182,6 +191,7 @@ impl QueryTicket {
                 message: "server shut down before answering".to_string(),
             },
             backend: None,
+            planned: None,
             batched: false,
             wait_ms: 0.0,
             service_ms: 0.0,
@@ -241,6 +251,12 @@ pub struct ServerConfig {
     /// without bound (counters live in the shared registry and are
     /// unaffected).
     pub session_recycle_queries: u64,
+    /// Route exact and top-k queries through the adaptive
+    /// [`crate::planner`] (cost model + live obs signals) instead of
+    /// always starting from SampleSelect. The planner's pick heads the
+    /// resilient fallback chain; disabling restores the fixed default
+    /// chain.
+    pub planner: bool,
 }
 
 impl Default for ServerConfig {
@@ -261,6 +277,7 @@ impl Default for ServerConfig {
             spool_dir: None,
             fault_plans: Vec::new(),
             session_recycle_queries: 256,
+            planner: true,
         }
     }
 }
@@ -310,6 +327,11 @@ impl ServerConfig {
         self
     }
 
+    pub fn with_planner(mut self, on: bool) -> Self {
+        self.planner = on;
+        self
+    }
+
     fn fault_plan_for(&self, worker: usize) -> Option<FaultPlan> {
         self.fault_plans.get(worker).cloned().flatten()
     }
@@ -354,6 +376,11 @@ pub struct ServerSnapshot {
     pub events: Vec<String>,
     /// Total responses produced.
     pub queries_served: u64,
+    /// The most recent planner decisions as `(query id, backend)`,
+    /// oldest first, bounded to the last 256 planned queries (the
+    /// lifetime tallies live in the `select_planner_*_total` counters
+    /// of `metrics`).
+    pub recent_plans: Vec<(u64, &'static str)>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -399,7 +426,15 @@ impl ServerSnapshot {
                 c.failed
             );
         }
-        out.push_str("\n  },\n  \"events\": [");
+        out.push_str("\n  },\n  \"recent_plans\": [");
+        for (i, (id, backend)) in self.recent_plans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"id\": {id}, \"backend\": \"{backend}\"}}"
+            );
+        }
+        out.push_str("\n  ],\n  \"events\": [");
         for (i, e) in self.events.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(out, "{sep}\n    \"{}\"", json_escape(e));
@@ -431,6 +466,10 @@ struct Job {
     deadline_ms: Option<u32>,
     seed: u64,
     submitted: Instant,
+    /// Admission-time planner decision (exact/top-k kinds with the
+    /// planner enabled). Carried on the job so `pop_batch` can check
+    /// co-plannability under the queue lock without re-probing data.
+    plan: Option<PlannedBackend>,
     tx: Sender<QueryResponse>,
 }
 
@@ -487,7 +526,14 @@ struct Shared {
     next_id: AtomicU64,
     served: AtomicU64,
     start: Instant,
+    /// Ring of the most recent planner decisions `(query id, backend)`,
+    /// bounded by [`PLAN_LOG_CAP`] so a long-lived server cannot grow it
+    /// without limit; exported in the [`ServerSnapshot`].
+    plans: Mutex<VecDeque<(u64, &'static str)>>,
 }
+
+/// Bound on the snapshot's recent-planner-decision ring.
+const PLAN_LOG_CAP: usize = 256;
 
 impl Shared {
     fn mode(&self) -> u8 {
@@ -512,6 +558,20 @@ impl Shared {
             state.counters.rejected += 1;
         }
         self.registry.add(Counter::Rejected, 1);
+    }
+
+    /// Tally one planner decision: fixed-slot counter in the shared
+    /// registry plus the bounded recent-decision ring.
+    fn record_plan(&self, id: u64, backend: PlannedBackend, overridden: bool) {
+        self.registry.add(backend.counter(), 1);
+        if overridden {
+            self.registry.add(Counter::PlannerOverrides, 1);
+        }
+        let mut plans = self.plans.lock().unwrap();
+        if plans.len() >= PLAN_LOG_CAP {
+            plans.pop_front();
+        }
+        plans.push_back((id, backend.name()));
     }
 
     fn tenant_count<F: FnOnce(&mut TenantCounters)>(&self, tenant: &str, f: F) {
@@ -548,6 +608,7 @@ impl SelectServer {
             next_id: AtomicU64::new(0),
             served: AtomicU64::new(0),
             start: Instant::now(),
+            plans: Mutex::new(VecDeque::new()),
             cfg,
         });
         let workers = (0..shared.cfg.workers)
@@ -684,9 +745,40 @@ impl SelectServer {
             .unwrap()
             .get_or_instantiate(&req.dataset, shared.cfg.dataset_cache_bytes);
 
+        // Adaptive backend planning on the submitter's thread (the
+        // probe is a stack-only strided scan — cheap next to the
+        // instantiation above). Live signals come from the shared
+        // registry's gauges, i.e. from what earlier queries observed.
+        let plan = if shared.cfg.planner {
+            match req.kind {
+                QueryKind::Exact { rank } => {
+                    let signals = PlanSignals::from_snapshot(&shared.registry.snapshot());
+                    Some(plan_rank_query_with_signals(
+                        &shared.cfg.arch,
+                        &data,
+                        rank as usize,
+                        &shared.cfg.select,
+                        &signals,
+                    ))
+                }
+                QueryKind::TopK { k } => Some(plan_topk_query(
+                    &shared.cfg.arch,
+                    &data,
+                    k as usize,
+                    &shared.cfg.select,
+                )),
+                _ => None,
+            }
+        } else {
+            None
+        };
+
         // Bounded queue.
         let (tx, rx) = channel();
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = &plan {
+            shared.record_plan(id, d.backend, d.overridden);
+        }
         {
             let mut queue = shared.queue.lock().unwrap();
             if queue.len() >= shared.cfg.queue_capacity {
@@ -706,6 +798,7 @@ impl SelectServer {
                 deadline_ms: req.deadline_ms,
                 seed: req.seed,
                 submitted: Instant::now(),
+                plan: plan.map(|d| d.backend),
                 tx,
             });
         }
@@ -734,6 +827,7 @@ impl SelectServer {
                 .collect(),
             events: shared.events.lock().unwrap().clone(),
             queries_served: shared.served.load(Ordering::Relaxed),
+            recent_plans: shared.plans.lock().unwrap().iter().copied().collect(),
         }
     }
 
@@ -832,16 +926,25 @@ fn pop_batch(shared: &Shared) -> Option<Vec<Job>> {
             // deadline-free queries batch — on both sides: a
             // deadline-carrying head must go through `serve_job`'s
             // expired/remaining-budget path, not the batch path.
+            // Co-plannability: only queries with *identical* planner
+            // decisions merge (same spec ⇒ same probe ⇒ normally the
+            // same plan, but plans can differ across a config change or
+            // live-signal override). The merged group then runs one
+            // multiselect pass — a group-level planning decision that
+            // amortizes the count pass across every member, which beats
+            // any per-query backend once two or more queries share it.
             if shared.cfg.batch_max > 1
                 && matches!(batch[0].kind, QueryKind::Exact { .. })
                 && batch[0].deadline_ms.is_none()
             {
                 let spec = batch[0].spec;
+                let head_plan = batch[0].plan;
                 let mut i = 0;
                 while i < queue.len() && batch.len() < shared.cfg.batch_max {
                     let mergeable = matches!(queue[i].kind, QueryKind::Exact { .. })
                         && queue[i].spec == spec
-                        && queue[i].deadline_ms.is_none();
+                        && queue[i].deadline_ms.is_none()
+                        && queue[i].plan == head_plan;
                     if mergeable {
                         batch.push(queue.remove(i).expect("index in bounds"));
                     } else {
@@ -1007,6 +1110,7 @@ fn respond(
         tenant: job.tenant,
         status,
         backend,
+        planned: job.plan.map(PlannedBackend::name),
         batched,
         wait_ms: wait_ms.max(0.0),
         service_ms,
@@ -1101,7 +1205,20 @@ fn run_query(
             } else if let Some(ms) = remaining_ms {
                 rcfg.time_budget = Some(SimTime::from_ms(ms * cfg.deadline_sim_scale));
             }
-            match resilient_select_on_device(device, data, rank as usize, select_cfg, &rcfg) {
+            // The planner's admission-time pick heads the fallback
+            // chain; without a plan the default chain applies.
+            let ran = match job.plan {
+                Some(planned) => resilient_select_planned(
+                    device,
+                    data,
+                    rank as usize,
+                    select_cfg,
+                    &rcfg,
+                    planned,
+                ),
+                None => resilient_select_on_device(device, data, rank as usize, select_cfg, &rcfg),
+            };
+            match ran {
                 Ok(res) => {
                     let healthy = res.report.resilience.faults_observed == 0
                         && res.report.resilience.corruptions_detected == 0;
@@ -1189,23 +1306,31 @@ fn run_query(
         }
         QueryKind::TopK { k } => {
             let mut healthy = true;
+            // A non-fused plan (large k/n) answers the threshold via a
+            // rank selection on the planned backend instead of
+            // materializing all k elements.
+            let rank_plan = job.plan.filter(|&p| p != PlannedBackend::TopK);
             for attempt in 0..=cfg.resilience.retry.max_retries {
                 device.reset();
                 let attempt_cfg = select_cfg
                     .clone()
                     .with_seed(select_cfg.seed.wrapping_add(u64::from(attempt)));
-                let result = top_k_largest_on_device(device, data, k as usize, &attempt_cfg);
+                let (threshold, label) = match rank_plan {
+                    Some(p) => {
+                        let rank = data.len() - k as usize;
+                        let r =
+                            crate::planner::run_planned(device, data, rank, &attempt_cfg, ws, p);
+                        (r.map(|res| res.value), p.name())
+                    }
+                    None => {
+                        let r = top_k_largest_on_device(device, data, k as usize, &attempt_cfg);
+                        (r.map(|res| res.threshold), "topk")
+                    }
+                };
                 let fault = device.take_fault();
-                if let (Ok(r), None) = (result, fault) {
+                if let (Ok(threshold), None) = (threshold, fault) {
                     shared.tenant_count(&job.tenant, |c| c.exact += 1);
-                    return (
-                        QueryStatus::TopK {
-                            threshold: r.threshold,
-                            k,
-                        },
-                        Some("topk"),
-                        healthy,
-                    );
+                    return (QueryStatus::TopK { threshold, k }, Some(label), healthy);
                 }
                 healthy = false;
             }
@@ -1348,7 +1473,10 @@ mod tests {
         cache.get_or_instantiate(&spec(3), cap);
         assert_eq!(cache.entries.len(), 2);
         assert!(cache.bytes <= cap);
-        assert!(cache.entries.contains_key(&spec(1)), "recently used survives");
+        assert!(
+            cache.entries.contains_key(&spec(1)),
+            "recently used survives"
+        );
         assert!(!cache.entries.contains_key(&spec(2)), "LRU entry evicted");
         // A distinct-seed scan stays bounded — the unbounded-growth DoS.
         for s in 100..200 {

@@ -213,6 +213,45 @@ pub fn block_filter(
     (out, block.take_sanitizer_report())
 }
 
+/// Thread-level MSD radix digit histogram — the accumulation half of
+/// the RadixSelect `digit_count` kernel: extract the 8-bit digit at
+/// `shift` from every sort key (a register-only operation), then count
+/// into [`crate::radix::RADIX_BUCKETS`] shared counters with the same
+/// warp-cooperative atomics as [`block_histogram`]. Bucketing by digit
+/// instead of by search-tree oracle is the *only* difference from the
+/// sample-select count family, which is exactly why the two share one
+/// reference accumulator.
+pub fn block_digit_histogram(
+    keys: &[u64],
+    shift: u32,
+    schedule: WarpSchedule,
+    sanitize: Option<SanitizerConfig>,
+) -> (Vec<u64>, Option<SanitizerReport>) {
+    let digits: Vec<u32> = keys.iter().map(|&k| ((k >> shift) & 0xff) as u32).collect();
+    block_histogram(&digits, crate::radix::RADIX_BUCKETS, schedule, sanitize)
+}
+
+/// Thread-level radix scatter — the filter half of a RadixSelect pass:
+/// keep exactly the elements whose digit at `shift` equals `digit`, in
+/// input order (flag → scan → scatter, positions from the prefix sum,
+/// so the result is schedule-independent like the vectorized
+/// `filter_kernel` it checks).
+pub fn block_digit_scatter(
+    data: &[u32],
+    keys: &[u64],
+    shift: u32,
+    digit: u32,
+    schedule: WarpSchedule,
+    sanitize: Option<SanitizerConfig>,
+) -> (Vec<u32>, Option<SanitizerReport>) {
+    assert_eq!(data.len(), keys.len());
+    let keep: Vec<bool> = keys
+        .iter()
+        .map(|&k| ((k >> shift) & 0xff) as u32 == digit)
+        .collect();
+    block_filter(data, &keep, schedule, sanitize)
+}
+
 /// Thread-level QuickSelect bipartition (§V-B): three compaction passes
 /// producing `smaller ++ equal ++ larger`, each region in input order —
 /// exactly the layout `bipartition_kernel` produces (its per-block scan
@@ -370,6 +409,37 @@ pub mod mutants {
         } else {
             Err(oob.expect("out-of-bounds store must be rejected"))
         }
+    }
+
+    /// A radix digit histogram accumulated with *plain* shared-memory
+    /// read-modify-write instead of atomics: every thread loads its
+    /// digit's counter and stores `+1` back in the same phase, so any
+    /// two threads sharing a digit race on the counter word — the
+    /// classic dropped-increment histogram bug (`counts[d]++` without
+    /// `atomicAdd`). Feed it duplicate-heavy keys and the write-write
+    /// detector must fire.
+    pub fn racy_digit_histogram(
+        keys: &[u64],
+        shift: u32,
+        schedule: WarpSchedule,
+        cfg: SanitizerConfig,
+    ) -> SanitizerReport {
+        let counters = crate::radix::RADIX_BUCKETS;
+        let threads = warp_round(counters.max(keys.len()));
+        let mut block = make_block(threads, counters, schedule, Some(cfg));
+        block.phase(|tid, b| {
+            if tid < counters {
+                b.smem_write(tid, 0);
+            }
+        });
+        block.phase(|tid, b| {
+            if tid < keys.len() {
+                let d = ((keys[tid] >> shift) & 0xff) as usize;
+                let v = b.smem_read(d);
+                b.smem_write(d, v.wrapping_add(1));
+            }
+        });
+        block.take_sanitizer_report().expect("sanitizer was armed")
     }
 
     /// Warp atomics and a plain load hit the same counter word inside

@@ -282,6 +282,193 @@ impl CostBreakdown {
     }
 }
 
+// ---------------------------------------------------------------------
+// Analytic radix-pass term (planner support)
+// ---------------------------------------------------------------------
+
+/// Approximate the fractional SM occupancy of a grid processing `n`
+/// elements with the workspace's standard launch shape (256 threads x 4
+/// items per thread, grid capped at 4096 blocks) — the same heuristic
+/// the device applies when converting a [`KernelCost`] to time.
+fn approx_busy_sms(arch: &GpuArchitecture, n: u64) -> f64 {
+    let blocks = n.div_ceil(1024).clamp(1, 4096) as f64;
+    blocks.min(arch.num_sms as f64)
+}
+
+/// Resource usage of one MSD radix pass over `n` elements of
+/// `elem_bytes`-wide keys: a digit-count kernel (streaming read, one
+/// oracle byte per element, one warp-wide shared atomic per warp with
+/// `replay_rate` in `[0, 1]` same-address collision pressure) followed
+/// by the filter pass (re-read plus oracle read, `survivors` elements
+/// written out).
+///
+/// `replay_rate` is the fraction of the worst case (31 same-address
+/// replays per full warp): 0 for distinct digits, 1 when every lane of
+/// every warp lands on the same digit counter (all-equal keys, dead
+/// high digits). Pre-Maxwell generations pay their lock/retry shared
+/// atomic costs through the architecture's `shared_atomic_*_ns` values.
+pub fn radix_pass_cost(n: u64, elem_bytes: u32, replay_rate: f64, survivors: u64) -> KernelCost {
+    let mut cost = KernelCost::new();
+    let warps = n.div_ceil(32);
+    // digit_count: stream the keys, store one oracle byte each.
+    cost.global_read_bytes += n * elem_bytes as u64;
+    cost.global_write_bytes += n;
+    cost.shared_atomic_warp_ops += warps;
+    cost.shared_atomic_replays += (warps as f64 * 31.0 * replay_rate.clamp(0.0, 1.0)) as u64;
+    cost.int_ops += n * 2;
+    // filter: re-read keys and oracles, write the surviving bucket.
+    cost.global_read_bytes += n * elem_bytes as u64 + n;
+    cost.global_write_bytes += survivors * elem_bytes as u64;
+    cost.int_ops += n;
+    cost
+}
+
+/// Simulated time of one radix pass on `arch`, including the reduce and
+/// launch overheads: the per-pass term of the planner's radix estimate.
+///
+/// Kernel-launch latency is generation-aware: architectures with CUDA
+/// Dynamic Parallelism tail-launch follow-up passes at the (cheaper)
+/// device launch latency, while older generations pay a host round trip
+/// per pass — exactly the penalty that makes many-pass radix selection
+/// unattractive on Fermi/Kepler-class parts.
+pub fn radix_pass_time(
+    arch: &GpuArchitecture,
+    n: u64,
+    elem_bytes: u32,
+    replay_rate: f64,
+    survivors: u64,
+    from_device: bool,
+) -> SimTime {
+    let cost = radix_pass_cost(n, elem_bytes, replay_rate, survivors);
+    let busy = approx_busy_sms(arch, n);
+    let launch_us = if from_device && arch.generation.has_dynamic_parallelism() {
+        arch.device_launch_us
+    } else {
+        arch.host_launch_us
+    };
+    // digit_count + reduce + filter: three launches per pass.
+    cost.time_on(arch, busy).total() + SimTime::from_us(3.0 * launch_us)
+}
+
+/// Full analytic RadixSelect estimate on `arch`: `dead_passes` leading
+/// digit passes that discriminate nothing (constant key prefix — every
+/// pass re-scans all `n` elements at worst-case collision pressure),
+/// then shrinking passes until the surviving bucket falls under
+/// `base_case`, which is charged as one streaming sort.
+///
+/// `first_digit_skew` in `[0, 1]` is the share of the most popular
+/// digit value at the first *discriminating* position, and plays two
+/// roles: it sets the same-address shared-atomic replay pressure of the
+/// live passes, and it sizes the first live pass's surviving bucket —
+/// a rank query usually lands in the popular bucket, so that pass keeps
+/// `max(1/256, skew)` of its input rather than the ideal `1/256`. This
+/// matters enormously for floating-point keys, whose leading exponent
+/// byte is heavily skewed (half of uniform `[0, 1)` shares one digit),
+/// and is the main reason SampleSelect beats RadixSelect on such data.
+/// Later passes see conditionally near-uniform digits and keep `1/256`.
+///
+/// `key_bits / 8` bounds the total pass count, mirroring the backend.
+pub fn radix_select_estimate(
+    arch: &GpuArchitecture,
+    n: u64,
+    elem_bytes: u32,
+    dead_passes: u32,
+    first_digit_skew: f64,
+    base_case: u64,
+) -> SimTime {
+    let total_passes = elem_bytes * 8 / 8;
+    let skew = first_digit_skew.clamp(0.0, 1.0);
+    let mut time = SimTime::ZERO;
+    let mut remaining = n;
+    let mut passes_done = 0u32;
+    for p in 0..total_passes {
+        if remaining <= base_case {
+            break;
+        }
+        let dead = p < dead_passes;
+        let first_live = p == dead_passes;
+        let survivors = if dead {
+            remaining
+        } else if first_live {
+            // The queried rank tends to land in the fattest bucket of
+            // the skewed first discriminating digit.
+            ((remaining as f64 * skew.max(1.0 / 256.0)) as u64).max(1)
+        } else {
+            // Conditioned on the fixed prefix, later digits are close
+            // to uniform: keep ~1/256 (never less than one element).
+            (remaining / 256).max(1)
+        };
+        let rate = if dead { 1.0 } else { skew };
+        time += radix_pass_time(arch, remaining, elem_bytes, rate, survivors, p > 0);
+        remaining = survivors;
+        passes_done += 1;
+    }
+    if remaining > 0 {
+        // Base case: stream the remainder through the bitonic sort.
+        let mut cost = KernelCost::new();
+        cost.global_read_bytes = remaining * elem_bytes as u64;
+        let logn = 64 - remaining.leading_zeros() as u64;
+        cost.int_ops = remaining * logn * logn;
+        let launch_us = if passes_done > 0 && arch.generation.has_dynamic_parallelism() {
+            arch.device_launch_us
+        } else {
+            arch.host_launch_us
+        };
+        time = time
+            + cost.time_on(arch, approx_busy_sms(arch, remaining)).total()
+            + SimTime::from_us(launch_us);
+    }
+    time
+}
+
+#[cfg(test)]
+mod radix_estimate_tests {
+    use super::*;
+    use crate::arch::{c2070, v100};
+
+    #[test]
+    fn estimate_is_monotone_in_n() {
+        let arch = v100();
+        let small = radix_select_estimate(&arch, 1 << 16, 4, 0, 0.0, 1024);
+        let large = radix_select_estimate(&arch, 1 << 22, 4, 0, 0.0, 1024);
+        assert!(large.as_ns() > small.as_ns());
+    }
+
+    #[test]
+    fn dead_passes_cost_extra_full_scans() {
+        let arch = v100();
+        let clean = radix_select_estimate(&arch, 1 << 20, 4, 0, 0.0, 1024);
+        let two_dead = radix_select_estimate(&arch, 1 << 20, 4, 2, 0.0, 1024);
+        // Two dead passes re-scan the full input twice over.
+        assert!(two_dead.as_ns() > 2.0 * clean.as_ns());
+    }
+
+    #[test]
+    fn wider_keys_cost_more() {
+        let arch = v100();
+        let narrow = radix_select_estimate(&arch, 1 << 20, 4, 0, 0.0, 1024);
+        let wide = radix_select_estimate(&arch, 1 << 20, 8, 0, 0.0, 1024);
+        assert!(wide.as_ns() > narrow.as_ns());
+    }
+
+    #[test]
+    fn fermi_pays_host_launches_per_pass() {
+        // Same workload: the pre-CDP part pays host launch latency on
+        // every follow-up pass and slow lock/retry shared atomics.
+        let v = radix_select_estimate(&v100(), 1 << 20, 8, 2, 0.5, 1024);
+        let f = radix_select_estimate(&c2070(), 1 << 20, 8, 2, 0.5, 1024);
+        assert!(f.as_ns() > v.as_ns());
+    }
+
+    #[test]
+    fn replay_pressure_increases_pass_time() {
+        let arch = v100();
+        let calm = radix_pass_time(&arch, 1 << 20, 4, 0.0, 4096, true);
+        let hot = radix_pass_time(&arch, 1 << 20, 4, 1.0, 4096, true);
+        assert!(hot.as_ns() > calm.as_ns());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

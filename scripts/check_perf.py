@@ -3,9 +3,17 @@
 
 Usage:
     python3 scripts/check_perf.py [CURRENT] [BASELINE]
+    python3 scripts/check_perf.py --planner [CURRENT]
 
 CURRENT defaults to ./BENCH_hotpath.json (written by the `perfsmoke`
 bench binary) and BASELINE to bench/baselines/hotpath.json.
+
+With ``--planner``, CURRENT defaults to ./BENCH_planner.json (written
+by the `plannersweep` bench binary) and the check gates the adaptive
+planner instead: in every grid cell, `--algo auto` must finish within
+15% of the best *fixed* backend's simulated time. The sweep is
+deterministic, so any excess regret is a planner (cost model) bug, not
+noise.
 
 Gating policy
 -------------
@@ -49,7 +57,46 @@ def load(path):
         return json.load(fh)
 
 
+def check_planner(argv):
+    current_path = argv[2] if len(argv) > 2 else "BENCH_planner.json"
+    current = load(current_path)
+
+    failures = []
+    if current.get("schema") != "plannersweep-v1":
+        failures.append(f"unexpected schema {current.get('schema')!r}")
+
+    cells = current.get("cells", [])
+    if not cells:
+        failures.append("no cells in sweep output")
+    for cell in cells:
+        tag = f"{cell.get('dist')}/{cell.get('type')}"
+        auto = cell.get("auto_us")
+        best = cell.get("best_us")
+        if auto is None or best is None or best <= 0:
+            failures.append(f"{tag}: missing auto_us/best_us")
+            continue
+        ratio = auto / best
+        line = (
+            f"{tag}: chose {cell.get('chosen')}, auto {auto:.1f}us vs "
+            f"best fixed {best:.1f}us ({(ratio - 1) * 100:+.1f}%)"
+        )
+        if ratio > 1 + THRESHOLD:
+            failures.append(line)
+        else:
+            print(f"OK    {line}")
+
+    for f in failures:
+        print(f"FAIL  {f}")
+    if failures:
+        print(f"\ncheck_perf --planner: {len(failures)} cell(s) over budget in {current_path}")
+        return 1
+    print(f"check_perf --planner: OK, {len(cells)} cell(s) within {THRESHOLD:.0%} of best fixed backend")
+    return 0
+
+
 def main(argv):
+    if len(argv) > 1 and argv[1] == "--planner":
+        return check_planner(argv)
     current_path = argv[1] if len(argv) > 1 else "BENCH_hotpath.json"
     baseline_path = argv[2] if len(argv) > 2 else "bench/baselines/hotpath.json"
     current = load(current_path)

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release --bin selectcli -- \
-//!     [--algo sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|shard|cpu] \
+//!     [--algo auto|sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|shard|cpu] \
 //!     [--n 4194304] [--rank N | --k N] \
 //!     [--dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp] \
 //!     [--arch v100|k20xm|c2070] [--buckets 256] [--seed 42] [--breakdown] \
@@ -13,6 +13,15 @@
 //!     [--shards K] [--kill-shard SHARD@LEVEL] [--hedge] \
 //!     [--sanitize [--sanitize-json out.json]] [--threads N]
 //! ```
+//!
+//! `--algo auto` asks the cost-model planner to pick the backend per
+//! query: it probes the data (duplicate ratio, dead radix digits),
+//! prices SampleSelect, QuickSelect and RadixSelect on the target
+//! architecture, prints the decision, and runs the winner through the
+//! resilient driver — so `--time-budget` degradation and fault
+//! injection behave exactly as with `--algo resilient` (a degraded
+//! planner run still exits `4`). `--algo radix` forces the production
+//! RadixSelect backend directly.
 //!
 //! `--algo shard` partitions the workload across `--shards` simulated
 //! devices; `--kill-shard 1@2` kills shard 1 at recursion level 2 (the
@@ -39,7 +48,7 @@
 //!   (quota, full queue, or draining) — retry later, do not treat as a
 //!   data error.
 
-use gpu_selection::baselines::{bucket_select_on_device, radix_select_on_device};
+use gpu_selection::baselines::bucket_select_on_device;
 use gpu_selection::datagen::{Distribution, RankChoice, WorkloadSpec};
 use gpu_selection::gpu_sim::arch::{by_name, v100};
 use gpu_selection::gpu_sim::Device;
@@ -54,9 +63,10 @@ use gpu_selection::sampleselect::streaming::{
 };
 use gpu_selection::sampleselect::topk::top_k_largest_on_device;
 use gpu_selection::sampleselect::{
-    approx_select_on_device, quick_select_on_device, resilient_select_on_device,
-    sample_select_on_device, sharded_select, KillSpec, ObsSession, Outcome, ResilienceConfig,
-    SampleSelectConfig, SelectReport, ShardConfig, ShardFaults, VerifyPolicy,
+    approx_select_on_device, plan_rank_query, quick_select_on_device, radix_select_on_device,
+    resilient_select_on_device, resilient_select_planned, sample_select_on_device, sharded_select,
+    KillSpec, ObsSession, Outcome, ResilienceConfig, SampleSelectConfig, SelectReport, ShardConfig,
+    ShardFaults, VerifyPolicy,
 };
 use std::process::exit;
 
@@ -208,7 +218,7 @@ fn parse_args() -> Args {
 }
 
 const HELP: &str =
-    "selectcli --algo sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|shard|cpu \
+    "selectcli --algo auto|sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|shard|cpu \
 --n N --rank R|--k K --dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp \
 --arch v100|k20xm|c2070 --buckets B --seed S [--breakdown] [--trace out.json] \
 [--metrics out.json|out.prom] [--span-log out.txt] \
@@ -218,7 +228,8 @@ const HELP: &str =
 [--sanitize [--sanitize-json out.json]] [--threads N] \
 [--connect HOST:PORT [--tenant NAME] [--deadline MS] [--drain]]\n\
 exit codes: 0 exact answer; 1 failure; 2 usage error; 3 sanitizer findings; \
-4 tagged approximate/degraded answer; 5 overload rejection (server backpressure)";
+4 tagged approximate/degraded answer (incl. planner-degraded --algo auto runs); \
+5 overload rejection (server backpressure)";
 
 fn distribution(name: &str) -> Distribution {
     match name {
@@ -316,7 +327,7 @@ fn run_client(args: &Args) -> ! {
         let kind = match args.algo.as_str() {
             // Every locally-exact algorithm maps to the server's exact
             // query; the server picks its own backend.
-            "sample" | "quick" | "bucket" | "radix" | "sort" | "resilient" | "cpu" => {
+            "auto" | "sample" | "quick" | "bucket" | "radix" | "sort" | "resilient" | "cpu" => {
                 QueryKind::Exact { rank }
             }
             "approx" => QueryKind::Approx { rank },
@@ -521,6 +532,51 @@ fn main() {
         println!();
     }
     match args.algo.as_str() {
+        "auto" => {
+            let decision = plan_rank_query(&arch, &w.data, rank, &cfg);
+            println!(
+                "planner: chose {}{} (probe: {:.0}% distinct, {} dead digit(s))",
+                decision.backend,
+                if decision.overridden {
+                    " [live-signal override]"
+                } else {
+                    ""
+                },
+                decision.profile.distinct_ratio * 100.0,
+                decision.profile.dead_digits
+            );
+            for (backend, t) in &decision.estimates {
+                println!("  model {backend:<20} {t}");
+            }
+            let mut rcfg = ResilienceConfig::default();
+            if let Some(ms) = args.time_budget_ms {
+                rcfg = rcfg.with_time_budget(SimTime::from_ms(ms));
+            }
+            let r =
+                resilient_select_planned(&mut device, &w.data, rank, &cfg, &rcfg, decision.backend)
+                    .unwrap_or_else(|e| {
+                        eprintln!("selection failed: {e}");
+                        exit(1);
+                    });
+            match r.outcome {
+                Outcome::Exact(value) => {
+                    println!("value = {value} (exact, backend {})", r.backend.name());
+                    assert_eq!(value, reference_select(&w.data, rank).unwrap());
+                }
+                Outcome::Approximate {
+                    value,
+                    achieved_rank,
+                    rank_error,
+                } => {
+                    degraded = true;
+                    println!(
+                        "value = {value} (planner-degraded under time budget: rank \
+                         {achieved_rank} delivered, {rank} requested, error {rank_error})"
+                    );
+                }
+            }
+            print_report(&r.report, args.breakdown);
+        }
         "sample" => {
             let r = sample_select_on_device(&mut device, &w.data, rank, &cfg).unwrap();
             println!("value = {}", r.value);

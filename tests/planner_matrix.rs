@@ -1,0 +1,213 @@
+//! CI planner-conformance matrix: the adaptive planner against every
+//! fixed backend, over adversarial data shapes and element types.
+//!
+//! Grid: {uniform, duplicate-heavy, sorted, reverse-sorted,
+//! low-entropy-key, large-k} x {u32, u64, f32}. For every cell the test
+//! runs each fixed backend (SampleSelect, QuickSelect, RadixSelect) and
+//! `--algo auto` on fresh simulated devices and asserts:
+//!
+//! 1. **bit-identity** — auto's answer has exactly the bit pattern of
+//!    the backend the planner reports choosing (and of every other
+//!    exact backend: they must all agree);
+//! 2. **never slowest** — the chosen backend is not the slowest of the
+//!    three by simulated time (unless all three tie);
+//! 3. **bounded regret** — the chosen backend is within 1.25x of the
+//!    best fixed backend's simulated time.
+//!
+//! `PLANNER_MATRIX_DIST` / `PLANNER_MATRIX_TYPE` pin one cell for the
+//! CI matrix; `PLANNER_MATRIX_SEED` overrides the data seed. With
+//! nothing set the whole grid runs. Every cell appends one JSON line to
+//! `target/planner_matrix_report.jsonl` (override the path with
+//! `PLANNER_MATRIX_REPORT`) so CI can upload the sweep on failure.
+
+use std::io::Write as _;
+
+use gpu_selection::gpu_sim::arch::v100;
+use gpu_selection::gpu_sim::Device;
+use gpu_selection::hpc_par::ThreadPool;
+use gpu_selection::sampleselect::element::SelectElement;
+use gpu_selection::sampleselect::planner::{run_planned, PlannedBackend};
+use gpu_selection::sampleselect::rng::SplitMix64;
+use gpu_selection::sampleselect::{
+    auto_select_on_device, plan_rank_query, SampleSelectConfig, SelectWorkspace,
+};
+
+const ALL_DISTS: [&str; 6] = [
+    "uniform",
+    "duplicate-heavy",
+    "sorted",
+    "reverse-sorted",
+    "low-entropy-key",
+    "large-k",
+];
+const ALL_TYPES: [&str; 3] = ["u32", "u64", "f32"];
+
+/// The planner may pick a backend up to this factor slower than the
+/// best fixed backend — the acceptance bound of the issue.
+const MAX_REGRET: f64 = 1.25;
+
+const N: usize = 1 << 17;
+
+fn gen_data<T: SelectElement>(dist: &str, n: usize, seed: u64) -> (Vec<T>, usize) {
+    let mut rng = SplitMix64::new(seed);
+    // Median rank everywhere except the large-k cell, which models a
+    // big top-k extraction (k = n/3 from the top).
+    let mut rank = n / 2;
+    let data: Vec<T> = (0..n)
+        .map(|i| {
+            let v = match dist {
+                "uniform" | "large-k" => rng.next_f64() * 1e9,
+                "duplicate-heavy" => (rng.next_u64() % 16) as f64,
+                "sorted" => i as f64,
+                "reverse-sorted" => (n - i) as f64,
+                "low-entropy-key" => (rng.next_u64() % 251) as f64,
+                other => panic!("unknown PLANNER_MATRIX_DIST `{other}`"),
+            };
+            T::from_f64(v)
+        })
+        .collect();
+    if dist == "large-k" {
+        rank = n - n / 3;
+    }
+    (data, rank)
+}
+
+fn report_line(line: &str) {
+    let path = std::env::var("PLANNER_MATRIX_REPORT")
+        .unwrap_or_else(|_| "target/planner_matrix_report.jsonl".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+fn run_cell<T: SelectElement>(dist: &str, ty: &str, seed: u64) {
+    let (data, rank) = gen_data::<T>(dist, N, seed);
+    let cfg = SampleSelectConfig::default();
+    let arch = v100();
+    let pool = ThreadPool::new(2);
+
+    let decision = plan_rank_query(&arch, &data, rank, &cfg);
+
+    // Each fixed backend on its own device: simulated time + bit answer.
+    let mut fixed: Vec<(PlannedBackend, f64, u64)> = Vec::new();
+    for backend in PlannedBackend::RANK_CANDIDATES {
+        let mut device = Device::new(arch.clone(), &pool);
+        let mut ws = SelectWorkspace::new();
+        let res = run_planned(&mut device, &data, rank, &cfg, &mut ws, backend)
+            .unwrap_or_else(|e| panic!("cell {dist}/{ty}: fixed {} errored: {e}", backend.name()));
+        fixed.push((
+            backend,
+            res.report.total_time.as_us(),
+            res.value.to_bits_u64(),
+        ));
+    }
+
+    let mut device = Device::new(arch.clone(), &pool);
+    let (live, auto_res) = auto_select_on_device(&mut device, &data, rank, &cfg)
+        .unwrap_or_else(|e| panic!("cell {dist}/{ty}: auto errored: {e}"));
+    assert_eq!(
+        live.backend, decision.backend,
+        "cell {dist}/{ty}: planning must be deterministic"
+    );
+    assert_eq!(auto_res.report.algorithm, decision.backend.name());
+
+    // 1. Bit-identity: auto equals the backend it reports choosing, and
+    // every exact backend agrees with every other (same multiset, same
+    // rank, total order on sort keys).
+    let auto_bits = auto_res.value.to_bits_u64();
+    for &(backend, _, bits) in &fixed {
+        assert_eq!(
+            auto_bits,
+            bits,
+            "cell {dist}/{ty}: auto ({}) and fixed {} disagree bit-for-bit",
+            decision.backend.name(),
+            backend.name()
+        );
+    }
+
+    let chosen_time = fixed
+        .iter()
+        .find(|&&(b, _, _)| b == decision.backend)
+        .map(|&(_, t, _)| t)
+        .expect("chosen backend is a rank candidate");
+    let best = fixed
+        .iter()
+        .map(|&(_, t, _)| t)
+        .fold(f64::INFINITY, f64::min);
+    let worst = fixed.iter().map(|&(_, t, _)| t).fold(0.0, f64::max);
+
+    let times: Vec<String> = fixed
+        .iter()
+        .map(|&(b, t, _)| format!("\"{}\": {t:.3}", b.name()))
+        .collect();
+    report_line(&format!(
+        "{{\"dist\": \"{dist}\", \"type\": \"{ty}\", \"n\": {N}, \"rank\": {rank}, \
+         \"seed\": {seed}, \"chosen\": \"{}\", \"auto_us\": {:.3}, {}}}",
+        decision.backend.name(),
+        auto_res.report.total_time.as_us(),
+        times.join(", ")
+    ));
+
+    // 2. Never the slowest (ties excepted).
+    if worst > best * 1.001 {
+        assert!(
+            chosen_time < worst,
+            "cell {dist}/{ty}: planner chose {} ({chosen_time:.1}us), the slowest backend \
+             (best {best:.1}us, worst {worst:.1}us): {fixed:?}",
+            decision.backend.name()
+        );
+    }
+
+    // 3. Bounded regret vs the best fixed backend.
+    assert!(
+        chosen_time <= best * MAX_REGRET,
+        "cell {dist}/{ty}: planner chose {} at {chosen_time:.1}us, more than {MAX_REGRET}x \
+         the best fixed backend ({best:.1}us): {fixed:?}",
+        decision.backend.name()
+    );
+}
+
+#[test]
+fn planner_matrix_never_slowest_and_bounded_regret() {
+    let dist_env = std::env::var("PLANNER_MATRIX_DIST").ok();
+    let type_env = std::env::var("PLANNER_MATRIX_TYPE").ok();
+    let seed: u64 = std::env::var("PLANNER_MATRIX_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x9a71);
+
+    let dists: Vec<&str> = match dist_env.as_deref() {
+        Some(d) => vec![ALL_DISTS
+            .iter()
+            .copied()
+            .find(|&x| x == d)
+            .unwrap_or_else(|| panic!("unknown PLANNER_MATRIX_DIST `{d}`"))],
+        None => ALL_DISTS.to_vec(),
+    };
+    let types: Vec<&str> = match type_env.as_deref() {
+        Some(t) => vec![ALL_TYPES
+            .iter()
+            .copied()
+            .find(|&x| x == t)
+            .unwrap_or_else(|| panic!("unknown PLANNER_MATRIX_TYPE `{t}`"))],
+        None => ALL_TYPES.to_vec(),
+    };
+
+    for dist in &dists {
+        for ty in &types {
+            match *ty {
+                "u32" => run_cell::<u32>(dist, ty, seed),
+                "u64" => run_cell::<u64>(dist, ty, seed),
+                "f32" => run_cell::<f32>(dist, ty, seed),
+                other => unreachable!("type {other}"),
+            }
+        }
+    }
+}

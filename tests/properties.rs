@@ -559,6 +559,109 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `--algo auto` is a *router*, not an algorithm: whatever backend
+    /// the planner reports choosing, running that backend directly on a
+    /// fresh device must give the bit-identical answer (integer case).
+    #[test]
+    fn auto_plan_bit_identical_to_forced_backend_u32(
+        data in vec(any::<u32>(), 1..600),
+        rank_frac in 0.0f64..1.0,
+    ) {
+        use gpu_selection::sampleselect::planner::run_planned;
+        use gpu_selection::sampleselect::{auto_select_on_device, plan_rank_query, SelectWorkspace};
+
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let cfg = small_cfg();
+        let pool = ThreadPool::new(1);
+        let arch = v100();
+
+        let decision = plan_rank_query(&arch, &data, rank, &cfg);
+        let mut auto_dev = Device::new(arch.clone(), &pool);
+        let (live, auto_res) = auto_select_on_device(&mut auto_dev, &data, rank, &cfg).unwrap();
+        prop_assert_eq!(live.backend, decision.backend, "planning must be deterministic");
+        prop_assert_eq!(auto_res.report.algorithm, decision.backend.name());
+
+        let mut forced_dev = Device::new(arch.clone(), &pool);
+        let mut ws = SelectWorkspace::new();
+        let forced =
+            run_planned(&mut forced_dev, &data, rank, &cfg, &mut ws, decision.backend).unwrap();
+        prop_assert_eq!(auto_res.value, forced.value);
+        prop_assert_eq!(auto_res.value, reference_select(&data, rank).unwrap());
+    }
+
+    /// Float case, NaN-laden inputs included: the values come from raw
+    /// bit patterns (arbitrary NaN payloads, infinities, `-0.0`) and
+    /// the comparison is on raw bit patterns too.
+    #[test]
+    fn auto_plan_bit_identical_to_forced_backend_f32(
+        bits in vec(any::<u32>(), 1..500),
+        rank_frac in 0.0f64..1.0,
+    ) {
+        let data: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        use gpu_selection::sampleselect::planner::run_planned;
+        use gpu_selection::sampleselect::{auto_select_on_device, plan_rank_query, SelectWorkspace};
+
+        let rank = ((data.len() - 1) as f64 * rank_frac) as usize;
+        let cfg = small_cfg();
+        let pool = ThreadPool::new(1);
+        let arch = v100();
+
+        let decision = plan_rank_query(&arch, &data, rank, &cfg);
+        let mut auto_dev = Device::new(arch.clone(), &pool);
+        let (live, auto_res) = auto_select_on_device(&mut auto_dev, &data, rank, &cfg).unwrap();
+        prop_assert_eq!(live.backend, decision.backend);
+        prop_assert_eq!(auto_res.report.algorithm, decision.backend.name());
+
+        let mut forced_dev = Device::new(arch.clone(), &pool);
+        let mut ws = SelectWorkspace::new();
+        let forced =
+            run_planned(&mut forced_dev, &data, rank, &cfg, &mut ws, decision.backend).unwrap();
+        prop_assert_eq!(
+            auto_res.value.to_bits_u64(),
+            forced.value.to_bits_u64(),
+            "auto and forced {} disagree: {:?} vs {:?}",
+            decision.backend.name(),
+            auto_res.value,
+            forced.value
+        );
+    }
+
+    /// The planner consults only (data, rank, cfg, arch) — replanning
+    /// the same query must reproduce the decision exactly, estimates
+    /// and override flag included, for every data shape.
+    #[test]
+    fn planner_choice_deterministic_per_seed_and_distribution(
+        seed in any::<u64>(),
+        dist in 0usize..4,
+        n in 64usize..4000,
+    ) {
+        use gpu_selection::sampleselect::plan_rank_query;
+        use gpu_selection::sampleselect::rng::SplitMix64;
+
+        let mut rng = SplitMix64::new(seed);
+        let data: Vec<u32> = (0..n)
+            .map(|i| match dist {
+                0 => rng.next_u64() as u32,               // uniform
+                1 => (rng.next_u64() % 16) as u32,        // duplicate-heavy
+                2 => i as u32,                            // sorted
+                _ => (rng.next_u64() % 251) as u32,       // low-entropy keys
+            })
+            .collect();
+        let cfg = small_cfg();
+        let arch = v100();
+        let a = plan_rank_query(&arch, &data, n / 2, &cfg);
+        let b = plan_rank_query(&arch, &data, n / 2, &cfg);
+        prop_assert_eq!(a.backend, b.backend);
+        prop_assert_eq!(a.overridden, b.overridden);
+        let ea: Vec<_> = a.estimates.iter().map(|&(be, t)| (be, t.as_ns().to_bits())).collect();
+        let eb: Vec<_> = b.estimates.iter().map(|&(be, t)| (be, t.as_ns().to_bits())).collect();
+        prop_assert_eq!(ea, eb, "estimates must replay bit-for-bit");
+    }
+}
+
 /// Deterministic companion to the property above: with corruption
 /// guaranteed to land in a pooled region, the pool must record the
 /// quarantined drop.

@@ -11,7 +11,8 @@
 //! 3. reduce / exclusive prefix sum,
 //! 4. two-pass filter extraction,
 //! 5. QuickSelect bipartition,
-//! 6. fused top-k suffix extraction.
+//! 6. fused top-k suffix extraction,
+//! 7. RadixSelect digit-count + digit-scatter.
 //!
 //! The negative half: one deliberately-racy mutant per detector class
 //! (`sampleselect::simt_ref::mutants`) proving the corresponding
@@ -26,7 +27,9 @@ use gpu_selection::gpu_sim::{Device, LaunchOrigin, WarpSchedule};
 use gpu_selection::hpc_par::ThreadPool;
 use gpu_selection::sampleselect::bitonic::{bitonic_sort, bitonic_sort_on_block};
 use gpu_selection::sampleselect::count::{count_kernel, CountResult};
+use gpu_selection::sampleselect::element::SelectElement;
 use gpu_selection::sampleselect::filter::filter_kernel;
+use gpu_selection::sampleselect::radix::radix_digit_count_kernel;
 use gpu_selection::sampleselect::reduce::{reduce_kernel, ReduceResult};
 use gpu_selection::sampleselect::rng::SplitMix64;
 use gpu_selection::sampleselect::searchtree::SearchTree;
@@ -36,8 +39,8 @@ use gpu_selection::sampleselect::streaming::{
     streaming_select, streaming_select_with_checkpoint, ChunkError, ChunkSource,
 };
 use gpu_selection::sampleselect::{
-    bipartition_on_device, sample_select_on_device, top_k_largest_on_device, SampleSelectConfig,
-    SelectError,
+    bipartition_on_device, sample_select_on_device, top_k_largest_on_device, KernelScratch,
+    SampleSelectConfig, SelectError,
 };
 
 /// The three schedules every reference kernel must agree under.
@@ -263,6 +266,103 @@ fn topk_family_conformance() {
 // Negative half: each detector class fires on its mutant, under every
 // schedule.
 // ---------------------------------------------------------------------
+
+#[test]
+fn radix_family_conformance() {
+    let pool = ThreadPool::new(4);
+    let mut device = Device::new(v100(), &pool);
+    device.set_sanitizer(SanitizerConfig::full());
+    let data = gen_u32(3000, 0x4ad1c5, 60_000);
+    let cfg = SampleSelectConfig::default();
+    let scratch = KernelScratch::new();
+    let keys: Vec<u64> = data.iter().map(|x| x.to_sort_key()).collect();
+
+    // Values stay under 2^16, so shift 8 exercises a discriminating
+    // digit and shift 0 the low byte; the dead digits at 24/16 are
+    // covered by the all-in-bucket-zero histogram they produce anyway.
+    for shift in [24u32, 8, 0] {
+        let count = radix_digit_count_kernel(
+            &mut device,
+            &data,
+            shift,
+            &cfg,
+            LaunchOrigin::Host,
+            &scratch,
+        );
+
+        // The stored oracle bytes are exactly the extracted digits.
+        let oracles = count.oracles.as_ref().unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(
+                oracles.get(i) as u64,
+                (k >> shift) & 0xff,
+                "digit oracle mismatch at {i} (shift {shift})"
+            );
+        }
+
+        // Thread-level digit histogram reproduces the counts
+        // bit-for-bit under every schedule, sanitizer-clean.
+        for schedule in schedules() {
+            let (counts, report) = simt_ref::block_digit_histogram(
+                &keys,
+                shift,
+                schedule,
+                Some(SanitizerConfig::full()),
+            );
+            assert_eq!(
+                counts, count.counts,
+                "digit histogram diverged under {schedule:?} (shift {shift})"
+            );
+            assert!(report.unwrap().is_clean());
+        }
+
+        // The production scatter (reduce → filter over the digit bucket
+        // holding the median rank) agrees with the thread-level
+        // flag/scan/scatter reference.
+        let red = reduce_kernel(&mut device, &count, LaunchOrigin::Device);
+        let bucket = red.bucket_for_rank(data.len() as u64 / 2) as u32;
+        let got = filter_kernel(
+            &mut device,
+            &data,
+            &count,
+            &red,
+            bucket..bucket + 1,
+            &cfg,
+            LaunchOrigin::Device,
+        );
+        for schedule in schedules() {
+            let (want, report) = simt_ref::block_digit_scatter(
+                &data,
+                &keys,
+                shift,
+                bucket,
+                schedule,
+                Some(SanitizerConfig::full()),
+            );
+            assert_eq!(
+                got, want,
+                "digit scatter diverged under {schedule:?} (shift {shift})"
+            );
+            assert!(report.unwrap().is_clean());
+        }
+    }
+    assert!(device.sanitizer_clean(), "{}", device.sanitizer_json());
+}
+
+#[test]
+fn mutant_racy_digit_histogram_detected() {
+    // Four distinct digits across 256 keys: plenty of same-word plain
+    // read-modify-write collisions for the write-write detector.
+    let keys: Vec<u64> = (0..256u64).map(|i| (i % 4) << 8).collect();
+    for schedule in schedules() {
+        let report = mutants::racy_digit_histogram(&keys, 8, schedule, SanitizerConfig::full());
+        assert!(
+            report.count_of(SanitizerKind::WriteWriteRace) > 0,
+            "racy digit histogram must trip the write-write detector under {schedule:?}: {}",
+            report.to_json()
+        );
+    }
+}
 
 #[test]
 fn mutant_write_write_race_detected() {

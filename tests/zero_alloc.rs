@@ -18,7 +18,9 @@ use gpu_selection::gpu_sim::{Device, LaunchOrigin};
 use gpu_selection::hpc_par::ThreadPool;
 use gpu_selection::sampleselect::count::{count_kernel_scoped, OracleBuf};
 use gpu_selection::sampleselect::filter::filter_kernel_scoped;
+use gpu_selection::sampleselect::instrument::SelectReport;
 use gpu_selection::sampleselect::obs;
+use gpu_selection::sampleselect::radix_select_into;
 use gpu_selection::sampleselect::recursion::sample_select_with_workspace;
 use gpu_selection::sampleselect::reduce::reduce_kernel;
 use gpu_selection::sampleselect::rng::SplitMix64;
@@ -171,6 +173,69 @@ fn steady_state_hot_path_does_not_allocate() {
         "warm full query allocated {query_allocs} times (report assembly \
          should need well under 32)"
     );
+
+    // RadixSelect: the promoted backend's warm path is *stricter* than
+    // SampleSelect's — with a warm workspace, pool, and a caller-owned
+    // report shell, an ENTIRE radix query (digit count, reduce, filter
+    // recursion, base-case sort, report re-aggregation) performs zero
+    // heap allocations. This is the bugfix leg for the baselines digit
+    // kernel that allocated `vec![0u64; 256]` per block per pass.
+    let mut radix_ws: SelectWorkspace<f32> = SelectWorkspace::new();
+    let mut radix_report = SelectReport::empty("radixselect");
+    let rank = 1 << 15;
+    // Two cold queries warm the workspace, the pool shapes, the record
+    // buffer, and the report's kernel-summary slots.
+    let v_cold = radix_select_into(
+        &mut device,
+        &data,
+        rank,
+        &cfg,
+        &mut radix_ws,
+        &mut radix_report,
+    )
+    .expect("radix select succeeds");
+    device.reset();
+    let v_warm_check = radix_select_into(
+        &mut device,
+        &data,
+        rank,
+        &cfg,
+        &mut radix_ws,
+        &mut radix_report,
+    )
+    .expect("radix select succeeds");
+    assert_eq!(v_cold, v_warm_check);
+    device.reset();
+
+    let pool_before = device.buffer_pool_stats().expect("pool armed");
+    let (v_warm, radix_allocs) = counted(|| {
+        radix_select_into(
+            &mut device,
+            &data,
+            rank,
+            &cfg,
+            &mut radix_ws,
+            &mut radix_report,
+        )
+        .expect("radix select succeeds")
+    });
+    assert_eq!(v_warm, v_cold);
+    assert_eq!(
+        radix_allocs, 0,
+        "warm radix query allocated {radix_allocs} times (must be zero)"
+    );
+    let pool_after = device.buffer_pool_stats().expect("pool armed");
+    assert_eq!(
+        pool_after.misses, pool_before.misses,
+        "warm pool must serve every radix lease"
+    );
+    assert!(
+        pool_after.hits > pool_before.hits,
+        "the radix query leased from the pool"
+    );
+    assert_eq!(radix_report.algorithm, "radixselect");
+    assert!(radix_report.total_launches() > 0);
+    device.reset();
 
     // With no ObsSession installed, every observability entry point the
     // drivers call on the hot path must be a branch-and-return: zero
