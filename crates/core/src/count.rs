@@ -52,6 +52,16 @@ impl OracleBuf {
             OracleBuf::U16(_) => 2,
         }
     }
+
+    /// The raw one-byte oracle array, when this buffer is the narrow
+    /// variant (the SIMD filter path compares 32 oracle bytes per
+    /// vector instruction).
+    pub fn as_u8_slice(&self) -> Option<&[u8]> {
+        match self {
+            OracleBuf::U8(v) => Some(v),
+            OracleBuf::U16(_) => None,
+        }
+    }
 }
 
 /// Output of one count-kernel launch.
@@ -159,9 +169,13 @@ pub fn count_kernel_scoped<T: SelectElement>(
                     let mut idx = start;
                     while idx < end {
                         let wlen = WARP_SIZE.min(end - idx);
+                        // Lane-parallel descent for the whole warp (the
+                        // SIMD analogue of all 32 threads walking the
+                        // tree in lock-step); scalar per-element lookup
+                        // when SELECT_SIMD=off.
+                        tree.lookup_batch(&data[idx..idx + wlen], &mut warp_buckets[..wlen]);
                         for lane in 0..wlen {
-                            let bucket = tree.lookup(data[idx + lane]);
-                            warp_buckets[lane] = bucket;
+                            let bucket = warp_buckets[lane];
                             local[bucket as usize] += 1;
                             // SAFETY: each element index is owned by
                             // exactly one block chunk.

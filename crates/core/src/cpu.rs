@@ -15,6 +15,23 @@ use crate::SelectError;
 use gpu_sim::ScatterBuffer;
 use hpc_par::ThreadPool;
 
+/// Accumulate a slice into per-thread histogram bins via lane-parallel
+/// tree descent. Chunks through a stack buffer so the warm path stays
+/// allocation-free regardless of slice length.
+fn histogram_slice<T: SelectElement>(tree: &SearchTree<T>, data: &[T], local: &mut [u64]) {
+    const BATCH: usize = 128;
+    let mut buckets = [0u32; BATCH];
+    let mut i = 0;
+    while i < data.len() {
+        let len = (data.len() - i).min(BATCH);
+        tree.lookup_batch(&data[i..i + len], &mut buckets[..len]);
+        for &b in &buckets[..len] {
+            local[b as usize] += 1;
+        }
+        i += len;
+    }
+}
+
 /// Tuning knobs of the CPU backend.
 #[derive(Debug, Clone)]
 pub struct CpuSelectConfig {
@@ -100,9 +117,7 @@ pub fn cpu_sample_select<T: SelectElement>(
 
         // Pass 1: parallel histogram over per-thread local bins.
         let counts = hpc_par::parallel_histogram(pool, n, cfg.num_buckets, |range, local| {
-            for &x in &cur[range] {
-                local[tree_ref.lookup(x) as usize] += 1;
-            }
+            histogram_slice(tree_ref, &cur[range], local);
         });
 
         // Prefix sums -> bucket offsets; pick the bucket containing k.
@@ -203,9 +218,7 @@ pub fn cpu_approx_select<T: SelectElement>(
     let tree = SearchTree::build(&splitters);
     let tree_ref = &tree;
     let counts = hpc_par::parallel_histogram(pool, n, cfg.num_buckets, |range, local| {
-        for &x in &data[range] {
-            local[tree_ref.lookup(x) as usize] += 1;
-        }
+        histogram_slice(tree_ref, &data[range], local);
     });
     let mut offsets = counts;
     hpc_par::exclusive_scan(&mut offsets);
@@ -337,9 +350,7 @@ fn cpu_multi_rec<T: SelectElement>(
     let tree = SearchTree::build(&splitters);
     let tree_ref = &tree;
     let counts = hpc_par::parallel_histogram(pool, data.len(), cfg.num_buckets, |range, local| {
-        for &x in &data[range] {
-            local[tree_ref.lookup(x) as usize] += 1;
-        }
+        histogram_slice(tree_ref, &data[range], local);
     });
     let mut offsets = counts;
     hpc_par::exclusive_scan(&mut offsets);

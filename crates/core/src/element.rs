@@ -53,6 +53,18 @@ pub trait SelectElement: Copy + Send + Sync + Debug + 'static {
     /// NaN maps above every number.
     fn to_sort_key(self) -> u64;
 
+    /// Comparison key: like [`SelectElement::to_sort_key`] but with
+    /// *exact* `lt` equivalence — `a.lt(b)` iff
+    /// `a.to_lt_key() < b.to_lt_key()` with **no exceptions**. For
+    /// floats this collapses `-0.0` onto `0.0` (they tie under `lt`
+    /// but keep distinct adjacent sort keys), so the SIMD key-based
+    /// tree descent lands in exactly the bucket the scalar
+    /// `lt`-based descent would. Integer types share one key for both.
+    #[inline]
+    fn to_lt_key(self) -> u64 {
+        self.to_sort_key()
+    }
+
     /// Construct from an `f64` (workload generation); lossy for integer
     /// types (truncation) and out-of-range values (saturation).
     fn from_f64(v: f64) -> Self;
@@ -151,6 +163,11 @@ impl SelectElement for f32 {
         f32_key(self)
     }
 
+    #[inline]
+    fn to_lt_key(self) -> u64 {
+        hpc_par::simd::lt_key_f32(self) as u64
+    }
+
     fn from_f64(v: f64) -> Self {
         v as f32
     }
@@ -206,6 +223,11 @@ impl SelectElement for f64 {
     #[inline]
     fn to_sort_key(self) -> u64 {
         f64_key(self)
+    }
+
+    #[inline]
+    fn to_lt_key(self) -> u64 {
+        hpc_par::simd::lt_key_f64(self)
     }
 
     fn from_f64(v: f64) -> Self {
@@ -341,6 +363,120 @@ macro_rules! impl_signed {
 
 impl_signed!(i32, u32, "i32");
 impl_signed!(i64, u64, "i64");
+
+// ---------------------------------------------------------------------
+// Batched key conversion (SIMD support)
+// ---------------------------------------------------------------------
+//
+// The lane-parallel kernels in `hpc_par::simd` operate on unsigned
+// keys, so the per-warp hot loops first map a small run of elements
+// into a stack buffer of keys. The fills below dispatch on the concrete
+// element type: floats take the explicit-SIMD converters (their key
+// transform carries NaN/sign branches), while integer key transforms
+// are a copy or sign-bit XOR that LLVM autovectorizes on its own.
+
+use hpc_par::simd::SimdLevel;
+use std::any::TypeId;
+
+fn is_type<T: 'static, U: 'static>() -> bool {
+    TypeId::of::<T>() == TypeId::of::<U>()
+}
+
+/// Reinterpret a 4-byte element slice as its raw `u32` bit images.
+/// Panics (debug) if `T::BYTES != 4`.
+#[inline]
+pub fn as_bits32<T: SelectElement>(src: &[T]) -> &[u32] {
+    debug_assert_eq!(std::mem::size_of::<T>(), 4);
+    // SAFETY: T is Copy with size 4 and alignment <= 4 for every
+    // SelectElement impl in this workspace (f32/u32/i32); u32 has no
+    // invalid bit patterns.
+    unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u32, src.len()) }
+}
+
+/// Reinterpret an 8-byte element slice as its raw `u64` bit images.
+#[inline]
+pub fn as_bits64<T: SelectElement>(src: &[T]) -> &[u64] {
+    debug_assert_eq!(std::mem::size_of::<T>(), 8);
+    // SAFETY: as `as_bits32`, for the 8-byte impls (f64/u64/i64).
+    unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u64, src.len()) }
+}
+
+/// Inverse of [`as_bits32`]: view raw `u32` bit images as elements.
+#[inline]
+pub fn elems_from_bits32<T: SelectElement>(bits: &[u32]) -> &[T] {
+    debug_assert_eq!(std::mem::size_of::<T>(), 4);
+    // SAFETY: every 4-byte SelectElement impl (f32/u32/i32) accepts any
+    // bit pattern; alignment of T is <= 4.
+    unsafe { std::slice::from_raw_parts(bits.as_ptr() as *const T, bits.len()) }
+}
+
+/// Inverse of [`as_bits64`].
+#[inline]
+pub fn elems_from_bits64<T: SelectElement>(bits: &[u64]) -> &[T] {
+    debug_assert_eq!(std::mem::size_of::<T>(), 8);
+    // SAFETY: as `elems_from_bits32`, for f64/u64/i64.
+    unsafe { std::slice::from_raw_parts(bits.as_ptr() as *const T, bits.len()) }
+}
+
+/// `dst[i] = src[i].to_lt_key() as u32`, for 4-byte element types
+/// (their keys fit 32 bits). SIMD for `f32` when the level allows.
+#[inline]
+pub fn fill_lt_keys32<T: SelectElement>(src: &[T], dst: &mut [u32], level: SimdLevel) {
+    debug_assert_eq!(T::BYTES, 4);
+    if is_type::<T, f32>() {
+        // SAFETY: T is f32 (checked by TypeId).
+        let fsrc = unsafe { std::slice::from_raw_parts(src.as_ptr() as *const f32, src.len()) };
+        hpc_par::simd::lt_keys_f32(fsrc, dst, level);
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.to_lt_key() as u32;
+    }
+}
+
+/// `dst[i] = src[i].to_lt_key()`. SIMD for `f64` when the level allows.
+#[inline]
+pub fn fill_lt_keys64<T: SelectElement>(src: &[T], dst: &mut [u64], level: SimdLevel) {
+    if is_type::<T, f64>() {
+        // SAFETY: T is f64 (checked by TypeId).
+        let fsrc = unsafe { std::slice::from_raw_parts(src.as_ptr() as *const f64, src.len()) };
+        hpc_par::simd::lt_keys_f64(fsrc, dst, level);
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.to_lt_key();
+    }
+}
+
+/// `dst[i] = src[i].to_sort_key() as u32`, for 4-byte element types.
+/// SIMD for `f32` when the level allows.
+#[inline]
+pub fn fill_sort_keys32<T: SelectElement>(src: &[T], dst: &mut [u32], level: SimdLevel) {
+    debug_assert_eq!(T::BYTES, 4);
+    if is_type::<T, f32>() {
+        // SAFETY: T is f32 (checked by TypeId).
+        let fsrc = unsafe { std::slice::from_raw_parts(src.as_ptr() as *const f32, src.len()) };
+        hpc_par::simd::sort_keys_f32(fsrc, dst, level);
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.to_sort_key() as u32;
+    }
+}
+
+/// `dst[i] = src[i].to_sort_key()`. SIMD for `f64` when the level allows.
+#[inline]
+pub fn fill_sort_keys64<T: SelectElement>(src: &[T], dst: &mut [u64], level: SimdLevel) {
+    if is_type::<T, f64>() {
+        // SAFETY: T is f64 (checked by TypeId).
+        let fsrc = unsafe { std::slice::from_raw_parts(src.as_ptr() as *const f64, src.len()) };
+        hpc_par::simd::sort_keys_f64(fsrc, dst, level);
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.to_sort_key();
+    }
+}
 
 /// Sort a slice by the element order (reference implementation used by
 /// base cases and tests; unstable, O(n log n)).

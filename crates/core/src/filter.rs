@@ -11,12 +11,13 @@
 //! intermediate step, it stores the bucket indexes in the oracles".
 
 use crate::count::CountResult;
-use crate::element::SelectElement;
+use crate::element::{as_bits32, as_bits64, elems_from_bits32, elems_from_bits64, SelectElement};
 use crate::params::{AtomicScope, SampleSelectConfig};
 use crate::reduce::ReduceResult;
 use crate::workspace::KernelScratch;
 use gpu_sim::warp::WARP_SIZE;
 use gpu_sim::{Device, KernelCost, LaunchOrigin};
+use hpc_par::simd::{self, SimdLevel};
 use std::ops::Range;
 
 /// Extract all elements whose bucket lies in `bucket_range` into a
@@ -85,6 +86,20 @@ pub fn filter_kernel_scoped<T: SelectElement>(
     let lo = bucket_range.start;
     let hi = bucket_range.end;
 
+    // Single-bucket ranges with one-byte oracles (every exact-selection
+    // level) take a lane-parallel fast path: one vector compare over 32
+    // oracle bytes, then a stable left-pack of the matching elements
+    // through a per-warp staging buffer, flushed to the scatter buffer
+    // at its exact size. The staging hop is what keeps the write-once
+    // contract: the AVX2 compress scribbles a full vector past the
+    // packed prefix, and the block's output range may end mid-warp with
+    // the next block's range being written concurrently.
+    let simd_level = simd::simd_level();
+    let simd_single = simd_level != SimdLevel::Off
+        && hi - lo == 1
+        && oracles.as_u8_slice().is_some()
+        && lo <= u8::MAX as u32;
+
     let (mut cost, oracle_mismatches) = hpc_par::parallel_map_reduce(
         device.pool(),
         blocks,
@@ -93,6 +108,9 @@ pub fn filter_kernel_scoped<T: SelectElement>(
         |range, acc| {
             let (mut cost, mut mismatches) = acc;
             let mut cursors = scratch.lease_u64((hi - lo) as usize);
+            let oracle_bytes = oracles.as_u8_slice();
+            let mut staging32 = [0u32; WARP_SIZE];
+            let mut staging64 = [0u64; WARP_SIZE];
             for block in range {
                 let start = block * chunk;
                 let end = ((block + 1) * chunk).min(n);
@@ -105,31 +123,87 @@ pub fn filter_kernel_scoped<T: SelectElement>(
                 while idx < end {
                     let wlen = WARP_SIZE.min(end - idx);
                     let mut matched_in_warp = 0u64;
-                    for lane in 0..wlen {
-                        let bucket = oracles.get(idx + lane);
-                        if (lo..hi).contains(&bucket) {
-                            let rel = (bucket - lo) as usize;
-                            // A corrupted oracle can route extra elements
-                            // into this (bucket, block) range; writing past
-                            // the range allotted by the prefix sums would
-                            // violate the scatter buffer's write-once
-                            // contract, so overflowing matches are dropped
-                            // and flagged instead.
-                            if cursors[rel] >= count.partials[bucket as usize * blocks + block] {
-                                mismatches += 1;
-                                matched_in_warp += 1;
-                                continue;
+                    let mut handled = false;
+                    if simd_single && wlen == WARP_SIZE {
+                        let bytes = &oracle_bytes.unwrap()[idx..idx + WARP_SIZE];
+                        let mask = simd::eq_mask_u8(bytes, lo as u8, simd_level);
+                        let matched = mask.count_ones() as u64;
+                        if matched == 0 {
+                            handled = true;
+                        } else if cursors[0] + matched
+                            <= count.partials[lo as usize * blocks + block]
+                        {
+                            // Healthy warp: compress the matches in
+                            // element order and flush them contiguously
+                            // after the block's previous matches.
+                            let pos = (reduce.offsets[lo as usize * blocks + block] - range_base
+                                + cursors[0]) as usize;
+                            if T::BYTES == 4 {
+                                let cnt = simd::compress_u32(
+                                    as_bits32(&data[idx..idx + WARP_SIZE]),
+                                    mask,
+                                    &mut staging32,
+                                    simd_level,
+                                );
+                                // SAFETY: the run [pos, pos+cnt) lies in
+                                // this (bucket, block) output range (the
+                                // cursor bound above), owned by this
+                                // thread alone.
+                                unsafe {
+                                    out_ref
+                                        .write_slice(pos, elems_from_bits32::<T>(&staging32[..cnt]))
+                                };
+                            } else {
+                                let cnt = simd::compress_u64(
+                                    as_bits64(&data[idx..idx + WARP_SIZE]),
+                                    mask,
+                                    &mut staging64,
+                                    simd_level,
+                                );
+                                // SAFETY: as above.
+                                unsafe {
+                                    out_ref
+                                        .write_slice(pos, elems_from_bits64::<T>(&staging64[..cnt]))
+                                };
                             }
-                            let pos = reduce.offsets[bucket as usize * blocks + block] - range_base
-                                + cursors[rel];
-                            cursors[rel] += 1;
-                            // SAFETY: the two-pass scheme assigns each
-                            // output slot to exactly one (block, bucket,
-                            // local-rank) triple; the bound check above
-                            // keeps that true even under corrupted
-                            // oracles.
-                            unsafe { out_ref.write(pos as usize, data[idx + lane]) };
-                            matched_in_warp += 1;
+                            cursors[0] += matched;
+                            matched_in_warp = matched;
+                            handled = true;
+                        }
+                        // else: the cursor bound says a corrupted oracle
+                        // routed extra elements into this block's range;
+                        // fall through to the scalar loop, which drops
+                        // and flags overflowing matches lane by lane.
+                    }
+                    if !handled {
+                        for lane in 0..wlen {
+                            let bucket = oracles.get(idx + lane);
+                            if (lo..hi).contains(&bucket) {
+                                let rel = (bucket - lo) as usize;
+                                // A corrupted oracle can route extra elements
+                                // into this (bucket, block) range; writing past
+                                // the range allotted by the prefix sums would
+                                // violate the scatter buffer's write-once
+                                // contract, so overflowing matches are dropped
+                                // and flagged instead.
+                                if cursors[rel] >= count.partials[bucket as usize * blocks + block]
+                                {
+                                    mismatches += 1;
+                                    matched_in_warp += 1;
+                                    continue;
+                                }
+                                let pos = reduce.offsets[bucket as usize * blocks + block]
+                                    - range_base
+                                    + cursors[rel];
+                                cursors[rel] += 1;
+                                // SAFETY: the two-pass scheme assigns each
+                                // output slot to exactly one (block, bucket,
+                                // local-rank) triple; the bound check above
+                                // keeps that true even under corrupted
+                                // oracles.
+                                unsafe { out_ref.write(pos as usize, data[idx + lane]) };
+                                matched_in_warp += 1;
+                            }
                         }
                     }
                     // Index handout: one counter bump per matching lane;

@@ -205,16 +205,20 @@ pub enum Gauge {
     PoolHits,
     /// Cumulative buffer-pool misses.
     PoolMisses,
+    /// Active host SIMD dispatch level (0 = off, 1 = scalar fallback,
+    /// 2 = AVX2), as resolved by `SELECT_SIMD` at startup.
+    SimdDispatchLevel,
 }
 
 impl Gauge {
-    pub const ALL: [Gauge; 6] = [
+    pub const ALL: [Gauge; 7] = [
         Gauge::BucketOccupancy,
         Gauge::AtomicCollisionRatePpm,
         Gauge::PoolHitRatePpm,
         Gauge::PoolAcquires,
         Gauge::PoolHits,
         Gauge::PoolMisses,
+        Gauge::SimdDispatchLevel,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -226,6 +230,7 @@ impl Gauge {
             Gauge::PoolAcquires => "select_pool_acquires",
             Gauge::PoolHits => "select_pool_hits",
             Gauge::PoolMisses => "select_pool_misses",
+            Gauge::SimdDispatchLevel => "select_simd_dispatch_level",
         }
     }
 }

@@ -44,6 +44,7 @@ use crate::{SelectError, SelectResult};
 use gpu_sim::arch::GpuArchitecture;
 use gpu_sim::cost::radix_select_estimate;
 use gpu_sim::{Device, KernelCost, SimTime};
+use hpc_par::simd::{configured_level, SimdLevel};
 
 /// Elements the planner probes (strided) before deciding. Stack-sized:
 /// the probe allocates nothing, so planning stays on the zero-alloc
@@ -247,6 +248,10 @@ pub struct PlanDecision {
     pub overridden: bool,
     /// The probe summary the decision was derived from.
     pub profile: DataProfile,
+    /// Host SIMD dispatch level active when the plan was made (the
+    /// `SELECT_SIMD`-configured level, not any test-forced override, so
+    /// planning stays deterministic per process).
+    pub host_simd: SimdLevel,
 }
 
 impl PlanDecision {
@@ -465,6 +470,28 @@ pub fn radix_estimate<T: SelectElement>(
 // Planning
 // ---------------------------------------------------------------------
 
+/// Near-tie band for the host-throughput tie-breaker: candidates whose
+/// simulated estimate is within this factor of the model winner are
+/// considered indistinguishable to the model. Kept well inside the
+/// planner-matrix regret gate (1.25x) so a tie falling either way can
+/// never fail the gate.
+const HOST_TIE_BAND: f64 = 1.05;
+
+/// How much each backend's host hot path gains from wide SIMD dispatch,
+/// as a rank (higher = bigger measured win). The sampled-splitter tree
+/// descent is a gathered multi-level walk and vectorizes best; the
+/// quickselect pivot masks plus compress come next; the radix digit
+/// count was already a shift/mask stream the compiler vectorized, so it
+/// gains least.
+fn host_simd_rank(b: PlannedBackend) -> u8 {
+    match b {
+        PlannedBackend::Sample => 3,
+        PlannedBackend::Quick => 2,
+        PlannedBackend::Radix => 1,
+        PlannedBackend::TopK => 0,
+    }
+}
+
 /// Plan a plain rank query from the probe and the cost model alone.
 pub fn plan_rank_query<T: SelectElement>(
     arch: &GpuArchitecture,
@@ -513,9 +540,29 @@ pub fn plan_rank_query_with_signals<T: SelectElement>(
         .map(|&(b, _)| b)
         .expect("at least one candidate");
 
+    // Host-throughput near-tie breaker. Simulated estimates rank the
+    // *device* cost and stay authoritative, but when candidates sit
+    // within HOST_TIE_BAND of the winner the ordering is noise to the
+    // model — break such ties toward the backend whose host kernels
+    // gain the most from the active SIMD dispatch level.
+    let host_simd = configured_level();
+    let mut backend = model_choice;
+    if host_simd == SimdLevel::Avx2 {
+        let best_ns = estimates
+            .iter()
+            .find(|(b, _)| *b == model_choice)
+            .map(|&(_, t)| t.as_ns())
+            .unwrap_or(0.0);
+        backend = estimates
+            .iter()
+            .filter(|(_, t)| t.as_ns() <= best_ns * HOST_TIE_BAND)
+            .max_by_key(|(b, _)| host_simd_rank(*b))
+            .map(|&(b, _)| b)
+            .unwrap_or(model_choice);
+    }
+
     // Live-signal overrides: prior passes on this stream saw pressure
     // the probe did not.
-    let mut backend = model_choice;
     let mut overridden = false;
     if backend == PlannedBackend::Radix {
         let hot_collisions = signals.collision_rate_ppm.is_some_and(|ppm| ppm >= 500_000);
@@ -535,6 +582,7 @@ pub fn plan_rank_query_with_signals<T: SelectElement>(
     }
 
     obs::counter_add(backend.counter(), 1);
+    obs::gauge_set(obs::Gauge::SimdDispatchLevel, host_simd as u64);
     if overridden {
         obs::counter_add(Counter::PlannerOverrides, 1);
     }
@@ -545,6 +593,7 @@ pub fn plan_rank_query_with_signals<T: SelectElement>(
         estimates,
         overridden,
         profile,
+        host_simd,
     }
 }
 

@@ -33,7 +33,7 @@
 //!   atomic-collision gauges, and pool/counter absorption.
 
 use crate::count::{CountResult, OracleBuf};
-use crate::element::SelectElement;
+use crate::element::{fill_sort_keys32, fill_sort_keys64, SelectElement};
 use crate::filter::filter_kernel_scoped;
 use crate::instrument::SelectReport;
 use crate::obs::{self, Gauge, Histogram, SpanKind, Track};
@@ -104,6 +104,9 @@ pub fn radix_digit_count_kernel<T: SelectElement>(
             let mut local = scratch.lease_u64(b);
             let mut warp_scratch = scratch.lease_u32(b);
             let mut warp_buckets = [0u32; WARP_SIZE];
+            let mut warp_keys32 = [0u32; WARP_SIZE];
+            let mut warp_keys64 = [0u64; WARP_SIZE];
+            let level = hpc_par::simd::simd_level();
             for block in range {
                 let start = block * chunk;
                 let end = ((block + 1) * chunk).min(n);
@@ -112,9 +115,36 @@ pub fn radix_digit_count_kernel<T: SelectElement>(
                     let mut idx = start;
                     while idx < end {
                         let wlen = WARP_SIZE.min(end - idx);
+                        // Lane-parallel sort-key conversion (the float
+                        // transform carries NaN/sign branches; the
+                        // digit shift+mask that follows is trivially
+                        // vector-friendly).
+                        if level == hpc_par::SimdLevel::Off {
+                            for lane in 0..wlen {
+                                warp_buckets[lane] =
+                                    ((data[idx + lane].to_sort_key() >> shift) & 0xff) as u32;
+                            }
+                        } else if T::BYTES == 4 {
+                            fill_sort_keys32(
+                                &data[idx..idx + wlen],
+                                &mut warp_keys32[..wlen],
+                                level,
+                            );
+                            for lane in 0..wlen {
+                                warp_buckets[lane] = (warp_keys32[lane] >> shift) & 0xff;
+                            }
+                        } else {
+                            fill_sort_keys64(
+                                &data[idx..idx + wlen],
+                                &mut warp_keys64[..wlen],
+                                level,
+                            );
+                            for lane in 0..wlen {
+                                warp_buckets[lane] = ((warp_keys64[lane] >> shift) & 0xff) as u32;
+                            }
+                        }
                         for lane in 0..wlen {
-                            let digit = ((data[idx + lane].to_sort_key() >> shift) & 0xff) as u32;
-                            warp_buckets[lane] = digit;
+                            let digit = warp_buckets[lane];
                             local[digit as usize] += 1;
                             // SAFETY: each element index is owned by
                             // exactly one block chunk.

@@ -21,7 +21,8 @@
 //! terminate early by just returning the corresponding lower bound
 //! splitter").
 
-use crate::element::SelectElement;
+use crate::element::{fill_lt_keys32, fill_lt_keys64, SelectElement};
+use hpc_par::simd::{self, SimdLevel};
 
 /// A built splitter search tree for one recursion level.
 #[derive(Debug, Clone)]
@@ -37,6 +38,12 @@ pub struct SearchTree<T> {
     height: u32,
     /// `equality[i]`: bucket `i` contains exactly one distinct value.
     equality: Vec<bool>,
+    /// `nodes` mapped through `to_lt_key`, narrowed to 32 bits — the
+    /// gather array for the lane-parallel descent of 4-byte element
+    /// types. Empty for 8-byte types or when SIMD is off.
+    lt_key_nodes32: Vec<u32>,
+    /// As `lt_key_nodes32` for 8-byte element types.
+    lt_key_nodes64: Vec<u64>,
 }
 
 impl<T: SelectElement> SearchTree<T> {
@@ -79,6 +86,8 @@ impl<T: SelectElement> SearchTree<T> {
                     num_buckets: b,
                     height: b.trailing_zeros(),
                     equality: Vec::new(),
+                    lt_key_nodes32: Vec::new(),
+                    lt_key_nodes64: Vec::new(),
                 };
                 tree.assemble(sorted_splitters);
                 *slot = Some(tree);
@@ -130,6 +139,24 @@ impl<T: SelectElement> SearchTree<T> {
         let mut next = 0usize;
         fill_in_order(&mut self.nodes, &self.splitters, 0, &mut next);
         debug_assert_eq!(next, m);
+
+        // Key-space mirror of the node array for the SIMD descent.
+        // Built unconditionally (it is m entries, negligible next to
+        // one kernel pass) so runtime dispatch-level switches — the
+        // interleaved scalar-vs-SIMD benches — never see a tree built
+        // under a different level. The clear+resize pattern reuses
+        // capacity, so a warm slot stays allocation-free across
+        // recursion levels.
+        let level = simd::simd_level();
+        if T::BYTES == 4 {
+            self.lt_key_nodes32.clear();
+            self.lt_key_nodes32.resize(m, 0);
+            fill_lt_keys32(&self.nodes, &mut self.lt_key_nodes32, level);
+        } else {
+            self.lt_key_nodes64.clear();
+            self.lt_key_nodes64.resize(m, 0);
+            fill_lt_keys64(&self.nodes, &mut self.lt_key_nodes64, level);
+        }
     }
 
     /// Fig. 4's traversal loop: the bucket index of `x`.
@@ -141,6 +168,55 @@ impl<T: SelectElement> SearchTree<T> {
             i = 2 * i + if x.lt(self.nodes[i]) { 1 } else { 2 };
         }
         (i - (self.num_buckets - 1)) as u32
+    }
+
+    /// Lane-parallel [`SearchTree::lookup`]: `out[i] = lookup(data[i])`,
+    /// bit-identical to the scalar loop at every dispatch level.
+    ///
+    /// The batch descends in key space — elements and nodes mapped
+    /// through the exactly-`lt`-equivalent `to_lt_key` transform — so
+    /// 8 (u32 keys) or 4 (u64 keys) lanes walk the tree per vector
+    /// step. Small runs stage keys in stack buffers: no allocation.
+    pub fn lookup_batch(&self, data: &[T], out: &mut [u32]) {
+        debug_assert!(out.len() >= data.len());
+        let level = simd::simd_level();
+        if level == SimdLevel::Off {
+            for (o, &x) in out.iter_mut().zip(data) {
+                *o = self.lookup(x);
+            }
+            return;
+        }
+        if T::BYTES == 4 {
+            let mut keys = [0u32; 32];
+            let mut i = 0;
+            while i < data.len() {
+                let len = (data.len() - i).min(32);
+                fill_lt_keys32(&data[i..i + len], &mut keys[..len], level);
+                simd::descend_u32(
+                    &keys[..len],
+                    &self.lt_key_nodes32,
+                    self.height,
+                    &mut out[i..i + len],
+                    level,
+                );
+                i += len;
+            }
+        } else {
+            let mut keys = [0u64; 32];
+            let mut i = 0;
+            while i < data.len() {
+                let len = (data.len() - i).min(32);
+                fill_lt_keys64(&data[i..i + len], &mut keys[..len], level);
+                simd::descend_u64(
+                    &keys[..len],
+                    &self.lt_key_nodes64,
+                    self.height,
+                    &mut out[i..i + len],
+                    level,
+                );
+                i += len;
+            }
+        }
     }
 
     /// Bucket count `b`.
@@ -374,6 +450,52 @@ mod tests {
                 let x = rng.next_f64() * 60.0 - 5.0;
                 assert_eq!(rebuilt.lookup(x), fresh.lookup(x));
             }
+        }
+    }
+
+    #[test]
+    fn lookup_batch_matches_scalar_at_every_level() {
+        let mut rng = SplitMix64::new(99);
+        let levels: &[SimdLevel] = &[SimdLevel::Off, SimdLevel::Scalar, SimdLevel::Avx2];
+        for b in [2usize, 8, 64, 256] {
+            // f32 with duplicates, ±0.0, and NaN payloads
+            let mut splitters: Vec<f32> =
+                (0..b - 1).map(|_| (rng.next_f64() * 8.0) as f32).collect();
+            splitters.sort_by(|a, b| a.total_cmp(b));
+            let tree = SearchTree::build(&splitters);
+            let mut data: Vec<f32> = (0..517)
+                .map(|_| (rng.next_f64() * 10.0 - 1.0) as f32)
+                .collect();
+            data.extend_from_slice(&[
+                0.0,
+                -0.0,
+                f32::NAN,
+                f32::from_bits(0xFFC0_0001),
+                f32::MAX,
+                f32::MIN,
+            ]);
+            let expect: Vec<u32> = data.iter().map(|&x| tree.lookup(x)).collect();
+            for &level in levels {
+                simd::force_level(Some(level));
+                let mut out = vec![0u32; data.len()];
+                tree.lookup_batch(&data, &mut out);
+                assert_eq!(out, expect, "f32 b={b} level={level}");
+            }
+            simd::force_level(None);
+
+            // u64 keys exercise the 4-lane descent
+            let mut spl64: Vec<u64> = (0..b - 1).map(|_| rng.next_u64() % 1000).collect();
+            spl64.sort_unstable();
+            let tree64 = SearchTree::build(&spl64);
+            let data64: Vec<u64> = (0..263).map(|_| rng.next_u64() % 1200).collect();
+            let expect64: Vec<u32> = data64.iter().map(|&x| tree64.lookup(x)).collect();
+            for &level in levels {
+                simd::force_level(Some(level));
+                let mut out = vec![0u32; data64.len()];
+                tree64.lookup_batch(&data64, &mut out);
+                assert_eq!(out, expect64, "u64 b={b} level={level}");
+            }
+            simd::force_level(None);
         }
     }
 

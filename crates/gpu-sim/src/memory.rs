@@ -315,6 +315,46 @@ impl<T> ScatterBuffer<T> {
         (*self.slots[idx].get()).write(value);
     }
 
+    /// Write `values` into the contiguous slot run starting at `start`
+    /// (the bulk flush of a SIMD-compressed staging buffer: one
+    /// streaming store run instead of per-element scatter calls).
+    ///
+    /// # Safety
+    /// `start + values.len() <= len()`, and — as for
+    /// [`ScatterBuffer::write`] — no slot in the run may be written by
+    /// anyone else before `into_vec`.
+    pub unsafe fn write_slice(&self, start: usize, values: &[T])
+    where
+        T: Copy,
+    {
+        if let Some(shadow) = &self.shadow {
+            // Sanitized buffers keep per-slot tracking semantics: fall
+            // back to the checked per-element path.
+            for (j, &v) in values.iter().enumerate() {
+                let idx = start + j;
+                if idx >= self.slots.len() {
+                    shadow.report(SanitizerKind::OutOfBounds, idx);
+                    continue;
+                }
+                if shadow.written[idx].swap(1, Ordering::Relaxed) != 0 {
+                    shadow.report(SanitizerKind::WriteWriteRace, idx);
+                    continue;
+                }
+                (*self.slots[idx].get()).write(v);
+            }
+            return;
+        }
+        debug_assert!(
+            start + values.len() <= self.slots.len(),
+            "scatter write_slice out of bounds"
+        );
+        if values.is_empty() {
+            return;
+        }
+        let dst = self.slots[start].get() as *mut T;
+        std::ptr::copy_nonoverlapping(values.as_ptr(), dst, values.len());
+    }
+
     /// Consume the buffer, returning the first `len` slots as a `Vec`.
     ///
     /// # Safety

@@ -19,6 +19,17 @@ fn task_count(pool: &ThreadPool, n: usize, min_chunk: usize) -> usize {
     max_useful.min(pool.num_threads()).max(1)
 }
 
+/// Round `chunk` up to the next multiple of `align` (`align >= 1`).
+///
+/// Parallel chunk boundaries placed on SIMD-width multiples keep every
+/// chunk's vector main loop identical regardless of how many threads
+/// split the work, so lane-batched kernels produce thread-count- and
+/// lane-width-independent results without per-chunk epilogue drift.
+fn align_chunk(chunk: usize, align: usize) -> usize {
+    let align = align.max(1);
+    chunk.div_ceil(align) * align
+}
+
 /// Run `body` over `0..n` in parallel, invoking it once per chunk range.
 ///
 /// `body` receives half-open index ranges that exactly tile `0..n`.
@@ -26,6 +37,20 @@ fn task_count(pool: &ThreadPool, n: usize, min_chunk: usize) -> usize {
 /// single task suffices.
 pub fn parallel_for_chunks<F>(pool: &ThreadPool, n: usize, min_chunk: usize, body: F)
 where
+    F: Fn(Range<usize>) + Sync,
+{
+    parallel_for_chunks_aligned(pool, n, min_chunk, 1, body)
+}
+
+/// [`parallel_for_chunks`] with caller-supplied chunk alignment: every
+/// chunk boundary except the final `n` lands on a multiple of `align`.
+pub fn parallel_for_chunks_aligned<F>(
+    pool: &ThreadPool,
+    n: usize,
+    min_chunk: usize,
+    align: usize,
+    body: F,
+) where
     F: Fn(Range<usize>) + Sync,
 {
     let tasks = task_count(pool, n, min_chunk);
@@ -37,7 +62,7 @@ where
     }
     // Aim for a few chunks per task so dynamic scheduling can balance.
     let target_chunks = tasks * 4;
-    let chunk = (n.div_ceil(target_chunks)).max(min_chunk.max(1));
+    let chunk = align_chunk((n.div_ceil(target_chunks)).max(min_chunk.max(1)), align);
     let num_chunks = n.div_ceil(chunk);
     let next = AtomicUsize::new(0);
     let body = &body;
@@ -108,6 +133,25 @@ where
     M: Fn(Range<usize>, T) -> T + Sync,
     C: Fn(T, T) -> T,
 {
+    parallel_map_reduce_aligned(pool, n, min_chunk, 1, identity, map, combine)
+}
+
+/// [`parallel_map_reduce`] with caller-supplied chunk alignment (see
+/// [`parallel_for_chunks_aligned`]).
+pub fn parallel_map_reduce_aligned<T, M, C>(
+    pool: &ThreadPool,
+    n: usize,
+    min_chunk: usize,
+    align: usize,
+    identity: T,
+    map: M,
+    combine: C,
+) -> T
+where
+    T: Send + Sync + Clone,
+    M: Fn(Range<usize>, T) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
     let tasks = task_count(pool, n, min_chunk);
     if tasks <= 1 {
         if n == 0 {
@@ -116,7 +160,7 @@ where
         return map(0..n, identity);
     }
     let target_chunks = tasks * 4;
-    let chunk = (n.div_ceil(target_chunks)).max(min_chunk.max(1));
+    let chunk = align_chunk((n.div_ceil(target_chunks)).max(min_chunk.max(1)), align);
     let num_chunks = n.div_ceil(chunk);
     let next = AtomicUsize::new(0);
     let partials: Vec<parking_lot::Mutex<Option<T>>> =
@@ -264,6 +308,91 @@ mod tests {
             |a, b| a + b,
         );
         assert_eq!(v, 10);
+    }
+
+    #[test]
+    fn aligned_chunks_start_on_multiples() {
+        let p = pool();
+        let n = 100_003;
+        let align = 8;
+        let starts = parking_lot::Mutex::new(Vec::new());
+        parallel_for_chunks_aligned(&p, n, 64, align, |range| {
+            starts.lock().push((range.start, range.end));
+        });
+        let mut ranges = starts.into_inner();
+        ranges.sort_unstable();
+        // exact tiling
+        let mut expect_start = 0;
+        for &(s, e) in &ranges {
+            assert_eq!(s, expect_start);
+            assert!(e > s);
+            expect_start = e;
+        }
+        assert_eq!(expect_start, n);
+        // every boundary except the final n is a multiple of align
+        for &(s, e) in &ranges {
+            assert_eq!(s % align, 0);
+            assert!(e % align == 0 || e == n);
+        }
+    }
+
+    #[test]
+    fn aligned_map_reduce_matches_unaligned() {
+        let p = pool();
+        let n = 999_983usize; // prime, so boundaries would fall anywhere
+        let sum_ref: u64 = (0..n as u64).sum();
+        for align in [1usize, 8, 32] {
+            let sum = parallel_map_reduce_aligned(
+                &p,
+                n,
+                1024,
+                align,
+                0u64,
+                |range, acc| acc + range.map(|i| i as u64).sum::<u64>(),
+                |a, b| a + b,
+            );
+            assert_eq!(sum, sum_ref, "align={align}");
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        // Lane-batched chunk processing must give bit-identical results
+        // no matter how many threads split the range. Emulate a batched
+        // kernel whose per-chunk result depends on where SIMD groups
+        // start: with aligned chunking, group boundaries are global.
+        let n = 65_537usize;
+        let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+        let batched_sum = |range: Range<usize>, acc: u64| {
+            let mut acc = acc;
+            let mut i = range.start;
+            // SIMD-ish main loop over aligned groups of 8
+            while i + 8 <= range.end {
+                let mut g = 0u64;
+                for j in 0..8 {
+                    g = g.rotate_left(3) ^ data[i + j];
+                }
+                acc = acc.wrapping_add(g);
+                i += 8;
+            }
+            // scalar epilogue
+            for j in i..range.end {
+                acc = acc.wrapping_add(data[j].rotate_left(1));
+            }
+            acc
+        };
+        let mut results = Vec::new();
+        for threads in [1usize, 4, 16] {
+            let p = ThreadPool::new(threads);
+            let v = parallel_map_reduce_aligned(&p, n, 64, 8, 0u64, batched_sum, |a, b| {
+                a.wrapping_add(b)
+            });
+            results.push((threads, v));
+        }
+        let first = results[0].1;
+        for (threads, v) in results {
+            assert_eq!(v, first, "threads={threads}");
+        }
     }
 
     #[test]

@@ -33,12 +33,17 @@ pub mod histogram;
 pub mod iter;
 pub mod pool;
 pub mod scan;
+pub mod simd;
 pub mod sync;
 
 pub use histogram::parallel_histogram;
-pub use iter::{parallel_for, parallel_for_chunks, parallel_map_collect, parallel_map_reduce};
+pub use iter::{
+    parallel_for, parallel_for_chunks, parallel_for_chunks_aligned, parallel_map_collect,
+    parallel_map_reduce, parallel_map_reduce_aligned,
+};
 pub use pool::{PoolScope, ThreadPool};
 pub use scan::{exclusive_scan, inclusive_scan, parallel_exclusive_scan};
+pub use simd::{force_level, simd_level, SimdLevel};
 pub use sync::WaitGroup;
 
 /// Default minimum work per chunk before the primitives bother going

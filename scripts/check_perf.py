@@ -4,6 +4,7 @@
 Usage:
     python3 scripts/check_perf.py [CURRENT] [BASELINE]
     python3 scripts/check_perf.py --planner [CURRENT]
+    python3 scripts/check_perf.py --simd [CURRENT]
 
 CURRENT defaults to ./BENCH_hotpath.json (written by the `perfsmoke`
 bench binary) and BASELINE to bench/baselines/hotpath.json.
@@ -14,6 +15,15 @@ planner instead: in every grid cell, `--algo auto` must finish within
 15% of the best *fixed* backend's simulated time. The sweep is
 deterministic, so any excess regret is a planner (cost model) bug, not
 noise.
+
+With ``--simd``, CURRENT defaults to ./BENCH_simd.json (written by the
+`simdsweep` bench binary). The deterministic properties hard-fail:
+every leg must be bit-identical across dispatch levels, and the full
+pipeline must produce the same answer *and* the same simulated time at
+every level (SIMD is a wall-clock optimization only). Wall-clock
+speedups are advisory — the count and filter legs are expected to
+reach 4x over the unvectorized code shape, but shortfalls only WARN
+since wall time is noisy on shared runners.
 
 Gating policy
 -------------
@@ -94,9 +104,71 @@ def check_planner(argv):
     return 0
 
 
+# Legs the SIMD sweep must show this wall speedup on (warn-only).
+SIMD_TARGET_SPEEDUP = 4.0
+SIMD_TARGET_LEGS = ("count", "filter")
+SIMD_ALL_LEGS = ("count", "filter", "bipartition", "digitcount")
+
+
+def check_simd(argv):
+    current_path = argv[2] if len(argv) > 2 else "BENCH_simd.json"
+    current = load(current_path)
+
+    failures = []
+    warnings = []
+    if current.get("schema") != "simdsweep-v1":
+        failures.append(f"unexpected schema {current.get('schema')!r}")
+
+    legs = current.get("legs", {})
+    for name in SIMD_ALL_LEGS:
+        leg = legs.get(name)
+        if leg is None:
+            failures.append(f"legs.{name}: missing from sweep output")
+            continue
+        if leg.get("identical") is not True:
+            failures.append(f"legs.{name}: dispatch levels are not bit-identical")
+        speedup = leg.get("speedup")
+        if speedup is None:
+            failures.append(f"legs.{name}: missing speedup")
+            continue
+        line = f"legs.{name}: {current.get('widest')} vs off wall speedup {speedup:.2f}x"
+        if name in SIMD_TARGET_LEGS and speedup < SIMD_TARGET_SPEEDUP:
+            warnings.append(
+                f"{line} < {SIMD_TARGET_SPEEDUP:.0f}x target [wall-clock: warn only]"
+            )
+        else:
+            print(f"OK    {line}")
+
+    pipe = current.get("pipeline")
+    if pipe is None:
+        failures.append("pipeline: missing from sweep output")
+    else:
+        if pipe.get("identical") is not True:
+            failures.append("pipeline: off vs simd answer/sim-time mismatch")
+        elif pipe.get("sim_ns_off") != pipe.get("sim_ns_simd"):
+            failures.append(
+                f"pipeline: sim_ns drifted under SIMD "
+                f"({pipe.get('sim_ns_off')} -> {pipe.get('sim_ns_simd')})"
+            )
+        else:
+            print(f"OK    pipeline: bit-identical, sim_ns {pipe.get('sim_ns_off')}")
+
+    for w in warnings:
+        print(f"WARN  {w}")
+    for f in failures:
+        print(f"FAIL  {f}")
+    if failures:
+        print(f"\ncheck_perf --simd: {len(failures)} failure(s) in {current_path}")
+        return 1
+    print(f"check_perf --simd: OK ({len(warnings)} warning(s))")
+    return 0
+
+
 def main(argv):
     if len(argv) > 1 and argv[1] == "--planner":
         return check_planner(argv)
+    if len(argv) > 1 and argv[1] == "--simd":
+        return check_simd(argv)
     current_path = argv[1] if len(argv) > 1 else "BENCH_hotpath.json"
     baseline_path = argv[2] if len(argv) > 2 else "bench/baselines/hotpath.json"
     current = load(current_path)

@@ -545,6 +545,7 @@ fn main() {
                 decision.profile.distinct_ratio * 100.0,
                 decision.profile.dead_digits
             );
+            println!("planner: host simd dispatch = {}", decision.host_simd);
             for (backend, t) in &decision.estimates {
                 println!("  model {backend:<20} {t}");
             }

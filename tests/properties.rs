@@ -700,3 +700,197 @@ fn corrupted_pooled_region_is_quarantined() {
         "guaranteed corruption must quarantine the poisoned buffer, stats: {stats:?}"
     );
 }
+
+// ---------------------------------------------------------------------
+// SIMD dispatch: every level must be bit-identical to the scalar
+// reference, for every element type, input length (lane-multiple or
+// not), and key structure (NaN payloads, signed zeros, duplicate-heavy
+// splitter sets). `SELECT_SIMD=scalar` (the portable fallback) and
+// AVX2 must agree with each other and with the original scalar code.
+// ---------------------------------------------------------------------
+
+/// Every dispatch level this machine can run, `Off` (the original
+/// scalar code shape) first.
+fn simd_levels() -> Vec<gpu_selection::hpc_par::simd::SimdLevel> {
+    use gpu_selection::hpc_par::simd::{avx2_available, SimdLevel};
+    let mut levels = vec![SimdLevel::Off, SimdLevel::Scalar];
+    if avx2_available() {
+        levels.push(SimdLevel::Avx2);
+    }
+    levels
+}
+
+/// Tree lookups at every dispatch level, compared lane-for-lane.
+fn assert_descent_identical<T: SelectElement>(data: &[T], splitters: &mut Vec<T>) {
+    use gpu_selection::hpc_par::simd::force_level;
+    splitters.sort_unstable_by(|a, b| a.total_cmp(*b));
+    let tree = SearchTree::build(splitters);
+    let reference: Vec<u32> = data.iter().map(|&x| tree.lookup(x)).collect();
+    let mut out = vec![0u32; data.len()];
+    for level in simd_levels() {
+        force_level(Some(level));
+        tree.lookup_batch(data, &mut out);
+        force_level(None);
+        assert_eq!(out, reference, "descent diverged at dispatch {level}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simd_descent_matches_scalar_u32(
+        data in vec(any::<u32>(), 1..300),
+        raw_splitters in vec(any::<u32>(), 3..64),
+    ) {
+        // Round the splitter count down to `b - 1` for a power-of-two b.
+        let b = (raw_splitters.len() + 1).next_power_of_two() / 2;
+        let mut splitters = raw_splitters[..b - 1].to_vec();
+        assert_descent_identical(&data, &mut splitters);
+    }
+
+    #[test]
+    fn simd_descent_matches_scalar_u64(
+        data in vec(any::<u64>(), 1..300),
+        raw_splitters in vec(any::<u64>(), 3..64),
+    ) {
+        let b = (raw_splitters.len() + 1).next_power_of_two() / 2;
+        let mut splitters = raw_splitters[..b - 1].to_vec();
+        assert_descent_identical(&data, &mut splitters);
+    }
+
+    #[test]
+    fn simd_descent_matches_scalar_f32_all_bit_patterns(
+        bits in vec(any::<u32>(), 1..300),
+        raw_splitters in vec(-100.0f32..100.0, 3..64),
+    ) {
+        // Raw bit patterns cover NaN payloads, infinities, and both
+        // zeros; splitters stay finite so the tree is well-ordered.
+        let data: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let b = (raw_splitters.len() + 1).next_power_of_two() / 2;
+        let mut splitters = raw_splitters[..b - 1].to_vec();
+        assert_descent_identical(&data, &mut splitters);
+    }
+
+    #[test]
+    fn simd_descent_matches_scalar_duplicate_heavy(
+        picks in vec(0usize..4, 1..300),
+        sdup in vec(0usize..4, 7..8),
+    ) {
+        // Four distinct values and splitters drawn from the same tiny
+        // set: every bucket boundary is an equality-bucket candidate.
+        let values = [1.5f32, -0.0, 0.0, f32::NAN];
+        let data: Vec<f32> = picks.iter().map(|&i| values[i]).collect();
+        let mut splitters: Vec<f32> = sdup.iter().map(|&i| values[i % 3]).collect();
+        assert_descent_identical(&data, &mut splitters);
+    }
+
+    #[test]
+    fn simd_pivot_masks_and_compress_match_scalar(
+        keys in vec(any::<u32>(), 1..33),
+        pivot in any::<u32>(),
+        force_dups in any::<bool>(),
+    ) {
+        use gpu_selection::hpc_par::simd::{
+            compress_u32, mask_for_len, pivot_masks_u32, SimdLevel,
+        };
+        let keys: Vec<u32> = if force_dups {
+            keys.iter().map(|&k| k % 4).collect()
+        } else {
+            keys
+        };
+        let pivot = if force_dups { pivot % 4 } else { pivot };
+        let mut lt_ref = 0u32;
+        let mut eq_ref = 0u32;
+        for (i, &k) in keys.iter().enumerate() {
+            if k < pivot {
+                lt_ref |= 1 << i;
+            } else if k == pivot {
+                eq_ref |= 1 << i;
+            }
+        }
+        for level in simd_levels() {
+            if level == SimdLevel::Off {
+                continue; // the primitives exist only at scalar/avx2
+            }
+            let (lt, eq) = pivot_masks_u32(&keys, pivot, level);
+            prop_assert_eq!(lt, lt_ref, "lt mask diverged at {}", level);
+            prop_assert_eq!(eq, eq_ref, "eq mask diverged at {}", level);
+            for mask in [lt, eq, !(lt | eq) & mask_for_len(keys.len())] {
+                let expect: Vec<u32> = keys
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &k)| k)
+                    .collect();
+                let mut staging = [0u32; 32];
+                let cnt = compress_u32(&keys, mask, &mut staging, level);
+                prop_assert_eq!(
+                    &staging[..cnt],
+                    expect.as_slice(),
+                    "compress not stable/exact at {}",
+                    level
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_float_keys_match_scalar(bits in vec(any::<u32>(), 1..100)) {
+        use gpu_selection::hpc_par::simd::{lt_key_f32, sort_key_f32, SimdLevel};
+        use gpu_selection::sampleselect::element::{fill_lt_keys32, fill_sort_keys32};
+        let data: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let lt_ref: Vec<u32> = data.iter().map(|&v| lt_key_f32(v)).collect();
+        let sort_ref: Vec<u32> = data.iter().map(|&v| sort_key_f32(v)).collect();
+        let mut out = vec![0u32; data.len()];
+        for level in simd_levels() {
+            if level == SimdLevel::Off {
+                continue;
+            }
+            fill_lt_keys32(&data, &mut out, level);
+            prop_assert_eq!(&out, &lt_ref, "lt keys diverged at {}", level);
+            fill_sort_keys32(&data, &mut out, level);
+            prop_assert_eq!(&out, &sort_ref, "sort keys diverged at {}", level);
+        }
+    }
+
+    #[test]
+    fn simd_full_query_identical_across_forced_levels(
+        seed in any::<u64>(),
+        dup in any::<bool>(),
+    ) {
+        use gpu_selection::hpc_par::simd::force_level;
+        use gpu_selection::sampleselect::rng::SplitMix64;
+        let mut rng = SplitMix64::new(seed);
+        let n = 6000;
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                if dup {
+                    (rng.next_u64() % 7) as f32
+                } else {
+                    rng.next_f64() as f32 * 2.0 - 1.0
+                }
+            })
+            .collect();
+        let cfg = small_cfg();
+        let pool = ThreadPool::new(2);
+        let mut reference: Option<(u32, u64)> = None;
+        for level in simd_levels() {
+            let mut device = Device::new(v100(), &pool);
+            force_level(Some(level));
+            let r = sample_select_on_device(&mut device, &data, n / 2, &cfg);
+            force_level(None);
+            let r = r.expect("select succeeds");
+            let fp = (r.value.to_bits(), r.report.total_time.as_ns().to_bits());
+            match reference {
+                None => reference = Some(fp),
+                Some(ref_fp) => prop_assert_eq!(
+                    fp,
+                    ref_fp,
+                    "answer or simulated time diverged at dispatch {}",
+                    level
+                ),
+            }
+        }
+    }
+}

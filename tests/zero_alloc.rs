@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use gpu_selection::gpu_sim::arch::v100;
 use gpu_selection::gpu_sim::{Device, LaunchOrigin};
+use gpu_selection::hpc_par::simd;
 use gpu_selection::hpc_par::ThreadPool;
 use gpu_selection::sampleselect::count::{count_kernel_scoped, OracleBuf};
 use gpu_selection::sampleselect::filter::filter_kernel_scoped;
@@ -156,6 +157,31 @@ fn steady_state_hot_path_does_not_allocate() {
         "warm pool must serve every steady-state lease"
     );
     assert!(after.hits > before.hits, "the pass leased from the pool");
+
+    // Every SIMD dispatch level rides the same zero-allocation budget:
+    // the compress staging, key mirrors, and descent buffers live on
+    // the stack or in pre-sized workspace vectors, so forcing the
+    // scalar fallback or AVX2 must not add a single heap allocation —
+    // and must reproduce the exact same bucket size.
+    for level in [
+        simd::SimdLevel::Off,
+        simd::SimdLevel::Scalar,
+        simd::SimdLevel::Avx2,
+    ] {
+        if level == simd::SimdLevel::Avx2 && !simd::avx2_available() {
+            continue;
+        }
+        device.reset();
+        simd::force_level(Some(level));
+        let (k_lvl, lvl_allocs) = counted(|| one_level(&mut device, &mut ws, &data, &cfg));
+        simd::force_level(None);
+        assert_eq!(k_lvl, k1, "dispatch level {level} must be bit-identical");
+        assert_eq!(
+            lvl_allocs, 0,
+            "steady-state level at dispatch {level} allocated {lvl_allocs} times"
+        );
+    }
+    device.reset();
 
     // Full driver query: only the bounded report-assembly footprint
     // (kernel summaries + name strings + the tail-launch queue) may
