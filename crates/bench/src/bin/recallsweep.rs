@@ -1,0 +1,180 @@
+//! `recallsweep` — the approximate top-k recall/speed sweep.
+//!
+//! Runs the approximate top-k workload over a {distribution} x
+//! {k fraction} x {recall target} grid. Per cell it asks the planner
+//! for a bucket/oversample configuration hitting the target recall
+//! (`plan_for_recall`), runs the approximate kernel, measures the
+//! recall actually achieved against the exact top-k set, and times the
+//! exact fused top-k on a fresh device for comparison.
+//!
+//! Writes `BENCH_approx_topk.json` (schema `recallsweep-v1`) for
+//! `scripts/check_perf.py --approx-topk`, which fails CI when a cell
+//! misses its recall target or when the approximation stops beating
+//! the exact kernel at large k. The sweep is fully seeded and the
+//! simulator is deterministic, so both gates are noise-free.
+//!
+//! ```text
+//! cargo run --release --bin recallsweep [-- --full --threads N --csv]
+//! ```
+
+use gpu_sim::arch::v100;
+use gpu_sim::Device;
+use hpc_par::ThreadPool;
+use sampleselect::rng::SplitMix64;
+use sampleselect::topk::top_k_largest_on_device;
+use sampleselect::{approx_top_k_on_device, measure_recall, plan_for_recall, SampleSelectConfig};
+use select_bench::{HarnessArgs, Table};
+
+const DISTS: [&str; 3] = ["uniform", "exponential", "skewed"];
+const K_FRACS: [(&str, f64); 2] = [("small-k", 0.05), ("large-k", 0.25)];
+const TARGETS: [f64; 3] = [0.90, 0.95, 0.99];
+
+struct Cell {
+    dist: &'static str,
+    k_label: &'static str,
+    k: usize,
+    target: f64,
+    buckets: usize,
+    oversample: f64,
+    expected: f64,
+    measured: f64,
+    approx_us: f64,
+    exact_us: f64,
+}
+
+/// Continuous value distributions (essentially tie-free, so measured
+/// recall is unambiguous).
+fn gen_data(dist: &str, n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let u = rng.next_f64().max(1e-12);
+            let v = match dist {
+                "uniform" => u * 1e9,
+                "exponential" => -u.ln() * 1e6,
+                "skewed" => u.powi(4) * 1e9,
+                other => panic!("unknown distribution {other}"),
+            };
+            v as f32
+        })
+        .collect()
+}
+
+fn run_cell(
+    dist: &'static str,
+    k_label: &'static str,
+    k_frac: f64,
+    target: f64,
+    n: usize,
+    seed: u64,
+    pool: &ThreadPool,
+) -> Cell {
+    let data = gen_data(dist, n, seed);
+    let k = ((n as f64 * k_frac) as usize).max(1);
+    let cfg = SampleSelectConfig::default();
+    let arch = v100();
+
+    let (acfg, expected) = plan_for_recall(n, k, target);
+    let mut device = Device::new(arch.clone(), pool);
+    let mut approx = approx_top_k_on_device(&mut device, &data, k, &acfg, &cfg)
+        .unwrap_or_else(|e| panic!("{dist}/{k_label}/{target}: approx errored: {e}"));
+    let measured = measure_recall(&data, &mut approx);
+    let approx_us = approx.report.total_time.as_us();
+
+    let mut device = Device::new(arch, pool);
+    let exact = top_k_largest_on_device(&mut device, &data, k, &cfg)
+        .unwrap_or_else(|e| panic!("{dist}/{k_label}/{target}: exact errored: {e}"));
+    let exact_us = exact.report.total_time.as_us();
+
+    Cell {
+        dist,
+        k_label,
+        k,
+        target,
+        buckets: acfg.buckets,
+        oversample: acfg.oversample,
+        expected,
+        measured,
+        approx_us,
+        exact_us,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let pool = ThreadPool::new(args.threads.unwrap_or(4));
+    let n: usize = if args.full { 1 << 22 } else { 1 << 21 };
+    let seed = 0x5eed_cafe;
+
+    let mut cells = Vec::new();
+    for dist in DISTS {
+        for (k_label, k_frac) in K_FRACS {
+            for target in TARGETS {
+                cells.push(run_cell(dist, k_label, k_frac, target, n, seed, &pool));
+            }
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "dist",
+        "k",
+        "target",
+        "expected",
+        "measured",
+        "buckets",
+        "approx_us",
+        "exact_us",
+        "speedup",
+    ]);
+    let mut rows_json = Vec::new();
+    for c in &cells {
+        let speedup = c.exact_us / c.approx_us;
+        rows_json.push(format!(
+            "{{\"dist\": \"{}\", \"k_label\": \"{}\", \"k\": {}, \"target\": {}, \
+             \"expected_recall\": {:.6}, \"measured_recall\": {:.6}, \
+             \"buckets\": {}, \"oversample\": {:.4}, \
+             \"approx_us\": {:.3}, \"exact_us\": {:.3}}}",
+            c.dist,
+            c.k_label,
+            c.k,
+            c.target,
+            c.expected,
+            c.measured,
+            c.buckets,
+            c.oversample,
+            c.approx_us,
+            c.exact_us
+        ));
+        t.row(vec![
+            c.dist.to_string(),
+            format!("{} ({})", c.k, c.k_label),
+            format!("{:.2}", c.target),
+            format!("{:.4}", c.expected),
+            format!("{:.4}", c.measured),
+            c.buckets.to_string(),
+            format!("{:.1}", c.approx_us),
+            format!("{:.1}", c.exact_us),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"recallsweep-v1\",\n  \"n\": {n},\n  \"seed\": {seed},\n  \
+         \"cells\": [\n    {}\n  ]\n}}\n",
+        rows_json.join(",\n    ")
+    );
+    std::fs::write("BENCH_approx_topk.json", &json).expect("write BENCH_approx_topk.json");
+
+    println!(
+        "Approximate top-k recall sweep (Tesla V100, n = 2^{})\n",
+        n.trailing_zeros()
+    );
+    if args.csv {
+        print!("{}", t.render_csv());
+    } else {
+        print!("{}", t.render());
+    }
+    println!();
+    println!("speedup = exact fused top-k sim-time / approximate sim-time per cell.");
+    println!("BENCH_approx_topk.json written; gate with scripts/check_perf.py --approx-topk.");
+}

@@ -5,15 +5,14 @@
 //! supports, interleaved per rep so machine drift hits all levels
 //! equally:
 //!
-//! * **count**       — batched search-tree descent (`lookup_batch`)
-//!                     feeding a 256-bucket histogram;
-//! * **filter**      — oracle-byte compare-mask + stable compress of
-//!                     the matching lanes (the single-bucket filter
-//!                     fast path);
+//! * **count** — batched search-tree descent (`lookup_batch`)
+//!   feeding a 256-bucket histogram;
+//! * **filter** — oracle-byte compare-mask + stable compress of
+//!   the matching lanes (the single-bucket filter fast path);
 //! * **bipartition** — three-way pivot masks + masked compress into
-//!                     smaller/equal/larger outputs;
-//! * **digitcount**  — float→sort-key conversion + radix digit
-//!                     histogram.
+//!   smaller/equal/larger outputs;
+//! * **digitcount** — float→sort-key conversion + radix digit
+//!   histogram.
 //!
 //! Levels: `off` (the original scalar code shape), `scalar` (the
 //! portable unrolled fallback primitives) and `avx2` (when the CPU has
@@ -140,12 +139,7 @@ fn filter_leg(bits: &[u32], oracle: &[u8], out: &mut [u32], level: SimdLevel) ->
 }
 
 /// Three-way pivot masks + masked compress (the bipartition hot loop).
-fn bipartition_leg(
-    bits: &[u32],
-    pivot: u32,
-    outs: &mut [Vec<u32>; 3],
-    level: SimdLevel,
-) -> u64 {
+fn bipartition_leg(bits: &[u32], pivot: u32, outs: &mut [Vec<u32>; 3], level: SimdLevel) -> u64 {
     let mut cursors = [0usize; 3];
     if level == SimdLevel::Off {
         for &k in bits {
@@ -169,8 +163,7 @@ fn bipartition_leg(
             let gt = !(lt | eq) & simd::mask_for_len(len);
             for (lane, mask) in [(0usize, lt), (1, eq), (2, gt)] {
                 let cnt = simd::compress_u32(group, mask, &mut staging, level);
-                outs[lane][cursors[lane]..cursors[lane] + cnt]
-                    .copy_from_slice(&staging[..cnt]);
+                outs[lane][cursors[lane]..cursors[lane] + cnt].copy_from_slice(&staging[..cnt]);
                 cursors[lane] += cnt;
             }
             i += len;
@@ -258,8 +251,9 @@ fn main() {
     let (count_stats, count_ok) = run_leg(&levels, reps, |lvl| count_leg(&data, &tree, lvl));
 
     let mut filter_out = vec![0u32; n];
-    let (filter_stats, filter_ok) =
-        run_leg(&levels, reps, |lvl| filter_leg(&bits, &oracle, &mut filter_out, lvl));
+    let (filter_stats, filter_ok) = run_leg(&levels, reps, |lvl| {
+        filter_leg(&bits, &oracle, &mut filter_out, lvl)
+    });
 
     let mut part_outs = [vec![0u32; n], vec![0u32; n], vec![0u32; n]];
     let (part_stats, part_ok) = run_leg(&levels, reps, |lvl| {

@@ -174,8 +174,7 @@ pub fn count_kernel_scoped<T: SelectElement>(
                         // tree in lock-step); scalar per-element lookup
                         // when SELECT_SIMD=off.
                         tree.lookup_batch(&data[idx..idx + wlen], &mut warp_buckets[..wlen]);
-                        for lane in 0..wlen {
-                            let bucket = warp_buckets[lane];
+                        for (lane, &bucket) in warp_buckets[..wlen].iter().enumerate() {
                             local[bucket as usize] += 1;
                             // SAFETY: each element index is owned by
                             // exactly one block chunk.

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod approx;
+pub mod approx_topk;
 pub mod bitonic;
 pub mod count;
 pub mod cpu;
@@ -46,6 +47,7 @@ pub mod multiselect;
 pub mod obs;
 pub mod params;
 pub mod planner;
+pub mod quantile_stream;
 pub mod quickselect;
 pub mod radix;
 pub mod recursion;
@@ -64,17 +66,27 @@ pub mod verify;
 pub mod workspace;
 
 pub use approx::{approx_select, approx_select_on_device, ApproxResult};
+pub use approx_topk::{
+    approx_top_k, approx_top_k_on_device, approx_top_k_with_workspace, expected_recall,
+    k_prime_for_recall, measure_recall, plan_for_recall, ApproxTopKConfig, ApproxTopKResult,
+};
 pub use element::SelectElement;
 pub use instrument::{ResilienceEvent, ResilienceEvents, SelectReport};
 pub use kv::{zip_pairs, Pair};
-pub use multiselect::{multi_select, multi_select_on_device, quantiles, MultiSelectResult};
+pub use multiselect::{
+    multi_select, multi_select_on_device, quantile_ranks, quantiles, MultiSelectResult,
+};
 pub use obs::{
     MetricsRegistry, MetricsSnapshot, ObsReport, ObsSession, QuerySpan, SpanGuard, SpanKind,
 };
 pub use params::{AtomicScope, ConfigError, SampleSelectConfig};
 pub use planner::{
-    auto_select_on_device, auto_select_with_workspace, plan_rank_query, plan_topk_query,
-    profile_data, DataProfile, PlanDecision, PlanSignals, PlannedBackend,
+    auto_select_on_device, auto_select_with_workspace, plan_approx_topk_query, plan_rank_query,
+    plan_topk_query, profile_data, DataProfile, PlanDecision, PlanSignals, PlannedBackend,
+};
+pub use quantile_stream::{
+    rank_for_prob, run_quantile_stream, QuantileStream, QuantileStreamConfig, QuantileStreamRun,
+    WindowQuantiles, WindowSpec, DEFAULT_PROBS,
 };
 pub use quickselect::{bipartition_on_device, quick_select, quick_select_on_device};
 pub use radix::{
@@ -124,6 +136,13 @@ pub enum SelectError {
     /// Input validation found a NaN (only with
     /// [`SampleSelectConfig::check_input`]).
     NanInput { index: usize },
+    /// A caller-supplied argument is outside the operation's domain
+    /// (e.g. a quantile count `q < 2` or `q > n`). Permanent: retrying
+    /// with the same argument cannot help.
+    InvalidArgument {
+        /// Which argument was rejected and why.
+        what: String,
+    },
     /// The recursion failed to converge within its depth or work budget
     /// — degenerate splitter draws, or an internal bug. The resilient
     /// driver treats this as a signal to fall back to a different
@@ -194,6 +213,9 @@ impl std::fmt::Display for SelectError {
             SelectError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
             SelectError::NanInput { index } => {
                 write!(f, "input contains NaN at index {index}")
+            }
+            SelectError::InvalidArgument { what } => {
+                write!(f, "invalid argument: {what}")
             }
             SelectError::RecursionLimit => write!(f, "selection recursion failed to converge"),
             SelectError::DeviceFault(e) => write!(f, "device fault: {e}"),
@@ -296,6 +318,9 @@ mod tests {
             SelectError::EmptyInput,
             SelectError::RankOutOfRange { rank: 1, len: 1 },
             SelectError::NanInput { index: 0 },
+            SelectError::InvalidArgument {
+                what: "q = 1 quantile buckets".to_string(),
+            },
             SelectError::RecursionLimit,
             SelectError::SharedOutOfBounds {
                 kernel: "bitonic-ref",

@@ -215,18 +215,42 @@ pub fn multi_select<T: SelectElement>(
     multi_select_on_device(&mut device, data, ranks, cfg)
 }
 
+/// The `q - 1` target ranks of the `q`-quantiles of an input of length
+/// `n`. Rejects the out-of-domain shapes instead of clamping: `q < 2`
+/// selects nothing meaningful, and `q > n` would clamp several targets
+/// onto the same rank (duplicate work masquerading as distinct
+/// quantiles) — the same bound the `selectd` admission path enforces.
+/// With `2 <= q <= n` the ranks `i * n / q` are strictly increasing
+/// (consecutive targets differ by at least `floor(n / q) >= 1`), so the
+/// returned list is duplicate-free by construction.
+pub fn quantile_ranks(n: usize, q: usize) -> Result<Vec<usize>, SelectError> {
+    if n == 0 {
+        return Err(SelectError::EmptyInput);
+    }
+    if q < 2 {
+        return Err(SelectError::InvalidArgument {
+            what: format!("q = {q} quantile buckets (need at least 2)"),
+        });
+    }
+    if q > n {
+        return Err(SelectError::InvalidArgument {
+            what: format!("q = {q} quantile buckets for input of length {n} (need q <= n)"),
+        });
+    }
+    Ok((1..q).map(|i| i * n / q).collect())
+}
+
 /// Convenience: the `q`-quantiles of the input (e.g. `q = 100` for
-/// percentiles p1..p99). Returns `q - 1` values.
+/// percentiles p1..p99). Returns `q - 1` values. Errors with
+/// [`SelectError::EmptyInput`] on an empty input and
+/// [`SelectError::InvalidArgument`] when `q < 2` or `q > n` (see
+/// [`quantile_ranks`]).
 pub fn quantiles<T: SelectElement>(
     data: &[T],
     q: usize,
     cfg: &SampleSelectConfig,
 ) -> Result<MultiSelectResult<T>, SelectError> {
-    assert!(q >= 2, "need at least 2 quantile buckets");
-    let n = data.len();
-    let ranks: Vec<usize> = (1..q)
-        .map(|i| (i * n / q).min(n.saturating_sub(1)))
-        .collect();
+    let ranks = quantile_ranks(data.len(), q)?;
     multi_select(data, &ranks, cfg)
 }
 
@@ -325,5 +349,57 @@ mod tests {
         let data = uniform(100, 8);
         let err = multi_select(&data, &[5, 100], &SampleSelectConfig::default()).unwrap_err();
         assert!(matches!(err, SelectError::RankOutOfRange { .. }));
+    }
+
+    #[test]
+    fn quantiles_rejects_degenerate_q_without_panicking() {
+        // Pre-fix code asserted q >= 2 (a panic in a library path).
+        let data = uniform(100, 9);
+        let cfg = SampleSelectConfig::default();
+        for q in [0, 1] {
+            let err = quantiles(&data, q, &cfg).unwrap_err();
+            assert!(
+                matches!(err, SelectError::InvalidArgument { .. }),
+                "q={q}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_rejects_q_above_n() {
+        // Pre-fix code clamped the ranks, silently returning duplicate
+        // "quantiles"; the server-side admission bound is 2 <= q <= n.
+        let data = uniform(10, 10);
+        let err = quantiles(&data, 11, &SampleSelectConfig::default()).unwrap_err();
+        match err {
+            SelectError::InvalidArgument { what } => {
+                assert!(what.contains("11"), "unexpected message: {what}")
+            }
+            other => panic!("expected InvalidArgument, got {other}"),
+        }
+    }
+
+    #[test]
+    fn quantiles_of_empty_input_is_empty_input_error() {
+        let err = quantiles::<f32>(&[], 4, &SampleSelectConfig::default()).unwrap_err();
+        assert_eq!(err, SelectError::EmptyInput);
+    }
+
+    #[test]
+    fn quantile_ranks_are_strictly_increasing_over_valid_domain() {
+        for n in [2usize, 3, 7, 100, 1017] {
+            for q in [2usize, 3, n / 2 + 1, n]
+                .iter()
+                .filter(|&&q| (2..=n).contains(&q))
+            {
+                let ranks = quantile_ranks(n, *q).unwrap();
+                assert_eq!(ranks.len(), q - 1, "n={n} q={q}");
+                assert!(
+                    ranks.windows(2).all(|w| w[0] < w[1]),
+                    "duplicate ranks for n={n} q={q}: {ranks:?}"
+                );
+                assert!(*ranks.last().unwrap() < n);
+            }
+        }
     }
 }

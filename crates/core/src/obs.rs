@@ -120,10 +120,21 @@ pub enum Counter {
     /// Planner: decisions where live obs signals overrode the analytic
     /// cost model's first choice.
     PlannerOverrides,
+    /// Planner: top-k queries routed to the bucketed approximate
+    /// backend instead of the exact fused recursion.
+    PlannerApproxTopk,
+    /// Workloads: approximate top-k queries executed (any entry point).
+    ApproxTopkQueries,
+    /// Workloads: quantile-telemetry windows finalized (tumbling or
+    /// sliding) by the streaming quantile engine.
+    QuantileWindows,
+    /// Workloads: quantile-stream checkpoints persisted by the
+    /// telemetry engine (one per completed window boundary).
+    QuantileCheckpoints,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 32] = [
         Counter::Queries,
         Counter::KernelLaunches,
         Counter::RecursionLevels,
@@ -152,6 +163,10 @@ impl Counter {
         Counter::PlannerQuick,
         Counter::PlannerTopk,
         Counter::PlannerOverrides,
+        Counter::PlannerApproxTopk,
+        Counter::ApproxTopkQueries,
+        Counter::QuantileWindows,
+        Counter::QuantileCheckpoints,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -185,6 +200,10 @@ impl Counter {
             Counter::PlannerQuick => "select_planner_quick_total",
             Counter::PlannerTopk => "select_planner_topk_total",
             Counter::PlannerOverrides => "select_planner_overrides_total",
+            Counter::PlannerApproxTopk => "select_planner_approx_topk_total",
+            Counter::ApproxTopkQueries => "select_approx_topk_queries_total",
+            Counter::QuantileWindows => "select_quantile_windows_total",
+            Counter::QuantileCheckpoints => "select_quantile_checkpoints_total",
         }
     }
 }

@@ -65,6 +65,11 @@ pub enum PlannedBackend {
     /// Fused top-k extraction ([`crate::topk`]) — only planned for
     /// top-k-shaped queries, never for plain rank selection.
     TopK,
+    /// Bucketed approximate top-k ([`crate::approx_topk`]) — only
+    /// planned for *approximate* top-k queries (a recall target below
+    /// 1), where the bucket-parallel local phase beats the exact fused
+    /// recursion at large `k`.
+    ApproxTopK,
 }
 
 impl PlannedBackend {
@@ -75,6 +80,7 @@ impl PlannedBackend {
             PlannedBackend::Quick => "quickselect",
             PlannedBackend::Radix => "radixselect",
             PlannedBackend::TopK => "topk-sampleselect",
+            PlannedBackend::ApproxTopK => "approx-topk",
         }
     }
 
@@ -85,6 +91,7 @@ impl PlannedBackend {
             PlannedBackend::Quick => Counter::PlannerQuick,
             PlannedBackend::Radix => Counter::PlannerRadix,
             PlannedBackend::TopK => Counter::PlannerTopk,
+            PlannedBackend::ApproxTopK => Counter::PlannerApproxTopk,
         }
     }
 
@@ -466,6 +473,31 @@ pub fn radix_estimate<T: SelectElement>(
     )
 }
 
+/// Analytic bucketed-approximate-top-k estimate: the local phase is
+/// `b` *concurrent* per-bucket recursions (critical path = one bucket
+/// over `n/b` elements), then one exact finish pass over the
+/// `b · k'` candidate union.
+pub fn approx_topk_estimate<T: SelectElement>(
+    arch: &GpuArchitecture,
+    n: u64,
+    k: u64,
+    acfg: &crate::approx_topk::ApproxTopKConfig,
+    cfg: &SampleSelectConfig,
+    profile: &DataProfile,
+) -> SimTime {
+    let b = (acfg.buckets as u64).clamp(1, n.max(1));
+    let k_prime = acfg.k_prime(k as usize) as u64;
+    let bucket = n.div_ceil(b);
+    // Local phase: one bucket's rank recursion plus its k' fused write.
+    let local = sample_select_estimate::<T>(arch, bucket, cfg, profile)
+        + SimTime::from_ns(k_prime as f64 * T::BYTES as f64 / arch.bytes_per_ns());
+    // Finish: exact fused top-k over the union (k of b·k' candidates).
+    let union = (b * k_prime).min(n);
+    let finish = sample_select_estimate::<T>(arch, union, cfg, profile)
+        + SimTime::from_ns(k as f64 * T::BYTES as f64 / arch.bytes_per_ns());
+    local + finish
+}
+
 // ---------------------------------------------------------------------
 // Planning
 // ---------------------------------------------------------------------
@@ -489,6 +521,7 @@ fn host_simd_rank(b: PlannedBackend) -> u8 {
         PlannedBackend::Quick => 2,
         PlannedBackend::Radix => 1,
         PlannedBackend::TopK => 0,
+        PlannedBackend::ApproxTopK => 0,
     }
 }
 
@@ -528,7 +561,9 @@ pub fn plan_rank_query_with_signals<T: SelectElement>(
                 PlannedBackend::Sample => sample_select_estimate::<T>(arch, n, cfg, &profile),
                 PlannedBackend::Quick => quick_select_estimate::<T>(arch, n, cfg, &profile),
                 PlannedBackend::Radix => radix_estimate::<T>(arch, n, cfg, &profile),
-                PlannedBackend::TopK => unreachable!("top-k is not a rank candidate"),
+                PlannedBackend::TopK | PlannedBackend::ApproxTopK => {
+                    unreachable!("top-k backends are not rank candidates")
+                }
             };
             (b, t)
         })
@@ -631,6 +666,35 @@ pub fn plan_topk_query<T: SelectElement>(
     rank_plan
 }
 
+/// Plan an *approximate* top-k query (a recall target below 1): the
+/// bucketed approximate backend vs the exact fused recursion.
+///
+/// The exact recursion trivially meets every recall target, so the
+/// approximation is chosen only where it actually pays: when the
+/// bucket-parallel estimate undercuts the exact fused estimate —
+/// which happens at large `k`, where the exact filter's candidate
+/// copies dominate. Deterministic per (data, k, shape, arch, config).
+pub fn plan_approx_topk_query<T: SelectElement>(
+    arch: &GpuArchitecture,
+    data: &[T],
+    k: usize,
+    acfg: &crate::approx_topk::ApproxTopKConfig,
+    cfg: &SampleSelectConfig,
+) -> PlanDecision {
+    let mut plan = plan_topk_query(arch, data, k, cfg);
+    let profile = plan.profile;
+    let n = data.len() as u64;
+    let approx = approx_topk_estimate::<T>(arch, n, k as u64, acfg, cfg, &profile);
+    let exact = plan.estimate_for(plan.backend).unwrap_or(SimTime::ZERO);
+    plan.estimates.push((PlannedBackend::ApproxTopK, approx));
+    if approx < exact && acfg.buckets > 1 {
+        plan.model_choice = PlannedBackend::ApproxTopK;
+        plan.backend = PlannedBackend::ApproxTopK;
+        obs::counter_add(Counter::PlannerApproxTopk, 1);
+    }
+    plan
+}
+
 // ---------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------
@@ -693,6 +757,33 @@ pub fn run_planned<T: SelectElement>(
             Ok(SelectResult {
                 value: threshold,
                 report,
+            })
+        }
+        PlannedBackend::ApproxTopK => {
+            // A rank query on the approximate backend: extract an
+            // approximate top-(n-rank) set and return its threshold.
+            // The value is NOT exact — callers route here only for
+            // queries that declared an approximation budget (`selectd`
+            // tags the response status accordingly).
+            let n = data.len();
+            if n == 0 {
+                return Err(SelectError::EmptyInput);
+            }
+            if rank >= n {
+                return Err(SelectError::RankOutOfRange { rank, len: n });
+            }
+            let k = n - rank;
+            let res = crate::approx_topk::approx_top_k_with_workspace(
+                device,
+                data,
+                k,
+                &crate::approx_topk::ApproxTopKConfig::default(),
+                cfg,
+                ws,
+            )?;
+            Ok(SelectResult {
+                value: res.threshold,
+                report: res.report,
             })
         }
     }

@@ -295,9 +295,7 @@ fn bipartition_kernel<T: SelectElement>(
                             simd::pivot_masks_u64(&keys64[..len], pivot_key, level)
                         };
                         let gt = !(lt | eq) & lanes;
-                        for (mask, cursor) in
-                            [(lt, &mut s), (eq, &mut e), (gt, &mut l)]
-                        {
+                        for (mask, cursor) in [(lt, &mut s), (eq, &mut e), (gt, &mut l)] {
                             if mask == 0 {
                                 continue;
                             }

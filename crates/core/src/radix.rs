@@ -143,8 +143,7 @@ pub fn radix_digit_count_kernel<T: SelectElement>(
                                 warp_buckets[lane] = ((warp_keys64[lane] >> shift) & 0xff) as u32;
                             }
                         }
-                        for lane in 0..wlen {
-                            let digit = warp_buckets[lane];
+                        for (lane, &digit) in warp_buckets[..wlen].iter().enumerate() {
                             local[digit as usize] += 1;
                             // SAFETY: each element index is owned by
                             // exactly one block chunk.

@@ -302,7 +302,11 @@ pub fn resilient_select_planned<T: SelectElement>(
     let first = match planned {
         // A top-k plan reaching the rank path means "threshold via the
         // sample recursion" — same kernels, same chain head.
-        PlannedBackend::Sample | PlannedBackend::TopK => Backend::SampleSelect,
+        // (the approximate top-k's local and finish phases are the same
+        // sample recursion, so it shares the chain head too).
+        PlannedBackend::Sample | PlannedBackend::TopK | PlannedBackend::ApproxTopK => {
+            Backend::SampleSelect
+        }
         PlannedBackend::Quick => Backend::QuickSelect,
         PlannedBackend::Radix => Backend::RadixSelect,
     };

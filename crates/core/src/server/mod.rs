@@ -58,11 +58,18 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::approx::approx_select_on_device;
+use crate::approx_topk::{approx_top_k_with_workspace, plan_for_recall};
 use crate::element::{reference_select, SelectElement};
 use crate::multiselect::multi_select_with_workspace;
 use crate::obs::{Counter, MetricsRegistry, MetricsSnapshot, ObsSession, SpanGuard};
 use crate::params::SampleSelectConfig;
-use crate::planner::{plan_rank_query_with_signals, plan_topk_query, PlanSignals, PlannedBackend};
+use crate::planner::{
+    plan_approx_topk_query, plan_rank_query_with_signals, plan_topk_query, PlanSignals,
+    PlannedBackend,
+};
+use crate::quantile_stream::{
+    run_quantile_stream, QuantileStreamConfig, WindowSpec, DEFAULT_PROBS,
+};
 use crate::resilient::{
     resilient_select_on_device, resilient_select_planned, Outcome, ResilienceConfig,
 };
@@ -92,6 +99,29 @@ pub enum QueryKind {
     /// Out-of-core selection over the dataset in `chunk_len` chunks,
     /// checkpointed to the server spool (drain-safe).
     Stream { rank: u64, chunk_len: u64 },
+    /// Approximate top-`k` threshold with an expected-recall target:
+    /// the planner picks a bucketed two-phase pass when the cost model
+    /// says it beats the exact fused kernel, otherwise serves exactly.
+    /// `recall_bits` is the `f32` bit pattern of the target in `(0, 1]`
+    /// (bits, not a float, so `QueryKind` stays `Copy + Eq`).
+    ApproxTopK { k: u64, recall_bits: u32 },
+    /// Continuous quantile telemetry (p50/p90/p99/p999) over the
+    /// dataset streamed in `chunk_len` chunks: windows of `window_len`
+    /// elements re-evaluated every `slide` elements, checkpointed to
+    /// the server spool (drain-safe, resumes bit-identically).
+    QuantileStream {
+        window_len: u64,
+        slide: u64,
+        chunk_len: u64,
+    },
+}
+
+impl QueryKind {
+    /// Decode an [`QueryKind::ApproxTopK`] recall target from its bit
+    /// pattern.
+    pub fn recall_target(bits: u32) -> f32 {
+        f32::from_bits(bits)
+    }
 }
 
 /// One client query.
@@ -129,6 +159,17 @@ pub enum QueryStatus {
     TopK { threshold: f32, k: u64 },
     /// Quantile values (q-1 of them).
     Quantiles { values: Vec<f32> },
+    /// Approximate top-k threshold with the analytic expected recall of
+    /// the served configuration (1.0 when the planner served exactly).
+    ApproxTopK {
+        threshold: f32,
+        k: u64,
+        expected_recall: f32,
+    },
+    /// Quantile-telemetry stream outcome: how many windows closed and
+    /// the final window's values (one per tracked probability,
+    /// p50/p90/p99/p999 order).
+    QuantileStream { windows: u64, values: Vec<f32> },
     /// A streaming query interrupted by a hard drain; re-submit the
     /// same query after restart to resume from `resume_token`.
     Checkpointed { resume_token: String },
@@ -142,7 +183,10 @@ impl QueryStatus {
     pub fn is_exact(&self) -> bool {
         matches!(
             self,
-            QueryStatus::Exact { .. } | QueryStatus::TopK { .. } | QueryStatus::Quantiles { .. }
+            QueryStatus::Exact { .. }
+                | QueryStatus::TopK { .. }
+                | QueryStatus::Quantiles { .. }
+                | QueryStatus::QuantileStream { .. }
         )
     }
 }
@@ -702,6 +746,52 @@ impl SelectServer {
                     });
                 }
             }
+            QueryKind::ApproxTopK { k, recall_bits } => {
+                if k == 0 || k > n {
+                    return Err(SelectError::RankOutOfRange {
+                        rank: k as usize,
+                        len: n as usize,
+                    });
+                }
+                let target = f32::from_bits(recall_bits);
+                if !target.is_finite() || target <= 0.0 || target > 1.0 {
+                    return Err(SelectError::InvalidArgument {
+                        what: format!("recall target {target} outside (0, 1]"),
+                    });
+                }
+            }
+            QueryKind::QuantileStream {
+                window_len,
+                slide,
+                chunk_len,
+            } => {
+                // Window parameters ride one u64 wire slot packed as
+                // two u32 halves, so each half must fit.
+                if window_len == 0
+                    || window_len > u64::from(u32::MAX)
+                    || slide == 0
+                    || slide > window_len
+                    || chunk_len == 0
+                {
+                    return Err(SelectError::InvalidArgument {
+                        what: format!(
+                            "quantile-stream window {window_len}/slide {slide}/chunk {chunk_len}"
+                        ),
+                    });
+                }
+                if window_len > n {
+                    return Err(SelectError::RankOutOfRange {
+                        rank: window_len as usize,
+                        len: n as usize,
+                    });
+                }
+                if shared.cfg.spool_dir.is_none() {
+                    return Err(SelectError::Overloaded {
+                        reason: "streaming-disabled",
+                        tenant: req.tenant,
+                    });
+                }
+            }
         }
 
         // Per-tenant token bucket.
@@ -767,6 +857,17 @@ impl SelectServer {
                     k as usize,
                     &shared.cfg.select,
                 )),
+                QueryKind::ApproxTopK { k, recall_bits } => {
+                    let target = f64::from(f32::from_bits(recall_bits));
+                    let (acfg, _) = plan_for_recall(data.len(), k as usize, target);
+                    Some(plan_approx_topk_query(
+                        &shared.cfg.arch,
+                        &data,
+                        k as usize,
+                        &acfg,
+                        &shared.cfg.select,
+                    ))
+                }
                 _ => None,
             }
         } else {
@@ -1340,10 +1441,8 @@ fn run_query(
             (QueryStatus::TopK { threshold, k }, Some("cpu-sort"), false)
         }
         QueryKind::Quantiles { q } => {
-            let n = data.len();
-            let ranks: Vec<usize> = (1..q as usize)
-                .map(|i| (i * n / q as usize).min(n.saturating_sub(1)))
-                .collect();
+            let ranks = crate::multiselect::quantile_ranks(data.len(), q as usize)
+                .expect("q bounds validated at admission");
             let mut healthy = true;
             for attempt in 0..=cfg.resilience.retry.max_retries {
                 device.reset();
@@ -1367,6 +1466,167 @@ fn run_query(
             let values = ranks.iter().map(|&r| sorted[r]).collect();
             shared.tenant_count(&job.tenant, |c| c.exact += 1);
             (QueryStatus::Quantiles { values }, Some("cpu-sort"), false)
+        }
+        QueryKind::ApproxTopK { k, recall_bits } => {
+            let target = f64::from(f32::from_bits(recall_bits));
+            let (acfg, _) = plan_for_recall(data.len(), k as usize, target);
+            // Honor the admission-time cost model: when the exact fused
+            // pass is at least as fast as the bucketed two-phase pass,
+            // approximation buys nothing — serve exactly (recall 1.0).
+            let serve_exact = job.plan.is_some_and(|p| p != PlannedBackend::ApproxTopK);
+            let mut healthy = true;
+            for attempt in 0..=cfg.resilience.retry.max_retries {
+                device.reset();
+                let attempt_cfg = select_cfg
+                    .clone()
+                    .with_seed(select_cfg.seed.wrapping_add(u64::from(attempt)));
+                let (outcome, recall, label) = if serve_exact {
+                    let r = top_k_largest_on_device(device, data, k as usize, &attempt_cfg);
+                    (r.map(|res| res.threshold), 1.0f32, "topk")
+                } else {
+                    let r = approx_top_k_with_workspace(
+                        device,
+                        data,
+                        k as usize,
+                        &acfg,
+                        &attempt_cfg,
+                        ws,
+                    );
+                    match r {
+                        Ok(res) => (Ok(res.threshold), res.expected_recall as f32, "approx-topk"),
+                        Err(e) => (Err(e), 0.0, "approx-topk"),
+                    }
+                };
+                let fault = device.take_fault();
+                if let (Ok(threshold), None) = (outcome, fault) {
+                    shared.tenant_count(&job.tenant, |c| {
+                        if serve_exact {
+                            c.exact += 1;
+                        } else {
+                            c.approximate += 1;
+                        }
+                    });
+                    return (
+                        QueryStatus::ApproxTopK {
+                            threshold,
+                            k,
+                            expected_recall: recall,
+                        },
+                        Some(label),
+                        healthy,
+                    );
+                }
+                healthy = false;
+            }
+            // Can't-fail last resort: the exact threshold off a host
+            // sort is a recall-1.0 answer to an approximate question.
+            let threshold =
+                reference_select(data, data.len() - k as usize).expect("k validated at admission");
+            shared.tenant_count(&job.tenant, |c| c.exact += 1);
+            (
+                QueryStatus::ApproxTopK {
+                    threshold,
+                    k,
+                    expected_recall: 1.0,
+                },
+                Some("cpu-sort"),
+                false,
+            )
+        }
+        QueryKind::QuantileStream {
+            window_len,
+            slide,
+            chunk_len,
+        } => {
+            let spool = cfg
+                .spool_dir
+                .as_ref()
+                .expect("quantile-stream admission requires a spool dir");
+            // Stable checkpoint name per (tenant, dataset, window): a
+            // re-submission after a hard drain resumes the same file.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            let mut mix = |v: u64| {
+                h ^= v;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            };
+            for b in job.tenant.bytes() {
+                mix(u64::from(b));
+            }
+            mix(job.spec.dist as u64);
+            mix(job.spec.n);
+            mix(job.spec.seed);
+            mix(window_len);
+            mix(slide);
+            let ckpt = spool.join(format!("qstream-{h:016x}.ckpt"));
+            let qcfg = QuantileStreamConfig {
+                probs: DEFAULT_PROBS.to_vec(),
+                window: WindowSpec {
+                    len: window_len as usize,
+                    slide: slide as usize,
+                },
+                select: select_cfg.clone(),
+            };
+            let source = DrainAwareSource {
+                inner: SliceChunks::new(data, chunk_len as usize),
+                shared,
+            };
+            let result = run_quantile_stream(device, &source, &qcfg, Some(&ckpt), true);
+            let fault = device.take_fault();
+            match (result, fault) {
+                (Ok(run), None) => {
+                    // The finite pass completed; the checkpoint has
+                    // served its purpose (mirrors streaming_select).
+                    let _ = std::fs::remove_file(&ckpt);
+                    let values = run
+                        .engine
+                        .last()
+                        .map(|w| w.values.clone())
+                        .unwrap_or_default();
+                    shared.tenant_count(&job.tenant, |c| c.exact += 1);
+                    (
+                        QueryStatus::QuantileStream {
+                            windows: run.engine.windows_emitted(),
+                            values,
+                        },
+                        Some("quantile-stream"),
+                        true,
+                    )
+                }
+                (Err(SelectError::ChunkLoad(e)), _) if shared.mode() == MODE_HARD_DRAIN => {
+                    shared.log_event(format!(
+                        "drain: quantile stream {} checkpointed at chunk {}",
+                        job.id, e.chunk
+                    ));
+                    shared.tenant_count(&job.tenant, |c| c.failed += 1);
+                    (
+                        QueryStatus::Checkpointed {
+                            resume_token: ckpt.display().to_string(),
+                        },
+                        Some("quantile-stream"),
+                        true, // a drain is not a device-health signal
+                    )
+                }
+                (Err(e), fault) => {
+                    shared.tenant_count(&job.tenant, |c| c.failed += 1);
+                    (
+                        QueryStatus::Failed {
+                            message: e.to_string(),
+                        },
+                        None,
+                        fault.is_none() && !e.is_transient(),
+                    )
+                }
+                (Ok(_), Some(_)) => {
+                    shared.tenant_count(&job.tenant, |c| c.failed += 1);
+                    (
+                        QueryStatus::Failed {
+                            message: "device fault invalidated quantile stream".to_string(),
+                        },
+                        None,
+                        false,
+                    )
+                }
+            }
         }
         QueryKind::Stream { rank, chunk_len } => {
             let spool = cfg

@@ -35,6 +35,8 @@ const KIND_APPROX: u8 = 1;
 const KIND_TOPK: u8 = 2;
 const KIND_QUANTILES: u8 = 3;
 const KIND_STREAM: u8 = 4;
+const KIND_APPROX_TOPK: u8 = 5;
+const KIND_QUANTILE_STREAM: u8 = 6;
 
 // Response status codes.
 const ST_EXACT: u8 = 0;
@@ -47,6 +49,8 @@ const ST_CHECKPOINTED: u8 = 6;
 const ST_PONG: u8 = 7;
 const ST_STATS: u8 = 8;
 const ST_DRAINED: u8 = 9;
+const ST_APPROX_TOPK: u8 = 10;
+const ST_QUANTILE_STREAM: u8 = 11;
 
 /// A decoded client→server frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -229,6 +233,22 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, WireError> {
                 QueryKind::TopK { k } => (KIND_TOPK, k, 0),
                 QueryKind::Quantiles { q } => (KIND_QUANTILES, q, 0),
                 QueryKind::Stream { rank, chunk_len } => (KIND_STREAM, rank, chunk_len),
+                QueryKind::ApproxTopK { k, recall_bits } => {
+                    (KIND_APPROX_TOPK, k, u64::from(recall_bits))
+                }
+                QueryKind::QuantileStream {
+                    window_len,
+                    slide,
+                    chunk_len,
+                } => {
+                    // The window rides one u64 slot as two u32 halves;
+                    // admission bounds both to u32, the codec enforces
+                    // it for hand-built requests too.
+                    if window_len > u64::from(u32::MAX) || slide > u64::from(u32::MAX) {
+                        return err("quantile-stream window exceeds u32 wire slot");
+                    }
+                    (KIND_QUANTILE_STREAM, (window_len << 32) | slide, chunk_len)
+                }
             };
             out.push(kind);
             put_str16(&mut out, &q.tenant)?;
@@ -276,6 +296,20 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
                 KIND_QUANTILES => QueryKind::Quantiles { q: a },
                 KIND_STREAM => QueryKind::Stream {
                     rank: a,
+                    chunk_len: b,
+                },
+                KIND_APPROX_TOPK => {
+                    if b > u64::from(u32::MAX) {
+                        return err("recall bits exceed u32");
+                    }
+                    QueryKind::ApproxTopK {
+                        k: a,
+                        recall_bits: b as u32,
+                    }
+                }
+                KIND_QUANTILE_STREAM => QueryKind::QuantileStream {
+                    window_len: a >> 32,
+                    slide: a & 0xFFFF_FFFF,
                     chunk_len: b,
                 },
                 other => return err(format!("unknown query kind {other}")),
@@ -330,6 +364,24 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
                 }
                 QueryStatus::Quantiles { values } => {
                     out.push(ST_QUANTILES);
+                    put_u32(&mut out, values.len() as u32);
+                    for v in values {
+                        put_u32(&mut out, v.to_bits());
+                    }
+                }
+                QueryStatus::ApproxTopK {
+                    threshold,
+                    k,
+                    expected_recall,
+                } => {
+                    out.push(ST_APPROX_TOPK);
+                    put_u32(&mut out, threshold.to_bits());
+                    put_u64(&mut out, *k);
+                    put_u32(&mut out, expected_recall.to_bits());
+                }
+                QueryStatus::QuantileStream { windows, values } => {
+                    out.push(ST_QUANTILE_STREAM);
+                    put_u64(&mut out, *windows);
                     put_u32(&mut out, values.len() as u32);
                     for v in values {
                         put_u32(&mut out, v.to_bits());
@@ -417,6 +469,36 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
             let batched = r.u8()? != 0;
             Response::Done {
                 status: QueryStatus::Quantiles { values },
+                batched,
+            }
+        }
+        ST_APPROX_TOPK => {
+            let threshold = r.f32()?;
+            let k = r.u64()?;
+            let expected_recall = r.f32()?;
+            let batched = r.u8()? != 0;
+            Response::Done {
+                status: QueryStatus::ApproxTopK {
+                    threshold,
+                    k,
+                    expected_recall,
+                },
+                batched,
+            }
+        }
+        ST_QUANTILE_STREAM => {
+            let windows = r.u64()?;
+            let count = r.u32()? as usize;
+            if count > (MAX_FRAME_LEN as usize) / 4 {
+                return err("quantile count exceeds frame bound");
+            }
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(r.f32()?);
+            }
+            let batched = r.u8()? != 0;
+            Response::Done {
+                status: QueryStatus::QuantileStream { windows, values },
                 batched,
             }
         }
@@ -522,6 +604,21 @@ mod tests {
                 rank: 7,
                 chunk_len: 4096,
             },
+            QueryKind::ApproxTopK {
+                k: 65_536,
+                recall_bits: 0.99f32.to_bits(),
+            },
+            QueryKind::QuantileStream {
+                window_len: 4096,
+                slide: 1024,
+                chunk_len: 8192,
+            },
+            // window/slide at the u32 packing boundary
+            QueryKind::QuantileStream {
+                window_len: u64::from(u32::MAX),
+                slide: u64::from(u32::MAX),
+                chunk_len: 1,
+            },
         ] {
             roundtrip_request(Request::Query(QueryRequest {
                 tenant: "tenant-α".to_string(),
@@ -571,6 +668,15 @@ mod tests {
             },
             QueryStatus::Quantiles {
                 values: vec![0.25, 0.5, 0.75],
+            },
+            QueryStatus::ApproxTopK {
+                threshold: 0.875,
+                k: 600_000,
+                expected_recall: 0.9995,
+            },
+            QueryStatus::QuantileStream {
+                windows: 12,
+                values: vec![0.5, 0.9, 0.99, 0.999],
             },
             QueryStatus::Checkpointed {
                 resume_token: "/tmp/spool/stream-abc.ckpt".to_string(),
@@ -647,6 +753,22 @@ mod tests {
         let dist_pos = 1 + 1 + 1 + 2 + 1;
         bad[dist_pos] = 99;
         assert!(decode_request(&bad).is_err());
+    }
+
+    #[test]
+    fn oversize_quantile_window_is_refused_at_encode() {
+        let req = Request::Query(QueryRequest {
+            tenant: "t".to_string(),
+            kind: QueryKind::QuantileStream {
+                window_len: u64::from(u32::MAX) + 1,
+                slide: 1,
+                chunk_len: 1,
+            },
+            dataset: DatasetSpec::uniform(64, 2),
+            deadline_ms: None,
+            seed: 0,
+        });
+        assert!(encode_request(&req).is_err());
     }
 
     #[test]

@@ -115,7 +115,7 @@ pub trait ChunkSource<T>: Sync {
 /// passes in [`streaming_select_impl`]); when present, it replaces the
 /// synchronous first attempt and the retry ladder continues from there,
 /// so prefetching never changes retry counts, backoff, or diagnostics.
-fn load_chunk_with_retry<T, S: ChunkSource<T>>(
+pub(crate) fn load_chunk_with_retry<T, S: ChunkSource<T>>(
     device: &mut Device,
     source: &S,
     idx: usize,
@@ -218,12 +218,20 @@ pub struct StreamingResult<T> {
 // ---------------------------------------------------------------------
 
 /// File magic of a streaming checkpoint ("SampleSelect ChecKpoint").
-const CHECKPOINT_MAGIC: [u8; 4] = *b"SSCK";
+/// Shared with the quantile-stream checkpoint (`quantile_stream`), which
+/// reuses the same envelope (magic, version, FNV-1a trailer) with its
+/// own fingerprint and body.
+pub(crate) const CHECKPOINT_MAGIC: [u8; 4] = *b"SSCK";
 /// Format version; bumped on any layout change. Version 2 added the
 /// shard topology (shard count + partition-boundary hash) to the
 /// fingerprint, so a run resumed under a different `--shards` value is
 /// rejected instead of silently replaying a foreign partition plan.
-const CHECKPOINT_VERSION: u32 = 2;
+/// Version 3 added `elements_seen` to the sampling-pass state, needed
+/// for the exact-total per-chunk sample shares (the cumulative-floor
+/// distribution is a function of the elements already streamed, which a
+/// resumed run can no longer infer from the chunk index alone when
+/// chunk sizes vary).
+const CHECKPOINT_VERSION: u32 = 3;
 
 /// Pipeline positions a checkpoint can record.
 const PHASE_SAMPLE: u8 = 0;
@@ -261,6 +269,11 @@ struct CheckpointState<T> {
     /// sampling pass draws the exact same positions the uninterrupted
     /// run would have.
     rng_state: u64,
+    /// Elements streamed by the sampling pass so far (sampling pass
+    /// only): the cumulative-floor share of the next chunk depends on
+    /// it, and with variable chunk sizes it cannot be reconstructed from
+    /// `next_chunk`.
+    elements_seen: u64,
     /// Partial proportional sample (sampling pass only).
     sample: Vec<T>,
     /// Finished splitters (later passes).
@@ -277,6 +290,7 @@ impl<T> CheckpointState<T> {
             phase: PHASE_SAMPLE,
             next_chunk: 0,
             rng_state: seed,
+            elements_seen: 0,
             sample: Vec::new(),
             splitters: Vec::new(),
             counts: Vec::new(),
@@ -297,11 +311,11 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-fn push_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn push_elems<T: SelectElement>(out: &mut Vec<u8>, elems: &[T]) {
+pub(crate) fn push_elems<T: SelectElement>(out: &mut Vec<u8>, elems: &[T]) {
     push_u64(out, elems.len() as u64);
     for &x in elems {
         push_u64(out, x.to_bits_u64());
@@ -330,6 +344,7 @@ fn encode_checkpoint<T: SelectElement>(fp: &Fingerprint, state: &CheckpointState
     out.push(state.phase);
     push_u64(&mut out, state.next_chunk);
     push_u64(&mut out, state.rng_state);
+    push_u64(&mut out, state.elements_seen);
     push_elems(&mut out, &state.sample);
     push_elems(&mut out, &state.splitters);
     push_u64(&mut out, state.counts.len() as u64);
@@ -342,13 +357,13 @@ fn encode_checkpoint<T: SelectElement>(fp: &Fingerprint, state: &CheckpointState
     out
 }
 
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
+    pub(crate) fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
         let end = self
             .pos
             .checked_add(len)
@@ -359,15 +374,15 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn u8(&mut self) -> Result<u8, String> {
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
 
-    fn elems<T: SelectElement>(&mut self, max_len: u64) -> Result<Vec<T>, String> {
+    pub(crate) fn elems<T: SelectElement>(&mut self, max_len: u64) -> Result<Vec<T>, String> {
         let len = self.u64()?;
         if len > max_len {
             return Err(format!("implausible array length {len}"));
@@ -447,6 +462,13 @@ fn decode_checkpoint<T: SelectElement>(
         ));
     }
     let rng_state = cur.u64()?;
+    let elements_seen = cur.u64()?;
+    if elements_seen > fp.n {
+        return Err(format!(
+            "implausible elements_seen {elements_seen} for n = {}",
+            fp.n
+        ));
+    }
     let sample: Vec<T> = cur.elems(fp.n)?;
     let splitters: Vec<T> = cur.elems(fp.num_buckets)?;
     let counts_len = cur.u64()?;
@@ -478,6 +500,7 @@ fn decode_checkpoint<T: SelectElement>(
         phase,
         next_chunk,
         rng_state,
+        elements_seen,
         sample,
         splitters,
         counts,
@@ -508,6 +531,28 @@ fn delete_checkpoint(path: Option<&Path>) {
     if let Some(path) = path {
         let _ = std::fs::remove_file(path);
     }
+}
+
+/// How many of the `s` sample draws the sampling pass spends on a chunk
+/// of `len` elements arriving after `seen` elements have already been
+/// streamed (total stream length `n`): the number of integer boundaries
+/// the scaled cumulative position `s·seen/n` crosses while advancing by
+/// `len` elements.
+///
+/// The telescoping sum over a chunking of the stream collapses to
+/// `floor(s·n/n) - floor(0) = s` exactly — this IS the largest-remainder
+/// apportionment applied in chunk-index order. The previous per-chunk
+/// `floor(s·len/n).max(1)` drifted from `s` in both directions: many
+/// tiny chunks each rounded up to 1 inflated the sample (and with it the
+/// simulated sort cost), while mid-size chunks all rounding down could
+/// starve it below the configured size.
+pub(crate) fn chunk_sample_share(s: usize, n: usize, seen: u64, len: usize) -> usize {
+    debug_assert!(seen as u128 + len as u128 <= n as u128);
+    let s = s as u128;
+    let n = n as u128;
+    let before = s * seen as u128 / n;
+    let after = s * (seen as u128 + len as u128) / n;
+    (after - before) as usize
 }
 
 /// Select the `rank`-th smallest element of a chunked dataset.
@@ -651,13 +696,11 @@ fn streaming_select_impl<T: SelectElement, S: ChunkSource<T>>(
                 device.now().as_ns(),
             );
             let chunk = load_chunk_with_retry(device, source, c, None, &mut events)?;
-            if !chunk.is_empty() {
-                // proportional share, at least 1 to represent the chunk
-                let share = ((s as u128 * chunk.len() as u128) / n as u128).max(1) as usize;
-                for _ in 0..share {
-                    sample.push(chunk[rng.next_below(chunk.len())]);
-                }
+            let share = chunk_sample_share(s, n, state.elements_seen, chunk.len());
+            for _ in 0..share {
+                sample.push(chunk[rng.next_below(chunk.len())]);
             }
+            state.elements_seen += chunk.len() as u64;
             state.next_chunk = c as u64 + 1;
             state.rng_state = rng.state();
             state.sample = sample;
@@ -1123,6 +1166,118 @@ mod tests {
     }
 
     // -----------------------------------------------------------------
+    // Per-chunk sample shares
+    // -----------------------------------------------------------------
+
+    /// Sum of the per-chunk shares over a full pass of `chunk_lens`.
+    fn total_share(s: usize, chunk_lens: &[usize]) -> usize {
+        let n: usize = chunk_lens.iter().sum();
+        let mut seen = 0u64;
+        let mut total = 0usize;
+        for &len in chunk_lens {
+            total += chunk_sample_share(s, n, seen, len);
+            seen += len as u64;
+        }
+        total
+    }
+
+    #[test]
+    fn sample_shares_sum_exactly_to_s_across_adversarial_chunk_mixes() {
+        // The pre-fix floor-then-max(1) share drifted in both
+        // directions: 999 one-element chunks forced >= 999 draws for
+        // s = 256, and 7 equal mid-size chunks each floored below their
+        // fair share. Every mix here must now total exactly s.
+        let mixes: &[&[usize]] = &[
+            // many tiny chunks (each rounds up to 1 pre-fix)
+            &[1; 999],
+            // equal chunks that don't divide s (each floors down pre-fix)
+            &[1000; 7],
+            // one huge chunk among dust
+            &[1, 1, 1, 1_000_000, 1, 1, 1],
+            // empty chunks interleaved (must contribute 0 draws)
+            &[0, 4096, 0, 0, 128, 0, 65_536],
+            // pathological: n smaller than s
+            &[3, 1, 2],
+            // single chunk degenerate case
+            &[123_457],
+        ];
+        for s in [1usize, 7, 256, 1024] {
+            for (i, mix) in mixes.iter().enumerate() {
+                assert_eq!(
+                    total_share(s, mix),
+                    s,
+                    "mix #{i} with s={s} drifted from the configured sample size"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_share_is_deterministic_and_order_sensitive_only_via_seen() {
+        // The share of a chunk is a pure function of (s, n, seen, len):
+        // resuming from a checkpointed `elements_seen` reproduces the
+        // uninterrupted run's draws exactly.
+        for seen in [0u64, 17, 999] {
+            assert_eq!(
+                chunk_sample_share(256, 100_000, seen, 1234),
+                chunk_sample_share(256, 100_000, seen, 1234)
+            );
+        }
+    }
+
+    #[test]
+    fn uneven_chunk_sizes_still_select_exactly() {
+        // End-to-end over a source with wildly varying chunk lengths
+        // (the shapes the old max(1) share inflated the most).
+        struct UnevenChunks<'a> {
+            data: &'a [f32],
+            bounds: Vec<usize>,
+        }
+        impl ChunkSource<f32> for UnevenChunks<'_> {
+            fn num_chunks(&self) -> usize {
+                self.bounds.len() - 1
+            }
+            fn load_chunk(&self, idx: usize) -> Result<Vec<f32>, ChunkError> {
+                Ok(self.data[self.bounds[idx]..self.bounds[idx + 1]].to_vec())
+            }
+            fn total_len(&self) -> usize {
+                self.data.len()
+            }
+        }
+        let data = uniform(40_000, 91);
+        // 256 one-element chunks, then one huge chunk, then mid chunks.
+        let mut bounds: Vec<usize> = (0..=256).collect();
+        bounds.push(30_000);
+        bounds.push(35_000);
+        bounds.push(40_000);
+        let source = UnevenChunks {
+            data: &data,
+            bounds,
+        };
+        let pool = ThreadPool::new(2);
+        let mut device = Device::new(v100(), &pool);
+        let cfg = SampleSelectConfig::default();
+        let res = streaming_select(&mut device, &source, 20_000, &cfg).unwrap();
+        assert_eq!(
+            res.value,
+            crate::element::reference_select(&data, 20_000).unwrap()
+        );
+        // The committed sample sort must have staged exactly
+        // s = sample_size().max(b) elements in shared memory.
+        let s = cfg.sample_size().max(cfg.num_buckets);
+        let sample_commit = device
+            .records()
+            .iter()
+            .find(|r| r.name == "sample")
+            .expect("sampling pass committed");
+        assert_eq!(
+            sample_commit.config.shared_mem_bytes as usize,
+            s * std::mem::size_of::<f32>(),
+            "sample size drifted from the configured s"
+        );
+    }
+
+    // -----------------------------------------------------------------
     // Checkpoint / resume
     // -----------------------------------------------------------------
 
@@ -1151,6 +1306,7 @@ mod tests {
             phase: PHASE_COUNT,
             next_chunk: 2,
             rng_state: 0xDEAD_BEEF,
+            elements_seen: 500,
             sample: vec![],
             splitters: (0..15).map(|i| i as f32).collect(),
             counts: (0..16).map(|i| i * 3).collect(),
@@ -1161,6 +1317,7 @@ mod tests {
         assert_eq!(back.phase, PHASE_COUNT);
         assert_eq!(back.next_chunk, 2);
         assert_eq!(back.rng_state, 0xDEAD_BEEF);
+        assert_eq!(back.elements_seen, 500);
         assert_eq!(back.splitters, state.splitters);
         assert_eq!(back.counts, state.counts);
         // bit-exact, including NaN payloads and the sign of -0.0

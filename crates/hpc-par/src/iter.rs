@@ -376,8 +376,8 @@ mod tests {
                 i += 8;
             }
             // scalar epilogue
-            for j in i..range.end {
-                acc = acc.wrapping_add(data[j].rotate_left(1));
+            for &v in &data[i..range.end] {
+                acc = acc.wrapping_add(v.rotate_left(1));
             }
             acc
         };

@@ -592,8 +592,7 @@ mod avx2 {
             let nan = _mm256_castpd_si256(_mm256_cmp_pd::<_CMP_UNORD_Q>(v, v));
             key = _mm256_blendv_epi8(key, all, nan);
             if collapse_zero {
-                let zero =
-                    _mm256_castpd_si256(_mm256_cmp_pd::<_CMP_EQ_OQ>(v, _mm256_setzero_pd()));
+                let zero = _mm256_castpd_si256(_mm256_cmp_pd::<_CMP_EQ_OQ>(v, _mm256_setzero_pd()));
                 key = _mm256_blendv_epi8(key, top, zero);
             }
             _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, key);
@@ -806,9 +805,9 @@ mod avx2 {
             eq |= eqm << i;
             i += 8;
         }
-        for j in i..n {
-            lt |= ((keys[j] < pivot) as u32) << j;
-            eq |= ((keys[j] == pivot) as u32) << j;
+        for (j, &key) in keys.iter().enumerate().skip(i) {
+            lt |= ((key < pivot) as u32) << j;
+            eq |= ((key == pivot) as u32) << j;
         }
         (lt, eq)
     }
@@ -832,9 +831,9 @@ mod avx2 {
             eq |= eqm << i;
             i += 4;
         }
-        for j in i..n {
-            lt |= ((keys[j] < pivot) as u32) << j;
-            eq |= ((keys[j] == pivot) as u32) << j;
+        for (j, &key) in keys.iter().enumerate().skip(i) {
+            lt |= ((key < pivot) as u32) << j;
+            eq |= ((key == pivot) as u32) << j;
         }
         (lt, eq)
     }
@@ -851,9 +850,8 @@ mod avx2 {
                 continue;
             }
             let v = _mm256_loadu_si256(src.as_ptr().add(8 * g) as *const __m256i);
-            let idx = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
-                COMPRESS8[m].as_ptr() as *const __m128i
-            ));
+            let idx =
+                _mm256_cvtepu8_epi32(_mm_loadl_epi64(COMPRESS8[m].as_ptr() as *const __m128i));
             let packed = _mm256_permutevar8x32_epi32(v, idx);
             // Full-vector store; only the first popcount lanes are
             // meaningful, and the caller guarantees >= src.len() slots.
@@ -1072,9 +1070,9 @@ mod tests {
             for _ in 0..50 {
                 let mask = (rng.next() as u32) & mask_for_len(len);
                 let mut expect32 = Vec::new();
-                for i in 0..len {
+                for (i, &v) in src32.iter().enumerate() {
                     if mask & (1 << i) != 0 {
-                        expect32.push(src32[i]);
+                        expect32.push(v);
                     }
                 }
                 for level in levels() {

@@ -5,6 +5,7 @@ Usage:
     python3 scripts/check_perf.py [CURRENT] [BASELINE]
     python3 scripts/check_perf.py --planner [CURRENT]
     python3 scripts/check_perf.py --simd [CURRENT]
+    python3 scripts/check_perf.py --approx-topk [CURRENT]
 
 CURRENT defaults to ./BENCH_hotpath.json (written by the `perfsmoke`
 bench binary) and BASELINE to bench/baselines/hotpath.json.
@@ -15,6 +16,14 @@ planner instead: in every grid cell, `--algo auto` must finish within
 15% of the best *fixed* backend's simulated time. The sweep is
 deterministic, so any excess regret is a planner (cost model) bug, not
 noise.
+
+With ``--approx-topk``, CURRENT defaults to ./BENCH_approx_topk.json
+(written by the `recallsweep` bench binary). Two hard gates, both
+deterministic (seeded data, simulated time): every cell's measured and
+model-expected recall must meet the cell's target, and in every
+large-k cell the approximate kernel must beat the exact fused top-k's
+simulated time. Small-k cells that fail to beat exact only WARN — the
+approximation is not expected to pay for its partition pass there.
 
 With ``--simd``, CURRENT defaults to ./BENCH_simd.json (written by the
 `simdsweep` bench binary). The deterministic properties hard-fail:
@@ -104,6 +113,64 @@ def check_planner(argv):
     return 0
 
 
+def check_approx_topk(argv):
+    current_path = argv[2] if len(argv) > 2 else "BENCH_approx_topk.json"
+    current = load(current_path)
+
+    failures = []
+    warnings = []
+    if current.get("schema") != "recallsweep-v1":
+        failures.append(f"unexpected schema {current.get('schema')!r}")
+
+    cells = current.get("cells", [])
+    if not cells:
+        failures.append("no cells in sweep output")
+    for cell in cells:
+        tag = f"{cell.get('dist')}/{cell.get('k_label')}/target={cell.get('target')}"
+        target = cell.get("target")
+        expected = cell.get("expected_recall")
+        measured = cell.get("measured_recall")
+        approx = cell.get("approx_us")
+        exact = cell.get("exact_us")
+        if None in (target, expected, measured, approx, exact) or approx <= 0:
+            failures.append(f"{tag}: missing or degenerate fields")
+            continue
+        if expected < target:
+            failures.append(
+                f"{tag}: planner promised recall {expected:.4f} below target"
+            )
+        if measured < target:
+            failures.append(
+                f"{tag}: measured recall {measured:.4f} below target"
+            )
+        speedup = exact / approx
+        line = (
+            f"{tag}: measured {measured:.4f} (expected {expected:.4f}), "
+            f"approx {approx:.1f}us vs exact {exact:.1f}us ({speedup:.2f}x)"
+        )
+        if speedup < 1.0 and cell.get("k_label") == "large-k":
+            failures.append(f"{line} — approximation lost to exact at large k")
+        elif speedup < 1.0:
+            warnings.append(f"{line} [small-k: warn only]")
+        else:
+            print(f"OK    {line}")
+
+    for w in warnings:
+        print(f"WARN  {w}")
+    for f in failures:
+        print(f"FAIL  {f}")
+    if failures:
+        print(
+            f"\ncheck_perf --approx-topk: {len(failures)} failure(s) in {current_path}"
+        )
+        return 1
+    print(
+        f"check_perf --approx-topk: OK, {len(cells)} cell(s) met recall targets "
+        f"({len(warnings)} warning(s))"
+    )
+    return 0
+
+
 # Legs the SIMD sweep must show this wall speedup on (warn-only).
 SIMD_TARGET_SPEEDUP = 4.0
 SIMD_TARGET_LEGS = ("count", "filter")
@@ -169,6 +236,8 @@ def main(argv):
         return check_planner(argv)
     if len(argv) > 1 and argv[1] == "--simd":
         return check_simd(argv)
+    if len(argv) > 1 and argv[1] == "--approx-topk":
+        return check_approx_topk(argv)
     current_path = argv[1] if len(argv) > 1 else "BENCH_hotpath.json"
     baseline_path = argv[2] if len(argv) > 2 else "bench/baselines/hotpath.json"
     current = load(current_path)

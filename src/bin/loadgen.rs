@@ -14,7 +14,9 @@
 //! (exponential inter-arrival times from a seeded SplitMix64 — arrivals
 //! do not wait for responses, so overload actually overloads), from a
 //! mix of tenants: an exact-selection tenant with a deadline, an
-//! approximate tenant, and a top-k tenant. It then reports, per rate:
+//! approximate tenant, a top-k tenant, a recall-targeted approximate
+//! top-k tenant, and a windowed quantile-stream tenant. It then
+//! reports, per rate:
 //!
 //! * latency percentiles p50 / p99 / p999 over admitted queries
 //!   (queue wait + service, server-measured),
@@ -155,7 +157,7 @@ fn plan_offered(args: &Args, rate: f64) -> Vec<Offered> {
         // Ranks from a small per-dataset palette so exact verification
         // stays cheap and batching has something to merge.
         let rank = (1 + rng.next_below(16) as u64) * (args.n / 17);
-        let mix = rng.next_below(10);
+        let mix = rng.next_below(14);
         let (tenant, kind, deadline_ms) = if mix < 5 {
             (
                 "tenant-exact",
@@ -164,11 +166,30 @@ fn plan_offered(args: &Args, rate: f64) -> Vec<Offered> {
             )
         } else if mix < 8 {
             ("tenant-approx", QueryKind::Approx { rank }, None)
-        } else {
+        } else if mix < 10 {
             (
                 "tenant-topk",
                 QueryKind::TopK {
                     k: 1 + rng.next_below(256) as u64,
+                },
+                None,
+            )
+        } else if mix < 12 {
+            (
+                "tenant-approx-topk",
+                QueryKind::ApproxTopK {
+                    k: 1 + rng.next_below(256) as u64,
+                    recall_bits: 0.9f32.to_bits(),
+                },
+                None,
+            )
+        } else {
+            (
+                "tenant-qstream",
+                QueryKind::QuantileStream {
+                    window_len: (args.n / 4).max(1),
+                    slide: (args.n / 4).max(1),
+                    chunk_len: 1 << 14,
                 },
                 None,
             )
@@ -199,18 +220,31 @@ struct RateOutcome {
     approx_tagged: u64,
     topk_ok: u64,
     topk_wrong: u64,
+    approx_topk_ok: u64,
+    approx_topk_wrong: u64,
+    qstream_ok: u64,
+    qstream_wrong: u64,
     failed: u64,
     latencies_ms: Vec<f64>,
     breaker_open: u64,
     batched: u64,
 }
 
+/// Linear-interpolation percentile (the C = 1 variant): `p` in [0, 1]
+/// over an ascending-sorted slice. Nearest-rank with `.round()` would
+/// collapse p99 and p999 onto the max for any sample smaller than ~200
+/// entries — exactly the small per-rate samples short loadgen runs
+/// produce — so the tail percentiles it reported were not tail
+/// estimates at all.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let h = (sorted.len() as f64 - 1.0) * p;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(sorted.len() - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
 }
 
 fn run_rate(args: &Args, rate: f64) -> RateOutcome {
@@ -222,6 +256,11 @@ fn run_rate(args: &Args, rate: f64) -> RateOutcome {
     };
     cfg.quota.burst = args.quota_burst;
     cfg.quota.refill_per_sec = args.quota_refill;
+    // Quantile-stream queries spool restart checkpoints to disk; give
+    // the server a scratch directory so they are admitted.
+    let spool = std::env::temp_dir().join(format!("loadgen-spool-{}", std::process::id()));
+    std::fs::create_dir_all(&spool).expect("create spool dir");
+    cfg.spool_dir = Some(spool);
     if let Some(w) = args.fault_worker {
         cfg = cfg.with_fault_plan(
             w,
@@ -312,6 +351,32 @@ fn run_rate(args: &Args, rate: f64) -> RateOutcome {
                     outcome.topk_wrong += 1;
                 }
             }
+            QueryStatus::ApproxTopK {
+                threshold,
+                k,
+                expected_recall,
+            } => {
+                // The candidate union is a subset of the input, so the
+                // approximate threshold can never exceed the exact
+                // top-k threshold, and the advertised recall must be a
+                // probability.
+                let want = reference(req.dataset, req.dataset.n - k);
+                if threshold <= want && expected_recall > 0.0 && expected_recall <= 1.0 {
+                    outcome.approx_topk_ok += 1;
+                } else {
+                    outcome.approx_topk_wrong += 1;
+                }
+            }
+            QueryStatus::QuantileStream { windows, values } => {
+                // A completed finite pass closes at least one window and
+                // reports the default probe set in non-decreasing order.
+                let ordered = values.windows(2).all(|p| p[0] <= p[1]);
+                if windows >= 1 && values.len() == 4 && ordered {
+                    outcome.qstream_ok += 1;
+                } else {
+                    outcome.qstream_wrong += 1;
+                }
+            }
             QueryStatus::Quantiles { .. }
             | QueryStatus::Checkpointed { .. }
             | QueryStatus::Failed { .. } => {
@@ -374,10 +439,11 @@ fn main() {
         let p50 = percentile(&o.latencies_ms, 0.50);
         let p99 = percentile(&o.latencies_ms, 0.99);
         let p999 = percentile(&o.latencies_ms, 0.999);
-        let good = o.exact_ok + o.approx_tagged + o.topk_ok;
+        let good = o.exact_ok + o.approx_tagged + o.topk_ok + o.approx_topk_ok + o.qstream_ok;
         let goodput = good as f64 / duration_s;
         let shed = o.rejected_quota + o.rejected_queue;
-        any_wrong |= o.exact_wrong > 0 || o.topk_wrong > 0;
+        any_wrong |=
+            o.exact_wrong > 0 || o.topk_wrong > 0 || o.approx_topk_wrong > 0 || o.qstream_wrong > 0;
         println!(
             "{:>8.0} {:>8} {:>8} {:>8} {:>9.2} {:>9.2} {:>9.2} {:>10.1} {:>9} {:>7}",
             rate,
@@ -389,7 +455,7 @@ fn main() {
             p999,
             goodput,
             o.degraded,
-            o.exact_wrong + o.topk_wrong
+            o.exact_wrong + o.topk_wrong + o.approx_topk_wrong + o.qstream_wrong
         );
         curves.push(format!(
             "    {{\"rate_qps\": {rate}, \"offered\": {}, \"admitted\": {}, \
@@ -397,7 +463,9 @@ fn main() {
              \"p50_ms\": {p50:.4}, \"p99_ms\": {p99:.4}, \"p999_ms\": {p999:.4}, \
              \"goodput_qps\": {goodput:.2}, \"exact_ok\": {}, \"exact_wrong\": {}, \
              \"deadline_degraded\": {}, \"approx_tagged\": {}, \"topk_ok\": {}, \
-             \"topk_wrong\": {}, \"failed\": {}, \"breaker_open\": {}, \"batched\": {}}}",
+             \"topk_wrong\": {}, \"approx_topk_ok\": {}, \"approx_topk_wrong\": {}, \
+             \"qstream_ok\": {}, \"qstream_wrong\": {}, \
+             \"failed\": {}, \"breaker_open\": {}, \"batched\": {}}}",
             o.offered,
             o.admitted,
             o.rejected_quota,
@@ -408,6 +476,10 @@ fn main() {
             o.approx_tagged,
             o.topk_ok,
             o.topk_wrong,
+            o.approx_topk_ok,
+            o.approx_topk_wrong,
+            o.qstream_ok,
+            o.qstream_wrong,
             o.failed,
             o.breaker_open,
             o.batched
@@ -441,4 +513,38 @@ fn main() {
     println!(
         "no silently-wrong exact answers; overload shed via rejections + deadline degradation"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentile_interpolates_instead_of_collapsing_to_max() {
+        // Ten samples: nearest-rank with .round() returns sorted[9] for
+        // both p99 and p999 (the regression this pins); interpolation
+        // must land strictly between the last two order statistics.
+        let sorted: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 10.0);
+        // h = 9 * 0.5 = 4.5 -> midway between the 5th and 6th samples.
+        assert_eq!(percentile(&sorted, 0.50), 5.5);
+        // h = 9 * 0.99 = 8.91 -> 9.91, NOT the max.
+        assert!((percentile(&sorted, 0.99) - 9.91).abs() < 1e-12);
+        // h = 9 * 0.999 = 8.991 -> 9.991, still below the max.
+        assert!((percentile(&sorted, 0.999) - 9.991).abs() < 1e-12);
+        assert!(percentile(&sorted, 0.99) < 10.0);
+        assert!(percentile(&sorted, 0.999) < 10.0);
+        // and p999 must stay above p99 (tail ordering preserved).
+        assert!(percentile(&sorted, 0.999) > percentile(&sorted, 0.99));
+    }
+
+    #[test]
+    fn percentile_degenerate_inputs() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.25], 0.999), 7.25);
+        let two = [1.0, 3.0];
+        assert_eq!(percentile(&two, 0.5), 2.0);
+        assert_eq!(percentile(&two, 0.25), 1.5);
+    }
 }

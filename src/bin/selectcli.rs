@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release --bin selectcli -- \
-//!     [--algo auto|sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|shard|cpu] \
+//!     [--algo auto|sample|quick|bucket|radix|approx|topk|approx-topk|quantiles|quantile-stream|sort|stream|resilient|shard|cpu] \
 //!     [--n 4194304] [--rank N | --k N] \
 //!     [--dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp] \
 //!     [--arch v100|k20xm|c2070] [--buckets 256] [--seed 42] [--breakdown] \
@@ -29,11 +29,19 @@
 //! straggler hedging. `--inject-faults`/`--inject-bitflips` apply their
 //! fault plan to shard 0.
 //!
+//! `--algo approx-topk` runs the bucketed approximate top-k workload:
+//! `--k` winners at `--recall` target recall (planned via the binomial
+//! model, measured against the exact answer). `--algo quantile-stream`
+//! runs the streaming quantile telemetry engine: p50/p90/p99/p999 over
+//! `--window LEN` windows sliding every `--slide S` elements, with
+//! `--checkpoint FILE [--resume]` for restart-safe passes.
+//!
 //! `--connect HOST:PORT` turns the CLI into a `selectd` client: the
 //! query (`--algo sample|resilient` ⇒ exact, `approx`, `topk`,
-//! `quantiles`, `stream`) is sent over the wire protocol instead of
-//! running locally; `--drain` gracefully shuts the server down and
-//! prints its final metrics snapshot.
+//! `approx-topk`, `quantiles`, `quantile-stream`, `stream`) is sent
+//! over the wire protocol instead of running locally; `--drain`
+//! gracefully shuts the server down and prints its final metrics
+//! snapshot.
 //!
 //! Exit codes (scripts rely on these):
 //!
@@ -63,10 +71,11 @@ use gpu_selection::sampleselect::streaming::{
 };
 use gpu_selection::sampleselect::topk::top_k_largest_on_device;
 use gpu_selection::sampleselect::{
-    approx_select_on_device, plan_rank_query, quick_select_on_device, radix_select_on_device,
-    resilient_select_on_device, resilient_select_planned, sample_select_on_device, sharded_select,
-    KillSpec, ObsSession, Outcome, ResilienceConfig, SampleSelectConfig, SelectReport, ShardConfig,
-    ShardFaults, VerifyPolicy,
+    approx_select_on_device, approx_top_k_on_device, measure_recall, plan_for_recall,
+    plan_rank_query, quick_select_on_device, radix_select_on_device, resilient_select_on_device,
+    resilient_select_planned, run_quantile_stream, sample_select_on_device, sharded_select,
+    KillSpec, ObsSession, Outcome, QuantileStreamConfig, ResilienceConfig, SampleSelectConfig,
+    SelectReport, ShardConfig, ShardFaults, VerifyPolicy, WindowSpec, DEFAULT_PROBS,
 };
 use std::process::exit;
 
@@ -102,6 +111,9 @@ struct Args {
     tenant: String,
     deadline_ms: Option<u32>,
     drain: bool,
+    recall: f64,
+    window: usize,
+    slide: Option<usize>,
 }
 
 impl Default for Args {
@@ -137,6 +149,9 @@ impl Default for Args {
             tenant: "cli".into(),
             deadline_ms: None,
             drain: false,
+            recall: 0.95,
+            window: 1 << 16,
+            slide: None,
         }
     }
 }
@@ -192,6 +207,9 @@ fn parse_args() -> Args {
                 }))
             }
             "--hedge" => out.hedge = true,
+            "--recall" => out.recall = val("--recall").parse().expect("--recall"),
+            "--window" => out.window = val("--window").parse().expect("--window"),
+            "--slide" => out.slide = Some(val("--slide").parse().expect("--slide")),
             "--connect" => out.connect = Some(val("--connect")),
             "--tenant" => out.tenant = val("--tenant"),
             "--deadline" => out.deadline_ms = Some(val("--deadline").parse().expect("--deadline")),
@@ -218,12 +236,13 @@ fn parse_args() -> Args {
 }
 
 const HELP: &str =
-    "selectcli --algo auto|sample|quick|bucket|radix|approx|topk|quantiles|sort|stream|resilient|shard|cpu \
+    "selectcli --algo auto|sample|quick|bucket|radix|approx|topk|approx-topk|quantiles|quantile-stream|sort|stream|resilient|shard|cpu \
 --n N --rank R|--k K --dist uniform|d16|d1024|clustered|cascade|sorted|normal|exp \
 --arch v100|k20xm|c2070 --buckets B --seed S [--breakdown] [--trace out.json] \
 [--metrics out.json|out.prom] [--span-log out.txt] \
 [--inject-faults SEED [--fault-rate R]] [--inject-bitflips SEED [--bitflip-rate R]] \
 [--verify off|spot|paranoid] [--time-budget MS] [--checkpoint FILE [--resume]] \
+[--recall R] [--window LEN [--slide S]] \
 [--shards K] [--kill-shard SHARD@LEVEL] [--hedge] \
 [--sanitize [--sanitize-json out.json]] [--threads N] \
 [--connect HOST:PORT [--tenant NAME] [--deadline MS] [--drain]]\n\
@@ -334,8 +353,17 @@ fn run_client(args: &Args) -> ! {
             "topk" => QueryKind::TopK {
                 k: args.k.unwrap_or(100) as u64,
             },
+            "approx-topk" => QueryKind::ApproxTopK {
+                k: args.k.unwrap_or(100) as u64,
+                recall_bits: (args.recall as f32).to_bits(),
+            },
             "quantiles" => QueryKind::Quantiles {
                 q: args.k.unwrap_or(10) as u64,
+            },
+            "quantile-stream" => QueryKind::QuantileStream {
+                window_len: args.window as u64,
+                slide: args.slide.unwrap_or(args.window) as u64,
+                chunk_len: 1 << 16,
             },
             "stream" => QueryKind::Stream {
                 rank,
@@ -398,6 +426,25 @@ fn run_client(args: &Args) -> ! {
                     print!("quantiles:");
                     for v in &values {
                         print!(" {v:.4}");
+                    }
+                    println!("{tag}");
+                    exit(0);
+                }
+                QueryStatus::ApproxTopK {
+                    threshold,
+                    k,
+                    expected_recall,
+                } => {
+                    println!(
+                        "approx top-{k} threshold = {threshold} (expected recall \
+                         {expected_recall:.4}){tag}"
+                    );
+                    exit(EXIT_APPROX);
+                }
+                QueryStatus::QuantileStream { windows, values } => {
+                    print!("quantile stream: {windows} window(s) closed; latest");
+                    for (p, v) in DEFAULT_PROBS.iter().zip(&values) {
+                        print!(" p{p}={v:.4}");
                     }
                     println!("{tag}");
                     exit(0);
@@ -627,6 +674,67 @@ fn main() {
             }
             println!();
             print_report(&r.report, args.breakdown);
+        }
+        "approx-topk" => {
+            let k = args.k.unwrap_or(100);
+            let (acfg, planned) = plan_for_recall(args.n, k, args.recall);
+            println!(
+                "plan: {} bucket(s), oversample {:.3}, expected recall {:.4} (target {:.4})",
+                acfg.buckets, acfg.oversample, planned, args.recall
+            );
+            let mut r = approx_top_k_on_device(&mut device, &w.data, k, &acfg, &cfg)
+                .unwrap_or_else(|e| {
+                    eprintln!("approximate top-k failed: {e}");
+                    exit(1);
+                });
+            let measured = measure_recall(&w.data, &mut r);
+            if measured < 1.0 {
+                degraded = true;
+            }
+            println!(
+                "approx top-{k} threshold = {} (expected recall {:.4}, measured {:.4})",
+                r.threshold, r.expected_recall, measured
+            );
+            print_report(&r.report, args.breakdown);
+        }
+        "quantile-stream" => {
+            let slide = args.slide.unwrap_or(args.window);
+            let qcfg = QuantileStreamConfig {
+                probs: DEFAULT_PROBS.to_vec(),
+                window: WindowSpec::sliding(args.window, slide),
+                select: cfg.clone(),
+            };
+            let source = SliceChunks::new(&w.data, 1 << 16);
+            let ckpt = args.checkpoint.as_ref().map(std::path::PathBuf::from);
+            let run =
+                run_quantile_stream(&mut device, &source, &qcfg, ckpt.as_deref(), args.resume)
+                    .unwrap_or_else(|e| {
+                        eprintln!("quantile stream failed: {e}");
+                        if args.checkpoint.is_some() {
+                            eprintln!("(progress checkpointed; rerun with --resume to continue)");
+                        }
+                        exit(1);
+                    });
+            println!(
+                "quantile stream: {} window(s) closed this pass ({} lifetime), {} elements seen{}",
+                run.windows.len(),
+                run.engine.windows_emitted(),
+                run.engine.elements_seen(),
+                if run.resumed { " [resumed]" } else { "" }
+            );
+            if let Some(wq) = run.engine.last() {
+                print!(
+                    "latest window #{} (end offset {}):",
+                    wq.index, wq.end_offset
+                );
+                for (p, v) in DEFAULT_PROBS.iter().zip(&wq.values) {
+                    print!(" p{p}={v:.4}");
+                }
+                println!();
+            }
+            for line in &run.events.log {
+                println!("  {line}");
+            }
         }
         "sort" => {
             let r = sample_sort_on_device(&mut device, &w.data, &cfg).unwrap();

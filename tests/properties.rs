@@ -721,7 +721,7 @@ fn simd_levels() -> Vec<gpu_selection::hpc_par::simd::SimdLevel> {
 }
 
 /// Tree lookups at every dispatch level, compared lane-for-lane.
-fn assert_descent_identical<T: SelectElement>(data: &[T], splitters: &mut Vec<T>) {
+fn assert_descent_identical<T: SelectElement>(data: &[T], splitters: &mut [T]) {
     use gpu_selection::hpc_par::simd::force_level;
     splitters.sort_unstable_by(|a, b| a.total_cmp(*b));
     let tree = SearchTree::build(splitters);

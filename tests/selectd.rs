@@ -505,6 +505,153 @@ fn hard_drain_checkpoints_streaming_query_and_resume_completes_it() {
 }
 
 #[test]
+fn approx_topk_queries_are_admitted_and_honest() {
+    let server = SelectServer::start(ServerConfig::default().with_workers(2));
+    let spec = DatasetSpec::uniform(200_000, 21);
+    let k = 5_000u64;
+    let ticket = server
+        .submit(QueryRequest {
+            tenant: "recall".to_string(),
+            kind: QueryKind::ApproxTopK {
+                k,
+                recall_bits: 0.95f32.to_bits(),
+            },
+            dataset: spec,
+            deadline_ms: None,
+            seed: 9,
+        })
+        .expect("admitted");
+    let resp = ticket.wait();
+    let data = dataset::instantiate(&spec);
+    let exact_threshold = reference_select(&data, (spec.n - k) as usize).unwrap();
+    match resp.status {
+        QueryStatus::ApproxTopK {
+            threshold,
+            k: got_k,
+            expected_recall,
+        } => {
+            assert_eq!(got_k, k);
+            // Candidates are a subset of the input, so the approximate
+            // threshold can never exceed the exact top-k threshold.
+            assert!(threshold <= exact_threshold);
+            assert!(expected_recall > 0.0 && expected_recall <= 1.0);
+        }
+        other => panic!("expected approx top-k status, got {other:?}"),
+    }
+
+    // Malformed ranks and recall targets are refused at admission,
+    // before any quota is charged or a worker is woken.
+    let bad = |kind| QueryRequest {
+        tenant: "recall".to_string(),
+        kind,
+        dataset: spec,
+        deadline_ms: None,
+        seed: 1,
+    };
+    assert!(matches!(
+        server.submit(bad(QueryKind::ApproxTopK {
+            k: 0,
+            recall_bits: 0.9f32.to_bits(),
+        })),
+        Err(SelectError::RankOutOfRange { .. })
+    ));
+    assert!(matches!(
+        server.submit(bad(QueryKind::ApproxTopK {
+            k: spec.n + 1,
+            recall_bits: 0.9f32.to_bits(),
+        })),
+        Err(SelectError::RankOutOfRange { .. })
+    ));
+    for bits in [f32::NAN.to_bits(), 0.0f32.to_bits(), 1.5f32.to_bits()] {
+        assert!(matches!(
+            server.submit(bad(QueryKind::ApproxTopK {
+                k: 10,
+                recall_bits: bits,
+            })),
+            Err(SelectError::InvalidArgument { .. })
+        ));
+    }
+    server.drain();
+}
+
+#[test]
+fn quantile_stream_query_serves_reference_quantiles_and_cleans_spool() {
+    use gpu_selection::sampleselect::{rank_for_prob, DEFAULT_PROBS};
+
+    let spool = unique_spool("qstream");
+    let server = SelectServer::start(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_spool_dir(spool.clone()),
+    );
+    let spec = DatasetSpec::uniform(40_000, 5);
+    let (len, slide) = (10_000u64, 5_000u64);
+    let resp = server
+        .submit(QueryRequest {
+            tenant: "telemetry".to_string(),
+            kind: QueryKind::QuantileStream {
+                window_len: len,
+                slide,
+                chunk_len: 4_096,
+            },
+            dataset: spec,
+            deadline_ms: None,
+            seed: 3,
+        })
+        .expect("admitted")
+        .wait();
+    let data = dataset::instantiate(&spec);
+    match resp.status {
+        QueryStatus::QuantileStream { windows, values } => {
+            assert_eq!(windows, 1 + (spec.n - len) / slide);
+            // The reported values are the quantiles of the last closed
+            // window: the trailing `len` elements ending at the final
+            // slide boundary.
+            let end = (len + ((spec.n - len) / slide) * slide) as usize;
+            let mut window: Vec<f32> = data[end - len as usize..end].to_vec();
+            window.sort_by(f32::total_cmp);
+            assert_eq!(values.len(), DEFAULT_PROBS.len());
+            for (p, got) in DEFAULT_PROBS.iter().zip(&values) {
+                let want = window[rank_for_prob(len as usize, *p)];
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+        other => panic!("expected quantile-stream status, got {other:?}"),
+    }
+    // The finite pass completed, so its restart checkpoint is gone.
+    let leftover: Vec<_> = std::fs::read_dir(&spool)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("qstream-"))
+        .collect();
+    assert!(
+        leftover.is_empty(),
+        "completed pass must clean its checkpoint: {leftover:?}"
+    );
+    server.drain();
+    let _ = std::fs::remove_dir_all(&spool);
+
+    // Without a spool directory the kind is refused up front — there is
+    // nowhere to park a restart checkpoint.
+    let no_spool = SelectServer::start(ServerConfig::default().with_workers(1));
+    match no_spool.submit(QueryRequest {
+        tenant: "telemetry".to_string(),
+        kind: QueryKind::QuantileStream {
+            window_len: 8,
+            slide: 8,
+            chunk_len: 8,
+        },
+        dataset: DatasetSpec::uniform(1_024, 1),
+        deadline_ms: None,
+        seed: 1,
+    }) {
+        Err(SelectError::Overloaded { reason, .. }) => assert_eq!(reason, "streaming-disabled"),
+        other => panic!("expected streaming-disabled rejection, got {other:?}"),
+    }
+    no_spool.drain();
+}
+
+#[test]
 fn snapshot_json_is_well_formed_and_carries_tenants() {
     let server = SelectServer::start(ServerConfig::default().with_workers(1));
     let spec = DatasetSpec::uniform(2_048, 30);
